@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared bench harness plumbing: policy selection and attachment,
+ * measurement-window helpers, and output conventions.
+ *
+ * Every bench binary regenerates one table or figure of the paper
+ * (see DESIGN.md's experiment index), prints it as an aligned table,
+ * and optionally emits CSV (--csv=<path>). The --quick flag shrinks
+ * simulated windows for smoke runs; all durations are simulated
+ * time, scaled from the paper's wall-clock experiment per DESIGN.md
+ * SS1 ("time scaling").
+ */
+
+#ifndef IATSIM_BENCH_COMMON_HH
+#define IATSIM_BENCH_COMMON_HH
+
+#include <memory>
+#include <string>
+
+#include "core/baselines.hh"
+#include "core/daemon.hh"
+#include "scenarios/common.hh"
+#include "sim/engine.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+namespace iat::bench {
+
+/** The management policies compared in SS VI. */
+enum class Policy
+{
+    Baseline, ///< static CAT, default DDIO, no dynamics
+    CoreOnly, ///< dynamic core allocation, I/O-blind
+    IoIso,    ///< Core-only + DDIO ways excluded from cores
+    Iat,      ///< the full daemon
+    IatNoDdioTuning, ///< IAT with footnote-3 ablation (Fig 10)
+};
+
+inline const char *
+toString(Policy policy)
+{
+    switch (policy) {
+      case Policy::Baseline: return "baseline";
+      case Policy::CoreOnly: return "core-only";
+      case Policy::IoIso: return "io-iso";
+      case Policy::Iat: return "IAT";
+      case Policy::IatNoDdioTuning: return "IAT";
+    }
+    return "?";
+}
+
+/** Keeps whichever policy object a run instantiated alive. */
+struct PolicyRuntime
+{
+    std::unique_ptr<core::IatDaemon> daemon;
+    std::unique_ptr<core::CoreOnlyPolicy> core_only;
+    std::unique_ptr<core::IoIsolationPolicy> io_iso;
+
+    /**
+     * Instantiate @p policy over @p registry and hook its tick into
+     * @p engine at @p params.interval_seconds. Baseline applies the
+     * static layout immediately and installs nothing.
+     */
+    void
+    attach(Policy policy, sim::Platform &platform,
+           core::TenantRegistry &registry, sim::Engine &engine,
+           const core::IatParams &params,
+           core::TenantModel model = core::TenantModel::Slicing)
+    {
+        switch (policy) {
+          case Policy::Baseline:
+            scenarios::applyStaticLayout(platform.pqos(), registry);
+            return;
+          case Policy::CoreOnly:
+            core_only = std::make_unique<core::CoreOnlyPolicy>(
+                platform.pqos(), registry, params);
+            engine.addPeriodic(
+                params.interval_seconds,
+                [this](double now) { core_only->tick(now); }, 0.0);
+            return;
+          case Policy::IoIso:
+            io_iso = std::make_unique<core::IoIsolationPolicy>(
+                platform.pqos(), registry, params);
+            engine.addPeriodic(
+                params.interval_seconds,
+                [this](double now) { io_iso->tick(now); }, 0.0);
+            return;
+          case Policy::Iat:
+          case Policy::IatNoDdioTuning:
+            daemon = std::make_unique<core::IatDaemon>(
+                platform.pqos(), registry, params, model);
+            if (policy == Policy::IatNoDdioTuning)
+                daemon->setDdioTuningEnabled(false);
+            engine.addPeriodic(
+                params.interval_seconds,
+                [this](double now) { daemon->tick(now); }, 0.0);
+            return;
+        }
+    }
+};
+
+/** Standard bench epilogue: print, optionally write CSV. */
+inline void
+finishBench(TablePrinter &table, const CliArgs &args)
+{
+    table.print();
+    const std::string csv = args.getString("csv", "");
+    if (!csv.empty()) {
+        if (table.writeCsv(csv))
+            std::printf("csv written to %s\n", csv.c_str());
+        else
+            std::printf("warning: could not write %s\n", csv.c_str());
+    }
+}
+
+/** Scale factor for --quick smoke runs. */
+inline double
+quickScale(const CliArgs &args)
+{
+    return args.getBool("quick") ? 0.3 : 1.0;
+}
+
+} // namespace iat::bench
+
+#endif // IATSIM_BENCH_COMMON_HH

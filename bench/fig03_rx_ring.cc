@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 3: l3fwd RFC 2544 zero-loss throughput vs Rx ring size.
+ *
+ * Single-core DPDK l3fwd against a 1M-flow table; ring sizes 64 to
+ * 4096; 64B (Fig 3a) and 1.5KB (Fig 3b) frames. Paper shape: at 64B
+ * the core is the bottleneck and shallow rings collapse under
+ * bursty arrivals (1024 -> 512 costs ~13%, 64 entries < 10% of the
+ * full-ring rate); at 1.5KB the line rate is comfortably below core
+ * capacity, so throughput stays flat until very small rings.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "scenarios/l3fwd.hh"
+
+namespace {
+
+using namespace iat;
+
+double
+zeroLossRate(std::uint32_t frame_bytes, std::uint32_t ring_entries,
+             double window_scale, std::uint64_t seed)
+{
+    net::Rfc2544Config search;
+    search.min_rate_pps = 5e4;
+    search.max_rate_pps = net::lineRatePps40G(frame_bytes);
+    search.resolution = 0.03;
+
+    const auto trial = [&](double rate) {
+        sim::PlatformConfig pc;
+        pc.num_cores = 2;
+        sim::Platform platform(pc);
+        sim::Engine engine(platform);
+
+        scenarios::L3FwdConfig cfg;
+        cfg.frame_bytes = frame_bytes;
+        cfg.ring_entries = ring_entries;
+        cfg.rate_pps = rate;
+        cfg.seed = seed;
+        scenarios::L3FwdWorld world(platform, cfg);
+        world.attach(engine);
+        scenarios::applyStaticLayout(platform.pqos(),
+                                     world.registry());
+        return world.trialWindow(engine, 0.01 * window_scale,
+                                 0.04 * window_scale);
+    };
+    return net::rfc2544Search(trial, search);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace iat;
+    const CliArgs args(argc, argv);
+    const double scale = bench::quickScale(args);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+    TablePrinter table("Figure 3: l3fwd RFC2544 zero-loss throughput "
+                       "vs Rx ring size");
+    table.setHeader({"frame_bytes", "ring_entries", "zero_loss_mpps",
+                     "vs_ring_1024"});
+
+    for (std::uint32_t frame : {64u, 1500u}) {
+        double at_1024 = 0.0;
+        // Measure 1024 first so the relative column has its anchor.
+        for (std::uint32_t ring :
+             {1024u, 4096u, 2048u, 512u, 256u, 128u, 64u}) {
+            const double rate =
+                zeroLossRate(frame, ring, scale, seed);
+            if (ring == 1024)
+                at_1024 = rate;
+            std::printf("  measured frame=%uB ring=%u: %.2f Mpps\n",
+                        frame, ring, rate / 1e6);
+            std::fflush(stdout);
+            table.addRow({std::to_string(frame),
+                          std::to_string(ring),
+                          TablePrinter::num(rate / 1e6, 2),
+                          TablePrinter::num(
+                              at_1024 > 0 ? rate / at_1024 : 1.0,
+                              3)});
+        }
+    }
+
+    bench::finishBench(table, args);
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Figure 10: the Latent-Contender cure in the slicing world
+ * (SS VI-B, "Solving the Latent Contender problem").
+ *
+ * Two PC testpmd VFs plus three X-Mem containers (2 BE, 1 PC). The
+ * scripted phases of the paper, time-scaled (DESIGN.md SS1):
+ *   t=0    all X-Mem at 2MB working sets;
+ *   t=T1   container 4 (PC) grows to 10MB  (paper: 5s);
+ *   t=T2   DDIO ways flipped 2 -> 4 externally (paper: 15s).
+ * Container 4's throughput and average latency are reported in the
+ * settled windows after T1 (Fig 10a/b) and after T2 (Fig 10c/d) for
+ * baseline / Core-only / I/O-iso / IAT (per paper footnote 3, IAT's
+ * DDIO tuning is disabled here to isolate shuffling).
+ *
+ * Paper shape: Core-only helps at small packets but fades as packet
+ * size grows (it granted container 4 the DDIO ways); IAT stays high
+ * across sizes in both phases; I/O-iso matches IAT in phase 1 but
+ * strands capacity after the DDIO grows.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "scenarios/slicing_pmd_xmem.hh"
+#include "util/units.hh"
+
+namespace {
+
+using namespace iat;
+
+struct PhaseSample
+{
+    double tput_mbps = 0.0;
+    double lat_ns = 0.0;
+};
+
+struct RunResult
+{
+    PhaseSample after_t1;
+    PhaseSample after_t2;
+};
+
+RunResult
+runCase(bench::Policy policy, std::uint32_t frame_bytes,
+        double scale, std::uint64_t seed)
+{
+    sim::PlatformConfig pc;
+    pc.num_cores = 8;
+    sim::Platform platform(pc);
+    sim::Engine engine(platform);
+
+    scenarios::SlicingPmdXmemConfig cfg;
+    cfg.frame_bytes = frame_bytes;
+    cfg.seed = seed;
+    scenarios::SlicingPmdXmemWorld world(platform, cfg);
+    world.attach(engine);
+
+    core::IatParams params;
+    params.interval_seconds = 5e-3;
+    bench::PolicyRuntime runtime;
+    const auto effective = policy == bench::Policy::Iat
+                               ? bench::Policy::IatNoDdioTuning
+                               : policy;
+    runtime.attach(effective, platform, world.registry(), engine,
+                   params, core::TenantModel::Slicing);
+
+    const double t1 = 0.06 * scale;
+    const double t2 = 0.20 * scale;
+    engine.at(t1, [&](double) { world.growXmem4(10 * MiB); });
+    engine.at(t2, [&](double) {
+        platform.pqos().ddioSetWays(cache::WayMask::fromRange(7, 4));
+    });
+
+    RunResult result;
+    // Phase 1 window: settled after T1.
+    engine.run(t1 + 0.06 * scale);
+    world.xmem(2).resetStats();
+    engine.run(0.06 * scale);
+    result.after_t1.tput_mbps =
+        world.xmem(2).avgThroughputBytesPerSec() / 1e6;
+    result.after_t1.lat_ns =
+        world.xmem(2).avgLatencySeconds() * 1e9;
+
+    // Phase 2 window: settled after T2.
+    engine.run(t2 + 0.06 * scale - platform.now());
+    world.xmem(2).resetStats();
+    engine.run(0.06 * scale);
+    result.after_t2.tput_mbps =
+        world.xmem(2).avgThroughputBytesPerSec() / 1e6;
+    result.after_t2.lat_ns =
+        world.xmem(2).avgLatencySeconds() * 1e9;
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace iat;
+    const CliArgs args(argc, argv);
+    const double scale = bench::quickScale(args);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+    TablePrinter table("Figure 10: container-4 X-Mem under the "
+                       "scripted phases (slicing model)");
+    table.setHeader({"frame_bytes", "policy", "tput_MBps_after_5s",
+                     "lat_ns_after_5s", "tput_MBps_after_15s",
+                     "lat_ns_after_15s"});
+
+    const bench::Policy policies[] = {
+        bench::Policy::Baseline, bench::Policy::CoreOnly,
+        bench::Policy::IoIso, bench::Policy::Iat};
+
+    for (std::uint32_t frame : {64u, 512u, 1500u}) {
+        for (const auto policy : policies) {
+            const auto r = runCase(policy, frame, scale, seed);
+            table.addRow(
+                {std::to_string(frame), toString(policy),
+                 TablePrinter::num(r.after_t1.tput_mbps, 1),
+                 TablePrinter::num(r.after_t1.lat_ns, 1),
+                 TablePrinter::num(r.after_t2.tput_mbps, 1),
+                 TablePrinter::num(r.after_t2.lat_ns, 1)});
+            std::printf("  frame=%uB %s done\n", frame,
+                        toString(policy));
+            std::fflush(stdout);
+        }
+    }
+
+    bench::finishBench(table, args);
+    return 0;
+}

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * SlicedLlc implementation.
+ */
+
+#include "cache/llc.hh"
+
+#include "util/logging.hh"
+
+namespace iat::cache {
+
+namespace {
+
+/** splitmix64 finalizer; decorrelates line address bits. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+SlicedLlc::SlicedLlc(const CacheGeometry &geom, unsigned num_cores)
+    : geom_(geom), num_cores_(num_cores)
+{
+    IAT_ASSERT(geom_.valid(), "bad cache geometry");
+    IAT_ASSERT(num_cores_ >= 1, "need at least one core");
+
+    slices_.resize(geom_.num_slices);
+    for (auto &sl : slices_)
+        sl.lines.resize(static_cast<std::size_t>(geom_.sets_per_slice) *
+                        geom_.num_ways);
+
+    // Power-on defaults mirror real RDT: every CLOS may fill the whole
+    // cache, every core sits in CLOS 0 / RMID 0, and DDIO owns the two
+    // top ways (paper SS II-B: "by default, DDIO can only perform write
+    // allocate on two LLC ways", drawn as ways N-1 and N in Fig 1).
+    clos_masks_.assign(numClos, WayMask::full(geom_.num_ways));
+    core_clos_.assign(num_cores_, 0);
+    core_rmid_.assign(num_cores_, 0);
+    ddio_mask_ = WayMask::fromRange(geom_.num_ways - 2, 2);
+
+    core_counters_.assign(num_cores_, {});
+    device_counters_.assign(8, {});
+    device_ddio_masks_.assign(8, WayMask{});
+    rmid_lines_.assign(numRmids, 0);
+}
+
+void
+SlicedLlc::setClosMask(ClosId clos, WayMask mask)
+{
+    IAT_ASSERT(clos < numClos, "CLOS out of range");
+    IAT_ASSERT(mask.isValidCbm(), "CAT requires a non-empty consecutive "
+               "capacity bitmask, got %s",
+               mask.toString(geom_.num_ways).c_str());
+    IAT_ASSERT(mask.highest() < geom_.num_ways,
+               "mask exceeds way count");
+    clos_masks_[clos] = mask;
+}
+
+WayMask
+SlicedLlc::closMask(ClosId clos) const
+{
+    IAT_ASSERT(clos < numClos, "CLOS out of range");
+    return clos_masks_[clos];
+}
+
+void
+SlicedLlc::assocCoreClos(CoreId core, ClosId clos)
+{
+    IAT_ASSERT(core < num_cores_ && clos < numClos,
+               "core/CLOS out of range");
+    core_clos_[core] = clos;
+}
+
+ClosId
+SlicedLlc::coreClos(CoreId core) const
+{
+    IAT_ASSERT(core < num_cores_, "core out of range");
+    return core_clos_[core];
+}
+
+void
+SlicedLlc::assocCoreRmid(CoreId core, RmidId rmid)
+{
+    IAT_ASSERT(core < num_cores_ && rmid < numRmids,
+               "core/RMID out of range");
+    core_rmid_[core] = rmid;
+}
+
+RmidId
+SlicedLlc::coreRmid(CoreId core) const
+{
+    IAT_ASSERT(core < num_cores_, "core out of range");
+    return core_rmid_[core];
+}
+
+void
+SlicedLlc::setDdioMask(WayMask mask)
+{
+    IAT_ASSERT(mask.isValidCbm(), "DDIO mask must be non-empty and "
+               "consecutive, got %s",
+               mask.toString(geom_.num_ways).c_str());
+    IAT_ASSERT(mask.highest() < geom_.num_ways,
+               "DDIO mask exceeds way count");
+    ddio_mask_ = mask;
+}
+
+void
+SlicedLlc::setDeviceDdioMask(DeviceId dev, WayMask mask)
+{
+    IAT_ASSERT(dev < device_ddio_masks_.size(),
+               "device out of range");
+    IAT_ASSERT(mask.isValidCbm(), "device DDIO mask must be "
+               "non-empty and consecutive");
+    IAT_ASSERT(mask.highest() < geom_.num_ways,
+               "device DDIO mask exceeds way count");
+    device_ddio_masks_[dev] = mask;
+}
+
+void
+SlicedLlc::clearDeviceDdioMask(DeviceId dev)
+{
+    IAT_ASSERT(dev < device_ddio_masks_.size(),
+               "device out of range");
+    device_ddio_masks_[dev] = WayMask{};
+}
+
+WayMask
+SlicedLlc::deviceDdioMask(DeviceId dev) const
+{
+    if (dev < device_ddio_masks_.size() &&
+        !device_ddio_masks_[dev].empty()) {
+        return device_ddio_masks_[dev];
+    }
+    return ddio_mask_;
+}
+
+void
+SlicedLlc::locate(LineAddr line, unsigned &slice, unsigned &set) const
+{
+    const std::uint64_t h = mix64(line);
+    // Lemire range reduction on the low 32 bits for the slice; an
+    // independent reduction on the high bits for the set index.
+    slice = static_cast<unsigned>(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(h)) *
+         geom_.num_slices) >> 32);
+    set = static_cast<unsigned>(
+        ((h >> 32) * geom_.sets_per_slice) >> 32);
+}
+
+SlicedLlc::Line *
+SlicedLlc::findLine(unsigned slice, unsigned set, LineAddr line)
+{
+    Line *base =
+        &slices_[slice].lines[static_cast<std::size_t>(set) *
+                              geom_.num_ways];
+    for (unsigned w = 0; w < geom_.num_ways; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const SlicedLlc::Line *
+SlicedLlc::findLine(unsigned slice, unsigned set, LineAddr line) const
+{
+    return const_cast<SlicedLlc *>(this)->findLine(slice, set, line);
+}
+
+void
+SlicedLlc::touch(Slice &sl, Line &ln)
+{
+    ln.ts = ++sl.clock;
+}
+
+unsigned
+SlicedLlc::chooseVictim(Slice &sl, unsigned set, WayMask mask) const
+{
+    const Line *base =
+        &sl.lines[static_cast<std::size_t>(set) * geom_.num_ways];
+    unsigned victim = mask.lowest();
+    std::uint32_t best_ts = UINT32_MAX;
+    for (unsigned w = 0; w < geom_.num_ways; ++w) {
+        if (!mask.contains(w))
+            continue;
+        if (!base[w].valid)
+            return w;
+        if (base[w].ts <= best_ts) {
+            best_ts = base[w].ts;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+SlicedLlc::allocate(unsigned slice, unsigned set, LineAddr line,
+                    WayMask mask, RmidId owner, bool dirty,
+                    AccessResult &result)
+{
+    IAT_ASSERT(!mask.empty(), "allocation with empty way mask");
+    Slice &sl = slices_[slice];
+    const unsigned way = chooseVictim(sl, set, mask);
+    Line &ln =
+        sl.lines[static_cast<std::size_t>(set) * geom_.num_ways + way];
+    if (ln.valid) {
+        if (ln.dirty) {
+            result.writeback = true;
+            ++total_writebacks_;
+        }
+        --rmid_lines_[ln.owner];
+    }
+    ln.tag = line;
+    ln.valid = true;
+    ln.dirty = dirty;
+    ln.owner = owner;
+    touch(sl, ln);
+    ++rmid_lines_[owner];
+    result.allocated = true;
+}
+
+AccessResult
+SlicedLlc::coreAccess(CoreId core, Addr addr, AccessType type)
+{
+    IAT_ASSERT(core < num_cores_, "core out of range");
+    const LineAddr line = addr / geom_.line_bytes;
+    unsigned slice, set;
+    locate(line, slice, set);
+
+    Slice &sl = slices_[slice];
+    ++sl.counters.lookups;
+    ++core_counters_[core].llc_refs;
+
+    AccessResult result;
+    if (Line *ln = findLine(slice, set, line)) {
+        // Footnote 1: hits are serviced from any way, even ways the
+        // core's CLOS cannot allocate into.
+        result.hit = true;
+        if (type == AccessType::Write)
+            ln->dirty = true;
+        touch(sl, *ln);
+        return result;
+    }
+
+    ++core_counters_[core].llc_misses;
+    allocate(slice, set, line, clos_masks_[core_clos_[core]],
+             core_rmid_[core], type == AccessType::Write, result);
+    return result;
+}
+
+AccessResult
+SlicedLlc::writebackFromCore(CoreId core, Addr addr)
+{
+    IAT_ASSERT(core < num_cores_, "core out of range");
+    const LineAddr line = addr / geom_.line_bytes;
+    unsigned slice, set;
+    locate(line, slice, set);
+
+    AccessResult result;
+    Slice &sl = slices_[slice];
+    if (Line *ln = findLine(slice, set, line)) {
+        result.hit = true;
+        ln->dirty = true;
+        touch(sl, *ln);
+        return result;
+    }
+    allocate(slice, set, line, clos_masks_[core_clos_[core]],
+             core_rmid_[core], /*dirty=*/true, result);
+    return result;
+}
+
+AccessResult
+SlicedLlc::ddioWrite(Addr addr, DeviceId dev)
+{
+    const LineAddr line = addr / geom_.line_bytes;
+    unsigned slice, set;
+    locate(line, slice, set);
+
+    Slice &sl = slices_[slice];
+    ++sl.counters.lookups;
+    AccessResult result;
+    SliceCounters *dev_ctr =
+        dev < device_counters_.size() ? &device_counters_[dev] : nullptr;
+
+    if (!ddio_enabled_) {
+        // DDIO off: the write still snoops the coherence domain (paper
+        // SS II-B) but the data lands in DRAM; drop any stale copy.
+        if (Line *ln = findLine(slice, set, line)) {
+            --rmid_lines_[ln->owner];
+            ln->valid = false;
+        }
+        return result;
+    }
+
+    if (Line *ln = findLine(slice, set, line)) {
+        // Write update: the paper's "DDIO hit".
+        result.hit = true;
+        ln->dirty = true;
+        touch(sl, *ln);
+        ++sl.counters.ddio_hits;
+        if (dev_ctr)
+            ++dev_ctr->ddio_hits;
+        return result;
+    }
+
+    // Write allocate into the (device's) DDIO ways: a "DDIO miss".
+    ++sl.counters.ddio_misses;
+    if (dev_ctr)
+        ++dev_ctr->ddio_misses;
+    allocate(slice, set, line, deviceDdioMask(dev), ddioRmid,
+             /*dirty=*/true, result);
+    return result;
+}
+
+AccessResult
+SlicedLlc::deviceRead(Addr addr, DeviceId dev)
+{
+    const LineAddr line = addr / geom_.line_bytes;
+    unsigned slice, set;
+    locate(line, slice, set);
+
+    Slice &sl = slices_[slice];
+    ++sl.counters.lookups;
+    AccessResult result;
+    if (Line *ln = findLine(slice, set, line)) {
+        result.hit = true;
+        touch(sl, *ln);
+        return result;
+    }
+    // Device reads that miss are serviced from DRAM and, per SS II-B,
+    // are not allocated in the LLC.
+    (void)dev;
+    return result;
+}
+
+bool
+SlicedLlc::isPresent(Addr addr) const
+{
+    const LineAddr line = addr / geom_.line_bytes;
+    unsigned slice, set;
+    locate(line, slice, set);
+    return findLine(slice, set, line) != nullptr;
+}
+
+void
+SlicedLlc::invalidate(Addr addr)
+{
+    const LineAddr line = addr / geom_.line_bytes;
+    unsigned slice, set;
+    locate(line, slice, set);
+    if (Line *ln = findLine(slice, set, line)) {
+        --rmid_lines_[ln->owner];
+        ln->valid = false;
+    }
+}
+
+void
+SlicedLlc::flushAll()
+{
+    for (auto &sl : slices_) {
+        for (auto &ln : sl.lines) {
+            ln.valid = false;
+            ln.dirty = false;
+        }
+        sl.clock = 0;
+    }
+    rmid_lines_.assign(numRmids, 0);
+}
+
+const SliceCounters &
+SlicedLlc::sliceCounters(unsigned slice) const
+{
+    IAT_ASSERT(slice < slices_.size(), "slice out of range");
+    return slices_[slice].counters;
+}
+
+const CoreCacheCounters &
+SlicedLlc::coreCounters(CoreId core) const
+{
+    IAT_ASSERT(core < num_cores_, "core out of range");
+    return core_counters_[core];
+}
+
+const SliceCounters &
+SlicedLlc::deviceCounters(DeviceId dev) const
+{
+    IAT_ASSERT(dev < device_counters_.size(), "device out of range");
+    return device_counters_[dev];
+}
+
+std::uint64_t
+SlicedLlc::rmidLines(RmidId rmid) const
+{
+    IAT_ASSERT(rmid < numRmids, "RMID out of range");
+    return rmid_lines_[rmid];
+}
+
+std::uint64_t
+SlicedLlc::rmidBytes(RmidId rmid) const
+{
+    return rmidLines(rmid) * geom_.line_bytes;
+}
+
+} // namespace iat::cache

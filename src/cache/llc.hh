@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The sliced, way-partitioned last-level cache model.
+ *
+ * This is the substrate both of the paper's problems live in:
+ *
+ *  - CAT semantics (paper Footnote 1): a core *allocates* only into
+ *    the ways of its class of service, but *hits and updates* lines in
+ *    any way. The Latent Contender problem follows directly: DDIO
+ *    write-allocates evict core lines that happen to live in DDIO's
+ *    ways even though no core shares those ways on paper.
+ *
+ *  - DDIO semantics (paper §II-B): an inbound DMA write performs an
+ *    LLC lookup; present => write update (a "DDIO hit"), absent =>
+ *    write allocate into the DDIO way mask (a "DDIO miss"), possibly
+ *    evicting a dirty victim to DRAM. Device reads never allocate.
+ *    The Leaky DMA problem follows: once in-flight Rx buffers exceed
+ *    the DDIO ways' capacity, buffers bounce LLC->DRAM->LLC.
+ *
+ * Addresses are hashed to a slice and a set (modern Intel LLCs hash
+ * physical addresses across slices; Maurice et al., RAID'15), so
+ * traffic spreads evenly and reading one slice's counters and scaling
+ * by the slice count -- exactly what the paper's monitor does -- is
+ * sound in the model too.
+ */
+
+#ifndef IATSIM_CACHE_LLC_HH
+#define IATSIM_CACHE_LLC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "cache/types.hh"
+#include "cache/way_mask.hh"
+
+namespace iat::cache {
+
+/** Monotonic per-slice uncore counters (the model's CHA events). */
+struct SliceCounters
+{
+    std::uint64_t ddio_hits = 0;    ///< inbound writes that updated
+    std::uint64_t ddio_misses = 0;  ///< inbound writes that allocated
+    std::uint64_t lookups = 0;      ///< all lookups in this slice
+};
+
+/** Monotonic per-core demand counters (the model's core PMU events). */
+struct CoreCacheCounters
+{
+    std::uint64_t llc_refs = 0;
+    std::uint64_t llc_misses = 0;
+};
+
+/**
+ * Sliced set-associative LLC with per-CLOS way partitioning and a
+ * DDIO port.
+ */
+class SlicedLlc
+{
+  public:
+    /**
+     * Number of classes of service. Skylake-SP hardware exposes 16;
+     * the model is slightly more generous so the Fig 15 overhead
+     * sweep can register one CLOS per tenant at 16 tenants while
+     * keeping CLOS 0 as the default class.
+     */
+    static constexpr unsigned numClos = 24;
+    /** Number of monitoring ids; rmid 0 is "unassigned". */
+    static constexpr unsigned numRmids = 64;
+    /** Rmid accounting lines allocated by the DDIO port. */
+    static constexpr RmidId ddioRmid = numRmids - 1;
+
+    SlicedLlc(const CacheGeometry &geom, unsigned num_cores);
+
+    const CacheGeometry &geometry() const { return geom_; }
+    unsigned numCores() const { return num_cores_; }
+
+    /// @name CAT-style configuration
+    /// @{
+
+    /** Program the capacity bitmask of a class of service. */
+    void setClosMask(ClosId clos, WayMask mask);
+    WayMask closMask(ClosId clos) const;
+
+    /** Associate a core with a class of service (IA32_PQR_ASSOC). */
+    void assocCoreClos(CoreId core, ClosId clos);
+    ClosId coreClos(CoreId core) const;
+
+    /** Associate a core with a monitoring id. */
+    void assocCoreRmid(CoreId core, RmidId rmid);
+    RmidId coreRmid(CoreId core) const;
+
+    /** Program the DDIO way mask (the IIO LLC WAYS register). */
+    void setDdioMask(WayMask mask);
+    WayMask ddioMask() const { return ddio_mask_; }
+
+    /// @name Device-aware DDIO (paper SS VII "future DDIO")
+    /// @{
+
+    /**
+     * Give @p dev its own DDIO allocation mask, overriding the
+     * chip-wide mask for that device's write allocates -- the
+     * "assign different LLC ways to different PCIe devices, just
+     * like what CAT does on CPU cores" extension the paper proposes.
+     */
+    void setDeviceDdioMask(DeviceId dev, WayMask mask);
+
+    /** Revert @p dev to the chip-wide DDIO mask. */
+    void clearDeviceDdioMask(DeviceId dev);
+
+    /** Effective allocation mask for @p dev. */
+    WayMask deviceDdioMask(DeviceId dev) const;
+    /// @}
+
+    /** Enable/disable the DDIO path (BIOS knob, for ablations). */
+    void setDdioEnabled(bool enabled) { ddio_enabled_ = enabled; }
+    bool ddioEnabled() const { return ddio_enabled_; }
+    /// @}
+
+    /// @name Access paths
+    /// @{
+
+    /**
+     * Demand access from a core (L2 miss). Counts an LLC reference;
+     * on miss, allocates into the core's CLOS mask and counts an LLC
+     * miss.
+     */
+    AccessResult coreAccess(CoreId core, Addr addr, AccessType type);
+
+    /**
+     * Dirty writeback from a core's private cache. Updates the line
+     * if present, else allocates it dirty in the core's CLOS mask.
+     * Not a demand reference: does not bump ref/miss counters.
+     */
+    AccessResult writebackFromCore(CoreId core, Addr addr);
+
+    /**
+     * Inbound DMA write of one line (the DDIO path). Returns hit=true
+     * for write update. With DDIO disabled the line is invalidated if
+     * present and the write goes straight to DRAM (hit=false,
+     * allocated=false); the caller charges the DRAM write.
+     */
+    AccessResult ddioWrite(Addr addr, DeviceId dev);
+
+    /**
+     * Outbound DMA read of one line. Hit => serviced from LLC;
+     * miss => serviced from DRAM without allocation.
+     */
+    AccessResult deviceRead(Addr addr, DeviceId dev);
+    /// @}
+
+    /// @name Introspection / monitoring
+    /// @{
+    bool isPresent(Addr addr) const;
+    void invalidate(Addr addr);
+    void flushAll();
+
+    const SliceCounters &sliceCounters(unsigned slice) const;
+    const CoreCacheCounters &coreCounters(CoreId core) const;
+
+    /** Per-device DDIO statistics (a §VII future-DDIO extension). */
+    const SliceCounters &deviceCounters(DeviceId dev) const;
+
+    /** CMT-style occupancy: lines currently owned by @p rmid. */
+    std::uint64_t rmidLines(RmidId rmid) const;
+    std::uint64_t rmidBytes(RmidId rmid) const;
+
+    /** Total dirty-victim writebacks (for DRAM accounting tests). */
+    std::uint64_t totalWritebacks() const { return total_writebacks_; }
+    /// @}
+
+  private:
+    struct Line
+    {
+        LineAddr tag = 0;
+        std::uint32_t ts = 0;
+        RmidId owner = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    struct Slice
+    {
+        std::vector<Line> lines; // sets_per_slice * num_ways
+        std::uint32_t clock = 0;
+        SliceCounters counters;
+    };
+
+    /** Hash a line address to (slice, set). */
+    void locate(LineAddr line, unsigned &slice, unsigned &set) const;
+
+    Line *findLine(unsigned slice, unsigned set, LineAddr line);
+    const Line *findLine(unsigned slice, unsigned set,
+                         LineAddr line) const;
+
+    /**
+     * Choose the LRU victim among @p mask ways of the given set;
+     * prefers invalid ways. Returns the way index.
+     */
+    unsigned chooseVictim(Slice &sl, unsigned set, WayMask mask) const;
+
+    /** Allocate @p line in @p mask; updates occupancy; fills result. */
+    void allocate(unsigned slice, unsigned set, LineAddr line,
+                  WayMask mask, RmidId owner, bool dirty,
+                  AccessResult &result);
+
+    void touch(Slice &sl, Line &ln);
+
+    CacheGeometry geom_;
+    unsigned num_cores_;
+    bool ddio_enabled_ = true;
+
+    std::vector<Slice> slices_;
+    std::vector<WayMask> clos_masks_;
+    std::vector<ClosId> core_clos_;
+    std::vector<RmidId> core_rmid_;
+    WayMask ddio_mask_;
+    std::vector<WayMask> device_ddio_masks_; ///< empty = chip-wide
+
+    std::vector<CoreCacheCounters> core_counters_;
+    std::vector<SliceCounters> device_counters_;
+    std::vector<std::uint64_t> rmid_lines_;
+    std::uint64_t total_writebacks_ = 0;
+};
+
+} // namespace iat::cache
+
+#endif // IATSIM_CACHE_LLC_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * PrivateCache implementation.
+ */
+
+#include "cache/private_cache.hh"
+
+#include "util/logging.hh"
+
+namespace iat::cache {
+
+namespace {
+
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+PrivateCache::PrivateCache(const PrivateCacheGeometry &geom)
+    : geom_(geom)
+{
+    IAT_ASSERT(geom_.num_sets >= 1 && geom_.num_ways >= 1,
+               "bad private cache geometry");
+    lines_.resize(static_cast<std::size_t>(geom_.num_sets) *
+                  geom_.num_ways);
+}
+
+unsigned
+PrivateCache::setIndex(LineAddr line) const
+{
+    return static_cast<unsigned>(
+        (static_cast<std::uint64_t>(
+             static_cast<std::uint32_t>(mix64(line))) *
+         geom_.num_sets) >> 32);
+}
+
+PrivateAccessResult
+PrivateCache::access(Addr addr, AccessType type)
+{
+    const LineAddr line = addr / geom_.line_bytes;
+    const unsigned set = setIndex(line);
+    Line *base = &lines_[static_cast<std::size_t>(set) * geom_.num_ways];
+
+    PrivateAccessResult result;
+    unsigned victim = 0;
+    std::uint32_t best_ts = UINT32_MAX;
+    for (unsigned w = 0; w < geom_.num_ways; ++w) {
+        Line &ln = base[w];
+        if (ln.valid && ln.tag == line) {
+            result.hit = true;
+            ++hits_;
+            ln.ts = ++clock_;
+            if (type == AccessType::Write)
+                ln.dirty = true;
+            return result;
+        }
+        if (!ln.valid) {
+            victim = w;
+            best_ts = 0;
+        } else if (ln.ts < best_ts) {
+            victim = w;
+            best_ts = ln.ts;
+        }
+    }
+
+    ++misses_;
+    Line &ln = base[victim];
+    if (ln.valid && ln.dirty) {
+        result.has_writeback = true;
+        result.writeback_addr = ln.tag * geom_.line_bytes;
+    }
+    ln.tag = line;
+    ln.valid = true;
+    ln.dirty = (type == AccessType::Write);
+    ln.ts = ++clock_;
+    return result;
+}
+
+bool
+PrivateCache::isPresent(Addr addr) const
+{
+    const LineAddr line = addr / geom_.line_bytes;
+    const unsigned set = setIndex(line);
+    const Line *base =
+        &lines_[static_cast<std::size_t>(set) * geom_.num_ways];
+    for (unsigned w = 0; w < geom_.num_ways; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            return true;
+    }
+    return false;
+}
+
+void
+PrivateCache::invalidateAll()
+{
+    for (auto &ln : lines_) {
+        ln.valid = false;
+        ln.dirty = false;
+    }
+    clock_ = 0;
+}
+
+} // namespace iat::cache

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-core private cache filter (the modelled L2).
+ *
+ * The LLC reference/miss counters the IAT monitor polls only see
+ * demand traffic that misses the private levels, so workloads access
+ * memory through a per-core L2 model: a plain set-associative LRU
+ * cache (Tab I: 16-way 1 MB). L1 is folded into the base CPI of the
+ * workload cost models; modelling it separately would only rescale
+ * constants.
+ *
+ * The L2 is a write-back cache: dirty victims are handed to the LLC
+ * as non-demand writebacks. The LLC is modelled mostly-inclusive for
+ * simplicity (fills allocate in both levels); DESIGN.md SS4 discusses
+ * why this preserves the paper's phenomena.
+ */
+
+#ifndef IATSIM_CACHE_PRIVATE_CACHE_HH
+#define IATSIM_CACHE_PRIVATE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "cache/types.hh"
+
+namespace iat::cache {
+
+/** Result of a private-cache access. */
+struct PrivateAccessResult
+{
+    bool hit = false;
+    /** Victim line that must be written back to the LLC (0 = none). */
+    Addr writeback_addr = 0;
+    bool has_writeback = false;
+};
+
+/** Set-associative LRU private cache. */
+class PrivateCache
+{
+  public:
+    explicit PrivateCache(const PrivateCacheGeometry &geom = {});
+
+    const PrivateCacheGeometry &geometry() const { return geom_; }
+
+    /**
+     * Access one line. On miss the line is allocated (write-allocate
+     * for stores) and the victim, if dirty, is reported for LLC
+     * writeback.
+     */
+    PrivateAccessResult access(Addr addr, AccessType type);
+
+    bool isPresent(Addr addr) const;
+    void invalidateAll();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Line
+    {
+        LineAddr tag = 0;
+        std::uint32_t ts = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    unsigned setIndex(LineAddr line) const;
+
+    PrivateCacheGeometry geom_;
+    std::vector<Line> lines_;
+    std::uint32_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace iat::cache
+
+#endif // IATSIM_CACHE_PRIVATE_CACHE_HH

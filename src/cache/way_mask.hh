@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Way-mask value type mirroring Intel CAT capacity bitmasks (CBMs).
+ *
+ * Real CAT imposes two constraints that IAT's allocator must respect:
+ * a class of service needs at least one way, and the mask bits must be
+ * consecutive. The model enforces the same rules at the point where a
+ * mask is programmed (rdt::CatController), while the type itself also
+ * represents transient non-contiguous sets (e.g. the idle-way pool).
+ */
+
+#ifndef IATSIM_CACHE_WAY_MASK_HH
+#define IATSIM_CACHE_WAY_MASK_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace iat::cache {
+
+/** A set of LLC ways encoded as a bitmask (bit i = way i). */
+class WayMask
+{
+  public:
+    constexpr WayMask() = default;
+    explicit constexpr WayMask(std::uint32_t bits) : bits_(bits) {}
+
+    /** Mask covering @p count ways starting at @p first. */
+    static constexpr WayMask
+    fromRange(unsigned first, unsigned count)
+    {
+        if (count == 0)
+            return WayMask{};
+        if (count >= 32)
+            return WayMask{~0u << first};
+        return WayMask{((1u << count) - 1u) << first};
+    }
+
+    /** Mask covering all @p num_ways ways. */
+    static constexpr WayMask
+    full(unsigned num_ways)
+    {
+        return fromRange(0, num_ways);
+    }
+
+    constexpr std::uint32_t bits() const { return bits_; }
+    constexpr bool empty() const { return bits_ == 0; }
+    constexpr unsigned count() const { return std::popcount(bits_); }
+    constexpr bool contains(unsigned way) const
+    {
+        return (bits_ >> way) & 1u;
+    }
+
+    /** Lowest set way index; undefined when empty. */
+    constexpr unsigned lowest() const { return std::countr_zero(bits_); }
+
+    /** Highest set way index; undefined when empty. */
+    constexpr unsigned
+    highest() const
+    {
+        return 31u - std::countl_zero(bits_);
+    }
+
+    /** CAT validity: non-empty and consecutive bits. */
+    constexpr bool
+    isValidCbm() const
+    {
+        if (bits_ == 0)
+            return false;
+        const std::uint32_t shifted = bits_ >> lowest();
+        return (shifted & (shifted + 1u)) == 0;
+    }
+
+    constexpr bool
+    overlaps(WayMask other) const
+    {
+        return (bits_ & other.bits_) != 0;
+    }
+
+    constexpr WayMask
+    operator|(WayMask other) const
+    {
+        return WayMask{bits_ | other.bits_};
+    }
+
+    constexpr WayMask
+    operator&(WayMask other) const
+    {
+        return WayMask{bits_ & other.bits_};
+    }
+
+    /** Ways in this mask but not in @p other. */
+    constexpr WayMask
+    minus(WayMask other) const
+    {
+        return WayMask{bits_ & ~other.bits_};
+    }
+
+    constexpr bool operator==(const WayMask &) const = default;
+
+    /** Render as e.g. "0b00000011000" over @p num_ways bit positions. */
+    std::string
+    toString(unsigned num_ways = 11) const
+    {
+        std::string s = "0b";
+        for (int w = static_cast<int>(num_ways) - 1; w >= 0; --w)
+            s += contains(static_cast<unsigned>(w)) ? '1' : '0';
+        return s;
+    }
+
+  private:
+    std::uint32_t bits_ = 0;
+};
+
+} // namespace iat::cache
+
+#endif // IATSIM_CACHE_WAY_MASK_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * WayAllocator implementation.
+ */
+
+#include "core/allocator.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace iat::core {
+
+using cache::WayMask;
+
+WayAllocator::WayAllocator(unsigned num_ways, unsigned ddio_ways)
+    : num_ways_(num_ways), ddio_ways_(ddio_ways)
+{
+    IAT_ASSERT(num_ways_ >= 2, "need at least two ways");
+    IAT_ASSERT(ddio_ways_ >= 1 && ddio_ways_ <= num_ways_,
+               "DDIO ways out of range");
+}
+
+void
+WayAllocator::setTenants(const std::vector<unsigned> &initial_ways)
+{
+    unsigned total = 0;
+    for (unsigned w : initial_ways) {
+        IAT_ASSERT(w >= 1, "a tenant needs at least one way");
+        total += w;
+    }
+    IAT_ASSERT(total <= num_ways_,
+               "initial allocation (%u ways) exceeds the %u-way LLC",
+               total, num_ways_);
+    ways_ = initial_ways;
+    order_.resize(ways_.size());
+    std::iota(order_.begin(), order_.end(), 0);
+    relayout();
+}
+
+WayMask
+WayAllocator::ddioMask() const
+{
+    return WayMask::fromRange(num_ways_ - ddio_ways_, ddio_ways_);
+}
+
+bool
+WayAllocator::growDdio(unsigned max_ways)
+{
+    if (ddio_ways_ >= std::min(max_ways, num_ways_))
+        return false;
+    ++ddio_ways_;
+    return true;
+}
+
+bool
+WayAllocator::shrinkDdio(unsigned min_ways)
+{
+    if (ddio_ways_ <= std::max(min_ways, 1u))
+        return false;
+    --ddio_ways_;
+    return true;
+}
+
+void
+WayAllocator::setDdioWays(unsigned ways)
+{
+    IAT_ASSERT(ways >= 1 && ways <= num_ways_,
+               "DDIO ways out of range");
+    ddio_ways_ = ways;
+}
+
+unsigned
+WayAllocator::tenantWays(std::size_t tenant) const
+{
+    IAT_ASSERT(tenant < ways_.size(), "tenant out of range");
+    return ways_[tenant];
+}
+
+WayMask
+WayAllocator::tenantMask(std::size_t tenant) const
+{
+    IAT_ASSERT(tenant < masks_.size(), "tenant out of range");
+    return masks_[tenant];
+}
+
+unsigned
+WayAllocator::idleWays() const
+{
+    unsigned used = 0;
+    for (unsigned w : ways_)
+        used += w;
+    return num_ways_ - used;
+}
+
+bool
+WayAllocator::growTenant(std::size_t tenant)
+{
+    IAT_ASSERT(tenant < ways_.size(), "tenant out of range");
+    if (idleWays() == 0)
+        return false;
+    ++ways_[tenant];
+    relayout();
+    return true;
+}
+
+bool
+WayAllocator::shrinkTenant(std::size_t tenant)
+{
+    IAT_ASSERT(tenant < ways_.size(), "tenant out of range");
+    if (ways_[tenant] <= 1)
+        return false;
+    --ways_[tenant];
+    relayout();
+    return true;
+}
+
+bool
+WayAllocator::tenantOverlapsDdio(std::size_t tenant) const
+{
+    return tenantMask(tenant).overlaps(ddioMask());
+}
+
+void
+WayAllocator::setOrder(const std::vector<std::size_t> &order)
+{
+    IAT_ASSERT(order.size() == ways_.size(),
+               "order must cover every tenant");
+    std::vector<bool> seen(ways_.size(), false);
+    for (std::size_t t : order) {
+        IAT_ASSERT(t < ways_.size() && !seen[t],
+                   "order must be a permutation");
+        seen[t] = true;
+    }
+    order_ = order;
+    relayout();
+}
+
+void
+WayAllocator::relayout()
+{
+    masks_.assign(ways_.size(), WayMask{});
+    unsigned pos = 0;
+    for (std::size_t t : order_) {
+        masks_[t] = WayMask::fromRange(pos, ways_[t]);
+        pos += ways_[t];
+    }
+    IAT_ASSERT(pos <= num_ways_, "layout overflow");
+}
+
+} // namespace iat::core

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The LLC way allocator behind IAT's LLC Alloc / LLC Re-alloc steps
+ * (SS IV-A, SS IV-D).
+ *
+ * The allocator maintains a *layout*: an ordered sequence of tenant
+ * segments packed from way 0 upward, idle ways above them, and the
+ * DDIO mask occupying the top ways (hardware grows DDIO from the top
+ * of the cache, Fig 1). This representation makes the paper's
+ * invariants structural:
+ *
+ *  - every tenant mask is consecutive and at least one way (CAT);
+ *  - tenant masks are mutually disjoint (the evaluation disallows
+ *    tenant-tenant sharing);
+ *  - idle ways sit just under DDIO, so core-I/O way sharing only
+ *    appears when the sum of segments grows into the DDIO region --
+ *    "avoid any core-I/O sharing of LLC ways if LLC ways have not
+ *    been fully allocated";
+ *  - shuffling is a pure reordering of segments: the tenant placed
+ *    last (top) is the one that shares ways with DDIO when sharing
+ *    is unavoidable.
+ */
+
+#ifndef IATSIM_CORE_ALLOCATOR_HH
+#define IATSIM_CORE_ALLOCATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/way_mask.hh"
+
+namespace iat::core {
+
+/** Ordered-segment way allocator; pure logic, no hardware access. */
+class WayAllocator
+{
+  public:
+    /**
+     * @param num_ways   LLC associativity (11 on the modelled CPU).
+     * @param ddio_ways  Initial DDIO way count (hardware default 2).
+     */
+    explicit WayAllocator(unsigned num_ways, unsigned ddio_ways = 2);
+
+    /**
+     * Install the tenant population: tenant i initially owns
+     * @p initial_ways[i] ways, stacked in index order. Fails the
+     * model if the sum exceeds the way count.
+     */
+    void setTenants(const std::vector<unsigned> &initial_ways);
+
+    std::size_t tenantCount() const { return ways_.size(); }
+    unsigned numWays() const { return num_ways_; }
+
+    /// @name DDIO mask
+    /// @{
+    unsigned ddioWays() const { return ddio_ways_; }
+    cache::WayMask ddioMask() const;
+
+    /** Grow DDIO one way downward; false at @p max_ways. */
+    bool growDdio(unsigned max_ways);
+
+    /** Shrink DDIO one way; false at @p min_ways. */
+    bool shrinkDdio(unsigned min_ways);
+
+    /** Force a DDIO way count (init / external change detection). */
+    void setDdioWays(unsigned ways);
+    /// @}
+
+    /// @name Tenant segments
+    /// @{
+    unsigned tenantWays(std::size_t tenant) const;
+    cache::WayMask tenantMask(std::size_t tenant) const;
+
+    /** Ways owned by no tenant (DDIO overlap not counted). */
+    unsigned idleWays() const;
+
+    /** Grow a tenant one way from the idle pool; false when none. */
+    bool growTenant(std::size_t tenant);
+
+    /** Shrink a tenant one way; false at one way. */
+    bool shrinkTenant(std::size_t tenant);
+
+    /** True if the tenant's segment intersects the DDIO mask. */
+    bool tenantOverlapsDdio(std::size_t tenant) const;
+    /// @}
+
+    /**
+     * Reorder segments bottom-to-top; @p order must be a permutation
+     * of tenant indices. The tenant placed last is the one adjacent
+     * to (and, under full allocation, overlapping) DDIO's ways.
+     */
+    void setOrder(const std::vector<std::size_t> &order);
+    const std::vector<std::size_t> &order() const { return order_; }
+
+  private:
+    void relayout();
+
+    unsigned num_ways_;
+    unsigned ddio_ways_;
+    std::vector<unsigned> ways_;          ///< per tenant
+    std::vector<std::size_t> order_;      ///< bottom -> top
+    std::vector<cache::WayMask> masks_;   ///< per tenant (derived)
+};
+
+} // namespace iat::core
+
+#endif // IATSIM_CORE_ALLOCATOR_HH

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * IatDaemon implementation.
+ */
+
+#include "core/daemon.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace iat::core {
+
+namespace {
+
+constexpr std::size_t kNoTenant = std::numeric_limits<std::size_t>::max();
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+double
+signedDelta(double prev, double cur)
+{
+    const double base = std::max(std::abs(prev), 1e-9);
+    return (cur - prev) / base;
+}
+
+/** CLOS assigned to tenant @p t; CLOS 0 stays the default class. */
+cache::ClosId
+tenantClos(std::size_t t)
+{
+    return static_cast<cache::ClosId>(t + 1);
+}
+
+} // namespace
+
+IatDaemon::IatDaemon(rdt::PqosSystem &pqos, TenantRegistry &registry,
+                     const IatParams &params, TenantModel model)
+    : pqos_(pqos), registry_(registry), params_(params), model_(model),
+      monitor_(pqos), fsm_(params),
+      alloc_(pqos.l3NumWays(), pqos.ddioGetWays().count()),
+      pending_grow_tenant_(kNoTenant)
+{
+}
+
+void
+IatDaemon::getTenantInfoAndAlloc()
+{
+    const auto &specs = registry_.tenants();
+    IAT_ASSERT(specs.size() + 1 <= cache::SlicedLlc::numClos,
+               "more tenants than classes of service");
+
+    initial_ways_.clear();
+    for (const auto &spec : specs)
+        initial_ways_.push_back(spec.initial_ways);
+    alloc_.setTenants(initial_ways_);
+    alloc_.setDdioWays(pqos_.ddioGetWays().count());
+
+    // Initial shuffle order from priorities alone (no samples yet):
+    // PC and the software stack at the bottom, BE tenants on top.
+    alloc_.setOrder(computeShuffleOrder(specs, {}, {}));
+
+    for (std::size_t t = 0; t < specs.size(); ++t) {
+        for (const auto core : specs[t].cores)
+            pqos_.allocAssocSet(core, tenantClos(t));
+    }
+
+    programmed_masks_.assign(specs.size(), cache::WayMask{});
+    programmed_ddio_ways_ = alloc_.ddioWays();
+    applyMasks();
+
+    monitor_.attach(registry_);
+    fsm_.reset(IatState::LowKeep);
+    have_ref_history_ = false;
+    pending_grow_tenant_ = kNoTenant;
+}
+
+void
+IatDaemon::applyMasks()
+{
+    for (std::size_t t = 0; t < programmed_masks_.size(); ++t) {
+        const auto mask = alloc_.tenantMask(t);
+        if (mask == programmed_masks_[t])
+            continue;
+        pqos_.l3caSet(tenantClos(t), mask);
+        programmed_masks_[t] = mask;
+    }
+    if (alloc_.ddioWays() != programmed_ddio_ways_) {
+        pqos_.ddioSetWays(alloc_.ddioMask());
+        programmed_ddio_ways_ = alloc_.ddioWays();
+    }
+}
+
+IatDaemon::GateAction
+IatDaemon::stabilityGate(const SystemSample &sample)
+{
+    const double th = params_.threshold_stable;
+    const bool ddio_changed =
+        std::abs(sample.d_ddio_hits) > th ||
+        std::abs(sample.d_ddio_misses) > th;
+
+    const auto &specs = registry_.tenants();
+    bool any_mem_change = false;
+    bool any_change = ddio_changed;
+    std::vector<bool> ipc_ch(specs.size()), mem_ch(specs.size());
+    for (std::size_t t = 0; t < specs.size(); ++t) {
+        const auto &s = sample.tenants[t];
+        ipc_ch[t] = std::abs(s.d_ipc) > th;
+        mem_ch[t] =
+            std::abs(s.d_refs) > th || std::abs(s.d_misses) > th;
+        any_mem_change = any_mem_change || mem_ch[t];
+        any_change = any_change || ipc_ch[t] || mem_ch[t];
+    }
+
+    if (!any_change)
+        return GateAction::Sleep;
+
+    // DDIO hit counts track throughput, so they move whenever the
+    // pipeline speeds up or down; what signals *I/O pressure on the
+    // LLC* is a changing, non-trivial miss (write-allocate) rate.
+    const bool miss_pressure_changed =
+        std::abs(sample.d_ddio_misses) > th &&
+        sample.ddioMissesPerSecond() >
+            params_.threshold_miss_low_per_s;
+
+    if (!miss_pressure_changed) {
+        // SS IV-B case 2: a tenant with no DDIO overlap shows an IPC
+        // change backed by LLC ref/miss change while the I/O side
+        // exerts no new pressure -- a pure core-side capacity story;
+        // handle it without the FSM. The paper words this for
+        // non-I/O tenants, but the same logic is what grows the
+        // virtual switch in the Fig 9 experiment (its flow table
+        // outgrows its ways without any DDIO miss pressure), so it
+        // applies to every non-overlapping tenant.
+        for (std::size_t t = 0; t < specs.size(); ++t) {
+            if (!alloc_.tenantOverlapsDdio(t) && ipc_ch[t] &&
+                mem_ch[t]) {
+                gate_tenant_ = t;
+                return GateAction::CoreOnlyGrow;
+            }
+        }
+    }
+
+    if (ddio_changed) {
+        // SS IV-B case 3: a non-I/O tenant sharing ways with DDIO
+        // degrades along with a DDIO change -- try shuffling first.
+        for (std::size_t t = 0; t < specs.size(); ++t) {
+            if (!specs[t].is_io && alloc_.tenantOverlapsDdio(t) &&
+                ipc_ch[t] && mem_ch[t]) {
+                return GateAction::ShuffleOnly;
+            }
+        }
+        return GateAction::RunFsm;
+    }
+
+    // SS IV-B case 1: IPC moved but neither the cache nor the I/O
+    // did -- attribute it to neither and sleep.
+    if (!any_mem_change)
+        return GateAction::Sleep;
+    return GateAction::RunFsm;
+}
+
+std::size_t
+IatDaemon::selectCoreDemandTenant(const SystemSample &sample)
+{
+    const auto &specs = registry_.tenants();
+    if (model_ == TenantModel::Aggregation) {
+        // The centralized software stack bottlenecks every attached
+        // tenant; grow it first.
+        for (std::size_t t = 0; t < specs.size(); ++t) {
+            if (specs[t].priority == TenantPriority::SoftwareStack)
+                return t;
+        }
+        return kNoTenant;
+    }
+    // Slicing: the I/O tenant with the largest increase of LLC miss
+    // rate (percentage points) is the neediest.
+    std::size_t best = kNoTenant;
+    double best_delta = 0.0;
+    for (std::size_t t = 0; t < specs.size(); ++t) {
+        if (!specs[t].is_io)
+            continue;
+        if (sample.tenants[t].d_miss_rate > best_delta) {
+            best_delta = sample.tenants[t].d_miss_rate;
+            best = t;
+        }
+    }
+    return best;
+}
+
+bool
+IatDaemon::reclaimOne(const SystemSample &sample)
+{
+    if (ddio_tuning_ &&
+        alloc_.ddioWays() > params_.ddio_ways_min) {
+        return alloc_.shrinkDdio(params_.ddio_ways_min);
+    }
+    if (!tenant_tuning_)
+        return false;
+    // Reclaim from the tenant with the smallest reference count that
+    // still holds more than its initial allocation.
+    std::size_t best = kNoTenant;
+    std::uint64_t best_refs = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t t = 0; t < initial_ways_.size(); ++t) {
+        if (alloc_.tenantWays(t) <= initial_ways_[t])
+            continue;
+        if (sample.tenants[t].llc_refs < best_refs) {
+            best_refs = sample.tenants[t].llc_refs;
+            best = t;
+        }
+    }
+    return best != kNoTenant && alloc_.shrinkTenant(best);
+}
+
+void
+IatDaemon::actOnState(IatState state, const SystemSample &sample)
+{
+    switch (state) {
+      case IatState::IoDemand:
+        if (ddio_tuning_) {
+            unsigned step = 1;
+            if (params_.adaptive_io_step) {
+                // Miss-curve-guided increment (SS IV-D's UCP-style
+                // alternative): step harder while misses are rising
+                // steeply or the absolute rate is far above the
+                // low-water mark.
+                if (sample.d_ddio_misses > 0.5)
+                    ++step;
+                if (sample.ddioMissesPerSecond() >
+                    10.0 * params_.threshold_miss_low_per_s) {
+                    ++step;
+                }
+            }
+            for (unsigned s = 0; s < step; ++s) {
+                if (!alloc_.growDdio(params_.ddio_ways_max))
+                    break;
+            }
+        }
+        break;
+      case IatState::CoreDemand:
+        if (tenant_tuning_) {
+            const std::size_t t = selectCoreDemandTenant(sample);
+            if (t != kNoTenant)
+                alloc_.growTenant(t);
+        }
+        break;
+      case IatState::Reclaim:
+        reclaimOne(sample);
+        break;
+      case IatState::LowKeep:
+        if (ddio_tuning_ &&
+            alloc_.ddioWays() > params_.ddio_ways_min) {
+            alloc_.shrinkDdio(params_.ddio_ways_min);
+        }
+        break;
+      case IatState::HighKeep:
+        break;
+    }
+}
+
+void
+IatDaemon::maybeShuffle(const SystemSample &sample)
+{
+    if (!shuffle_enabled_)
+        return;
+    const auto order = computeShuffleOrder(
+        registry_.tenants(), sample.tenants, alloc_.order());
+    if (order != alloc_.order()) {
+        alloc_.setOrder(order);
+        ++shuffles_;
+    }
+}
+
+void
+IatDaemon::tick(double /*now*/)
+{
+    using Clock = std::chrono::steady_clock;
+    ++ticks_;
+
+    if (registry_.consumeDirty()) {
+        getTenantInfoAndAlloc();
+        return;
+    }
+
+    DaemonStepTiming timing;
+    auto &bus = pqos_.bus();
+    const std::uint64_t reads0 = bus.readCount();
+    const std::uint64_t writes0 = bus.writeCount();
+    const auto t0 = Clock::now();
+
+    // Detect external DDIO reconfiguration (Fig 10 flips the way
+    // count under the daemon at t=15s).
+    const unsigned hw_ddio = pqos_.ddioGetWays().count();
+    if (hw_ddio != alloc_.ddioWays()) {
+        alloc_.setDdioWays(hw_ddio);
+        programmed_ddio_ways_ = hw_ddio;
+    }
+
+    SystemSample sample = monitor_.poll(params_.interval_seconds);
+
+    // System-wide LLC reference delta for the FSM.
+    std::uint64_t total_refs = 0;
+    for (const auto &t : sample.tenants)
+        total_refs += t.llc_refs;
+    double d_refs = 0.0;
+    if (have_ref_history_) {
+        d_refs = signedDelta(static_cast<double>(prev_total_refs_),
+                             static_cast<double>(total_refs));
+    }
+    prev_total_refs_ = total_refs;
+    have_ref_history_ = true;
+
+    GateAction action = stabilityGate(sample);
+    // Reclaim is a transient state: once pressure fades the deltas
+    // go quiet, but the drain (one way per iteration, Fig 11) must
+    // continue until the FSM leaves Reclaim via its bounds.
+    if (action == GateAction::Sleep &&
+        fsm_.state() == IatState::Reclaim) {
+        action = GateAction::RunFsm;
+    }
+    // Case-2 growth continuation: one more way per iteration while
+    // the tenant's miss rate has not recovered from the level that
+    // triggered the growth (the "other mechanisms" of SS IV-B keep
+    // allocating until the miss curve flattens).
+    if (tenant_tuning_ && pending_grow_tenant_ != kNoTenant &&
+        action != GateAction::CoreOnlyGrow) {
+        const auto &ts = sample.tenants[pending_grow_tenant_];
+        if (ts.missRate() > 0.5 * pending_grow_missrate_ &&
+            alloc_.growTenant(pending_grow_tenant_)) {
+            applyMasks();
+        } else {
+            pending_grow_tenant_ = kNoTenant;
+        }
+    }
+    const auto t1 = Clock::now();
+    timing.poll_seconds = seconds(t0, t1);
+
+    auto finish = [&](bool stable, Clock::time_point t_trans,
+                      Clock::time_point t_done) {
+        timing.stable = stable;
+        timing.transition_seconds = seconds(t1, t_trans);
+        timing.realloc_seconds = seconds(t_trans, t_done);
+        timing.msr_reads = bus.readCount() - reads0;
+        timing.msr_writes = bus.writeCount() - writes0;
+        last_timing_ = timing;
+        last_sample_ = std::move(sample);
+        if (stable)
+            ++stable_ticks_;
+    };
+
+    switch (action) {
+      case GateAction::Sleep: {
+        const auto t_done = Clock::now();
+        finish(true, t_done, t_done);
+        return;
+      }
+      case GateAction::CoreOnlyGrow: {
+        const auto t_trans = Clock::now();
+        const auto &ts = sample.tenants[gate_tenant_];
+        // Grow on a rising miss rate, or keep growing while an
+        // in-flight growth has not yet halved the miss rate that
+        // triggered it (warming the new ways takes intervals).
+        const bool continuing =
+            pending_grow_tenant_ == gate_tenant_ &&
+            ts.missRate() > 0.5 * pending_grow_missrate_;
+        if (tenant_tuning_ &&
+            (ts.d_miss_rate > 0.0 || continuing) &&
+            alloc_.growTenant(gate_tenant_)) {
+            if (pending_grow_tenant_ != gate_tenant_) {
+                pending_grow_tenant_ = gate_tenant_;
+                pending_grow_missrate_ = ts.missRate();
+            }
+        } else if (pending_grow_tenant_ == gate_tenant_) {
+            pending_grow_tenant_ = kNoTenant;
+        }
+        applyMasks();
+        finish(false, t_trans, Clock::now());
+        return;
+      }
+      case GateAction::ShuffleOnly: {
+        const auto t_trans = Clock::now();
+        maybeShuffle(sample);
+        applyMasks();
+        finish(false, t_trans, Clock::now());
+        return;
+      }
+      case GateAction::RunFsm:
+        break;
+    }
+
+    const FsmInputs inputs{
+        sample.ddioMissesPerSecond(),
+        sample.d_ddio_misses,
+        sample.d_ddio_hits,
+        d_refs,
+        alloc_.ddioWays(),
+    };
+    const IatState state = fsm_.advance(inputs);
+    const auto t_trans = Clock::now();
+
+    actOnState(state, sample);
+    fsm_.applyBounds(alloc_.ddioWays());
+    maybeShuffle(sample);
+    applyMasks();
+    finish(false, t_trans, Clock::now());
+}
+
+} // namespace iat::core

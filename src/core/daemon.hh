@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The IAT daemon: the paper's contribution, end to end (SS IV, SS V).
+ *
+ * Each tick executes the six-step loop of Fig 5:
+ *
+ *   Get Tenant Info -> LLC Alloc    (on start / registry change)
+ *   Poll Prof Data                  (Monitor)
+ *   State Transition                (IatFsm, when unstable)
+ *   LLC Re-alloc                    (WayAllocator + shuffle + pqos)
+ *   Sleep                           (return; the engine re-ticks)
+ *
+ * The daemon is written against the PqosSystem facade only, exactly
+ * like the real implementation is written against the authors'
+ * iat-pqos: porting it to hardware means swapping the facade.
+ *
+ * Feature toggles mirror the paper's ablations: SS VI-B disables DDIO
+ * tuning to isolate shuffling ("IAT w/o ddio" in the Latent-Contender
+ * experiment); SS VI-C disables tenant way tuning for the application
+ * studies; Core-only disables both the I/O-Demand path and shuffling.
+ */
+
+#ifndef IATSIM_CORE_DAEMON_HH
+#define IATSIM_CORE_DAEMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/allocator.hh"
+#include "core/fsm.hh"
+#include "core/monitor.hh"
+#include "core/params.hh"
+#include "core/shuffle.hh"
+#include "core/tenant.hh"
+#include "rdt/pqos.hh"
+
+namespace iat::core {
+
+/** Which tenant-device interaction model is deployed (SS II-C). */
+enum class TenantModel { Aggregation, Slicing };
+
+/** Wall-clock and register cost of one daemon iteration (Fig 15). */
+struct DaemonStepTiming
+{
+    double poll_seconds = 0.0;
+    double transition_seconds = 0.0;
+    double realloc_seconds = 0.0;
+    std::uint64_t msr_reads = 0;
+    std::uint64_t msr_writes = 0;
+    bool stable = true;
+};
+
+/** The user-space daemon; see file comment. */
+class IatDaemon
+{
+  public:
+    IatDaemon(rdt::PqosSystem &pqos, TenantRegistry &registry,
+              const IatParams &params,
+              TenantModel model = TenantModel::Slicing);
+
+    /** Run one iteration at simulated time @p now. */
+    void tick(double now);
+
+    /// @name Ablation toggles
+    /// @{
+    void setDdioTuningEnabled(bool on) { ddio_tuning_ = on; }
+    void setShuffleEnabled(bool on) { shuffle_enabled_ = on; }
+    void setTenantTuningEnabled(bool on) { tenant_tuning_ = on; }
+    /// @}
+
+    IatState state() const { return fsm_.state(); }
+    unsigned ddioWays() const { return alloc_.ddioWays(); }
+    const WayAllocator &allocator() const { return alloc_; }
+    const IatParams &params() const { return params_; }
+    TenantModel model() const { return model_; }
+
+    const SystemSample &lastSample() const { return last_sample_; }
+    const DaemonStepTiming &lastTiming() const { return last_timing_; }
+
+    std::uint64_t ticks() const { return ticks_; }
+    std::uint64_t stableTicks() const { return stable_ticks_; }
+    std::uint64_t shuffles() const { return shuffles_; }
+
+    Monitor &monitor() { return monitor_; }
+
+  private:
+    /** What the stability gate decided for this iteration. */
+    enum class GateAction
+    {
+        Sleep,        ///< everything stable (or IPC-only change)
+        RunFsm,       ///< meaningful change: advance the FSM
+        ShuffleOnly,  ///< SS IV-B case 3
+        CoreOnlyGrow, ///< SS IV-B case 2 (target in gate_tenant_)
+    };
+
+    void getTenantInfoAndAlloc();
+    GateAction stabilityGate(const SystemSample &sample);
+    void actOnState(IatState state, const SystemSample &sample);
+    bool reclaimOne(const SystemSample &sample);
+    std::size_t selectCoreDemandTenant(const SystemSample &sample);
+    void maybeShuffle(const SystemSample &sample);
+    void applyMasks();
+
+    rdt::PqosSystem &pqos_;
+    TenantRegistry &registry_;
+    IatParams params_;
+    TenantModel model_;
+
+    Monitor monitor_;
+    IatFsm fsm_;
+    WayAllocator alloc_;
+    std::vector<unsigned> initial_ways_;
+    std::vector<cache::WayMask> programmed_masks_;
+    unsigned programmed_ddio_ways_ = 0;
+
+    bool ddio_tuning_ = true;
+    bool shuffle_enabled_ = true;
+    bool tenant_tuning_ = true;
+
+    SystemSample last_sample_;
+    DaemonStepTiming last_timing_;
+    std::uint64_t prev_total_refs_ = 0;
+    bool have_ref_history_ = false;
+    double prev_refs_delta_ = 0.0;
+    std::size_t gate_tenant_ = 0;
+
+    /** Case-2 growth in flight: keep granting one way per iteration
+     *  while the tenant's miss rate stays near its trigger level. */
+    std::size_t pending_grow_tenant_;
+    double pending_grow_missrate_ = 0.0;
+
+    std::uint64_t ticks_ = 0;
+    std::uint64_t stable_ticks_ = 0;
+    std::uint64_t shuffles_ = 0;
+};
+
+} // namespace iat::core
+
+#endif // IATSIM_CORE_DAEMON_HH

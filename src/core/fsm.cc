@@ -1,0 +1,153 @@
+/**
+ * @file
+ * IatFsm implementation. Arc numbers in comments refer to Fig 6 as
+ * described by the prose of SS IV-C.
+ */
+
+#include "core/fsm.hh"
+
+#include "util/logging.hh"
+
+namespace iat::core {
+
+const char *
+toString(IatState state)
+{
+    switch (state) {
+      case IatState::LowKeep: return "LowKeep";
+      case IatState::HighKeep: return "HighKeep";
+      case IatState::IoDemand: return "IoDemand";
+      case IatState::CoreDemand: return "CoreDemand";
+      case IatState::Reclaim: return "Reclaim";
+    }
+    return "?";
+}
+
+bool
+IatFsm::missHigh(const FsmInputs &in) const
+{
+    return in.ddio_miss_rate > params_.threshold_miss_low_per_s;
+}
+
+bool
+IatFsm::missIncreased(const FsmInputs &in) const
+{
+    return in.d_ddio_misses > params_.threshold_stable;
+}
+
+bool
+IatFsm::missDecreased(const FsmInputs &in) const
+{
+    return in.d_ddio_misses < -params_.threshold_stable;
+}
+
+bool
+IatFsm::missDroppedSignificantly(const FsmInputs &in) const
+{
+    return in.d_ddio_misses < -params_.threshold_miss_drop;
+}
+
+bool
+IatFsm::hitIncreased(const FsmInputs &in) const
+{
+    return in.d_ddio_hits > params_.threshold_stable;
+}
+
+bool
+IatFsm::hitDecreased(const FsmInputs &in) const
+{
+    return in.d_ddio_hits < -params_.threshold_stable;
+}
+
+bool
+IatFsm::refsIncreased(const FsmInputs &in) const
+{
+    return in.d_llc_refs > params_.threshold_stable;
+}
+
+IatState
+IatFsm::advance(const FsmInputs &in)
+{
+    const IatState prev = state_;
+
+    switch (state_) {
+      case IatState::LowKeep:
+        if (missHigh(in)) {
+            // Fewer DDIO hits with more LLC references: the cores are
+            // evicting the Rx buffers -> Core Demand (arc 5);
+            // otherwise the traffic itself outgrew DDIO (arc 1).
+            if (hitDecreased(in) && refsIncreased(in))
+                state_ = IatState::CoreDemand;
+            else
+                state_ = IatState::IoDemand;
+        }
+        break;
+
+      case IatState::IoDemand:
+        if (missDroppedSignificantly(in) && !missHigh(in)) {
+            // Over-provisioned -> Reclaim (arc 6). Reclaim is by
+            // definition a state where "the I/O traffic is not
+            // intensive" (SS IV-C), so a big relative drop alone is
+            // not enough while the absolute miss rate stays above
+            // THRESHOLD_MISS_LOW -- otherwise the FSM would bounce
+            // between grow and reclaim at the capacity boundary.
+            state_ = IatState::Reclaim;
+        } else if (hitDecreased(in) && !missDecreased(in)) {
+            // Core became the competitor (arc 7).
+            state_ = IatState::CoreDemand;
+        }
+        // Otherwise stay and keep growing DDIO; saturation at
+        // DDIO_WAYS_MAX is handled by applyBounds() (arc 10).
+        break;
+
+      case IatState::HighKeep:
+        // Same exit rules as I/O Demand (arcs 11 and 12).
+        if (missDroppedSignificantly(in) && !missHigh(in))
+            state_ = IatState::Reclaim;
+        else if (hitDecreased(in) && !missDecreased(in))
+            state_ = IatState::CoreDemand;
+        break;
+
+      case IatState::CoreDemand:
+        if (missDecreased(in)) {
+            // System balancing out (arc 8).
+            state_ = IatState::Reclaim;
+        } else if (missIncreased(in) && !hitDecreased(in)) {
+            // The core is no longer the major competitor (arc 4).
+            state_ = IatState::IoDemand;
+        }
+        break;
+
+      case IatState::Reclaim:
+        if (missIncreased(in)) {
+            // Pressure is back: with fewer DDIO hits the core is the
+            // contender (arc 9), otherwise the I/O is (arc 3).
+            state_ = hitDecreased(in) ? IatState::CoreDemand
+                                      : IatState::IoDemand;
+        }
+        // Otherwise keep reclaiming; draining to DDIO_WAYS_MIN is
+        // handled by applyBounds() (arc 2).
+        break;
+    }
+
+    if (state_ != prev)
+        ++transitions_;
+    return state_;
+}
+
+IatState
+IatFsm::applyBounds(unsigned ddio_ways)
+{
+    if (state_ == IatState::IoDemand &&
+        ddio_ways >= params_.ddio_ways_max) {
+        state_ = IatState::HighKeep; // arc 10
+        ++transitions_;
+    } else if (state_ == IatState::Reclaim &&
+               ddio_ways <= params_.ddio_ways_min) {
+        state_ = IatState::LowKeep; // arc 2
+        ++transitions_;
+    }
+    return state_;
+}
+
+} // namespace iat::core

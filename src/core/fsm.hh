@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The system-wide Mealy finite state machine at the core of IAT
+ * (paper SS IV-C, Fig 6).
+ *
+ * Five states:
+ *   Low Keep    -- I/O quiet, DDIO held at DDIO_WAYS_MIN.
+ *   High Keep   -- DDIO already at DDIO_WAYS_MAX; bounded there so
+ *                  I/O cannot take the whole LLC from PC tenants.
+ *   I/O Demand  -- DDIO misses high because traffic outgrew the DDIO
+ *                  ways; grow DDIO by one way per iteration.
+ *   Core Demand -- DDIO misses high because a core-side working set
+ *                  is evicting Rx buffers (fewer DDIO hits, more LLC
+ *                  refs); grow the needy tenant instead.
+ *   Reclaim     -- pressure receded; take ways back one per
+ *                  iteration until bounds or demand reappears.
+ *
+ * The FSM is advanced only when the stability gate saw a meaningful
+ * change (self-transitions included); otherwise the daemon sleeps and
+ * the state is held, exactly as the paper specifies.
+ */
+
+#ifndef IATSIM_CORE_FSM_HH
+#define IATSIM_CORE_FSM_HH
+
+#include <cstdint>
+
+#include "core/params.hh"
+
+namespace iat::core {
+
+/** The five states of Fig 6. */
+enum class IatState
+{
+    LowKeep,
+    HighKeep,
+    IoDemand,
+    CoreDemand,
+    Reclaim,
+};
+
+const char *toString(IatState state);
+
+/** The FSM's view of one polled interval. */
+struct FsmInputs
+{
+    /** DDIO misses per second over the interval. */
+    double ddio_miss_rate = 0.0;
+    /** Signed relative change of the DDIO miss count. */
+    double d_ddio_misses = 0.0;
+    /** Signed relative change of the DDIO hit count. */
+    double d_ddio_hits = 0.0;
+    /** Signed relative change of system-wide LLC references. */
+    double d_llc_refs = 0.0;
+    /** LLC ways currently programmed for DDIO. */
+    unsigned ddio_ways = 2;
+};
+
+/** The Mealy machine; pure logic, no side effects. */
+class IatFsm
+{
+  public:
+    explicit IatFsm(const IatParams &params)
+        : params_(params), state_(IatState::LowKeep)
+    {
+    }
+
+    IatState state() const { return state_; }
+
+    /**
+     * Advance one iteration with fresh inputs; returns the new state.
+     * Call only when the stability gate fired (SS IV-B).
+     */
+    IatState advance(const FsmInputs &in);
+
+    /**
+     * Post-action bound adjustment: I/O Demand saturating at
+     * DDIO_WAYS_MAX becomes High Keep (arc 10); Reclaim draining to
+     * DDIO_WAYS_MIN becomes Low Keep (arc 2). The daemon calls this
+     * after LLC Re-alloc so the arc condition sees the new way count.
+     */
+    IatState applyBounds(unsigned ddio_ways);
+
+    /** Force a state (tests and the Core-only ablation). */
+    void reset(IatState state) { state_ = state; }
+
+    std::uint64_t transitions() const { return transitions_; }
+
+  private:
+    /// @name Input predicates (thresholds from IatParams)
+    /// @{
+    bool missHigh(const FsmInputs &in) const;
+    bool missIncreased(const FsmInputs &in) const;
+    bool missDecreased(const FsmInputs &in) const;
+    bool missDroppedSignificantly(const FsmInputs &in) const;
+    bool hitIncreased(const FsmInputs &in) const;
+    bool hitDecreased(const FsmInputs &in) const;
+    bool refsIncreased(const FsmInputs &in) const;
+    /// @}
+
+    IatParams params_;
+    IatState state_;
+    std::uint64_t transitions_ = 0;
+};
+
+} // namespace iat::core
+
+#endif // IATSIM_CORE_FSM_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Monitor implementation.
+ */
+
+#include "core/monitor.hh"
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace iat::core {
+
+namespace {
+
+/** Signed relative change of cur vs prev. */
+double
+signedDelta(double prev, double cur)
+{
+    const double base = std::max(std::abs(prev), 1e-9);
+    return (cur - prev) / base;
+}
+
+} // namespace
+
+Monitor::Monitor(rdt::PqosSystem &pqos) : pqos_(pqos) {}
+
+void
+Monitor::attach(const TenantRegistry &registry)
+{
+    groups_.clear();
+    prev_raw_.clear();
+    prev_sample_.clear();
+    have_history_ = false;
+
+    for (std::size_t i = 0; i < registry.size(); ++i) {
+        const auto &spec = registry[i];
+        // RMID 0 is the unassigned default; tenants start at 1.
+        groups_.push_back(pqos_.monStart(
+            spec.cores, static_cast<cache::RmidId>(i + 1)));
+    }
+    // Baseline snapshot so the first poll yields interval deltas.
+    for (auto &group : groups_)
+        prev_raw_.push_back(pqos_.monPoll(group));
+    prev_ddio_ = pqos_.ddioPoll();
+    prev_sample_.resize(groups_.size());
+}
+
+SystemSample
+Monitor::poll(double dt)
+{
+    IAT_ASSERT(dt > 0.0, "poll interval must be positive");
+    SystemSample sample;
+    sample.interval_seconds = dt;
+    sample.tenants.resize(groups_.size());
+
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+        const auto raw = pqos_.monPoll(groups_[i]);
+        const auto &prev = prev_raw_[i];
+        TenantSample &t = sample.tenants[i];
+
+        const std::uint64_t d_inst =
+            raw.instructions - prev.instructions;
+        const std::uint64_t d_cycles = raw.cycles - prev.cycles;
+        t.ipc = d_cycles ? static_cast<double>(d_inst) /
+                               static_cast<double>(d_cycles)
+                         : 0.0;
+        t.llc_refs = raw.llc_refs - prev.llc_refs;
+        t.llc_misses = raw.llc_misses - prev.llc_misses;
+        t.occupancy_bytes = raw.llc_occupancy_bytes;
+        t.mbm_bytes = raw.mbm_bytes - prev.mbm_bytes;
+
+        if (have_history_) {
+            const TenantSample &p = prev_sample_[i];
+            t.d_ipc = signedDelta(p.ipc, t.ipc);
+            t.d_refs = signedDelta(
+                static_cast<double>(p.llc_refs),
+                static_cast<double>(t.llc_refs));
+            t.d_misses = signedDelta(
+                static_cast<double>(p.llc_misses),
+                static_cast<double>(t.llc_misses));
+            t.d_miss_rate = t.missRate() - p.missRate();
+        }
+        prev_raw_[i] = raw;
+    }
+
+    const auto ddio = pqos_.ddioPoll();
+    sample.ddio_hits = ddio.hits - prev_ddio_.hits;
+    sample.ddio_misses = ddio.misses - prev_ddio_.misses;
+    if (have_history_) {
+        sample.d_ddio_hits = signedDelta(
+            static_cast<double>(prev_ddio_hits_delta_),
+            static_cast<double>(sample.ddio_hits));
+        sample.d_ddio_misses = signedDelta(
+            static_cast<double>(prev_ddio_misses_delta_),
+            static_cast<double>(sample.ddio_misses));
+    }
+    prev_ddio_ = ddio;
+    prev_ddio_hits_delta_ = sample.ddio_hits;
+    prev_ddio_misses_delta_ = sample.ddio_misses;
+    prev_sample_ = sample.tenants;
+    have_history_ = true;
+    return sample;
+}
+
+} // namespace iat::core

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The Poll Prof Data step (SS IV-B): per-tenant IPC and LLC
+ * reference/miss, chip-wide DDIO hit/miss, as interval deltas.
+ *
+ * The monitor keeps the previous raw counter snapshot and publishes
+ * per-interval deltas plus signed relative changes, which is exactly
+ * the form the stability gate and the FSM consume.
+ */
+
+#ifndef IATSIM_CORE_MONITOR_HH
+#define IATSIM_CORE_MONITOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tenant.hh"
+#include "rdt/pqos.hh"
+
+namespace iat::core {
+
+/** One tenant's interval measurements. */
+struct TenantSample
+{
+    double ipc = 0.0;
+    std::uint64_t llc_refs = 0;   ///< this interval
+    std::uint64_t llc_misses = 0; ///< this interval
+    std::uint64_t occupancy_bytes = 0;
+    std::uint64_t mbm_bytes = 0;
+
+    /** Signed relative change vs the previous interval. */
+    double d_ipc = 0.0;
+    double d_refs = 0.0;
+    double d_misses = 0.0;
+    double d_miss_rate = 0.0;
+
+    double
+    missRate() const
+    {
+        return llc_refs ? static_cast<double>(llc_misses) /
+                              static_cast<double>(llc_refs)
+                        : 0.0;
+    }
+};
+
+/** A full Poll Prof Data result. */
+struct SystemSample
+{
+    std::vector<TenantSample> tenants;
+    std::uint64_t ddio_hits = 0;   ///< this interval
+    std::uint64_t ddio_misses = 0; ///< this interval
+    double d_ddio_hits = 0.0;      ///< signed relative change
+    double d_ddio_misses = 0.0;
+    double interval_seconds = 0.0;
+
+    double
+    ddioMissesPerSecond() const
+    {
+        return interval_seconds > 0.0
+                   ? static_cast<double>(ddio_misses) /
+                         interval_seconds
+                   : 0.0;
+    }
+};
+
+/** Polls pqos for a fixed set of monitoring groups. */
+class Monitor
+{
+  public:
+    explicit Monitor(rdt::PqosSystem &pqos);
+
+    /**
+     * (Re-)create monitoring groups: tenant i gets RMID i+1 across
+     * its cores. Clears history.
+     */
+    void attach(const TenantRegistry &registry);
+
+    /**
+     * Poll all groups; @p dt is the time since the previous poll.
+     * The first poll after attach() reports zero deltas.
+     */
+    SystemSample poll(double dt);
+
+    std::size_t groupCount() const { return groups_.size(); }
+
+  private:
+    struct RawTenant
+    {
+        rdt::MonCounters counters;
+    };
+
+    rdt::PqosSystem &pqos_;
+    std::vector<rdt::MonGroup> groups_;
+    std::vector<rdt::MonCounters> prev_raw_;
+    rdt::DdioCounters prev_ddio_;
+    /** Previous interval's deltas, for relative-change computation. */
+    std::vector<TenantSample> prev_sample_;
+    std::uint64_t prev_ddio_hits_delta_ = 0;
+    std::uint64_t prev_ddio_misses_delta_ = 0;
+    bool have_history_ = false;
+};
+
+} // namespace iat::core
+
+#endif // IATSIM_CORE_MONITOR_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shuffle-order implementation.
+ */
+
+#include "core/shuffle.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace iat::core {
+
+std::vector<std::size_t>
+computeShuffleOrder(const std::vector<TenantSpec> &specs,
+                    const std::vector<TenantSample> &samples,
+                    const std::vector<std::size_t> &current_order,
+                    double hysteresis)
+{
+    IAT_ASSERT(specs.size() == samples.size() || samples.empty(),
+               "sample/spec size mismatch");
+
+    auto refs = [&](std::size_t t) -> double {
+        return samples.empty()
+                   ? 0.0
+                   : static_cast<double>(samples[t].llc_refs);
+    };
+    auto is_be = [&](std::size_t t) {
+        return specs[t].priority == TenantPriority::BestEffort;
+    };
+
+    std::vector<std::size_t> fixed; // PC + stack, bottom
+    std::vector<std::size_t> be;
+    for (std::size_t t = 0; t < specs.size(); ++t)
+        (is_be(t) ? be : fixed).push_back(t);
+
+    // BE tenants: largest LLC reference count lowest (furthest from
+    // DDIO); the least cache-hungry BE ends up on top.
+    std::stable_sort(be.begin(), be.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return refs(a) > refs(b);
+                     });
+
+    // Hysteresis: keep the incumbent sharer on top unless a clearly
+    // quieter BE tenant exists.
+    if (!be.empty() && !current_order.empty()) {
+        const std::size_t incumbent = current_order.back();
+        const auto it = std::find(be.begin(), be.end(), incumbent);
+        if (it != be.end() && be.back() != incumbent) {
+            const double challenger = refs(be.back());
+            if (challenger >= hysteresis * refs(incumbent)) {
+                be.erase(it);
+                be.push_back(incumbent);
+            }
+        }
+    }
+
+    std::vector<std::size_t> order = std::move(fixed);
+    order.insert(order.end(), be.begin(), be.end());
+    return order;
+}
+
+} // namespace iat::core

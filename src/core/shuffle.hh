@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shuffle-order computation (paper SS IV-D, second half).
+ *
+ * When core-I/O way sharing is unavoidable, IAT wants the tenant
+ * overlapping DDIO's ways to be (a) best-effort, never performance-
+ * critical, and (b) the BE tenant with the *least* LLC pressure, so
+ * that neither the tenant nor DDIO suffers much from the overlap.
+ * The allocator realizes this by segment order: the tenant placed on
+ * top is the one that shares; so the shuffle order is
+ *
+ *   [PC and stack tenants]  [BE by refs, descending]  <- top
+ *
+ * with hysteresis so measurement noise does not reshuffle every
+ * interval (a reshuffle is harmless for correctness -- lines remain
+ * readable in their old ways until evicted, Footnote 1 -- but mask
+ * churn costs register writes).
+ */
+
+#ifndef IATSIM_CORE_SHUFFLE_HH
+#define IATSIM_CORE_SHUFFLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/monitor.hh"
+#include "core/tenant.hh"
+
+namespace iat::core {
+
+/**
+ * Compute the bottom-to-top segment order.
+ *
+ * @param specs          Tenant descriptions (priority, io).
+ * @param samples        Last interval's measurements (LLC refs).
+ * @param current_order  Incumbent order, for hysteresis.
+ * @param hysteresis     Keep the incumbent top tenant unless some BE
+ *                       tenant's refs fall below this fraction of the
+ *                       incumbent's.
+ */
+std::vector<std::size_t> computeShuffleOrder(
+    const std::vector<TenantSpec> &specs,
+    const std::vector<TenantSample> &samples,
+    const std::vector<std::size_t> &current_order,
+    double hysteresis = 0.8);
+
+} // namespace iat::core
+
+#endif // IATSIM_CORE_SHUFFLE_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * TenantRegistry implementation, including the affiliation-file
+ * parser.
+ */
+
+#include "core/tenant.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace iat::core {
+
+const char *
+toString(TenantPriority priority)
+{
+    switch (priority) {
+      case TenantPriority::PerformanceCritical: return "PC";
+      case TenantPriority::BestEffort: return "BE";
+      case TenantPriority::SoftwareStack: return "stack";
+    }
+    return "?";
+}
+
+std::size_t
+TenantRegistry::add(TenantSpec spec)
+{
+    IAT_ASSERT(!spec.name.empty(), "tenant needs a name");
+    IAT_ASSERT(!spec.cores.empty(), "tenant '%s' needs cores",
+               spec.name.c_str());
+    IAT_ASSERT(spec.initial_ways >= 1,
+               "CAT requires at least one way for '%s'",
+               spec.name.c_str());
+    tenants_.push_back(std::move(spec));
+    dirty_ = true;
+    return tenants_.size() - 1;
+}
+
+namespace {
+
+std::vector<cache::CoreId>
+parseCores(const std::string &value, const std::string &line)
+{
+    std::vector<cache::CoreId> cores;
+    std::stringstream ss(value);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        char *end = nullptr;
+        const long core = std::strtol(item.c_str(), &end, 10);
+        if (end == item.c_str() || *end != '\0' || core < 0)
+            fatal("bad core list in tenant record '%s'", line.c_str());
+        cores.push_back(static_cast<cache::CoreId>(core));
+    }
+    return cores;
+}
+
+} // namespace
+
+std::size_t
+TenantRegistry::loadFromString(const std::string &text)
+{
+    std::size_t added = 0;
+    std::stringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::stringstream fields(line);
+        std::string name;
+        if (!(fields >> name))
+            continue; // blank line
+
+        TenantSpec spec;
+        spec.name = name;
+        std::string field;
+        while (fields >> field) {
+            const auto eq = field.find('=');
+            if (eq == std::string::npos)
+                fatal("bad field '%s' in tenant record", field.c_str());
+            const std::string key = field.substr(0, eq);
+            const std::string value = field.substr(eq + 1);
+            if (key == "cores") {
+                spec.cores = parseCores(value, line);
+            } else if (key == "ways") {
+                spec.initial_ways =
+                    static_cast<unsigned>(std::stoul(value));
+            } else if (key == "io") {
+                spec.is_io = (value == "1" || value == "true");
+            } else if (key == "prio") {
+                if (value == "pc")
+                    spec.priority = TenantPriority::PerformanceCritical;
+                else if (value == "be")
+                    spec.priority = TenantPriority::BestEffort;
+                else if (value == "stack")
+                    spec.priority = TenantPriority::SoftwareStack;
+                else
+                    fatal("bad priority '%s'", value.c_str());
+            } else {
+                fatal("unknown tenant field '%s'", key.c_str());
+            }
+        }
+        add(std::move(spec));
+        ++added;
+    }
+    return added;
+}
+
+std::size_t
+TenantRegistry::loadFromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open tenant file '%s'", path.c_str());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return loadFromString(buffer.str());
+}
+
+} // namespace iat::core

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tenant descriptions: the "Get Tenant Info" input of IAT (SS IV-A).
+ *
+ * IAT needs three things per tenant that hardware cannot tell it:
+ * which cores it owns, whether its workload is I/O ("networking"),
+ * and its priority (performance-critical vs best-effort; the
+ * aggregation model's software stack gets its own special priority).
+ * The paper keeps these records in a text file parsed by the daemon;
+ * the registry supports both that format and programmatic setup.
+ */
+
+#ifndef IATSIM_CORE_TENANT_HH
+#define IATSIM_CORE_TENANT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/types.hh"
+
+namespace iat::core {
+
+/** Workload priorities (SS IV-A). */
+enum class TenantPriority
+{
+    PerformanceCritical,
+    BestEffort,
+    /** The aggregation model's virtual switch: not a tenant, but IAT
+     *  keeps a record and a special priority for it. */
+    SoftwareStack,
+};
+
+const char *toString(TenantPriority priority);
+
+/** Static description of one tenant. */
+struct TenantSpec
+{
+    std::string name;
+    std::vector<cache::CoreId> cores;
+    bool is_io = false;
+    TenantPriority priority = TenantPriority::BestEffort;
+    /** Ways the tenant is given at LLC Alloc time. */
+    unsigned initial_ways = 2;
+};
+
+/** The daemon's tenant table. */
+class TenantRegistry
+{
+  public:
+    /** Add a tenant; returns its index. */
+    std::size_t add(TenantSpec spec);
+
+    /**
+     * Parse records of the form
+     *   name cores=0,1 ways=2 prio={pc|be|stack} io={0|1}
+     * one per line; '#' starts a comment. Returns tenants added.
+     * This is the model's version of the paper's affiliation file.
+     */
+    std::size_t loadFromString(const std::string &text);
+    std::size_t loadFromFile(const std::string &path);
+
+    std::size_t size() const { return tenants_.size(); }
+    const TenantSpec &operator[](std::size_t i) const
+    {
+        return tenants_[i];
+    }
+    const std::vector<TenantSpec> &tenants() const { return tenants_; }
+
+    /** Mark changed; the daemon re-runs Get Tenant Info next tick. */
+    void markDirty() { dirty_ = true; }
+    bool consumeDirty()
+    {
+        const bool was = dirty_;
+        dirty_ = false;
+        return was;
+    }
+
+  private:
+    std::vector<TenantSpec> tenants_;
+    bool dirty_ = true;
+};
+
+} // namespace iat::core
+
+#endif // IATSIM_CORE_TENANT_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * DramModel implementation.
+ */
+
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+namespace iat::mem {
+
+std::uint64_t
+DramCounters::totalReadBytes() const
+{
+    std::uint64_t total = 0;
+    for (auto b : read_bytes)
+        total += b;
+    return total;
+}
+
+std::uint64_t
+DramCounters::totalWriteBytes() const
+{
+    std::uint64_t total = 0;
+    for (auto b : write_bytes)
+        total += b;
+    return total;
+}
+
+DramModel::DramModel(const DramConfig &cfg) : cfg_(cfg) {}
+
+double
+DramModel::read(std::uint64_t bytes, DramSource source)
+{
+    counters_.read_bytes[static_cast<unsigned>(source)] += bytes;
+    window_bytes_ += bytes;
+    return currentLatencyCycles();
+}
+
+void
+DramModel::write(std::uint64_t bytes, DramSource source)
+{
+    counters_.write_bytes[static_cast<unsigned>(source)] += bytes;
+    window_bytes_ += bytes;
+}
+
+double
+DramModel::currentLatencyCycles() const
+{
+    const double u = std::min(utilization_, 1.5);
+    return cfg_.base_latency_cycles * (1.0 + cfg_.congestion_k * u * u);
+}
+
+void
+DramModel::advanceTime(double seconds)
+{
+    if (seconds <= 0.0)
+        return;
+    const double rate =
+        static_cast<double>(window_bytes_) / seconds;
+    const double u = rate / cfg_.peak_bandwidth_bytes_per_s;
+    // EWMA over quanta: reacts in a handful of windows.
+    utilization_ = 0.5 * utilization_ + 0.5 * u;
+    window_bytes_ = 0;
+}
+
+} // namespace iat::mem

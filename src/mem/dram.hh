@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Main-memory model: latency plus bandwidth accounting.
+ *
+ * The paper's Leaky DMA experiments are judged partly by memory
+ * read/write bandwidth (Fig 8c), so DRAM traffic is accounted
+ * per-interval by source. Latency uses a fixed row-access cost plus a
+ * congestion term that grows with utilization of the six DDR4-2666
+ * channels (Tab I): once the interconnect saturates, every extra
+ * access hurts, which is the second-order effect the paper attributes
+ * to networking apps "also consuming memory bandwidth".
+ */
+
+#ifndef IATSIM_MEM_DRAM_HH
+#define IATSIM_MEM_DRAM_HH
+
+#include <cstdint>
+
+#include "util/units.hh"
+
+namespace iat::mem {
+
+/** What generated a DRAM transaction, for per-source accounting. */
+enum class DramSource : unsigned
+{
+    CoreDemand = 0, ///< demand fills for core misses
+    Writeback,      ///< dirty LLC victims
+    DeviceDma,      ///< inbound/outbound DMA that bypassed the LLC
+    NumSources
+};
+
+/** Monotonic byte counters per source and direction. */
+struct DramCounters
+{
+    std::uint64_t read_bytes[static_cast<unsigned>(
+        DramSource::NumSources)] = {};
+    std::uint64_t write_bytes[static_cast<unsigned>(
+        DramSource::NumSources)] = {};
+
+    std::uint64_t totalReadBytes() const;
+    std::uint64_t totalWriteBytes() const;
+};
+
+/** Configuration of the memory model. */
+struct DramConfig
+{
+    /** Idle access latency in core cycles (~87 ns at 2.3 GHz). */
+    double base_latency_cycles = 200.0;
+    /** Peak bandwidth: six DDR4-2666 channels ~= 128 GB/s. */
+    double peak_bandwidth_bytes_per_s = 128.0e9;
+    /** Congestion shaping: latency *= 1 + k * U^2, U = utilization. */
+    double congestion_k = 2.0;
+};
+
+/**
+ * DRAM with utilization-dependent latency.
+ *
+ * Utilization is an EWMA of the byte rate observed through
+ * advanceTime(), so congestion reacts within a few quanta rather than
+ * instantaneously.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &cfg = {});
+
+    /** Record a read of @p bytes and return its latency in cycles. */
+    double read(std::uint64_t bytes, DramSource source);
+
+    /** Record a write of @p bytes (posted; no latency returned). */
+    void write(std::uint64_t bytes, DramSource source);
+
+    /** Current access latency in cycles given observed utilization. */
+    double currentLatencyCycles() const;
+
+    /** Fractional bandwidth utilization in [0, ~1+]. */
+    double utilization() const { return utilization_; }
+
+    /**
+     * Advance the utilization window by @p seconds of simulated time;
+     * call once per simulation quantum.
+     */
+    void advanceTime(double seconds);
+
+    const DramCounters &counters() const { return counters_; }
+    const DramConfig &config() const { return cfg_; }
+
+  private:
+    DramConfig cfg_;
+    DramCounters counters_;
+    std::uint64_t window_bytes_ = 0;
+    double utilization_ = 0.0;
+};
+
+} // namespace iat::mem
+
+#endif // IATSIM_MEM_DRAM_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * NicQueue implementation.
+ */
+
+#include "net/nic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace iat::net {
+
+NicQueue::NicQueue(sim::Platform &platform, cache::DeviceId dev,
+                   const std::string &name,
+                   const TrafficConfig &traffic,
+                   std::uint32_t ring_entries, double pool_factor,
+                   std::uint64_t seed)
+    : platform_(platform), dev_(dev), name_(name),
+      traffic_(traffic, seed),
+      rx_ring_(ring_entries, name + ".rx"),
+      pool_(platform.addressSpace(), name + ".pool",
+            std::max<std::uint32_t>(
+                4, static_cast<std::uint32_t>(
+                       std::lround(ring_entries * pool_factor))),
+            // DPDK's default 2 KiB mbuf data room: big enough for any
+            // frame the experiments generate, including mid-run
+            // packet-size changes.
+            2048),
+      next_arrival_(traffic_.nextGap())
+{
+}
+
+void
+NicQueue::deliverOne(double now)
+{
+    next_arrival_ = now + traffic_.nextGap();
+    if (!active_)
+        return;
+
+    const std::uint32_t bytes = traffic_.config().frame_bytes;
+
+    if (rx_ring_.size() >= rx_ring_.capacity()) {
+        // No posted descriptor: the MAC drops the frame before DMA.
+        ++rx_stats_.drops_ring_full;
+        return;
+    }
+    std::uint32_t buf = 0;
+    if (!pool_.acquire(buf)) {
+        ++rx_stats_.drops_no_buffer;
+        return;
+    }
+
+    Packet pkt;
+    pkt.addr = pool_.bufAddr(buf);
+    pkt.bytes = bytes;
+    pkt.flow = traffic_.nextFlow();
+    pkt.arrival = now;
+    pkt.dev = dev_;
+    pkt.pool = &pool_;
+    pkt.buf = buf;
+
+    if (header_split_bytes_ > 0) {
+        platform_.dmaWriteSplit(dev_, pkt.addr, pkt.bytes,
+                                header_split_bytes_);
+    } else {
+        platform_.dmaWrite(dev_, pkt.addr, pkt.bytes);
+    }
+    const bool pushed = rx_ring_.push(pkt, now);
+    IAT_ASSERT(pushed, "ring overflowed after capacity check");
+    ++rx_stats_.rx_packets;
+    rx_stats_.rx_bytes += bytes;
+}
+
+void
+NicQueue::transmit(Packet &pkt, double now)
+{
+    platform_.dmaRead(dev_, pkt.addr, pkt.bytes);
+    ++tx_stats_.tx_packets;
+    tx_stats_.tx_bytes += pkt.bytes;
+    latency_.add(now - pkt.arrival);
+    if (pkt.pool != nullptr)
+        pkt.pool->release(pkt.buf);
+    pkt.pool = nullptr;
+}
+
+void
+NicQueue::dropForwardFailure(Packet &pkt)
+{
+    if (pkt.pool != nullptr)
+        pkt.pool->release(pkt.buf);
+    pkt.pool = nullptr;
+}
+
+void
+NicQueue::resetStats()
+{
+    rx_stats_ = {};
+    tx_stats_ = {};
+    latency_.reset();
+}
+
+} // namespace iat::net

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * PacketPipeline / Stage implementation.
+ */
+
+#include "net/pipeline.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace iat::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+} // namespace
+
+Stage::Stage(sim::Platform &platform, cache::CoreId core,
+             PacketHandler &handler, std::vector<Ring *> inputs,
+             std::string name, double idle_ipc)
+    : platform_(platform), core_(core), handler_(handler),
+      inputs_(std::move(inputs)), name_(std::move(name)),
+      idle_ipc_(idle_ipc)
+{
+    IAT_ASSERT(!inputs_.empty(), "stage '%s' has no inputs",
+               name_.c_str());
+    free_at_ = acct_until_ = platform_.now();
+}
+
+double
+Stage::nextActionTime() const
+{
+    double earliest_pkt = kInf;
+    for (const auto *ring : inputs_) {
+        if (!ring->empty())
+            earliest_pkt = std::min(earliest_pkt, ring->headReady());
+    }
+    if (earliest_pkt == kInf)
+        return kInf;
+    return std::max(free_at_, earliest_pkt);
+}
+
+void
+Stage::accountIdle(double t)
+{
+    if (t <= acct_until_)
+        return;
+    // Busy span first: its instructions were retired at dispatch.
+    if (acct_until_ < free_at_) {
+        acct_until_ = std::min(free_at_, t);
+        if (acct_until_ >= t)
+            return;
+    }
+    const double idle = t - acct_until_;
+    const double hz = platform_.config().core_hz;
+    platform_.retire(core_, static_cast<std::uint64_t>(
+                                idle * hz * idle_ipc_));
+    acct_until_ = t;
+}
+
+void
+Stage::serviceOne(double now)
+{
+    // Earliest-arrived packet across inputs; round-robin tie-break so
+    // no ring starves under synchronized timestamps.
+    Ring *best = nullptr;
+    double best_ready = kInf;
+    const std::size_t n = inputs_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+        Ring *ring = inputs_[(rr_ + k) % n];
+        if (ring->empty())
+            continue;
+        if (ring->headReady() < best_ready) {
+            best_ready = ring->headReady();
+            best = ring;
+        }
+    }
+    IAT_ASSERT(best != nullptr, "serviceOne on starved stage '%s'",
+               name_.c_str());
+    rr_ = (rr_ + 1) % n;
+
+    accountIdle(now);
+    Packet pkt = best->pop();
+    const auto outcome = handler_.process(pkt, now);
+    IAT_ASSERT(outcome.cycles > 0.0,
+               "handler returned non-positive service time");
+    const double service = outcome.cycles / platform_.config().core_hz;
+    free_at_ = now + service;
+    busy_seconds_ += service;
+    ++packets_;
+    platform_.retire(core_, outcome.instructions);
+}
+
+void
+Stage::resetStats()
+{
+    packets_ = 0;
+    busy_seconds_ = 0.0;
+}
+
+void
+PacketPipeline::addSource(NicQueue *queue)
+{
+    IAT_ASSERT(queue != nullptr, "null source");
+    sources_.push_back(queue);
+}
+
+Stage &
+PacketPipeline::addStage(cache::CoreId core, PacketHandler &handler,
+                         std::vector<Ring *> inputs, std::string name,
+                         double idle_ipc)
+{
+    stages_.push_back(std::make_unique<Stage>(
+        platform_, core, handler, std::move(inputs), std::move(name),
+        idle_ipc));
+    return *stages_.back();
+}
+
+void
+PacketPipeline::runQuantum(double t_start, double dt)
+{
+    const double t_end = t_start + dt;
+    for (;;) {
+        // Find the earliest actionable event across sources/stages.
+        double best_t = t_end;
+        NicQueue *src = nullptr;
+        Stage *stage = nullptr;
+        for (auto *queue : sources_) {
+            if (queue->nextArrival() < best_t) {
+                best_t = queue->nextArrival();
+                src = queue;
+                stage = nullptr;
+            }
+        }
+        for (auto &st : stages_) {
+            const double t = st->nextActionTime();
+            if (t < best_t) {
+                best_t = t;
+                stage = st.get();
+                src = nullptr;
+            }
+        }
+        if (src == nullptr && stage == nullptr)
+            break;
+        if (src != nullptr)
+            src->deliverOne(best_t);
+        else
+            stage->serviceOne(best_t);
+    }
+    for (auto &st : stages_)
+        st->accountIdle(t_end);
+}
+
+} // namespace iat::net

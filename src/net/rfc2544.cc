@@ -1,0 +1,40 @@
+/**
+ * @file
+ * RFC 2544 search implementation.
+ */
+
+#include "net/rfc2544.hh"
+
+#include "util/logging.hh"
+
+namespace iat::net {
+
+double
+rfc2544Search(const TrialFn &trial, const Rfc2544Config &cfg)
+{
+    IAT_ASSERT(cfg.min_rate_pps > 0.0 &&
+               cfg.max_rate_pps > cfg.min_rate_pps,
+               "bad RFC2544 rate bounds");
+
+    // Fast paths: line rate passes, or even the floor fails.
+    if (trial(cfg.max_rate_pps).zeroLoss())
+        return cfg.max_rate_pps;
+    if (!trial(cfg.min_rate_pps).zeroLoss())
+        return 0.0;
+
+    double lo = cfg.min_rate_pps; // known zero-loss
+    double hi = cfg.max_rate_pps; // known lossy
+    unsigned trials = 2;
+    while (trials < cfg.max_trials &&
+           (hi - lo) / hi > cfg.resolution) {
+        const double mid = 0.5 * (lo + hi);
+        if (trial(mid).zeroLoss())
+            lo = mid;
+        else
+            hi = mid;
+        ++trials;
+    }
+    return lo;
+}
+
+} // namespace iat::net

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * RFC 2544 zero-loss throughput search.
+ *
+ * The paper's Fig 3 runs "an RFC2544 test (measure the maximum
+ * throughput when there is zero packet drop)". The standard procedure
+ * is a binary search over the offered rate: each trial offers a fixed
+ * rate for a trial period and passes iff no frame is lost. We expose
+ * the search generically over a trial callback so each bench can
+ * construct a fresh scenario per trial (state from an overloaded
+ * trial must not leak into the next).
+ */
+
+#ifndef IATSIM_NET_RFC2544_HH
+#define IATSIM_NET_RFC2544_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace iat::net {
+
+/** Outcome of one constant-rate trial. */
+struct TrialResult
+{
+    std::uint64_t offered = 0;   ///< frames the generator emitted
+    std::uint64_t delivered = 0; ///< frames that completed Tx
+    std::uint64_t dropped = 0;   ///< frames lost anywhere
+
+    bool zeroLoss() const { return dropped == 0; }
+};
+
+/** Runs one trial at @p rate_pps and reports losses. */
+using TrialFn = std::function<TrialResult(double rate_pps)>;
+
+/** Search configuration. */
+struct Rfc2544Config
+{
+    double min_rate_pps = 1e4;
+    double max_rate_pps = 150e6;
+    /** Terminate when hi/lo converge within this fraction. */
+    double resolution = 0.02;
+    /** Hard cap on trials (binary search needs ~log2(range)). */
+    unsigned max_trials = 24;
+};
+
+/**
+ * Binary-search the highest zero-loss rate. Returns 0 when even
+ * min_rate_pps loses frames.
+ */
+double rfc2544Search(const TrialFn &trial, const Rfc2544Config &cfg);
+
+} // namespace iat::net
+
+#endif // IATSIM_NET_RFC2544_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Descriptor rings connecting pipeline stages.
+ *
+ * Rings model both NIC Rx/Tx queues and the virtio/vhost queues
+ * between the virtual switch and its tenants. Capacity is mutable so
+ * the ResQ baseline (paper SS III-A) can shrink Rx rings at set-up.
+ */
+
+#ifndef IATSIM_NET_RING_HH
+#define IATSIM_NET_RING_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "net/packet.hh"
+#include "util/logging.hh"
+
+namespace iat::net {
+
+/** A bounded FIFO of packet descriptors with arrival timestamps. */
+class Ring
+{
+  public:
+    explicit Ring(std::uint32_t capacity, std::string name = "ring")
+        : capacity_(capacity), name_(std::move(name))
+    {
+        IAT_ASSERT(capacity >= 1, "ring '%s' needs capacity >= 1",
+                   name_.c_str());
+    }
+
+    /** Enqueue at @p now; false (and a drop count) when full. */
+    bool
+    push(const Packet &pkt, double now)
+    {
+        if (entries_.size() >= capacity_) {
+            ++drops_;
+            return false;
+        }
+        entries_.push_back(Entry{pkt, now});
+        ++pushes_;
+        return true;
+    }
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+    std::uint32_t capacity() const { return capacity_; }
+
+    /** Time the head entry became available; empty() must be false. */
+    double
+    headReady() const
+    {
+        IAT_ASSERT(!entries_.empty(), "headReady on empty ring");
+        return entries_.front().ready;
+    }
+
+    /** Dequeue the head; empty() must be false. */
+    Packet
+    pop()
+    {
+        IAT_ASSERT(!entries_.empty(), "pop on empty ring");
+        Packet pkt = entries_.front().pkt;
+        entries_.pop_front();
+        return pkt;
+    }
+
+    /** Resize (ResQ-style); existing overflow entries are kept. */
+    void setCapacity(std::uint32_t capacity)
+    {
+        IAT_ASSERT(capacity >= 1, "ring capacity must be >= 1");
+        capacity_ = capacity;
+    }
+
+    std::uint64_t drops() const { return drops_; }
+    std::uint64_t pushes() const { return pushes_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry
+    {
+        Packet pkt;
+        double ready;
+    };
+
+    std::uint32_t capacity_;
+    std::string name_;
+    std::deque<Entry> entries_;
+    std::uint64_t drops_ = 0;
+    std::uint64_t pushes_ = 0;
+};
+
+} // namespace iat::net
+
+#endif // IATSIM_NET_RING_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Emulated model-specific-register bus.
+ *
+ * IAT is implemented, as in the paper, against MSRs: IA32_PQR_ASSOC
+ * for CLOS/RMID association, IA32_L3_QOS_MASK_n for CAT bitmasks, the
+ * IIO "LLC WAYS" register for the DDIO mask, IA32_QM_* for CMT/MBM,
+ * fixed counters for IPC, and uncore CHA counters for DDIO hit/miss.
+ *
+ * The bus does three jobs: (1) gives the rdt layer the same register-
+ * level surface the authors' iat-pqos fork programs, so the daemon
+ * code shape survives a port to real hardware; (2) validates values at
+ * the same point real hardware #GPs; (3) counts accesses, because the
+ * paper's Fig 15 overhead is dominated by ring-0 register access cost
+ * and the overhead bench reproduces it from these counts plus a
+ * calibrated per-access delay.
+ */
+
+#ifndef IATSIM_RDT_MSR_HH
+#define IATSIM_RDT_MSR_HH
+
+#include <cstdint>
+
+#include "cache/types.hh"
+
+namespace iat::rdt {
+
+/** Architectural and model MSR addresses used by the model. */
+namespace msr_addr {
+
+constexpr std::uint32_t IA32_QM_EVTSEL = 0xC8D;
+constexpr std::uint32_t IA32_QM_CTR = 0xC8E;
+constexpr std::uint32_t IA32_PQR_ASSOC = 0xC8F;
+constexpr std::uint32_t IA32_L3_QOS_MASK_0 = 0xC90; // ..0xC9F
+constexpr std::uint32_t IA32_FIXED_CTR0 = 0x309;    // inst retired
+constexpr std::uint32_t IA32_FIXED_CTR1 = 0x30A;    // core cycles
+
+/**
+ * Programmable-counter stand-ins, pre-wired to the two events pqos
+ * programs for us: LONGEST_LAT_CACHE.REFERENCE and .MISS.
+ */
+constexpr std::uint32_t PMC_LLC_REFERENCE = 0x30B;
+constexpr std::uint32_t PMC_LLC_MISS = 0x30C;
+
+/**
+ * The IIO LLC WAYS register controlling DDIO's way mask; exposed by
+ * the authors' enhanced pqos library. 0xC8B on Skylake-SP.
+ */
+constexpr std::uint32_t IIO_LLC_WAYS = 0xC8B;
+
+/**
+ * Hypothetical per-device DDIO way registers (paper SS VII's
+ * "device-aware DDIO"): base + dev. Writing 0 reverts the device to
+ * the chip-wide IIO_LLC_WAYS mask.
+ */
+constexpr std::uint32_t IIO_LLC_WAYS_DEV_BASE = 0xD00;
+
+/**
+ * Synthetic uncore CHA counter block: per-slice pairs
+ * (base + slice*stride + 0) = DDIO misses (write allocate),
+ * (base + slice*stride + 1) = DDIO hits   (write update),
+ * (base + slice*stride + 2) = all lookups.
+ */
+constexpr std::uint32_t CHA_CTR_BASE = 0x0E00;
+constexpr std::uint32_t CHA_CTR_STRIDE = 0x10;
+
+} // namespace msr_addr
+
+/** QM_EVTSEL event ids (per the RDT architecture). */
+enum class QmEvent : std::uint32_t
+{
+    LlcOccupancy = 0x1,
+    MbmTotal = 0x2,
+    MbmLocal = 0x3,
+};
+
+/**
+ * Interface the platform implements so the MSR bus can source core
+ * telemetry (fixed counters) and MBM byte counts.
+ */
+class CoreTelemetrySource
+{
+  public:
+    virtual ~CoreTelemetrySource() = default;
+
+    virtual std::uint64_t instructionsRetired(cache::CoreId core)
+        const = 0;
+    virtual std::uint64_t cyclesElapsed(cache::CoreId core) const = 0;
+    virtual std::uint64_t mbmBytes(cache::RmidId rmid) const = 0;
+};
+
+class MsrBus; // defined in msr_bus.hh to keep this header light
+
+} // namespace iat::rdt
+
+#endif // IATSIM_RDT_MSR_HH

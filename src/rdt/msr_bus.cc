@@ -1,0 +1,153 @@
+/**
+ * @file
+ * MsrBus implementation.
+ */
+
+#include "rdt/msr_bus.hh"
+
+#include "util/logging.hh"
+
+namespace iat::rdt {
+
+using cache::WayMask;
+
+MsrBus::MsrBus(cache::SlicedLlc &llc,
+               const CoreTelemetrySource &telemetry)
+    : llc_(llc), telemetry_(telemetry)
+{
+    qm_sel_.resize(llc_.numCores());
+}
+
+std::uint64_t
+MsrBus::read(cache::CoreId core, std::uint32_t addr)
+{
+    IAT_ASSERT(core < llc_.numCores(), "rdmsr on unknown core %u", core);
+    ++reads_;
+
+    using namespace msr_addr;
+
+    if (addr == IA32_PQR_ASSOC) {
+        return (static_cast<std::uint64_t>(llc_.coreClos(core)) << 32) |
+               llc_.coreRmid(core);
+    }
+    if (addr >= IA32_L3_QOS_MASK_0 &&
+        addr < IA32_L3_QOS_MASK_0 + cache::SlicedLlc::numClos) {
+        return llc_.closMask(
+            static_cast<cache::ClosId>(addr - IA32_L3_QOS_MASK_0))
+            .bits();
+    }
+    if (addr == IIO_LLC_WAYS)
+        return llc_.ddioMask().bits();
+    if (addr >= IIO_LLC_WAYS_DEV_BASE &&
+        addr < IIO_LLC_WAYS_DEV_BASE + 8) {
+        return llc_
+            .deviceDdioMask(static_cast<cache::DeviceId>(
+                addr - IIO_LLC_WAYS_DEV_BASE))
+            .bits();
+    }
+    if (addr == IA32_QM_EVTSEL) {
+        const auto &sel = qm_sel_[core];
+        return (static_cast<std::uint64_t>(sel.rmid) << 32) |
+               static_cast<std::uint32_t>(sel.event);
+    }
+    if (addr == IA32_QM_CTR) {
+        const auto &sel = qm_sel_[core];
+        switch (sel.event) {
+          case QmEvent::LlcOccupancy:
+            // Reported in lines; pqos converts with the scale factor.
+            return llc_.rmidLines(sel.rmid);
+          case QmEvent::MbmTotal:
+          case QmEvent::MbmLocal:
+            // Single-socket model: local == total.
+            return telemetry_.mbmBytes(sel.rmid);
+        }
+        panic("unreachable QM event");
+    }
+    if (addr == IA32_FIXED_CTR0)
+        return telemetry_.instructionsRetired(core);
+    if (addr == IA32_FIXED_CTR1)
+        return telemetry_.cyclesElapsed(core);
+    if (addr == PMC_LLC_REFERENCE)
+        return llc_.coreCounters(core).llc_refs;
+    if (addr == PMC_LLC_MISS)
+        return llc_.coreCounters(core).llc_misses;
+
+    if (addr >= CHA_CTR_BASE) {
+        const std::uint32_t off = addr - CHA_CTR_BASE;
+        const unsigned slice = off / CHA_CTR_STRIDE;
+        const unsigned ctr = off % CHA_CTR_STRIDE;
+        if (slice < llc_.geometry().num_slices && ctr <= 2) {
+            const auto &c = llc_.sliceCounters(slice);
+            switch (ctr) {
+              case 0: return c.ddio_misses;
+              case 1: return c.ddio_hits;
+              case 2: return c.lookups;
+            }
+        }
+    }
+
+    panic("rdmsr: unimplemented MSR 0x%x", addr);
+}
+
+void
+MsrBus::write(cache::CoreId core, std::uint32_t addr,
+              std::uint64_t value)
+{
+    IAT_ASSERT(core < llc_.numCores(), "wrmsr on unknown core %u", core);
+    ++writes_;
+
+    using namespace msr_addr;
+
+    if (addr == IA32_PQR_ASSOC) {
+        const auto clos = static_cast<cache::ClosId>(value >> 32);
+        const auto rmid =
+            static_cast<cache::RmidId>(value & 0xffffffffu);
+        IAT_ASSERT(clos < cache::SlicedLlc::numClos,
+                   "PQR_ASSOC CLOS out of range");
+        IAT_ASSERT(rmid < cache::SlicedLlc::numRmids,
+                   "PQR_ASSOC RMID out of range");
+        llc_.assocCoreClos(core, clos);
+        llc_.assocCoreRmid(core, rmid);
+        return;
+    }
+    if (addr >= IA32_L3_QOS_MASK_0 &&
+        addr < IA32_L3_QOS_MASK_0 + cache::SlicedLlc::numClos) {
+        // setClosMask validates the CBM exactly like the #GP path.
+        llc_.setClosMask(
+            static_cast<cache::ClosId>(addr - IA32_L3_QOS_MASK_0),
+            WayMask{static_cast<std::uint32_t>(value)});
+        return;
+    }
+    if (addr == IIO_LLC_WAYS) {
+        llc_.setDdioMask(WayMask{static_cast<std::uint32_t>(value)});
+        return;
+    }
+    if (addr >= IIO_LLC_WAYS_DEV_BASE &&
+        addr < IIO_LLC_WAYS_DEV_BASE + 8) {
+        const auto dev = static_cast<cache::DeviceId>(
+            addr - IIO_LLC_WAYS_DEV_BASE);
+        if (value == 0)
+            llc_.clearDeviceDdioMask(dev);
+        else
+            llc_.setDeviceDdioMask(
+                dev, WayMask{static_cast<std::uint32_t>(value)});
+        return;
+    }
+    if (addr == IA32_QM_EVTSEL) {
+        const auto event =
+            static_cast<QmEvent>(value & 0xffffffffu);
+        const auto rmid = static_cast<cache::RmidId>(value >> 32);
+        IAT_ASSERT(event == QmEvent::LlcOccupancy ||
+                   event == QmEvent::MbmTotal ||
+                   event == QmEvent::MbmLocal,
+                   "unknown QM event");
+        IAT_ASSERT(rmid < cache::SlicedLlc::numRmids,
+                   "QM_EVTSEL RMID out of range");
+        qm_sel_[core] = {event, rmid};
+        return;
+    }
+
+    panic("wrmsr: unimplemented or read-only MSR 0x%x", addr);
+}
+
+} // namespace iat::rdt

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The MSR bus implementation: routes rdmsr/wrmsr to the LLC model and
+ * telemetry sources, with access accounting.
+ */
+
+#ifndef IATSIM_RDT_MSR_BUS_HH
+#define IATSIM_RDT_MSR_BUS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/llc.hh"
+#include "rdt/msr.hh"
+
+namespace iat::rdt {
+
+/**
+ * Emulated rdmsr/wrmsr endpoint.
+ *
+ * Reads and writes are validated like hardware: out-of-range CLOS,
+ * non-contiguous CAT masks or unknown addresses raise a model fault
+ * (panic), mirroring the #GP a real wrmsr would take.
+ */
+class MsrBus
+{
+  public:
+    MsrBus(cache::SlicedLlc &llc, const CoreTelemetrySource &telemetry);
+
+    /** Emulate rdmsr on @p core. */
+    std::uint64_t read(cache::CoreId core, std::uint32_t addr);
+
+    /** Emulate wrmsr on @p core. */
+    void write(cache::CoreId core, std::uint32_t addr,
+               std::uint64_t value);
+
+    /// @name Access accounting (drives the Fig 15 overhead model)
+    /// @{
+    std::uint64_t readCount() const { return reads_; }
+    std::uint64_t writeCount() const { return writes_; }
+    void resetAccessCounts() { reads_ = writes_ = 0; }
+    /// @}
+
+  private:
+    cache::SlicedLlc &llc_;
+    const CoreTelemetrySource &telemetry_;
+
+    /** Per-core QM_EVTSEL latch: {event, rmid}. */
+    struct QmSelection
+    {
+        QmEvent event = QmEvent::LlcOccupancy;
+        cache::RmidId rmid = 0;
+    };
+    std::vector<QmSelection> qm_sel_;
+
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+} // namespace iat::rdt
+
+#endif // IATSIM_RDT_MSR_BUS_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * PqosSystem implementation: everything funnels through MsrBus, so
+ * the Fig 15 overhead accounting sees exactly the register traffic a
+ * real deployment would issue.
+ */
+
+#include "rdt/pqos.hh"
+
+#include "util/logging.hh"
+
+namespace iat::rdt {
+
+using namespace msr_addr;
+
+PqosSystem::PqosSystem(MsrBus &bus, unsigned num_slices,
+                       unsigned line_bytes, unsigned l3_num_ways)
+    : bus_(bus), num_slices_(num_slices), line_bytes_(line_bytes),
+      l3_num_ways_(l3_num_ways)
+{
+    IAT_ASSERT(num_slices_ >= 1, "need at least one slice");
+    IAT_ASSERT(l3_num_ways_ >= 2, "implausible LLC associativity");
+}
+
+void
+PqosSystem::l3caSet(cache::ClosId clos, cache::WayMask mask)
+{
+    bus_.write(0, IA32_L3_QOS_MASK_0 + clos, mask.bits());
+}
+
+cache::WayMask
+PqosSystem::l3caGet(cache::ClosId clos)
+{
+    return cache::WayMask{static_cast<std::uint32_t>(
+        bus_.read(0, IA32_L3_QOS_MASK_0 + clos))};
+}
+
+void
+PqosSystem::allocAssocSet(cache::CoreId core, cache::ClosId clos)
+{
+    // Read-modify-write preserves the RMID half of PQR_ASSOC, like
+    // the real library does.
+    const std::uint64_t prev = bus_.read(core, IA32_PQR_ASSOC);
+    const std::uint64_t next =
+        (static_cast<std::uint64_t>(clos) << 32) |
+        (prev & 0xffffffffull);
+    bus_.write(core, IA32_PQR_ASSOC, next);
+}
+
+cache::ClosId
+PqosSystem::allocAssocGet(cache::CoreId core)
+{
+    return static_cast<cache::ClosId>(
+        bus_.read(core, IA32_PQR_ASSOC) >> 32);
+}
+
+MonGroup
+PqosSystem::monStart(std::vector<cache::CoreId> cores,
+                     cache::RmidId rmid)
+{
+    for (auto core : cores) {
+        const std::uint64_t prev = bus_.read(core, IA32_PQR_ASSOC);
+        const std::uint64_t next =
+            (prev & ~0xffffffffull) | rmid;
+        bus_.write(core, IA32_PQR_ASSOC, next);
+    }
+    return MonGroup{std::move(cores), rmid};
+}
+
+MonCounters
+PqosSystem::monPoll(const MonGroup &group)
+{
+    MonCounters out;
+    for (auto core : group.cores) {
+        out.instructions += bus_.read(core, IA32_FIXED_CTR0);
+        out.cycles += bus_.read(core, IA32_FIXED_CTR1);
+        out.llc_refs += bus_.read(core, PMC_LLC_REFERENCE);
+        out.llc_misses += bus_.read(core, PMC_LLC_MISS);
+    }
+    // Occupancy and MBM are RMID-scoped; one QM_EVTSEL/QM_CTR pair
+    // each, issued from the group's first core.
+    const cache::CoreId qcore = group.cores.empty() ? 0 : group.cores[0];
+    bus_.write(qcore, IA32_QM_EVTSEL,
+               (static_cast<std::uint64_t>(group.rmid) << 32) |
+                   static_cast<std::uint32_t>(QmEvent::LlcOccupancy));
+    out.llc_occupancy_bytes =
+        bus_.read(qcore, IA32_QM_CTR) * line_bytes_;
+    bus_.write(qcore, IA32_QM_EVTSEL,
+               (static_cast<std::uint64_t>(group.rmid) << 32) |
+                   static_cast<std::uint32_t>(QmEvent::MbmLocal));
+    out.mbm_bytes = bus_.read(qcore, IA32_QM_CTR);
+    return out;
+}
+
+cache::WayMask
+PqosSystem::ddioGetWays()
+{
+    return cache::WayMask{
+        static_cast<std::uint32_t>(bus_.read(0, IIO_LLC_WAYS))};
+}
+
+void
+PqosSystem::ddioSetWays(cache::WayMask mask)
+{
+    bus_.write(0, IIO_LLC_WAYS, mask.bits());
+}
+
+void
+PqosSystem::ddioSetDeviceWays(cache::DeviceId dev,
+                              cache::WayMask mask)
+{
+    bus_.write(0, IIO_LLC_WAYS_DEV_BASE + dev, mask.bits());
+}
+
+cache::WayMask
+PqosSystem::ddioGetDeviceWays(cache::DeviceId dev)
+{
+    return cache::WayMask{static_cast<std::uint32_t>(
+        bus_.read(0, IIO_LLC_WAYS_DEV_BASE + dev))};
+}
+
+DdioCounters
+PqosSystem::ddioPoll()
+{
+    // Paper SSV: read one CHA's counters and multiply by the slice
+    // count; the LLC address hash distributes DDIO traffic evenly.
+    DdioCounters out;
+    out.misses = bus_.read(0, CHA_CTR_BASE + 0) * num_slices_;
+    out.hits = bus_.read(0, CHA_CTR_BASE + 1) * num_slices_;
+    return out;
+}
+
+DdioCounters
+PqosSystem::ddioPollExact()
+{
+    DdioCounters out;
+    for (unsigned s = 0; s < num_slices_; ++s) {
+        out.misses += bus_.read(0, CHA_CTR_BASE + s * CHA_CTR_STRIDE);
+        out.hits +=
+            bus_.read(0, CHA_CTR_BASE + s * CHA_CTR_STRIDE + 1);
+    }
+    return out;
+}
+
+} // namespace iat::rdt

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * pqos-flavoured facade over the emulated RDT hardware.
+ *
+ * This is the model's equivalent of the authors' released iat-pqos
+ * library: the standard pqos surface (CAT allocation, CLOS
+ * association, monitoring groups for IPC / LLC ref+miss / occupancy /
+ * MBM) extended with the DDIO way-mask get/set and chip-wide DDIO
+ * hit/miss monitoring that the stock library lacks.
+ *
+ * As in the paper's implementation section, DDIO statistics are read
+ * from the CHA counters of a single slice and scaled by the slice
+ * count; the address hash spreads traffic evenly enough that this
+ * reconstructs the chip-wide totals.
+ */
+
+#ifndef IATSIM_RDT_PQOS_HH
+#define IATSIM_RDT_PQOS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/way_mask.hh"
+#include "rdt/msr_bus.hh"
+
+namespace iat::rdt {
+
+/** Raw monotonic counters for one monitoring group. */
+struct MonCounters
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t llc_refs = 0;
+    std::uint64_t llc_misses = 0;
+    std::uint64_t llc_occupancy_bytes = 0;
+    std::uint64_t mbm_bytes = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    double
+    missRate() const
+    {
+        return llc_refs ? static_cast<double>(llc_misses) /
+                              static_cast<double>(llc_refs)
+                        : 0.0;
+    }
+};
+
+/** Chip-wide DDIO transaction counters (write update / allocate). */
+struct DdioCounters
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+/**
+ * A monitoring group: a set of cores sharing one RMID, as created by
+ * pqos_mon_start.
+ */
+struct MonGroup
+{
+    std::vector<cache::CoreId> cores;
+    cache::RmidId rmid = 0;
+};
+
+/** The library facade IAT programs the platform through. */
+class PqosSystem
+{
+  public:
+    explicit PqosSystem(MsrBus &bus, unsigned num_slices,
+                        unsigned line_bytes = 64,
+                        unsigned l3_num_ways = 11);
+
+    /** LLC associativity, as pqos capability discovery reports it. */
+    unsigned l3NumWays() const { return l3_num_ways_; }
+
+    /// @name CAT (allocation)
+    /// @{
+    void l3caSet(cache::ClosId clos, cache::WayMask mask);
+    cache::WayMask l3caGet(cache::ClosId clos);
+    void allocAssocSet(cache::CoreId core, cache::ClosId clos);
+    cache::ClosId allocAssocGet(cache::CoreId core);
+    /// @}
+
+    /// @name CMT / perf monitoring
+    /// @{
+
+    /** Bind @p cores to @p rmid and return the group handle. */
+    MonGroup monStart(std::vector<cache::CoreId> cores,
+                      cache::RmidId rmid);
+
+    /** Read the group's raw counters (sums over its cores). */
+    MonCounters monPoll(const MonGroup &group);
+    /// @}
+
+    /// @name DDIO extensions (the iat-pqos additions)
+    /// @{
+    cache::WayMask ddioGetWays();
+    void ddioSetWays(cache::WayMask mask);
+
+    /**
+     * Device-aware DDIO (paper SS VII): give one device a private
+     * allocation mask; an empty mask reverts to the chip-wide one.
+     */
+    void ddioSetDeviceWays(cache::DeviceId dev, cache::WayMask mask);
+    cache::WayMask ddioGetDeviceWays(cache::DeviceId dev);
+
+    /** Sampled chip-wide DDIO counters (slice 0 scaled by #slices). */
+    DdioCounters ddioPoll();
+
+    /**
+     * Exact chip-wide DDIO counters (all slices); used by tests to
+     * bound the sampling error of ddioPoll().
+     */
+    DdioCounters ddioPollExact();
+    /// @}
+
+    MsrBus &bus() { return bus_; }
+
+  private:
+    MsrBus &bus_;
+    unsigned num_slices_;
+    unsigned line_bytes_;
+    unsigned l3_num_ways_;
+};
+
+} // namespace iat::rdt
+
+#endif // IATSIM_RDT_PQOS_HH

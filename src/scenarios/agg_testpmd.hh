@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The aggregation-model microbenchmark world of SS VI-B (Figs 8, 9).
+ *
+ * Two physical NICs feed an OVS-style virtual switch running on two
+ * dedicated cores (one poll thread per NIC); each of N testpmd
+ * containers owns dedicated cores and bounces its traffic back
+ * through the switch. OVS inserts the paper's four rules
+ * (NICi <-> Container i). The switch tenants and the containers get
+ * the paper's way split: OVS two ways, one way per container.
+ */
+
+#ifndef IATSIM_SCENARIOS_AGG_TESTPMD_HH
+#define IATSIM_SCENARIOS_AGG_TESTPMD_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/tenant.hh"
+#include "net/pipeline.hh"
+#include "sim/engine.hh"
+#include "wl/handlers.hh"
+
+namespace iat::scenarios {
+
+/** Configuration for the aggregation testpmd world. */
+struct AggTestPmdConfig
+{
+    unsigned num_containers = 2;     ///< testpmd tenants (paper: 2)
+    std::uint32_t frame_bytes = 64;
+    double rate_pps = 0.0;           ///< 0 = 40GbE line rate
+    std::uint64_t flows = 1;         ///< flow population per NIC
+    /** Classifier tables are sized for this population up front so
+     *  the flow count can ramp mid-run (Fig 9). */
+    std::uint64_t max_flows = 1'000'000;
+    net::FlowDistribution flow_dist = net::FlowDistribution::Single;
+    std::uint32_t ring_entries = 1024;
+    double pool_factor = 2.0;        ///< mbufs per ring entry
+    unsigned ovs_ways = 2;
+    unsigned container_ways = 1;
+    std::uint64_t seed = 1;
+};
+
+/** Assembled world; owns every component. */
+class AggTestPmdWorld
+{
+  public:
+    AggTestPmdWorld(sim::Platform &platform,
+                    const AggTestPmdConfig &cfg);
+
+    /** Register the pipeline with the engine. */
+    void attach(sim::Engine &engine);
+
+    /** IAT tenant records: OVS (stack) + containers. */
+    core::TenantRegistry &registry() { return registry_; }
+
+    /** Change the generated frame size on both NICs (Fig 8). */
+    void setFrameBytes(std::uint32_t bytes);
+
+    /** Retarget both NICs; 0 = line rate for the current frame. */
+    void setRate(double rate_pps);
+
+    /** Grow/shrink the flow population on both NICs (Fig 9 ramp). */
+    void setFlows(std::uint64_t flows);
+
+    net::NicQueue &nic(unsigned i) { return *nics_[i]; }
+    unsigned nicCount() const
+    {
+        return static_cast<unsigned>(nics_.size());
+    }
+
+    /** Frames transmitted on all NICs since the last reset. */
+    std::uint64_t txPackets() const;
+
+    /** Frames received on all NICs since the last reset. */
+    std::uint64_t rxPackets() const;
+
+    /** Frames lost anywhere (MAC drops, ring/pool overflow). */
+    std::uint64_t totalDrops() const;
+
+    /** Clear NIC counters/latency for a measurement window. */
+    void resetStats();
+
+    /** OVS poll-thread stages (for IPC/CPP accounting). */
+    const std::vector<net::Stage *> &ovsStages() const
+    {
+        return ovs_stages_;
+    }
+
+    /** Cores used by the OVS poll threads. */
+    const std::vector<cache::CoreId> &ovsCores() const
+    {
+        return ovs_cores_;
+    }
+
+    const AggTestPmdConfig &config() const { return cfg_; }
+
+  private:
+    sim::Platform &platform_;
+    AggTestPmdConfig cfg_;
+    core::TenantRegistry registry_;
+
+    std::vector<std::unique_ptr<net::NicQueue>> nics_;
+    std::vector<std::unique_ptr<net::Ring>> tenant_rx_;
+    std::vector<std::unique_ptr<net::Ring>> tenant_tx_;
+    std::vector<std::unique_ptr<net::BufferPool>> tenant_pools_;
+    std::shared_ptr<wl::VSwitchTables> tables_;
+    std::vector<std::unique_ptr<wl::VSwitchHandler>> ovs_handlers_;
+    std::vector<std::unique_ptr<wl::TestPmdHandler>> pmd_handlers_;
+    std::unique_ptr<net::PacketPipeline> pipeline_;
+    std::vector<net::Stage *> ovs_stages_;
+    std::vector<cache::CoreId> ovs_cores_;
+};
+
+} // namespace iat::scenarios
+
+#endif // IATSIM_SCENARIOS_AGG_TESTPMD_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared experiment plumbing implementation.
+ */
+
+#include "scenarios/common.hh"
+
+#include "core/allocator.hh"
+#include "core/shuffle.hh"
+#include "util/logging.hh"
+
+namespace iat::scenarios {
+
+std::vector<cache::WayMask>
+applyStaticLayout(rdt::PqosSystem &pqos,
+                  const core::TenantRegistry &registry)
+{
+    const auto order = core::computeShuffleOrder(
+        registry.tenants(), {}, {});
+    return applyStaticLayout(pqos, registry, order);
+}
+
+std::vector<cache::WayMask>
+applyStaticLayout(rdt::PqosSystem &pqos,
+                  const core::TenantRegistry &registry,
+                  const std::vector<std::size_t> &order)
+{
+    core::WayAllocator alloc(pqos.l3NumWays(),
+                             pqos.ddioGetWays().count());
+    std::vector<unsigned> ways;
+    for (const auto &spec : registry.tenants())
+        ways.push_back(spec.initial_ways);
+    alloc.setTenants(ways);
+    alloc.setOrder(order);
+
+    std::vector<cache::WayMask> masks;
+    for (std::size_t t = 0; t < registry.size(); ++t) {
+        const auto clos = static_cast<cache::ClosId>(t + 1);
+        const auto mask = alloc.tenantMask(t);
+        pqos.l3caSet(clos, mask);
+        for (const auto core : registry[t].cores)
+            pqos.allocAssocSet(core, clos);
+        // One RMID per tenant so experiments can monitor the
+        // baseline with the same groups IAT would use.
+        pqos.monStart(registry[t].cores,
+                      static_cast<cache::RmidId>(t + 1));
+        masks.push_back(mask);
+    }
+    return masks;
+}
+
+} // namespace iat::scenarios

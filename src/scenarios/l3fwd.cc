@@ -1,0 +1,68 @@
+/**
+ * @file
+ * L3FwdWorld implementation.
+ */
+
+#include "scenarios/l3fwd.hh"
+
+#include "util/logging.hh"
+
+namespace iat::scenarios {
+
+L3FwdWorld::L3FwdWorld(sim::Platform &platform,
+                       const L3FwdConfig &cfg)
+    : platform_(platform), cfg_(cfg)
+{
+    net::TrafficConfig traffic;
+    traffic.frame_bytes = cfg_.frame_bytes;
+    traffic.rate_pps = cfg_.rate_pps;
+    traffic.num_flows = cfg_.flows;
+    traffic.flow_dist = cfg_.flows > 1
+                            ? net::FlowDistribution::Uniform
+                            : net::FlowDistribution::Single;
+    traffic.burst_size = cfg_.burst_size;
+
+    nic_ = std::make_unique<net::NicQueue>(
+        platform_, 0, "vf0", traffic, cfg_.ring_entries,
+        cfg_.pool_factor, cfg_.seed);
+    handler_ = std::make_unique<wl::L3FwdHandler>(
+        platform_, cfg_.core, cfg_.flows,
+        wl::ForwardPort{nullptr, nic_.get()});
+    pipeline_ = std::make_unique<net::PacketPipeline>(platform_);
+    pipeline_->addSource(nic_.get());
+    pipeline_->addStage(cfg_.core, *handler_, {&nic_->rxRing()},
+                        "l3fwd");
+
+    core::TenantSpec spec;
+    spec.name = "l3fwd";
+    spec.cores = {cfg_.core};
+    spec.is_io = true;
+    spec.priority = core::TenantPriority::PerformanceCritical;
+    spec.initial_ways = cfg_.ways;
+    registry_.add(spec);
+}
+
+void
+L3FwdWorld::attach(sim::Engine &engine)
+{
+    engine.add(pipeline_.get());
+}
+
+net::TrialResult
+L3FwdWorld::trialWindow(sim::Engine &engine, double warmup_seconds,
+                        double measure_seconds)
+{
+    engine.run(warmup_seconds);
+    nic_->resetStats();
+    const std::uint64_t drops0 = nic_->rxRing().drops();
+    engine.run(measure_seconds);
+
+    net::TrialResult result;
+    result.delivered = nic_->txStats().tx_packets;
+    result.dropped = nic_->rxStats().totalDrops() +
+                     (nic_->rxRing().drops() - drops0);
+    result.offered = nic_->rxStats().rx_packets + result.dropped;
+    return result;
+}
+
+} // namespace iat::scenarios

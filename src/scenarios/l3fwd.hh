@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Single-core l3fwd world (SS III-A / Fig 3, and the traffic side of
+ * SS III-B / Fig 4): one VF, one polling core, a 1M-flow table, the
+ * RFC 2544 generator on the other side of the wire.
+ */
+
+#ifndef IATSIM_SCENARIOS_L3FWD_HH
+#define IATSIM_SCENARIOS_L3FWD_HH
+
+#include <memory>
+
+#include "core/tenant.hh"
+#include "net/pipeline.hh"
+#include "net/rfc2544.hh"
+#include "sim/engine.hh"
+#include "wl/handlers.hh"
+
+namespace iat::scenarios {
+
+/** Configuration of the l3fwd world. */
+struct L3FwdConfig
+{
+    std::uint32_t frame_bytes = 64;
+    std::uint32_t ring_entries = 1024;
+    double pool_factor = 2.0;
+    std::uint64_t flows = 1'000'000;
+    double rate_pps = 1e6;
+    std::uint32_t burst_size = 32; ///< generator burstiness
+    cache::CoreId core = 0;
+    unsigned ways = 2; ///< paper SS III-B: two LLC ways (Way 0-1)
+    std::uint64_t seed = 1;
+};
+
+/** One l3fwd container on one VF. */
+class L3FwdWorld
+{
+  public:
+    L3FwdWorld(sim::Platform &platform, const L3FwdConfig &cfg);
+
+    void attach(sim::Engine &engine);
+
+    core::TenantRegistry &registry() { return registry_; }
+    net::NicQueue &nic() { return *nic_; }
+
+    std::uint64_t
+    totalDrops() const
+    {
+        return nic_->rxStats().totalDrops() + nic_->rxRing().drops();
+    }
+
+    /** Run one RFC 2544 trial window on an attached engine. */
+    net::TrialResult trialWindow(sim::Engine &engine,
+                                 double warmup_seconds,
+                                 double measure_seconds);
+
+  private:
+    sim::Platform &platform_;
+    L3FwdConfig cfg_;
+    core::TenantRegistry registry_;
+    std::unique_ptr<net::NicQueue> nic_;
+    std::unique_ptr<wl::L3FwdHandler> handler_;
+    std::unique_ptr<net::PacketPipeline> pipeline_;
+};
+
+} // namespace iat::scenarios
+
+#endif // IATSIM_SCENARIOS_L3FWD_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Engine implementation.
+ */
+
+#include "sim/engine.hh"
+
+#include "util/logging.hh"
+
+namespace iat::sim {
+
+void
+Engine::add(Runnable *runnable)
+{
+    IAT_ASSERT(runnable != nullptr, "null runnable");
+    runnables_.push_back(runnable);
+}
+
+void
+Engine::addPeriodic(double interval, std::function<void(double)> fn,
+                    double phase)
+{
+    IAT_ASSERT(interval > 0.0, "periodic hook needs interval > 0");
+    const double first =
+        platform_.now() + (phase >= 0.0 ? phase : interval);
+    hooks_.push(Hook{first, interval, hook_seq_++, std::move(fn)});
+}
+
+void
+Engine::at(double when, std::function<void(double)> fn)
+{
+    hooks_.push(Hook{when, 0.0, hook_seq_++, std::move(fn)});
+}
+
+void
+Engine::run(double seconds)
+{
+    IAT_ASSERT(seconds > 0.0, "run() needs positive duration");
+    const double dt = platform_.config().quantum_seconds;
+    const double end = platform_.now() + seconds;
+    // Half-quantum slack so accumulated floating-point error never
+    // costs or gains a whole quantum.
+    while (platform_.now() < end - dt * 0.5) {
+        const double t0 = platform_.now();
+        while (!hooks_.empty() && hooks_.top().next <= t0 + dt * 0.5) {
+            Hook hook = hooks_.top();
+            hooks_.pop();
+            hook.fn(t0);
+            if (hook.interval > 0.0) {
+                hook.next += hook.interval;
+                hooks_.push(std::move(hook));
+            }
+        }
+        for (auto *r : runnables_)
+            r->runQuantum(t0, dt);
+        platform_.advanceQuantum(dt);
+    }
+}
+
+} // namespace iat::sim

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Platform implementation.
+ */
+
+#include "sim/platform.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace iat::sim {
+
+using cache::AccessType;
+
+Platform::Platform(const PlatformConfig &cfg)
+    : cfg_(cfg), llc_(cfg.llc, cfg.num_cores), dram_(cfg.dram)
+{
+    l2_.reserve(cfg_.num_cores);
+    for (unsigned c = 0; c < cfg_.num_cores; ++c)
+        l2_.emplace_back(cfg_.l2);
+    instructions_.assign(cfg_.num_cores, 0);
+    cycles_.assign(cfg_.num_cores, 0);
+    mbm_bytes_.assign(cache::SlicedLlc::numRmids, 0);
+
+    msr_bus_ = std::make_unique<rdt::MsrBus>(llc_, *this);
+    pqos_ = std::make_unique<rdt::PqosSystem>(
+        *msr_bus_, cfg_.llc.num_slices, cfg_.llc.line_bytes,
+        cfg_.llc.num_ways);
+}
+
+void
+Platform::chargeDramRead(cache::RmidId rmid, std::uint64_t bytes,
+                         mem::DramSource source)
+{
+    dram_.read(bytes, source);
+    mbm_bytes_[rmid] += bytes;
+}
+
+void
+Platform::chargeDramWrite(cache::RmidId rmid, std::uint64_t bytes,
+                          mem::DramSource source)
+{
+    dram_.write(bytes, source);
+    mbm_bytes_[rmid] += bytes;
+}
+
+double
+Platform::coreAccess(cache::CoreId core, cache::Addr addr,
+                     AccessType type)
+{
+    IAT_ASSERT(core < cfg_.num_cores, "core out of range");
+    const auto line_bytes = cfg_.llc.line_bytes;
+    const auto r2 = l2_[core].access(addr, type);
+    if (r2.has_writeback) {
+        const auto wb = llc_.writebackFromCore(core, r2.writeback_addr);
+        if (wb.writeback) {
+            chargeDramWrite(llc_.coreRmid(core), line_bytes,
+                            mem::DramSource::Writeback);
+        }
+    }
+    if (r2.hit)
+        return cfg_.latency.l2_hit_cycles;
+
+    const auto r3 = llc_.coreAccess(core, addr, type);
+    if (r3.writeback) {
+        chargeDramWrite(llc_.coreRmid(core), line_bytes,
+                        mem::DramSource::Writeback);
+    }
+    if (r3.hit)
+        return cfg_.latency.llc_hit_cycles;
+
+    const double dram_latency = dram_.currentLatencyCycles();
+    chargeDramRead(llc_.coreRmid(core), line_bytes,
+                   mem::DramSource::CoreDemand);
+    return cfg_.latency.llc_hit_cycles + dram_latency;
+}
+
+double
+Platform::coreTouch(cache::CoreId core, cache::Addr addr,
+                    std::uint64_t bytes, AccessType type)
+{
+    if (bytes == 0)
+        return 0.0;
+    const auto line_bytes = cfg_.llc.line_bytes;
+    const cache::Addr first = addr / line_bytes;
+    const cache::Addr last = (addr + bytes - 1) / line_bytes;
+    double total = 0.0;
+    for (cache::Addr line = first; line <= last; ++line)
+        total += coreAccess(core, line * line_bytes, type);
+    // Independent line accesses overlap in the memory system.
+    return total / std::max(1.0, cfg_.latency.bulk_mlp);
+}
+
+void
+Platform::dmaWrite(cache::DeviceId dev, cache::Addr addr,
+                   std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    const auto line_bytes = cfg_.llc.line_bytes;
+    const cache::Addr first = addr / line_bytes;
+    const cache::Addr last = (addr + bytes - 1) / line_bytes;
+    for (cache::Addr line = first; line <= last; ++line) {
+        const auto r =
+            llc_.ddioWrite(line * line_bytes, dev);
+        if (r.writeback) {
+            chargeDramWrite(cache::SlicedLlc::ddioRmid, line_bytes,
+                            mem::DramSource::Writeback);
+        }
+        if (!llc_.ddioEnabled()) {
+            // DDIO off: the inbound line lands in DRAM directly.
+            chargeDramWrite(cache::SlicedLlc::ddioRmid, line_bytes,
+                            mem::DramSource::DeviceDma);
+        }
+    }
+}
+
+void
+Platform::dmaWriteSplit(cache::DeviceId dev, cache::Addr addr,
+                        std::uint64_t bytes,
+                        std::uint64_t header_bytes)
+{
+    if (bytes == 0)
+        return;
+    const std::uint64_t header =
+        std::min(bytes, header_bytes);
+    dmaWrite(dev, addr, header);
+    if (header >= bytes)
+        return;
+    // Payload: straight to DRAM; invalidate any stale LLC copy so
+    // a later core read observes the fresh data from memory.
+    const auto line_bytes = cfg_.llc.line_bytes;
+    const cache::Addr first = (addr + header) / line_bytes;
+    const cache::Addr last = (addr + bytes - 1) / line_bytes;
+    for (cache::Addr line = first; line <= last; ++line)
+        llc_.invalidate(line * line_bytes);
+    chargeDramWrite(cache::SlicedLlc::ddioRmid,
+                    (last - first + 1) * line_bytes,
+                    mem::DramSource::DeviceDma);
+}
+
+void
+Platform::dmaRead(cache::DeviceId dev, cache::Addr addr,
+                  std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    const auto line_bytes = cfg_.llc.line_bytes;
+    const cache::Addr first = addr / line_bytes;
+    const cache::Addr last = (addr + bytes - 1) / line_bytes;
+    for (cache::Addr line = first; line <= last; ++line) {
+        const auto r = llc_.deviceRead(line * line_bytes, dev);
+        if (!r.hit) {
+            chargeDramRead(cache::SlicedLlc::ddioRmid, line_bytes,
+                           mem::DramSource::DeviceDma);
+        }
+    }
+}
+
+void
+Platform::advanceQuantum(double dt_seconds)
+{
+    IAT_ASSERT(dt_seconds > 0.0, "non-positive quantum");
+    now_ += dt_seconds;
+    const auto dcycles =
+        static_cast<std::uint64_t>(dt_seconds * cfg_.core_hz);
+    for (auto &c : cycles_)
+        c += dcycles;
+    dram_.advanceTime(dt_seconds);
+}
+
+std::uint64_t
+Platform::instructionsRetired(cache::CoreId core) const
+{
+    IAT_ASSERT(core < cfg_.num_cores, "core out of range");
+    return instructions_[core];
+}
+
+std::uint64_t
+Platform::cyclesElapsed(cache::CoreId core) const
+{
+    IAT_ASSERT(core < cfg_.num_cores, "core out of range");
+    return cycles_[core];
+}
+
+std::uint64_t
+Platform::mbmBytes(cache::RmidId rmid) const
+{
+    IAT_ASSERT(rmid < cache::SlicedLlc::numRmids, "RMID out of range");
+    return mbm_bytes_[rmid];
+}
+
+} // namespace iat::sim

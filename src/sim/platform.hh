@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The modelled socket: cores, private caches, the sliced LLC, DRAM,
+ * and the RDT register surface, wired together.
+ *
+ * Platform is the single point through which workloads and devices
+ * touch memory, so it owns all the accounting the monitor later polls:
+ * per-core instruction/cycle counters (fixed counters), LLC ref/miss
+ * (core PMU), per-RMID MBM bytes, per-slice DDIO hit/miss (CHA), and
+ * DRAM byte counters per source.
+ */
+
+#ifndef IATSIM_SIM_PLATFORM_HH
+#define IATSIM_SIM_PLATFORM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/llc.hh"
+#include "cache/private_cache.hh"
+#include "mem/dram.hh"
+#include "rdt/msr_bus.hh"
+#include "rdt/pqos.hh"
+#include "sim/address_space.hh"
+#include "sim/config.hh"
+
+namespace iat::sim {
+
+/** The socket model; see file comment. */
+class Platform : public rdt::CoreTelemetrySource
+{
+  public:
+    explicit Platform(const PlatformConfig &cfg = {});
+
+    const PlatformConfig &config() const { return cfg_; }
+    cache::SlicedLlc &llc() { return llc_; }
+    const cache::SlicedLlc &llc() const { return llc_; }
+    mem::DramModel &dram() { return dram_; }
+    const mem::DramModel &dram() const { return dram_; }
+    AddressSpace &addressSpace() { return aspace_; }
+    rdt::MsrBus &msrBus() { return *msr_bus_; }
+    rdt::PqosSystem &pqos() { return *pqos_; }
+
+    /// @name Core-side memory paths (called by workload models)
+    /// @{
+
+    /**
+     * One dependent (latency-bound) access; returns its latency in
+     * cycles, including any DRAM congestion.
+     */
+    double coreAccess(cache::CoreId core, cache::Addr addr,
+                      cache::AccessType type);
+
+    /**
+     * Touch @p bytes starting at @p addr line by line, overlapping
+     * misses with the configured bulk MLP; returns total cycles.
+     */
+    double coreTouch(cache::CoreId core, cache::Addr addr,
+                     std::uint64_t bytes, cache::AccessType type);
+
+    /** Account @p n retired instructions on @p core. */
+    void
+    retire(cache::CoreId core, std::uint64_t n)
+    {
+        instructions_[core] += n;
+    }
+    /// @}
+
+    /// @name Device-side memory paths (called by the NIC model)
+    /// @{
+
+    /** Inbound DMA of @p bytes at @p addr through the DDIO path. */
+    void dmaWrite(cache::DeviceId dev, cache::Addr addr,
+                  std::uint64_t bytes);
+
+    /**
+     * Application-aware DDIO (paper SS VII): inbound DMA where only
+     * the first @p header_bytes go through the DDIO path and the
+     * payload lands in DRAM directly (stale LLC copies dropped),
+     * avoiding cache pollution by bulk payloads.
+     */
+    void dmaWriteSplit(cache::DeviceId dev, cache::Addr addr,
+                       std::uint64_t bytes,
+                       std::uint64_t header_bytes);
+
+    /** Outbound DMA read of @p bytes at @p addr. */
+    void dmaRead(cache::DeviceId dev, cache::Addr addr,
+                 std::uint64_t bytes);
+    /// @}
+
+    /// @name Engine hooks
+    /// @{
+
+    /** Advance wall-clock cycle counters and the DRAM window. */
+    void advanceQuantum(double dt_seconds);
+
+    /** Simulated seconds elapsed since construction. */
+    double now() const { return now_; }
+    /// @}
+
+    /// @name rdt::CoreTelemetrySource
+    /// @{
+    std::uint64_t instructionsRetired(cache::CoreId core) const override;
+    std::uint64_t cyclesElapsed(cache::CoreId core) const override;
+    std::uint64_t mbmBytes(cache::RmidId rmid) const override;
+    /// @}
+
+    cache::PrivateCache &l2(cache::CoreId core) { return l2_[core]; }
+
+  private:
+    void chargeDramRead(cache::RmidId rmid, std::uint64_t bytes,
+                        mem::DramSource source);
+    void chargeDramWrite(cache::RmidId rmid, std::uint64_t bytes,
+                         mem::DramSource source);
+
+    PlatformConfig cfg_;
+    cache::SlicedLlc llc_;
+    mem::DramModel dram_;
+    AddressSpace aspace_;
+    std::vector<cache::PrivateCache> l2_;
+
+    std::vector<std::uint64_t> instructions_;
+    std::vector<std::uint64_t> cycles_;
+    std::vector<std::uint64_t> mbm_bytes_;
+
+    double now_ = 0.0;
+
+    std::unique_ptr<rdt::MsrBus> msr_bus_;
+    std::unique_ptr<rdt::PqosSystem> pqos_;
+};
+
+} // namespace iat::sim
+
+#endif // IATSIM_SIM_PLATFORM_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal command-line parsing for bench and example binaries.
+ *
+ * Flags take the forms --name=value or --name value; bare --name sets
+ * a boolean. Every bench accepts --seed, --csv=<path> and experiment
+ * specific overrides through this parser, so runs are scriptable
+ * without a heavyweight dependency.
+ */
+
+#ifndef IATSIM_UTIL_CLI_HH
+#define IATSIM_UTIL_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace iat {
+
+/** Parsed command-line flags with typed accessors and defaults. */
+class CliArgs
+{
+  public:
+    CliArgs(int argc, char **argv);
+
+    bool has(const std::string &name) const;
+
+    std::string getString(const std::string &name,
+                          const std::string &def) const;
+    std::int64_t getInt(const std::string &name, std::int64_t def) const;
+    double getDouble(const std::string &name, double def) const;
+    bool getBool(const std::string &name, bool def = false) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Program name (argv[0]). */
+    const std::string &program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace iat
+
+#endif // IATSIM_UTIL_CLI_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Implementation of the process-wide logger and error helpers.
+ */
+
+#include "util/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace iat {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::vlog(LogLevel level, const char *prefix, const char *fmt,
+             std::va_list ap)
+{
+    if (level > level_)
+        return;
+    std::fputs(prefix, stderr);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    Logger::instance().vlog(LogLevel::Info, "info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    Logger::instance().vlog(LogLevel::Warn, "warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    Logger::instance().vlog(LogLevel::Debug, "debug: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::fputs("fatal: ", stderr);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::fputs("panic: ", stderr);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+    std::abort();
+}
+
+} // namespace iat

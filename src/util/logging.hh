@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Logging and error-reporting helpers, gem5-flavoured.
+ *
+ * panic()  -- internal invariant violated (a bug in iatsim); aborts.
+ * fatal()  -- the user asked for something impossible (bad config);
+ *             exits with an error code.
+ * warn()/inform() -- status messages that never stop the run.
+ */
+
+#ifndef IATSIM_UTIL_LOGGING_HH
+#define IATSIM_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace iat {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/**
+ * Process-wide logger. A single instance keeps bench output and test
+ * output consistent; everything funnels through std::fputs so output
+ * interleaves sanely with printf-style reporting in benches.
+ */
+class Logger
+{
+  public:
+    static Logger &instance();
+
+    void setLevel(LogLevel level) { level_ = level; }
+    LogLevel level() const { return level_; }
+
+    void vlog(LogLevel level, const char *prefix, const char *fmt,
+              std::va_list ap);
+
+  private:
+    Logger() = default;
+    LogLevel level_ = LogLevel::Warn;
+};
+
+/** Print an informational message (visible at Info level and above). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning (visible at Warn level and above). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a debug trace (visible at Debug level only). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal bug and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert an internal invariant with a formatted explanation.
+ * Active in all build types: model correctness matters more than the
+ * branch cost, and the benches are not latency-critical.
+ */
+#define IAT_STRINGIZE_IMPL(x) #x
+#define IAT_STRINGIZE(x) IAT_STRINGIZE_IMPL(x)
+
+#define IAT_ASSERT(cond, ...)                                             \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::iat::panic("assertion '" #cond "' failed at " __FILE__      \
+                         ":" IAT_STRINGIZE(__LINE__) ": " __VA_ARGS__);   \
+        }                                                                 \
+    } while (0)
+
+} // namespace iat
+
+#endif // IATSIM_UTIL_LOGGING_HH

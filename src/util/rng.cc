@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Out-of-line Rng draws that pull in <cmath>.
+ */
+
+#include "util/rng.hh"
+
+#include <cmath>
+
+namespace iat {
+
+double
+Rng::expo(double mean)
+{
+    // Inverse-CDF sampling; clamp the uniform away from 0 so log()
+    // stays finite.
+    double u = uniform();
+    if (u < 1e-300)
+        u = 1e-300;
+    return -mean * std::log(u);
+}
+
+double
+Rng::gaussian()
+{
+    double u1 = uniform();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+} // namespace iat

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Statistics toolkit implementation.
+ */
+
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace iat {
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+LatencyHistogram::LatencyHistogram() : buckets_(numBuckets, 0) {}
+
+int
+LatencyHistogram::bucketFor(double value)
+{
+    if (value <= 0.0)
+        return 0;
+    int exponent;
+    const double mantissa = std::frexp(value, &exponent); // [0.5, 1)
+    int octave = std::clamp(exponent + 16, 0, numOctaves - 1);
+    const int sub = std::clamp(
+        static_cast<int>((mantissa - 0.5) * 2.0 * (1 << subBucketBits)),
+        0, (1 << subBucketBits) - 1);
+    return (octave << subBucketBits) | sub;
+}
+
+double
+LatencyHistogram::bucketMidpoint(int bucket)
+{
+    const int octave = bucket >> subBucketBits;
+    const int sub = bucket & ((1 << subBucketBits) - 1);
+    const double mantissa =
+        0.5 + (static_cast<double>(sub) + 0.5) /
+                  (2.0 * (1 << subBucketBits));
+    return std::ldexp(mantissa, octave - 16);
+}
+
+void
+LatencyHistogram::add(double value)
+{
+    addN(value, 1);
+}
+
+void
+LatencyHistogram::addN(double value, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    buckets_[bucketFor(value)] += n;
+    count_ += n;
+    sum_ += value * static_cast<double>(n);
+    max_ = std::max(max_, value);
+}
+
+void
+LatencyHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    max_ = 0.0;
+}
+
+double
+LatencyHistogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (int b = 0; b < numBuckets; ++b) {
+        seen += buckets_[b];
+        if (static_cast<double>(seen) >= target && buckets_[b] > 0)
+            return bucketMidpoint(b);
+    }
+    return max_;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (int b = 0; b < numBuckets; ++b)
+        buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+}
+
+double
+relativeDelta(double prev, double cur)
+{
+    const double base = std::max(std::abs(prev), 1e-12);
+    return std::abs(cur - prev) / base;
+}
+
+} // namespace iat

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Small statistics toolkit used by the workload models and benches:
+ * running mean/variance, reservoir-free percentile histograms, and an
+ * exponentially weighted moving average.
+ */
+
+#ifndef IATSIM_UTIL_STATS_HH
+#define IATSIM_UTIL_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace iat {
+
+/** Welford running mean / variance / min / max accumulator. */
+class RunningStat
+{
+  public:
+    void add(double x);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Log-bucketed latency histogram (HdrHistogram-style, base-2 buckets
+ * with linear sub-buckets). Records non-negative values with bounded
+ * relative error (~1/64) and answers arbitrary percentiles without
+ * storing samples.
+ */
+class LatencyHistogram
+{
+  public:
+    LatencyHistogram();
+
+    void add(double value);
+    void addN(double value, std::uint64_t n);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double max() const { return max_; }
+
+    /** Value at quantile q in [0, 1]; 0 if empty. */
+    double percentile(double q) const;
+
+    /** Merge another histogram into this one. */
+    void merge(const LatencyHistogram &other);
+
+  private:
+    static constexpr int subBucketBits = 6; // 64 sub-buckets / octave
+    static constexpr int numOctaves = 40;
+    static constexpr int numBuckets = numOctaves << subBucketBits;
+
+    static int bucketFor(double value);
+    static double bucketMidpoint(int bucket);
+
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Exponentially weighted moving average with configurable alpha. */
+class Ewma
+{
+  public:
+    explicit Ewma(double alpha = 0.3) : alpha_(alpha) {}
+
+    void
+    add(double x)
+    {
+        value_ = seeded_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+        seeded_ = true;
+    }
+
+    double value() const { return value_; }
+    bool seeded() const { return seeded_; }
+    void reset() { seeded_ = false; value_ = 0.0; }
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool seeded_ = false;
+};
+
+/**
+ * Relative change |cur - prev| / max(|prev|, eps). The IAT stability
+ * gate compares this against THRESHOLD_STABLE for every polled metric.
+ */
+double relativeDelta(double prev, double cur);
+
+} // namespace iat
+
+#endif // IATSIM_UTIL_STATS_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * TablePrinter implementation.
+ */
+
+#include "util/table.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace iat {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    IAT_ASSERT(header_.empty() || row.size() == header_.size(),
+               "row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TablePrinter::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+void
+TablePrinter::print() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c >= widths.size())
+                widths.resize(c + 1, 0);
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::printf("\n== %s ==\n", title_.c_str());
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            std::printf("%-*s  ", static_cast<int>(widths[c]),
+                        cells[c].c_str());
+        std::printf("\n");
+    };
+    if (!header_.empty()) {
+        print_row(header_);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        std::printf("%s\n", std::string(total, '-').c_str());
+    }
+    for (const auto &row : rows_)
+        print_row(row);
+    std::fflush(stdout);
+}
+
+bool
+TablePrinter::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                out << ',';
+            // Quote cells containing separators; bench output is plain
+            // numbers and identifiers so this is rarely exercised.
+            if (cells[c].find_first_of(",\"\n") != std::string::npos) {
+                out << '"';
+                for (char ch : cells[c]) {
+                    if (ch == '"')
+                        out << '"';
+                    out << ch;
+                }
+                out << '"';
+            } else {
+                out << cells[c];
+            }
+        }
+        out << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return static_cast<bool>(out);
+}
+
+} // namespace iat

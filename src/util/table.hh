@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Console table and CSV emission for the bench harness.
+ *
+ * Every bench binary regenerates one table or figure from the paper
+ * and prints it both as an aligned console table (for eyeballing) and,
+ * when asked, a CSV file (for plotting). TablePrinter keeps the two in
+ * sync from a single row stream.
+ */
+
+#ifndef IATSIM_UTIL_TABLE_HH
+#define IATSIM_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace iat {
+
+/** Accumulates rows of stringified cells and renders them aligned. */
+class TablePrinter
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit TablePrinter(std::string title);
+
+    /** Set the column headers; must precede addRow. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; cell count must match the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with fixed precision. */
+    static std::string num(double value, int precision = 2);
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Write the rows as CSV to @p path; returns false on I/O error. */
+    bool writeCsv(const std::string &path) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace iat
+
+#endif // IATSIM_UTIL_TABLE_HH

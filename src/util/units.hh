@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit constants and conversion helpers shared across the simulator.
+ *
+ * The platform clock is denominated in CPU cycles of the modelled
+ * 2.3 GHz Xeon Gold 6140; helpers convert between cycles, seconds and
+ * data rates so model code never hand-rolls the arithmetic.
+ */
+
+#ifndef IATSIM_UTIL_UNITS_HH
+#define IATSIM_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace iat {
+
+using Cycles = std::uint64_t;
+
+constexpr std::uint64_t KiB = 1024ull;
+constexpr std::uint64_t MiB = 1024ull * KiB;
+constexpr std::uint64_t GiB = 1024ull * MiB;
+
+constexpr double kilo = 1e3;
+constexpr double mega = 1e6;
+constexpr double giga = 1e9;
+
+/** Cache line size used throughout the model. */
+constexpr std::uint64_t cacheLineBytes = 64;
+
+/** Round @p bytes up to whole cache lines. */
+constexpr std::uint64_t
+linesFor(std::uint64_t bytes)
+{
+    return (bytes + cacheLineBytes - 1) / cacheLineBytes;
+}
+
+/** Frequency-aware time conversions. */
+class ClockDomain
+{
+  public:
+    explicit constexpr ClockDomain(double hz) : hz_(hz) {}
+
+    constexpr double frequencyHz() const { return hz_; }
+
+    constexpr Cycles
+    cyclesFromSeconds(double seconds) const
+    {
+        return static_cast<Cycles>(seconds * hz_);
+    }
+
+    constexpr double
+    secondsFromCycles(Cycles cycles) const
+    {
+        return static_cast<double>(cycles) / hz_;
+    }
+
+    constexpr double
+    cyclesFromNanos(double nanos) const
+    {
+        return nanos * hz_ / giga;
+    }
+
+  private:
+    double hz_;
+};
+
+/** The modelled CPU's core clock (Tab I: 2.3 GHz). */
+constexpr ClockDomain coreClock{2.3e9};
+
+/**
+ * Ethernet wire overhead per packet: preamble (7B) + SFD (1B) +
+ * FCS (4B) + inter-frame gap (12B) = 24B; the paper's "20B Ethernet
+ * overhead" for the 148.8 Mpps arithmetic uses preamble+IFG on top of
+ * the 64B frame that already includes the FCS.
+ */
+constexpr std::uint64_t etherOverheadBytes = 20;
+
+/** Packets per second for a given line rate and frame size. */
+constexpr double
+packetRateForLineRate(double bits_per_second, std::uint64_t frame_bytes)
+{
+    const double wire_bytes =
+        static_cast<double>(frame_bytes + etherOverheadBytes);
+    return bits_per_second / (8.0 * wire_bytes);
+}
+
+} // namespace iat
+
+#endif // IATSIM_UTIL_UNITS_HH

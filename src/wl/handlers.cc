@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Packet handler implementations.
+ */
+
+#include "wl/handlers.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace iat::wl {
+
+using cache::AccessType;
+
+namespace {
+
+/** Mix a flow id with a round index for scattered table probes. */
+inline std::uint64_t
+probeHash(std::uint64_t flow, std::uint64_t round)
+{
+    std::uint64_t x = flow * 0x9e3779b97f4a7c15ull + round;
+    x ^= x >> 29;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 32;
+    return x;
+}
+
+} // namespace
+
+bool
+forwardPacket(net::Packet &pkt, const ForwardPort &port, double now)
+{
+    IAT_ASSERT((port.ring != nullptr) != (port.nic != nullptr),
+               "ForwardPort must name exactly one destination");
+    if (port.nic != nullptr) {
+        port.nic->transmit(pkt, now);
+        return true;
+    }
+    if (port.ring->push(pkt, now))
+        return true;
+    if (pkt.pool != nullptr) {
+        pkt.pool->release(pkt.buf);
+        pkt.pool = nullptr;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// testpmd
+
+namespace {
+constexpr double kTestPmdBaseCycles = 60.0;
+constexpr std::uint64_t kTestPmdInstructions = 120;
+} // namespace
+
+TestPmdHandler::TestPmdHandler(sim::Platform &platform,
+                               cache::CoreId core, ForwardPort out)
+    : platform_(platform), core_(core), out_(out)
+{
+}
+
+net::PacketHandler::Outcome
+TestPmdHandler::process(net::Packet pkt, double now)
+{
+    Outcome outcome;
+    // io-forward only reads the descriptor/header line.
+    outcome.cycles = kTestPmdBaseCycles +
+                     platform_.coreAccess(core_, pkt.addr,
+                                          AccessType::Read);
+    outcome.instructions = kTestPmdInstructions;
+    pkt.outbound = true;
+    forwardPacket(pkt, out_,
+                  now + outcome.cycles / platform_.config().core_hz);
+    return outcome;
+}
+
+// ---------------------------------------------------------------------
+// l3fwd
+
+namespace {
+constexpr double kL3FwdBaseCycles = 150.0;
+constexpr std::uint64_t kL3FwdInstructions = 260;
+} // namespace
+
+L3FwdHandler::L3FwdHandler(sim::Platform &platform, cache::CoreId core,
+                           std::uint64_t flow_table_entries,
+                           ForwardPort out)
+    : platform_(platform), core_(core),
+      table_(platform.addressSpace().alloc(
+          std::max<std::uint64_t>(flow_table_entries, 1) *
+              cacheLineBytes,
+          "l3fwd.table")),
+      out_(out)
+{
+}
+
+net::PacketHandler::Outcome
+L3FwdHandler::process(net::Packet pkt, double now)
+{
+    Outcome outcome;
+    outcome.cycles = kL3FwdBaseCycles;
+    outcome.instructions = kL3FwdInstructions;
+    // Header parse.
+    outcome.cycles +=
+        platform_.coreAccess(core_, pkt.addr, AccessType::Read);
+    // Exact-match flow table probe: one bucket line, dependent.
+    const std::uint64_t line = probeHash(pkt.flow, 0) % table_.lines();
+    outcome.cycles += platform_.coreAccess(
+        core_, table_.lineAddr(line), AccessType::Read);
+    pkt.outbound = true;
+    forwardPacket(pkt, out_,
+                  now + outcome.cycles / platform_.config().core_hz);
+    return outcome;
+}
+
+// ---------------------------------------------------------------------
+// virtual switch
+
+VSwitchTables::VSwitchTables(sim::Platform &platform,
+                             std::uint64_t max_flows,
+                             std::uint32_t emc_entries)
+    : emc_entries_(emc_entries),
+      emc_(platform.addressSpace().alloc(
+          static_cast<std::uint64_t>(emc_entries) * 2 * cacheLineBytes,
+          "ovs.emc")),
+      dpcls_(platform.addressSpace().alloc(
+          std::max<std::uint64_t>(max_flows, 1024) * cacheLineBytes,
+          "ovs.dpcls")),
+      emc_tags_(emc_entries, ~0ull)
+{
+}
+
+std::uint32_t
+VSwitchTables::emcSlot(std::uint64_t flow) const
+{
+    return static_cast<std::uint32_t>(probeHash(flow, 7) %
+                                      emc_entries_);
+}
+
+bool
+VSwitchTables::emcProbe(std::uint64_t flow) const
+{
+    return emc_tags_[emcSlot(flow)] == flow;
+}
+
+void
+VSwitchTables::emcInstall(std::uint64_t flow)
+{
+    emc_tags_[emcSlot(flow)] = flow;
+}
+
+namespace {
+constexpr double kVsBaseCycles = 180.0;        // parse + dispatch
+constexpr double kVsEmcHitCycles = 90.0;       // key compare + action
+constexpr double kVsDpclsCycles = 420.0;       // subtable walk compute
+constexpr unsigned kVsDpclsProbes = 5;         // classifier lines
+constexpr std::uint64_t kVsBaseInstructions = 360;
+constexpr std::uint64_t kVsDpclsInstructions = 900;
+/** Copy bandwidth model: instructions per copied line (AVX). */
+constexpr std::uint64_t kCopyInstPerLine = 6;
+constexpr double kCopyCyclesPerLine = 3.0;
+} // namespace
+
+VSwitchHandler::VSwitchHandler(sim::Platform &platform,
+                               cache::CoreId core,
+                               std::shared_ptr<VSwitchTables> tables)
+    : platform_(platform), core_(core), tables_(std::move(tables))
+{
+    IAT_ASSERT(tables_ != nullptr, "vswitch needs shared tables");
+}
+
+void
+VSwitchHandler::addInboundRule(cache::DeviceId dev, TenantPort port)
+{
+    IAT_ASSERT(port.ring != nullptr && port.pool != nullptr,
+               "inbound rule needs tenant ring and pool");
+    inbound_[dev].push_back(port);
+}
+
+void
+VSwitchHandler::addOutboundRule(cache::DeviceId dev,
+                                net::NicQueue *nic)
+{
+    IAT_ASSERT(nic != nullptr, "outbound rule needs a NIC queue");
+    outbound_[dev] = nic;
+}
+
+double
+VSwitchHandler::classify(std::uint64_t flow, std::uint64_t &inst)
+{
+    double cycles = 0.0;
+    // EMC probe: 2 lines (key + action) in the EMC region.
+    const std::uint32_t slot = tables_->emcSlot(flow);
+    const auto &emc = tables_->emcRegion();
+    cycles += platform_.coreAccess(
+        core_, emc.lineAddr(slot * 2ull), AccessType::Read);
+    cycles += platform_.coreAccess(
+        core_, emc.lineAddr(slot * 2ull + 1), AccessType::Read);
+    cycles += kVsEmcHitCycles;
+    if (tables_->emcProbe(flow))
+        return cycles;
+
+    // Slow path: wildcard classifier probes scattered over a region
+    // that scales with the flow population (Fig 9's footprint), then
+    // EMC insertion (one line write).
+    cycles += kVsDpclsCycles;
+    inst += kVsDpclsInstructions;
+    const auto &dpcls = tables_->dpclsRegion();
+    for (unsigned p = 0; p < kVsDpclsProbes; ++p) {
+        const std::uint64_t line =
+            probeHash(flow, 100 + p) % dpcls.lines();
+        cycles += platform_.coreAccess(
+            core_, dpcls.lineAddr(line), AccessType::Read);
+    }
+    cycles += platform_.coreAccess(
+        core_, emc.lineAddr(slot * 2ull), AccessType::Write);
+    tables_->emcInstall(flow);
+    return cycles;
+}
+
+net::PacketHandler::Outcome
+VSwitchHandler::process(net::Packet pkt, double now)
+{
+    Outcome outcome;
+    outcome.cycles = kVsBaseCycles;
+    outcome.instructions = kVsBaseInstructions;
+
+    // Header read + classification.
+    outcome.cycles +=
+        platform_.coreAccess(core_, pkt.addr, AccessType::Read);
+    outcome.cycles += classify(pkt.flow, outcome.instructions);
+
+    if (!pkt.outbound) {
+        // NIC -> tenant direction: vhost copy into the tenant pool.
+        const auto in_it = inbound_.find(pkt.dev);
+        if (in_it == inbound_.end() || in_it->second.empty()) {
+            ++forward_drops_;
+            if (pkt.pool != nullptr)
+                pkt.pool->release(pkt.buf);
+            return outcome;
+        }
+        const TenantPort &port =
+            in_it->second[pkt.flow % in_it->second.size()];
+        std::uint32_t dst_buf = 0;
+        if (!port.pool->acquire(dst_buf)) {
+            ++forward_drops_;
+            pkt.pool->release(pkt.buf);
+            return outcome;
+        }
+        const cache::Addr dst = port.pool->bufAddr(dst_buf);
+        const std::uint64_t lines = linesFor(pkt.bytes);
+        outcome.cycles += platform_.coreTouch(core_, pkt.addr,
+                                              pkt.bytes,
+                                              AccessType::Read);
+        outcome.cycles += platform_.coreTouch(core_, dst, pkt.bytes,
+                                              AccessType::Write);
+        outcome.cycles += kCopyCyclesPerLine * lines;
+        outcome.instructions += kCopyInstPerLine * lines;
+
+        pkt.pool->release(pkt.buf);
+        net::Packet copy = pkt;
+        copy.addr = dst;
+        copy.pool = port.pool;
+        copy.buf = dst_buf;
+        const double done =
+            now + outcome.cycles / platform_.config().core_hz;
+        if (!port.ring->push(copy, done)) {
+            ++forward_drops_;
+            port.pool->release(dst_buf);
+        }
+        return outcome;
+    }
+
+    // Tenant -> NIC direction.
+    const auto out_it = outbound_.find(pkt.dev);
+    if (out_it != outbound_.end()) {
+        out_it->second->transmit(
+            pkt, now + outcome.cycles / platform_.config().core_hz);
+        return outcome;
+    }
+
+    // No route: drop.
+    ++forward_drops_;
+    if (pkt.pool != nullptr)
+        pkt.pool->release(pkt.buf);
+    return outcome;
+}
+
+// ---------------------------------------------------------------------
+// NF chain
+
+namespace {
+constexpr double kNfBaseCycles = 3 * 170.0; // three NFs' compute
+constexpr std::uint64_t kNfInstructions = 3 * 300;
+constexpr unsigned kFirewallRuleLines = 8;
+} // namespace
+
+NfChainHandler::NfChainHandler(sim::Platform &platform,
+                               cache::CoreId core,
+                               const std::string &name,
+                               std::uint64_t flow_count,
+                               ForwardPort out)
+    : platform_(platform), core_(core),
+      firewall_rules_(platform.addressSpace().alloc(
+          256 * cacheLineBytes, name + ".fw")),
+      flow_stats_(platform.addressSpace().alloc(
+          std::max<std::uint64_t>(flow_count, 1024) * cacheLineBytes,
+          name + ".stats")),
+      napt_(platform.addressSpace().alloc(
+          std::max<std::uint64_t>(flow_count, 1024) * cacheLineBytes,
+          name + ".napt")),
+      out_(out)
+{
+}
+
+net::PacketHandler::Outcome
+NfChainHandler::process(net::Packet pkt, double now)
+{
+    Outcome outcome;
+    outcome.cycles = kNfBaseCycles;
+    outcome.instructions = kNfInstructions;
+
+    // Header is read once and stays hot across the chain.
+    outcome.cycles +=
+        platform_.coreAccess(core_, pkt.addr, AccessType::Read);
+
+    // Firewall: linear scan of a small rule set (bulk reads).
+    const std::uint64_t first_rule =
+        probeHash(pkt.flow, 1) % (firewall_rules_.lines() -
+                                  kFirewallRuleLines);
+    outcome.cycles += platform_.coreTouch(
+        core_, firewall_rules_.lineAddr(first_rule),
+        kFirewallRuleLines * cacheLineBytes, AccessType::Read);
+
+    // Flow statistics: read-modify-write of the flow's record.
+    const std::uint64_t stat_line =
+        probeHash(pkt.flow, 2) % flow_stats_.lines();
+    outcome.cycles += platform_.coreAccess(
+        core_, flow_stats_.lineAddr(stat_line), AccessType::Read);
+    outcome.cycles += platform_.coreAccess(
+        core_, flow_stats_.lineAddr(stat_line), AccessType::Write);
+
+    // NAPT: translation lookup plus header rewrite.
+    const std::uint64_t napt_line =
+        probeHash(pkt.flow, 3) % napt_.lines();
+    outcome.cycles += platform_.coreAccess(
+        core_, napt_.lineAddr(napt_line), AccessType::Read);
+    outcome.cycles +=
+        platform_.coreAccess(core_, pkt.addr, AccessType::Write);
+
+    pkt.outbound = true;
+    forwardPacket(pkt, out_,
+                  now + outcome.cycles / platform_.config().core_hz);
+    return outcome;
+}
+
+// ---------------------------------------------------------------------
+// Redis
+
+namespace {
+constexpr double kRedisBaseCycles = 1100.0; // parse + dispatch + reply
+constexpr std::uint64_t kRedisInstructions = 1600;
+} // namespace
+
+RedisHandler::RedisHandler(sim::Platform &platform, cache::CoreId core,
+                           const std::string &name, const Config &cfg,
+                           net::BufferPool &tx_pool, ForwardPort out,
+                           std::uint64_t seed)
+    : platform_(platform), core_(core), cfg_(cfg),
+      index_(platform.addressSpace().alloc(
+          cfg.record_count * cacheLineBytes, name + ".index")),
+      values_(platform.addressSpace().alloc(
+          cfg.record_count * cfg.value_bytes, name + ".values")),
+      tx_pool_(tx_pool), out_(out), rng_(seed)
+{
+    IAT_ASSERT(tx_pool_.bufBytes() >=
+               cfg.value_bytes + cfg.response_headroom_bytes,
+               "redis tx buffers too small for responses");
+}
+
+net::PacketHandler::Outcome
+RedisHandler::process(net::Packet pkt, double now)
+{
+    Outcome outcome;
+    outcome.cycles = kRedisBaseCycles;
+    outcome.instructions = kRedisInstructions;
+
+    // Parse the request (header + command line).
+    outcome.cycles +=
+        platform_.coreAccess(core_, pkt.addr, AccessType::Read);
+
+    const std::uint64_t key = pkt.flow % cfg_.record_count;
+    const bool is_read = rng_.uniform() < cfg_.read_fraction;
+
+    // Main hash table: bucket + entry, dependent.
+    outcome.cycles += platform_.coreAccess(
+        core_, index_.lineAddr(probeHash(key, 11) % index_.lines()),
+        AccessType::Read);
+    outcome.cycles += platform_.coreAccess(
+        core_, index_.lineAddr(probeHash(key, 13) % index_.lines()),
+        AccessType::Read);
+
+    const cache::Addr value_addr =
+        values_.base + key * cfg_.value_bytes;
+
+    std::uint32_t response_bytes = 64; // status-only reply
+    std::uint32_t tx_buf = 0;
+    if (!tx_pool_.acquire(tx_buf)) {
+        ++tx_pool_drops_;
+        if (pkt.pool != nullptr)
+            pkt.pool->release(pkt.buf);
+        return outcome;
+    }
+    const cache::Addr tx_addr = tx_pool_.bufAddr(tx_buf);
+
+    if (is_read) {
+        // GET: read the value, serialize it into the response.
+        outcome.cycles += platform_.coreTouch(
+            core_, value_addr, cfg_.value_bytes, AccessType::Read);
+        response_bytes = cfg_.value_bytes +
+                         cfg_.response_headroom_bytes;
+        outcome.cycles += platform_.coreTouch(
+            core_, tx_addr, response_bytes, AccessType::Write);
+    } else {
+        // SET: read the payload off the wire, store it.
+        outcome.cycles += platform_.coreTouch(
+            core_, pkt.addr, pkt.bytes, AccessType::Read);
+        outcome.cycles += platform_.coreTouch(
+            core_, value_addr, cfg_.value_bytes, AccessType::Write);
+        outcome.cycles += platform_.coreTouch(
+            core_, tx_addr, response_bytes, AccessType::Write);
+    }
+
+    // Free the request, emit the response (keeps the request's
+    // arrival stamp so Tx logs end-to-end latency).
+    net::Packet response = pkt;
+    if (pkt.pool != nullptr)
+        pkt.pool->release(pkt.buf);
+    response.addr = tx_addr;
+    response.bytes = response_bytes;
+    response.pool = &tx_pool_;
+    response.buf = tx_buf;
+    response.outbound = true;
+    if (forwardPacket(response, out_,
+                      now + outcome.cycles /
+                                platform_.config().core_hz)) {
+        ++responses_;
+    }
+    return outcome;
+}
+
+} // namespace iat::wl

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * KvStoreWorkload implementation.
+ */
+
+#include "wl/kvstore.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace iat::wl {
+
+KvStoreWorkload::KvStoreWorkload(sim::Platform &platform,
+                                 cache::CoreId core, std::string name,
+                                 const KvStoreConfig &cfg,
+                                 const YcsbMix &mix, std::uint64_t seed)
+    : MemWorkload(platform, core, name), cfg_(cfg), mix_(mix),
+      nodes_(platform.addressSpace().alloc(
+          cfg.record_count * cacheLineBytes, name + ".index")),
+      values_(platform.addressSpace().alloc(
+          cfg.record_count * cfg.value_bytes, name + ".values")),
+      rng_(seed), zipf_(cfg.record_count, cfg.zipf_theta)
+{
+    index_depth_ = std::max(
+        2u, static_cast<unsigned>(
+                std::ceil(std::log2(
+                    static_cast<double>(cfg.record_count)))));
+}
+
+double
+KvStoreWorkload::indexLookup(std::uint64_t record)
+{
+    // A skiplist descent touches ~log2(n) nodes; the tower nodes are
+    // scattered, so model them as pseudo-random node lines seeded by
+    // the record (deterministic per key: hot keys reuse hot nodes,
+    // which is what gives Zipf traffic its cache locality).
+    double cycles = 0.0;
+    std::uint64_t h = record * 0x9e3779b97f4a7c15ull + 12345;
+    for (unsigned d = 0; d < index_depth_; ++d) {
+        h ^= h >> 29;
+        h *= 0xbf58476d1ce4e5b9ull;
+        const std::uint64_t line = h % nodes_.lines();
+        cycles += platform().coreAccess(core(), nodes_.lineAddr(line),
+                                        cache::AccessType::Read);
+    }
+    return cycles;
+}
+
+double
+KvStoreWorkload::touchValue(std::uint64_t record,
+                            cache::AccessType type)
+{
+    return platform().coreTouch(
+        core(), values_.base + record * cfg_.value_bytes,
+        cfg_.value_bytes, type);
+}
+
+double
+KvStoreWorkload::step(double /*now*/)
+{
+    const YcsbOp op = mix_.draw(rng_);
+    const std::uint64_t record = zipf_.nextScrambled(rng_);
+
+    double cycles = cfg_.base_cycles;
+    std::uint64_t inst = cfg_.base_instructions;
+
+    switch (op) {
+      case YcsbOp::Read:
+        cycles += indexLookup(record);
+        cycles += touchValue(record, cache::AccessType::Read);
+        break;
+      case YcsbOp::Update:
+        cycles += indexLookup(record);
+        cycles += touchValue(record, cache::AccessType::Write);
+        break;
+      case YcsbOp::Insert:
+        cycles += indexLookup(record);
+        // New node write + value write.
+        cycles += platform().coreAccess(
+            core(), nodes_.lineAddr(record % nodes_.lines()),
+            cache::AccessType::Write);
+        cycles += touchValue(record, cache::AccessType::Write);
+        inst += 200;
+        break;
+      case YcsbOp::Scan: {
+        cycles += indexLookup(record);
+        const unsigned len = std::max(1u, mix_.scan_len);
+        for (unsigned i = 0; i < len; ++i) {
+            cycles += touchValue((record + i) % cfg_.record_count,
+                                 cache::AccessType::Read);
+        }
+        inst += 150 * len;
+        break;
+      }
+      case YcsbOp::ReadModifyWrite:
+        cycles += indexLookup(record);
+        cycles += touchValue(record, cache::AccessType::Read);
+        cycles += touchValue(record, cache::AccessType::Write);
+        inst += 100;
+        break;
+      case YcsbOp::NumOps:
+        panic("invalid YCSB op");
+    }
+
+    platform().retire(core(), inst);
+    const double seconds = cycles / platform().config().core_hz;
+    recordLatency(seconds);
+    const auto idx = static_cast<unsigned>(op);
+    kind_latency_[idx].add(seconds);
+    ++kind_count_[idx];
+    return cycles;
+}
+
+const LatencyHistogram &
+KvStoreWorkload::opKindLatency(YcsbOp op) const
+{
+    return kind_latency_[static_cast<unsigned>(op)];
+}
+
+std::uint64_t
+KvStoreWorkload::opKindCount(YcsbOp op) const
+{
+    return kind_count_[static_cast<unsigned>(op)];
+}
+
+void
+KvStoreWorkload::resetKindStats()
+{
+    for (auto &h : kind_latency_)
+        h.reset();
+    kind_count_.fill(0);
+    resetStats();
+}
+
+} // namespace iat::wl

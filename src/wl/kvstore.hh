@@ -1,0 +1,86 @@
+/**
+ * @file
+ * In-memory key-value store model (the paper's RocksDB setup).
+ *
+ * The paper loads 10K one-KB records so everything stays in the
+ * memtable and no storage I/O happens (SS VI-C); performance is then
+ * a pure function of cache behaviour. The model mirrors that: a
+ * skiplist-shaped index (log2(n) dependent node reads over a node
+ * region) plus a value region read/written in bulk, driven by a YCSB
+ * mix with Zipf(0.99) keys. Per-op-kind latency histograms feed the
+ * Fig 13 "normalized weighted latency" metric.
+ */
+
+#ifndef IATSIM_WL_KVSTORE_HH
+#define IATSIM_WL_KVSTORE_HH
+
+#include <array>
+
+#include "sim/address_space.hh"
+#include "util/rng.hh"
+#include "util/zipf.hh"
+#include "wl/workload.hh"
+#include "wl/ycsb.hh"
+
+namespace iat::wl {
+
+/** Configuration of the KV store model. */
+struct KvStoreConfig
+{
+    std::uint64_t record_count = 10'000;
+    std::uint32_t value_bytes = 1024;
+    double zipf_theta = 0.99;
+    /** Fixed request-handling cost outside the data structures. */
+    double base_cycles = 800.0;
+    std::uint64_t base_instructions = 900;
+};
+
+/** Local (non-networked) YCSB-driven KV store workload. */
+class KvStoreWorkload : public MemWorkload
+{
+  public:
+    KvStoreWorkload(sim::Platform &platform, cache::CoreId core,
+                    std::string name, const KvStoreConfig &cfg,
+                    const YcsbMix &mix, std::uint64_t seed);
+
+    /** Change the operation mix (switch YCSB workloads). */
+    void setMix(const YcsbMix &mix) { mix_ = mix; }
+
+    /** Latency histogram (seconds) of one op kind. */
+    const LatencyHistogram &opKindLatency(YcsbOp op) const;
+
+    /** Ops per kind since the last resetStats(). */
+    std::uint64_t opKindCount(YcsbOp op) const;
+
+    /** Also clears the per-kind histograms. */
+    void resetKindStats();
+
+    const KvStoreConfig &config() const { return cfg_; }
+
+  protected:
+    double step(double now) override;
+
+  private:
+    /** Dependent skiplist descent to the record's node. */
+    double indexLookup(std::uint64_t record);
+
+    /** Bulk read/write of a record's value. */
+    double touchValue(std::uint64_t record, cache::AccessType type);
+
+    KvStoreConfig cfg_;
+    YcsbMix mix_;
+    sim::AddressSpace::Region nodes_;
+    sim::AddressSpace::Region values_;
+    unsigned index_depth_;
+    Rng rng_;
+    ZipfGenerator zipf_;
+
+    static constexpr unsigned kNumOps =
+        static_cast<unsigned>(YcsbOp::NumOps);
+    std::array<LatencyHistogram, kNumOps> kind_latency_;
+    std::array<std::uint64_t, kNumOps> kind_count_{};
+};
+
+} // namespace iat::wl
+
+#endif // IATSIM_WL_KVSTORE_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SpecWorkload implementation and the profile table.
+ */
+
+#include "wl/spec.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace iat::wl {
+
+const std::vector<SpecProfile> &
+spec2006Profiles()
+{
+    // name, wss, hot_frac, hot_prob, mem/kinst, cpi, dependent
+    static const std::vector<SpecProfile> profiles = {
+        {"mcf",        36 * MiB, 0.10, 0.60, 55.0, 0.80, 0.80},
+        {"omnetpp",    24 * MiB, 0.20, 0.70, 35.0, 0.90, 0.70},
+        {"xalancbmk",  20 * MiB, 0.15, 0.70, 30.0, 0.80, 0.60},
+        {"soplex",     16 * MiB, 0.25, 0.60, 30.0, 0.90, 0.40},
+        {"sphinx3",    12 * MiB, 0.30, 0.70, 25.0, 0.90, 0.40},
+        {"gcc",         8 * MiB, 0.30, 0.80, 20.0, 1.00, 0.50},
+        {"astar",      16 * MiB, 0.25, 0.65, 25.0, 0.90, 0.70},
+        {"milc",       24 * MiB, 0.90, 0.50, 30.0, 1.00, 0.20},
+        {"libquantum", 32 * MiB, 1.00, 0.50, 25.0, 0.90, 0.10},
+        {"lbm",        32 * MiB, 1.00, 0.50, 30.0, 1.00, 0.10},
+    };
+    return profiles;
+}
+
+const SpecProfile &
+specProfile(const std::string &name)
+{
+    for (const auto &p : spec2006Profiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown SPEC profile '%s'", name.c_str());
+}
+
+SpecWorkload::SpecWorkload(sim::Platform &platform, cache::CoreId core,
+                           const SpecProfile &profile,
+                           std::uint64_t seed)
+    : MemWorkload(platform, core, "spec." + profile.name),
+      profile_(profile),
+      region_(platform.addressSpace().alloc(profile.wss_bytes,
+                                            "spec." + profile.name)),
+      rng_(seed)
+{
+    total_lines_ = region_.lines();
+    hot_lines_ = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(total_lines_) *
+               profile_.hot_fraction));
+}
+
+double
+SpecWorkload::step(double /*now*/)
+{
+    // One step = 1000 retired instructions plus their post-L1 memory
+    // accesses; fractional access counts carry across steps.
+    double want = profile_.mem_per_kinst + mem_carry_;
+    const auto n_mem = static_cast<std::uint64_t>(want);
+    mem_carry_ = want - static_cast<double>(n_mem);
+
+    double mem_cycles = 0.0;
+    const double mlp =
+        std::max(1.0, platform().config().latency.bulk_mlp);
+    for (std::uint64_t i = 0; i < n_mem; ++i) {
+        const bool hot = rng_.uniform() < profile_.hot_access_prob;
+        const std::uint64_t line =
+            hot ? rng_.below(hot_lines_)
+                : hot_lines_ +
+                      rng_.below(std::max<std::uint64_t>(
+                          1, total_lines_ - hot_lines_));
+        const double lat = platform().coreAccess(
+            core(), region_.lineAddr(line), cache::AccessType::Read);
+        const bool dependent =
+            rng_.uniform() < profile_.dependent_frac;
+        mem_cycles += dependent ? lat : lat / mlp;
+    }
+
+    const double cycles =
+        static_cast<double>(kInstPerStep) * profile_.cpi_base +
+        mem_cycles;
+    platform().retire(core(), kInstPerStep);
+    return cycles;
+}
+
+} // namespace iat::wl

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * MemWorkload implementation.
+ */
+
+#include "wl/workload.hh"
+
+#include "util/logging.hh"
+
+namespace iat::wl {
+
+MemWorkload::MemWorkload(sim::Platform &platform, cache::CoreId core,
+                         std::string name)
+    : platform_(platform), core_(core), name_(std::move(name))
+{
+    IAT_ASSERT(core < platform.config().num_cores,
+               "workload '%s' bound to core %u outside the socket",
+               name_.c_str(), core);
+}
+
+void
+MemWorkload::runQuantum(double t_start, double dt)
+{
+    if (!active_)
+        return;
+    double budget = dt * platform_.config().core_hz - debt_cycles_;
+    const double hz = platform_.config().core_hz;
+    double now = t_start;
+    while (budget > 0.0) {
+        const double cost = step(now);
+        IAT_ASSERT(cost > 0.0, "step() of '%s' returned %.1f cycles",
+                   name_.c_str(), cost);
+        budget -= cost;
+        now += cost / hz;
+        ++ops_;
+    }
+    debt_cycles_ = -budget;
+}
+
+void
+MemWorkload::resetStats()
+{
+    ops_ = 0;
+    latency_.reset();
+}
+
+} // namespace iat::wl

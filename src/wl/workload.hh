@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Base class for time-driven (non-packet) workload models.
+ *
+ * A MemWorkload occupies one core and converts simulated time into
+ * completed operations: each quantum it spends dt * f cycles running
+ * step() repeatedly, where step() performs the memory accesses of one
+ * operation through the platform (so all cache/DRAM behaviour is
+ * real) and returns its cycle cost. Overdraft carries across quantum
+ * boundaries so long operations are not truncated.
+ */
+
+#ifndef IATSIM_WL_WORKLOAD_HH
+#define IATSIM_WL_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hh"
+#include "util/stats.hh"
+
+namespace iat::wl {
+
+/** One-core operation-loop workload; see file comment. */
+class MemWorkload : public sim::Runnable
+{
+  public:
+    MemWorkload(sim::Platform &platform, cache::CoreId core,
+                std::string name);
+
+    void runQuantum(double t_start, double dt) final;
+
+    cache::CoreId core() const { return core_; }
+    const std::string &name() const { return name_; }
+
+    /** Operations completed since construction (monotonic). */
+    std::uint64_t opsCompleted() const { return ops_; }
+
+    /** Latency distribution of completed operations, in seconds. */
+    const LatencyHistogram &opLatency() const { return latency_; }
+
+    /** Clear the op counter and latency histogram (phase windows). */
+    void resetStats();
+
+    /** Pause/resume execution (for solo-vs-corun comparisons). */
+    void setActive(bool active) { active_ = active; }
+
+  protected:
+    /**
+     * Perform one operation at simulated time ~@p now: issue its
+     * memory accesses via platform(), retire its instructions, and
+     * return its cost in cycles (> 0).
+     */
+    virtual double step(double now) = 0;
+
+    sim::Platform &platform() { return platform_; }
+
+    /** Record an op latency (seconds); called by subclasses. */
+    void recordLatency(double seconds) { latency_.add(seconds); }
+
+  private:
+    sim::Platform &platform_;
+    cache::CoreId core_;
+    std::string name_;
+    double debt_cycles_ = 0.0;
+    bool active_ = true;
+    std::uint64_t ops_ = 0;
+    LatencyHistogram latency_;
+};
+
+} // namespace iat::wl
+
+#endif // IATSIM_WL_WORKLOAD_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * XMemWorkload implementation.
+ */
+
+#include "wl/xmem.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace iat::wl {
+
+namespace {
+/** Loop overhead of one chase iteration (index math + branch). */
+constexpr double kComputeCycles = 4.0;
+constexpr std::uint64_t kInstructionsPerOp = 8;
+} // namespace
+
+XMemWorkload::XMemWorkload(sim::Platform &platform, cache::CoreId core,
+                           std::string name,
+                           std::uint64_t working_set_bytes,
+                           std::uint64_t max_bytes, std::uint64_t seed)
+    : MemWorkload(platform, core, name),
+      region_(platform.addressSpace().alloc(
+          std::max(max_bytes, working_set_bytes), name + ".ws")),
+      rng_(seed)
+{
+    setWorkingSet(working_set_bytes);
+}
+
+void
+XMemWorkload::setWorkingSet(std::uint64_t bytes)
+{
+    IAT_ASSERT(bytes >= cacheLineBytes && bytes <= region_.bytes,
+               "X-Mem working set %llu outside region of %llu bytes",
+               static_cast<unsigned long long>(bytes),
+               static_cast<unsigned long long>(region_.bytes));
+    ws_bytes_ = bytes;
+    ws_lines_ = bytes / cacheLineBytes;
+}
+
+double
+XMemWorkload::step(double /*now*/)
+{
+    const std::uint64_t line = rng_.below(ws_lines_);
+    const double access = platform().coreAccess(
+        core(), region_.lineAddr(line), cache::AccessType::Read);
+    const double cycles = access + kComputeCycles;
+    platform().retire(core(), kInstructionsPerOp);
+    recordLatency(cycles / platform().config().core_hz);
+    return cycles;
+}
+
+double
+XMemWorkload::avgThroughputBytesPerSec() const
+{
+    const double lat = opLatency().mean();
+    return lat > 0.0 ? cacheLineBytes / lat : 0.0;
+}
+
+} // namespace iat::wl

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * YCSB core-workload definitions (Cooper et al., SoCC'10).
+ *
+ * Both the local RocksDB-style store and the networked Redis model
+ * are exercised with the standard A-F mixes, keys drawn from the
+ * scrambled Zipf(0.99) distribution the paper configures.
+ */
+
+#ifndef IATSIM_WL_YCSB_HH
+#define IATSIM_WL_YCSB_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace iat::wl {
+
+/** YCSB operation kinds. */
+enum class YcsbOp : unsigned
+{
+    Read = 0,
+    Update,
+    Insert,
+    Scan,
+    ReadModifyWrite,
+    NumOps
+};
+
+/** One workload mix; probabilities sum to 1. */
+struct YcsbMix
+{
+    char id;
+    double read;
+    double update;
+    double insert;
+    double scan;
+    double rmw;
+    unsigned scan_len;
+
+    /** Draw the next operation kind. */
+    YcsbOp
+    draw(Rng &rng) const
+    {
+        double u = rng.uniform();
+        if ((u -= read) < 0.0)
+            return YcsbOp::Read;
+        if ((u -= update) < 0.0)
+            return YcsbOp::Update;
+        if ((u -= insert) < 0.0)
+            return YcsbOp::Insert;
+        if ((u -= scan) < 0.0)
+            return YcsbOp::Scan;
+        return YcsbOp::ReadModifyWrite;
+    }
+};
+
+/** The standard mix for workload @p id in {'A'..'F'}. */
+inline const YcsbMix &
+ycsbWorkload(char id)
+{
+    static const YcsbMix mixes[] = {
+        //            read  upd   ins   scan  rmw   scan_len
+        {'A', 0.50, 0.50, 0.00, 0.00, 0.00, 0},
+        {'B', 0.95, 0.05, 0.00, 0.00, 0.00, 0},
+        {'C', 1.00, 0.00, 0.00, 0.00, 0.00, 0},
+        {'D', 0.95, 0.00, 0.05, 0.00, 0.00, 0},
+        {'E', 0.00, 0.00, 0.05, 0.95, 0.00, 10},
+        {'F', 0.50, 0.00, 0.00, 0.00, 0.50, 0},
+    };
+    IAT_ASSERT(id >= 'A' && id <= 'F', "YCSB workload must be A-F");
+    return mixes[id - 'A'];
+}
+
+} // namespace iat::wl
+
+#endif // IATSIM_WL_YCSB_HH

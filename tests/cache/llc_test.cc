@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Unit tests for the sliced LLC: CAT allocation semantics (paper
+ * Footnote 1), DDIO write update / write allocate (SS II-B), LRU
+ * victim selection, occupancy accounting and counter behaviour.
+ */
+
+#include "cache/llc.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace iat::cache {
+namespace {
+
+/** Small geometry so capacity effects are cheap to provoke. */
+CacheGeometry
+tinyGeometry()
+{
+    CacheGeometry g;
+    g.num_slices = 2;
+    g.sets_per_slice = 64;
+    g.num_ways = 4;
+    return g;
+}
+
+class LlcTest : public testing::Test
+{
+  protected:
+    LlcTest() : llc(tinyGeometry(), 4) {}
+
+    Addr
+    addr(std::uint64_t i) const
+    {
+        return i * 64;
+    }
+
+    SlicedLlc llc;
+};
+
+TEST_F(LlcTest, MissThenHit)
+{
+    auto r = llc.coreAccess(0, addr(1), AccessType::Read);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.allocated);
+    r = llc.coreAccess(0, addr(1), AccessType::Read);
+    EXPECT_TRUE(r.hit);
+    EXPECT_FALSE(r.allocated);
+}
+
+TEST_F(LlcTest, CountersTrackRefsAndMisses)
+{
+    llc.coreAccess(0, addr(1), AccessType::Read);
+    llc.coreAccess(0, addr(1), AccessType::Read);
+    llc.coreAccess(0, addr(2), AccessType::Read);
+    const auto &c = llc.coreCounters(0);
+    EXPECT_EQ(c.llc_refs, 3u);
+    EXPECT_EQ(c.llc_misses, 2u);
+}
+
+TEST_F(LlcTest, CountersArePerCore)
+{
+    llc.coreAccess(0, addr(1), AccessType::Read);
+    llc.coreAccess(1, addr(2), AccessType::Read);
+    EXPECT_EQ(llc.coreCounters(0).llc_refs, 1u);
+    EXPECT_EQ(llc.coreCounters(1).llc_refs, 1u);
+}
+
+TEST_F(LlcTest, DefaultDdioMaskIsTopTwoWays)
+{
+    EXPECT_EQ(llc.ddioMask(), WayMask::fromRange(2, 2));
+}
+
+TEST_F(LlcTest, DdioWriteAllocateThenUpdate)
+{
+    auto r = llc.ddioWrite(addr(5), 0);
+    EXPECT_FALSE(r.hit); // write allocate = DDIO miss
+    EXPECT_TRUE(r.allocated);
+    r = llc.ddioWrite(addr(5), 0);
+    EXPECT_TRUE(r.hit); // write update = DDIO hit
+    EXPECT_FALSE(r.allocated);
+}
+
+TEST_F(LlcTest, DdioCountersAggregateAcrossSlices)
+{
+    for (std::uint64_t i = 0; i < 100; ++i)
+        llc.ddioWrite(addr(i), 0);
+    std::uint64_t misses = 0;
+    for (unsigned s = 0; s < llc.geometry().num_slices; ++s)
+        misses += llc.sliceCounters(s).ddio_misses;
+    // First pass: all distinct lines write-allocate.
+    EXPECT_EQ(misses, 100u);
+    // Second pass: every event is either a hit or another allocate;
+    // most lines survive in the two DDIO ways of this tiny cache.
+    for (std::uint64_t i = 0; i < 100; ++i)
+        llc.ddioWrite(addr(i), 0);
+    std::uint64_t hits = 0, misses2 = 0;
+    for (unsigned s = 0; s < llc.geometry().num_slices; ++s) {
+        hits += llc.sliceCounters(s).ddio_hits;
+        misses2 += llc.sliceCounters(s).ddio_misses;
+    }
+    EXPECT_EQ(hits + (misses2 - misses), 100u);
+    EXPECT_GT(hits, 50u);
+}
+
+TEST_F(LlcTest, PerDeviceCounters)
+{
+    llc.ddioWrite(addr(1), 0);
+    llc.ddioWrite(addr(2), 1);
+    llc.ddioWrite(addr(2), 1);
+    EXPECT_EQ(llc.deviceCounters(0).ddio_misses, 1u);
+    EXPECT_EQ(llc.deviceCounters(1).ddio_misses, 1u);
+    EXPECT_EQ(llc.deviceCounters(1).ddio_hits, 1u);
+}
+
+TEST_F(LlcTest, DeviceReadNeverAllocates)
+{
+    auto r = llc.deviceRead(addr(9), 0);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.allocated);
+    EXPECT_FALSE(llc.isPresent(addr(9)));
+    // But it does hit data the core brought in.
+    llc.coreAccess(0, addr(9), AccessType::Read);
+    r = llc.deviceRead(addr(9), 0);
+    EXPECT_TRUE(r.hit);
+}
+
+TEST_F(LlcTest, CoreAllocatesOnlyInItsMask)
+{
+    // Confine CLOS 1 to way 0 and fill far beyond one way's capacity:
+    // occupancy must never exceed the ways it may allocate into.
+    llc.setClosMask(1, WayMask::fromRange(0, 1));
+    llc.assocCoreClos(0, 1);
+    llc.assocCoreRmid(0, 5);
+    const auto way_lines = llc.geometry().linesPerWay();
+    for (std::uint64_t i = 0; i < way_lines * 4; ++i)
+        llc.coreAccess(0, addr(i), AccessType::Read);
+    EXPECT_LE(llc.rmidLines(5), way_lines);
+    EXPECT_GT(llc.rmidLines(5), way_lines / 2);
+}
+
+TEST_F(LlcTest, Footnote1HitInForeignWays)
+{
+    // Core 0 (CLOS 1, way 0 only) must still *hit* a line DDIO
+    // allocated in the DDIO ways -- that is the Latent Contender
+    // mechanism.
+    llc.setClosMask(1, WayMask::fromRange(0, 1));
+    llc.assocCoreClos(0, 1);
+    llc.ddioWrite(addr(77), 0);
+    const auto r = llc.coreAccess(0, addr(77), AccessType::Read);
+    EXPECT_TRUE(r.hit);
+}
+
+TEST_F(LlcTest, DdioEvictsCoreLinesFromDdioWays)
+{
+    // A core whose CLOS covers the DDIO ways allocates there; heavy
+    // DDIO traffic then evicts its lines (Latent Contender).
+    llc.setClosMask(1, llc.ddioMask());
+    llc.assocCoreClos(0, 1);
+    llc.assocCoreRmid(0, 3);
+    llc.coreAccess(0, addr(1000), AccessType::Read);
+    EXPECT_TRUE(llc.isPresent(addr(1000)));
+    const auto lines = llc.geometry().linesPerWay() * 2;
+    for (std::uint64_t i = 0; i < lines * 2; ++i)
+        llc.ddioWrite(addr(2000 + i), 0);
+    EXPECT_FALSE(llc.isPresent(addr(1000)));
+}
+
+TEST_F(LlcTest, DirtyVictimReportsWriteback)
+{
+    llc.setClosMask(1, WayMask::fromRange(0, 1));
+    llc.assocCoreClos(0, 1);
+    // Fill with dirty lines, then overflow: evictions must report
+    // writebacks.
+    const auto way_lines = llc.geometry().linesPerWay();
+    for (std::uint64_t i = 0; i < way_lines * 2; ++i)
+        llc.coreAccess(0, addr(i), AccessType::Write);
+    EXPECT_GT(llc.totalWritebacks(), 0u);
+}
+
+TEST_F(LlcTest, CleanVictimNoWriteback)
+{
+    llc.setClosMask(1, WayMask::fromRange(0, 1));
+    llc.assocCoreClos(0, 1);
+    const auto way_lines = llc.geometry().linesPerWay();
+    for (std::uint64_t i = 0; i < way_lines * 2; ++i)
+        llc.coreAccess(0, addr(i), AccessType::Read);
+    EXPECT_EQ(llc.totalWritebacks(), 0u);
+}
+
+TEST_F(LlcTest, WritebackFromCoreUpdatesOrAllocates)
+{
+    // Present line: update, no ref counted.
+    llc.coreAccess(0, addr(4), AccessType::Read);
+    const auto refs_before = llc.coreCounters(0).llc_refs;
+    auto r = llc.writebackFromCore(0, addr(4));
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(llc.coreCounters(0).llc_refs, refs_before);
+    // Absent line: allocate dirty.
+    r = llc.writebackFromCore(0, addr(123));
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.allocated);
+    EXPECT_TRUE(llc.isPresent(addr(123)));
+}
+
+TEST_F(LlcTest, LruVictimSelection)
+{
+    // One-way mask: every new line evicts the previous one (direct
+    // mapped behaviour within the mask).
+    llc.setClosMask(1, WayMask::fromRange(0, 1));
+    llc.assocCoreClos(0, 1);
+    // Find two lines in the same slice+set by brute force: with one
+    // way they conflict deterministically.
+    llc.coreAccess(0, addr(1), AccessType::Read);
+    bool evicted = false;
+    for (std::uint64_t i = 2; i < 5000 && !evicted; ++i) {
+        llc.coreAccess(0, addr(i), AccessType::Read);
+        evicted = !llc.isPresent(addr(1));
+    }
+    EXPECT_TRUE(evicted);
+}
+
+TEST_F(LlcTest, RmidOccupancyTracksAllocAndEvict)
+{
+    llc.assocCoreRmid(0, 7);
+    for (std::uint64_t i = 0; i < 50; ++i)
+        llc.coreAccess(0, addr(i), AccessType::Read);
+    EXPECT_EQ(llc.rmidLines(7), 50u);
+    EXPECT_EQ(llc.rmidBytes(7), 50u * 64u);
+    llc.invalidate(addr(0));
+    EXPECT_EQ(llc.rmidLines(7), 49u);
+    llc.flushAll();
+    EXPECT_EQ(llc.rmidLines(7), 0u);
+}
+
+TEST_F(LlcTest, DdioOwnsItsLinesInOccupancy)
+{
+    llc.ddioWrite(addr(1), 0);
+    EXPECT_EQ(llc.rmidLines(SlicedLlc::ddioRmid), 1u);
+}
+
+TEST_F(LlcTest, DdioDisabledInvalidatesAndBypasses)
+{
+    llc.coreAccess(0, addr(1), AccessType::Read);
+    llc.setDdioEnabled(false);
+    const auto r = llc.ddioWrite(addr(1), 0);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.allocated);
+    EXPECT_FALSE(llc.isPresent(addr(1)));
+    // No DDIO counters move when disabled.
+    std::uint64_t events = 0;
+    for (unsigned s = 0; s < llc.geometry().num_slices; ++s) {
+        events += llc.sliceCounters(s).ddio_hits +
+                  llc.sliceCounters(s).ddio_misses;
+    }
+    EXPECT_EQ(events, 0u);
+}
+
+TEST_F(LlcTest, SettingDdioMaskChangesAllocationRegion)
+{
+    llc.setDdioMask(WayMask::fromRange(0, 4)); // whole tiny cache
+    const auto lines = llc.geometry().totalLines();
+    std::uint64_t hits = 0;
+    for (int round = 0; round < 2; ++round) {
+        for (std::uint64_t i = 0; i < lines / 2; ++i) {
+            if (llc.ddioWrite(addr(i), 0).hit)
+                ++hits;
+        }
+    }
+    // Half-capacity working set over the full mask: second round
+    // mostly write updates.
+    EXPECT_GT(hits, lines / 2 * 0.7);
+}
+
+TEST_F(LlcTest, HitsDistributeAcrossSlices)
+{
+    // The address hash must spread lines near-evenly (the monitor
+    // relies on it; SS V).
+    const std::uint64_t n = 20000;
+    for (std::uint64_t i = 0; i < n; ++i)
+        llc.coreAccess(0, addr(i * 17), AccessType::Read);
+    for (unsigned s = 0; s < llc.geometry().num_slices; ++s) {
+        const double share =
+            static_cast<double>(llc.sliceCounters(s).lookups) /
+            static_cast<double>(n);
+        EXPECT_NEAR(share, 1.0 / llc.geometry().num_slices, 0.05);
+    }
+}
+
+TEST(LlcFullGeometry, TableIConfiguration)
+{
+    const CacheGeometry g;
+    EXPECT_EQ(g.totalBytes(),
+              static_cast<std::uint64_t>(24.75 * 1024 * 1024));
+    EXPECT_EQ(g.num_ways, 11u);
+    EXPECT_EQ(g.num_slices, 18u);
+    EXPECT_NEAR(static_cast<double>(g.wayBytes()) / (1024 * 1024),
+                2.25, 1e-9);
+}
+
+TEST(LlcDeath, RejectsBadClosMask)
+{
+    SlicedLlc llc(tinyGeometry(), 2);
+    EXPECT_DEATH(llc.setClosMask(0, WayMask{0b101}), "consecutive");
+    EXPECT_DEATH(llc.setClosMask(0, WayMask{0}), "consecutive");
+    EXPECT_DEATH(llc.setClosMask(0, WayMask::fromRange(3, 2)),
+                 "exceeds way count");
+}
+
+TEST(LlcDeath, RejectsOutOfRangeIds)
+{
+    SlicedLlc llc(tinyGeometry(), 2);
+    EXPECT_DEATH(llc.coreAccess(2, 0, AccessType::Read),
+                 "core out of range");
+    EXPECT_DEATH(llc.assocCoreClos(0, SlicedLlc::numClos),
+                 "out of range");
+}
+
+} // namespace
+} // namespace iat::cache

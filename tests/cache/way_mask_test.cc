@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit and property tests for WayMask (CAT capacity bitmasks).
+ */
+
+#include "cache/way_mask.hh"
+
+#include <gtest/gtest.h>
+
+namespace iat::cache {
+namespace {
+
+TEST(WayMask, FromRange)
+{
+    EXPECT_EQ(WayMask::fromRange(0, 2).bits(), 0b11u);
+    EXPECT_EQ(WayMask::fromRange(9, 2).bits(), 0b110'0000'0000u);
+    EXPECT_EQ(WayMask::fromRange(3, 0).bits(), 0u);
+    EXPECT_EQ(WayMask::fromRange(0, 11).count(), 11u);
+}
+
+TEST(WayMask, FullMask)
+{
+    EXPECT_EQ(WayMask::full(11).count(), 11u);
+    EXPECT_EQ(WayMask::full(11).lowest(), 0u);
+    EXPECT_EQ(WayMask::full(11).highest(), 10u);
+}
+
+TEST(WayMask, ContainsAndBounds)
+{
+    const auto mask = WayMask::fromRange(4, 3);
+    EXPECT_FALSE(mask.contains(3));
+    EXPECT_TRUE(mask.contains(4));
+    EXPECT_TRUE(mask.contains(6));
+    EXPECT_FALSE(mask.contains(7));
+    EXPECT_EQ(mask.lowest(), 4u);
+    EXPECT_EQ(mask.highest(), 6u);
+    EXPECT_EQ(mask.count(), 3u);
+}
+
+TEST(WayMask, EmptyMask)
+{
+    WayMask mask;
+    EXPECT_TRUE(mask.empty());
+    EXPECT_EQ(mask.count(), 0u);
+    EXPECT_FALSE(mask.isValidCbm());
+}
+
+TEST(WayMask, ValidCbmRequiresConsecutive)
+{
+    EXPECT_TRUE(WayMask{0b1u}.isValidCbm());
+    EXPECT_TRUE(WayMask{0b110u}.isValidCbm());
+    EXPECT_TRUE(WayMask{0b11111111111u}.isValidCbm());
+    EXPECT_FALSE(WayMask{0b101u}.isValidCbm());
+    EXPECT_FALSE(WayMask{0b1001u}.isValidCbm());
+    EXPECT_FALSE(WayMask{0u}.isValidCbm());
+}
+
+TEST(WayMask, SetOperations)
+{
+    const auto a = WayMask::fromRange(0, 4);
+    const auto b = WayMask::fromRange(2, 4);
+    EXPECT_EQ((a & b).bits(), 0b1100u);
+    EXPECT_EQ((a | b).bits(), 0b111111u);
+    EXPECT_EQ(a.minus(b).bits(), 0b11u);
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_FALSE(a.overlaps(WayMask::fromRange(8, 2)));
+}
+
+TEST(WayMask, ToString)
+{
+    EXPECT_EQ(WayMask::fromRange(9, 2).toString(11), "0b11000000000");
+    EXPECT_EQ(WayMask::fromRange(0, 1).toString(4), "0b0001");
+}
+
+TEST(WayMask, EqualityAndDefault)
+{
+    EXPECT_EQ(WayMask{}, WayMask{0});
+    EXPECT_EQ(WayMask::fromRange(1, 2), WayMask{0b110});
+    EXPECT_NE(WayMask{1}, WayMask{2});
+}
+
+/** Property sweep: every (first,count) range over 11 ways is a valid
+ *  CBM and reports the right geometry. */
+class WayMaskRangeProperty
+    : public testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(WayMaskRangeProperty, RangeMasksAreValidCbms)
+{
+    const auto [first, count] = GetParam();
+    const auto mask = WayMask::fromRange(first, count);
+    EXPECT_EQ(mask.count(), count);
+    EXPECT_TRUE(mask.isValidCbm());
+    EXPECT_EQ(mask.lowest(), first);
+    EXPECT_EQ(mask.highest(), first + count - 1);
+    for (unsigned w = 0; w < 32; ++w) {
+        EXPECT_EQ(mask.contains(w), w >= first && w < first + count);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRangesOver11Ways, WayMaskRangeProperty,
+    testing::ValuesIn([] {
+        std::vector<std::tuple<unsigned, unsigned>> ranges;
+        for (unsigned first = 0; first < 11; ++first) {
+            for (unsigned count = 1; first + count <= 11; ++count)
+                ranges.emplace_back(first, count);
+        }
+        return ranges;
+    }()));
+
+} // namespace
+} // namespace iat::cache

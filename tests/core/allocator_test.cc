@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit and property tests for the way allocator: layout invariants,
+ * grow/shrink, DDIO bounds, and shuffling.
+ */
+
+#include "core/allocator.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace iat::core {
+namespace {
+
+using cache::WayMask;
+
+TEST(Allocator, InitialLayoutIsBottomPacked)
+{
+    WayAllocator alloc(11, 2);
+    alloc.setTenants({3, 2, 2});
+    EXPECT_EQ(alloc.tenantMask(0), WayMask::fromRange(0, 3));
+    EXPECT_EQ(alloc.tenantMask(1), WayMask::fromRange(3, 2));
+    EXPECT_EQ(alloc.tenantMask(2), WayMask::fromRange(5, 2));
+    EXPECT_EQ(alloc.idleWays(), 4u);
+}
+
+TEST(Allocator, DdioMaskIsTopWays)
+{
+    WayAllocator alloc(11, 2);
+    EXPECT_EQ(alloc.ddioMask(), WayMask::fromRange(9, 2));
+    alloc.setDdioWays(4);
+    EXPECT_EQ(alloc.ddioMask(), WayMask::fromRange(7, 4));
+}
+
+TEST(Allocator, GrowShrinkDdioRespectsBounds)
+{
+    WayAllocator alloc(11, 2);
+    EXPECT_TRUE(alloc.growDdio(6));
+    EXPECT_EQ(alloc.ddioWays(), 3u);
+    for (int i = 0; i < 10; ++i)
+        alloc.growDdio(6);
+    EXPECT_EQ(alloc.ddioWays(), 6u);
+    EXPECT_FALSE(alloc.growDdio(6));
+    for (int i = 0; i < 10; ++i)
+        alloc.shrinkDdio(1);
+    EXPECT_EQ(alloc.ddioWays(), 1u);
+    EXPECT_FALSE(alloc.shrinkDdio(1));
+}
+
+TEST(Allocator, GrowTenantConsumesIdle)
+{
+    WayAllocator alloc(11, 2);
+    alloc.setTenants({2, 2});
+    EXPECT_EQ(alloc.idleWays(), 7u);
+    EXPECT_TRUE(alloc.growTenant(0));
+    EXPECT_EQ(alloc.tenantWays(0), 3u);
+    EXPECT_EQ(alloc.idleWays(), 6u);
+    // Tenant 1 shifted up but stayed consecutive and disjoint.
+    EXPECT_EQ(alloc.tenantMask(0), WayMask::fromRange(0, 3));
+    EXPECT_EQ(alloc.tenantMask(1), WayMask::fromRange(3, 2));
+}
+
+TEST(Allocator, GrowFailsWithoutIdle)
+{
+    WayAllocator alloc(4, 1);
+    alloc.setTenants({2, 2});
+    EXPECT_FALSE(alloc.growTenant(0));
+}
+
+TEST(Allocator, ShrinkTenantFloorsAtOneWay)
+{
+    WayAllocator alloc(11, 2);
+    alloc.setTenants({2});
+    EXPECT_TRUE(alloc.shrinkTenant(0));
+    EXPECT_FALSE(alloc.shrinkTenant(0));
+    EXPECT_EQ(alloc.tenantWays(0), 1u);
+}
+
+TEST(Allocator, OverlapDetection)
+{
+    WayAllocator alloc(11, 2);
+    alloc.setTenants({5, 5}); // fills ways 0..9; DDIO on 9..10
+    EXPECT_FALSE(alloc.tenantOverlapsDdio(0));
+    EXPECT_TRUE(alloc.tenantOverlapsDdio(1));
+}
+
+TEST(Allocator, IdleSitsUnderDdioAvoidingOverlap)
+{
+    // SS IV-D: no core-I/O sharing while ways remain unallocated.
+    WayAllocator alloc(11, 4);
+    alloc.setTenants({2, 2, 2});
+    for (std::size_t t = 0; t < 3; ++t)
+        EXPECT_FALSE(alloc.tenantOverlapsDdio(t));
+}
+
+TEST(Allocator, SetOrderMovesTopTenant)
+{
+    WayAllocator alloc(11, 2);
+    alloc.setTenants({4, 4, 3});
+    alloc.setOrder({2, 0, 1});
+    EXPECT_EQ(alloc.tenantMask(2), WayMask::fromRange(0, 3));
+    EXPECT_EQ(alloc.tenantMask(0), WayMask::fromRange(3, 4));
+    EXPECT_EQ(alloc.tenantMask(1), WayMask::fromRange(7, 4));
+    EXPECT_TRUE(alloc.tenantOverlapsDdio(1));
+    EXPECT_FALSE(alloc.tenantOverlapsDdio(0));
+}
+
+TEST(AllocatorDeath, RejectsOverCommit)
+{
+    WayAllocator alloc(4, 1);
+    EXPECT_DEATH(alloc.setTenants({3, 2}), "exceeds");
+}
+
+TEST(AllocatorDeath, RejectsZeroWayTenant)
+{
+    WayAllocator alloc(11, 2);
+    EXPECT_DEATH(alloc.setTenants({0}), "at least one way");
+}
+
+TEST(AllocatorDeath, RejectsBadOrder)
+{
+    WayAllocator alloc(11, 2);
+    alloc.setTenants({1, 1});
+    EXPECT_DEATH(alloc.setOrder({0}), "cover every tenant");
+    EXPECT_DEATH(alloc.setOrder({0, 0}), "permutation");
+}
+
+/**
+ * Property: under any sequence of grow/shrink/reorder operations,
+ * tenant masks stay valid CBMs, mutually disjoint, within the LLC,
+ * and sizes match the mask populations.
+ */
+class AllocatorProperty : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(AllocatorProperty, InvariantsSurviveRandomOperations)
+{
+    const unsigned seed = GetParam();
+    std::uint64_t state = seed * 2654435761u + 1;
+    auto rnd = [&](unsigned bound) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<unsigned>((state >> 33) % bound);
+    };
+
+    WayAllocator alloc(11, 2);
+    alloc.setTenants({2, 1, 2, 1});
+    for (int step = 0; step < 300; ++step) {
+        switch (rnd(6)) {
+          case 0: alloc.growTenant(rnd(4)); break;
+          case 1: alloc.shrinkTenant(rnd(4)); break;
+          case 2: alloc.growDdio(6); break;
+          case 3: alloc.shrinkDdio(1); break;
+          case 4: {
+            std::vector<std::size_t> order = {0, 1, 2, 3};
+            std::swap(order[rnd(4)], order[rnd(4)]);
+            alloc.setOrder(order);
+            break;
+          }
+          case 5: break; // no-op tick
+        }
+
+        WayMask all_tenants{};
+        unsigned total = 0;
+        for (std::size_t t = 0; t < 4; ++t) {
+            const auto mask = alloc.tenantMask(t);
+            ASSERT_TRUE(mask.isValidCbm());
+            ASSERT_LE(mask.highest(), 10u);
+            ASSERT_EQ(mask.count(), alloc.tenantWays(t));
+            ASSERT_FALSE(mask.overlaps(all_tenants))
+                << "tenant masks must stay disjoint";
+            all_tenants = all_tenants | mask;
+            total += mask.count();
+        }
+        ASSERT_EQ(alloc.idleWays(), 11u - total);
+        ASSERT_TRUE(alloc.ddioMask().isValidCbm());
+        ASSERT_GE(alloc.ddioWays(), 1u);
+        ASSERT_LE(alloc.ddioWays(), 6u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWalks, AllocatorProperty,
+                         testing::Range(1u, 21u));
+
+} // namespace
+} // namespace iat::core

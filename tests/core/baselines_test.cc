@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit tests for the baseline policies: Core-only's I/O blindness,
+ * I/O-iso's exclusion rule, and ResQ ring sizing.
+ */
+
+#include "core/baselines.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/platform.hh"
+
+namespace iat::core {
+namespace {
+
+using cache::AccessType;
+using cache::WayMask;
+
+sim::PlatformConfig
+testConfig()
+{
+    sim::PlatformConfig cfg;
+    cfg.num_cores = 8;
+    cfg.llc.num_slices = 4;
+    cfg.llc.sets_per_slice = 256;
+    return cfg;
+}
+
+class BaselinesTest : public testing::Test
+{
+  protected:
+    BaselinesTest() : platform(testConfig()) {}
+
+    void
+    addTenant(const std::string &name, cache::CoreId core,
+              unsigned ways, TenantPriority priority)
+    {
+        TenantSpec spec;
+        spec.name = name;
+        spec.cores = {core};
+        spec.initial_ways = ways;
+        spec.priority = priority;
+        registry.add(spec);
+    }
+
+    void
+    coreTraffic(cache::CoreId core, std::uint64_t lines,
+                std::uint64_t base)
+    {
+        for (std::uint64_t i = 0; i < lines; ++i) {
+            platform.llc().coreAccess(core, base + i * 64,
+                                      AccessType::Read);
+        }
+    }
+
+    sim::Platform platform;
+    TenantRegistry registry;
+};
+
+TEST_F(BaselinesTest, StaticPolicyDoesNothing)
+{
+    StaticPolicy policy;
+    policy.tick(0.0); // compiles, runs, touches nothing
+    EXPECT_EQ(platform.llc().ddioMask().count(), 2u);
+}
+
+TEST_F(BaselinesTest, CoreOnlySetupProgramsInitialMasks)
+{
+    addTenant("a", 0, 3, TenantPriority::PerformanceCritical);
+    addTenant("b", 1, 2, TenantPriority::BestEffort);
+    CoreOnlyPolicy policy(platform.pqos(), registry, IatParams{});
+    policy.tick(0.0);
+    EXPECT_EQ(platform.llc().closMask(1), WayMask::fromRange(0, 3));
+    EXPECT_EQ(platform.llc().closMask(2), WayMask::fromRange(3, 2));
+}
+
+TEST_F(BaselinesTest, CoreOnlyGrowsIntoDdioWaysBlindly)
+{
+    // A filler tenant pins ways 0-6, so the X-Mem tenant sits at
+    // ways 7-8 with only the "idle" ways 9-10 -- which are DDIO's --
+    // left to grow into. An I/O-aware policy would know better; the
+    // Core-only policy walks right in (the Latent Contender trap).
+    addTenant("filler", 1, 7, TenantPriority::PerformanceCritical);
+    addTenant("xmem", 0, 2, TenantPriority::PerformanceCritical);
+    CoreOnlyPolicy policy(platform.pqos(), registry, IatParams{});
+    policy.tick(0.0);
+
+    // Two warm intervals to settle, then a working-set explosion.
+    for (int i = 1; i <= 2; ++i) {
+        coreTraffic(0, 1500, 1ull << 30);
+        coreTraffic(0, 1500, 1ull << 30);
+        platform.retire(0, 4'000'000);
+        platform.advanceQuantum(0.01);
+        policy.tick(i);
+    }
+    coreTraffic(0, 60000, 2ull << 30);
+    platform.retire(0, 400'000);
+    platform.advanceQuantum(0.01);
+    policy.tick(3);
+
+    const auto mask = policy.allocator().tenantMask(1);
+    EXPECT_EQ(mask.count(), 3u) << "policy never grew the tenant";
+    EXPECT_TRUE(mask.overlaps(platform.llc().ddioMask()))
+        << "core-only growth must land on DDIO's ways";
+}
+
+TEST_F(BaselinesTest, IoIsoNeverOverlapsDdio)
+{
+    addTenant("a", 0, 3, TenantPriority::PerformanceCritical);
+    addTenant("b", 1, 3, TenantPriority::BestEffort);
+    addTenant("c", 2, 3, TenantPriority::BestEffort);
+    IoIsolationPolicy policy(platform.pqos(), registry, IatParams{});
+    policy.tick(0.0);
+    for (std::size_t t = 0; t < 3; ++t) {
+        EXPECT_FALSE(policy.tenantMask(t).overlaps(
+            platform.llc().ddioMask()))
+            << "tenant " << t;
+    }
+}
+
+TEST_F(BaselinesTest, IoIsoSqueezesWhenDdioGrows)
+{
+    addTenant("pc", 0, 3, TenantPriority::PerformanceCritical);
+    addTenant("be1", 1, 3, TenantPriority::BestEffort);
+    addTenant("be2", 2, 3, TenantPriority::BestEffort);
+    IoIsolationPolicy policy(platform.pqos(), registry, IatParams{});
+    policy.tick(0.0);
+
+    // Fig 10's manual flip: DDIO takes 4 ways; only 7 remain usable.
+    platform.pqos().ddioSetWays(WayMask::fromRange(7, 4));
+    policy.tick(1.0);
+    const auto ddio = platform.llc().ddioMask();
+    unsigned be_ways = 0;
+    for (std::size_t t = 0; t < 3; ++t) {
+        EXPECT_FALSE(policy.tenantMask(t).overlaps(ddio))
+            << "tenant " << t;
+        if (t > 0)
+            be_ways += policy.tenantMask(t).count();
+    }
+    // BE tenants were squeezed to make the disjoint layout fit.
+    EXPECT_LT(be_ways, 6u);
+}
+
+TEST_F(BaselinesTest, IoIsoSqueezesLateOrderedTenantsNext)
+{
+    // Four tenants of 3/3/3/2 ways cannot fit 11-4=7 usable ways;
+    // after BEs hit one way, the late-ordered PC tenant pays too
+    // (the paper's "container 4 can have 1~3 ways" case).
+    addTenant("pc0", 0, 3, TenantPriority::PerformanceCritical);
+    addTenant("be", 1, 3, TenantPriority::BestEffort);
+    addTenant("pc1", 2, 3, TenantPriority::PerformanceCritical);
+    addTenant("pc2", 3, 2, TenantPriority::PerformanceCritical);
+    platform.pqos().ddioSetWays(WayMask::fromRange(7, 4));
+    IoIsolationPolicy policy(platform.pqos(), registry, IatParams{});
+    policy.tick(0.0);
+
+    unsigned total = 0;
+    for (std::size_t t = 0; t < 4; ++t) {
+        EXPECT_FALSE(policy.tenantMask(t).overlaps(
+            platform.llc().ddioMask()));
+        total += policy.tenantMask(t).count();
+    }
+    EXPECT_LE(total, 7u);
+    EXPECT_EQ(policy.tenantMask(1).count(), 1u) << "BE pays first";
+    // The last-ordered PC tenants lost capacity as well.
+    EXPECT_LT(policy.tenantMask(3).count() +
+                  policy.tenantMask(2).count(), 5u);
+}
+
+TEST_F(BaselinesTest, IoIsoOverlapsTenantsWhenOutOfRoom)
+{
+    // Eight single-way tenants cannot fit 11-4=7 usable ways even
+    // at one way each: the overlap fallback must kick in while the
+    // DDIO exclusion still holds.
+    for (int t = 0; t < 8; ++t) {
+        addTenant("t" + std::to_string(t),
+                  static_cast<cache::CoreId>(t % 8), 1,
+                  t < 4 ? TenantPriority::PerformanceCritical
+                        : TenantPriority::BestEffort);
+    }
+    platform.pqos().ddioSetWays(WayMask::fromRange(7, 4));
+    IoIsolationPolicy policy(platform.pqos(), registry, IatParams{});
+    policy.tick(0.0);
+
+    bool any_overlap_between_tenants = false;
+    for (std::size_t a = 0; a < 8; ++a) {
+        EXPECT_FALSE(policy.tenantMask(a).overlaps(
+            platform.llc().ddioMask()));
+        for (std::size_t b = a + 1; b < 8; ++b) {
+            any_overlap_between_tenants =
+                any_overlap_between_tenants ||
+                policy.tenantMask(a).overlaps(policy.tenantMask(b));
+        }
+    }
+    EXPECT_TRUE(any_overlap_between_tenants);
+}
+
+TEST_F(BaselinesTest, IoIsoOrderChangesPlacement)
+{
+    addTenant("a", 0, 3, TenantPriority::PerformanceCritical);
+    addTenant("b", 1, 3, TenantPriority::PerformanceCritical);
+    IoIsolationPolicy first(platform.pqos(), registry, IatParams{},
+                            {0, 1});
+    first.tick(0.0);
+    const auto mask_a_first = first.tenantMask(0);
+
+    IoIsolationPolicy second(platform.pqos(), registry, IatParams{},
+                             {1, 0});
+    registry.markDirty();
+    second.tick(0.0);
+    EXPECT_NE(second.tenantMask(0), mask_a_first);
+}
+
+TEST(ResqSizing, BoundsRingToDdioCapacity)
+{
+    const cache::CacheGeometry geom; // 2.25 MiB per way
+    // Two ways, 1.5 KiB frames, two queues: 4.5 MiB / 2 / 1.5 KiB
+    // = 1536 entries -> round down to 1024.
+    EXPECT_EQ(resqRingEntries(geom, 2, 1536, 2), 1024u);
+    // 64 B frames leave room for far more than a typical ring.
+    EXPECT_GE(resqRingEntries(geom, 2, 64, 2), 16384u);
+}
+
+TEST(ResqSizing, FloorsAt64)
+{
+    const cache::CacheGeometry geom;
+    EXPECT_EQ(resqRingEntries(geom, 1, 2048, 64), 64u);
+}
+
+TEST(ResqSizing, PowerOfTwo)
+{
+    const cache::CacheGeometry geom;
+    for (unsigned ways = 1; ways <= 6; ++ways) {
+        const auto entries = resqRingEntries(geom, ways, 1024, 4);
+        EXPECT_EQ(entries & (entries - 1), 0u);
+    }
+}
+
+} // namespace
+} // namespace iat::core

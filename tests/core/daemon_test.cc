@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Scenario tests for the IAT daemon: the six-step loop driven
+ * against the modelled platform with hand-scripted traffic between
+ * ticks.
+ */
+
+#include "core/daemon.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/platform.hh"
+
+namespace iat::core {
+namespace {
+
+using cache::AccessType;
+
+sim::PlatformConfig
+testConfig()
+{
+    sim::PlatformConfig cfg;
+    cfg.num_cores = 8;
+    cfg.llc.num_slices = 4;
+    cfg.llc.sets_per_slice = 256;
+    return cfg;
+}
+
+IatParams
+testParams()
+{
+    IatParams p;
+    p.interval_seconds = 1.0;
+    p.threshold_miss_low_per_s = 1e3;
+    return p;
+}
+
+class DaemonTest : public testing::Test
+{
+  protected:
+    DaemonTest() : platform(testConfig()) {}
+
+    void
+    addTenant(const std::string &name, std::vector<cache::CoreId>
+              cores, unsigned ways, TenantPriority priority,
+              bool is_io)
+    {
+        TenantSpec spec;
+        spec.name = name;
+        spec.cores = std::move(cores);
+        spec.initial_ways = ways;
+        spec.priority = priority;
+        spec.is_io = is_io;
+        registry.add(spec);
+    }
+
+    /** DDIO-write @p lines distinct lines at @p base. */
+    void
+    ddioTraffic(std::uint64_t lines, std::uint64_t base = 1u << 22)
+    {
+        for (std::uint64_t i = 0; i < lines; ++i)
+            platform.dmaWrite(0, base + i * 64, 64);
+    }
+
+    /** Demand-read @p lines lines on @p core. */
+    void
+    coreTraffic(cache::CoreId core, std::uint64_t lines,
+                std::uint64_t base)
+    {
+        for (std::uint64_t i = 0; i < lines; ++i) {
+            platform.llc().coreAccess(core, base + i * 64,
+                                      AccessType::Read);
+        }
+    }
+
+    sim::Platform platform;
+    TenantRegistry registry;
+};
+
+TEST_F(DaemonTest, InitProgramsMasksAssociationsAndMonitoring)
+{
+    addTenant("pc", {0, 1}, 3, TenantPriority::PerformanceCritical,
+              true);
+    addTenant("be", {2}, 2, TenantPriority::BestEffort, false);
+    IatDaemon daemon(platform.pqos(), registry, testParams());
+    daemon.tick(0.0); // consumes dirty registry, runs LLC Alloc
+
+    // PC at the bottom, BE above it, CLOS = tenant index + 1.
+    EXPECT_EQ(platform.llc().closMask(1),
+              cache::WayMask::fromRange(0, 3));
+    EXPECT_EQ(platform.llc().closMask(2),
+              cache::WayMask::fromRange(3, 2));
+    EXPECT_EQ(platform.llc().coreClos(0), 1);
+    EXPECT_EQ(platform.llc().coreClos(1), 1);
+    EXPECT_EQ(platform.llc().coreClos(2), 2);
+    // Monitoring RMIDs assigned.
+    EXPECT_EQ(platform.llc().coreRmid(0), 1);
+    EXPECT_EQ(platform.llc().coreRmid(2), 2);
+    // Hardware default DDIO ways preserved at init.
+    EXPECT_EQ(daemon.ddioWays(), 2u);
+    EXPECT_EQ(daemon.state(), IatState::LowKeep);
+}
+
+TEST_F(DaemonTest, QuietSystemSleeps)
+{
+    addTenant("pc", {0}, 2, TenantPriority::PerformanceCritical,
+              true);
+    IatDaemon daemon(platform.pqos(), registry, testParams());
+    daemon.tick(0.0);
+    daemon.tick(1.0);
+    daemon.tick(2.0);
+    EXPECT_EQ(daemon.state(), IatState::LowKeep);
+    EXPECT_EQ(daemon.ddioWays(), 2u);
+    EXPECT_GT(daemon.stableTicks(), 0u);
+    EXPECT_TRUE(daemon.lastTiming().stable);
+}
+
+TEST_F(DaemonTest, LeakyDmaPressureGrowsDdioToMaxThenHighKeep)
+{
+    addTenant("pmd", {0}, 2, TenantPriority::PerformanceCritical,
+              true);
+    const auto params = testParams();
+    IatDaemon daemon(platform.pqos(), registry, params);
+    daemon.tick(0.0);
+
+    // Rising DDIO miss traffic each interval.
+    std::uint64_t lines = 4000;
+    for (int i = 0; i < 8; ++i) {
+        ddioTraffic(lines, (1ull << 26) + i * (1ull << 24));
+        lines = lines * 3 / 2;
+        daemon.tick(1.0 + i);
+        if (daemon.state() == IatState::HighKeep)
+            break;
+    }
+    EXPECT_EQ(daemon.state(), IatState::HighKeep);
+    EXPECT_EQ(daemon.ddioWays(), params.ddio_ways_max);
+    EXPECT_EQ(platform.llc().ddioMask().count(),
+              params.ddio_ways_max);
+}
+
+TEST_F(DaemonTest, ReclaimDrainsBackToLowKeepMin)
+{
+    addTenant("pmd", {0}, 2, TenantPriority::PerformanceCritical,
+              true);
+    const auto params = testParams();
+    IatDaemon daemon(platform.pqos(), registry, params);
+    daemon.tick(0.0);
+
+    std::uint64_t lines = 4000;
+    for (int i = 0; i < 8 && daemon.state() != IatState::HighKeep;
+         ++i) {
+        ddioTraffic(lines, (1ull << 26) + i * (1ull << 24));
+        lines = lines * 3 / 2;
+        daemon.tick(1.0 + i);
+    }
+    ASSERT_EQ(daemon.state(), IatState::HighKeep);
+
+    // Traffic stops: one big negative delta, then quiet. The drain
+    // must continue tick after tick down to DDIO_WAYS_MIN.
+    for (int i = 0; i < 10 && daemon.state() != IatState::LowKeep;
+         ++i) {
+        ddioTraffic(16); // negligible residual traffic
+        daemon.tick(20.0 + i);
+    }
+    EXPECT_EQ(daemon.state(), IatState::LowKeep);
+    EXPECT_EQ(daemon.ddioWays(), params.ddio_ways_min);
+}
+
+TEST_F(DaemonTest, DdioTuningDisabledFreezesWays)
+{
+    addTenant("pmd", {0}, 2, TenantPriority::PerformanceCritical,
+              true);
+    IatDaemon daemon(platform.pqos(), registry, testParams());
+    daemon.setDdioTuningEnabled(false);
+    daemon.tick(0.0);
+    std::uint64_t lines = 4000;
+    for (int i = 0; i < 6; ++i) {
+        ddioTraffic(lines, (1ull << 26) + i * (1ull << 24));
+        lines = lines * 3 / 2;
+        daemon.tick(1.0 + i);
+    }
+    EXPECT_EQ(daemon.ddioWays(), 2u);
+}
+
+TEST_F(DaemonTest, ExternalDdioChangeIsAdopted)
+{
+    addTenant("pmd", {0}, 2, TenantPriority::PerformanceCritical,
+              true);
+    IatDaemon daemon(platform.pqos(), registry, testParams());
+    daemon.setDdioTuningEnabled(false);
+    daemon.tick(0.0);
+    // Someone (Fig 10's experimenter) flips DDIO to 4 ways.
+    platform.pqos().ddioSetWays(cache::WayMask::fromRange(7, 4));
+    daemon.tick(1.0);
+    EXPECT_EQ(daemon.ddioWays(), 4u);
+}
+
+TEST_F(DaemonTest, ShuffleSelectsQuietestBeTenantForDdioOverlap)
+{
+    // Full 11-way allocation: whoever sits on top overlaps DDIO.
+    addTenant("pc", {0}, 5, TenantPriority::PerformanceCritical,
+              true);
+    addTenant("beA", {1}, 3, TenantPriority::BestEffort, false);
+    addTenant("beB", {2}, 3, TenantPriority::BestEffort, false);
+    IatDaemon daemon(platform.pqos(), registry, testParams());
+    daemon.tick(0.0);
+
+    // beB generates heavy LLC traffic; beA is quiet, so the initial
+    // top tenant (beB, by index order) must be displaced by beA.
+    // Kick the gate with DDIO churn so the tick is unstable.
+    for (int i = 0; i < 2; ++i) {
+        coreTraffic(2, 30000, 1ull << 30);
+        coreTraffic(1, 500, 2ull << 30);
+        ddioTraffic(3000, (3ull << 30) + i * (1ull << 24));
+        daemon.tick(1.0 + i);
+    }
+    const auto &alloc = daemon.allocator();
+    EXPECT_TRUE(alloc.tenantOverlapsDdio(1))
+        << "quiet BE tenant must share with DDIO";
+    EXPECT_FALSE(alloc.tenantOverlapsDdio(2))
+        << "cache-hungry BE tenant must move away from DDIO";
+    EXPECT_FALSE(alloc.tenantOverlapsDdio(0))
+        << "PC tenant must stay isolated from DDIO";
+    EXPECT_GT(daemon.shuffles(), 0u);
+}
+
+TEST_F(DaemonTest, Case2CoreOnlyGrowForIsolatedNonIoTenant)
+{
+    // Non-I/O tenant without DDIO overlap changes IPC and misses
+    // while the I/O is silent: grow it without touching the FSM.
+    addTenant("pc", {0}, 2, TenantPriority::PerformanceCritical,
+              true);
+    addTenant("spec", {1}, 2, TenantPriority::BestEffort, false);
+    IatDaemon daemon(platform.pqos(), registry, testParams());
+    daemon.tick(0.0);
+
+    // Interval 1: modest activity with reuse (miss rate ~0.5).
+    coreTraffic(1, 2000, 1ull << 30);
+    coreTraffic(1, 2000, 1ull << 30);
+    platform.retire(1, 1'000'000);
+    platform.advanceQuantum(0.1);
+    daemon.tick(1.0);
+
+    // Interval 2: the tenant's working set explodes (more refs,
+    // more misses, different IPC).
+    coreTraffic(1, 60000, 2ull << 30);
+    platform.retire(1, 200'000);
+    platform.advanceQuantum(0.1);
+    const auto ways_before = daemon.allocator().tenantWays(1);
+    daemon.tick(2.0);
+    EXPECT_EQ(daemon.allocator().tenantWays(1), ways_before + 1);
+    EXPECT_EQ(daemon.state(), IatState::LowKeep)
+        << "case 2 must bypass the FSM";
+}
+
+TEST_F(DaemonTest, AggregationCoreDemandGrowsTheStack)
+{
+    // Aggregation: Core Demand grows the software stack first.
+    addTenant("ovs", {0, 1}, 2, TenantPriority::SoftwareStack, true);
+    addTenant("tenant", {2}, 2, TenantPriority::BestEffort, true);
+    IatDaemon daemon(platform.pqos(), registry, testParams(),
+                     TenantModel::Aggregation);
+    daemon.tick(0.0);
+
+    // Build up DDIO hits on a small resident buffer.
+    ddioTraffic(2000, 1ull << 26);
+    ddioTraffic(2000, 1ull << 26);
+    daemon.tick(1.0);
+
+    // Now the stack's cores trash the DDIO ways (the stack overlaps
+    // nothing here, so force eviction through DDIO's own region by
+    // writing a huge DDIO working set evicting the resident buffer
+    // -- fewer hits -- while stack refs surge).
+    coreTraffic(0, 80000, 2ull << 30);
+    coreTraffic(1, 80000, 3ull << 30);
+    ddioTraffic(60000, 4ull << 30);
+    const auto stack_ways = daemon.allocator().tenantWays(0);
+    daemon.tick(2.0);
+    if (daemon.state() == IatState::CoreDemand) {
+        EXPECT_EQ(daemon.allocator().tenantWays(0), stack_ways + 1);
+    } else {
+        // The synthetic trace can also read as I/O pressure; either
+        // way the daemon must have reacted, not slept.
+        EXPECT_FALSE(daemon.lastTiming().stable);
+    }
+}
+
+TEST_F(DaemonTest, TimingAndRegisterAccounting)
+{
+    addTenant("pc", {0, 1}, 2, TenantPriority::PerformanceCritical,
+              true);
+    addTenant("be", {2}, 2, TenantPriority::BestEffort, false);
+    IatDaemon daemon(platform.pqos(), registry, testParams());
+    daemon.tick(0.0);
+    daemon.tick(1.0);
+    const auto &t = daemon.lastTiming();
+    EXPECT_GT(t.msr_reads, 0u);
+    EXPECT_GE(t.poll_seconds, 0.0);
+    EXPECT_GE(t.transition_seconds, 0.0);
+    EXPECT_GE(t.realloc_seconds, 0.0);
+    EXPECT_EQ(daemon.ticks(), 2u);
+}
+
+TEST_F(DaemonTest, RegistryChangeReinitializes)
+{
+    addTenant("a", {0}, 2, TenantPriority::BestEffort, false);
+    IatDaemon daemon(platform.pqos(), registry, testParams());
+    daemon.tick(0.0);
+    addTenant("b", {1}, 2, TenantPriority::BestEffort, false);
+    daemon.tick(1.0); // re-runs Get Tenant Info + LLC Alloc
+    EXPECT_EQ(platform.llc().coreClos(1), 2);
+    EXPECT_EQ(daemon.allocator().tenantCount(), 2u);
+}
+
+TEST_F(DaemonTest, MoreTenantsThanClosIsFatal)
+{
+    for (unsigned t = 0; t < cache::SlicedLlc::numClos; ++t) {
+        TenantSpec spec;
+        spec.name = "t" + std::to_string(t);
+        spec.cores = {static_cast<cache::CoreId>(t % 8)};
+        spec.initial_ways = 1;
+        registry.add(spec);
+    }
+    IatDaemon daemon(platform.pqos(), registry, testParams());
+    EXPECT_DEATH(daemon.tick(0.0), "classes of service");
+}
+
+} // namespace
+} // namespace iat::core

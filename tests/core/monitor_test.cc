@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the Poll Prof Data monitor: interval deltas and
+ * relative-change computation against the modelled platform.
+ */
+
+#include "core/monitor.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/platform.hh"
+
+namespace iat::core {
+namespace {
+
+using cache::AccessType;
+
+sim::PlatformConfig
+testConfig()
+{
+    sim::PlatformConfig cfg;
+    cfg.num_cores = 4;
+    cfg.llc.num_slices = 4;
+    cfg.llc.sets_per_slice = 128;
+    return cfg;
+}
+
+class MonitorTest : public testing::Test
+{
+  protected:
+    MonitorTest() : platform(testConfig())
+    {
+        TenantSpec a;
+        a.name = "a";
+        a.cores = {0, 1};
+        registry.add(a);
+        TenantSpec b;
+        b.name = "b";
+        b.cores = {2};
+        registry.add(b);
+    }
+
+    /** Simulate demand traffic on a core. */
+    void
+    touch(cache::CoreId core, std::uint64_t lines,
+          std::uint64_t base = 0)
+    {
+        for (std::uint64_t i = 0; i < lines; ++i) {
+            platform.llc().coreAccess(core, (base + i) * 64,
+                                      AccessType::Read);
+        }
+    }
+
+    sim::Platform platform;
+    TenantRegistry registry;
+};
+
+TEST_F(MonitorTest, FirstPollReportsIntervalNotLifetime)
+{
+    // Traffic before attach() must not leak into the first sample.
+    touch(0, 500);
+    Monitor monitor(platform.pqos());
+    monitor.attach(registry);
+    touch(0, 100, 1000);
+    const auto sample = monitor.poll(1.0);
+    EXPECT_EQ(sample.tenants[0].llc_refs, 100u);
+}
+
+TEST_F(MonitorTest, AggregatesTenantCores)
+{
+    Monitor monitor(platform.pqos());
+    monitor.attach(registry);
+    touch(0, 40);
+    touch(1, 60, 5000);
+    const auto sample = monitor.poll(1.0);
+    EXPECT_EQ(sample.tenants[0].llc_refs, 100u);
+    EXPECT_EQ(sample.tenants[1].llc_refs, 0u);
+}
+
+TEST_F(MonitorTest, IpcFromFixedCounterDeltas)
+{
+    Monitor monitor(platform.pqos());
+    monitor.attach(registry);
+    platform.retire(2, 1'000'000);
+    platform.advanceQuantum(1e-3); // 2.3M cycles per core
+    const auto sample = monitor.poll(1e-3);
+    EXPECT_NEAR(sample.tenants[1].ipc, 1'000'000 / 2.3e6, 0.01);
+}
+
+TEST_F(MonitorTest, DdioDeltasAndRate)
+{
+    Monitor monitor(platform.pqos());
+    monitor.attach(registry);
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        platform.dmaWrite(0, (1u << 22) + i * 64, 64);
+    const auto sample = monitor.poll(0.5);
+    // Sampled from one slice x slice count: close to 1000.
+    EXPECT_NEAR(static_cast<double>(sample.ddio_misses), 1000.0,
+                150.0);
+    EXPECT_NEAR(sample.ddioMissesPerSecond(),
+                static_cast<double>(sample.ddio_misses) / 0.5, 1.0);
+}
+
+TEST_F(MonitorTest, RelativeChangesNeedHistory)
+{
+    Monitor monitor(platform.pqos());
+    monitor.attach(registry);
+    touch(0, 100);
+    const auto first = monitor.poll(1.0);
+    EXPECT_EQ(first.tenants[0].d_refs, 0.0); // no history yet
+
+    touch(0, 200, 40000);
+    const auto second = monitor.poll(1.0);
+    EXPECT_NEAR(second.tenants[0].d_refs, 1.0, 0.05); // 100 -> 200
+}
+
+TEST_F(MonitorTest, DdioRelativeChange)
+{
+    Monitor monitor(platform.pqos());
+    monitor.attach(registry);
+    for (std::uint64_t i = 0; i < 500; ++i)
+        platform.dmaWrite(0, (1u << 23) + i * 64, 64);
+    monitor.poll(1.0);
+    for (std::uint64_t i = 0; i < 1500; ++i)
+        platform.dmaWrite(0, (1u << 24) + i * 64, 64);
+    const auto sample = monitor.poll(1.0);
+    EXPECT_GT(sample.d_ddio_misses, 1.5); // ~3x increase
+}
+
+TEST_F(MonitorTest, OccupancyReported)
+{
+    Monitor monitor(platform.pqos());
+    monitor.attach(registry);
+    touch(2, 64); // tenant b occupies 64 lines
+    const auto sample = monitor.poll(1.0);
+    EXPECT_EQ(sample.tenants[1].occupancy_bytes, 64u * 64u);
+}
+
+TEST_F(MonitorTest, MissRateComputed)
+{
+    Monitor monitor(platform.pqos());
+    monitor.attach(registry);
+    touch(0, 50);       // 50 misses
+    touch(0, 50);       // 50 hits
+    const auto sample = monitor.poll(1.0);
+    EXPECT_NEAR(sample.tenants[0].missRate(), 0.5, 1e-9);
+}
+
+TEST_F(MonitorTest, AttachResetsHistory)
+{
+    Monitor monitor(platform.pqos());
+    monitor.attach(registry);
+    touch(0, 100);
+    monitor.poll(1.0);
+    monitor.attach(registry); // re-attach
+    const auto sample = monitor.poll(1.0);
+    EXPECT_EQ(sample.tenants[0].llc_refs, 0u);
+    EXPECT_EQ(sample.tenants[0].d_refs, 0.0);
+}
+
+TEST_F(MonitorTest, GroupCount)
+{
+    Monitor monitor(platform.pqos());
+    EXPECT_EQ(monitor.groupCount(), 0u);
+    monitor.attach(registry);
+    EXPECT_EQ(monitor.groupCount(), 2u);
+}
+
+TEST(MonitorDeath, PollNeedsPositiveInterval)
+{
+    sim::Platform platform(testConfig());
+    Monitor monitor(platform.pqos());
+    EXPECT_DEATH(monitor.poll(0.0), "interval");
+}
+
+} // namespace
+} // namespace iat::core

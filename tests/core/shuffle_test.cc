@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for shuffle-order computation (SS IV-D).
+ */
+
+#include "core/shuffle.hh"
+
+#include <gtest/gtest.h>
+
+namespace iat::core {
+namespace {
+
+TenantSpec
+tenant(const std::string &name, TenantPriority priority,
+       bool is_io = false)
+{
+    TenantSpec spec;
+    spec.name = name;
+    spec.cores = {0};
+    spec.priority = priority;
+    spec.is_io = is_io;
+    return spec;
+}
+
+TenantSample
+withRefs(std::uint64_t refs)
+{
+    TenantSample s;
+    s.llc_refs = refs;
+    return s;
+}
+
+TEST(Shuffle, PcTenantsGoToTheBottom)
+{
+    std::vector<TenantSpec> specs = {
+        tenant("be0", TenantPriority::BestEffort),
+        tenant("pc", TenantPriority::PerformanceCritical),
+        tenant("be1", TenantPriority::BestEffort),
+    };
+    std::vector<TenantSample> samples = {withRefs(100), withRefs(5),
+                                         withRefs(200)};
+    const auto order = computeShuffleOrder(specs, samples, {});
+    EXPECT_EQ(order.front(), 1u); // PC lowest
+}
+
+TEST(Shuffle, LeastHungryBeGoesOnTop)
+{
+    std::vector<TenantSpec> specs = {
+        tenant("be0", TenantPriority::BestEffort),
+        tenant("be1", TenantPriority::BestEffort),
+        tenant("be2", TenantPriority::BestEffort),
+    };
+    std::vector<TenantSample> samples = {withRefs(300), withRefs(10),
+                                         withRefs(150)};
+    const auto order = computeShuffleOrder(specs, samples, {});
+    EXPECT_EQ(order.back(), 1u);  // fewest refs shares with DDIO
+    EXPECT_EQ(order.front(), 0u); // most refs furthest away
+}
+
+TEST(Shuffle, StackTreatedLikePc)
+{
+    std::vector<TenantSpec> specs = {
+        tenant("be", TenantPriority::BestEffort),
+        tenant("ovs", TenantPriority::SoftwareStack, true),
+    };
+    std::vector<TenantSample> samples = {withRefs(1),
+                                         withRefs(100000)};
+    const auto order = computeShuffleOrder(specs, samples, {});
+    EXPECT_EQ(order.front(), 1u);
+    EXPECT_EQ(order.back(), 0u);
+}
+
+TEST(Shuffle, EmptySamplesUsePriorityOnly)
+{
+    std::vector<TenantSpec> specs = {
+        tenant("be", TenantPriority::BestEffort),
+        tenant("pc", TenantPriority::PerformanceCritical),
+    };
+    const auto order = computeShuffleOrder(specs, {}, {});
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order.front(), 1u);
+    EXPECT_EQ(order.back(), 0u);
+}
+
+TEST(Shuffle, HysteresisKeepsIncumbentOnNoise)
+{
+    std::vector<TenantSpec> specs = {
+        tenant("be0", TenantPriority::BestEffort),
+        tenant("be1", TenantPriority::BestEffort),
+    };
+    // be0 currently on top; be1 is only marginally quieter (90 vs
+    // 100 refs -- above the 0.8 hysteresis fraction).
+    std::vector<TenantSample> samples = {withRefs(100), withRefs(90)};
+    const auto order =
+        computeShuffleOrder(specs, samples, {1, 0}, 0.8);
+    EXPECT_EQ(order.back(), 0u) << "noise must not reshuffle";
+}
+
+TEST(Shuffle, ClearWinnerOvercomesHysteresis)
+{
+    std::vector<TenantSpec> specs = {
+        tenant("be0", TenantPriority::BestEffort),
+        tenant("be1", TenantPriority::BestEffort),
+    };
+    // be1 is far quieter than the incumbent be0.
+    std::vector<TenantSample> samples = {withRefs(100), withRefs(10)};
+    const auto order =
+        computeShuffleOrder(specs, samples, {1, 0}, 0.8);
+    EXPECT_EQ(order.back(), 1u);
+}
+
+TEST(Shuffle, OrderIsAlwaysAPermutation)
+{
+    std::vector<TenantSpec> specs;
+    std::vector<TenantSample> samples;
+    for (int i = 0; i < 6; ++i) {
+        specs.push_back(tenant(
+            "t" + std::to_string(i),
+            i % 2 ? TenantPriority::BestEffort
+                  : TenantPriority::PerformanceCritical));
+        samples.push_back(withRefs(100 - i));
+    }
+    const auto order = computeShuffleOrder(specs, samples, {});
+    std::vector<bool> seen(6, false);
+    for (auto t : order) {
+        ASSERT_LT(t, 6u);
+        ASSERT_FALSE(seen[t]);
+        seen[t] = true;
+    }
+}
+
+TEST(Shuffle, SortIsStableForEqualRefs)
+{
+    std::vector<TenantSpec> specs = {
+        tenant("be0", TenantPriority::BestEffort),
+        tenant("be1", TenantPriority::BestEffort),
+    };
+    std::vector<TenantSample> samples = {withRefs(50), withRefs(50)};
+    const auto order = computeShuffleOrder(specs, samples, {});
+    EXPECT_EQ(order[0], 0u);
+    EXPECT_EQ(order[1], 1u);
+}
+
+} // namespace
+} // namespace iat::core

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the tenant registry and its affiliation-file parser.
+ */
+
+#include "core/tenant.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace iat::core {
+namespace {
+
+TEST(TenantRegistry, AddAndQuery)
+{
+    TenantRegistry reg;
+    TenantSpec spec;
+    spec.name = "redis";
+    spec.cores = {2, 3};
+    spec.is_io = true;
+    spec.priority = TenantPriority::PerformanceCritical;
+    spec.initial_ways = 3;
+    const auto idx = reg.add(spec);
+    EXPECT_EQ(idx, 0u);
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_EQ(reg[0].name, "redis");
+    EXPECT_EQ(reg[0].cores.size(), 2u);
+}
+
+TEST(TenantRegistry, DirtyFlagLifecycle)
+{
+    TenantRegistry reg;
+    EXPECT_TRUE(reg.consumeDirty()); // fresh registry is dirty
+    EXPECT_FALSE(reg.consumeDirty());
+    TenantSpec spec;
+    spec.name = "x";
+    spec.cores = {0};
+    reg.add(spec);
+    EXPECT_TRUE(reg.consumeDirty());
+    reg.markDirty();
+    EXPECT_TRUE(reg.consumeDirty());
+}
+
+TEST(TenantRegistry, ParsesAffiliationRecords)
+{
+    TenantRegistry reg;
+    const auto added = reg.loadFromString(
+        "# comment line\n"
+        "ovs cores=0,1 ways=2 prio=stack io=1\n"
+        "\n"
+        "xmem4 cores=5 ways=2 prio=pc io=0   # trailing comment\n"
+        "be1 cores=6 prio=be\n");
+    EXPECT_EQ(added, 3u);
+    ASSERT_EQ(reg.size(), 3u);
+
+    EXPECT_EQ(reg[0].name, "ovs");
+    EXPECT_EQ(reg[0].cores, (std::vector<cache::CoreId>{0, 1}));
+    EXPECT_EQ(reg[0].priority, TenantPriority::SoftwareStack);
+    EXPECT_TRUE(reg[0].is_io);
+    EXPECT_EQ(reg[0].initial_ways, 2u);
+
+    EXPECT_EQ(reg[1].name, "xmem4");
+    EXPECT_EQ(reg[1].priority, TenantPriority::PerformanceCritical);
+    EXPECT_FALSE(reg[1].is_io);
+
+    EXPECT_EQ(reg[2].priority, TenantPriority::BestEffort);
+    EXPECT_EQ(reg[2].initial_ways, 2u); // default
+}
+
+TEST(TenantRegistry, LoadFromFile)
+{
+    const std::string path =
+        testing::TempDir() + "/iat_tenants.conf";
+    {
+        std::ofstream out(path);
+        out << "t0 cores=1 ways=2 prio=be io=0\n";
+    }
+    TenantRegistry reg;
+    EXPECT_EQ(reg.loadFromFile(path), 1u);
+    EXPECT_EQ(reg[0].name, "t0");
+    std::remove(path.c_str());
+}
+
+TEST(TenantRegistry, PriorityToString)
+{
+    EXPECT_STREQ(toString(TenantPriority::PerformanceCritical), "PC");
+    EXPECT_STREQ(toString(TenantPriority::BestEffort), "BE");
+    EXPECT_STREQ(toString(TenantPriority::SoftwareStack), "stack");
+}
+
+TEST(TenantRegistryDeath, RejectsAnonymousTenant)
+{
+    TenantRegistry reg;
+    TenantSpec spec;
+    spec.cores = {0};
+    EXPECT_DEATH(reg.add(spec), "needs a name");
+}
+
+TEST(TenantRegistryDeath, RejectsCorelessTenant)
+{
+    TenantRegistry reg;
+    TenantSpec spec;
+    spec.name = "x";
+    EXPECT_DEATH(reg.add(spec), "needs cores");
+}
+
+TEST(TenantRegistryDeath, RejectsZeroWays)
+{
+    TenantRegistry reg;
+    TenantSpec spec;
+    spec.name = "x";
+    spec.cores = {0};
+    spec.initial_ways = 0;
+    EXPECT_DEATH(reg.add(spec), "at least one way");
+}
+
+TEST(TenantRegistryDeath, ParserRejectsBadPriority)
+{
+    TenantRegistry reg;
+    EXPECT_EXIT(reg.loadFromString("t cores=0 prio=urgent\n"),
+                testing::ExitedWithCode(1), "bad priority");
+}
+
+TEST(TenantRegistryDeath, ParserRejectsUnknownField)
+{
+    TenantRegistry reg;
+    EXPECT_EXIT(reg.loadFromString("t cores=0 color=red\n"),
+                testing::ExitedWithCode(1), "unknown tenant field");
+}
+
+TEST(TenantRegistryDeath, ParserRejectsBadCoreList)
+{
+    TenantRegistry reg;
+    EXPECT_EXIT(reg.loadFromString("t cores=a,b\n"),
+                testing::ExitedWithCode(1), "bad core list");
+}
+
+TEST(TenantRegistryDeath, MissingFileIsFatal)
+{
+    TenantRegistry reg;
+    EXPECT_EXIT(reg.loadFromFile("/nonexistent/tenants.conf"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace iat::core

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Integration tests replaying the two walk-through examples of
+ * paper Fig 7 as scripted scenarios, checking the state sequences
+ * and allocation outcomes the prose describes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/daemon.hh"
+#include "sim/platform.hh"
+
+namespace iat {
+namespace {
+
+using cache::AccessType;
+using core::IatDaemon;
+using core::IatState;
+
+sim::PlatformConfig
+worldConfig()
+{
+    sim::PlatformConfig cfg;
+    cfg.num_cores = 8;
+    cfg.llc.num_slices = 4;
+    cfg.llc.sets_per_slice = 512;
+    return cfg;
+}
+
+core::IatParams
+params()
+{
+    core::IatParams p;
+    p.interval_seconds = 1.0;
+    p.threshold_miss_low_per_s = 1e3;
+    return p;
+}
+
+class Fig7Test : public testing::Test
+{
+  protected:
+    Fig7Test() : platform(worldConfig()) {}
+
+    void
+    addTenant(const std::string &name, cache::CoreId core,
+              unsigned ways, core::TenantPriority priority,
+              bool is_io)
+    {
+        core::TenantSpec spec;
+        spec.name = name;
+        spec.cores = {core};
+        spec.initial_ways = ways;
+        spec.priority = priority;
+        spec.is_io = is_io;
+        registry.add(spec);
+    }
+
+    void
+    ddioWrites(std::uint64_t lines, std::uint64_t base)
+    {
+        for (std::uint64_t i = 0; i < lines; ++i)
+            platform.dmaWrite(0, base + i * 64, 64);
+    }
+
+    void
+    coreReads(cache::CoreId core, std::uint64_t lines,
+              std::uint64_t base)
+    {
+        for (std::uint64_t i = 0; i < lines; ++i) {
+            platform.llc().coreAccess(core, base + i * 64,
+                                      AccessType::Read);
+        }
+    }
+
+    sim::Platform platform;
+    core::TenantRegistry registry;
+};
+
+TEST_F(Fig7Test, AggregationExampleCoreDemandThenReclaim)
+{
+    // Fig 7a: one PC tenant, two BE tenants, plus the virtual
+    // switch. Fixed-rate traffic; at t1 the flow count explodes and
+    // the switch's flow table outgrows its ways (Core Demand); at t2
+    // the flows end and IAT reclaims.
+    addTenant("vswitch", 0, 2, core::TenantPriority::SoftwareStack,
+              true);
+    addTenant("pc", 1, 3, core::TenantPriority::PerformanceCritical,
+              false);
+    addTenant("be1", 2, 2, core::TenantPriority::BestEffort, false);
+    addTenant("be2", 3, 2, core::TenantPriority::BestEffort, false);
+
+    IatDaemon daemon(platform.pqos(), registry, params(),
+                     core::TenantModel::Aggregation);
+    daemon.tick(0.0);
+    const unsigned vswitch_ways0 = daemon.allocator().tenantWays(0);
+
+    // Steady phase: small flow table, DDIO hits on a resident pool.
+    for (int i = 1; i <= 2; ++i) {
+        ddioWrites(2000, 1ull << 26);
+        coreReads(0, 1000, 2ull << 26);
+        daemon.tick(i);
+    }
+
+    // t1: flow explosion. The switch core's references surge and the
+    // Rx pool gets evicted: fewer DDIO hits, more DDIO misses.
+    for (int i = 3; i <= 6; ++i) {
+        coreReads(0, 120000, (4ull + i) << 26);
+        ddioWrites(30000, (40ull + i) << 26);
+        daemon.tick(i);
+        if (daemon.state() == IatState::CoreDemand)
+            break;
+    }
+    EXPECT_EQ(daemon.state(), IatState::CoreDemand);
+    EXPECT_GT(daemon.allocator().tenantWays(0), vswitch_ways0)
+        << "the virtual switch must receive more ways (Fig 7a t1)";
+
+    // t2: flows end; pressure fades; IAT reclaims the extra ways.
+    for (int i = 7; i <= 20; ++i) {
+        ddioWrites(100, 1ull << 26);
+        coreReads(0, 500, 2ull << 26);
+        daemon.tick(i);
+        if (daemon.allocator().tenantWays(0) == vswitch_ways0)
+            break;
+    }
+    EXPECT_EQ(daemon.allocator().tenantWays(0), vswitch_ways0)
+        << "reclaim must return the switch to its original ways";
+}
+
+TEST_F(Fig7Test, SlicingExampleIoDemandThenShuffleThenReclaim)
+{
+    // Fig 7b: slicing model. t1: more traffic into the PC tenant ->
+    // I/O Demand grows DDIO. t2: a BE tenant's phase becomes
+    // LLC-hungry -> the other BE shares with DDIO. t3: traffic
+    // fades -> Reclaim shrinks DDIO.
+    addTenant("pc", 0, 3, core::TenantPriority::PerformanceCritical,
+              true);
+    addTenant("be1", 1, 4, core::TenantPriority::BestEffort, false);
+    addTenant("be2", 2, 4, core::TenantPriority::BestEffort, false);
+
+    IatDaemon daemon(platform.pqos(), registry, params(),
+                     core::TenantModel::Slicing);
+    daemon.tick(0.0);
+
+    // t1: traffic ramps up; distinct lines each tick so write
+    // allocates dominate and keep increasing.
+    std::uint64_t lines = 5000;
+    int t = 1;
+    for (; t <= 8; ++t) {
+        ddioWrites(lines, (10ull + t) << 26);
+        lines = lines * 3 / 2;
+        daemon.tick(t);
+        if (daemon.ddioWays() >= 4)
+            break;
+    }
+    EXPECT_GE(daemon.ddioWays(), 3u)
+        << "I/O Demand must have grown DDIO (Fig 7b t1)";
+
+    // t2: be2 enters an LLC-consuming phase; be1 (quiet) must be the
+    // one sharing ways with DDIO after the shuffle.
+    for (int k = 0; k < 3; ++k) {
+        ++t;
+        coreReads(2, 100000, (30ull + k) << 26);
+        coreReads(1, 800, 50ull << 26);
+        ddioWrites(lines, (60ull + k) << 26);
+        daemon.tick(t);
+    }
+    const auto &alloc = daemon.allocator();
+    // With 11 ways filled (3+4+4) and DDIO grown, the top tenant
+    // overlaps; it must be be1, the quiet one.
+    EXPECT_TRUE(alloc.tenantOverlapsDdio(1));
+    EXPECT_FALSE(alloc.tenantOverlapsDdio(0));
+
+    // t3: traffic fades; DDIO drains back to the minimum.
+    for (int k = 0; k < 12; ++k) {
+        ++t;
+        ddioWrites(50, 1ull << 26);
+        daemon.tick(t);
+        if (daemon.state() == IatState::LowKeep)
+            break;
+    }
+    EXPECT_EQ(daemon.state(), IatState::LowKeep);
+    EXPECT_EQ(daemon.ddioWays(), params().ddio_ways_min);
+}
+
+} // namespace
+} // namespace iat

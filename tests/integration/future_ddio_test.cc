@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the SS VII "future DDIO" extensions: per-device DDIO way
+ * masks (device-aware DDIO) and header-only DDIO delivery
+ * (application-aware DDIO).
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/nic.hh"
+#include "sim/platform.hh"
+#include "util/rng.hh"
+
+namespace iat {
+namespace {
+
+using cache::AccessType;
+using cache::WayMask;
+
+sim::PlatformConfig
+smallConfig()
+{
+    sim::PlatformConfig cfg;
+    cfg.num_cores = 2;
+    cfg.llc.num_slices = 2;
+    cfg.llc.sets_per_slice = 256;
+    return cfg;
+}
+
+TEST(DeviceAwareDdio, DefaultIsChipWideMask)
+{
+    sim::Platform platform(smallConfig());
+    auto &llc = platform.llc();
+    EXPECT_EQ(llc.deviceDdioMask(0), llc.ddioMask());
+    EXPECT_EQ(llc.deviceDdioMask(5), llc.ddioMask());
+}
+
+TEST(DeviceAwareDdio, PerDeviceMaskConfinesAllocations)
+{
+    sim::Platform platform(smallConfig());
+    auto &llc = platform.llc();
+    // Device 1 gets way 0 only; device 0 keeps the top-two default.
+    llc.setDeviceDdioMask(1, WayMask::fromRange(0, 1));
+
+    // Flood from device 1; its occupancy can never exceed one way.
+    Rng rng(1);
+    for (int i = 0; i < 50000; ++i)
+        platform.dmaWrite(1, rng.below(1u << 20) * 64, 64);
+    EXPECT_LE(llc.rmidLines(cache::SlicedLlc::ddioRmid),
+              llc.geometry().linesPerWay());
+}
+
+TEST(DeviceAwareDdio, NoisyDeviceCannotEvictQuietDevicesLines)
+{
+    sim::Platform platform(smallConfig());
+    auto &llc = platform.llc();
+    llc.setDeviceDdioMask(0, WayMask::fromRange(2, 2));
+    llc.setDeviceDdioMask(1, WayMask::fromRange(0, 1));
+
+    // Quiet device 0 parks a small buffer; noisy device 1 floods.
+    for (std::uint64_t i = 0; i < 64; ++i)
+        platform.dmaWrite(0, (1u << 24) + i * 64, 64);
+    Rng rng(2);
+    for (int i = 0; i < 100000; ++i)
+        platform.dmaWrite(1, rng.below(1u << 22) * 64, 64);
+
+    unsigned resident = 0;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        resident += llc.isPresent((1u << 24) + i * 64);
+    EXPECT_EQ(resident, 64u)
+        << "isolated masks must protect the quiet device's lines";
+}
+
+TEST(DeviceAwareDdio, ClearRevertsToChipWide)
+{
+    sim::Platform platform(smallConfig());
+    auto &llc = platform.llc();
+    llc.setDeviceDdioMask(1, WayMask::fromRange(0, 1));
+    llc.clearDeviceDdioMask(1);
+    EXPECT_EQ(llc.deviceDdioMask(1), llc.ddioMask());
+}
+
+TEST(DeviceAwareDdio, PqosRoundTrip)
+{
+    sim::Platform platform(smallConfig());
+    auto &pqos = platform.pqos();
+    pqos.ddioSetDeviceWays(2, WayMask::fromRange(1, 2));
+    EXPECT_EQ(pqos.ddioGetDeviceWays(2), WayMask::fromRange(1, 2));
+    EXPECT_EQ(platform.llc().deviceDdioMask(2),
+              WayMask::fromRange(1, 2));
+    // Clearing with the empty mask reverts to chip-wide.
+    pqos.ddioSetDeviceWays(2, WayMask{});
+    EXPECT_EQ(pqos.ddioGetDeviceWays(2), platform.llc().ddioMask());
+}
+
+TEST(HeaderSplitDdio, HeaderInLlcPayloadInDram)
+{
+    sim::Platform platform(smallConfig());
+    const cache::Addr addr = 1u << 22;
+    platform.dmaWriteSplit(0, addr, 1500, 128);
+
+    // Header lines (2 x 64B) resident; payload lines absent.
+    EXPECT_TRUE(platform.llc().isPresent(addr));
+    EXPECT_TRUE(platform.llc().isPresent(addr + 64));
+    EXPECT_FALSE(platform.llc().isPresent(addr + 256));
+    EXPECT_FALSE(platform.llc().isPresent(addr + 1408));
+    // Payload bytes were charged to DRAM.
+    EXPECT_GT(platform.dram().counters().write_bytes[
+                  static_cast<unsigned>(mem::DramSource::DeviceDma)],
+              1200u);
+}
+
+TEST(HeaderSplitDdio, InvalidatesStalePayloadCopies)
+{
+    sim::Platform platform(smallConfig());
+    const cache::Addr addr = 1u << 22;
+    platform.dmaWrite(0, addr, 1500); // full-frame DDIO first
+    EXPECT_TRUE(platform.llc().isPresent(addr + 512));
+    platform.dmaWriteSplit(0, addr, 1500, 128);
+    EXPECT_FALSE(platform.llc().isPresent(addr + 512))
+        << "stale payload copies must not survive the split write";
+}
+
+TEST(HeaderSplitDdio, SplitLargerThanFrameIsFullDdio)
+{
+    sim::Platform platform(smallConfig());
+    const cache::Addr addr = 1u << 22;
+    platform.dmaWriteSplit(0, addr, 256, 4096);
+    EXPECT_TRUE(platform.llc().isPresent(addr + 192));
+    EXPECT_EQ(platform.dram().counters().totalWriteBytes(), 0u);
+}
+
+TEST(HeaderSplitDdio, NicQueueDeliversSplit)
+{
+    sim::Platform platform(smallConfig());
+    net::TrafficConfig traffic;
+    traffic.rate_pps = 1e6;
+    traffic.frame_bytes = 1500;
+    traffic.burst_size = 1;
+    traffic.jitter = false;
+    net::NicQueue nic(platform, 0, "nic", traffic, 16, 2.0, 1);
+    nic.setDdioHeaderSplit(128);
+    nic.deliverOne(0.0);
+    const auto pkt = nic.rxRing().pop();
+    EXPECT_TRUE(platform.llc().isPresent(pkt.addr));
+    EXPECT_FALSE(platform.llc().isPresent(pkt.addr + 512));
+}
+
+TEST(DeviceAwareDdioDeath, RejectsBadMask)
+{
+    sim::Platform platform(smallConfig());
+    EXPECT_DEATH(platform.llc().setDeviceDdioMask(
+                     0, WayMask{0b101}),
+                 "consecutive");
+}
+
+} // namespace
+} // namespace iat

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the DRAM model.
+ */
+
+#include "mem/dram.hh"
+
+#include <gtest/gtest.h>
+
+namespace iat::mem {
+namespace {
+
+TEST(Dram, CountsBySourceAndDirection)
+{
+    DramModel dram;
+    dram.read(64, DramSource::CoreDemand);
+    dram.read(128, DramSource::DeviceDma);
+    dram.write(64, DramSource::Writeback);
+    const auto &c = dram.counters();
+    EXPECT_EQ(c.read_bytes[static_cast<unsigned>(
+                  DramSource::CoreDemand)], 64u);
+    EXPECT_EQ(c.read_bytes[static_cast<unsigned>(
+                  DramSource::DeviceDma)], 128u);
+    EXPECT_EQ(c.write_bytes[static_cast<unsigned>(
+                  DramSource::Writeback)], 64u);
+    EXPECT_EQ(c.totalReadBytes(), 192u);
+    EXPECT_EQ(c.totalWriteBytes(), 64u);
+}
+
+TEST(Dram, IdleLatencyIsBase)
+{
+    DramModel dram;
+    EXPECT_DOUBLE_EQ(dram.currentLatencyCycles(), 200.0);
+}
+
+TEST(Dram, LatencyGrowsWithUtilization)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    // Push half of peak bandwidth through a 1ms window repeatedly.
+    const auto bytes = static_cast<std::uint64_t>(
+        cfg.peak_bandwidth_bytes_per_s * 0.5 * 1e-3);
+    for (int i = 0; i < 20; ++i) {
+        dram.read(bytes, DramSource::CoreDemand);
+        dram.advanceTime(1e-3);
+    }
+    EXPECT_NEAR(dram.utilization(), 0.5, 0.05);
+    EXPECT_GT(dram.currentLatencyCycles(), cfg.base_latency_cycles);
+    EXPECT_NEAR(dram.currentLatencyCycles(),
+                cfg.base_latency_cycles *
+                    (1.0 + cfg.congestion_k * 0.25),
+                cfg.base_latency_cycles * 0.2);
+}
+
+TEST(Dram, UtilizationDecaysWhenIdle)
+{
+    DramModel dram;
+    dram.read(1'000'000'000, DramSource::CoreDemand);
+    dram.advanceTime(1e-3);
+    const double busy = dram.utilization();
+    for (int i = 0; i < 10; ++i)
+        dram.advanceTime(1e-3);
+    EXPECT_LT(dram.utilization(), busy * 0.01);
+}
+
+TEST(Dram, UtilizationClampInLatency)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    // Absurd overload: latency must stay bounded (clamped at U=1.5).
+    for (int i = 0; i < 10; ++i) {
+        dram.read(static_cast<std::uint64_t>(
+                      cfg.peak_bandwidth_bytes_per_s),
+                  DramSource::DeviceDma);
+        dram.advanceTime(1e-3);
+    }
+    EXPECT_LE(dram.currentLatencyCycles(),
+              cfg.base_latency_cycles *
+                  (1.0 + cfg.congestion_k * 1.5 * 1.5) + 1e-9);
+}
+
+TEST(Dram, AdvanceTimeIgnoresNonPositive)
+{
+    DramModel dram;
+    dram.read(1024, DramSource::CoreDemand);
+    dram.advanceTime(0.0);
+    EXPECT_DOUBLE_EQ(dram.utilization(), 0.0);
+}
+
+} // namespace
+} // namespace iat::mem

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the RFC 2544 zero-loss search over synthetic trial
+ * functions with known loss thresholds.
+ */
+
+#include "net/rfc2544.hh"
+
+#include <gtest/gtest.h>
+
+namespace iat::net {
+namespace {
+
+/** A trial that loses frames above a fixed capacity. */
+TrialFn
+capacityTrial(double capacity, unsigned *trials = nullptr)
+{
+    return [capacity, trials](double rate) {
+        if (trials != nullptr)
+            ++*trials;
+        TrialResult result;
+        result.offered = 1000;
+        result.dropped = rate > capacity ? 10 : 0;
+        result.delivered = result.offered - result.dropped;
+        return result;
+    };
+}
+
+TEST(Rfc2544, FindsCapacityWithinResolution)
+{
+    Rfc2544Config cfg;
+    cfg.min_rate_pps = 1e4;
+    cfg.max_rate_pps = 100e6;
+    cfg.resolution = 0.02;
+    const double found = rfc2544Search(capacityTrial(14.2e6), cfg);
+    EXPECT_LE(found, 14.2e6);
+    EXPECT_GT(found, 14.2e6 * 0.95);
+}
+
+TEST(Rfc2544, LineRatePassesImmediately)
+{
+    Rfc2544Config cfg;
+    cfg.max_rate_pps = 10e6;
+    unsigned trials = 0;
+    const double found =
+        rfc2544Search(capacityTrial(20e6, &trials), cfg);
+    EXPECT_DOUBLE_EQ(found, 10e6);
+    EXPECT_EQ(trials, 1u); // short-circuit at the max
+}
+
+TEST(Rfc2544, ReturnsZeroWhenEvenFloorLoses)
+{
+    Rfc2544Config cfg;
+    cfg.min_rate_pps = 1e5;
+    const double found = rfc2544Search(capacityTrial(1e4), cfg);
+    EXPECT_DOUBLE_EQ(found, 0.0);
+}
+
+TEST(Rfc2544, ResultIsAlwaysZeroLoss)
+{
+    Rfc2544Config cfg;
+    const double capacity = 3.7e6;
+    const double found = rfc2544Search(capacityTrial(capacity), cfg);
+    EXPECT_LE(found, capacity);
+}
+
+TEST(Rfc2544, RespectsTrialBudget)
+{
+    Rfc2544Config cfg;
+    cfg.max_trials = 6;
+    unsigned trials = 0;
+    rfc2544Search(capacityTrial(5e6, &trials), cfg);
+    EXPECT_LE(trials, 6u);
+}
+
+TEST(Rfc2544, TrialResultHelpers)
+{
+    TrialResult r;
+    r.dropped = 0;
+    EXPECT_TRUE(r.zeroLoss());
+    r.dropped = 1;
+    EXPECT_FALSE(r.zeroLoss());
+}
+
+TEST(Rfc2544Death, RejectsBadBounds)
+{
+    Rfc2544Config cfg;
+    cfg.min_rate_pps = 10.0;
+    cfg.max_rate_pps = 5.0;
+    EXPECT_DEATH(rfc2544Search(capacityTrial(1.0), cfg),
+                 "rate bounds");
+}
+
+} // namespace
+} // namespace iat::net

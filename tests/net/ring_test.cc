@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for descriptor rings and buffer pools.
+ */
+
+#include "net/ring.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/address_space.hh"
+
+namespace iat::net {
+namespace {
+
+TEST(Ring, PushPopFifo)
+{
+    Ring ring(4);
+    Packet a, b;
+    a.flow = 1;
+    b.flow = 2;
+    EXPECT_TRUE(ring.push(a, 0.0));
+    EXPECT_TRUE(ring.push(b, 1.0));
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring.pop().flow, 1u);
+    EXPECT_EQ(ring.pop().flow, 2u);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(Ring, DropsWhenFull)
+{
+    Ring ring(2);
+    Packet p;
+    EXPECT_TRUE(ring.push(p, 0.0));
+    EXPECT_TRUE(ring.push(p, 0.0));
+    EXPECT_FALSE(ring.push(p, 0.0));
+    EXPECT_EQ(ring.drops(), 1u);
+    EXPECT_EQ(ring.pushes(), 2u);
+}
+
+TEST(Ring, HeadReadyIsPushTime)
+{
+    Ring ring(4);
+    Packet p;
+    ring.push(p, 1.25);
+    EXPECT_DOUBLE_EQ(ring.headReady(), 1.25);
+}
+
+TEST(Ring, ResizeAllowsMoreEntries)
+{
+    Ring ring(1);
+    Packet p;
+    ring.push(p, 0.0);
+    EXPECT_FALSE(ring.push(p, 0.0));
+    ring.setCapacity(2);
+    EXPECT_TRUE(ring.push(p, 0.0));
+}
+
+TEST(RingDeath, PopEmpty)
+{
+    Ring ring(1);
+    EXPECT_DEATH(ring.pop(), "pop on empty");
+}
+
+TEST(RingDeath, HeadReadyEmpty)
+{
+    Ring ring(1);
+    EXPECT_DEATH(ring.headReady(), "empty ring");
+}
+
+TEST(BufferPool, AcquireReleaseCycle)
+{
+    sim::AddressSpace aspace;
+    BufferPool pool(aspace, "p", 2, 2048);
+    std::uint32_t a = 0, b = 0, c = 0;
+    EXPECT_TRUE(pool.acquire(a));
+    EXPECT_TRUE(pool.acquire(b));
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(pool.acquire(c)); // exhausted
+    pool.release(a);
+    EXPECT_TRUE(pool.acquire(c));
+    EXPECT_EQ(c, a); // FIFO free list reuses the oldest free buffer
+}
+
+TEST(BufferPool, AddressesAreDisjointPerBuffer)
+{
+    sim::AddressSpace aspace;
+    BufferPool pool(aspace, "p", 4, 2048);
+    for (std::uint32_t i = 0; i + 1 < 4; ++i)
+        EXPECT_EQ(pool.bufAddr(i + 1) - pool.bufAddr(i), 2048u);
+}
+
+TEST(BufferPool, FreeCountTracks)
+{
+    sim::AddressSpace aspace;
+    BufferPool pool(aspace, "p", 3, 64);
+    EXPECT_EQ(pool.freeCount(), 3u);
+    std::uint32_t b = 0;
+    pool.acquire(b);
+    EXPECT_EQ(pool.freeCount(), 2u);
+    pool.release(b);
+    EXPECT_EQ(pool.freeCount(), 3u);
+}
+
+TEST(BufferPoolDeath, ForeignRelease)
+{
+    sim::AddressSpace aspace;
+    BufferPool pool(aspace, "p", 2, 64);
+    EXPECT_DEATH(pool.release(7), "foreign buffer");
+}
+
+} // namespace
+} // namespace iat::net

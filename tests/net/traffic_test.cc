@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for traffic generation: rates, bursts, flow draws.
+ */
+
+#include "net/traffic.hh"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace iat::net {
+namespace {
+
+double
+measuredRate(TrafficGen &gen, int n)
+{
+    double t = 0.0;
+    for (int i = 0; i < n; ++i)
+        t += gen.nextGap();
+    return n / t;
+}
+
+TEST(Traffic, LineRateHelpers)
+{
+    EXPECT_NEAR(lineRatePps40G(64) / 1e6, 59.5, 0.1);
+    EXPECT_NEAR(lineRatePps40G(1500) / 1e6, 3.29, 0.01);
+}
+
+TEST(Traffic, DeterministicRateWithoutJitter)
+{
+    TrafficConfig cfg;
+    cfg.rate_pps = 1e6;
+    cfg.burst_size = 1;
+    cfg.jitter = false;
+    TrafficGen gen(cfg, 1);
+    EXPECT_NEAR(measuredRate(gen, 10000) / 1e6, 1.0, 0.01);
+}
+
+TEST(Traffic, JitteredRateConvergesToTarget)
+{
+    TrafficConfig cfg;
+    cfg.rate_pps = 2e6;
+    cfg.burst_size = 32;
+    cfg.jitter = true;
+    TrafficGen gen(cfg, 2);
+    EXPECT_NEAR(measuredRate(gen, 200000) / 2e6, 1.0, 0.05);
+}
+
+TEST(Traffic, BurstsArePacedAtWireRate)
+{
+    TrafficConfig cfg;
+    cfg.rate_pps = 1e5; // far below line rate
+    cfg.frame_bytes = 64;
+    cfg.burst_size = 8;
+    cfg.jitter = false;
+    TrafficGen gen(cfg, 3);
+    const double wire_gap = 1.0 / lineRatePps40G(64);
+    // First gap opens a burst (includes idle); the following 7 gaps
+    // are wire-paced.
+    gen.nextGap();
+    for (int i = 0; i < 7; ++i)
+        EXPECT_NEAR(gen.nextGap(), wire_gap, wire_gap * 0.01);
+    // Next gap starts a new burst: much larger.
+    EXPECT_GT(gen.nextGap(), wire_gap * 10);
+}
+
+TEST(Traffic, LineRateDegeneratesToBackToBack)
+{
+    TrafficConfig cfg;
+    cfg.frame_bytes = 64;
+    cfg.rate_pps = lineRatePps40G(64);
+    cfg.burst_size = 4;
+    cfg.jitter = true;
+    TrafficGen gen(cfg, 4);
+    const double wire_gap = 1.0 / lineRatePps40G(64);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_NEAR(gen.nextGap(), wire_gap, wire_gap * 0.01);
+}
+
+TEST(Traffic, SingleFlowAlwaysZero)
+{
+    TrafficConfig cfg;
+    cfg.flow_dist = FlowDistribution::Single;
+    TrafficGen gen(cfg, 5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(gen.nextFlow(), 0u);
+}
+
+TEST(Traffic, UniformFlowsCoverPopulation)
+{
+    TrafficConfig cfg;
+    cfg.flow_dist = FlowDistribution::Uniform;
+    cfg.num_flows = 16;
+    TrafficGen gen(cfg, 6);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto f = gen.nextFlow();
+        EXPECT_LT(f, 16u);
+        seen.insert(f);
+    }
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Traffic, ZipfFlowsAreSkewed)
+{
+    TrafficConfig cfg;
+    cfg.flow_dist = FlowDistribution::Zipfian;
+    cfg.num_flows = 1000;
+    TrafficGen gen(cfg, 7);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 20000; ++i)
+        ++counts[gen.nextFlow()];
+    int max_count = 0;
+    for (const auto &[flow, count] : counts)
+        max_count = std::max(max_count, count);
+    EXPECT_GT(max_count, 20000 / 1000 * 10);
+}
+
+TEST(Traffic, SetRateTakesEffect)
+{
+    TrafficConfig cfg;
+    cfg.rate_pps = 1e6;
+    cfg.burst_size = 1;
+    cfg.jitter = false;
+    TrafficGen gen(cfg, 8);
+    gen.setRate(5e5);
+    EXPECT_NEAR(measuredRate(gen, 10000) / 5e5, 1.0, 0.01);
+}
+
+TEST(Traffic, SetFrameBytesRepaces)
+{
+    TrafficConfig cfg;
+    cfg.frame_bytes = 64;
+    cfg.rate_pps = lineRatePps40G(64);
+    cfg.burst_size = 1;
+    cfg.jitter = false;
+    TrafficGen gen(cfg, 9);
+    gen.setFrameBytes(1500);
+    gen.setRate(lineRatePps40G(1500));
+    EXPECT_NEAR(measuredRate(gen, 10000) / lineRatePps40G(1500), 1.0,
+                0.01);
+}
+
+TEST(Traffic, SetNumFlowsGrowsPopulation)
+{
+    TrafficConfig cfg;
+    cfg.flow_dist = FlowDistribution::Uniform;
+    cfg.num_flows = 4;
+    TrafficGen gen(cfg, 11);
+    gen.setNumFlows(1000);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 5000; ++i) {
+        const auto f = gen.nextFlow();
+        EXPECT_LT(f, 1000u);
+        seen.insert(f);
+    }
+    EXPECT_GT(seen.size(), 500u);
+}
+
+TEST(Traffic, SetNumFlowsPromotesSingleToUniform)
+{
+    TrafficConfig cfg;
+    cfg.flow_dist = FlowDistribution::Single;
+    TrafficGen gen(cfg, 12);
+    gen.setNumFlows(16);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(gen.nextFlow());
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Traffic, SetNumFlowsRebuildsZipf)
+{
+    TrafficConfig cfg;
+    cfg.flow_dist = FlowDistribution::Zipfian;
+    cfg.num_flows = 100;
+    TrafficGen gen(cfg, 13);
+    gen.setNumFlows(10000);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(gen.nextFlow(), 10000u);
+}
+
+TEST(TrafficDeath, RejectsZeroFlows)
+{
+    TrafficConfig cfg;
+    TrafficGen gen(cfg, 14);
+    EXPECT_DEATH(gen.setNumFlows(0), "at least one flow");
+}
+
+TEST(TrafficDeath, RejectsZeroRate)
+{
+    TrafficConfig cfg;
+    cfg.rate_pps = 0.0;
+    EXPECT_DEATH(TrafficGen(cfg, 1), "positive");
+}
+
+} // namespace
+} // namespace iat::net

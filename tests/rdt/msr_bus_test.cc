@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the emulated MSR bus.
+ */
+
+#include "rdt/msr_bus.hh"
+
+#include <gtest/gtest.h>
+
+#include "cache/llc.hh"
+
+namespace iat::rdt {
+namespace {
+
+using cache::AccessType;
+using cache::WayMask;
+using namespace msr_addr;
+
+/** Fixed telemetry for deterministic counter reads. */
+class StubTelemetry : public CoreTelemetrySource
+{
+  public:
+    std::uint64_t
+    instructionsRetired(cache::CoreId core) const override
+    {
+        return 1000 + core;
+    }
+    std::uint64_t
+    cyclesElapsed(cache::CoreId core) const override
+    {
+        return 2000 + core;
+    }
+    std::uint64_t
+    mbmBytes(cache::RmidId rmid) const override
+    {
+        return 64ull * rmid;
+    }
+};
+
+class MsrBusTest : public testing::Test
+{
+  protected:
+    MsrBusTest() : llc(makeGeometry(), 4), bus(llc, telemetry) {}
+
+    static cache::CacheGeometry
+    makeGeometry()
+    {
+        cache::CacheGeometry g;
+        g.num_slices = 2;
+        g.sets_per_slice = 64;
+        g.num_ways = 11;
+        return g;
+    }
+
+    cache::SlicedLlc llc;
+    StubTelemetry telemetry;
+    MsrBus bus;
+};
+
+TEST_F(MsrBusTest, PqrAssocRoundTrip)
+{
+    bus.write(1, IA32_PQR_ASSOC, (5ull << 32) | 9ull);
+    EXPECT_EQ(bus.read(1, IA32_PQR_ASSOC), (5ull << 32) | 9ull);
+    EXPECT_EQ(llc.coreClos(1), 5);
+    EXPECT_EQ(llc.coreRmid(1), 9);
+}
+
+TEST_F(MsrBusTest, CatMaskRoundTrip)
+{
+    bus.write(0, IA32_L3_QOS_MASK_0 + 3, 0b0001100000ull);
+    EXPECT_EQ(bus.read(0, IA32_L3_QOS_MASK_0 + 3), 0b0001100000ull);
+    EXPECT_EQ(llc.closMask(3), WayMask{0b0001100000});
+}
+
+TEST_F(MsrBusTest, DdioWaysRoundTrip)
+{
+    bus.write(0, IIO_LLC_WAYS,
+              WayMask::fromRange(7, 4).bits());
+    EXPECT_EQ(llc.ddioMask().count(), 4u);
+    EXPECT_EQ(bus.read(0, IIO_LLC_WAYS), llc.ddioMask().bits());
+}
+
+TEST_F(MsrBusTest, FixedCountersComeFromTelemetry)
+{
+    EXPECT_EQ(bus.read(2, IA32_FIXED_CTR0), 1002u);
+    EXPECT_EQ(bus.read(2, IA32_FIXED_CTR1), 2002u);
+}
+
+TEST_F(MsrBusTest, LlcPmcCountersTrackDemandTraffic)
+{
+    llc.coreAccess(0, 64, AccessType::Read);
+    llc.coreAccess(0, 64, AccessType::Read);
+    EXPECT_EQ(bus.read(0, PMC_LLC_REFERENCE), 2u);
+    EXPECT_EQ(bus.read(0, PMC_LLC_MISS), 1u);
+}
+
+TEST_F(MsrBusTest, QmOccupancyByRmid)
+{
+    llc.assocCoreRmid(0, 4);
+    llc.coreAccess(0, 64, AccessType::Read);
+    llc.coreAccess(0, 128, AccessType::Read);
+    bus.write(0, IA32_QM_EVTSEL,
+              (4ull << 32) |
+                  static_cast<std::uint32_t>(QmEvent::LlcOccupancy));
+    EXPECT_EQ(bus.read(0, IA32_QM_CTR), 2u);
+}
+
+TEST_F(MsrBusTest, QmMbmFromTelemetry)
+{
+    bus.write(0, IA32_QM_EVTSEL,
+              (3ull << 32) |
+                  static_cast<std::uint32_t>(QmEvent::MbmLocal));
+    EXPECT_EQ(bus.read(0, IA32_QM_CTR), 64u * 3);
+}
+
+TEST_F(MsrBusTest, QmSelectionIsPerCore)
+{
+    bus.write(0, IA32_QM_EVTSEL,
+              (1ull << 32) |
+                  static_cast<std::uint32_t>(QmEvent::MbmLocal));
+    bus.write(1, IA32_QM_EVTSEL,
+              (2ull << 32) |
+                  static_cast<std::uint32_t>(QmEvent::MbmLocal));
+    EXPECT_EQ(bus.read(0, IA32_QM_CTR), 64u);
+    EXPECT_EQ(bus.read(1, IA32_QM_CTR), 128u);
+}
+
+TEST_F(MsrBusTest, ChaCountersPerSlice)
+{
+    llc.ddioWrite(0, 0); // one allocate somewhere
+    std::uint64_t misses = 0;
+    for (unsigned s = 0; s < 2; ++s)
+        misses += bus.read(0, CHA_CTR_BASE + s * CHA_CTR_STRIDE);
+    EXPECT_EQ(misses, 1u);
+}
+
+TEST_F(MsrBusTest, AccessCounting)
+{
+    bus.resetAccessCounts();
+    bus.read(0, IA32_PQR_ASSOC);
+    bus.read(0, IA32_FIXED_CTR0);
+    bus.write(0, IIO_LLC_WAYS, WayMask::fromRange(9, 2).bits());
+    EXPECT_EQ(bus.readCount(), 2u);
+    EXPECT_EQ(bus.writeCount(), 1u);
+}
+
+TEST_F(MsrBusTest, RejectsBadCbmLikeHardware)
+{
+    EXPECT_DEATH(bus.write(0, IA32_L3_QOS_MASK_0, 0b101ull),
+                 "consecutive");
+}
+
+TEST_F(MsrBusTest, RejectsUnknownMsr)
+{
+    EXPECT_DEATH(bus.read(0, 0x1234), "unimplemented");
+    EXPECT_DEATH(bus.write(0, 0x1234, 0), "unimplemented");
+}
+
+TEST_F(MsrBusTest, RejectsWriteToReadOnlyCounter)
+{
+    EXPECT_DEATH(bus.write(0, IA32_FIXED_CTR0, 0), "read-only");
+}
+
+TEST_F(MsrBusTest, RejectsOutOfRangeClosInPqr)
+{
+    EXPECT_DEATH(
+        bus.write(0, IA32_PQR_ASSOC,
+                  (static_cast<std::uint64_t>(
+                       cache::SlicedLlc::numClos) << 32)),
+        "CLOS out of range");
+}
+
+} // namespace
+} // namespace iat::rdt

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Unit tests for the address-space allocator.
+ */
+
+#include "sim/address_space.hh"
+
+#include <gtest/gtest.h>
+
+namespace iat::sim {
+namespace {
+
+TEST(AddressSpace, RegionsDoNotOverlap)
+{
+    AddressSpace aspace;
+    const auto a = aspace.alloc(100, "a");
+    const auto b = aspace.alloc(5000, "b");
+    const auto c = aspace.alloc(1, "c");
+    EXPECT_GE(b.base, a.base + a.bytes);
+    EXPECT_GE(c.base, b.base + b.bytes);
+}
+
+TEST(AddressSpace, PageAlignment)
+{
+    AddressSpace aspace;
+    const auto a = aspace.alloc(1, "a");
+    EXPECT_EQ(a.bytes, 4096u);
+    EXPECT_EQ(a.base % 4096, 0u);
+    const auto b = aspace.alloc(4097, "b");
+    EXPECT_EQ(b.bytes, 8192u);
+}
+
+TEST(AddressSpace, LineAddressing)
+{
+    AddressSpace aspace;
+    const auto r = aspace.alloc(64 * 10, "r");
+    EXPECT_EQ(r.lineAddr(0), r.base);
+    EXPECT_EQ(r.lineAddr(3), r.base + 3 * 64);
+    EXPECT_EQ(r.lines(), r.bytes / 64);
+}
+
+TEST(AddressSpace, TracksRegions)
+{
+    AddressSpace aspace;
+    aspace.alloc(10, "x");
+    aspace.alloc(10, "y");
+    ASSERT_EQ(aspace.regions().size(), 2u);
+    EXPECT_EQ(aspace.regions()[0].name, "x");
+    EXPECT_EQ(aspace.regions()[1].name, "y");
+    EXPECT_EQ(aspace.allocatedBytes(), 2 * 4096u);
+}
+
+TEST(AddressSpaceDeath, RejectsEmpty)
+{
+    AddressSpace aspace;
+    EXPECT_DEATH(aspace.alloc(0, "zero"), "empty allocation");
+}
+
+} // namespace
+} // namespace iat::sim

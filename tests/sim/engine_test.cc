@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the quantum engine.
+ */
+
+#include "sim/engine.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace iat::sim {
+namespace {
+
+PlatformConfig
+smallConfig()
+{
+    PlatformConfig cfg;
+    cfg.num_cores = 2;
+    cfg.llc.num_slices = 1;
+    cfg.llc.sets_per_slice = 64;
+    cfg.quantum_seconds = 1e-3;
+    return cfg;
+}
+
+/** Counts quanta and records boundaries. */
+class CountingRunnable : public Runnable
+{
+  public:
+    void
+    runQuantum(double t_start, double dt) override
+    {
+        ++quanta;
+        starts.push_back(t_start);
+        last_dt = dt;
+    }
+
+    int quanta = 0;
+    double last_dt = 0.0;
+    std::vector<double> starts;
+};
+
+TEST(Engine, RunsExpectedQuanta)
+{
+    Platform platform(smallConfig());
+    Engine engine(platform);
+    CountingRunnable r;
+    engine.add(&r);
+    engine.run(0.01);
+    EXPECT_EQ(r.quanta, 10);
+    EXPECT_DOUBLE_EQ(r.last_dt, 1e-3);
+    EXPECT_NEAR(platform.now(), 0.01, 1e-9);
+}
+
+TEST(Engine, QuantumStartsAreMonotonic)
+{
+    Platform platform(smallConfig());
+    Engine engine(platform);
+    CountingRunnable r;
+    engine.add(&r);
+    engine.run(0.005);
+    for (std::size_t i = 1; i < r.starts.size(); ++i)
+        EXPECT_GT(r.starts[i], r.starts[i - 1]);
+}
+
+TEST(Engine, PeriodicHookFiresAtInterval)
+{
+    Platform platform(smallConfig());
+    Engine engine(platform);
+    int fired = 0;
+    engine.addPeriodic(2e-3, [&](double) { ++fired; });
+    engine.run(0.01);
+    // Fires at 2,4,6,8 ms; the 10 ms edge belongs to the next run().
+    EXPECT_EQ(fired, 4);
+    engine.run(1e-3);
+    EXPECT_EQ(fired, 5);
+}
+
+TEST(Engine, PeriodicHookWithPhase)
+{
+    Platform platform(smallConfig());
+    Engine engine(platform);
+    std::vector<double> times;
+    engine.addPeriodic(4e-3, [&](double t) { times.push_back(t); },
+                       0.0);
+    engine.run(0.01);
+    ASSERT_GE(times.size(), 3u);
+    EXPECT_NEAR(times[0], 0.0, 1e-6);
+    EXPECT_NEAR(times[1], 4e-3, 1e-6);
+}
+
+TEST(Engine, OneShotFiresOnce)
+{
+    Platform platform(smallConfig());
+    Engine engine(platform);
+    int fired = 0;
+    engine.at(3e-3, [&](double) { ++fired; });
+    engine.run(0.01);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, HooksFireInTimeOrder)
+{
+    Platform platform(smallConfig());
+    Engine engine(platform);
+    std::vector<int> order;
+    engine.at(5e-3, [&](double) { order.push_back(2); });
+    engine.at(1e-3, [&](double) { order.push_back(1); });
+    engine.run(0.01);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+}
+
+TEST(Engine, RunnablesExecuteInAdditionOrder)
+{
+    Platform platform(smallConfig());
+    Engine engine(platform);
+    std::vector<int> order;
+    struct Tagger : Runnable
+    {
+        Tagger(std::vector<int> &log, int tag) : log(log), tag(tag) {}
+        void
+        runQuantum(double, double) override
+        {
+            log.push_back(tag);
+        }
+        std::vector<int> &log;
+        int tag;
+    };
+    Tagger a(order, 1), b(order, 2);
+    engine.add(&a);
+    engine.add(&b);
+    engine.run(1e-3);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+}
+
+TEST(Engine, SecondRunContinuesClock)
+{
+    Platform platform(smallConfig());
+    Engine engine(platform);
+    engine.run(0.01);
+    engine.run(0.01);
+    EXPECT_NEAR(platform.now(), 0.02, 1e-9);
+}
+
+TEST(EngineDeath, RejectsNullRunnable)
+{
+    Platform platform(smallConfig());
+    Engine engine(platform);
+    EXPECT_DEATH(engine.add(nullptr), "null runnable");
+}
+
+TEST(EngineDeath, RejectsNonPositiveInterval)
+{
+    Platform platform(smallConfig());
+    Engine engine(platform);
+    EXPECT_DEATH(engine.addPeriodic(0.0, [](double) {}),
+                 "interval");
+}
+
+} // namespace
+} // namespace iat::sim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for PlatformSnapshot / StatsReport.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats_report.hh"
+
+namespace iat::sim {
+namespace {
+
+using cache::AccessType;
+
+PlatformConfig
+testConfig()
+{
+    PlatformConfig cfg;
+    cfg.num_cores = 4;
+    cfg.llc.num_slices = 2;
+    cfg.llc.sets_per_slice = 128;
+    return cfg;
+}
+
+TEST(StatsReport, CaptureReflectsActivity)
+{
+    Platform platform(testConfig());
+    platform.coreAccess(1, 4096, AccessType::Read);
+    platform.retire(1, 500);
+    platform.dmaWrite(0, 1 << 20, 128);
+    platform.advanceQuantum(1e-3);
+
+    const auto snap = PlatformSnapshot::capture(platform);
+    EXPECT_DOUBLE_EQ(snap.now_seconds, 1e-3);
+    EXPECT_EQ(snap.cores[1].instructions, 500u);
+    EXPECT_EQ(snap.cores[1].llc_refs, 1u);
+    EXPECT_EQ(snap.ddio_misses, 2u);
+    EXPECT_EQ(snap.dram_read_bytes, 64u);
+}
+
+TEST(StatsReport, SinceComputesDeltas)
+{
+    Platform platform(testConfig());
+    platform.retire(0, 100);
+    platform.advanceQuantum(1e-3);
+    const auto a = PlatformSnapshot::capture(platform);
+    platform.retire(0, 250);
+    platform.advanceQuantum(1e-3);
+    const auto b = PlatformSnapshot::capture(platform);
+    const auto delta = b.since(a);
+    EXPECT_EQ(delta.cores[0].instructions, 250u);
+    EXPECT_DOUBLE_EQ(delta.now_seconds, 1e-3);
+}
+
+TEST(StatsReport, TablesSkipIdleCores)
+{
+    Platform platform(testConfig());
+    platform.retire(2, 10);
+    platform.advanceQuantum(1e-3);
+    const auto snap = PlatformSnapshot::capture(platform);
+    StatsReport report(snap);
+    EXPECT_EQ(report.coreTable().rowCount(), 1u);
+    EXPECT_GE(report.memoryTable().rowCount(), 6u);
+}
+
+TEST(StatsReport, OccupancyIsALevelNotACounter)
+{
+    Platform platform(testConfig());
+    platform.llc().assocCoreRmid(0, 3);
+    platform.coreAccess(0, 4096, AccessType::Read);
+    platform.advanceQuantum(1e-3);
+    const auto a = PlatformSnapshot::capture(platform);
+    platform.advanceQuantum(1e-3);
+    const auto delta =
+        PlatformSnapshot::capture(platform).since(a);
+    // since() keeps the current occupancy rather than a difference.
+    EXPECT_EQ(delta.rmid_bytes[3], 64u);
+}
+
+} // namespace
+} // namespace iat::sim

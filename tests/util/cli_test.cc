@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for CliArgs.
+ */
+
+#include "util/cli.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace iat {
+namespace {
+
+CliArgs
+makeArgs(std::vector<const char *> argv)
+{
+    argv.insert(argv.begin(), "prog");
+    return CliArgs(static_cast<int>(argv.size()),
+                   const_cast<char **>(argv.data()));
+}
+
+TEST(Cli, EqualsForm)
+{
+    const auto args = makeArgs({"--seed=42", "--name=foo"});
+    EXPECT_EQ(args.getInt("seed", 0), 42);
+    EXPECT_EQ(args.getString("name", ""), "foo");
+}
+
+TEST(Cli, SpaceForm)
+{
+    const auto args = makeArgs({"--seed", "7"});
+    EXPECT_EQ(args.getInt("seed", 0), 7);
+}
+
+TEST(Cli, BareFlagIsTrue)
+{
+    const auto args = makeArgs({"--verbose"});
+    EXPECT_TRUE(args.getBool("verbose"));
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_FALSE(args.has("quiet"));
+}
+
+TEST(Cli, BoolFalseValues)
+{
+    const auto args = makeArgs({"--a=false", "--b=0", "--c=yes"});
+    EXPECT_FALSE(args.getBool("a", true));
+    EXPECT_FALSE(args.getBool("b", true));
+    EXPECT_TRUE(args.getBool("c", false));
+}
+
+TEST(Cli, Defaults)
+{
+    const auto args = makeArgs({});
+    EXPECT_EQ(args.getInt("missing", 5), 5);
+    EXPECT_EQ(args.getDouble("missing", 2.5), 2.5);
+    EXPECT_EQ(args.getString("missing", "dflt"), "dflt");
+    EXPECT_FALSE(args.getBool("missing"));
+}
+
+TEST(Cli, Positional)
+{
+    const auto args = makeArgs({"one", "--flag=x", "two"});
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "one");
+    EXPECT_EQ(args.positional()[1], "two");
+}
+
+TEST(Cli, DoubleParsing)
+{
+    const auto args = makeArgs({"--rate=1.5e6"});
+    EXPECT_DOUBLE_EQ(args.getDouble("rate", 0.0), 1.5e6);
+}
+
+TEST(Cli, HexInt)
+{
+    const auto args = makeArgs({"--mask=0x600"});
+    EXPECT_EQ(args.getInt("mask", 0), 0x600);
+}
+
+TEST(CliDeath, BadIntExits)
+{
+    const auto args = makeArgs({"--seed=abc"});
+    EXPECT_EXIT(args.getInt("seed", 0), testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(CliDeath, BadDoubleExits)
+{
+    const auto args = makeArgs({"--rate=xyz"});
+    EXPECT_EXIT(args.getDouble("rate", 0.0),
+                testing::ExitedWithCode(1), "expects a number");
+}
+
+} // namespace
+} // namespace iat

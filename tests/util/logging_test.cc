@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for the logging/error helpers: level gating, fatal vs panic
+ * exit behaviour, and the assertion macro.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace iat {
+namespace {
+
+TEST(Logging, DefaultLevelIsWarn)
+{
+    // The singleton may have been reconfigured by another test in
+    // this binary; set explicitly and read back.
+    Logger::instance().setLevel(LogLevel::Warn);
+    EXPECT_EQ(Logger::instance().level(), LogLevel::Warn);
+}
+
+TEST(Logging, LevelRoundTrip)
+{
+    Logger::instance().setLevel(LogLevel::Debug);
+    EXPECT_EQ(Logger::instance().level(), LogLevel::Debug);
+    Logger::instance().setLevel(LogLevel::Quiet);
+    EXPECT_EQ(Logger::instance().level(), LogLevel::Quiet);
+    Logger::instance().setLevel(LogLevel::Warn);
+}
+
+TEST(Logging, InformAndWarnDoNotTerminate)
+{
+    inform("informational %d", 1);
+    warn("warning %s", "text");
+    debug("debug %d", 2);
+    SUCCEED();
+}
+
+TEST(LoggingDeath, FatalExitsWithCode1)
+{
+    EXPECT_EXIT(fatal("user error %d", 42),
+                testing::ExitedWithCode(1), "user error 42");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("bug %s", "here"), "panic: bug here");
+}
+
+TEST(LoggingDeath, AssertMacroCarriesContext)
+{
+    const int x = 3;
+    EXPECT_DEATH(IAT_ASSERT(x == 4, "x was %d", x),
+                 "assertion 'x == 4' failed.*x was 3");
+}
+
+TEST(Logging, AssertPassesSilently)
+{
+    IAT_ASSERT(1 + 1 == 2, "arithmetic broke");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace iat

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the deterministic random number generator.
+ */
+
+#include "util/rng.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace iat {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += (a.next() == b.next());
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.reseed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(3);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 20}) {
+        for (int i = 0; i < 2000; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    constexpr std::uint64_t buckets = 10;
+    constexpr int draws = 100000;
+    std::vector<int> counts(buckets, 0);
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.below(buckets)];
+    for (auto c : counts) {
+        EXPECT_GT(c, draws / buckets * 0.9);
+        EXPECT_LT(c, draws / buckets * 1.1);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, ExpoHasRequestedMean)
+{
+    Rng rng(13);
+    const double mean = 3.5;
+    double sum = 0.0;
+    constexpr int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.expo(mean);
+    EXPECT_NEAR(sum / n, mean, 0.05 * mean);
+}
+
+TEST(Rng, ExpoIsNonNegative)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(rng.expo(1.0), 0.0);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(19);
+    double sum = 0.0, sq = 0.0;
+    constexpr int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+} // namespace
+} // namespace iat

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the statistics toolkit.
+ */
+
+#include "util/stats.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hh"
+
+namespace iat {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MeanMinMax)
+{
+    RunningStat s;
+    for (double x : {3.0, 1.0, 2.0, 4.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStat, VarianceMatchesClosedForm)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    // Sample variance of the classic example set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, EmptyPercentileIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(LatencyHistogram, SingleValue)
+{
+    LatencyHistogram h;
+    h.add(123.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_NEAR(h.percentile(0.5), 123.0, 123.0 * 0.02);
+    EXPECT_NEAR(h.mean(), 123.0, 1e-9);
+    EXPECT_DOUBLE_EQ(h.max(), 123.0);
+}
+
+TEST(LatencyHistogram, PercentilesOfUniformRamp)
+{
+    LatencyHistogram h;
+    for (int i = 1; i <= 10000; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_NEAR(h.percentile(0.5), 5000.0, 5000.0 * 0.03);
+    EXPECT_NEAR(h.percentile(0.99), 9900.0, 9900.0 * 0.03);
+    EXPECT_NEAR(h.percentile(0.0), 1.0, 1.0);
+    EXPECT_NEAR(h.percentile(1.0), 10000.0, 10000.0 * 0.03);
+}
+
+TEST(LatencyHistogram, BoundedRelativeError)
+{
+    LatencyHistogram h;
+    Rng rng(21);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = std::exp(rng.uniform() * 20.0 - 10.0);
+        LatencyHistogram single;
+        single.add(v);
+        EXPECT_NEAR(single.percentile(0.5), v, v * 0.02)
+            << "value " << v;
+        (void)h;
+    }
+}
+
+TEST(LatencyHistogram, MergeCombinesCounts)
+{
+    LatencyHistogram a, b;
+    for (int i = 0; i < 100; ++i)
+        a.add(1.0);
+    for (int i = 0; i < 100; ++i)
+        b.add(1000.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    EXPECT_NEAR(a.percentile(0.25), 1.0, 0.05);
+    EXPECT_NEAR(a.percentile(0.99), 1000.0, 1000.0 * 0.03);
+    EXPECT_DOUBLE_EQ(a.max(), 1000.0);
+}
+
+TEST(LatencyHistogram, AddNWeighting)
+{
+    LatencyHistogram h;
+    h.addN(10.0, 99);
+    h.addN(1000.0, 1);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_NEAR(h.percentile(0.5), 10.0, 0.5);
+    EXPECT_NEAR(h.mean(), (99 * 10.0 + 1000.0) / 100.0, 1e-6);
+}
+
+TEST(LatencyHistogram, ZeroAndNegativeGoToFirstBucket)
+{
+    LatencyHistogram h;
+    h.add(0.0);
+    h.add(-5.0);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_LT(h.percentile(0.9), 1e-4);
+}
+
+TEST(LatencyHistogram, ResetClears)
+{
+    LatencyHistogram h;
+    h.add(5.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(Ewma, FirstSampleSeeds)
+{
+    Ewma e(0.5);
+    EXPECT_FALSE(e.seeded());
+    e.add(10.0);
+    EXPECT_TRUE(e.seeded());
+    EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesToConstant)
+{
+    Ewma e(0.3);
+    for (int i = 0; i < 100; ++i)
+        e.add(7.0);
+    EXPECT_NEAR(e.value(), 7.0, 1e-9);
+}
+
+TEST(Ewma, TracksStep)
+{
+    Ewma e(0.5);
+    e.add(0.0);
+    e.add(10.0);
+    EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+TEST(RelativeDelta, Basics)
+{
+    EXPECT_DOUBLE_EQ(relativeDelta(100.0, 103.0), 0.03);
+    EXPECT_DOUBLE_EQ(relativeDelta(100.0, 97.0), 0.03);
+    EXPECT_DOUBLE_EQ(relativeDelta(0.0, 0.0), 0.0);
+    EXPECT_GT(relativeDelta(0.0, 1.0), 1.0);
+}
+
+} // namespace
+} // namespace iat

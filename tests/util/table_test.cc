@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for TablePrinter.
+ */
+
+#include "util/table.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace iat {
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(3.0, 0), "3");
+    EXPECT_EQ(TablePrinter::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    TablePrinter table("test");
+    table.setHeader({"a", "b"});
+    table.addRow({"1", "2"});
+    table.addRow({"3", "4"});
+    const std::string path = testing::TempDir() + "/iat_table.csv";
+    ASSERT_TRUE(table.writeCsv(path));
+    EXPECT_EQ(readFile(path), "a,b\n1,2\n3,4\n");
+    std::remove(path.c_str());
+}
+
+TEST(Table, CsvQuotesSpecialCells)
+{
+    TablePrinter table("test");
+    table.setHeader({"a"});
+    table.addRow({"x,y"});
+    table.addRow({"say \"hi\""});
+    const std::string path = testing::TempDir() + "/iat_tableq.csv";
+    ASSERT_TRUE(table.writeCsv(path));
+    EXPECT_EQ(readFile(path), "a\n\"x,y\"\n\"say \"\"hi\"\"\"\n");
+    std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvFailsOnBadPath)
+{
+    TablePrinter table("test");
+    table.setHeader({"a"});
+    EXPECT_FALSE(table.writeCsv("/nonexistent-dir/x.csv"));
+}
+
+TEST(Table, RowCount)
+{
+    TablePrinter table("test");
+    table.setHeader({"a"});
+    EXPECT_EQ(table.rowCount(), 0u);
+    table.addRow({"1"});
+    EXPECT_EQ(table.rowCount(), 1u);
+}
+
+TEST(TableDeath, RowWidthMismatch)
+{
+    TablePrinter table("test");
+    table.setHeader({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "row width");
+}
+
+} // namespace
+} // namespace iat

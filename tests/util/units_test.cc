@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for units and rate arithmetic, including the paper's
+ * own 148.8 Mpps line-rate example.
+ */
+
+#include "util/units.hh"
+
+#include <gtest/gtest.h>
+
+namespace iat {
+namespace {
+
+TEST(Units, LinesFor)
+{
+    EXPECT_EQ(linesFor(0), 0u);
+    EXPECT_EQ(linesFor(1), 1u);
+    EXPECT_EQ(linesFor(64), 1u);
+    EXPECT_EQ(linesFor(65), 2u);
+    EXPECT_EQ(linesFor(1500), 24u);
+}
+
+TEST(Units, PaperLineRateExample)
+{
+    // SS II-B: 100Gb traffic, 64B packets with 20B Ethernet overhead
+    // => 148.8 Mpps.
+    const double pps = packetRateForLineRate(100e9, 64);
+    EXPECT_NEAR(pps / 1e6, 148.8, 0.1);
+}
+
+TEST(Units, FortyGigLineRates)
+{
+    EXPECT_NEAR(packetRateForLineRate(40e9, 64) / 1e6, 59.5, 0.1);
+    EXPECT_NEAR(packetRateForLineRate(40e9, 1500) / 1e6, 3.289, 0.01);
+}
+
+TEST(Units, ClockConversionsRoundTrip)
+{
+    constexpr ClockDomain clk{2.3e9};
+    EXPECT_EQ(clk.cyclesFromSeconds(1.0), 2'300'000'000ull);
+    EXPECT_DOUBLE_EQ(clk.secondsFromCycles(2'300'000'000ull), 1.0);
+    EXPECT_NEAR(clk.cyclesFromNanos(100.0), 230.0, 1e-9);
+}
+
+TEST(Units, CoreClockMatchesTableI)
+{
+    EXPECT_DOUBLE_EQ(coreClock.frequencyHz(), 2.3e9);
+}
+
+TEST(Units, ByteConstants)
+{
+    EXPECT_EQ(KiB, 1024u);
+    EXPECT_EQ(MiB, 1024u * 1024u);
+    EXPECT_EQ(GiB, 1024ull * 1024 * 1024);
+    EXPECT_EQ(cacheLineBytes, 64u);
+}
+
+} // namespace
+} // namespace iat

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the KV store (RocksDB memtable) model and the YCSB
+ * mixes.
+ */
+
+#include "wl/kvstore.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "util/units.hh"
+
+namespace iat::wl {
+namespace {
+
+sim::PlatformConfig
+testConfig()
+{
+    sim::PlatformConfig cfg;
+    cfg.num_cores = 2;
+    cfg.quantum_seconds = 100e-6;
+    return cfg;
+}
+
+TEST(YcsbMix, StandardMixesSumToOne)
+{
+    for (char id = 'A'; id <= 'F'; ++id) {
+        const auto &mix = ycsbWorkload(id);
+        EXPECT_NEAR(mix.read + mix.update + mix.insert + mix.scan +
+                        mix.rmw,
+                    1.0, 1e-9)
+            << "workload " << id;
+        EXPECT_EQ(mix.id, id);
+    }
+}
+
+TEST(YcsbMix, DrawProportionsMatch)
+{
+    const auto &mix = ycsbWorkload('A');
+    Rng rng(1);
+    int reads = 0, updates = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        switch (mix.draw(rng)) {
+          case YcsbOp::Read: ++reads; break;
+          case YcsbOp::Update: ++updates; break;
+          default: FAIL() << "unexpected op in workload A";
+        }
+    }
+    EXPECT_NEAR(reads / static_cast<double>(n), 0.5, 0.02);
+    EXPECT_NEAR(updates / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST(YcsbMix, WorkloadCIsReadOnly)
+{
+    const auto &mix = ycsbWorkload('C');
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(mix.draw(rng), YcsbOp::Read);
+}
+
+TEST(YcsbMixDeath, RejectsUnknownWorkload)
+{
+    EXPECT_DEATH(ycsbWorkload('Z'), "A-F");
+}
+
+class KvStoreTest : public testing::Test
+{
+  protected:
+    KvStoreTest() : platform(testConfig()), engine(platform) {}
+
+    sim::Platform platform;
+    sim::Engine engine;
+    KvStoreConfig cfg; // paper defaults: 10K records, 1KB values
+};
+
+TEST_F(KvStoreTest, CompletesOpsAndRecordsLatency)
+{
+    KvStoreWorkload kv(platform, 0, "rocksdb", cfg,
+                       ycsbWorkload('C'), 1);
+    engine.add(&kv);
+    engine.run(0.01);
+    EXPECT_GT(kv.opsCompleted(), 1000u);
+    EXPECT_EQ(kv.opLatency().count(), kv.opsCompleted());
+    EXPECT_EQ(kv.opKindCount(YcsbOp::Read), kv.opsCompleted());
+}
+
+TEST_F(KvStoreTest, MixedWorkloadCountsPerKind)
+{
+    KvStoreWorkload kv(platform, 0, "rocksdb", cfg,
+                       ycsbWorkload('A'), 2);
+    engine.add(&kv);
+    engine.run(0.01);
+    const auto reads = kv.opKindCount(YcsbOp::Read);
+    const auto updates = kv.opKindCount(YcsbOp::Update);
+    EXPECT_EQ(reads + updates, kv.opsCompleted());
+    EXPECT_NEAR(static_cast<double>(reads) /
+                    static_cast<double>(kv.opsCompleted()),
+                0.5, 0.05);
+    EXPECT_GT(kv.opKindLatency(YcsbOp::Read).count(), 0u);
+    EXPECT_GT(kv.opKindLatency(YcsbOp::Update).count(), 0u);
+}
+
+TEST_F(KvStoreTest, ScansCostMoreThanReads)
+{
+    KvStoreWorkload point(platform, 0, "point", cfg,
+                          ycsbWorkload('C'), 3);
+    KvStoreConfig cfg_e = cfg;
+    KvStoreWorkload scan(platform, 1, "scan", cfg_e,
+                         ycsbWorkload('E'), 3);
+    engine.add(&point);
+    engine.add(&scan);
+    engine.run(0.01);
+    EXPECT_GT(point.opsCompleted(), scan.opsCompleted() * 2);
+}
+
+TEST_F(KvStoreTest, CacheRestrictionHurtsLatency)
+{
+    // The 10K x 1KB store (~10 MiB of values) is LLC-sensitive.
+    sim::Platform narrow(testConfig());
+    narrow.llc().setClosMask(1, cache::WayMask::fromRange(0, 1));
+    narrow.llc().assocCoreClos(0, 1);
+    sim::Engine engine_narrow(narrow);
+    KvStoreWorkload kv_narrow(narrow, 0, "kv", cfg,
+                              ycsbWorkload('C'), 4);
+    engine_narrow.add(&kv_narrow);
+    engine_narrow.run(0.02);
+
+    sim::Platform wide(testConfig());
+    wide.llc().setClosMask(1, cache::WayMask::fromRange(0, 9));
+    wide.llc().assocCoreClos(0, 1);
+    sim::Engine engine_wide(wide);
+    KvStoreWorkload kv_wide(wide, 0, "kv", cfg, ycsbWorkload('C'), 4);
+    engine_wide.add(&kv_wide);
+    engine_wide.run(0.02);
+
+    EXPECT_GT(kv_narrow.opLatency().mean(),
+              kv_wide.opLatency().mean() * 1.1);
+}
+
+TEST_F(KvStoreTest, ResetKindStatsClearsEverything)
+{
+    KvStoreWorkload kv(platform, 0, "kv", cfg, ycsbWorkload('F'), 5);
+    engine.add(&kv);
+    engine.run(0.005);
+    kv.resetKindStats();
+    EXPECT_EQ(kv.opsCompleted(), 0u);
+    for (auto op : {YcsbOp::Read, YcsbOp::ReadModifyWrite}) {
+        EXPECT_EQ(kv.opKindCount(op), 0u);
+        EXPECT_EQ(kv.opKindLatency(op).count(), 0u);
+    }
+}
+
+TEST_F(KvStoreTest, SetMixSwitchesWorkload)
+{
+    KvStoreWorkload kv(platform, 0, "kv", cfg, ycsbWorkload('C'), 6);
+    engine.add(&kv);
+    engine.run(0.002);
+    kv.setMix(ycsbWorkload('A'));
+    kv.resetKindStats();
+    engine.run(0.005);
+    EXPECT_GT(kv.opKindCount(YcsbOp::Update), 0u);
+}
+
+} // namespace
+} // namespace iat::wl

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the STREAM triad workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "util/units.hh"
+#include "wl/stream.hh"
+
+namespace iat::wl {
+namespace {
+
+sim::PlatformConfig
+testConfig()
+{
+    sim::PlatformConfig cfg;
+    cfg.num_cores = 2;
+    cfg.quantum_seconds = 100e-6;
+    return cfg;
+}
+
+TEST(Stream, MakesProgressAndReportsBandwidth)
+{
+    sim::Platform platform(testConfig());
+    sim::Engine engine(platform);
+    StreamWorkload stream(platform, 0, "stream", 64 * MiB);
+    engine.add(&stream);
+    engine.run(0.01);
+    EXPECT_GT(stream.opsCompleted(), 1000u);
+    EXPECT_GT(stream.bandwidthBytesPerSec(), 1e9);
+}
+
+TEST(Stream, LargeArraysAreDramBound)
+{
+    // A 64MB-per-array triad cannot live in the 24.75MB LLC: most
+    // traffic must reach DRAM.
+    sim::Platform platform(testConfig());
+    sim::Engine engine(platform);
+    StreamWorkload stream(platform, 0, "stream", 64 * MiB);
+    engine.add(&stream);
+    engine.run(0.02);
+    const auto &dram = platform.dram().counters();
+    const auto moved = 3ull * cacheLineBytes *
+                       stream.opsCompleted();
+    EXPECT_GT(dram.totalReadBytes() + dram.totalWriteBytes(),
+              moved / 2);
+}
+
+TEST(Stream, SmallArraysStayCacheResident)
+{
+    // 1MB per array (3MB total) fits the LLC comfortably after the
+    // first pass: DRAM traffic per op must collapse.
+    sim::Platform platform(testConfig());
+    sim::Engine engine(platform);
+    StreamWorkload stream(platform, 0, "stream", 1 * MiB);
+    engine.add(&stream);
+    engine.run(0.02); // warm
+    const auto read0 = platform.dram().counters().totalReadBytes();
+    const auto ops0 = stream.opsCompleted();
+    engine.run(0.01);
+    const auto reads = platform.dram().counters().totalReadBytes() -
+                       read0;
+    const auto ops = stream.opsCompleted() - ops0;
+    EXPECT_LT(static_cast<double>(reads),
+              0.2 * 2.0 * cacheLineBytes * ops);
+}
+
+TEST(Stream, CacheResidentIsFasterThanDramBound)
+{
+    sim::Platform platform(testConfig());
+    sim::Engine engine(platform);
+    StreamWorkload hot(platform, 0, "hot", 1 * MiB);
+    StreamWorkload cold(platform, 1, "cold", 64 * MiB);
+    engine.add(&hot);
+    engine.add(&cold);
+    engine.run(0.02);
+    hot.resetStats();
+    cold.resetStats();
+    engine.run(0.01);
+    EXPECT_GT(hot.bandwidthBytesPerSec(),
+              cold.bandwidthBytesPerSec() * 1.5);
+}
+
+TEST(StreamDeath, RejectsSubLineArrays)
+{
+    sim::Platform platform(testConfig());
+    EXPECT_DEATH(StreamWorkload(platform, 0, "tiny", 32),
+                 "at least one line");
+}
+
+} // namespace
+} // namespace iat::wl

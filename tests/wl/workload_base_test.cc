@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests of the MemWorkload base-class contract: cycle budgeting,
+ * overdraft carry across quanta, op accounting, and activity
+ * toggling -- via a deterministic fixed-cost subclass.
+ */
+
+#include <gtest/gtest.h>
+
+#include "wl/workload.hh"
+
+namespace iat::wl {
+namespace {
+
+/** Ops cost exactly @p cycles each; optionally record latency. */
+class FixedCostWorkload : public MemWorkload
+{
+  public:
+    FixedCostWorkload(sim::Platform &platform, cache::CoreId core,
+                      double cycles)
+        : MemWorkload(platform, core, "fixed"), cycles_(cycles)
+    {
+    }
+
+  protected:
+    double
+    step(double /*now*/) override
+    {
+        platform().retire(core(), 10);
+        recordLatency(cycles_ / platform().config().core_hz);
+        return cycles_;
+    }
+
+  private:
+    double cycles_;
+};
+
+sim::PlatformConfig
+testConfig()
+{
+    sim::PlatformConfig cfg;
+    cfg.num_cores = 2;
+    cfg.llc.num_slices = 1;
+    cfg.llc.sets_per_slice = 64;
+    cfg.quantum_seconds = 100e-6;
+    return cfg;
+}
+
+TEST(MemWorkloadBase, OpsMatchCycleBudget)
+{
+    sim::Platform platform(testConfig());
+    sim::Engine engine(platform);
+    FixedCostWorkload wl(platform, 0, 230.0); // 10 Mops/s at 2.3GHz
+    engine.add(&wl);
+    engine.run(0.01);
+    EXPECT_NEAR(static_cast<double>(wl.opsCompleted()), 1e5,
+                1e5 * 0.001);
+}
+
+TEST(MemWorkloadBase, OverdraftCarriesAcrossQuanta)
+{
+    // One op costs 1.5 quanta; over many quanta the rate must still
+    // average out exactly (no truncation at boundaries).
+    sim::Platform platform(testConfig());
+    sim::Engine engine(platform);
+    const double cycles_per_quantum = 100e-6 * 2.3e9;
+    FixedCostWorkload wl(platform, 0, cycles_per_quantum * 1.5);
+    engine.add(&wl);
+    engine.run(0.03); // 300 quanta -> 200 ops
+    EXPECT_NEAR(static_cast<double>(wl.opsCompleted()), 200.0, 2.0);
+}
+
+TEST(MemWorkloadBase, LatencyHistogramMatchesOps)
+{
+    sim::Platform platform(testConfig());
+    sim::Engine engine(platform);
+    FixedCostWorkload wl(platform, 0, 1000.0);
+    engine.add(&wl);
+    engine.run(0.001);
+    EXPECT_EQ(wl.opLatency().count(), wl.opsCompleted());
+    EXPECT_NEAR(wl.opLatency().mean(), 1000.0 / 2.3e9,
+                1000.0 / 2.3e9 * 0.02);
+}
+
+TEST(MemWorkloadBase, InstructionsReachPlatform)
+{
+    sim::Platform platform(testConfig());
+    sim::Engine engine(platform);
+    FixedCostWorkload wl(platform, 1, 500.0);
+    engine.add(&wl);
+    engine.run(0.001);
+    EXPECT_EQ(platform.instructionsRetired(1),
+              wl.opsCompleted() * 10);
+}
+
+TEST(MemWorkloadBase, PauseAndResume)
+{
+    sim::Platform platform(testConfig());
+    sim::Engine engine(platform);
+    FixedCostWorkload wl(platform, 0, 230.0);
+    engine.add(&wl);
+    engine.run(0.001);
+    const auto before = wl.opsCompleted();
+    wl.setActive(false);
+    engine.run(0.001);
+    EXPECT_EQ(wl.opsCompleted(), before);
+    wl.setActive(true);
+    engine.run(0.001);
+    EXPECT_GT(wl.opsCompleted(), before);
+}
+
+TEST(MemWorkloadBaseDeath, RejectsOutOfSocketCore)
+{
+    sim::Platform platform(testConfig());
+    EXPECT_DEATH(FixedCostWorkload(platform, 5, 100.0),
+                 "outside the socket");
+}
+
+} // namespace
+} // namespace iat::wl

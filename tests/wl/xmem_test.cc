@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the X-Mem model: latency tiers vs working-set size,
+ * throughput/latency relation, and phase resizing.
+ */
+
+#include "wl/xmem.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "util/units.hh"
+
+namespace iat::wl {
+namespace {
+
+sim::PlatformConfig
+testConfig()
+{
+    sim::PlatformConfig cfg;
+    cfg.num_cores = 2;
+    cfg.quantum_seconds = 100e-6;
+    return cfg;
+}
+
+TEST(XMem, RunsOpsUnderEngine)
+{
+    sim::Platform platform(testConfig());
+    sim::Engine engine(platform);
+    XMemWorkload xmem(platform, 0, "xmem", 4 * MiB, 16 * MiB, 1);
+    engine.add(&xmem);
+    engine.run(0.01);
+    EXPECT_GT(xmem.opsCompleted(), 10000u);
+    EXPECT_GT(xmem.avgLatencySeconds(), 0.0);
+}
+
+TEST(XMem, SmallWorkingSetIsFasterThanLarge)
+{
+    sim::Platform platform(testConfig());
+    sim::Engine engine(platform);
+    // 512 KiB fits comfortably in the 1 MiB L2; 64 MiB does not fit
+    // anywhere.
+    XMemWorkload small(platform, 0, "small", 512 * KiB, 512 * KiB, 1);
+    XMemWorkload large(platform, 1, "large", 64 * MiB, 64 * MiB, 2);
+    engine.add(&small);
+    engine.add(&large);
+    engine.run(0.02);
+    EXPECT_LT(small.avgLatencySeconds(),
+              large.avgLatencySeconds() * 0.5);
+    EXPECT_GT(small.avgThroughputBytesPerSec(),
+              large.avgThroughputBytesPerSec() * 2.0);
+}
+
+TEST(XMem, LatencyMatchesHierarchyForL2Resident)
+{
+    sim::Platform platform(testConfig());
+    sim::Engine engine(platform);
+    XMemWorkload xmem(platform, 0, "hot", 256 * KiB, 256 * KiB, 3);
+    engine.add(&xmem);
+    engine.run(0.02);
+    // Warm phase dominated by L2 hits: 14 + 4 compute cycles.
+    const double hz = platform.config().core_hz;
+    EXPECT_LT(xmem.avgLatencySeconds(), 30.0 / hz);
+}
+
+TEST(XMem, ThroughputIsLinePerLatency)
+{
+    sim::Platform platform(testConfig());
+    sim::Engine engine(platform);
+    XMemWorkload xmem(platform, 0, "x", 8 * MiB, 8 * MiB, 4);
+    engine.add(&xmem);
+    engine.run(0.01);
+    EXPECT_NEAR(xmem.avgThroughputBytesPerSec() *
+                    xmem.avgLatencySeconds(),
+                64.0, 1e-6);
+}
+
+TEST(XMem, WorkingSetResizeChangesLatency)
+{
+    sim::Platform platform(testConfig());
+    sim::Engine engine(platform);
+    XMemWorkload xmem(platform, 0, "x", 2 * MiB, 32 * MiB, 5);
+    engine.add(&xmem);
+    engine.run(0.02);
+    xmem.resetStats();
+    engine.run(0.01);
+    const double lat_small = xmem.avgLatencySeconds();
+
+    xmem.setWorkingSet(32 * MiB);
+    engine.run(0.02); // let caches churn
+    xmem.resetStats();
+    engine.run(0.01);
+    const double lat_large = xmem.avgLatencySeconds();
+    EXPECT_GT(lat_large, lat_small * 1.5);
+}
+
+TEST(XMem, ResetStatsClearsWindow)
+{
+    sim::Platform platform(testConfig());
+    sim::Engine engine(platform);
+    XMemWorkload xmem(platform, 0, "x", 1 * MiB, 1 * MiB, 6);
+    engine.add(&xmem);
+    engine.run(0.005);
+    xmem.resetStats();
+    EXPECT_EQ(xmem.opsCompleted(), 0u);
+    EXPECT_EQ(xmem.opLatency().count(), 0u);
+}
+
+TEST(XMem, InactiveWorkloadDoesNothing)
+{
+    sim::Platform platform(testConfig());
+    sim::Engine engine(platform);
+    XMemWorkload xmem(platform, 0, "x", 1 * MiB, 1 * MiB, 7);
+    xmem.setActive(false);
+    engine.add(&xmem);
+    engine.run(0.005);
+    EXPECT_EQ(xmem.opsCompleted(), 0u);
+}
+
+TEST(XMemDeath, WorkingSetMustFitRegion)
+{
+    sim::Platform platform(testConfig());
+    XMemWorkload xmem(platform, 0, "x", 1 * MiB, 2 * MiB, 8);
+    EXPECT_DEATH(xmem.setWorkingSet(4 * MiB), "outside region");
+}
+
+} // namespace
+} // namespace iat::wl

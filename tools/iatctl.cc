@@ -1,0 +1,278 @@
+/**
+ * @file
+ * iatctl -- command-line front end to the model, in the spirit of
+ * the pqos utility the paper's artifact extends.
+ *
+ * Subcommands:
+ *
+ *   iatctl run [--scenario=agg|slicing|corun] [--policy=...]
+ *          [--seconds=0.2] [--frame=1500] [--tenants=<file>]
+ *       Build one of the canonical experiment worlds, run it under
+ *       the chosen policy and print a per-interval report plus a
+ *       final summary. With --tenants, agg/slicing worlds are
+ *       replaced by a bare platform driven by the affiliation file
+ *       (cores/priorities/io flags), with synthetic DDIO traffic.
+ *
+ *   iatctl fsm <miss_rate,d_miss,d_hit,d_refs> ...
+ *       Feed a sequence of poll observations straight into the
+ *       Mealy machine and print the state trajectory -- handy for
+ *       reasoning about Fig 6 by hand.
+ *
+ *   iatctl params
+ *       Print the Table II defaults.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/baselines.hh"
+#include "core/daemon.hh"
+#include "scenarios/agg_testpmd.hh"
+#include "scenarios/common.hh"
+#include "scenarios/corun.hh"
+#include "scenarios/slicing_pmd_xmem.hh"
+#include "sim/stats_report.hh"
+#include "util/cli.hh"
+
+namespace {
+
+using namespace iat;
+
+int
+cmdParams()
+{
+    const core::IatParams p;
+    std::printf("THRESHOLD_STABLE     %.0f%%\n",
+                p.threshold_stable * 100);
+    std::printf("THRESHOLD_MISS_LOW   %.0f/s\n",
+                p.threshold_miss_low_per_s);
+    std::printf("THRESHOLD_MISS_DROP  %.0f%%\n",
+                p.threshold_miss_drop * 100);
+    std::printf("DDIO_WAYS_MIN/MAX    %u/%u\n", p.ddio_ways_min,
+                p.ddio_ways_max);
+    std::printf("interval             %.3fs\n", p.interval_seconds);
+    return 0;
+}
+
+int
+cmdFsm(const std::vector<std::string> &steps)
+{
+    core::IatParams params;
+    core::IatFsm fsm(params);
+    std::printf("start: %s\n", toString(fsm.state()));
+    unsigned ways = 2;
+    for (const auto &step : steps) {
+        core::FsmInputs in;
+        if (std::sscanf(step.c_str(), "%lf,%lf,%lf,%lf",
+                        &in.ddio_miss_rate, &in.d_ddio_misses,
+                        &in.d_ddio_hits, &in.d_llc_refs) != 4) {
+            fatal("fsm step must be miss_rate,d_miss,d_hit,d_refs "
+                  "(got '%s')", step.c_str());
+        }
+        in.ddio_ways = ways;
+        const auto state = fsm.advance(in);
+        // Mirror the daemon's way bookkeeping so applyBounds sees
+        // plausible counts.
+        if (state == core::IatState::IoDemand &&
+            ways < params.ddio_ways_max) {
+            ++ways;
+        } else if (state == core::IatState::Reclaim &&
+                   ways > params.ddio_ways_min) {
+            --ways;
+        }
+        fsm.applyBounds(ways);
+        std::printf("%-40s -> %-10s (ddio_ways=%u)\n", step.c_str(),
+                    toString(fsm.state()), ways);
+    }
+    return 0;
+}
+
+int
+cmdRun(const CliArgs &args)
+{
+    const std::string scenario = args.getString("scenario", "agg");
+    const std::string policy_name = args.getString("policy", "iat");
+    const double seconds = args.getDouble("seconds", 0.2);
+    const auto frame = static_cast<std::uint32_t>(
+        args.getInt("frame", 1500));
+    const std::string tenant_file = args.getString("tenants", "");
+
+    sim::PlatformConfig pc;
+    pc.num_cores = 8;
+    sim::Platform platform(pc);
+    sim::Engine engine(platform);
+
+    core::IatParams params;
+    params.interval_seconds = args.getDouble("interval", 5e-3);
+
+    // Assemble the world.
+    std::unique_ptr<scenarios::AggTestPmdWorld> agg;
+    std::unique_ptr<scenarios::SlicingPmdXmemWorld> slicing;
+    std::unique_ptr<scenarios::CorunWorld> corun;
+    core::TenantRegistry file_registry;
+    core::TenantRegistry *registry = nullptr;
+    core::TenantModel model = core::TenantModel::Slicing;
+
+    if (!tenant_file.empty()) {
+        file_registry.loadFromFile(tenant_file);
+        registry = &file_registry;
+    } else if (scenario == "agg") {
+        scenarios::AggTestPmdConfig cfg;
+        cfg.frame_bytes = frame;
+        agg = std::make_unique<scenarios::AggTestPmdWorld>(platform,
+                                                           cfg);
+        agg->attach(engine);
+        registry = &agg->registry();
+        model = core::TenantModel::Aggregation;
+    } else if (scenario == "slicing") {
+        scenarios::SlicingPmdXmemConfig cfg;
+        cfg.frame_bytes = frame;
+        slicing = std::make_unique<scenarios::SlicingPmdXmemWorld>(
+            platform, cfg);
+        slicing->attach(engine);
+        registry = &slicing->registry();
+    } else if (scenario == "corun") {
+        scenarios::CorunConfig cfg;
+        cfg.pc_app = args.getString("app", "mcf");
+        corun = std::make_unique<scenarios::CorunWorld>(platform,
+                                                        cfg);
+        corun->attach(engine);
+        registry = &corun->registry();
+        model = core::TenantModel::Aggregation;
+    } else {
+        fatal("unknown scenario '%s' (agg|slicing|corun)",
+              scenario.c_str());
+    }
+
+    // Attach the policy.
+    std::unique_ptr<core::IatDaemon> daemon;
+    std::unique_ptr<core::CoreOnlyPolicy> core_only;
+    std::unique_ptr<core::IoIsolationPolicy> io_iso;
+    if (policy_name == "iat") {
+        daemon = std::make_unique<core::IatDaemon>(
+            platform.pqos(), *registry, params, model);
+        engine.addPeriodic(params.interval_seconds,
+                           [&](double now) { daemon->tick(now); },
+                           0.0);
+    } else if (policy_name == "core-only") {
+        core_only = std::make_unique<core::CoreOnlyPolicy>(
+            platform.pqos(), *registry, params);
+        engine.addPeriodic(
+            params.interval_seconds,
+            [&](double now) { core_only->tick(now); }, 0.0);
+    } else if (policy_name == "io-iso") {
+        io_iso = std::make_unique<core::IoIsolationPolicy>(
+            platform.pqos(), *registry, params);
+        engine.addPeriodic(params.interval_seconds,
+                           [&](double now) { io_iso->tick(now); },
+                           0.0);
+    } else if (policy_name == "baseline") {
+        scenarios::applyStaticLayout(platform.pqos(), *registry);
+    } else {
+        fatal("unknown policy '%s' "
+              "(baseline|core-only|io-iso|iat)",
+              policy_name.c_str());
+    }
+
+    // Synthetic traffic for tenant-file runs (no world attached).
+    std::uint64_t synth_lines = 2000;
+    if (!tenant_file.empty()) {
+        engine.addPeriodic(params.interval_seconds, [&](double) {
+            for (std::uint64_t i = 0; i < synth_lines; ++i)
+                platform.dmaWrite(0, (1ull << 30) + i * 64, 64);
+            synth_lines = synth_lines * 5 / 4;
+        });
+    }
+
+    // Per-interval report.
+    rdt::DdioCounters prev = platform.pqos().ddioPollExact();
+    engine.addPeriodic(seconds / 10.0, [&](double now) {
+        const auto cur = platform.pqos().ddioPollExact();
+        const double dt = seconds / 10.0;
+        std::printf("t=%6.1fms  ddio_ways=%u  hit=%8.2fM/s  "
+                    "miss=%8.2fM/s",
+                    now * 1e3,
+                    platform.pqos().ddioGetWays().count(),
+                    (cur.hits - prev.hits) / dt / 1e6,
+                    (cur.misses - prev.misses) / dt / 1e6);
+        if (daemon)
+            std::printf("  state=%s", toString(daemon->state()));
+        std::printf("\n");
+        prev = cur;
+    });
+
+    const auto snap0 = sim::PlatformSnapshot::capture(platform);
+    engine.run(seconds);
+    if (args.getBool("stats")) {
+        sim::StatsReport(
+            sim::PlatformSnapshot::capture(platform).since(snap0))
+            .print();
+    }
+
+    std::printf("\nfinal allocation:\n");
+    const unsigned num_ways = platform.pqos().l3NumWays();
+    for (std::size_t t = 0; t < registry->size(); ++t) {
+        std::printf("  %-12s %s  (%s, %s)\n",
+                    (*registry)[t].name.c_str(),
+                    platform.pqos()
+                        .l3caGet(static_cast<cache::ClosId>(t + 1))
+                        .toString(num_ways)
+                        .c_str(),
+                    toString((*registry)[t].priority),
+                    (*registry)[t].is_io ? "io" : "non-io");
+    }
+    std::printf("  %-12s %s\n", "DDIO",
+                platform.pqos().ddioGetWays().toString(num_ways)
+                    .c_str());
+    if (daemon) {
+        std::printf("daemon: %llu ticks, %llu stable, %llu "
+                    "shuffles\n",
+                    static_cast<unsigned long long>(daemon->ticks()),
+                    static_cast<unsigned long long>(
+                        daemon->stableTicks()),
+                    static_cast<unsigned long long>(
+                        daemon->shuffles()));
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: iatctl <command> [flags]\n"
+        "  run     run a scenario under a policy\n"
+        "          --scenario=agg|slicing|corun --policy=baseline|"
+        "core-only|io-iso|iat\n"
+        "          --seconds=0.2 --frame=1500 --interval=0.005\n"
+        "          --tenants=<affiliation file> (bare platform)\n"
+        "          --stats (full platform counter report)\n"
+        "  fsm     trace the Fig 6 state machine: iatctl fsm "
+        "5e6,0.5,0.5,0 ...\n"
+        "  params  print Table II defaults\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace iat;
+    const CliArgs args(argc, argv);
+    if (args.positional().empty()) {
+        usage();
+        return 1;
+    }
+    const std::string &cmd = args.positional()[0];
+    if (cmd == "params")
+        return cmdParams();
+    if (cmd == "fsm") {
+        return cmdFsm({args.positional().begin() + 1,
+                       args.positional().end()});
+    }
+    if (cmd == "run")
+        return cmdRun(args);
+    usage();
+    return 1;
+}
