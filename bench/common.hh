@@ -19,8 +19,10 @@
 
 #include "core/baselines.hh"
 #include "core/daemon.hh"
+#include "obs/telemetry.hh"
 #include "scenarios/common.hh"
 #include "sim/engine.hh"
+#include "sim/telemetry.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 
@@ -65,7 +67,8 @@ struct PolicyRuntime
     attach(Policy policy, sim::Platform &platform,
            core::TenantRegistry &registry, sim::Engine &engine,
            const core::IatParams &params,
-           core::TenantModel model = core::TenantModel::Slicing)
+           core::TenantModel model = core::TenantModel::Slicing,
+           obs::Telemetry *telemetry = nullptr)
     {
         switch (policy) {
           case Policy::Baseline:
@@ -91,6 +94,7 @@ struct PolicyRuntime
                 platform.pqos(), registry, params, model);
             if (policy == Policy::IatNoDdioTuning)
                 daemon->setDdioTuningEnabled(false);
+            daemon->setTelemetry(telemetry);
             engine.addPeriodic(
                 params.interval_seconds,
                 [this](double now) { daemon->tick(now); }, 0.0);
@@ -118,6 +122,24 @@ inline double
 quickScale(const CliArgs &args)
 {
     return args.getBool("quick") ? 0.3 : 1.0;
+}
+
+/**
+ * Standard telemetry epilogue: write the configured trace/metrics
+ * files and say where they went. Safe on nullptr (flags not given).
+ */
+inline void
+finishTelemetry(const obs::Telemetry *telemetry)
+{
+    if (!telemetry)
+        return;
+    const auto &cfg = telemetry->config();
+    if (telemetry->flushTrace())
+        std::printf("trace written to %s\n", cfg.trace_path.c_str());
+    if (telemetry->flushMetrics()) {
+        std::printf("metrics written to %s\n",
+                    cfg.metrics_path.c_str());
+    }
 }
 
 } // namespace iat::bench

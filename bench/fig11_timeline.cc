@@ -44,6 +44,18 @@ main(int argc, char **argv)
     engine.addPeriodic(params.interval_seconds,
                        [&](double now) { daemon.tick(now); }, 0.0);
 
+    // --trace gives this figure as an interactive Perfetto timeline;
+    // --metrics exports the same series the table prints.
+    auto telemetry = obs::makeTelemetry(args);
+    if (telemetry) {
+        daemon.setTelemetry(telemetry.get());
+        engine.attachTelemetry(telemetry.get());
+        if (world.pipeline())
+            world.pipeline()->setTelemetry(telemetry.get());
+        sim::installPlatformSampler(engine, platform, *telemetry,
+                                    params.interval_seconds);
+    }
+
     // Scripted phases (paper: 5s and 15s; scaled per DESIGN.md).
     const double t1 = 0.06 * scale;
     const double t2 = 0.20 * scale;
@@ -87,5 +99,6 @@ main(int argc, char **argv)
                 "DDIO 2->4 ways at %.1fms\n",
                 t1 * 1e3, t2 * 1e3);
     bench::finishBench(table, args);
+    bench::finishTelemetry(telemetry.get());
     return 0;
 }

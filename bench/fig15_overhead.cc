@@ -41,7 +41,7 @@ struct OverheadSample
 
 OverheadSample
 measure(unsigned tenants, unsigned cores_per_tenant,
-        unsigned iterations)
+        unsigned iterations, obs::Telemetry *telemetry)
 {
     sim::PlatformConfig pc;
     pc.num_cores = 18;
@@ -66,6 +66,10 @@ measure(unsigned tenants, unsigned cores_per_tenant,
     params.interval_seconds = 1.0;
     params.threshold_miss_low_per_s = 1e3;
     core::IatDaemon daemon(platform.pqos(), registry, params);
+    // With --trace/--metrics off this is a nullptr attach: the tick
+    // loop below pays only dead null checks, keeping the measured
+    // overhead identical to the uninstrumented daemon.
+    daemon.setTelemetry(telemetry);
     daemon.tick(0.0); // init
 
     OverheadSample sample;
@@ -139,8 +143,10 @@ main(int argc, char **argv)
     // tenants (EXPERIMENTS.md discusses the difference).
     const Case cases[] = {{1, 1}, {2, 1}, {4, 1}, {8, 1}, {11, 1},
                           {1, 2}, {2, 2}, {4, 2}, {8, 2}};
+    auto telemetry = obs::makeTelemetry(args);
     for (const auto &c : cases) {
-        const auto s = measure(c.tenants, c.cores, iterations);
+        const auto s =
+            measure(c.tenants, c.cores, iterations, telemetry.get());
         table.addRow({std::to_string(c.tenants),
                       std::to_string(c.cores),
                       std::to_string(c.tenants * c.cores),
@@ -152,5 +158,6 @@ main(int argc, char **argv)
     }
 
     bench::finishBench(table, args);
+    bench::finishTelemetry(telemetry.get());
     return 0;
 }

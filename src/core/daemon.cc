@@ -10,6 +10,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace iat::core {
@@ -39,6 +40,31 @@ tenantClos(std::size_t t)
     return static_cast<cache::ClosId>(t + 1);
 }
 
+/** Names for IatDaemon::GateAction (private enum, passed as int). */
+const char *
+gateActionName(int action)
+{
+    switch (action) {
+      case 0: return "sleep";
+      case 1: return "run_fsm";
+      case 2: return "shuffle_only";
+      case 3: return "core_only_grow";
+    }
+    return "?";
+}
+
+std::string
+orderString(const std::vector<std::size_t> &order)
+{
+    std::string s;
+    for (const auto t : order) {
+        if (!s.empty())
+            s += ',';
+        s += std::to_string(t);
+    }
+    return s;
+}
+
 } // namespace
 
 IatDaemon::IatDaemon(rdt::PqosSystem &pqos, TenantRegistry &registry,
@@ -48,6 +74,46 @@ IatDaemon::IatDaemon(rdt::PqosSystem &pqos, TenantRegistry &registry,
       alloc_(pqos.l3NumWays(), pqos.ddioGetWays().count()),
       pending_grow_tenant_(kNoTenant)
 {
+}
+
+void
+IatDaemon::setTelemetry(obs::Telemetry *telemetry)
+{
+    telemetry_ = telemetry;
+    if (!telemetry) {
+        tracer_ = nullptr;
+        m_ticks_ = m_stable_ticks_ = m_transitions_ = m_shuffles_ =
+            m_way_reallocs_ = m_msr_reads_ = m_msr_writes_ = nullptr;
+        h_poll_ = h_transition_ = h_realloc_ = nullptr;
+        return;
+    }
+    tracer_ = &telemetry->tracer();
+    auto &m = telemetry->metrics();
+    m_ticks_ = &m.counter("daemon.ticks");
+    m_stable_ticks_ = &m.counter("daemon.stable_ticks");
+    m_transitions_ = &m.counter("daemon.fsm_transitions");
+    m_shuffles_ = &m.counter("daemon.shuffles");
+    m_way_reallocs_ = &m.counter("daemon.way_reallocs");
+    m_msr_reads_ = &m.counter("daemon.msr_reads");
+    m_msr_writes_ = &m.counter("daemon.msr_writes");
+    h_poll_ = &m.histogram("daemon.poll_seconds");
+    h_transition_ = &m.histogram("daemon.transition_seconds");
+    h_realloc_ = &m.histogram("daemon.realloc_seconds");
+}
+
+void
+IatDaemon::traceTransition(IatState from, IatState to)
+{
+    if (from == to)
+        return;
+    if (m_transitions_)
+        m_transitions_->inc();
+    if (tracer_ && tracer_->enabled()) {
+        tracer_->instant(trace_now_, "fsm", "fsm.transition",
+                         {{"from", toString(from)},
+                          {"to", toString(to)},
+                          {"tick", ticks_}});
+    }
 }
 
 void
@@ -85,16 +151,33 @@ IatDaemon::getTenantInfoAndAlloc()
 void
 IatDaemon::applyMasks()
 {
+    const unsigned num_ways = alloc_.numWays();
     for (std::size_t t = 0; t < programmed_masks_.size(); ++t) {
         const auto mask = alloc_.tenantMask(t);
         if (mask == programmed_masks_[t])
             continue;
         pqos_.l3caSet(tenantClos(t), mask);
         programmed_masks_[t] = mask;
+        if (m_way_reallocs_)
+            m_way_reallocs_->inc();
+        if (tracer_ && tracer_->enabled()) {
+            tracer_->instant(trace_now_, "alloc", "alloc.way_mask",
+                             {{"tenant", static_cast<std::uint64_t>(t)},
+                              {"mask", mask.toString(num_ways)},
+                              {"ways", mask.count()}});
+        }
     }
     if (alloc_.ddioWays() != programmed_ddio_ways_) {
         pqos_.ddioSetWays(alloc_.ddioMask());
         programmed_ddio_ways_ = alloc_.ddioWays();
+        if (m_way_reallocs_)
+            m_way_reallocs_->inc();
+        if (tracer_ && tracer_->enabled()) {
+            tracer_->instant(
+                trace_now_, "alloc", "alloc.ddio_ways",
+                {{"mask", alloc_.ddioMask().toString(num_ways)},
+                 {"ways", alloc_.ddioWays()}});
+        }
     }
 }
 
@@ -273,19 +356,37 @@ IatDaemon::maybeShuffle(const SystemSample &sample)
     const auto order = computeShuffleOrder(
         registry_.tenants(), sample.tenants, alloc_.order());
     if (order != alloc_.order()) {
+        if (tracer_ && tracer_->enabled()) {
+            tracer_->instant(trace_now_, "alloc", "alloc.shuffle",
+                             {{"from", orderString(alloc_.order())},
+                              {"to", orderString(order)}});
+        }
         alloc_.setOrder(order);
         ++shuffles_;
+        if (m_shuffles_)
+            m_shuffles_->inc();
     }
 }
 
 void
-IatDaemon::tick(double /*now*/)
+IatDaemon::tick(double now)
 {
     using Clock = std::chrono::steady_clock;
     ++ticks_;
+    trace_now_ = now;
+    if (m_ticks_)
+        m_ticks_->inc();
 
     if (registry_.consumeDirty()) {
+        const IatState before = fsm_.state();
+        if (tracer_ && tracer_->enabled()) {
+            tracer_->instant(
+                now, "daemon", "daemon.tenant_info",
+                {{"tenants",
+                  static_cast<std::uint64_t>(registry_.size())}});
+        }
         getTenantInfoAndAlloc();
+        traceTransition(before, fsm_.state());
         return;
     }
 
@@ -350,10 +451,39 @@ IatDaemon::tick(double /*now*/)
         timing.msr_reads = bus.readCount() - reads0;
         timing.msr_writes = bus.writeCount() - writes0;
         last_timing_ = timing;
-        last_sample_ = std::move(sample);
         if (stable)
             ++stable_ticks_;
+        if (m_ticks_) { // one registration implies all of them
+            if (stable)
+                m_stable_ticks_->inc();
+            m_msr_reads_->inc(timing.msr_reads);
+            m_msr_writes_->inc(timing.msr_writes);
+            h_poll_->record(timing.poll_seconds);
+            h_transition_->record(timing.transition_seconds);
+            h_realloc_->record(timing.realloc_seconds);
+        }
+        if (tracer_ && tracer_->enabled()) {
+            // DDIO pressure tracks render as Perfetto counter rows.
+            tracer_->counter(
+                now, "ddio", "ddio.pressure",
+                {{"hits_per_s",
+                  sample.interval_seconds > 0.0
+                      ? sample.ddio_hits / sample.interval_seconds
+                      : 0.0},
+                 {"misses_per_s", sample.ddioMissesPerSecond()}});
+            tracer_->counter(
+                now, "ddio", "ddio.ways",
+                {{"ways", alloc_.ddioWays()}});
+        }
+        last_sample_ = std::move(sample);
     };
+
+    if (tracer_ && tracer_->enabled()) {
+        tracer_->instant(
+            now, "daemon", "daemon.gate",
+            {{"action", gateActionName(static_cast<int>(action))},
+             {"state", toString(fsm_.state())}});
+    }
 
     switch (action) {
       case GateAction::Sleep: {
@@ -395,6 +525,7 @@ IatDaemon::tick(double /*now*/)
         break;
     }
 
+    const IatState state_before = fsm_.state();
     const FsmInputs inputs{
         sample.ddioMissesPerSecond(),
         sample.d_ddio_misses,
@@ -407,6 +538,9 @@ IatDaemon::tick(double /*now*/)
 
     actOnState(state, sample);
     fsm_.applyBounds(alloc_.ddioWays());
+    // One event spans advance + bound adjustment: what an external
+    // observer of the daemon would call "the" transition this tick.
+    traceTransition(state_before, fsm_.state());
     maybeShuffle(sample);
     applyMasks();
     finish(false, t_trans, Clock::now());

@@ -34,6 +34,13 @@
 #include "core/tenant.hh"
 #include "rdt/pqos.hh"
 
+namespace iat::obs {
+class Counter;
+class Histogram;
+class Telemetry;
+class Tracer;
+} // namespace iat::obs
+
 namespace iat::core {
 
 /** Which tenant-device interaction model is deployed (SS II-C). */
@@ -60,6 +67,17 @@ class IatDaemon
 
     /** Run one iteration at simulated time @p now. */
     void tick(double now);
+
+    /**
+     * Attach an observability session (nullptr detaches). The daemon
+     * registers its metrics once here -- tick counters, Fig 15 step
+     * timing histograms, MSR access counters -- and, when the
+     * session's tracer is enabled, emits decision events: FSM
+     * transitions, stability gate verdicts, way-mask programming,
+     * shuffle decisions and DDIO pressure tracks. With no telemetry
+     * attached the hot path pays only null checks.
+     */
+    void setTelemetry(obs::Telemetry *telemetry);
 
     /// @name Ablation toggles
     /// @{
@@ -94,6 +112,7 @@ class IatDaemon
     };
 
     void getTenantInfoAndAlloc();
+    void traceTransition(IatState from, IatState to);
     GateAction stabilityGate(const SystemSample &sample);
     void actOnState(IatState state, const SystemSample &sample);
     bool reclaimOne(const SystemSample &sample);
@@ -132,6 +151,23 @@ class IatDaemon
     std::uint64_t ticks_ = 0;
     std::uint64_t stable_ticks_ = 0;
     std::uint64_t shuffles_ = 0;
+
+    /// @name Observability (all null when detached)
+    /// @{
+    obs::Telemetry *telemetry_ = nullptr;
+    obs::Tracer *tracer_ = nullptr;
+    obs::Counter *m_ticks_ = nullptr;
+    obs::Counter *m_stable_ticks_ = nullptr;
+    obs::Counter *m_transitions_ = nullptr;
+    obs::Counter *m_shuffles_ = nullptr;
+    obs::Counter *m_way_reallocs_ = nullptr;
+    obs::Counter *m_msr_reads_ = nullptr;
+    obs::Counter *m_msr_writes_ = nullptr;
+    obs::Histogram *h_poll_ = nullptr;
+    obs::Histogram *h_transition_ = nullptr;
+    obs::Histogram *h_realloc_ = nullptr;
+    double trace_now_ = 0.0; ///< tick timestamp for nested emitters
+    /// @}
 };
 
 } // namespace iat::core

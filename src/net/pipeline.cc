@@ -7,6 +7,7 @@
 
 #include <limits>
 
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace iat::net {
@@ -149,6 +150,65 @@ PacketPipeline::runQuantum(double t_start, double dt)
     }
     for (auto &st : stages_)
         st->accountIdle(t_end);
+    if (telemetry_attached_)
+        syncTelemetry();
+}
+
+void
+PacketPipeline::setTelemetry(obs::Telemetry *telemetry)
+{
+    stage_packets_.clear();
+    source_rx_.clear();
+    source_drops_.clear();
+    telemetry_attached_ = telemetry != nullptr;
+    if (!telemetry)
+        return;
+    auto &m = telemetry->metrics();
+    for (const auto &st : stages_) {
+        Export e;
+        e.counter = &m.counter("net." + st->name() + ".packets");
+        e.prev = st->packetsProcessed();
+        stage_packets_.push_back(e);
+    }
+    for (const auto *src : sources_) {
+        Export rx, drops;
+        rx.counter = &m.counter("net." + src->name() + ".rx_packets");
+        rx.prev = src->rxStats().rx_packets;
+        source_rx_.push_back(rx);
+        drops.counter =
+            &m.counter("net." + src->name() + ".rx_drops");
+        drops.prev = src->rxStats().totalDrops();
+        source_drops_.push_back(drops);
+    }
+}
+
+void
+PacketPipeline::syncTelemetry()
+{
+    for (std::size_t i = 0; i < stage_packets_.size(); ++i) {
+        auto &e = stage_packets_[i];
+        const std::uint64_t cur = stages_[i]->packetsProcessed();
+        // resetStats() can move counts backwards mid-run; re-anchor.
+        if (cur < e.prev)
+            e.prev = cur;
+        e.counter->inc(cur - e.prev);
+        e.prev = cur;
+    }
+    for (std::size_t i = 0; i < source_rx_.size(); ++i) {
+        auto &rx = source_rx_[i];
+        const std::uint64_t cur_rx = sources_[i]->rxStats().rx_packets;
+        if (cur_rx < rx.prev)
+            rx.prev = cur_rx;
+        rx.counter->inc(cur_rx - rx.prev);
+        rx.prev = cur_rx;
+        auto &dr = source_drops_[i];
+        const std::uint64_t cur_dr =
+            sources_[i]->rxStats().totalDrops();
+        if (cur_dr < dr.prev)
+            dr.prev = cur_dr;
+        dr.counter->inc(cur_dr - dr.prev);
+        dr.prev = cur_dr;
+    }
 }
 
 } // namespace iat::net

@@ -30,6 +30,11 @@
 #include "net/ring.hh"
 #include "sim/engine.hh"
 
+namespace iat::obs {
+class Counter;
+class Telemetry;
+} // namespace iat::obs
+
 namespace iat::net {
 
 /** Per-packet work performed by one stage; implemented in src/wl. */
@@ -117,15 +122,39 @@ class PacketPipeline : public sim::Runnable
 
     void runQuantum(double t_start, double dt) override;
 
+    /**
+     * Export pipeline activity as registry counters, one set per
+     * stage and source (net.<stage>.packets, net.<nic>.rx_packets,
+     * net.<nic>.rx_drops), synchronized from the internal counts at
+     * each quantum boundary -- the per-packet hot loop is untouched.
+     * Call after all stages and sources are attached; nullptr
+     * detaches.
+     */
+    void setTelemetry(obs::Telemetry *telemetry);
+
     const std::vector<std::unique_ptr<Stage>> &stages() const
     {
         return stages_;
     }
 
   private:
+    void syncTelemetry();
+
+    /** Delta-sync of one internal count into a registry counter. */
+    struct Export
+    {
+        obs::Counter *counter = nullptr;
+        std::uint64_t prev = 0;
+    };
+
     sim::Platform &platform_;
     std::vector<NicQueue *> sources_;
     std::vector<std::unique_ptr<Stage>> stages_;
+
+    bool telemetry_attached_ = false;
+    std::vector<Export> stage_packets_;
+    std::vector<Export> source_rx_;
+    std::vector<Export> source_drops_;
 };
 
 } // namespace iat::net

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * MetricsRegistry implementation.
+ */
+
+#include "obs/metrics.hh"
+
+#include "util/logging.hh"
+
+namespace iat::obs {
+
+const char *
+toString(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::findOrCreate(const std::string &name, MetricKind kind)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+        Entry &entry = entries_[it->second];
+        IAT_ASSERT(entry.kind == kind,
+                   "metric '%s' registered as %s, requested as %s",
+                   name.c_str(), toString(entry.kind), toString(kind));
+        return entry;
+    }
+    Entry entry;
+    entry.name = name;
+    entry.kind = kind;
+    switch (kind) {
+      case MetricKind::Counter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::Gauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::Histogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    index_[name] = entries_.size();
+    entries_.push_back(std::move(entry));
+    return entries_.back();
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    return *findOrCreate(name, MetricKind::Counter).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, Gauge::Fn fn)
+{
+    Gauge &gauge = *findOrCreate(name, MetricKind::Gauge).gauge;
+    if (fn)
+        gauge.setFn(std::move(fn));
+    return gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    return *findOrCreate(name, MetricKind::Histogram).histogram;
+}
+
+const Counter *
+MetricsRegistry::findCounter(const std::string &name) const
+{
+    const auto it = index_.find(name);
+    if (it == index_.end())
+        return nullptr;
+    return entries_[it->second].counter.get();
+}
+
+const Gauge *
+MetricsRegistry::findGauge(const std::string &name) const
+{
+    const auto it = index_.find(name);
+    if (it == index_.end())
+        return nullptr;
+    return entries_[it->second].gauge.get();
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(const std::string &name) const
+{
+    const auto it = index_.find(name);
+    if (it == index_.end())
+        return nullptr;
+    return entries_[it->second].histogram.get();
+}
+
+void
+MetricsRegistry::forEach(
+    const std::function<void(const std::string &, MetricKind,
+                             const Counter *, const Gauge *,
+                             const Histogram *)> &visit) const
+{
+    for (const auto &entry : entries_) {
+        visit(entry.name, entry.kind, entry.counter.get(),
+              entry.gauge.get(), entry.histogram.get());
+    }
+}
+
+} // namespace iat::obs

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The metrics registry: named counters, gauges and histograms that
+ * components register once (cold path) and update on the hot path
+ * with a single add/callback -- no name lookup, no allocation.
+ *
+ * Three metric kinds cover everything the simulator exports:
+ *
+ *  - Counter   -- monotonically increasing event count (packets
+ *                 processed, MSR writes, FSM transitions). The
+ *                 time-series sampler publishes per-interval deltas,
+ *                 so counters read naturally as rates.
+ *  - Gauge     -- an instantaneous level computed on demand through
+ *                 a callback (DDIO hit rate, RMID occupancy, per-core
+ *                 IPC over the last interval).
+ *  - Histogram -- value distribution; wraps iat::LatencyHistogram
+ *                 for percentiles and iat::RunningStat for moments
+ *                 (daemon step timing, per-packet latency).
+ *
+ * Registration is idempotent: asking for an existing name returns
+ * the same object, so independent components can share a metric
+ * without coordination. Registration order is preserved and defines
+ * the column order of exported time series.
+ */
+
+#ifndef IATSIM_OBS_METRICS_HH
+#define IATSIM_OBS_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace iat::obs {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Instantaneous level, computed through a callback when sampled. */
+class Gauge
+{
+  public:
+    using Fn = std::function<double()>;
+
+    double read() const { return fn_ ? fn_() : 0.0; }
+    void setFn(Fn fn) { fn_ = std::move(fn); }
+
+  private:
+    Fn fn_;
+};
+
+/** Value distribution: percentiles plus running moments. */
+class Histogram
+{
+  public:
+    void
+    record(double value)
+    {
+        latency_.add(value);
+        stat_.add(value);
+    }
+
+    std::uint64_t count() const { return stat_.count(); }
+    double mean() const { return stat_.mean(); }
+    double min() const { return stat_.min(); }
+    double max() const { return stat_.max(); }
+    double percentile(double q) const { return latency_.percentile(q); }
+
+    void
+    reset()
+    {
+        latency_.reset();
+        stat_.reset();
+    }
+
+  private:
+    LatencyHistogram latency_;
+    RunningStat stat_;
+};
+
+/** What kind of metric a registry entry holds. */
+enum class MetricKind { Counter, Gauge, Histogram };
+
+const char *toString(MetricKind kind);
+
+/** Name -> metric map; see file comment. */
+class MetricsRegistry
+{
+  public:
+    /**
+     * Register (or fetch) a counter named @p name. Panics if the
+     * name is already bound to a different metric kind.
+     */
+    Counter &counter(const std::string &name);
+
+    /**
+     * Register (or fetch) a gauge; a non-null @p fn (re)binds the
+     * callback, so the latest registrant wins -- convenient when a
+     * component is torn down and rebuilt mid-run.
+     */
+    Gauge &gauge(const std::string &name, Gauge::Fn fn = nullptr);
+
+    /** Register (or fetch) a histogram. */
+    Histogram &histogram(const std::string &name);
+
+    /// @name Lookup without creation (nullptr when absent)
+    /// @{
+    const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
+    const Histogram *findHistogram(const std::string &name) const;
+    /// @}
+
+    std::size_t size() const { return entries_.size(); }
+
+    /**
+     * Visit every metric in registration order. The visitor receives
+     * (name, kind, counter*, gauge*, histogram*); exactly one pointer
+     * is non-null.
+     */
+    void forEach(const std::function<void(
+                     const std::string &, MetricKind, const Counter *,
+                     const Gauge *, const Histogram *)> &visit) const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        MetricKind kind;
+        // unique_ptr keeps addresses stable across registrations.
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry &findOrCreate(const std::string &name, MetricKind kind);
+
+    std::vector<Entry> entries_;             ///< registration order
+    std::map<std::string, std::size_t> index_;
+};
+
+} // namespace iat::obs
+
+#endif // IATSIM_OBS_METRICS_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * TimeSeriesSampler implementation.
+ */
+
+#include "obs/sampler.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "obs/trace.hh"
+#include "util/logging.hh"
+
+namespace iat::obs {
+
+namespace {
+
+std::string
+formatValue(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+TimeSeriesSampler::freezeColumns()
+{
+    registry_.forEach([&](const std::string &name, MetricKind kind,
+                          const Counter *c, const Gauge *g,
+                          const Histogram *h) {
+        Column col;
+        switch (kind) {
+          case MetricKind::Counter:
+            // prev starts at zero so the first row covers everything
+            // up to the first sample, not just since the freeze.
+            col.source = Column::Source::CounterDelta;
+            col.counter = c;
+            columns_.push_back(name);
+            sources_.push_back(col);
+            break;
+          case MetricKind::Gauge:
+            col.source = Column::Source::Gauge;
+            col.gauge = g;
+            columns_.push_back(name);
+            sources_.push_back(col);
+            break;
+          case MetricKind::Histogram:
+            col.histogram = h;
+            col.source = Column::Source::HistCountDelta;
+            columns_.push_back(name + ".count");
+            sources_.push_back(col);
+            col.source = Column::Source::HistMean;
+            columns_.push_back(name + ".mean");
+            sources_.push_back(col);
+            col.source = Column::Source::HistP99;
+            columns_.push_back(name + ".p99");
+            sources_.push_back(col);
+            break;
+        }
+    });
+}
+
+void
+TimeSeriesSampler::sample(double now)
+{
+    if (sources_.empty() && columns_.empty()) {
+        freezeColumns();
+        frozen_metrics_ = registry_.size();
+    }
+    if (!warned_growth_ && registry_.size() > frozen_metrics_) {
+        // Registrations after the first sample would change the row
+        // shape; they are excluded from this series.
+        warn("time series already started; %zu late metric(s) "
+             "will not be sampled",
+             registry_.size() - frozen_metrics_);
+        warned_growth_ = true;
+    }
+
+    Row row;
+    row.t = now;
+    row.values.reserve(sources_.size());
+    for (auto &col : sources_) {
+        double v = 0.0;
+        switch (col.source) {
+          case Column::Source::CounterDelta: {
+            const std::uint64_t cur = col.counter->value();
+            v = static_cast<double>(cur - col.prev);
+            col.prev = cur;
+            break;
+          }
+          case Column::Source::Gauge:
+            v = col.gauge->read();
+            break;
+          case Column::Source::HistCountDelta: {
+            const std::uint64_t cur = col.histogram->count();
+            v = static_cast<double>(cur - col.prev);
+            col.prev = cur;
+            break;
+          }
+          case Column::Source::HistMean:
+            v = col.histogram->mean();
+            break;
+          case Column::Source::HistP99:
+            v = col.histogram->percentile(0.99);
+            break;
+        }
+        row.values.push_back(v);
+    }
+    rows_.push_back(std::move(row));
+}
+
+void
+TimeSeriesSampler::writeCsv(std::ostream &os) const
+{
+    os << "t_seconds";
+    for (const auto &name : columns_)
+        os << ',' << name;
+    os << '\n';
+    for (const auto &row : rows_) {
+        os << formatValue(row.t);
+        for (const double v : row.values)
+            os << ',' << formatValue(v);
+        os << '\n';
+    }
+}
+
+void
+TimeSeriesSampler::writeJsonl(std::ostream &os) const
+{
+    for (const auto &row : rows_) {
+        os << "{\"t_seconds\":" << formatValue(row.t);
+        for (std::size_t i = 0; i < columns_.size(); ++i) {
+            os << ",\"" << jsonEscape(columns_[i])
+               << "\":" << formatValue(row.values[i]);
+        }
+        os << "}\n";
+    }
+}
+
+bool
+TimeSeriesSampler::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    if (format_ == SampleFormat::Jsonl)
+        writeJsonl(os);
+    else
+        writeCsv(os);
+    return static_cast<bool>(os);
+}
+
+} // namespace iat::obs

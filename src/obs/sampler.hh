@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The periodic time-series sampler: one row per sample interval over
+ * every metric in a registry.
+ *
+ * Column semantics, chosen so each row describes *that interval*:
+ *
+ *  - counters    -> per-interval delta (reads as a rate when divided
+ *                   by the interval);
+ *  - gauges      -> instantaneous value at sample time;
+ *  - histograms  -> three columns: <name>.count (per-interval delta),
+ *                   <name>.mean and <name>.p99 (cumulative, since
+ *                   percentiles of a window need snapshotting the
+ *                   whole histogram).
+ *
+ * The column set freezes at the first sample() so every row has the
+ * same shape; metrics registered later are ignored with a warning.
+ * Rows buffer in memory and serialize on demand to CSV (header row,
+ * then numbers) or JSONL (one {"t_seconds":..,"col":..} object per
+ * line).
+ */
+
+#ifndef IATSIM_OBS_SAMPLER_HH
+#define IATSIM_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace iat::obs {
+
+/** Output syntax for the time series. */
+enum class SampleFormat { Csv, Jsonl };
+
+/** Registry -> rows; see file comment. */
+class TimeSeriesSampler
+{
+  public:
+    explicit TimeSeriesSampler(const MetricsRegistry &registry,
+                               SampleFormat format = SampleFormat::Csv)
+        : registry_(registry), format_(format)
+    {
+    }
+
+    /** Append one row stamped @p now (simulated seconds). */
+    void sample(double now);
+
+    /** Column names, excluding the leading t_seconds; empty until
+     *  the first sample. */
+    const std::vector<std::string> &columns() const { return columns_; }
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Row @p i as (t_seconds, values aligned with columns()). */
+    double rowTime(std::size_t i) const { return rows_[i].t; }
+    const std::vector<double> &
+    rowValues(std::size_t i) const
+    {
+        return rows_[i].values;
+    }
+
+    SampleFormat format() const { return format_; }
+
+    /// @name Serialization
+    /// @{
+    void writeCsv(std::ostream &os) const;
+    void writeJsonl(std::ostream &os) const;
+
+    /** Write in the configured format; false on I/O error. */
+    bool writeFile(const std::string &path) const;
+    /// @}
+
+  private:
+    struct Row
+    {
+        double t = 0.0;
+        std::vector<double> values;
+    };
+
+    /** A frozen reference into the registry. */
+    struct Column
+    {
+        enum class Source { CounterDelta, Gauge, HistCountDelta,
+                            HistMean, HistP99 };
+        Source source;
+        const Counter *counter = nullptr;
+        const Gauge *gauge = nullptr;
+        const Histogram *histogram = nullptr;
+        std::uint64_t prev = 0; ///< for delta sources
+    };
+
+    void freezeColumns();
+
+    const MetricsRegistry &registry_;
+    SampleFormat format_;
+    std::vector<std::string> columns_;
+    std::vector<Column> sources_;
+    std::vector<Row> rows_;
+    std::size_t frozen_metrics_ = 0;
+    bool warned_growth_ = false;
+};
+
+} // namespace iat::obs
+
+#endif // IATSIM_OBS_SAMPLER_HH

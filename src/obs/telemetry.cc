@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Telemetry session implementation.
+ */
+
+#include "obs/telemetry.hh"
+
+#include "util/logging.hh"
+
+namespace iat::obs {
+
+namespace {
+
+bool
+hasSuffix(const std::string &s, const char *suffix)
+{
+    const std::string suf(suffix);
+    return s.size() >= suf.size() &&
+           s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+} // namespace
+
+TelemetryConfig
+TelemetryConfig::fromCli(const CliArgs &args)
+{
+    TelemetryConfig cfg;
+    cfg.trace_path = args.getString("trace", "");
+    cfg.metrics_path = args.getString("metrics", "");
+    cfg.sample_interval = args.getDouble("sample-interval", 0.0);
+    return cfg;
+}
+
+Telemetry::Telemetry(TelemetryConfig cfg) : cfg_(std::move(cfg))
+{
+    tracer_.setEnabled(cfg_.tracingEnabled());
+    sampler_ = std::make_unique<TimeSeriesSampler>(
+        metrics_, hasSuffix(cfg_.metrics_path, ".jsonl")
+                      ? SampleFormat::Jsonl
+                      : SampleFormat::Csv);
+}
+
+bool
+Telemetry::flushTrace() const
+{
+    if (!cfg_.tracingEnabled())
+        return false;
+    if (!tracer_.writeFile(cfg_.trace_path)) {
+        warn("could not write trace to %s", cfg_.trace_path.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+Telemetry::flushMetrics() const
+{
+    if (!cfg_.samplingEnabled())
+        return false;
+    if (!sampler_->writeFile(cfg_.metrics_path)) {
+        warn("could not write metrics to %s",
+             cfg_.metrics_path.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+Telemetry::flush() const
+{
+    bool ok = true;
+    if (cfg_.tracingEnabled())
+        ok = flushTrace() && ok;
+    if (cfg_.samplingEnabled())
+        ok = flushMetrics() && ok;
+    return ok;
+}
+
+std::unique_ptr<Telemetry>
+makeTelemetry(const CliArgs &args)
+{
+    auto cfg = TelemetryConfig::fromCli(args);
+    if (!cfg.anyEnabled())
+        return nullptr;
+    return std::make_unique<Telemetry>(std::move(cfg));
+}
+
+} // namespace iat::obs

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The telemetry session: one object bundling the three observability
+ * pieces (metrics registry, decision tracer, time-series sampler) and
+ * the CLI surface that turns them on.
+ *
+ * Every front end (iatctl, the bench binaries, tests) accepts the
+ * same flags:
+ *
+ *   --trace=<file>        decision/event trace; ".jsonl" suffix gets
+ *                         JSONL, anything else Chrome trace_event
+ *                         JSON (chrome://tracing, Perfetto)
+ *   --metrics=<file>      periodic time series; ".jsonl" gets JSONL,
+ *                         anything else CSV
+ *   --sample-interval=<s> sampling period in simulated seconds
+ *                         (defaults to the caller's natural interval,
+ *                         typically the daemon poll interval)
+ *
+ * A Telemetry constructed from flags that enable nothing still hands
+ * out a registry and tracer; the tracer stays disabled and flush()
+ * writes nothing, so instrumented components never need null checks
+ * beyond the pointer they were (optionally) given.
+ */
+
+#ifndef IATSIM_OBS_TELEMETRY_HH
+#define IATSIM_OBS_TELEMETRY_HH
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
+#include "util/cli.hh"
+
+namespace iat::obs {
+
+/** Where telemetry goes; parsed once from the command line. */
+struct TelemetryConfig
+{
+    std::string trace_path;   ///< empty = tracing off
+    std::string metrics_path; ///< empty = sampling off
+    /** Sampling period in simulated seconds; <= 0 defers to the
+     *  front end's natural interval. */
+    double sample_interval = 0.0;
+
+    bool tracingEnabled() const { return !trace_path.empty(); }
+    bool samplingEnabled() const { return !metrics_path.empty(); }
+    bool
+    anyEnabled() const
+    {
+        return tracingEnabled() || samplingEnabled();
+    }
+
+    /** Read --trace / --metrics / --sample-interval. */
+    static TelemetryConfig fromCli(const CliArgs &args);
+};
+
+/** The bundle; see file comment. */
+class Telemetry
+{
+  public:
+    explicit Telemetry(TelemetryConfig cfg = {});
+
+    MetricsRegistry &metrics() { return metrics_; }
+    Tracer &tracer() { return tracer_; }
+    TimeSeriesSampler &sampler() { return *sampler_; }
+    const TelemetryConfig &config() const { return cfg_; }
+
+    /** Sampling period, with @p fallback when the flag was unset. */
+    double
+    sampleInterval(double fallback) const
+    {
+        return cfg_.sample_interval > 0.0 ? cfg_.sample_interval
+                                          : fallback;
+    }
+
+    /**
+     * Write the configured output files; returns false (after
+     * warning) if any write failed. Safe to call when nothing is
+     * enabled.
+     */
+    bool flush() const;
+
+    /// @name Per-file flush, for front ends that report each path
+    /// @{
+    /** Write the trace file; false (after warning) on failure or
+     *  when tracing is off. */
+    bool flushTrace() const;
+    /** Write the metrics file; false (after warning) on failure or
+     *  when sampling is off. */
+    bool flushMetrics() const;
+    /// @}
+
+  private:
+    TelemetryConfig cfg_;
+    MetricsRegistry metrics_;
+    Tracer tracer_;
+    std::unique_ptr<TimeSeriesSampler> sampler_;
+};
+
+/**
+ * Build a telemetry session from the standard flags, or nullptr when
+ * none were given -- the null case is how instrumentation stays off
+ * the hot path entirely.
+ */
+std::unique_ptr<Telemetry> makeTelemetry(const CliArgs &args);
+
+} // namespace iat::obs
+
+#endif // IATSIM_OBS_TELEMETRY_HH

@@ -54,6 +54,10 @@ class AggTestPmdWorld
     /** IAT tenant records: OVS (stack) + containers. */
     core::TenantRegistry &registry() { return registry_; }
 
+    /** The packet pipeline, for telemetry attachment; may be null
+     *  before attach(). */
+    net::PacketPipeline *pipeline() { return pipeline_.get(); }
+
     /** Change the generated frame size on both NICs (Fig 8). */
     void setFrameBytes(std::uint32_t bytes);
 

@@ -79,6 +79,10 @@ class CorunWorld
 
     core::TenantRegistry &registry() { return registry_; }
 
+    /** The packet pipeline, for telemetry attachment; may be null
+     *  before attach(). */
+    net::PacketPipeline *pipeline() { return pipeline_.get(); }
+
     /**
      * Baseline placement: networking group on ways 0-2, the three
      * non-networking tenants on a random permutation of the 2-way

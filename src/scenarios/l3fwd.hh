@@ -41,6 +41,10 @@ class L3FwdWorld
     void attach(sim::Engine &engine);
 
     core::TenantRegistry &registry() { return registry_; }
+
+    /** The packet pipeline, for telemetry attachment; may be null
+     *  before attach(). */
+    net::PacketPipeline *pipeline() { return pipeline_.get(); }
     net::NicQueue &nic() { return *nic_; }
 
     std::uint64_t

@@ -52,6 +52,10 @@ class SlicingPmdXmemWorld
 
     core::TenantRegistry &registry() { return registry_; }
 
+    /** The packet pipeline, for telemetry attachment; may be null
+     *  before attach(). */
+    net::PacketPipeline *pipeline() { return pipeline_.get(); }
+
     /** X-Mem of container 2/3/4 via index 0/1/2. */
     wl::XMemWorkload &xmem(unsigned i) { return *xmems_[i]; }
 

@@ -5,9 +5,22 @@
 
 #include "sim/engine.hh"
 
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace iat::sim {
+
+void
+Engine::attachTelemetry(obs::Telemetry *telemetry)
+{
+    if (!telemetry) {
+        quanta_counter_ = hooks_counter_ = nullptr;
+        return;
+    }
+    quanta_counter_ = &telemetry->metrics().counter("engine.quanta");
+    hooks_counter_ =
+        &telemetry->metrics().counter("engine.hooks_fired");
+}
 
 void
 Engine::add(Runnable *runnable)
@@ -46,6 +59,8 @@ Engine::run(double seconds)
             Hook hook = hooks_.top();
             hooks_.pop();
             hook.fn(t0);
+            if (hooks_counter_)
+                hooks_counter_->inc();
             if (hook.interval > 0.0) {
                 hook.next += hook.interval;
                 hooks_.push(std::move(hook));
@@ -54,6 +69,8 @@ Engine::run(double seconds)
         for (auto *r : runnables_)
             r->runQuantum(t0, dt);
         platform_.advanceQuantum(dt);
+        if (quanta_counter_)
+            quanta_counter_->inc();
     }
 }
 

@@ -20,6 +20,11 @@
 
 #include "sim/platform.hh"
 
+namespace iat::obs {
+class Counter;
+class Telemetry;
+} // namespace iat::obs
+
 namespace iat::sim {
 
 /** Anything that consumes simulated time quantum by quantum. */
@@ -55,6 +60,13 @@ class Engine
     /** Run until platform time advances by @p seconds. */
     void run(double seconds);
 
+    /**
+     * Export engine activity (engine.quanta, engine.hooks_fired
+     * counters) into @p telemetry's registry; nullptr detaches. The
+     * run loop pays one pointer test per quantum when detached.
+     */
+    void attachTelemetry(obs::Telemetry *telemetry);
+
     Platform &platform() { return platform_; }
 
   private:
@@ -77,6 +89,9 @@ class Engine
     std::vector<Runnable *> runnables_;
     std::priority_queue<Hook, std::vector<Hook>, std::greater<>> hooks_;
     std::uint64_t hook_seq_ = 0;
+
+    obs::Counter *quanta_counter_ = nullptr;
+    obs::Counter *hooks_counter_ = nullptr;
 };
 
 } // namespace iat::sim

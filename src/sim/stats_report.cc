@@ -52,6 +52,7 @@ PlatformSnapshot
 PlatformSnapshot::since(const PlatformSnapshot &earlier) const
 {
     PlatformSnapshot delta = *this;
+    delta.is_delta = true;
     delta.now_seconds = now_seconds - earlier.now_seconds;
     for (std::size_t c = 0;
          c < std::min(cores.size(), earlier.cores.size()); ++c) {
@@ -64,14 +65,17 @@ PlatformSnapshot::since(const PlatformSnapshot &earlier) const
     delta.ddio_misses -= earlier.ddio_misses;
     delta.dram_read_bytes -= earlier.dram_read_bytes;
     delta.dram_write_bytes -= earlier.dram_write_bytes;
-    // Occupancy is a level, not a counter: keep the current value.
+    // Occupancy and utilization are levels, not counters: keep the
+    // current values (see the delta contract in the header).
     return delta;
 }
 
 TablePrinter
 StatsReport::coreTable() const
 {
-    TablePrinter table("per-core activity");
+    TablePrinter table(snap_.is_delta
+                           ? "per-core activity (interval)"
+                           : "per-core activity (cumulative)");
     table.setHeader(
         {"core", "instructions", "ipc", "llc_refs", "llc_misses",
          "miss_rate"});
@@ -100,9 +104,10 @@ StatsReport::coreTable() const
 TablePrinter
 StatsReport::memoryTable() const
 {
-    TablePrinter table("memory system");
+    TablePrinter table(snap_.is_delta ? "memory system (interval)"
+                                      : "memory system (cumulative)");
     table.setHeader({"metric", "value"});
-    table.addRow({"window_seconds",
+    table.addRow({snap_.is_delta ? "window_seconds" : "now_seconds",
                   TablePrinter::num(snap_.now_seconds, 4)});
     table.addRow({"ddio_hits", std::to_string(snap_.ddio_hits)});
     table.addRow(
@@ -113,12 +118,15 @@ StatsReport::memoryTable() const
     table.addRow({"dram_write_MB",
                   TablePrinter::num(
                       snap_.dram_write_bytes / 1e6, 2)});
-    table.addRow({"dram_utilization",
+    // The last two are levels even in an interval report.
+    table.addRow({snap_.is_delta ? "dram_utilization (level)"
+                                 : "dram_utilization",
                   TablePrinter::num(snap_.dram_utilization, 3)});
     std::uint64_t occupied = 0;
     for (const auto bytes : snap_.rmid_bytes)
         occupied += bytes;
-    table.addRow({"llc_occupied_MB",
+    table.addRow({snap_.is_delta ? "llc_occupied_MB (level)"
+                                 : "llc_occupied_MB",
                   TablePrinter::num(occupied / 1e6, 2)});
     return table;
 }

@@ -21,10 +21,25 @@
 
 namespace iat::sim {
 
-/** Snapshot of all platform counters at one instant. */
+/**
+ * Snapshot of all platform counters at one instant.
+ *
+ * Delta contract: since() subtracts everything that is a *counter*
+ * (core instruction/cycle/LLC events, DDIO hits/misses, DRAM bytes)
+ * and keeps everything that is a *level* at its current value --
+ * rmid_bytes (occupancy) and dram_utilization cannot be differenced
+ * meaningfully. A snapshot produced by since() has is_delta set so
+ * consumers (report headers, exporters) can label counter fields
+ * "interval" instead of "cumulative"; the level fields always read
+ * as at the later capture.
+ */
 struct PlatformSnapshot
 {
     double now_seconds = 0.0;
+
+    /** True when this snapshot came from since(): counter fields are
+     *  interval deltas, level fields are still instantaneous. */
+    bool is_delta = false;
 
     struct CoreRow
     {
@@ -46,7 +61,8 @@ struct PlatformSnapshot
     /** Capture from @p platform. */
     static PlatformSnapshot capture(const Platform &platform);
 
-    /** Counter-wise difference (this - earlier). */
+    /** Counter-wise difference (this - earlier); levels kept, see
+     *  the delta contract above. Sets is_delta on the result. */
     PlatformSnapshot since(const PlatformSnapshot &earlier) const;
 };
 

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * PlatformTelemetry implementation.
+ */
+
+#include "sim/telemetry.hh"
+
+#include <memory>
+#include <string>
+
+#include "cache/llc.hh"
+
+namespace iat::sim {
+
+namespace {
+
+double
+ratio(double num, double den)
+{
+    return den > 0.0 ? num / den : 0.0;
+}
+
+} // namespace
+
+PlatformTelemetry::PlatformTelemetry(const Platform &platform,
+                                     obs::MetricsRegistry &registry)
+    : platform_(platform), prev_(PlatformSnapshot::capture(platform))
+{
+    const unsigned cores = platform.config().num_cores;
+    cores_.resize(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        const std::string prefix = "core" + std::to_string(c);
+        registry.gauge(prefix + ".ipc",
+                       [this, c] { return cores_[c].ipc; });
+        registry.gauge(prefix + ".miss_rate",
+                       [this, c] { return cores_[c].miss_rate; });
+    }
+    registry.gauge("llc.miss_rate", [this] { return llc_miss_rate_; });
+    registry.gauge("ddio.hit_rate", [this] { return ddio_hit_rate_; });
+    registry.gauge("ddio.hits_per_s",
+                   [this] { return ddio_hits_per_s_; });
+    registry.gauge("ddio.misses_per_s",
+                   [this] { return ddio_misses_per_s_; });
+    registry.gauge("llc.occupancy_bytes",
+                   [this] { return llc_occupancy_bytes_; });
+    registry.gauge("ddio.occupancy_bytes",
+                   [this] { return ddio_occupancy_bytes_; });
+    rmid_occupancy_bytes_.resize(kTrackedRmids + 1, 0.0);
+    for (unsigned r = 1; r <= kTrackedRmids; ++r) {
+        registry.gauge("rmid" + std::to_string(r) +
+                           ".occupancy_bytes",
+                       [this, r] { return rmid_occupancy_bytes_[r]; });
+    }
+    registry.gauge("dram.read_gbps", [this] { return dram_read_gbps_; });
+    registry.gauge("dram.write_gbps",
+                   [this] { return dram_write_gbps_; });
+    registry.gauge("dram.utilization",
+                   [this] { return dram_utilization_; });
+}
+
+void
+PlatformTelemetry::update()
+{
+    const auto snap = PlatformSnapshot::capture(platform_);
+    const auto delta = snap.since(prev_);
+    const double dt = delta.now_seconds;
+
+    std::uint64_t total_refs = 0, total_misses = 0;
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        const auto &row = delta.cores[c];
+        cores_[c].ipc =
+            ratio(static_cast<double>(row.instructions),
+                  static_cast<double>(row.cycles));
+        cores_[c].miss_rate =
+            ratio(static_cast<double>(row.llc_misses),
+                  static_cast<double>(row.llc_refs));
+        total_refs += row.llc_refs;
+        total_misses += row.llc_misses;
+    }
+    llc_miss_rate_ = ratio(static_cast<double>(total_misses),
+                           static_cast<double>(total_refs));
+
+    ddio_hit_rate_ =
+        ratio(static_cast<double>(delta.ddio_hits),
+              static_cast<double>(delta.ddio_hits +
+                                  delta.ddio_misses));
+    ddio_hits_per_s_ =
+        dt > 0.0 ? static_cast<double>(delta.ddio_hits) / dt : 0.0;
+    ddio_misses_per_s_ =
+        dt > 0.0 ? static_cast<double>(delta.ddio_misses) / dt : 0.0;
+
+    // Occupancy is a level: read it off the later snapshot.
+    double total_occ = 0.0;
+    for (const auto bytes : snap.rmid_bytes)
+        total_occ += static_cast<double>(bytes);
+    llc_occupancy_bytes_ = total_occ;
+    ddio_occupancy_bytes_ = static_cast<double>(
+        snap.rmid_bytes[cache::SlicedLlc::ddioRmid]);
+    for (unsigned r = 1;
+         r <= kTrackedRmids && r < snap.rmid_bytes.size(); ++r) {
+        rmid_occupancy_bytes_[r] =
+            static_cast<double>(snap.rmid_bytes[r]);
+    }
+
+    dram_read_gbps_ =
+        dt > 0.0
+            ? static_cast<double>(delta.dram_read_bytes) * 8.0 / dt /
+                  1e9
+            : 0.0;
+    dram_write_gbps_ =
+        dt > 0.0
+            ? static_cast<double>(delta.dram_write_bytes) * 8.0 / dt /
+                  1e9
+            : 0.0;
+    dram_utilization_ = snap.dram_utilization;
+
+    prev_ = snap;
+}
+
+double
+installPlatformSampler(Engine &engine, const Platform &platform,
+                       obs::Telemetry &telemetry,
+                       double fallback_interval)
+{
+    if (!telemetry.config().samplingEnabled())
+        return 0.0;
+    const double interval = telemetry.sampleInterval(fallback_interval);
+    // Shared ownership: the hook (and thus the engine) keeps the
+    // gauge source alive for the rest of the run.
+    auto source = std::make_shared<PlatformTelemetry>(
+        platform, telemetry.metrics());
+    engine.addPeriodic(interval, [source, &telemetry](double now) {
+        source->update();
+        telemetry.sampler().sample(now);
+    });
+    return interval;
+}
+
+} // namespace iat::sim

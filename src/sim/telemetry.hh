@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Platform-side binding of the observability layer: exposes the
+ * PlatformSnapshot counter surface (per-core IPC, LLC miss rate,
+ * DDIO hit rate, RMID occupancy, DRAM bandwidth/utilization) as
+ * registry gauges, and installs the periodic time-series sampler on
+ * the engine.
+ *
+ * The obs layer itself knows nothing about the platform -- it lives
+ * below cache/sim in the link order so any layer can register
+ * metrics. This file is the one place that walks the platform's
+ * counters, diffing consecutive snapshots so every gauge reads as a
+ * per-interval value (IPC over the last interval, not since boot).
+ */
+
+#ifndef IATSIM_SIM_TELEMETRY_HH
+#define IATSIM_SIM_TELEMETRY_HH
+
+#include <vector>
+
+#include "obs/telemetry.hh"
+#include "sim/engine.hh"
+#include "sim/stats_report.hh"
+
+namespace iat::sim {
+
+/**
+ * Snapshot-diffing gauge source. Construction registers the gauges;
+ * update() recomputes their backing values from a fresh
+ * PlatformSnapshot. Gauge names:
+ *
+ *   core<i>.ipc, core<i>.miss_rate        per modelled core
+ *   llc.miss_rate                         system-wide
+ *   ddio.hit_rate, ddio.hits_per_s, ddio.misses_per_s
+ *   llc.occupancy_bytes, ddio.occupancy_bytes,
+ *   rmid<r>.occupancy_bytes               tenant RMIDs 1..8 (levels)
+ *   dram.read_gbps, dram.write_gbps, dram.utilization
+ */
+class PlatformTelemetry
+{
+  public:
+    /** Tenant RMIDs exported individually (1..kTrackedRmids). */
+    static constexpr unsigned kTrackedRmids = 8;
+
+    PlatformTelemetry(const Platform &platform,
+                      obs::MetricsRegistry &registry);
+
+    /** Recompute interval values; call once per sample, before the
+     *  sampler reads the gauges. */
+    void update();
+
+  private:
+    struct CoreDerived
+    {
+        double ipc = 0.0;
+        double miss_rate = 0.0;
+    };
+
+    const Platform &platform_;
+    PlatformSnapshot prev_;
+
+    std::vector<CoreDerived> cores_;
+    double llc_miss_rate_ = 0.0;
+    double ddio_hit_rate_ = 0.0;
+    double ddio_hits_per_s_ = 0.0;
+    double ddio_misses_per_s_ = 0.0;
+    double llc_occupancy_bytes_ = 0.0;
+    double ddio_occupancy_bytes_ = 0.0;
+    std::vector<double> rmid_occupancy_bytes_;
+    double dram_read_gbps_ = 0.0;
+    double dram_write_gbps_ = 0.0;
+    double dram_utilization_ = 0.0;
+};
+
+/**
+ * Register platform gauges and hook the sampler into the engine via
+ * Engine::addPeriodic (first sample one interval in, then every
+ * interval). The sampling period is --sample-interval when given,
+ * else @p fallback_interval. No-op unless the telemetry config has
+ * sampling enabled. Returns the period installed (0 when disabled).
+ *
+ * Call after all components have registered their metrics so the
+ * column set is complete when the first sample freezes it.
+ */
+double installPlatformSampler(Engine &engine, const Platform &platform,
+                              obs::Telemetry &telemetry,
+                              double fallback_interval);
+
+} // namespace iat::sim
+
+#endif // IATSIM_SIM_TELEMETRY_HH

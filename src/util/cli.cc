@@ -31,6 +31,11 @@ CliArgs::CliArgs(int argc, char **argv)
             flags_[arg] = "true";
         }
     }
+    // Every binary parses its arguments through CliArgs, so plumbing
+    // the logger level here makes --log-level (and the
+    // IATSIM_LOG_LEVEL fallback) work everywhere without per-tool
+    // wiring.
+    applyLogLevel(getString("log-level", ""));
 }
 
 bool

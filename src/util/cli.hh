@@ -6,6 +6,11 @@
  * a boolean. Every bench accepts --seed, --csv=<path> and experiment
  * specific overrides through this parser, so runs are scriptable
  * without a heavyweight dependency.
+ *
+ * Two flag families are applied globally by construction:
+ * --log-level=quiet|warn|info|debug (with IATSIM_LOG_LEVEL as the
+ * environment fallback) feeds the Logger, and --trace / --metrics /
+ * --sample-interval feed obs::Telemetry (see obs/telemetry.hh).
  */
 
 #ifndef IATSIM_UTIL_CLI_HH

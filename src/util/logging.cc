@@ -18,6 +18,59 @@ Logger::instance()
     return logger;
 }
 
+const char *
+toString(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Quiet: return "quiet";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Info: return "info";
+      case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
+bool
+parseLogLevel(const std::string &name, LogLevel &out)
+{
+    if (name == "quiet") {
+        out = LogLevel::Quiet;
+    } else if (name == "warn") {
+        out = LogLevel::Warn;
+    } else if (name == "info") {
+        out = LogLevel::Info;
+    } else if (name == "debug") {
+        out = LogLevel::Debug;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+void
+applyLogLevel(const std::string &flag_value)
+{
+    LogLevel level;
+    if (!flag_value.empty()) {
+        if (!parseLogLevel(flag_value, level)) {
+            fatal("--log-level expects quiet|warn|info|debug, "
+                  "got '%s'", flag_value.c_str());
+        }
+        Logger::instance().setLevel(level);
+        return;
+    }
+    const char *env = std::getenv("IATSIM_LOG_LEVEL");
+    if (!env)
+        return;
+    if (parseLogLevel(env, level)) {
+        Logger::instance().setLevel(level);
+    } else {
+        warn("IATSIM_LOG_LEVEL='%s' unrecognized "
+             "(quiet|warn|info|debug); keeping level %s",
+             env, toString(Logger::instance().level()));
+    }
+}
+
 void
 Logger::vlog(LogLevel level, const char *prefix, const char *fmt,
              std::va_list ap)

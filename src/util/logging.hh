@@ -22,6 +22,19 @@ namespace iat {
 /** Verbosity levels for the global logger. */
 enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
 
+const char *toString(LogLevel level);
+
+/** Parse "quiet|warn|info|debug" into @p out; false if unknown. */
+bool parseLogLevel(const std::string &name, LogLevel &out);
+
+/**
+ * Set the global level from the --log-level flag value (empty means
+ * "not given"), falling back to the IATSIM_LOG_LEVEL environment
+ * variable. A bad flag value is fatal; a bad environment value only
+ * warns. CliArgs calls this, so every binary honors both.
+ */
+void applyLogLevel(const std::string &flag_value);
+
 /**
  * Process-wide logger. A single instance keeps bench output and test
  * output consistent; everything funnels through std::fputs so output

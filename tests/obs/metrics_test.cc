@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the metrics registry: registration semantics, kind
+ * checking, hot-path update behaviour and iteration order.
+ */
+
+#include "obs/metrics.hh"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace iat::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, UnboundReadsZero)
+{
+    Gauge g;
+    EXPECT_EQ(g.read(), 0.0);
+}
+
+TEST(Gauge, ReadsThroughCallback)
+{
+    double level = 1.5;
+    Gauge g;
+    g.setFn([&] { return level; });
+    EXPECT_DOUBLE_EQ(g.read(), 1.5);
+    level = -3.0;
+    EXPECT_DOUBLE_EQ(g.read(), -3.0);
+}
+
+TEST(Histogram, MomentsAndPercentiles)
+{
+    Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.record(i);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    // The log-bucketed histogram is approximate; p99 must land near
+    // the top of the range.
+    EXPECT_GE(h.percentile(0.99), 90.0);
+    EXPECT_LE(h.percentile(0.99), 110.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotent)
+{
+    MetricsRegistry reg;
+    Counter &a = reg.counter("daemon.ticks");
+    Counter &b = reg.counter("daemon.ticks");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.size(), 1u);
+    a.inc(3);
+    EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(MetricsRegistry, AddressesStableAcrossGrowth)
+{
+    MetricsRegistry reg;
+    Counter &first = reg.counter("first");
+    for (int i = 0; i < 100; ++i)
+        reg.counter("c" + std::to_string(i));
+    first.inc();
+    EXPECT_EQ(reg.counter("first").value(), 1u);
+    EXPECT_EQ(&reg.counter("first"), &first);
+}
+
+TEST(MetricsRegistry, GaugeLatestBindingWins)
+{
+    MetricsRegistry reg;
+    reg.gauge("llc.miss_rate", [] { return 1.0; });
+    // Fetch without a callback keeps the old binding...
+    EXPECT_DOUBLE_EQ(reg.gauge("llc.miss_rate").read(), 1.0);
+    // ...and a new non-null callback rebinds.
+    reg.gauge("llc.miss_rate", [] { return 2.0; });
+    EXPECT_DOUBLE_EQ(reg.gauge("llc.miss_rate").read(), 2.0);
+}
+
+TEST(MetricsRegistry, FindDoesNotCreate)
+{
+    MetricsRegistry reg;
+    EXPECT_EQ(reg.findCounter("nope"), nullptr);
+    EXPECT_EQ(reg.findGauge("nope"), nullptr);
+    EXPECT_EQ(reg.findHistogram("nope"), nullptr);
+    EXPECT_EQ(reg.size(), 0u);
+
+    reg.counter("yes");
+    EXPECT_NE(reg.findCounter("yes"), nullptr);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, FindChecksKind)
+{
+    MetricsRegistry reg;
+    reg.counter("c");
+    EXPECT_EQ(reg.findGauge("c"), nullptr);
+    EXPECT_EQ(reg.findHistogram("c"), nullptr);
+}
+
+TEST(MetricsRegistryDeath, KindMismatchPanics)
+{
+    MetricsRegistry reg;
+    reg.counter("name");
+    EXPECT_DEATH(reg.gauge("name"), "name");
+    EXPECT_DEATH(reg.histogram("name"), "name");
+}
+
+TEST(MetricsRegistry, ForEachPreservesRegistrationOrder)
+{
+    MetricsRegistry reg;
+    reg.counter("z.counter");
+    reg.gauge("a.gauge", [] { return 7.0; });
+    reg.histogram("m.hist");
+
+    std::vector<std::string> names;
+    std::vector<MetricKind> kinds;
+    reg.forEach([&](const std::string &name, MetricKind kind,
+                    const Counter *c, const Gauge *g,
+                    const Histogram *h) {
+        names.push_back(name);
+        kinds.push_back(kind);
+        // Exactly one pointer set, matching the kind.
+        EXPECT_EQ((c != nullptr) + (g != nullptr) + (h != nullptr),
+                  1);
+        switch (kind) {
+          case MetricKind::Counter: EXPECT_NE(c, nullptr); break;
+          case MetricKind::Gauge: EXPECT_NE(g, nullptr); break;
+          case MetricKind::Histogram: EXPECT_NE(h, nullptr); break;
+        }
+    });
+    EXPECT_EQ(names, (std::vector<std::string>{
+                         "z.counter", "a.gauge", "m.hist"}));
+    EXPECT_EQ(kinds, (std::vector<MetricKind>{
+                         MetricKind::Counter, MetricKind::Gauge,
+                         MetricKind::Histogram}));
+}
+
+TEST(MetricKindName, CoversAllKinds)
+{
+    EXPECT_STREQ(toString(MetricKind::Counter), "counter");
+    EXPECT_STREQ(toString(MetricKind::Gauge), "gauge");
+    EXPECT_STREQ(toString(MetricKind::Histogram), "histogram");
+}
+
+} // namespace
+} // namespace iat::obs

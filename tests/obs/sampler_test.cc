@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the time-series sampler: column semantics (counter
+ * deltas, gauge levels, histogram triples), column freezing, the
+ * serializations, and alignment with Engine::addPeriodic plus the
+ * platform gauge binding.
+ */
+
+#include "obs/sampler.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hh"
+#include "sim/engine.hh"
+#include "sim/telemetry.hh"
+#include "tests/obs/json.hh"
+
+namespace iat::obs {
+namespace {
+
+std::size_t
+columnIndex(const TimeSeriesSampler &sampler, const std::string &name)
+{
+    const auto &cols = sampler.columns();
+    const auto it = std::find(cols.begin(), cols.end(), name);
+    EXPECT_NE(it, cols.end()) << "missing column " << name;
+    return static_cast<std::size_t>(it - cols.begin());
+}
+
+TEST(TimeSeriesSampler, CounterColumnsAreIntervalDeltas)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("net.rx.packets");
+    TimeSeriesSampler sampler(reg);
+
+    c.inc(10);
+    sampler.sample(1.0);
+    c.inc(5);
+    sampler.sample(2.0);
+    sampler.sample(3.0);
+
+    ASSERT_EQ(sampler.rowCount(), 3u);
+    const std::size_t col = columnIndex(sampler, "net.rx.packets");
+    // First row covers everything before the first sample.
+    EXPECT_DOUBLE_EQ(sampler.rowValues(0)[col], 10.0);
+    EXPECT_DOUBLE_EQ(sampler.rowValues(1)[col], 5.0);
+    EXPECT_DOUBLE_EQ(sampler.rowValues(2)[col], 0.0);
+}
+
+TEST(TimeSeriesSampler, GaugeColumnsAreInstantaneous)
+{
+    MetricsRegistry reg;
+    double level = 0.25;
+    reg.gauge("ddio.hit_rate", [&] { return level; });
+    TimeSeriesSampler sampler(reg);
+
+    sampler.sample(1.0);
+    level = 0.75;
+    sampler.sample(2.0);
+
+    const std::size_t col = columnIndex(sampler, "ddio.hit_rate");
+    EXPECT_DOUBLE_EQ(sampler.rowValues(0)[col], 0.25);
+    EXPECT_DOUBLE_EQ(sampler.rowValues(1)[col], 0.75);
+}
+
+TEST(TimeSeriesSampler, HistogramExpandsToThreeColumns)
+{
+    MetricsRegistry reg;
+    Histogram &h = reg.histogram("daemon.poll_seconds");
+    TimeSeriesSampler sampler(reg);
+
+    h.record(1.0);
+    h.record(3.0);
+    sampler.sample(1.0);
+    h.record(5.0);
+    sampler.sample(2.0);
+
+    const std::size_t count =
+        columnIndex(sampler, "daemon.poll_seconds.count");
+    const std::size_t mean =
+        columnIndex(sampler, "daemon.poll_seconds.mean");
+    columnIndex(sampler, "daemon.poll_seconds.p99");
+
+    // count is a per-interval delta; mean stays cumulative.
+    EXPECT_DOUBLE_EQ(sampler.rowValues(0)[count], 2.0);
+    EXPECT_DOUBLE_EQ(sampler.rowValues(1)[count], 1.0);
+    EXPECT_DOUBLE_EQ(sampler.rowValues(0)[mean], 2.0);
+    EXPECT_DOUBLE_EQ(sampler.rowValues(1)[mean], 3.0);
+}
+
+TEST(TimeSeriesSampler, ColumnsFreezeAtFirstSample)
+{
+    MetricsRegistry reg;
+    reg.counter("early");
+    TimeSeriesSampler sampler(reg);
+    EXPECT_TRUE(sampler.columns().empty());
+
+    sampler.sample(1.0);
+    ASSERT_EQ(sampler.columns().size(), 1u);
+
+    // A late registration doesn't change the row shape.
+    reg.counter("late");
+    sampler.sample(2.0);
+    EXPECT_EQ(sampler.columns().size(), 1u);
+    EXPECT_EQ(sampler.rowValues(1).size(), 1u);
+}
+
+TEST(TimeSeriesSampler, CsvHeaderAndRowsAlign)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("a");
+    reg.gauge("b", [] { return 2.5; });
+    TimeSeriesSampler sampler(reg);
+    c.inc(4);
+    sampler.sample(0.5);
+
+    std::ostringstream os;
+    sampler.writeCsv(os);
+    std::istringstream is(os.str());
+    std::string header, row;
+    ASSERT_TRUE(static_cast<bool>(std::getline(is, header)));
+    ASSERT_TRUE(static_cast<bool>(std::getline(is, row)));
+    EXPECT_EQ(header, "t_seconds,a,b");
+    EXPECT_EQ(row.substr(0, 4), "0.5,");
+    EXPECT_EQ(std::count(row.begin(), row.end(), ','), 2);
+}
+
+TEST(TimeSeriesSampler, JsonlRowsParseBack)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("net.packets");
+    TimeSeriesSampler sampler(reg, SampleFormat::Jsonl);
+    c.inc(7);
+    sampler.sample(0.25);
+    sampler.sample(0.50);
+
+    std::ostringstream os;
+    sampler.writeJsonl(os);
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t rows = 0;
+    while (std::getline(is, line)) {
+        const auto v = testjson::parse(line);
+        ASSERT_NE(v, nullptr) << line;
+        ASSERT_NE(v->find("t_seconds"), nullptr);
+        ASSERT_NE(v->find("net.packets"), nullptr);
+        if (rows == 0) {
+            EXPECT_DOUBLE_EQ(v->find("t_seconds")->number, 0.25);
+            EXPECT_DOUBLE_EQ(v->find("net.packets")->number, 7.0);
+        }
+        ++rows;
+    }
+    EXPECT_EQ(rows, 2u);
+}
+
+TEST(TimeSeriesSampler, WriteFileRoundTrips)
+{
+    MetricsRegistry reg;
+    reg.counter("x").inc(1);
+    TimeSeriesSampler sampler(reg);
+    sampler.sample(1.0);
+
+    const std::string path =
+        testing::TempDir() + "/iat_sampler_test.csv";
+    ASSERT_TRUE(sampler.writeFile(path));
+    std::ifstream is(path);
+    std::string header;
+    ASSERT_TRUE(static_cast<bool>(std::getline(is, header)));
+    EXPECT_EQ(header, "t_seconds,x");
+    std::remove(path.c_str());
+}
+
+TEST(TimeSeriesSampler, AlignsWithEnginePeriodicHooks)
+{
+    sim::PlatformConfig pc;
+    pc.num_cores = 2;
+    sim::Platform platform(pc);
+    sim::Engine engine(platform);
+
+    MetricsRegistry reg;
+    Counter &ticks = reg.counter("test.ticks");
+    TimeSeriesSampler sampler(reg);
+
+    const double interval = 1e-3;
+    // Work hook first, sampler second at the same period and phase:
+    // equal-time hooks fire in registration order, so each row must
+    // see exactly the increments of its own interval.
+    engine.addPeriodic(interval,
+                       [&](double) { ticks.inc(3); });
+    engine.addPeriodic(interval,
+                       [&](double now) { sampler.sample(now); });
+    engine.run(10.5e-3);
+
+    ASSERT_EQ(sampler.rowCount(), 10u);
+    const std::size_t col = columnIndex(sampler, "test.ticks");
+    for (std::size_t i = 0; i < sampler.rowCount(); ++i) {
+        EXPECT_NEAR(sampler.rowTime(i), (i + 1) * interval, 1e-12)
+            << "row " << i;
+        EXPECT_DOUBLE_EQ(sampler.rowValues(i)[col], 3.0)
+            << "row " << i;
+    }
+}
+
+TEST(PlatformSampler, InstallsAndExportsPlatformColumns)
+{
+    sim::PlatformConfig pc;
+    pc.num_cores = 4;
+    sim::Platform platform(pc);
+    sim::Engine engine(platform);
+
+    obs::TelemetryConfig cfg;
+    cfg.metrics_path = "unused.csv"; // enables sampling; never flushed
+    obs::Telemetry telemetry(cfg);
+
+    const double installed = sim::installPlatformSampler(
+        engine, platform, telemetry, 2e-3);
+    EXPECT_DOUBLE_EQ(installed, 2e-3);
+
+    // Some DDIO traffic so the rate gauges have something to report.
+    engine.addPeriodic(1e-3, [&](double) {
+        for (std::uint64_t i = 0; i < 256; ++i)
+            platform.dmaWrite(0, (1u << 22) + i * 64, 64);
+    });
+    engine.run(11e-3);
+
+    const auto &sampler = telemetry.sampler();
+    ASSERT_EQ(sampler.rowCount(), 5u);
+    for (const char *name :
+         {"core0.ipc", "core0.miss_rate", "llc.miss_rate",
+          "ddio.hit_rate", "ddio.hits_per_s", "rmid1.occupancy_bytes",
+          "dram.read_gbps", "dram.write_gbps", "dram.utilization"}) {
+        columnIndex(sampler, name);
+    }
+
+    // DMA writes must show up as DDIO activity in at least one row.
+    const std::size_t hits = columnIndex(sampler, "ddio.hits_per_s");
+    const std::size_t misses =
+        columnIndex(sampler, "ddio.misses_per_s");
+    double total = 0.0;
+    for (std::size_t i = 0; i < sampler.rowCount(); ++i) {
+        total += sampler.rowValues(i)[hits] +
+                 sampler.rowValues(i)[misses];
+    }
+    EXPECT_GT(total, 0.0);
+}
+
+TEST(PlatformSampler, NoOpWhenSamplingDisabled)
+{
+    sim::PlatformConfig pc;
+    pc.num_cores = 2;
+    sim::Platform platform(pc);
+    sim::Engine engine(platform);
+
+    obs::Telemetry telemetry; // no paths -> nothing enabled
+    const double installed = sim::installPlatformSampler(
+        engine, platform, telemetry, 1e-3);
+    EXPECT_DOUBLE_EQ(installed, 0.0);
+    engine.run(5e-3);
+    EXPECT_EQ(telemetry.sampler().rowCount(), 0u);
+    EXPECT_EQ(telemetry.metrics().size(), 0u);
+}
+
+} // namespace
+} // namespace iat::obs

@@ -6,10 +6,41 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "util/cli.hh"
 #include "util/logging.hh"
 
 namespace iat {
 namespace {
+
+/** Restores the global level and IATSIM_LOG_LEVEL after each test. */
+class LogLevelGuard
+{
+  public:
+    LogLevelGuard() : saved_(Logger::instance().level())
+    {
+        const char *env = std::getenv("IATSIM_LOG_LEVEL");
+        had_env_ = env != nullptr;
+        if (had_env_)
+            env_ = env;
+        unsetenv("IATSIM_LOG_LEVEL");
+    }
+
+    ~LogLevelGuard()
+    {
+        Logger::instance().setLevel(saved_);
+        if (had_env_)
+            setenv("IATSIM_LOG_LEVEL", env_.c_str(), 1);
+        else
+            unsetenv("IATSIM_LOG_LEVEL");
+    }
+
+  private:
+    LogLevel saved_;
+    bool had_env_ = false;
+    std::string env_;
+};
 
 TEST(Logging, DefaultLevelIsWarn)
 {
@@ -58,6 +89,74 @@ TEST(Logging, AssertPassesSilently)
 {
     IAT_ASSERT(1 + 1 == 2, "arithmetic broke");
     SUCCEED();
+}
+
+TEST(LogLevelName, RoundTripsThroughParse)
+{
+    for (const auto level :
+         {LogLevel::Quiet, LogLevel::Warn, LogLevel::Info,
+          LogLevel::Debug}) {
+        LogLevel parsed = LogLevel::Quiet;
+        ASSERT_TRUE(parseLogLevel(toString(level), parsed))
+            << toString(level);
+        EXPECT_EQ(parsed, level);
+    }
+}
+
+TEST(LogLevelName, ParseRejectsUnknown)
+{
+    LogLevel out = LogLevel::Warn;
+    EXPECT_FALSE(parseLogLevel("verbose", out));
+    EXPECT_FALSE(parseLogLevel("", out));
+    EXPECT_EQ(out, LogLevel::Warn); // untouched on failure
+}
+
+TEST(ApplyLogLevel, FlagSetsGlobalLevel)
+{
+    LogLevelGuard guard;
+    applyLogLevel("debug");
+    EXPECT_EQ(Logger::instance().level(), LogLevel::Debug);
+    applyLogLevel("quiet");
+    EXPECT_EQ(Logger::instance().level(), LogLevel::Quiet);
+}
+
+TEST(ApplyLogLevel, EnvironmentIsFallback)
+{
+    LogLevelGuard guard;
+    Logger::instance().setLevel(LogLevel::Warn);
+    setenv("IATSIM_LOG_LEVEL", "info", 1);
+    applyLogLevel(""); // flag not given -> env wins
+    EXPECT_EQ(Logger::instance().level(), LogLevel::Info);
+
+    // An explicit flag beats the environment.
+    applyLogLevel("quiet");
+    EXPECT_EQ(Logger::instance().level(), LogLevel::Quiet);
+}
+
+TEST(ApplyLogLevel, BadEnvironmentOnlyWarns)
+{
+    LogLevelGuard guard;
+    Logger::instance().setLevel(LogLevel::Warn);
+    setenv("IATSIM_LOG_LEVEL", "shouting", 1);
+    applyLogLevel(""); // must not terminate
+    EXPECT_EQ(Logger::instance().level(), LogLevel::Warn);
+}
+
+TEST(ApplyLogLevelDeath, BadFlagIsFatal)
+{
+    LogLevelGuard guard;
+    EXPECT_EXIT(applyLogLevel("shouting"),
+                testing::ExitedWithCode(1), "shouting");
+}
+
+TEST(ApplyLogLevel, CliArgsAppliesTheFlag)
+{
+    LogLevelGuard guard;
+    Logger::instance().setLevel(LogLevel::Warn);
+    const char *argv[] = {"prog", "--log-level=debug"};
+    const CliArgs args(2, const_cast<char **>(argv));
+    EXPECT_EQ(Logger::instance().level(), LogLevel::Debug);
+    EXPECT_EQ(args.getString("log-level", ""), "debug");
 }
 
 } // namespace

@@ -28,11 +28,13 @@
 
 #include "core/baselines.hh"
 #include "core/daemon.hh"
+#include "obs/telemetry.hh"
 #include "scenarios/agg_testpmd.hh"
 #include "scenarios/common.hh"
 #include "scenarios/corun.hh"
 #include "scenarios/slicing_pmd_xmem.hh"
 #include "sim/stats_report.hh"
+#include "sim/telemetry.hh"
 #include "util/cli.hh"
 
 namespace {
@@ -106,6 +108,10 @@ cmdRun(const CliArgs &args)
     core::IatParams params;
     params.interval_seconds = args.getDouble("interval", 5e-3);
 
+    // Observability: --trace / --metrics / --sample-interval.
+    auto telemetry = obs::makeTelemetry(args);
+    engine.attachTelemetry(telemetry.get());
+
     // Assemble the world.
     std::unique_ptr<scenarios::AggTestPmdWorld> agg;
     std::unique_ptr<scenarios::SlicingPmdXmemWorld> slicing;
@@ -152,6 +158,7 @@ cmdRun(const CliArgs &args)
     if (policy_name == "iat") {
         daemon = std::make_unique<core::IatDaemon>(
             platform.pqos(), *registry, params, model);
+        daemon->setTelemetry(telemetry.get());
         engine.addPeriodic(params.interval_seconds,
                            [&](double now) { daemon->tick(now); },
                            0.0);
@@ -173,6 +180,24 @@ cmdRun(const CliArgs &args)
         fatal("unknown policy '%s' "
               "(baseline|core-only|io-iso|iat)",
               policy_name.c_str());
+    }
+
+    // Net-layer telemetry, from whichever world owns a pipeline.
+    if (telemetry) {
+        net::PacketPipeline *pipeline = nullptr;
+        if (agg)
+            pipeline = agg->pipeline();
+        else if (slicing)
+            pipeline = slicing->pipeline();
+        else if (corun)
+            pipeline = corun->pipeline();
+        if (pipeline)
+            pipeline->setTelemetry(telemetry.get());
+        // Platform gauges + sampler go in last so the first sample
+        // sees every registered metric; defaults to the daemon poll
+        // interval.
+        sim::installPlatformSampler(engine, platform, *telemetry,
+                                    params.interval_seconds);
     }
 
     // Synthetic traffic for tenant-file runs (no world attached).
@@ -234,6 +259,19 @@ cmdRun(const CliArgs &args)
                     static_cast<unsigned long long>(
                         daemon->shuffles()));
     }
+    if (telemetry) {
+        const auto &tcfg = telemetry->config();
+        if (telemetry->flushTrace()) {
+            std::printf("trace written to %s (%zu events)\n",
+                        tcfg.trace_path.c_str(),
+                        telemetry->tracer().size());
+        }
+        if (telemetry->flushMetrics()) {
+            std::printf("metrics written to %s (%zu samples)\n",
+                        tcfg.metrics_path.c_str(),
+                        telemetry->sampler().rowCount());
+        }
+    }
     return 0;
 }
 
@@ -248,6 +286,12 @@ usage()
         "          --seconds=0.2 --frame=1500 --interval=0.005\n"
         "          --tenants=<affiliation file> (bare platform)\n"
         "          --stats (full platform counter report)\n"
+        "          --trace=<file> (Chrome trace JSON; .jsonl for "
+        "JSONL)\n"
+        "          --metrics=<file> (CSV time series; .jsonl for "
+        "JSONL)\n"
+        "          --sample-interval=<s> --log-level="
+        "quiet|warn|info|debug\n"
         "  fsm     trace the Fig 6 state machine: iatctl fsm "
         "5e6,0.5,0.5,0 ...\n"
         "  params  print Table II defaults\n");
