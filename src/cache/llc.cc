@@ -5,6 +5,9 @@
 
 #include "cache/llc.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "util/logging.hh"
 
 namespace iat::cache {
@@ -28,11 +31,16 @@ SlicedLlc::SlicedLlc(const CacheGeometry &geom, unsigned num_cores)
 {
     IAT_ASSERT(geom_.valid(), "bad cache geometry");
     IAT_ASSERT(num_cores_ >= 1, "need at least one core");
+    IAT_ASSERT(geom_.num_ways <= 32,
+               "way bitmasks are 32 bits wide");
 
     slices_.resize(geom_.num_slices);
-    for (auto &sl : slices_)
-        sl.lines.resize(static_cast<std::size_t>(geom_.sets_per_slice) *
-                        geom_.num_ways);
+    const std::size_t lines =
+        static_cast<std::size_t>(geom_.sets_per_slice) * geom_.num_ways;
+    for (auto &sl : slices_) {
+        sl.lines.assign(lines, {});
+        sl.meta.assign(geom_.sets_per_slice, {});
+    }
 
     // Power-on defaults mirror real RDT: every CLOS may fill the whole
     // cache, every core sits in CLOS 0 / RMID 0, and DDIO owns the two
@@ -47,6 +55,7 @@ SlicedLlc::SlicedLlc(const CacheGeometry &geom, unsigned num_cores)
     device_counters_.assign(8, {});
     device_ddio_masks_.assign(8, WayMask{});
     rmid_lines_.assign(numRmids, 0);
+    bin_count_.assign(geom_.num_slices + 1, 0);
 }
 
 void
@@ -152,45 +161,59 @@ SlicedLlc::locate(LineAddr line, unsigned &slice, unsigned &set) const
         ((h >> 32) * geom_.sets_per_slice) >> 32);
 }
 
-SlicedLlc::Line *
-SlicedLlc::findLine(unsigned slice, unsigned set, LineAddr line)
+int
+SlicedLlc::findWay(const Slice &sl, unsigned set, LineAddr line) const
 {
-    Line *base =
-        &slices_[slice].lines[static_cast<std::size_t>(set) *
-                              geom_.num_ways];
-    for (unsigned w = 0; w < geom_.num_ways; ++w) {
-        if (base[w].valid && base[w].tag == line)
-            return &base[w];
+    const Line *ways =
+        &sl.lines[static_cast<std::size_t>(set) * geom_.num_ways];
+    for (std::uint32_t m = sl.meta[set].valid; m != 0; m &= m - 1) {
+        const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+        if (ways[w].tag == line)
+            return static_cast<int>(w);
     }
-    return nullptr;
+    return -1;
 }
 
-const SlicedLlc::Line *
-SlicedLlc::findLine(unsigned slice, unsigned set, LineAddr line) const
+int
+SlicedLlc::findWayMru(Slice &sl, unsigned set, LineAddr line) const
 {
-    return const_cast<SlicedLlc *>(this)->findLine(slice, set, line);
-}
-
-void
-SlicedLlc::touch(Slice &sl, Line &ln)
-{
-    ln.ts = ++sl.clock;
+    const Line *ways =
+        &sl.lines[static_cast<std::size_t>(set) * geom_.num_ways];
+    SetMeta &meta = sl.meta[set];
+    const unsigned mw = meta.mru;
+    if (((meta.valid >> mw) & 1u) != 0 && ways[mw].tag == line)
+        return static_cast<int>(mw);
+    for (std::uint32_t m = meta.valid; m != 0; m &= m - 1) {
+        const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+        if (ways[w].tag == line) {
+            meta.mru = static_cast<std::uint8_t>(w);
+            return static_cast<int>(w);
+        }
+    }
+    return -1;
 }
 
 unsigned
-SlicedLlc::chooseVictim(Slice &sl, unsigned set, WayMask mask) const
+SlicedLlc::chooseVictim(const Slice &sl, unsigned set,
+                        WayMask mask) const
 {
-    const Line *base =
+    // An invalid way in the mask short-circuits: the ascending scan of
+    // the dense layout returned the first invalid way, which is the
+    // lowest invalid bit here.
+    const std::uint32_t invalid = mask.bits() & ~sl.meta[set].valid;
+    if (invalid != 0)
+        return static_cast<unsigned>(std::countr_zero(invalid));
+
+    const Line *ways =
         &sl.lines[static_cast<std::size_t>(set) * geom_.num_ways];
     unsigned victim = mask.lowest();
     std::uint32_t best_ts = UINT32_MAX;
-    for (unsigned w = 0; w < geom_.num_ways; ++w) {
-        if (!mask.contains(w))
-            continue;
-        if (!base[w].valid)
-            return w;
-        if (base[w].ts <= best_ts) {
-            best_ts = base[w].ts;
+    // ts <= best_ts (not <): of equal-stamped ways the highest wins,
+    // matching the historical tie-break the tests pin down.
+    for (std::uint32_t m = mask.bits(); m != 0; m &= m - 1) {
+        const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+        if (ways[w].ts <= best_ts) {
+            best_ts = ways[w].ts;
             victim = w;
         }
     }
@@ -198,57 +221,83 @@ SlicedLlc::chooseVictim(Slice &sl, unsigned set, WayMask mask) const
 }
 
 void
-SlicedLlc::allocate(unsigned slice, unsigned set, LineAddr line,
+SlicedLlc::allocate(Slice &sl, unsigned set, LineAddr line,
                     WayMask mask, RmidId owner, bool dirty,
                     AccessResult &result)
 {
     IAT_ASSERT(!mask.empty(), "allocation with empty way mask");
-    Slice &sl = slices_[slice];
     const unsigned way = chooseVictim(sl, set, mask);
-    Line &ln =
-        sl.lines[static_cast<std::size_t>(set) * geom_.num_ways + way];
-    if (ln.valid) {
-        if (ln.dirty) {
+    Line &entry = sl.lines[static_cast<std::size_t>(set) *
+                               geom_.num_ways +
+                           way];
+    SetMeta &meta = sl.meta[set];
+    const std::uint32_t bit = 1u << way;
+    if (meta.valid & bit) {
+        if (meta.dirty & bit) {
             result.writeback = true;
             ++total_writebacks_;
         }
-        --rmid_lines_[ln.owner];
+        --rmid_lines_[entry.owner];
     }
-    ln.tag = line;
-    ln.valid = true;
-    ln.dirty = dirty;
-    ln.owner = owner;
-    touch(sl, ln);
+    entry.tag = line;
+    meta.valid |= bit;
+    if (dirty)
+        meta.dirty |= bit;
+    else
+        meta.dirty &= ~bit;
+    entry.owner = owner;
+    entry.ts = ++sl.clock;
+    meta.mru = static_cast<std::uint8_t>(way);
     ++rmid_lines_[owner];
     result.allocated = true;
+}
+
+void
+SlicedLlc::applyCoreOp(CoreId core, Slice &sl, unsigned set, CoreOp &op)
+{
+    const LineAddr line = op.addr / geom_.line_bytes;
+    ++sl.counters.lookups;
+    if (!op.writeback)
+        ++core_counters_[core].llc_refs;
+
+    const int w = findWayMru(sl, set, line);
+    if (w >= 0) {
+        // Footnote 1: hits are serviced from any way, even ways the
+        // core's CLOS cannot allocate into.
+        op.hit = true;
+        op.victim_writeback = false;
+        if (op.writeback || op.type == AccessType::Write)
+            sl.meta[set].dirty |= 1u << w;
+        sl.lines[static_cast<std::size_t>(set) * geom_.num_ways +
+                 static_cast<unsigned>(w)]
+            .ts = ++sl.clock;
+        return;
+    }
+
+    if (!op.writeback)
+        ++core_counters_[core].llc_misses;
+    AccessResult result;
+    allocate(sl, set, line, clos_masks_[core_clos_[core]],
+             core_rmid_[core],
+             op.writeback || op.type == AccessType::Write, result);
+    op.hit = false;
+    op.victim_writeback = result.writeback;
 }
 
 AccessResult
 SlicedLlc::coreAccess(CoreId core, Addr addr, AccessType type)
 {
     IAT_ASSERT(core < num_cores_, "core out of range");
-    const LineAddr line = addr / geom_.line_bytes;
     unsigned slice, set;
-    locate(line, slice, set);
-
-    Slice &sl = slices_[slice];
-    ++sl.counters.lookups;
-    ++core_counters_[core].llc_refs;
-
+    locate(addr / geom_.line_bytes, slice, set);
+    CoreOp op;
+    op.addr = addr;
+    op.type = type;
+    applyCoreOp(core, slices_[slice], set, op);
     AccessResult result;
-    if (Line *ln = findLine(slice, set, line)) {
-        // Footnote 1: hits are serviced from any way, even ways the
-        // core's CLOS cannot allocate into.
-        result.hit = true;
-        if (type == AccessType::Write)
-            ln->dirty = true;
-        touch(sl, *ln);
-        return result;
-    }
-
-    ++core_counters_[core].llc_misses;
-    allocate(slice, set, line, clos_masks_[core_clos_[core]],
-             core_rmid_[core], type == AccessType::Write, result);
+    result.hit = op.hit;
+    result.writeback = op.victim_writeback;
+    result.allocated = !op.hit;
     return result;
 }
 
@@ -256,31 +305,77 @@ AccessResult
 SlicedLlc::writebackFromCore(CoreId core, Addr addr)
 {
     IAT_ASSERT(core < num_cores_, "core out of range");
-    const LineAddr line = addr / geom_.line_bytes;
     unsigned slice, set;
-    locate(line, slice, set);
-
+    locate(addr / geom_.line_bytes, slice, set);
+    CoreOp op;
+    op.addr = addr;
+    op.writeback = true;
+    applyCoreOp(core, slices_[slice], set, op);
     AccessResult result;
-    Slice &sl = slices_[slice];
-    if (Line *ln = findLine(slice, set, line)) {
-        result.hit = true;
-        ln->dirty = true;
-        touch(sl, *ln);
-        return result;
-    }
-    allocate(slice, set, line, clos_masks_[core_clos_[core]],
-             core_rmid_[core], /*dirty=*/true, result);
+    result.hit = op.hit;
+    result.writeback = op.victim_writeback;
+    result.allocated = !op.hit;
     return result;
 }
 
-AccessResult
-SlicedLlc::ddioWrite(Addr addr, DeviceId dev)
+void
+SlicedLlc::binBySlice(std::size_t n)
 {
-    const LineAddr line = addr / geom_.line_bytes;
-    unsigned slice, set;
-    locate(line, slice, set);
+    // Stable counting sort of op indices by slice: bin_count_ first
+    // holds per-slice counts, then exclusive prefix offsets that the
+    // scatter pass advances.
+    std::fill(bin_count_.begin(), bin_count_.end(), 0);
+    for (std::size_t i = 0; i < n; ++i)
+        ++bin_count_[bin_slice_[i]];
+    std::uint32_t off = 0;
+    for (auto &c : bin_count_) {
+        const std::uint32_t count = c;
+        c = off;
+        off += count;
+    }
+    bin_order_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        bin_order_[bin_count_[bin_slice_[i]]++] =
+            static_cast<std::uint32_t>(i);
+}
 
-    Slice &sl = slices_[slice];
+void
+SlicedLlc::accessBatch(CoreId core, CoreOp *ops, std::size_t n,
+                       BatchCounts &out)
+{
+    IAT_ASSERT(core < num_cores_, "core out of range");
+    if (n == 0)
+        return;
+    if (n == 1) {
+        unsigned slice, set;
+        locate(ops[0].addr / geom_.line_bytes, slice, set);
+        applyCoreOp(core, slices_[slice], set, ops[0]);
+    } else {
+        bin_slice_.resize(n);
+        bin_set_.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            locate(ops[i].addr / geom_.line_bytes, bin_slice_[i],
+                   bin_set_[i]);
+        binBySlice(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::uint32_t i = bin_order_[k];
+            applyCoreOp(core, slices_[bin_slice_[i]], bin_set_[i],
+                        ops[i]);
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!ops[i].writeback) {
+            out.demand_hits += ops[i].hit;
+            out.demand_misses += !ops[i].hit;
+        }
+        out.writebacks += ops[i].victim_writeback;
+    }
+}
+
+AccessResult
+SlicedLlc::applyDdioWrite(Slice &sl, unsigned set, LineAddr line,
+                          DeviceId dev)
+{
     ++sl.counters.lookups;
     AccessResult result;
     SliceCounters *dev_ctr =
@@ -289,18 +384,25 @@ SlicedLlc::ddioWrite(Addr addr, DeviceId dev)
     if (!ddio_enabled_) {
         // DDIO off: the write still snoops the coherence domain (paper
         // SS II-B) but the data lands in DRAM; drop any stale copy.
-        if (Line *ln = findLine(slice, set, line)) {
-            --rmid_lines_[ln->owner];
-            ln->valid = false;
+        const int w = findWay(sl, set, line);
+        if (w >= 0) {
+            --rmid_lines_[sl.lines[static_cast<std::size_t>(set) *
+                                       geom_.num_ways +
+                                   static_cast<unsigned>(w)]
+                              .owner];
+            sl.meta[set].valid &= ~(1u << w);
         }
         return result;
     }
 
-    if (Line *ln = findLine(slice, set, line)) {
+    const int w = findWayMru(sl, set, line);
+    if (w >= 0) {
         // Write update: the paper's "DDIO hit".
         result.hit = true;
-        ln->dirty = true;
-        touch(sl, *ln);
+        sl.meta[set].dirty |= 1u << w;
+        sl.lines[static_cast<std::size_t>(set) * geom_.num_ways +
+                 static_cast<unsigned>(w)]
+            .ts = ++sl.clock;
         ++sl.counters.ddio_hits;
         if (dev_ctr)
             ++dev_ctr->ddio_hits;
@@ -311,9 +413,48 @@ SlicedLlc::ddioWrite(Addr addr, DeviceId dev)
     ++sl.counters.ddio_misses;
     if (dev_ctr)
         ++dev_ctr->ddio_misses;
-    allocate(slice, set, line, deviceDdioMask(dev), ddioRmid,
+    allocate(sl, set, line, deviceDdioMask(dev), ddioRmid,
              /*dirty=*/true, result);
     return result;
+}
+
+AccessResult
+SlicedLlc::ddioWrite(Addr addr, DeviceId dev)
+{
+    const LineAddr line = addr / geom_.line_bytes;
+    unsigned slice, set;
+    locate(line, slice, set);
+    return applyDdioWrite(slices_[slice], set, line, dev);
+}
+
+void
+SlicedLlc::ddioWriteRange(Addr addr, std::uint32_t lines, DeviceId dev,
+                          DmaCounts &out)
+{
+    const LineAddr first = addr / geom_.line_bytes;
+    if (lines == 1) {
+        unsigned slice, set;
+        locate(first, slice, set);
+        const auto r =
+            applyDdioWrite(slices_[slice], set, first, dev);
+        out.hits += r.hit;
+        out.misses += !r.hit;
+        out.writebacks += r.writeback;
+        return;
+    }
+    bin_slice_.resize(lines);
+    bin_set_.resize(lines);
+    for (std::uint32_t i = 0; i < lines; ++i)
+        locate(first + i, bin_slice_[i], bin_set_[i]);
+    binBySlice(lines);
+    for (std::uint32_t k = 0; k < lines; ++k) {
+        const std::uint32_t i = bin_order_[k];
+        const auto r = applyDdioWrite(slices_[bin_slice_[i]],
+                                      bin_set_[i], first + i, dev);
+        out.hits += r.hit;
+        out.misses += !r.hit;
+        out.writebacks += r.writeback;
+    }
 }
 
 AccessResult
@@ -326,9 +467,12 @@ SlicedLlc::deviceRead(Addr addr, DeviceId dev)
     Slice &sl = slices_[slice];
     ++sl.counters.lookups;
     AccessResult result;
-    if (Line *ln = findLine(slice, set, line)) {
+    const int w = findWayMru(sl, set, line);
+    if (w >= 0) {
         result.hit = true;
-        touch(sl, *ln);
+        sl.lines[static_cast<std::size_t>(set) * geom_.num_ways +
+                 static_cast<unsigned>(w)]
+            .ts = ++sl.clock;
         return result;
     }
     // Device reads that miss are serviced from DRAM and, per SS II-B,
@@ -337,13 +481,25 @@ SlicedLlc::deviceRead(Addr addr, DeviceId dev)
     return result;
 }
 
+void
+SlicedLlc::deviceReadRange(Addr addr, std::uint32_t lines,
+                           DeviceId dev, DmaCounts &out)
+{
+    const LineAddr first = addr / geom_.line_bytes;
+    for (std::uint32_t i = 0; i < lines; ++i) {
+        const auto r = deviceRead((first + i) * geom_.line_bytes, dev);
+        out.hits += r.hit;
+        out.misses += !r.hit;
+    }
+}
+
 bool
 SlicedLlc::isPresent(Addr addr) const
 {
     const LineAddr line = addr / geom_.line_bytes;
     unsigned slice, set;
     locate(line, slice, set);
-    return findLine(slice, set, line) != nullptr;
+    return findWay(slices_[slice], set, line) >= 0;
 }
 
 void
@@ -352,9 +508,14 @@ SlicedLlc::invalidate(Addr addr)
     const LineAddr line = addr / geom_.line_bytes;
     unsigned slice, set;
     locate(line, slice, set);
-    if (Line *ln = findLine(slice, set, line)) {
-        --rmid_lines_[ln->owner];
-        ln->valid = false;
+    Slice &sl = slices_[slice];
+    const int w = findWay(sl, set, line);
+    if (w >= 0) {
+        --rmid_lines_[sl.lines[static_cast<std::size_t>(set) *
+                                   geom_.num_ways +
+                               static_cast<unsigned>(w)]
+                          .owner];
+        sl.meta[set].valid &= ~(1u << w);
     }
 }
 
@@ -362,9 +523,9 @@ void
 SlicedLlc::flushAll()
 {
     for (auto &sl : slices_) {
-        for (auto &ln : sl.lines) {
-            ln.valid = false;
-            ln.dirty = false;
+        for (auto &m : sl.meta) {
+            m.valid = 0;
+            m.dirty = 0;
         }
         sl.clock = 0;
     }

@@ -22,6 +22,16 @@
  * traffic spreads evenly and reading one slice's counters and scaling
  * by the slice count -- exactly what the paper's monitor does -- is
  * sound in the model too.
+ *
+ * Storage interleaves each line's tag, LRU stamp and owner in one
+ * record (a hit touches one host cache line for the probe and the
+ * LRU update) while valid/dirty live in per-set bitmasks so victim
+ * selection is bit arithmetic. The scalar access paths and the batched ones
+ * (accessBatch / ddioWriteRange / deviceReadRange) share the same
+ * per-(slice,set) primitives, and the batched paths are
+ * state-equivalent to issuing the scalar calls in op order -- see
+ * accessBatch() for the argument, and
+ * tests/cache/llc_batch_property_test.cc for the enforcement.
  */
 
 #ifndef IATSIM_CACHE_LLC_HH
@@ -49,6 +59,39 @@ struct CoreCacheCounters
 {
     std::uint64_t llc_refs = 0;
     std::uint64_t llc_misses = 0;
+};
+
+/**
+ * One core-side LLC operation inside an accessBatch() call, with its
+ * per-op outcome filled in by the batch. `writeback` selects the
+ * writebackFromCore() semantics (no demand counters); otherwise the
+ * op is a coreAccess() demand reference.
+ */
+struct CoreOp
+{
+    Addr addr = 0;
+    AccessType type = AccessType::Read;
+    bool writeback = false;
+    /** Out: line was present (== AccessResult::hit of the scalar op). */
+    bool hit = false;
+    /** Out: a dirty victim was evicted to DRAM by this op. */
+    bool victim_writeback = false;
+};
+
+/** Aggregate outcome of a batched access run. */
+struct BatchCounts
+{
+    std::uint64_t demand_hits = 0;   ///< demand ops that hit
+    std::uint64_t demand_misses = 0; ///< demand ops that allocated
+    std::uint64_t writebacks = 0;    ///< dirty victims (all op kinds)
+};
+
+/** Aggregate outcome of a batched DMA range. */
+struct DmaCounts
+{
+    std::uint64_t hits = 0;       ///< lines present (update / read hit)
+    std::uint64_t misses = 0;     ///< lines absent
+    std::uint64_t writebacks = 0; ///< dirty victims evicted
 };
 
 /**
@@ -149,6 +192,46 @@ class SlicedLlc
     AccessResult deviceRead(Addr addr, DeviceId dev);
     /// @}
 
+    /// @name Batched access paths
+    /// @{
+
+    /**
+     * Apply @p n core-side ops as if coreAccess()/writebackFromCore()
+     * had been called once per op, in array order; per-op outcomes
+     * are written back into the ops and totals accumulated into
+     * @p out (which is NOT reset: callers may accumulate).
+     *
+     * Internally the ops are hashed once, binned per slice (stable
+     * counting sort), and each slice's sets are walked once per
+     * batch. This is state-equivalent to scalar order because the
+     * model's state factors by slice: an op only reads and writes its
+     * own slice's sets and clock, so the per-slice subsequence --
+     * which binning preserves -- determines the slice outcome, and
+     * every cross-slice effect (RMID occupancy, writeback and PMU
+     * counters) is a commutative sum.
+     */
+    void accessBatch(CoreId core, CoreOp *ops, std::size_t n,
+                     BatchCounts &out);
+
+    /**
+     * Inbound DMA write of @p lines consecutive cache lines starting
+     * at @p addr; equivalent to one ddioWrite() per line in address
+     * order. With DDIO disabled, @p out.misses counts the lines that
+     * went straight to DRAM (all of them). Totals accumulate into
+     * @p out.
+     */
+    void ddioWriteRange(Addr addr, std::uint32_t lines, DeviceId dev,
+                        DmaCounts &out);
+
+    /**
+     * Outbound DMA read of @p lines consecutive cache lines;
+     * equivalent to one deviceRead() per line in address order.
+     * Totals accumulate into @p out.
+     */
+    void deviceReadRange(Addr addr, std::uint32_t lines, DeviceId dev,
+                         DmaCounts &out);
+    /// @}
+
     /// @name Introspection / monitoring
     /// @{
     bool isPresent(Addr addr) const;
@@ -170,18 +253,31 @@ class SlicedLlc
     /// @}
 
   private:
+    /**
+     * One cached line: tag, LRU stamp and owner interleaved so a hit
+     * touches a single host cache line instead of striding three
+     * parallel arrays (the tag probe and the LRU update are always
+     * paired).
+     */
     struct Line
     {
         LineAddr tag = 0;
         std::uint32_t ts = 0;
         RmidId owner = 0;
-        bool valid = false;
-        bool dirty = false;
+    };
+
+    /** Per-set control word: way bitmasks plus the MRU way hint. */
+    struct SetMeta
+    {
+        std::uint32_t valid = 0; ///< way bitmask
+        std::uint32_t dirty = 0; ///< way bitmask
+        std::uint8_t mru = 0;    ///< last-touched way
     };
 
     struct Slice
     {
-        std::vector<Line> lines; // sets_per_slice * num_ways
+        std::vector<Line> lines;   ///< way w of set s: s * ways + w
+        std::vector<SetMeta> meta; ///< per set
         std::uint32_t clock = 0;
         SliceCounters counters;
     };
@@ -189,22 +285,38 @@ class SlicedLlc
     /** Hash a line address to (slice, set). */
     void locate(LineAddr line, unsigned &slice, unsigned &set) const;
 
-    Line *findLine(unsigned slice, unsigned set, LineAddr line);
-    const Line *findLine(unsigned slice, unsigned set,
-                         LineAddr line) const;
+    /** Way holding @p line in (slice, set), or -1 when absent. */
+    int findWay(const Slice &sl, unsigned set, LineAddr line) const;
+
+    /**
+     * findWay() for the hot paths: checks the set's MRU way before
+     * scanning and keeps it current. Packets are touched several
+     * times back to back (DDIO write, core reads, device read), so
+     * the first compare usually wins. Pure fast path -- a stale MRU
+     * entry only costs the normal scan.
+     */
+    int findWayMru(Slice &sl, unsigned set, LineAddr line) const;
 
     /**
      * Choose the LRU victim among @p mask ways of the given set;
      * prefers invalid ways. Returns the way index.
      */
-    unsigned chooseVictim(Slice &sl, unsigned set, WayMask mask) const;
+    unsigned chooseVictim(const Slice &sl, unsigned set,
+                          WayMask mask) const;
 
     /** Allocate @p line in @p mask; updates occupancy; fills result. */
-    void allocate(unsigned slice, unsigned set, LineAddr line,
-                  WayMask mask, RmidId owner, bool dirty,
-                  AccessResult &result);
+    void allocate(Slice &sl, unsigned set, LineAddr line, WayMask mask,
+                  RmidId owner, bool dirty, AccessResult &result);
 
-    void touch(Slice &sl, Line &ln);
+    /** coreAccess/writebackFromCore body after (slice,set) lookup. */
+    void applyCoreOp(CoreId core, Slice &sl, unsigned set, CoreOp &op);
+
+    /** ddioWrite body after (slice,set) lookup. */
+    AccessResult applyDdioWrite(Slice &sl, unsigned set, LineAddr line,
+                                DeviceId dev);
+
+    /** Stable counting sort of scratch (slice,set) pairs by slice. */
+    void binBySlice(std::size_t n);
 
     CacheGeometry geom_;
     unsigned num_cores_;
@@ -221,6 +333,13 @@ class SlicedLlc
     std::vector<SliceCounters> device_counters_;
     std::vector<std::uint64_t> rmid_lines_;
     std::uint64_t total_writebacks_ = 0;
+
+    // Batch scratch, reused across calls to stay allocation-free on
+    // the hot path once warmed up.
+    std::vector<std::uint32_t> bin_slice_; ///< per-op slice id
+    std::vector<std::uint32_t> bin_set_;   ///< per-op set index
+    std::vector<std::uint32_t> bin_order_; ///< op indices, slice-grouped
+    std::vector<std::uint32_t> bin_count_; ///< per-slice counts/offsets
 };
 
 } // namespace iat::cache

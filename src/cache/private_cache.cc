@@ -5,6 +5,9 @@
 
 #include "cache/private_cache.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "util/logging.hh"
 
 namespace iat::cache {
@@ -27,8 +30,13 @@ PrivateCache::PrivateCache(const PrivateCacheGeometry &geom)
 {
     IAT_ASSERT(geom_.num_sets >= 1 && geom_.num_ways >= 1,
                "bad private cache geometry");
-    lines_.resize(static_cast<std::size_t>(geom_.num_sets) *
-                  geom_.num_ways);
+    IAT_ASSERT(geom_.num_ways <= 32, "way bitmasks are 32 bits wide");
+    const std::size_t lines =
+        static_cast<std::size_t>(geom_.num_sets) * geom_.num_ways;
+    ways_.assign(lines, {});
+    meta_.assign(geom_.num_sets, {});
+    full_mask_ = geom_.num_ways >= 32 ? ~0u
+                                      : (1u << geom_.num_ways) - 1u;
 }
 
 unsigned
@@ -45,40 +53,65 @@ PrivateCache::access(Addr addr, AccessType type)
 {
     const LineAddr line = addr / geom_.line_bytes;
     const unsigned set = setIndex(line);
-    Line *base = &lines_[static_cast<std::size_t>(set) * geom_.num_ways];
+    Way *ways = &ways_[static_cast<std::size_t>(set) * geom_.num_ways];
+    SetMeta &meta = meta_[set];
+    const std::uint32_t vmask = meta.valid;
 
     PrivateAccessResult result;
-    unsigned victim = 0;
-    std::uint32_t best_ts = UINT32_MAX;
-    for (unsigned w = 0; w < geom_.num_ways; ++w) {
-        Line &ln = base[w];
-        if (ln.valid && ln.tag == line) {
+    const unsigned mw = meta.mru;
+    if (((vmask >> mw) & 1u) != 0 && ways[mw].tag == line) {
+        result.hit = true;
+        ++hits_;
+        ways[mw].ts = ++clock_;
+        if (type == AccessType::Write)
+            meta.dirty |= 1u << mw;
+        return result;
+    }
+    for (std::uint32_t m = vmask; m != 0; m &= m - 1) {
+        const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+        if (ways[w].tag == line) {
             result.hit = true;
             ++hits_;
-            ln.ts = ++clock_;
+            ways[w].ts = ++clock_;
+            meta.mru = static_cast<std::uint8_t>(w);
             if (type == AccessType::Write)
-                ln.dirty = true;
+                meta.dirty |= 1u << w;
             return result;
-        }
-        if (!ln.valid) {
-            victim = w;
-            best_ts = 0;
-        } else if (ln.ts < best_ts) {
-            victim = w;
-            best_ts = ln.ts;
         }
     }
 
     ++misses_;
-    Line &ln = base[victim];
-    if (ln.valid && ln.dirty) {
-        result.has_writeback = true;
-        result.writeback_addr = ln.tag * geom_.line_bytes;
+    // Victim choice preserves the dense layout's combined scan: the
+    // *last* invalid way seen wins; with the set full, the first way
+    // holding the minimum timestamp (strict <) wins.
+    unsigned victim;
+    const std::uint32_t invalid = full_mask_ & ~vmask;
+    if (invalid != 0) {
+        victim = static_cast<unsigned>(std::bit_width(invalid)) - 1u;
+    } else {
+        victim = 0;
+        std::uint32_t best_ts = UINT32_MAX;
+        for (unsigned w = 0; w < geom_.num_ways; ++w) {
+            if (ways[w].ts < best_ts) {
+                best_ts = ways[w].ts;
+                victim = w;
+            }
+        }
     }
-    ln.tag = line;
-    ln.valid = true;
-    ln.dirty = (type == AccessType::Write);
-    ln.ts = ++clock_;
+
+    const std::uint32_t bit = 1u << victim;
+    if ((vmask & bit) && (meta.dirty & bit)) {
+        result.has_writeback = true;
+        result.writeback_addr = ways[victim].tag * geom_.line_bytes;
+    }
+    ways[victim].tag = line;
+    meta.valid |= bit;
+    if (type == AccessType::Write)
+        meta.dirty |= bit;
+    else
+        meta.dirty &= ~bit;
+    ways[victim].ts = ++clock_;
+    meta.mru = static_cast<std::uint8_t>(victim);
     return result;
 }
 
@@ -87,10 +120,11 @@ PrivateCache::isPresent(Addr addr) const
 {
     const LineAddr line = addr / geom_.line_bytes;
     const unsigned set = setIndex(line);
-    const Line *base =
-        &lines_[static_cast<std::size_t>(set) * geom_.num_ways];
-    for (unsigned w = 0; w < geom_.num_ways; ++w) {
-        if (base[w].valid && base[w].tag == line)
+    const Way *ways =
+        &ways_[static_cast<std::size_t>(set) * geom_.num_ways];
+    for (std::uint32_t m = meta_[set].valid; m != 0; m &= m - 1) {
+        const unsigned w = static_cast<unsigned>(std::countr_zero(m));
+        if (ways[w].tag == line)
             return true;
     }
     return false;
@@ -99,9 +133,9 @@ PrivateCache::isPresent(Addr addr) const
 void
 PrivateCache::invalidateAll()
 {
-    for (auto &ln : lines_) {
-        ln.valid = false;
-        ln.dirty = false;
+    for (auto &m : meta_) {
+        m.valid = 0;
+        m.dirty = 0;
     }
     clock_ = 0;
 }

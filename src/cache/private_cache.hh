@@ -57,18 +57,35 @@ class PrivateCache
     std::uint64_t misses() const { return misses_; }
 
   private:
-    struct Line
+    unsigned setIndex(LineAddr line) const;
+
+    /** One cached line: tag and LRU stamp interleaved so the hit
+     *  path -- the simulator's single hottest loop -- touches one
+     *  host cache line for both the tag probe and the LRU update. */
+    struct Way
     {
         LineAddr tag = 0;
         std::uint32_t ts = 0;
-        bool valid = false;
-        bool dirty = false;
     };
 
-    unsigned setIndex(LineAddr line) const;
+    /**
+     * Per-set control word: valid/dirty way bitmasks plus the
+     * most-recently-used way. Packet handlers touch the same line
+     * many times per packet, so checking the MRU way first
+     * short-circuits the tag scan for the common case. Pure fast
+     * path: a stale or wrong entry only costs the normal scan.
+     */
+    struct SetMeta
+    {
+        std::uint32_t valid = 0;
+        std::uint32_t dirty = 0;
+        std::uint8_t mru = 0;
+    };
 
     PrivateCacheGeometry geom_;
-    std::vector<Line> lines_;
+    std::vector<Way> ways_; ///< way w of set s: s * num_ways + w
+    std::vector<SetMeta> meta_; ///< per set
+    std::uint32_t full_mask_ = 0;
     std::uint32_t clock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

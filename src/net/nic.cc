@@ -73,6 +73,49 @@ NicQueue::deliverOne(double now)
     rx_stats_.rx_bytes += bytes;
 }
 
+double
+NicQueue::deliverUntil(double inactive_limit, double ring_limit,
+                       double pool_limit)
+{
+    double t = next_arrival_;
+    // Each branch consumes arrivals with the exact per-arrival
+    // arithmetic of deliverOne(): t += nextGap() reproduces the
+    // next_arrival_ = now + gap chain bit for bit, and the drop paths
+    // draw no flow id, just like the scalar path. Each regime check
+    // hoists out of its loop because nothing that could end the
+    // regime runs before the matching limit by the caller's
+    // contract: setActive only fires between quanta, a full Rx ring
+    // only drains when its consumer stage pops, and an empty pool
+    // only refills when some stage retires one of its buffers.
+    if (!active_) {
+        if (t >= inactive_limit)
+            return t;
+        do
+            t += traffic_.nextGap();
+        while (t < inactive_limit);
+    } else if (rx_ring_.size() >= rx_ring_.capacity()) {
+        if (t >= ring_limit)
+            return t;
+        std::uint64_t drops = 0;
+        do {
+            t += traffic_.nextGap();
+            ++drops;
+        } while (t < ring_limit);
+        rx_stats_.drops_ring_full += drops;
+    } else if (pool_.freeCount() == 0) {
+        if (t >= pool_limit)
+            return t;
+        std::uint64_t drops = 0;
+        do {
+            t += traffic_.nextGap();
+            ++drops;
+        } while (t < pool_limit);
+        rx_stats_.drops_no_buffer += drops;
+    }
+    next_arrival_ = t;
+    return t;
+}
+
 void
 NicQueue::transmit(Packet &pkt, double now)
 {

@@ -76,6 +76,23 @@ class NicQueue
     /** Deliver the frame due at @p now; schedules the next one. */
     void deliverOne(double now);
 
+    /**
+     * Fast-forward through the run of *inert* arrivals: arrivals an
+     * inactive generator swallows, or frames the MAC is guaranteed
+     * to drop (ring full, pool empty). Such arrivals touch nothing
+     * but this queue's drop counters and the generator's gap
+     * sequence, so the whole run can be absorbed in one call -- up
+     * to the earliest event that could end the regime, which the
+     * caller passes per regime: @p inactive_limit (nothing inside a
+     * quantum reactivates a generator), @p ring_limit (the claim of
+     * the stage consuming this queue's Rx ring), @p pool_limit (the
+     * earliest claim of any stage, since any of them may retire one
+     * of this pool's buffers). If the next arrival would actually
+     * deliver a frame, does nothing. Returns the new nextArrival().
+     */
+    double deliverUntil(double inactive_limit, double ring_limit,
+                        double pool_limit);
+
     /** Pause/resume the generator (workload phases). */
     void setActive(bool active) { active_ = active; }
     bool active() const { return active_; }

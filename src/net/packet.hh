@@ -19,7 +19,6 @@
 #define IATSIM_NET_PACKET_HH
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -65,18 +64,25 @@ class BufferPool
               static_cast<std::uint64_t>(count) * buf_bytes, name))
     {
         IAT_ASSERT(count > 0 && buf_bytes > 0, "degenerate pool");
+        // FIFO free list as a fixed circular buffer: it can never
+        // hold more than count entries, and acquire/release run once
+        // per simulated packet.
+        free_.resize(count);
         for (std::uint32_t i = 0; i < count; ++i)
-            free_.push_back(i);
+            free_[i] = i;
+        free_count_ = count;
     }
 
     /** Take a buffer; false when the pool is exhausted. */
     bool
     acquire(std::uint32_t &buf)
     {
-        if (free_.empty())
+        if (free_count_ == 0)
             return false;
-        buf = free_.front();
-        free_.pop_front();
+        buf = free_[free_head_];
+        if (++free_head_ == count_)
+            free_head_ = 0;
+        --free_count_;
         return true;
     }
 
@@ -85,7 +91,12 @@ class BufferPool
     release(std::uint32_t buf)
     {
         IAT_ASSERT(buf < count_, "foreign buffer released");
-        free_.push_back(buf);
+        IAT_ASSERT(free_count_ < count_, "double release");
+        std::uint32_t slot = free_head_ + free_count_;
+        if (slot >= count_)
+            slot -= count_;
+        free_[slot] = buf;
+        ++free_count_;
     }
 
     cache::Addr
@@ -97,17 +108,16 @@ class BufferPool
     }
 
     std::uint32_t capacity() const { return count_; }
-    std::uint32_t freeCount() const
-    {
-        return static_cast<std::uint32_t>(free_.size());
-    }
+    std::uint32_t freeCount() const { return free_count_; }
     std::uint32_t bufBytes() const { return buf_bytes_; }
 
   private:
     std::uint32_t buf_bytes_;
     std::uint32_t count_;
     sim::AddressSpace::Region region_;
-    std::deque<std::uint32_t> free_;
+    std::vector<std::uint32_t> free_;
+    std::uint32_t free_head_ = 0;
+    std::uint32_t free_count_ = 0;
 };
 
 } // namespace iat::net

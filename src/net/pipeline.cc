@@ -5,6 +5,7 @@
 
 #include "net/pipeline.hh"
 
+#include <algorithm>
 #include <limits>
 
 #include "obs/telemetry.hh"
@@ -13,7 +14,17 @@
 namespace iat::net {
 
 namespace {
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Min-heap order: earliest time first, lowest rank on ties. */
+inline bool
+heapBefore(const PacketPipeline::HeapEntry &a,
+           const PacketPipeline::HeapEntry &b)
+{
+    return a.t < b.t || (a.t == b.t && a.rank < b.rank);
+}
+
 } // namespace
 
 Stage::Stage(sim::Platform &platform, cache::CoreId core,
@@ -104,6 +115,7 @@ PacketPipeline::addSource(NicQueue *queue)
 {
     IAT_ASSERT(queue != nullptr, "null source");
     sources_.push_back(queue);
+    prepared_ = false;
 }
 
 Stage &
@@ -114,42 +126,230 @@ PacketPipeline::addStage(cache::CoreId core, PacketHandler &handler,
     stages_.push_back(std::make_unique<Stage>(
         platform_, core, handler, std::move(inputs), std::move(name),
         idle_ipc));
+    prepared_ = false;
     return *stages_.back();
+}
+
+void
+PacketPipeline::prepare()
+{
+    const auto nsrc = static_cast<std::uint32_t>(sources_.size());
+    const auto nstage = static_cast<std::uint32_t>(stages_.size());
+    next_.assign(nsrc + nstage, kInf);
+    heap_.clear();
+    heap_.reserve(next_.size() + 8);
+
+    // Wire the empty->non-empty notification of every stage input to
+    // the consuming stage's rank. The notification scheme relies on a
+    // ring having exactly one consumer.
+    std::vector<Ring *> seen;
+    for (std::uint32_t s = 0; s < nstage; ++s) {
+        for (Ring *ring : stages_[s]->inputs_) {
+            IAT_ASSERT(std::find(seen.begin(), seen.end(), ring) ==
+                           seen.end(),
+                       "ring '%s' feeds more than one stage",
+                       ring->name().c_str());
+            seen.push_back(ring);
+            ring->setListener(this, nsrc + s);
+        }
+    }
+    src_consumer_.assign(nsrc, UINT32_MAX);
+    for (std::uint32_t i = 0; i < nsrc; ++i) {
+        for (std::uint32_t s = 0; s < nstage; ++s) {
+            const auto &inputs = stages_[s]->inputs_;
+            if (std::find(inputs.begin(), inputs.end(),
+                          &sources_[i]->rxRing()) != inputs.end()) {
+                src_consumer_[i] = nsrc + s;
+                break;
+            }
+        }
+    }
+    prepared_ = true;
+}
+
+double
+PacketPipeline::computeNext(std::uint32_t rank) const
+{
+    const auto nsrc = static_cast<std::uint32_t>(sources_.size());
+    return rank < nsrc ? sources_[rank]->nextArrival()
+                       : stages_[rank - nsrc]->nextActionTime();
+}
+
+void
+PacketPipeline::act(std::uint32_t rank, double t)
+{
+    const auto nsrc = static_cast<std::uint32_t>(sources_.size());
+    if (rank < nsrc)
+        sources_[rank]->deliverOne(t);
+    else
+        stages_[rank - nsrc]->serviceOne(t);
+}
+
+void
+PacketPipeline::siftUp(std::size_t i)
+{
+    const HeapEntry e = heap_[i];
+    while (i > 0) {
+        const std::size_t p = (i - 1) / 2;
+        if (!heapBefore(e, heap_[p]))
+            break;
+        heap_[i] = heap_[p];
+        i = p;
+    }
+    heap_[i] = e;
+}
+
+void
+PacketPipeline::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    const HeapEntry e = heap_[i];
+    for (;;) {
+        std::size_t c = 2 * i + 1;
+        if (c >= n)
+            break;
+        if (c + 1 < n && heapBefore(heap_[c + 1], heap_[c]))
+            ++c;
+        if (!heapBefore(heap_[c], e))
+            break;
+        heap_[i] = heap_[c];
+        i = c;
+    }
+    heap_[i] = e;
+}
+
+void
+PacketPipeline::heapPush(HeapEntry e)
+{
+    heap_.push_back(e);
+    siftUp(heap_.size() - 1);
+}
+
+void
+PacketPipeline::heapPopTop()
+{
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+}
+
+void
+PacketPipeline::heapReplaceTop(double t)
+{
+    heap_[0].t = t;
+    siftDown(0);
+}
+
+void
+PacketPipeline::ringBecameReady(std::uint32_t stage_rank, double ready)
+{
+    (void)ready;
+    if (!prepared_ || stage_rank >= next_.size())
+        return;
+    // A push can only move the consumer *earlier* (or leave it
+    // unchanged, when the stage is busy past the new head or already
+    // has an earlier claim). Strictly-earlier is the only case that
+    // needs a fresh heap entry; on equality the existing claim -- or
+    // the in-progress batch for this rank -- already covers it, and
+    // pushing a duplicate would double-fire the event.
+    const double tn = computeNext(stage_rank);
+    if (tn < next_[stage_rank]) {
+        next_[stage_rank] = tn;
+        if (tn < t_end_)
+            heapPush({tn, stage_rank});
+    }
 }
 
 void
 PacketPipeline::runQuantum(double t_start, double dt)
 {
-    const double t_end = t_start + dt;
-    for (;;) {
-        // Find the earliest actionable event across sources/stages.
-        double best_t = t_end;
-        NicQueue *src = nullptr;
-        Stage *stage = nullptr;
-        for (auto *queue : sources_) {
-            if (queue->nextArrival() < best_t) {
-                best_t = queue->nextArrival();
-                src = queue;
-                stage = nullptr;
-            }
-        }
-        for (auto &st : stages_) {
-            const double t = st->nextActionTime();
-            if (t < best_t) {
-                best_t = t;
-                stage = st.get();
-                src = nullptr;
-            }
-        }
-        if (src == nullptr && stage == nullptr)
-            break;
-        if (src != nullptr)
-            src->deliverOne(best_t);
-        else
-            stage->serviceOne(best_t);
+    if (!prepared_)
+        prepare();
+    t_end_ = t_start + dt;
+
+    // Rebuild the index every quantum. Engine hooks run between
+    // quanta and may mutate anything (rates, ring capacities, CLOS
+    // masks); recomputing all O(actors) claims here absorbs that
+    // without invalidation plumbing, and is noise against the
+    // thousands of events a quantum typically carries.
+    heap_.clear();
+    const auto n = static_cast<std::uint32_t>(next_.size());
+    for (std::uint32_t r = 0; r < n; ++r) {
+        const double t = computeNext(r);
+        next_[r] = t;
+        if (t < t_end_)
+            heap_.push_back({t, r});
     }
+    if (heap_.size() > 1) {
+        for (std::size_t i = heap_.size() / 2; i-- > 0;)
+            siftDown(i);
+    }
+
+    // Act directly at the root and re-seat the actor's claim with a
+    // single sift-down (replace-top), instead of a pop/push pair per
+    // event. When the actor stays the minimum -- a NIC burst, a stage
+    // draining backlog -- the sift-down is one failed compare and the
+    // loop degenerates into run-while-min with no heap motion.
+    //
+    // Acting at the root is safe against concurrent heapPush from
+    // ringBecameReady: every entry pushed during act(t) carries a
+    // time >= t (ring pushes are timestamped at or after now), and on
+    // a time tie a stage rank, which is larger than any source rank
+    // acting at the root -- so a pushed entry can never sift above
+    // the root entry we are working on.
+    const auto nsrc = static_cast<std::uint32_t>(sources_.size());
+    while (!heap_.empty()) {
+        const HeapEntry top = heap_[0];
+        if (top.t != next_[top.rank]) {
+            heapPopTop(); // stale claim, superseded by a later update
+            continue;
+        }
+        if (top.rank < nsrc) {
+            // Batched extraction: absorb the source's run of inert
+            // arrivals (inactive generator, guaranteed MAC drops) in
+            // one call. Inert arrivals of *different* sources touch
+            // disjoint state, so their interleaving is free to
+            // reorder; only stage events can end a source's regime,
+            // and each regime has its own horizon: nothing inside a
+            // quantum reactivates a paused generator, only the stage
+            // consuming this source's ring can free a descriptor,
+            // and any stage may retire one of its pool's buffers.
+            // next_[] is exact for stages between their own events,
+            // since a push to a non-empty ring cannot move
+            // headReady() earlier.
+            double pool_limit = t_end_;
+            for (std::uint32_t r = nsrc; r < n; ++r)
+                pool_limit = std::min(pool_limit, next_[r]);
+            const std::uint32_t consumer = src_consumer_[top.rank];
+            const double ring_limit =
+                consumer == UINT32_MAX
+                    ? t_end_
+                    : std::min(t_end_, next_[consumer]);
+            const double tn = sources_[top.rank]->deliverUntil(
+                t_end_, ring_limit, pool_limit);
+            if (tn != top.t) {
+                next_[top.rank] = tn;
+                if (tn < t_end_)
+                    heapReplaceTop(tn);
+                else
+                    heapPopTop();
+                continue;
+            }
+        }
+        act(top.rank, top.t);
+        IAT_ASSERT(heap_[0].rank == top.rank,
+                   "event displaced the heap root it ran from");
+        const double tn = computeNext(top.rank);
+        next_[top.rank] = tn;
+        if (tn < t_end_)
+            heapReplaceTop(tn);
+        else
+            heapPopTop();
+    }
+
     for (auto &st : stages_)
-        st->accountIdle(t_end);
+        st->accountIdle(t_end_);
     if (telemetry_attached_)
         syncTelemetry();
 }

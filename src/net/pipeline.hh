@@ -16,6 +16,22 @@
  * and is busy until now + cycles/f. While idle it retires poll-loop
  * instructions at idle_ipc, which is what keeps measured IPC honest
  * for under-loaded cores.
+ *
+ * Event extraction is indexed, not scanned: every actor (source or
+ * stage) has a cached next-action time in a binary min-heap keyed by
+ * (time, registration rank), with lazy invalidation -- stale entries
+ * are discarded at pop when they disagree with the cached value.
+ * Rings notify the pipeline when a push lands on an empty ring (the
+ * only event that can move a consumer's action time *earlier*), and
+ * an actor that remains the minimum after acting keeps running in a
+ * tight loop with no heap traffic at all -- the common case both for
+ * a line-rate NIC delivering (or dropping) a burst of arrivals and
+ * for a stage draining its backlog.
+ *
+ * Determinism and tie-breaking are part of the pipeline's contract;
+ * see DESIGN.md "Event-loop ordering". At equal timestamps, sources
+ * act before stages and earlier-registered actors act before later
+ * ones -- the same order the previous linear scan produced.
  */
 
 #ifndef IATSIM_NET_PIPELINE_HH
@@ -103,8 +119,9 @@ class Stage
     double busy_seconds_ = 0.0;
 };
 
-/** Micro-event co-simulator over sources and stages. */
-class PacketPipeline : public sim::Runnable
+/** Micro-event co-simulator over sources and stages; see file
+ *  comment for the indexed event-extraction scheme. */
+class PacketPipeline : public sim::Runnable, public RingListener
 {
   public:
     explicit PacketPipeline(sim::Platform &platform)
@@ -115,12 +132,17 @@ class PacketPipeline : public sim::Runnable
     /** Attach an arrival source; not owned. */
     void addSource(NicQueue *queue);
 
-    /** Create and own a stage. */
+    /** Create and own a stage. Stage input rings become exclusive to
+     *  this pipeline (each ring feeds exactly one stage). */
     Stage &addStage(cache::CoreId core, PacketHandler &handler,
                     std::vector<Ring *> inputs, std::string name,
                     double idle_ipc = 2.0);
 
     void runQuantum(double t_start, double dt) override;
+
+    /** Ring push on an empty input ring: reschedule its consumer. */
+    void ringBecameReady(std::uint32_t stage_rank,
+                         double ready) override;
 
     /**
      * Export pipeline activity as registry counters, one set per
@@ -137,7 +159,31 @@ class PacketPipeline : public sim::Runnable
         return stages_;
     }
 
+    /** Heap entry: a claimed next-action time for one actor. Min
+     *  order by (time, rank); rank 0..S-1 are sources (registration
+     *  order), then stages, reproducing the scan-order tie-break. */
+    struct HeapEntry
+    {
+        double t;
+        std::uint32_t rank;
+    };
+
   private:
+    /** Wire ring listeners and size the per-actor index. */
+    void prepare();
+
+    /** Recompute the true next-action time of actor @p rank. */
+    double computeNext(std::uint32_t rank) const;
+
+    /** Run actor @p rank's single due event at time @p t. */
+    void act(std::uint32_t rank, double t);
+
+    void heapPush(HeapEntry e);
+    void heapPopTop();
+    void heapReplaceTop(double t);
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
     void syncTelemetry();
 
     /** Delta-sync of one internal count into a registry counter. */
@@ -150,6 +196,16 @@ class PacketPipeline : public sim::Runnable
     sim::Platform &platform_;
     std::vector<NicQueue *> sources_;
     std::vector<std::unique_ptr<Stage>> stages_;
+
+    // Event index: authoritative per-actor next-action times plus a
+    // lazily-invalidated min-heap of (time, rank) claims.
+    std::vector<double> next_;
+    std::vector<HeapEntry> heap_;
+    /// Per source: rank of the stage consuming its Rx ring (the only
+    /// actor that can end its ring-full drop regime), or UINT32_MAX.
+    std::vector<std::uint32_t> src_consumer_;
+    bool prepared_ = false;
+    double t_end_ = 0.0;
 
     bool telemetry_attached_ = false;
     std::vector<Export> stage_packets_;

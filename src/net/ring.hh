@@ -5,19 +5,40 @@
  * Rings model both NIC Rx/Tx queues and the virtio/vhost queues
  * between the virtual switch and its tenants. Capacity is mutable so
  * the ResQ baseline (paper SS III-A) can shrink Rx rings at set-up.
+ *
+ * Storage is a growable circular buffer rather than a deque: ring
+ * push/pop is the per-packet hot path of the pipeline's micro event
+ * loop, and a flat array keeps it allocation-free and cache-dense
+ * once warmed up.
+ *
+ * A ring can carry one listener (the PacketPipeline): it is notified
+ * when a push lands on an *empty* ring, i.e. exactly when the
+ * consumer's next-action time may move earlier. Pushes to a backlog
+ * never change the head and need no notification.
  */
 
 #ifndef IATSIM_NET_RING_HH
 #define IATSIM_NET_RING_HH
 
 #include <cstdint>
-#include <deque>
 #include <string>
+#include <vector>
 
 #include "net/packet.hh"
 #include "util/logging.hh"
 
 namespace iat::net {
+
+/** Gets told when an empty ring receives its first entry. */
+class RingListener
+{
+  public:
+    virtual ~RingListener() = default;
+
+    /** Ring tagged @p tag went empty -> non-empty; head ready at
+     *  @p ready. */
+    virtual void ringBecameReady(std::uint32_t tag, double ready) = 0;
+};
 
 /** A bounded FIFO of packet descriptors with arrival timestamps. */
 class Ring
@@ -28,40 +49,52 @@ class Ring
     {
         IAT_ASSERT(capacity >= 1, "ring '%s' needs capacity >= 1",
                    name_.c_str());
+        buf_.resize(std::min<std::uint32_t>(capacity_, 16));
     }
 
     /** Enqueue at @p now; false (and a drop count) when full. */
     bool
     push(const Packet &pkt, double now)
     {
-        if (entries_.size() >= capacity_) {
+        if (count_ >= capacity_) {
             ++drops_;
             return false;
         }
-        entries_.push_back(Entry{pkt, now});
+        if (count_ == buf_.size())
+            grow();
+        std::size_t slot = head_ + count_;
+        if (slot >= buf_.size())
+            slot -= buf_.size();
+        buf_[slot] = Entry{pkt, now};
+        ++count_;
         ++pushes_;
+        if (count_ == 1 && listener_ != nullptr)
+            listener_->ringBecameReady(listener_tag_, now);
         return true;
     }
 
-    bool empty() const { return entries_.empty(); }
-    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
     std::uint32_t capacity() const { return capacity_; }
 
     /** Time the head entry became available; empty() must be false. */
     double
     headReady() const
     {
-        IAT_ASSERT(!entries_.empty(), "headReady on empty ring");
-        return entries_.front().ready;
+        IAT_ASSERT(count_ > 0, "headReady on empty ring");
+        return buf_[head_].ready;
     }
 
     /** Dequeue the head; empty() must be false. */
     Packet
     pop()
     {
-        IAT_ASSERT(!entries_.empty(), "pop on empty ring");
-        Packet pkt = entries_.front().pkt;
-        entries_.pop_front();
+        IAT_ASSERT(count_ > 0, "pop on empty ring");
+        Packet pkt = buf_[head_].pkt;
+        ++head_;
+        if (head_ == buf_.size())
+            head_ = 0;
+        --count_;
         return pkt;
     }
 
@@ -70,6 +103,18 @@ class Ring
     {
         IAT_ASSERT(capacity >= 1, "ring capacity must be >= 1");
         capacity_ = capacity;
+    }
+
+    /**
+     * Attach the empty->non-empty listener (nullptr detaches). The
+     * pipeline uses this to reschedule the consuming stage; a ring
+     * feeds exactly one consumer, so one listener suffices.
+     */
+    void
+    setListener(RingListener *listener, std::uint32_t tag)
+    {
+        listener_ = listener;
+        listener_tag_ = tag;
     }
 
     std::uint64_t drops() const { return drops_; }
@@ -83,11 +128,32 @@ class Ring
         double ready;
     };
 
+    /** Double the circular store (bounded by capacity), linearized. */
+    void
+    grow()
+    {
+        std::vector<Entry> next(std::min<std::size_t>(
+            std::max<std::size_t>(buf_.size() * 2, 16), capacity_));
+        IAT_ASSERT(next.size() > count_, "ring grow underflow");
+        for (std::size_t i = 0; i < count_; ++i) {
+            std::size_t slot = head_ + i;
+            if (slot >= buf_.size())
+                slot -= buf_.size();
+            next[i] = buf_[slot];
+        }
+        buf_ = std::move(next);
+        head_ = 0;
+    }
+
     std::uint32_t capacity_;
     std::string name_;
-    std::deque<Entry> entries_;
+    std::vector<Entry> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
     std::uint64_t drops_ = 0;
     std::uint64_t pushes_ = 0;
+    RingListener *listener_ = nullptr;
+    std::uint32_t listener_tag_ = 0;
 };
 
 } // namespace iat::net

@@ -36,13 +36,37 @@ Engine::addPeriodic(double interval, std::function<void(double)> fn,
     IAT_ASSERT(interval > 0.0, "periodic hook needs interval > 0");
     const double first =
         platform_.now() + (phase >= 0.0 ? phase : interval);
-    hooks_.push(Hook{first, interval, hook_seq_++, std::move(fn)});
+    hooks_.push(
+        Hook{first, interval, first, 0, hook_seq_++, std::move(fn)});
 }
 
 void
 Engine::at(double when, std::function<void(double)> fn)
 {
-    hooks_.push(Hook{when, 0.0, hook_seq_++, std::move(fn)});
+    hooks_.push(Hook{when, 0.0, when, 0, hook_seq_++, std::move(fn)});
+}
+
+void
+Engine::fireDueHooks(double horizon)
+{
+    while (!hooks_.empty() && hooks_.top().next <= horizon) {
+        Hook hook = hooks_.top();
+        hooks_.pop();
+        // The hook observes its *scheduled* time: a sampler whose
+        // interval is not a quantum multiple must not record the
+        // quantum boundary it happens to fire in.
+        hook.fn(hook.next);
+        if (hooks_counter_)
+            hooks_counter_->inc();
+        if (hook.interval > 0.0) {
+            // Drift-free reschedule: absolute arithmetic from the
+            // first firing, not repeated accumulation.
+            ++hook.fires;
+            hook.next = hook.first +
+                        static_cast<double>(hook.fires) * hook.interval;
+            hooks_.push(std::move(hook));
+        }
+    }
 }
 
 void
@@ -55,23 +79,33 @@ Engine::run(double seconds)
     // costs or gains a whole quantum.
     while (platform_.now() < end - dt * 0.5) {
         const double t0 = platform_.now();
-        while (!hooks_.empty() && hooks_.top().next <= t0 + dt * 0.5) {
-            Hook hook = hooks_.top();
-            hooks_.pop();
-            hook.fn(t0);
-            if (hooks_counter_)
-                hooks_counter_->inc();
-            if (hook.interval > 0.0) {
-                hook.next += hook.interval;
-                hooks_.push(std::move(hook));
-            }
-        }
+        fireDueHooks(t0 + dt * 0.5);
         for (auto *r : runnables_)
             r->runQuantum(t0, dt);
         platform_.advanceQuantum(dt);
         if (quanta_counter_)
             quanta_counter_->inc();
     }
+    // The loop covers hooks due up to end - dt/2. One-shot hooks due
+    // in (end - dt/2, end] -- notably at(when == end) -- would
+    // otherwise be lost to callers that never run() again; drain them
+    // now. Periodic hooks due at the end edge keep belonging to the
+    // next run() (their next tick is the first event of that window).
+    const double edge = end + dt * 1e-6; // `when == end` up to fp noise
+    std::vector<Hook> periodic;
+    while (!hooks_.empty() && hooks_.top().next <= edge) {
+        Hook hook = hooks_.top();
+        hooks_.pop();
+        if (hook.interval > 0.0) {
+            periodic.push_back(std::move(hook));
+            continue;
+        }
+        hook.fn(hook.next);
+        if (hooks_counter_)
+            hooks_counter_->inc();
+    }
+    for (auto &hook : periodic)
+        hooks_.push(std::move(hook));
 }
 
 } // namespace iat::sim

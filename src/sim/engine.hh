@@ -57,7 +57,16 @@ class Engine
     /** Call @p fn once when simulated time reaches @p when. */
     void at(double when, std::function<void(double)> fn);
 
-    /** Run until platform time advances by @p seconds. */
+    /**
+     * Run until platform time advances by @p seconds.
+     *
+     * Hooks receive their *scheduled* time, not the quantum start
+     * they happen to fire in, so samplers with intervals that are
+     * not quantum multiples record unskewed timestamps. One-shot
+     * hooks due at or before the end of the run (including exactly
+     * at the end) fire before run() returns; a periodic hook due
+     * exactly at the end fires at the start of the next run().
+     */
     void run(double seconds);
 
     /**
@@ -70,10 +79,18 @@ class Engine
     Platform &platform() { return platform_; }
 
   private:
+    /** Fire every queued hook scheduled at or before @p horizon. */
+    void fireDueHooks(double horizon);
+
     struct Hook
     {
         double next;
         double interval; // <= 0 for one-shot
+        /** First scheduled time; periodic reschedules compute
+         *  next = first + fires * interval so floating-point error
+         *  does not accumulate across thousands of periods. */
+        double first;
+        std::uint64_t fires;
         std::uint64_t seq;
         std::function<void(double)> fn;
 

@@ -31,6 +31,14 @@ namespace iat::sim {
 class Platform : public rdt::CoreTelemetrySource
 {
   public:
+    /** One independent memory span for coreTouchBulk(). */
+    struct TouchSpan
+    {
+        cache::Addr addr = 0;
+        std::uint64_t bytes = 0;
+        cache::AccessType type = cache::AccessType::Read;
+    };
+
     explicit Platform(const PlatformConfig &cfg = {});
 
     const PlatformConfig &config() const { return cfg_; }
@@ -55,9 +63,23 @@ class Platform : public rdt::CoreTelemetrySource
     /**
      * Touch @p bytes starting at @p addr line by line, overlapping
      * misses with the configured bulk MLP; returns total cycles.
+     *
+     * The L2 filter runs per line, but the L2 misses are issued to
+     * the LLC as one SlicedLlc::accessBatch() call (writeback before
+     * demand per line, in line order), so the whole span costs one
+     * slice-binned walk instead of a lookup per miss.
      */
     double coreTouch(cache::CoreId core, cache::Addr addr,
                      std::uint64_t bytes, cache::AccessType type);
+
+    /**
+     * Touch @p n independent spans through a single batched LLC walk;
+     * writes each span's cycles (MLP-scaled exactly like coreTouch)
+     * into @p out_cycles. Equivalent to n coreTouch() calls in order,
+     * but with all spans' LLC traffic in one accessBatch().
+     */
+    void coreTouchBulk(cache::CoreId core, const TouchSpan *spans,
+                       std::size_t n, double *out_cycles);
 
     /** Account @p n retired instructions on @p core. */
     void
@@ -125,6 +147,12 @@ class Platform : public rdt::CoreTelemetrySource
     std::vector<std::uint64_t> mbm_bytes_;
 
     double now_ = 0.0;
+
+    // Scratch for the batched core path, reused to stay
+    // allocation-free per touch once warmed up.
+    std::vector<cache::CoreOp> touch_ops_;
+    std::vector<std::int32_t> touch_slots_; ///< per line: -1 L2 hit,
+                                            ///< else demand-op index
 
     std::unique_ptr<rdt::MsrBus> msr_bus_;
     std::unique_ptr<rdt::PqosSystem> pqos_;

@@ -85,6 +85,7 @@ LatencyHistogram::addN(double value, std::uint64_t n)
     if (n == 0)
         return;
     buckets_[bucketFor(value)] += n;
+    min_ = count_ == 0 ? value : std::min(min_, value);
     count_ += n;
     sum_ += value * static_cast<double>(n);
     max_ = std::max(max_, value);
@@ -96,6 +97,7 @@ LatencyHistogram::reset()
     std::fill(buckets_.begin(), buckets_.end(), 0);
     count_ = 0;
     sum_ = 0.0;
+    min_ = 0.0;
     max_ = 0.0;
 }
 
@@ -105,12 +107,23 @@ LatencyHistogram::percentile(double q) const
     if (count_ == 0)
         return 0.0;
     q = std::clamp(q, 0.0, 1.0);
-    const double target = q * static_cast<double>(count_);
+    // The extremes are tracked exactly; return them rather than a
+    // bucket midpoint (which could even lie outside the sample range).
+    if (q <= 0.0)
+        return min_;
+    if (q >= 1.0)
+        return max_;
+    // Rank of the q-quantile, 1-based: the ceil(q * count)-th
+    // smallest sample. Walking cumulative counts lands exactly on the
+    // bucket containing that rank -- the crossing bucket is non-empty
+    // by construction, so no skipping past empty buckets.
+    const auto rank = static_cast<std::uint64_t>(std::ceil(
+        q * static_cast<double>(count_)));
     std::uint64_t seen = 0;
     for (int b = 0; b < numBuckets; ++b) {
         seen += buckets_[b];
-        if (static_cast<double>(seen) >= target && buckets_[b] > 0)
-            return bucketMidpoint(b);
+        if (seen >= rank)
+            return std::clamp(bucketMidpoint(b), min_, max_);
     }
     return max_;
 }
@@ -120,6 +133,8 @@ LatencyHistogram::merge(const LatencyHistogram &other)
 {
     for (int b = 0; b < numBuckets; ++b)
         buckets_[b] += other.buckets_[b];
+    if (other.count_ > 0)
+        min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
     count_ += other.count_;
     sum_ += other.sum_;
     max_ = std::max(max_, other.max_);

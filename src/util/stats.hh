@@ -54,9 +54,18 @@ class LatencyHistogram
 
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return min_; }
     double max() const { return max_; }
 
-    /** Value at quantile q in [0, 1]; 0 if empty. */
+    /**
+     * Value at quantile q in [0, 1]; 0 if empty.
+     *
+     * Pinned semantics: q = 0 returns the exact tracked minimum and
+     * q = 1 the exact tracked maximum; for q in between, the result
+     * is the midpoint of the bucket holding the ceil(q * count)-th
+     * smallest sample, clamped into [min, max] so bucket-midpoint
+     * rounding can never report a value outside the observed range.
+     */
     double percentile(double q) const;
 
     /** Merge another histogram into this one. */
@@ -73,6 +82,7 @@ class LatencyHistogram
     std::vector<std::uint64_t> buckets_;
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
+    double min_ = 0.0;
     double max_ = 0.0;
 };
 

@@ -36,17 +36,19 @@ StreamWorkload::step(double /*now*/)
     index_ = (index_ + 1) % lines_per_array_;
 
     // a[i] = b[i] + s * c[i]: two streaming reads, one streaming
-    // write, fully overlappable (bulk MLP).
+    // write, fully overlappable (bulk MLP). One batched LLC walk
+    // covers all three operands.
+    const sim::Platform::TouchSpan spans[3] = {
+        {b_.lineAddr(line), cacheLineBytes, cache::AccessType::Read},
+        {c_.lineAddr(line), cacheLineBytes, cache::AccessType::Read},
+        {a_.lineAddr(line), cacheLineBytes, cache::AccessType::Write},
+    };
+    double lat[3];
+    platform().coreTouchBulk(core(), spans, 3, lat);
     double cycles = kComputeCycles;
-    cycles += platform().coreTouch(core(), b_.lineAddr(line),
-                                   cacheLineBytes,
-                                   cache::AccessType::Read);
-    cycles += platform().coreTouch(core(), c_.lineAddr(line),
-                                   cacheLineBytes,
-                                   cache::AccessType::Read);
-    cycles += platform().coreTouch(core(), a_.lineAddr(line),
-                                   cacheLineBytes,
-                                   cache::AccessType::Write);
+    cycles += lat[0];
+    cycles += lat[1];
+    cycles += lat[2];
     platform().retire(core(), kInstructionsPerOp);
     recordLatency(cycles / platform().config().core_hz);
     return cycles;

@@ -146,6 +146,100 @@ TEST(Engine, SecondRunContinuesClock)
     EXPECT_NEAR(platform.now(), 0.02, 1e-9);
 }
 
+TEST(Engine, HookObservesScheduledTimeNotQuantumStart)
+{
+    // Regression: run() used to pass the quantum start t0 to due
+    // hooks, so a sampler with an off-quantum schedule recorded the
+    // boundary it fired in rather than its own tick time.
+    Platform platform(smallConfig());
+    Engine engine(platform);
+    std::vector<double> times;
+    engine.at(3.4e-3, [&](double t) { times.push_back(t); });
+    engine.addPeriodic(2.5e-3, [&](double t) { times.push_back(t); });
+    engine.run(0.01);
+    ASSERT_EQ(times.size(), 4u);
+    EXPECT_DOUBLE_EQ(times[0], 2.5e-3);
+    EXPECT_DOUBLE_EQ(times[1], 3.4e-3);
+    EXPECT_DOUBLE_EQ(times[2], 5.0e-3);
+    EXPECT_DOUBLE_EQ(times[3], 7.5e-3);
+}
+
+TEST(Engine, OneShotAtRunEndFires)
+{
+    // Regression: the quantum loop only covers hooks due up to
+    // end - dt/2, so a one-shot scheduled exactly at the end of the
+    // run -- the natural way to sample final state -- never fired
+    // unless the caller ran the engine again.
+    Platform platform(smallConfig());
+    Engine engine(platform);
+    std::vector<double> times;
+    engine.at(0.01, [&](double t) { times.push_back(t); });
+    engine.run(0.01);
+    ASSERT_EQ(times.size(), 1u);
+    EXPECT_DOUBLE_EQ(times[0], 0.01);
+    // It is one-shot: a later run must not replay it.
+    engine.run(0.01);
+    EXPECT_EQ(times.size(), 1u);
+}
+
+TEST(Engine, OneShotJustInsideLastQuantumFires)
+{
+    Platform platform(smallConfig());
+    Engine engine(platform);
+    int fired = 0;
+    engine.at(9.8e-3, [&](double) { ++fired; });
+    engine.run(0.01);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, OneShotPastRunEndWaits)
+{
+    Platform platform(smallConfig());
+    Engine engine(platform);
+    int fired = 0;
+    engine.at(0.0105, [&](double) { ++fired; });
+    engine.run(0.01);
+    EXPECT_EQ(fired, 0);
+    engine.run(0.01);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, PeriodicAtRunEndBelongsToNextRun)
+{
+    Platform platform(smallConfig());
+    Engine engine(platform);
+    std::vector<double> times;
+    engine.addPeriodic(5e-3, [&](double t) { times.push_back(t); });
+    engine.run(0.01);
+    // 10 ms tick is the first event of the next window, not a bonus
+    // firing of this one.
+    ASSERT_EQ(times.size(), 1u);
+    EXPECT_DOUBLE_EQ(times[0], 5e-3);
+    engine.run(0.01);
+    ASSERT_EQ(times.size(), 3u);
+    EXPECT_DOUBLE_EQ(times[1], 10e-3);
+    EXPECT_DOUBLE_EQ(times[2], 15e-3);
+}
+
+TEST(Engine, PeriodicHookDoesNotDrift)
+{
+    // Reschedule is absolute (first + n * interval), so an interval
+    // with no exact binary representation must not accumulate error
+    // across hundreds of fires.
+    Platform platform(smallConfig());
+    Engine engine(platform);
+    const double interval = 1e-3 / 3.0;
+    std::vector<double> times;
+    engine.addPeriodic(interval, [&](double t) { times.push_back(t); });
+    engine.run(0.2);
+    ASSERT_GE(times.size(), 500u);
+    for (std::size_t i = 0; i < times.size(); ++i)
+        EXPECT_NEAR(times[i],
+                    times[0] + static_cast<double>(i) * interval,
+                    1e-12)
+            << "fire " << i;
+}
+
 TEST(EngineDeath, RejectsNullRunnable)
 {
     Platform platform(smallConfig());

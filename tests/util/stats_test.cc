@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "util/rng.hh"
 
@@ -136,6 +138,77 @@ TEST(LatencyHistogram, ResetClears)
     EXPECT_EQ(h.count(), 0u);
     EXPECT_EQ(h.percentile(0.5), 0.0);
     EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(LatencyHistogram, ExtremeQuantilesArePinnedExactly)
+{
+    // Regression: q=0 / q=1 used to return bucket midpoints, which
+    // can lie outside the sample range. The extremes are tracked
+    // exactly, so the answers must be bit-exact, not approximate.
+    LatencyHistogram h;
+    for (double v : {3.7e-6, 9.1e-3, 2.44, 817.0})
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.7e-6);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 817.0);
+    // Out-of-range q clamps to the same exact extremes.
+    EXPECT_DOUBLE_EQ(h.percentile(-0.5), 3.7e-6);
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), 817.0);
+}
+
+TEST(LatencyHistogram, InteriorQuantilesClampToSampleRange)
+{
+    // A single sample occupies one bucket whose midpoint differs from
+    // the sample; every quantile of a one-point distribution is that
+    // point, so the midpoint must clamp to the tracked min/max.
+    LatencyHistogram h;
+    h.add(5.0);
+    for (double q : {0.001, 0.25, 0.5, 0.75, 0.999})
+        EXPECT_DOUBLE_EQ(h.percentile(q), 5.0) << "q " << q;
+}
+
+TEST(LatencyHistogram, MatchesSortedOracleOnRandomSamples)
+{
+    // Oracle: the q-quantile is the ceil(q*n)-th smallest sample.
+    // The histogram must agree within one sub-bucket of relative
+    // error (sub-buckets split each octave 64 ways => < 1.6%).
+    Rng rng(97);
+    LatencyHistogram h;
+    std::vector<double> samples;
+    for (int i = 0; i < 5000; ++i) {
+        const double v = std::exp(rng.uniform() * 18.0 - 9.0);
+        samples.push_back(v);
+        h.add(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+        const auto rank = static_cast<std::size_t>(std::ceil(
+            q * static_cast<double>(samples.size())));
+        const double oracle = samples[rank - 1];
+        EXPECT_NEAR(h.percentile(q), oracle, oracle * 0.022)
+            << "q " << q;
+    }
+}
+
+TEST(LatencyHistogram, EmptyBucketsBetweenModesDoNotShiftQuantiles)
+{
+    // Regression: the cumulative walk used to be able to land on an
+    // empty bucket between widely separated modes and report its
+    // midpoint -- a latency no sample ever had. With 60 counts at
+    // ~1ms and 40 at ~1s, every quantile must sit at one of the two
+    // modes, never in the empty decades between.
+    LatencyHistogram h;
+    h.addN(1e-3, 60);
+    h.addN(1.0, 40);
+    for (int p = 1; p <= 99; ++p) {
+        const double v = h.percentile(p / 100.0);
+        const bool near_low = v > 0.9e-3 && v < 1.1e-3;
+        const bool near_high = v > 0.9 && v < 1.1;
+        EXPECT_TRUE(near_low || near_high) << "p" << p << " = " << v;
+        if (p <= 60)
+            EXPECT_TRUE(near_low) << "p" << p << " = " << v;
+        else
+            EXPECT_TRUE(near_high) << "p" << p << " = " << v;
+    }
 }
 
 TEST(Ewma, FirstSampleSeeds)
