@@ -38,6 +38,11 @@ enum class Policy
     IatNoDdioTuning, ///< IAT with footnote-3 ablation (Fig 10)
 };
 
+/**
+ * Machine label, unique per enumerator. The ablated daemon prints as
+ * "IAT-noddio" so CSV/JSONL rows from ablation runs can never be
+ * mistaken for full-IAT rows (they used to collide on "IAT").
+ */
 inline const char *
 toString(Policy policy)
 {
@@ -46,9 +51,40 @@ toString(Policy policy)
       case Policy::CoreOnly: return "core-only";
       case Policy::IoIso: return "io-iso";
       case Policy::Iat: return "IAT";
-      case Policy::IatNoDdioTuning: return "IAT";
+      case Policy::IatNoDdioTuning: return "IAT-noddio";
     }
     return "?";
+}
+
+/**
+ * Paper-facing label: Fig 10 presents the footnote-3 ablated daemon
+ * simply as "IAT", so figure tables use this; machine-readable
+ * output (CSV/JSONL) uses toString().
+ */
+inline const char *
+figureLabel(Policy policy)
+{
+    return policy == Policy::IatNoDdioTuning ? "IAT"
+                                             : toString(policy);
+}
+
+/** Parse a machine label back into a Policy; false when unknown. */
+inline bool
+parsePolicy(const std::string &name, Policy &out)
+{
+    if (name == "baseline")
+        out = Policy::Baseline;
+    else if (name == "core-only")
+        out = Policy::CoreOnly;
+    else if (name == "io-iso")
+        out = Policy::IoIso;
+    else if (name == "IAT" || name == "iat")
+        out = Policy::Iat;
+    else if (name == "IAT-noddio" || name == "iat-noddio")
+        out = Policy::IatNoDdioTuning;
+    else
+        return false;
+    return true;
 }
 
 /** Keeps whichever policy object a run instantiated alive. */
@@ -115,6 +151,10 @@ finishBench(TablePrinter &table, const CliArgs &args)
         else
             std::printf("warning: could not write %s\n", csv.c_str());
     }
+    // By now the bench has looked up every flag it understands, so
+    // anything left is a typo the parser would otherwise swallow.
+    args.declareKnown({"quick", "seed"});
+    args.warnUnknown();
 }
 
 /** Scale factor for --quick smoke runs. */

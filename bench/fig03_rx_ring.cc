@@ -8,48 +8,16 @@
  * bursty arrivals (1024 -> 512 costs ~13%, 64 entries < 10% of the
  * full-ring rate); at 1.5KB the line rate is comfortably below core
  * capacity, so throughput stays flat until very small rings.
+ *
+ * Thin wrapper: the sweep body lives in bench/sweeps.cc
+ * (fig03ZeroLossRate) so iatexp can run the same trials in parallel
+ * from experiments/fig03_rx_ring.exp; this binary keeps the
+ * paper-shaped table (including the vs-ring-1024 anchor column).
  */
 
 #include <cstdio>
 
-#include "bench/common.hh"
-#include "scenarios/l3fwd.hh"
-
-namespace {
-
-using namespace iat;
-
-double
-zeroLossRate(std::uint32_t frame_bytes, std::uint32_t ring_entries,
-             double window_scale, std::uint64_t seed)
-{
-    net::Rfc2544Config search;
-    search.min_rate_pps = 5e4;
-    search.max_rate_pps = net::lineRatePps40G(frame_bytes);
-    search.resolution = 0.03;
-
-    const auto trial = [&](double rate) {
-        sim::PlatformConfig pc;
-        pc.num_cores = 2;
-        sim::Platform platform(pc);
-        sim::Engine engine(platform);
-
-        scenarios::L3FwdConfig cfg;
-        cfg.frame_bytes = frame_bytes;
-        cfg.ring_entries = ring_entries;
-        cfg.rate_pps = rate;
-        cfg.seed = seed;
-        scenarios::L3FwdWorld world(platform, cfg);
-        world.attach(engine);
-        scenarios::applyStaticLayout(platform.pqos(),
-                                     world.registry());
-        return world.trialWindow(engine, 0.01 * window_scale,
-                                 0.04 * window_scale);
-    };
-    return net::rfc2544Search(trial, search);
-}
-
-} // namespace
+#include "bench/sweeps.hh"
 
 int
 main(int argc, char **argv)
@@ -71,7 +39,7 @@ main(int argc, char **argv)
         for (std::uint32_t ring :
              {1024u, 4096u, 2048u, 512u, 256u, 128u, 64u}) {
             const double rate =
-                zeroLossRate(frame, ring, scale, seed);
+                bench::fig03ZeroLossRate(frame, ring, scale, seed);
             if (ring == 1024)
                 at_1024 = rate;
             std::printf("  measured frame=%uB ring=%u: %.2f Mpps\n",

@@ -12,85 +12,15 @@
  * switch tenant's ways, keeping misses low and IPC up to ~11%
  * higher (at the cost of inevitable slow-path work -- IPC/CPP still
  * degrade with flow count, as the paper notes).
+ *
+ * Thin wrapper: the ramp body lives in bench/sweeps.cc
+ * (fig09RunRamp) so iatexp can run both policies concurrently from
+ * experiments/fig09_flow_count.exp.
  */
 
 #include <cstdio>
-#include <vector>
 
-#include "bench/common.hh"
-#include "scenarios/agg_testpmd.hh"
-
-namespace {
-
-using namespace iat;
-
-struct PlateauRow
-{
-    std::uint64_t flows = 0;
-    double ovs_llc_miss_mps = 0.0;
-    double ovs_ipc = 0.0;
-    unsigned ovs_ways = 0;
-    double tx_mpps = 0.0;
-};
-
-std::vector<PlateauRow>
-runRamp(bench::Policy policy, double scale, std::uint64_t seed)
-{
-    sim::PlatformConfig pc;
-    pc.num_cores = 8;
-    sim::Platform platform(pc);
-    sim::Engine engine(platform);
-
-    scenarios::AggTestPmdConfig cfg;
-    cfg.frame_bytes = 64;
-    cfg.flows = 1;
-    scenarios::AggTestPmdWorld world(platform, cfg);
-    world.attach(engine);
-
-    core::IatParams params;
-    params.interval_seconds = 5e-3;
-    bench::PolicyRuntime runtime;
-    runtime.attach(policy, platform, world.registry(), engine,
-                   params, core::TenantModel::Aggregation);
-
-    const std::uint64_t plateaus[] = {1,      100,    1000,
-                                      10000,  100000, 1000000};
-    std::vector<PlateauRow> rows;
-    for (const auto flows : plateaus) {
-        world.setFlows(flows);
-        engine.run(0.05 * scale); // settle at the new population
-        world.resetStats();
-        std::uint64_t inst0 = 0, cyc0 = 0, miss0 = 0;
-        for (const auto core : world.ovsCores()) {
-            inst0 += platform.instructionsRetired(core);
-            cyc0 += platform.cyclesElapsed(core);
-            miss0 += platform.llc().coreCounters(core).llc_misses;
-        }
-        const double window = 0.03 * scale;
-        engine.run(window);
-        std::uint64_t inst1 = 0, cyc1 = 0, miss1 = 0;
-        for (const auto core : world.ovsCores()) {
-            inst1 += platform.instructionsRetired(core);
-            cyc1 += platform.cyclesElapsed(core);
-            miss1 += platform.llc().coreCounters(core).llc_misses;
-        }
-
-        PlateauRow row;
-        row.flows = flows;
-        row.ovs_llc_miss_mps = (miss1 - miss0) / window / 1e6;
-        row.ovs_ipc = static_cast<double>(inst1 - inst0) /
-                      static_cast<double>(cyc1 - cyc0);
-        row.tx_mpps = world.txPackets() / window / 1e6;
-        row.ovs_ways =
-            runtime.daemon != nullptr
-                ? runtime.daemon->allocator().tenantWays(0)
-                : platform.pqos().l3caGet(1).count();
-        rows.push_back(row);
-    }
-    return rows;
-}
-
-} // namespace
+#include "bench/sweeps.hh"
 
 int
 main(int argc, char **argv)
@@ -108,7 +38,7 @@ main(int argc, char **argv)
 
     for (const auto policy :
          {bench::Policy::Baseline, bench::Policy::Iat}) {
-        const auto rows = runRamp(policy, scale, seed);
+        const auto rows = bench::fig09RunRamp(policy, scale, seed);
         for (const auto &row : rows) {
             table.addRow({std::to_string(row.flows),
                           toString(policy),

@@ -17,83 +17,18 @@
  * size grows (it granted container 4 the DDIO ways); IAT stays high
  * across sizes in both phases; I/O-iso matches IAT in phase 1 but
  * strands capacity after the DDIO grows.
+ *
+ * Thin wrapper: the case body lives in bench/sweeps.cc
+ * (fig10RunCase) so iatexp can run the 12 cases concurrently from
+ * experiments/fig10_shuffle.exp. The table prints the paper-facing
+ * figureLabel() ("IAT" for the ablated daemon, footnote 3); the
+ * machine-readable sweep records carry the distinct "iat-noddio"
+ * label instead.
  */
 
 #include <cstdio>
 
-#include "bench/common.hh"
-#include "scenarios/slicing_pmd_xmem.hh"
-#include "util/units.hh"
-
-namespace {
-
-using namespace iat;
-
-struct PhaseSample
-{
-    double tput_mbps = 0.0;
-    double lat_ns = 0.0;
-};
-
-struct RunResult
-{
-    PhaseSample after_t1;
-    PhaseSample after_t2;
-};
-
-RunResult
-runCase(bench::Policy policy, std::uint32_t frame_bytes,
-        double scale, std::uint64_t seed)
-{
-    sim::PlatformConfig pc;
-    pc.num_cores = 8;
-    sim::Platform platform(pc);
-    sim::Engine engine(platform);
-
-    scenarios::SlicingPmdXmemConfig cfg;
-    cfg.frame_bytes = frame_bytes;
-    cfg.seed = seed;
-    scenarios::SlicingPmdXmemWorld world(platform, cfg);
-    world.attach(engine);
-
-    core::IatParams params;
-    params.interval_seconds = 5e-3;
-    bench::PolicyRuntime runtime;
-    const auto effective = policy == bench::Policy::Iat
-                               ? bench::Policy::IatNoDdioTuning
-                               : policy;
-    runtime.attach(effective, platform, world.registry(), engine,
-                   params, core::TenantModel::Slicing);
-
-    const double t1 = 0.06 * scale;
-    const double t2 = 0.20 * scale;
-    engine.at(t1, [&](double) { world.growXmem4(10 * MiB); });
-    engine.at(t2, [&](double) {
-        platform.pqos().ddioSetWays(cache::WayMask::fromRange(7, 4));
-    });
-
-    RunResult result;
-    // Phase 1 window: settled after T1.
-    engine.run(t1 + 0.06 * scale);
-    world.xmem(2).resetStats();
-    engine.run(0.06 * scale);
-    result.after_t1.tput_mbps =
-        world.xmem(2).avgThroughputBytesPerSec() / 1e6;
-    result.after_t1.lat_ns =
-        world.xmem(2).avgLatencySeconds() * 1e9;
-
-    // Phase 2 window: settled after T2.
-    engine.run(t2 + 0.06 * scale - platform.now());
-    world.xmem(2).resetStats();
-    engine.run(0.06 * scale);
-    result.after_t2.tput_mbps =
-        world.xmem(2).avgThroughputBytesPerSec() / 1e6;
-    result.after_t2.lat_ns =
-        world.xmem(2).avgLatencySeconds() * 1e9;
-    return result;
-}
-
-} // namespace
+#include "bench/sweeps.hh"
 
 int
 main(int argc, char **argv)
@@ -112,19 +47,20 @@ main(int argc, char **argv)
 
     const bench::Policy policies[] = {
         bench::Policy::Baseline, bench::Policy::CoreOnly,
-        bench::Policy::IoIso, bench::Policy::Iat};
+        bench::Policy::IoIso, bench::Policy::IatNoDdioTuning};
 
     for (std::uint32_t frame : {64u, 512u, 1500u}) {
         for (const auto policy : policies) {
-            const auto r = runCase(policy, frame, scale, seed);
+            const auto r =
+                bench::fig10RunCase(policy, frame, scale, seed);
             table.addRow(
-                {std::to_string(frame), toString(policy),
+                {std::to_string(frame), figureLabel(policy),
                  TablePrinter::num(r.after_t1.tput_mbps, 1),
                  TablePrinter::num(r.after_t1.lat_ns, 1),
                  TablePrinter::num(r.after_t2.tput_mbps, 1),
                  TablePrinter::num(r.after_t2.lat_ns, 1)});
             std::printf("  frame=%uB %s done\n", frame,
-                        toString(policy));
+                        figureLabel(policy));
             std::fflush(stdout);
         }
     }

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Sweep bodies (moved verbatim from the fig* binaries) and their
+ * trial-factory registration.
+ */
+
+#include "bench/sweeps.hh"
+
+#include <stdexcept>
+
+#include "scenarios/agg_testpmd.hh"
+#include "scenarios/l3fwd.hh"
+#include "scenarios/slicing_pmd_xmem.hh"
+#include "sim/stats_report.hh"
+#include "util/units.hh"
+
+namespace iat::bench {
+
+double
+fig03ZeroLossRate(std::uint32_t frame_bytes, std::uint32_t ring_entries,
+                  double window_scale, std::uint64_t seed)
+{
+    net::Rfc2544Config search;
+    search.min_rate_pps = 5e4;
+    search.max_rate_pps = net::lineRatePps40G(frame_bytes);
+    search.resolution = 0.03;
+
+    const auto trial = [&](double rate) {
+        sim::PlatformConfig pc;
+        pc.num_cores = 2;
+        sim::Platform platform(pc);
+        sim::Engine engine(platform);
+
+        scenarios::L3FwdConfig cfg;
+        cfg.frame_bytes = frame_bytes;
+        cfg.ring_entries = ring_entries;
+        cfg.rate_pps = rate;
+        cfg.seed = seed;
+        scenarios::L3FwdWorld world(platform, cfg);
+        world.attach(engine);
+        scenarios::applyStaticLayout(platform.pqos(),
+                                     world.registry());
+        return world.trialWindow(engine, 0.01 * window_scale,
+                                 0.04 * window_scale);
+    };
+    return net::rfc2544Search(trial, search);
+}
+
+const std::vector<std::uint64_t> &
+fig09FlowPlateaus()
+{
+    static const std::vector<std::uint64_t> plateaus = {
+        1, 100, 1000, 10000, 100000, 1000000};
+    return plateaus;
+}
+
+std::vector<Fig09Plateau>
+fig09RunRamp(Policy policy, double scale, std::uint64_t seed)
+{
+    sim::PlatformConfig pc;
+    pc.num_cores = 8;
+    sim::Platform platform(pc);
+    sim::Engine engine(platform);
+
+    scenarios::AggTestPmdConfig cfg;
+    cfg.frame_bytes = 64;
+    cfg.flows = 1;
+    cfg.seed = seed;
+    scenarios::AggTestPmdWorld world(platform, cfg);
+    world.attach(engine);
+
+    core::IatParams params;
+    params.interval_seconds = 5e-3;
+    PolicyRuntime runtime;
+    runtime.attach(policy, platform, world.registry(), engine,
+                   params, core::TenantModel::Aggregation);
+
+    std::vector<Fig09Plateau> rows;
+    for (const auto flows : fig09FlowPlateaus()) {
+        world.setFlows(flows);
+        engine.run(0.05 * scale); // settle at the new population
+        world.resetStats();
+        std::uint64_t inst0 = 0, cyc0 = 0, miss0 = 0;
+        for (const auto core : world.ovsCores()) {
+            inst0 += platform.instructionsRetired(core);
+            cyc0 += platform.cyclesElapsed(core);
+            miss0 += platform.llc().coreCounters(core).llc_misses;
+        }
+        const double window = 0.03 * scale;
+        engine.run(window);
+        std::uint64_t inst1 = 0, cyc1 = 0, miss1 = 0;
+        for (const auto core : world.ovsCores()) {
+            inst1 += platform.instructionsRetired(core);
+            cyc1 += platform.cyclesElapsed(core);
+            miss1 += platform.llc().coreCounters(core).llc_misses;
+        }
+
+        Fig09Plateau row;
+        row.flows = flows;
+        row.ovs_llc_miss_mps = (miss1 - miss0) / window / 1e6;
+        row.ovs_ipc = static_cast<double>(inst1 - inst0) /
+                      static_cast<double>(cyc1 - cyc0);
+        row.tx_mpps = world.txPackets() / window / 1e6;
+        row.ovs_ways =
+            runtime.daemon != nullptr
+                ? runtime.daemon->allocator().tenantWays(0)
+                : platform.pqos().l3caGet(1).count();
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+Fig10Result
+fig10RunCase(Policy policy, std::uint32_t frame_bytes, double scale,
+             std::uint64_t seed)
+{
+    sim::PlatformConfig pc;
+    pc.num_cores = 8;
+    sim::Platform platform(pc);
+    sim::Engine engine(platform);
+
+    scenarios::SlicingPmdXmemConfig cfg;
+    cfg.frame_bytes = frame_bytes;
+    cfg.seed = seed;
+    scenarios::SlicingPmdXmemWorld world(platform, cfg);
+    world.attach(engine);
+
+    core::IatParams params;
+    params.interval_seconds = 5e-3;
+    PolicyRuntime runtime;
+    runtime.attach(policy, platform, world.registry(), engine,
+                   params, core::TenantModel::Slicing);
+
+    const double t1 = 0.06 * scale;
+    const double t2 = 0.20 * scale;
+    engine.at(t1, [&](double) { world.growXmem4(10 * MiB); });
+    engine.at(t2, [&](double) {
+        platform.pqos().ddioSetWays(cache::WayMask::fromRange(7, 4));
+    });
+
+    Fig10Result result;
+    // Phase 1 window: settled after T1.
+    engine.run(t1 + 0.06 * scale);
+    world.xmem(2).resetStats();
+    engine.run(0.06 * scale);
+    result.after_t1.tput_mbps =
+        world.xmem(2).avgThroughputBytesPerSec() / 1e6;
+    result.after_t1.lat_ns =
+        world.xmem(2).avgLatencySeconds() * 1e9;
+
+    // Phase 2 window: settled after T2.
+    engine.run(t2 + 0.06 * scale - platform.now());
+    world.xmem(2).resetStats();
+    engine.run(0.06 * scale);
+    result.after_t2.tput_mbps =
+        world.xmem(2).avgThroughputBytesPerSec() / 1e6;
+    result.after_t2.lat_ns =
+        world.xmem(2).avgLatencySeconds() * 1e9;
+
+    const auto snap = sim::PlatformSnapshot::capture(platform);
+    result.ddio_hits = snap.ddio_hits;
+    result.ddio_misses = snap.ddio_misses;
+    result.dram_read_bytes = snap.dram_read_bytes;
+    result.dram_write_bytes = snap.dram_write_bytes;
+    return result;
+}
+
+namespace {
+
+Policy
+policyParam(const exp::TrialContext &ctx)
+{
+    const std::string name = ctx.requireString("policy");
+    Policy policy;
+    if (!parsePolicy(name, policy))
+        throw std::runtime_error("unknown policy '" + name + "'");
+    return policy;
+}
+
+exp::TrialResult
+fig03Trial(const exp::TrialContext &ctx)
+{
+    const auto frame =
+        static_cast<std::uint32_t>(ctx.requireInt("frame_bytes"));
+    const auto ring =
+        static_cast<std::uint32_t>(ctx.requireInt("ring_entries"));
+    const double rate =
+        fig03ZeroLossRate(frame, ring, ctx.scale, ctx.seed);
+    exp::TrialResult result;
+    result.add("zero_loss_pps", rate);
+    result.add("zero_loss_mpps", rate / 1e6);
+    return result;
+}
+
+exp::TrialResult
+fig09Trial(const exp::TrialContext &ctx)
+{
+    const auto rows =
+        fig09RunRamp(policyParam(ctx), ctx.scale, ctx.seed);
+    exp::TrialResult result;
+    for (const auto &row : rows) {
+        const std::string prefix =
+            "flows_" + std::to_string(row.flows) + ".";
+        result.add(prefix + "ovs_llc_miss_mps", row.ovs_llc_miss_mps);
+        result.add(prefix + "ovs_ipc", row.ovs_ipc);
+        result.add(prefix + "ovs_ways", row.ovs_ways);
+        result.add(prefix + "tx_mpps", row.tx_mpps);
+    }
+    return result;
+}
+
+exp::TrialResult
+fig10Trial(const exp::TrialContext &ctx)
+{
+    const auto frame =
+        static_cast<std::uint32_t>(ctx.requireInt("frame_bytes"));
+    const auto r =
+        fig10RunCase(policyParam(ctx), frame, ctx.scale, ctx.seed);
+    exp::TrialResult result;
+    result.add("tput_mbps_after_t1", r.after_t1.tput_mbps);
+    result.add("lat_ns_after_t1", r.after_t1.lat_ns);
+    result.add("tput_mbps_after_t2", r.after_t2.tput_mbps);
+    result.add("lat_ns_after_t2", r.after_t2.lat_ns);
+    result.add("ddio_hits", static_cast<double>(r.ddio_hits));
+    result.add("ddio_misses", static_cast<double>(r.ddio_misses));
+    result.add("dram_read_bytes",
+               static_cast<double>(r.dram_read_bytes));
+    result.add("dram_write_bytes",
+               static_cast<double>(r.dram_write_bytes));
+    return result;
+}
+
+/**
+ * Fixed-rate l3fwd point probe: one constant-rate trial window, no
+ * RFC 2544 search. Cheap enough for smoke campaigns and CI, and
+ * useful on its own to sample the Fig 3 surface at a known rate.
+ */
+exp::TrialResult
+l3fwdTrial(const exp::TrialContext &ctx)
+{
+    sim::PlatformConfig pc;
+    pc.num_cores = 2;
+    sim::Platform platform(pc);
+    sim::Engine engine(platform);
+
+    scenarios::L3FwdConfig cfg;
+    cfg.frame_bytes =
+        static_cast<std::uint32_t>(ctx.getInt("frame_bytes", 64));
+    cfg.ring_entries =
+        static_cast<std::uint32_t>(ctx.getInt("ring_entries", 1024));
+    cfg.rate_pps = ctx.requireDouble("rate_mpps") * 1e6;
+    cfg.flows = static_cast<std::uint64_t>(
+        ctx.getInt("flows", 1'000'000));
+    cfg.seed = ctx.seed;
+    scenarios::L3FwdWorld world(platform, cfg);
+    world.attach(engine);
+    scenarios::applyStaticLayout(platform.pqos(), world.registry());
+    const auto trial = world.trialWindow(engine, 0.01 * ctx.scale,
+                                         0.04 * ctx.scale);
+
+    exp::TrialResult result;
+    result.add("offered", static_cast<double>(trial.offered));
+    result.add("delivered", static_cast<double>(trial.delivered));
+    result.add("dropped", static_cast<double>(trial.dropped));
+    result.add("drop_rate",
+               trial.offered
+                   ? static_cast<double>(trial.dropped) /
+                         static_cast<double>(trial.offered)
+                   : 0.0);
+    return result;
+}
+
+} // namespace
+
+void
+registerPaperSweeps(exp::TrialRegistry &registry)
+{
+    registry.add("fig03",
+                 "Fig 3: l3fwd RFC2544 zero-loss rate; axes "
+                 "frame_bytes, ring_entries",
+                 fig03Trial);
+    registry.add("fig09",
+                 "Fig 9: OVS flow-count ramp; axis policy "
+                 "(baseline|core-only|io-iso|iat|iat-noddio)",
+                 fig09Trial);
+    registry.add("fig10",
+                 "Fig 10: shuffle cure, scripted phases; axes "
+                 "frame_bytes, policy",
+                 fig10Trial);
+    registry.add("l3fwd",
+                 "fixed-rate l3fwd point probe; params frame_bytes, "
+                 "ring_entries, rate_mpps, flows",
+                 l3fwdTrial);
+}
+
+} // namespace iat::bench

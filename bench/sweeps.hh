@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-figure sweep bodies, factored out of the bench binaries so the
+ * same code runs two ways:
+ *
+ *  - the original fig* binaries call the body directly and print the
+ *    paper-shaped table (they are now thin wrappers), and
+ *  - registerPaperSweeps() exposes each body as an exp::TrialRegistry
+ *    factory, so iatexp can run whole campaigns of them in parallel
+ *    from the declarative specs under experiments/.
+ *
+ * A body builds its entire world (Platform, Engine, scenario) from
+ * its arguments -- nothing global -- which is what lets the runner
+ * execute trials concurrently with bit-identical results.
+ */
+
+#ifndef IATSIM_BENCH_SWEEPS_HH
+#define IATSIM_BENCH_SWEEPS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/common.hh"
+#include "exp/trial.hh"
+
+namespace iat::bench {
+
+/// @name Fig 3: l3fwd RFC 2544 zero-loss throughput vs Rx ring size
+/// @{
+
+/** Binary-search the zero-loss rate (pps) for one (frame, ring). */
+double fig03ZeroLossRate(std::uint32_t frame_bytes,
+                         std::uint32_t ring_entries,
+                         double window_scale, std::uint64_t seed);
+/// @}
+
+/// @name Fig 9: OVS vs flow count, ramped within one run
+/// @{
+
+/** One settled plateau of the flow-count ramp. */
+struct Fig09Plateau
+{
+    std::uint64_t flows = 0;
+    double ovs_llc_miss_mps = 0.0;
+    double ovs_ipc = 0.0;
+    unsigned ovs_ways = 0;
+    double tx_mpps = 0.0;
+};
+
+/** The flow populations the ramp steps through, in order. */
+const std::vector<std::uint64_t> &fig09FlowPlateaus();
+
+/** Run one policy's continuous ramp; one row per plateau. */
+std::vector<Fig09Plateau> fig09RunRamp(Policy policy, double scale,
+                                       std::uint64_t seed);
+/// @}
+
+/// @name Fig 10: the shuffle cure under the scripted phases
+/// @{
+
+/** Container-4 X-Mem numbers in one settled window. */
+struct Fig10Phase
+{
+    double tput_mbps = 0.0;
+    double lat_ns = 0.0;
+};
+
+/** One (policy, frame size) case of Fig 10. */
+struct Fig10Result
+{
+    Fig10Phase after_t1; ///< settled after the working-set jump
+    Fig10Phase after_t2; ///< settled after the DDIO widening
+    /// End-of-run platform counters (the telemetry-gauge surface).
+    std::uint64_t ddio_hits = 0;
+    std::uint64_t ddio_misses = 0;
+    std::uint64_t dram_read_bytes = 0;
+    std::uint64_t dram_write_bytes = 0;
+};
+
+/**
+ * Run one case under @p policy as given -- pass
+ * Policy::IatNoDdioTuning explicitly for the paper's footnote-3
+ * ablation (the fig10 binary does; the spec's policy axis lists
+ * iat-noddio).
+ */
+Fig10Result fig10RunCase(Policy policy, std::uint32_t frame_bytes,
+                         double scale, std::uint64_t seed);
+/// @}
+
+/**
+ * Register every paper sweep ("fig03", "fig09", "fig10", plus the
+ * fixed-rate "l3fwd" point probe used by smoke campaigns) into
+ * @p registry.
+ */
+void registerPaperSweeps(exp::TrialRegistry &registry);
+
+} // namespace iat::bench
+
+#endif // IATSIM_BENCH_SWEEPS_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Worker-pool implementation of the trial runner.
+ */
+
+#include "exp/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace iat::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+unsigned
+effectiveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::vector<TrialOutcome>
+runTrials(const std::vector<TrialContext> &trials, const TrialFn &fn,
+          const RunnerConfig &cfg, const TrialSink &sink)
+{
+    std::vector<TrialOutcome> outcomes(trials.size());
+    if (trials.empty())
+        return outcomes;
+
+    const unsigned jobs = std::min<std::size_t>(
+        effectiveJobs(cfg.jobs), trials.size());
+    const auto campaign_t0 = Clock::now();
+
+    // The queue is just an atomic cursor over the trial list: workers
+    // claim the next unclaimed index until the list is drained.
+    std::atomic<std::size_t> next{0};
+    std::mutex sink_mutex;
+    std::size_t done = 0, ok = 0, failed = 0;
+    // First sink failure (e.g. results disk full); rethrown to the
+    // caller after the pool drains so a worker thread never unwinds.
+    std::exception_ptr sink_error;
+
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= trials.size())
+                return;
+            TrialOutcome &outcome = outcomes[i];
+            const auto t0 = Clock::now();
+            try {
+                outcome.result = fn(trials[i]);
+                outcome.status = TrialStatus::Ok;
+            } catch (const std::exception &e) {
+                outcome.status = TrialStatus::Failed;
+                outcome.error = e.what();
+            } catch (...) {
+                outcome.status = TrialStatus::Failed;
+                outcome.error = "unknown exception";
+            }
+            outcome.wall_seconds = secondsSince(t0);
+
+            std::lock_guard<std::mutex> lock(sink_mutex);
+            ++done;
+            outcome.status == TrialStatus::Ok ? ++ok : ++failed;
+            if (sink && !sink_error) {
+                try {
+                    sink(trials[i], outcome);
+                } catch (...) {
+                    sink_error = std::current_exception();
+                }
+            }
+            if (cfg.progress) {
+                std::fprintf(stderr,
+                             "\r[%s] %zu/%zu trials (ok %zu, "
+                             "failed %zu) %.1fs ",
+                             cfg.label.empty() ? "exp"
+                                               : cfg.label.c_str(),
+                             done, trials.size(), ok, failed,
+                             secondsSince(campaign_t0));
+                std::fflush(stderr);
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        // Run inline: --jobs=1 should behave like a plain loop (no
+        // thread hop), which also keeps single-threaded debugging
+        // simple.
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (auto &thread : pool)
+            thread.join();
+    }
+
+    if (cfg.progress) {
+        std::fprintf(stderr, "\n");
+        std::fflush(stderr);
+    }
+    if (sink_error)
+        std::rethrow_exception(sink_error);
+    return outcomes;
+}
+
+} // namespace iat::exp

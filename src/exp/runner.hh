@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The parallel trial runner: a std::thread worker pool draining a
+ * shared work queue of independent trials.
+ *
+ * Concurrency is safe because every trial builds its own
+ * sim::Platform/Engine/world inside the factory -- the simulator has
+ * no global mutable state (the only process-wide objects are the
+ * logger level, set before the pool starts, and immutable lookup
+ * tables; DESIGN.md SS10 records the contract). Determinism follows
+ * from the same isolation: a trial's result depends only on its
+ * context, never on which worker ran it or in what order, so
+ * --jobs=N and --jobs=1 produce identical records.
+ *
+ * Failure isolation: a factory that throws std::exception marks its
+ * trial Failed (message captured) and the campaign keeps going. A
+ * fatal()/panic() inside model code still terminates the process, as
+ * it must -- those signal impossible configs and internal bugs, not
+ * trial-level outcomes.
+ */
+
+#ifndef IATSIM_EXP_RUNNER_HH
+#define IATSIM_EXP_RUNNER_HH
+
+#include <functional>
+#include <vector>
+
+#include "exp/results.hh"
+#include "exp/trial.hh"
+
+namespace iat::exp {
+
+/** Runner knobs. */
+struct RunnerConfig
+{
+    /** Worker threads; 0 means std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+    /** Live progress line on stderr. */
+    bool progress = true;
+    /** Prefix for the progress line (the campaign name). */
+    std::string label;
+};
+
+/**
+ * Called under the sink lock as each trial completes, in completion
+ * order. Used to stream records to disk; must not block for long.
+ */
+using TrialSink =
+    std::function<void(const TrialContext &, const TrialOutcome &)>;
+
+/**
+ * Run every trial in @p trials through @p fn on a pool of
+ * cfg.jobs threads; returns outcomes indexed like @p trials.
+ * Wall-clock per trial is captured into each outcome.
+ */
+std::vector<TrialOutcome> runTrials(const std::vector<TrialContext> &trials,
+                                    const TrialFn &fn,
+                                    const RunnerConfig &cfg,
+                                    const TrialSink &sink = nullptr);
+
+/** The jobs count cfg.jobs = 0 resolves to (>= 1). */
+unsigned effectiveJobs(unsigned requested);
+
+} // namespace iat::exp
+
+#endif // IATSIM_EXP_RUNNER_HH

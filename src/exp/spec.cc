@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Experiment spec parsing, hashing and cross-product expansion.
+ */
+
+#include "exp/spec.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/rng.hh"
+
+namespace iat::exp {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(s[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+        --end;
+    }
+    return s.substr(begin, end - begin);
+}
+
+/** Split on whitespace and/or commas; empty tokens dropped. */
+std::vector<std::string>
+splitValues(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string token;
+    for (const char c : s) {
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            if (!token.empty())
+                out.push_back(std::move(token));
+            token.clear();
+        } else {
+            token += c;
+        }
+    }
+    if (!token.empty())
+        out.push_back(std::move(token));
+    return out;
+}
+
+[[noreturn]] void
+specError(const std::string &origin, unsigned line,
+          const std::string &what)
+{
+    throw SpecError(origin + ":" + std::to_string(line) + ": " + what);
+}
+
+} // namespace
+
+std::uint64_t
+deriveTrialSeed(std::uint64_t campaign_seed, std::uint64_t trial_index)
+{
+    // splitmix64 advances its state by a constant gamma per draw, so
+    // "the trial_index-th output of the stream seeded with
+    // campaign_seed" is a single jump + one mix, not a loop.
+    std::uint64_t state =
+        campaign_seed + trial_index * 0x9e3779b97f4a7c15ull;
+    return splitmix64Next(state);
+}
+
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+ExperimentSpec
+ExperimentSpec::parse(const std::string &text, const std::string &origin)
+{
+    ExperimentSpec spec;
+    enum class Section { Top, Params, Axis } section = Section::Top;
+
+    std::istringstream in(text);
+    std::string raw;
+    unsigned lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        const auto comment = raw.find_first_of("#;");
+        if (comment != std::string::npos)
+            raw.erase(comment);
+        const std::string line = trim(raw);
+        if (line.empty())
+            continue;
+
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                specError(origin, lineno, "unterminated section");
+            const std::string name = trim(line.substr(1, line.size() - 2));
+            if (name == "params")
+                section = Section::Params;
+            else if (name == "axis")
+                section = Section::Axis;
+            else
+                specError(origin, lineno,
+                          "unknown section '[" + name + "]'");
+            continue;
+        }
+
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            specError(origin, lineno, "expected key = value");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            specError(origin, lineno, "empty key");
+
+        switch (section) {
+          case Section::Top:
+            if (key == "name") {
+                spec.name = value;
+            } else if (key == "sweep") {
+                spec.sweep = value;
+            } else if (key == "seed") {
+                char *end = nullptr;
+                spec.seed = std::strtoull(value.c_str(), &end, 0);
+                if (end == value.c_str() || *end != '\0') {
+                    specError(origin, lineno,
+                              "seed expects an integer, got '" +
+                                  value + "'");
+                }
+            } else if (key == "seed_mode") {
+                if (value == "derived")
+                    spec.seed_mode = SeedMode::Derived;
+                else if (value == "shared")
+                    spec.seed_mode = SeedMode::Shared;
+                else
+                    specError(origin, lineno,
+                              "seed_mode is derived|shared, got '" +
+                                  value + "'");
+            } else {
+                specError(origin, lineno,
+                          "unknown key '" + key +
+                              "' (name|sweep|seed|seed_mode, or a "
+                              "[params]/[axis] section)");
+            }
+            break;
+          case Section::Params:
+            for (const auto &[existing, unused] : spec.constants) {
+                if (existing == key) {
+                    specError(origin, lineno,
+                              "duplicate param '" + key + "'");
+                }
+            }
+            spec.constants.emplace_back(key, value);
+            break;
+          case Section::Axis: {
+            for (const auto &axis : spec.axes) {
+                if (axis.name == key) {
+                    specError(origin, lineno,
+                              "duplicate axis '" + key + "'");
+                }
+            }
+            AxisSpec axis;
+            axis.name = key;
+            axis.values = splitValues(value);
+            if (axis.values.empty()) {
+                specError(origin, lineno,
+                          "axis '" + key + "' has no values");
+            }
+            spec.axes.push_back(std::move(axis));
+            break;
+          }
+        }
+    }
+
+    if (spec.sweep.empty())
+        specError(origin, lineno, "spec never set 'sweep'");
+    if (spec.name.empty())
+        spec.name = spec.sweep;
+    return spec;
+}
+
+ExperimentSpec
+ExperimentSpec::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw SpecError("cannot open spec file '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str(), path);
+}
+
+std::size_t
+ExperimentSpec::trialCount() const
+{
+    std::size_t count = 1;
+    for (const auto &axis : axes)
+        count *= axis.values.size();
+    return count;
+}
+
+std::string
+ExperimentSpec::canonical(double scale) const
+{
+    std::ostringstream out;
+    out << "name=" << name << '\n';
+    out << "sweep=" << sweep << '\n';
+    out << "seed=" << seed << '\n';
+    out << "seed_mode="
+        << (seed_mode == SeedMode::Shared ? "shared" : "derived")
+        << '\n';
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", scale);
+    out << "scale=" << buf << '\n';
+    for (const auto &[key, value] : constants)
+        out << "param." << key << '=' << value << '\n';
+    for (const auto &axis : axes) {
+        out << "axis." << axis.name << '=';
+        for (std::size_t i = 0; i < axis.values.size(); ++i)
+            out << (i ? "," : "") << axis.values[i];
+        out << '\n';
+    }
+    return out.str();
+}
+
+std::string
+ExperimentSpec::hash(double scale) const
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a64(canonical(scale))));
+    return buf;
+}
+
+std::vector<TrialContext>
+ExperimentSpec::expand(double scale) const
+{
+    const std::size_t total = trialCount();
+    std::vector<TrialContext> trials;
+    trials.reserve(total);
+    for (std::size_t index = 0; index < total; ++index) {
+        TrialContext ctx;
+        ctx.sweep = sweep;
+        ctx.index = index;
+        ctx.seed = seed_mode == SeedMode::Shared
+                       ? seed
+                       : deriveTrialSeed(seed, index);
+        ctx.scale = scale;
+        // Mixed-radix decomposition of the index: the last axis is
+        // the least-significant digit (varies fastest).
+        std::size_t rest = index;
+        std::vector<std::size_t> digit(axes.size(), 0);
+        for (std::size_t a = axes.size(); a-- > 0;) {
+            digit[a] = rest % axes[a].values.size();
+            rest /= axes[a].values.size();
+        }
+        for (std::size_t a = 0; a < axes.size(); ++a) {
+            ctx.params.emplace_back(axes[a].name,
+                                    axes[a].values[digit[a]]);
+        }
+        for (const auto &constant : constants)
+            ctx.params.push_back(constant);
+        trials.push_back(std::move(ctx));
+    }
+    return trials;
+}
+
+} // namespace iat::exp

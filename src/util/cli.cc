@@ -34,19 +34,23 @@ CliArgs::CliArgs(int argc, char **argv)
     // Every binary parses its arguments through CliArgs, so plumbing
     // the logger level here makes --log-level (and the
     // IATSIM_LOG_LEVEL fallback) work everywhere without per-tool
-    // wiring.
+    // wiring. The same argument makes the telemetry family known
+    // here: obs::TelemetryConfig::fromCli reads them lazily.
     applyLogLevel(getString("log-level", ""));
+    declareKnown({"trace", "metrics", "sample-interval"});
 }
 
 bool
 CliArgs::has(const std::string &name) const
 {
+    known_.insert(name);
     return flags_.count(name) != 0;
 }
 
 std::string
 CliArgs::getString(const std::string &name, const std::string &def) const
 {
+    known_.insert(name);
     const auto it = flags_.find(name);
     return it == flags_.end() ? def : it->second;
 }
@@ -54,6 +58,7 @@ CliArgs::getString(const std::string &name, const std::string &def) const
 std::int64_t
 CliArgs::getInt(const std::string &name, std::int64_t def) const
 {
+    known_.insert(name);
     const auto it = flags_.find(name);
     if (it == flags_.end())
         return def;
@@ -68,6 +73,7 @@ CliArgs::getInt(const std::string &name, std::int64_t def) const
 double
 CliArgs::getDouble(const std::string &name, double def) const
 {
+    known_.insert(name);
     const auto it = flags_.find(name);
     if (it == flags_.end())
         return def;
@@ -82,10 +88,46 @@ CliArgs::getDouble(const std::string &name, double def) const
 bool
 CliArgs::getBool(const std::string &name, bool def) const
 {
+    known_.insert(name);
     const auto it = flags_.find(name);
     if (it == flags_.end())
         return def;
     return it->second != "false" && it->second != "0";
+}
+
+void
+CliArgs::declareKnown(std::initializer_list<const char *> names) const
+{
+    for (const char *name : names)
+        known_.insert(name);
+}
+
+std::vector<std::string>
+CliArgs::unknownFlags() const
+{
+    std::vector<std::string> unknown;
+    for (const auto &[name, value] : flags_) {
+        if (known_.count(name) == 0)
+            unknown.push_back(name);
+    }
+    return unknown;
+}
+
+unsigned
+CliArgs::warnUnknown() const
+{
+    const auto unknown = unknownFlags();
+    for (const auto &name : unknown)
+        warn("unknown flag --%s ignored", name.c_str());
+    return static_cast<unsigned>(unknown.size());
+}
+
+void
+CliArgs::requireKnown() const
+{
+    const auto unknown = unknownFlags();
+    if (!unknown.empty())
+        fatal("unknown flag --%s", unknown.front().c_str());
 }
 
 } // namespace iat

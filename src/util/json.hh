@@ -1,13 +1,16 @@
 /**
  * @file
- * A deliberately small recursive-descent JSON parser used to check
- * that the tracer and sampler emit well-formed output. Test-only:
- * accepts standard JSON, keeps objects as key/value vectors (order
- * preserved), and reports failure by returning nullptr from parse().
+ * A deliberately small recursive-descent JSON parser. Started life
+ * verifying that the tracer and sampler emit well-formed output; the
+ * experiment runner now also uses it to read campaign records back
+ * for --resume. Accepts standard JSON, keeps objects as key/value
+ * vectors (order preserved), and reports failure by returning
+ * nullptr from parse() -- which is exactly the tolerance resume
+ * needs for a record truncated by a mid-write kill.
  */
 
-#ifndef IATSIM_TESTS_OBS_JSON_HH
-#define IATSIM_TESTS_OBS_JSON_HH
+#ifndef IATSIM_UTIL_JSON_HH
+#define IATSIM_UTIL_JSON_HH
 
 #include <cctype>
 #include <cstdlib>
@@ -16,7 +19,7 @@
 #include <utility>
 #include <vector>
 
-namespace iat::testjson {
+namespace iat::json {
 
 struct Value
 {
@@ -243,6 +246,6 @@ parse(const std::string &text)
     return Parser(text).parse();
 }
 
-} // namespace iat::testjson
+} // namespace iat::json
 
-#endif // IATSIM_TESTS_OBS_JSON_HH
+#endif // IATSIM_UTIL_JSON_HH

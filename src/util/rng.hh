@@ -17,6 +17,24 @@
 
 namespace iat {
 
+/**
+ * One step of the splitmix64 sequence: advance @p state by the golden
+ * gamma and return the mixed draw. Besides seeding the xoshiro state
+ * below, this is the repo's canonical way to derive independent
+ * sub-stream seeds (the experiment runner gives trial k the k-th
+ * output of the stream seeded with the campaign seed, so every trial
+ * is reproducible in isolation).
+ */
+constexpr std::uint64_t
+splitmix64Next(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 /** xoshiro256** generator with splitmix64 seeding. */
 class Rng
 {
@@ -31,13 +49,8 @@ class Rng
         // splitmix64 expansion of the seed into the full state, the
         // initialization recommended by the xoshiro authors.
         std::uint64_t x = seed;
-        for (auto &word : state_) {
-            x += 0x9e3779b97f4a7c15ull;
-            std::uint64_t z = x;
-            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-            word = z ^ (z >> 31);
-        }
+        for (auto &word : state_)
+            word = splitmix64Next(x);
     }
 
     /** Next raw 64-bit draw. */

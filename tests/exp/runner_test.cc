@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the parallel trial runner: outcome indexing,
+ * jobs-count independence, failure isolation, and sink semantics.
+ */
+
+#include "exp/runner.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace iat::exp {
+namespace {
+
+std::vector<TrialContext>
+makeTrials(std::size_t n)
+{
+    std::vector<TrialContext> trials(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        trials[i].sweep = "toy";
+        trials[i].index = i;
+        trials[i].seed = 100 + i;
+    }
+    return trials;
+}
+
+/** Deterministic pure function of the context. */
+TrialResult
+toyFn(const TrialContext &ctx)
+{
+    TrialResult result;
+    result.add("val", static_cast<double>(ctx.seed * 3 + ctx.index));
+    return result;
+}
+
+RunnerConfig
+quietCfg(unsigned jobs)
+{
+    RunnerConfig cfg;
+    cfg.jobs = jobs;
+    cfg.progress = false;
+    return cfg;
+}
+
+TEST(Runner, EffectiveJobs)
+{
+    EXPECT_GE(effectiveJobs(0), 1u);
+    EXPECT_EQ(effectiveJobs(3), 3u);
+}
+
+TEST(Runner, OutcomesIndexedLikeTrials)
+{
+    const auto trials = makeTrials(5);
+    const auto outcomes = runTrials(trials, toyFn, quietCfg(1));
+    ASSERT_EQ(outcomes.size(), 5u);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        EXPECT_EQ(outcomes[i].status, TrialStatus::Ok);
+        ASSERT_EQ(outcomes[i].result.metrics.size(), 1u);
+        EXPECT_EQ(outcomes[i].result.metrics[0].second,
+                  static_cast<double>((100 + i) * 3 + i));
+    }
+}
+
+TEST(Runner, ParallelMatchesSerial)
+{
+    const auto trials = makeTrials(32);
+    const auto serial = runTrials(trials, toyFn, quietCfg(1));
+    const auto parallel = runTrials(trials, toyFn, quietCfg(4));
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].status, parallel[i].status);
+        EXPECT_EQ(serial[i].result.metrics,
+                  parallel[i].result.metrics);
+    }
+}
+
+TEST(Runner, MoreJobsThanTrials)
+{
+    const auto outcomes =
+        runTrials(makeTrials(2), toyFn, quietCfg(16));
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_EQ(outcomes[0].status, TrialStatus::Ok);
+    EXPECT_EQ(outcomes[1].status, TrialStatus::Ok);
+}
+
+TEST(Runner, EmptyTrialList)
+{
+    EXPECT_TRUE(runTrials({}, toyFn, quietCfg(4)).empty());
+}
+
+TEST(Runner, FailureIsolation)
+{
+    const auto fn = [](const TrialContext &ctx) {
+        if (ctx.index == 2)
+            throw std::runtime_error("trial 2 exploded");
+        return toyFn(ctx);
+    };
+    const auto outcomes = runTrials(makeTrials(5), fn, quietCfg(4));
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (i == 2) {
+            EXPECT_EQ(outcomes[i].status, TrialStatus::Failed);
+            EXPECT_EQ(outcomes[i].error, "trial 2 exploded");
+        } else {
+            EXPECT_EQ(outcomes[i].status, TrialStatus::Ok);
+        }
+    }
+}
+
+TEST(Runner, NonStdExceptionIsCaptured)
+{
+    const auto fn = [](const TrialContext &) -> TrialResult {
+        throw 42; // not a std::exception
+    };
+    const auto outcomes = runTrials(makeTrials(1), fn, quietCfg(1));
+    EXPECT_EQ(outcomes[0].status, TrialStatus::Failed);
+    EXPECT_EQ(outcomes[0].error, "unknown exception");
+}
+
+TEST(Runner, SinkSeesEveryTrialExactlyOnce)
+{
+    // The sink runs under the runner's lock, so plain containers are
+    // safe to mutate from it even with a thread pool.
+    std::set<std::size_t> seen;
+    std::size_t calls = 0;
+    const auto sink = [&](const TrialContext &ctx,
+                          const TrialOutcome &outcome) {
+        ++calls;
+        seen.insert(ctx.index);
+        EXPECT_EQ(outcome.status, TrialStatus::Ok);
+    };
+    runTrials(makeTrials(16), toyFn, quietCfg(4), sink);
+    EXPECT_EQ(calls, 16u);
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Runner, SinkErrorRethrownAfterDrain)
+{
+    std::size_t calls = 0;
+    const auto sink = [&](const TrialContext &,
+                          const TrialOutcome &) {
+        if (++calls == 1)
+            throw std::runtime_error("disk full");
+    };
+    EXPECT_THROW(
+        runTrials(makeTrials(8), toyFn, quietCfg(4), sink),
+        std::runtime_error);
+}
+
+} // namespace
+} // namespace iat::exp

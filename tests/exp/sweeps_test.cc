@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the bench-side sweep registration: the shipped .exp specs
+ * parse and reference registered sweeps, the policy labels keep the
+ * paper-facing / machine-facing split, and the cheap l3fwd probe is
+ * deterministic through the full trial interface.
+ */
+
+#include "bench/sweeps.hh"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/spec.hh"
+
+namespace iat::bench {
+namespace {
+
+exp::TrialRegistry
+paperRegistry()
+{
+    exp::TrialRegistry registry;
+    registerPaperSweeps(registry);
+    return registry;
+}
+
+TEST(Sweeps, PaperSweepsRegistered)
+{
+    const auto registry = paperRegistry();
+    for (const char *name : {"fig03", "fig09", "fig10", "l3fwd"})
+        EXPECT_NE(registry.find(name), nullptr) << name;
+    EXPECT_EQ(registry.entries().size(), 4u);
+}
+
+TEST(Sweeps, ShippedSpecsParseAndResolve)
+{
+    const auto registry = paperRegistry();
+    const struct
+    {
+        const char *file;
+        const char *sweep;
+        std::size_t trials;
+    } expected[] = {
+        {"fig03_rx_ring.exp", "fig03", 14},
+        {"fig09_flow_count.exp", "fig09", 2},
+        {"fig10_shuffle.exp", "fig10", 12},
+        {"smoke.exp", "l3fwd", 4},
+    };
+    for (const auto &e : expected) {
+        const auto spec = exp::ExperimentSpec::loadFile(
+            std::string(IATSIM_SOURCE_DIR) + "/experiments/" + e.file);
+        EXPECT_EQ(spec.sweep, e.sweep) << e.file;
+        EXPECT_EQ(spec.trialCount(), e.trials) << e.file;
+        EXPECT_NE(registry.find(spec.sweep), nullptr) << e.file;
+    }
+}
+
+TEST(Sweeps, FigSpecsShareTheCampaignSeed)
+{
+    // The paper-figure benches run one seed across the whole figure;
+    // the specs must reproduce that, so they pin seed_mode = shared.
+    for (const char *file : {"fig03_rx_ring.exp",
+                             "fig09_flow_count.exp",
+                             "fig10_shuffle.exp"}) {
+        const auto spec = exp::ExperimentSpec::loadFile(
+            std::string(IATSIM_SOURCE_DIR) + "/experiments/" + file);
+        EXPECT_EQ(spec.seed_mode,
+                  exp::ExperimentSpec::SeedMode::Shared)
+            << file;
+        EXPECT_EQ(spec.seed, 1u) << file;
+    }
+}
+
+TEST(Sweeps, PolicyLabels)
+{
+    // Machine labels are distinct per policy...
+    EXPECT_STREQ(toString(Policy::Iat), "IAT");
+    EXPECT_STREQ(toString(Policy::IatNoDdioTuning), "IAT-noddio");
+    // ...while the figure label folds the footnote-3 ablation back
+    // into the paper-facing name.
+    EXPECT_STREQ(figureLabel(Policy::Iat), "IAT");
+    EXPECT_STREQ(figureLabel(Policy::IatNoDdioTuning), "IAT");
+    EXPECT_STREQ(figureLabel(Policy::Baseline), "baseline");
+}
+
+TEST(Sweeps, ParsePolicyRoundTripsEveryLabel)
+{
+    for (const Policy policy :
+         {Policy::Baseline, Policy::CoreOnly, Policy::IoIso,
+          Policy::Iat, Policy::IatNoDdioTuning}) {
+        Policy parsed;
+        ASSERT_TRUE(parsePolicy(toString(policy), parsed))
+            << toString(policy);
+        EXPECT_EQ(parsed, policy) << toString(policy);
+    }
+    Policy parsed;
+    EXPECT_TRUE(parsePolicy("iat-noddio", parsed));
+    EXPECT_EQ(parsed, Policy::IatNoDdioTuning);
+    EXPECT_TRUE(parsePolicy("iat", parsed));
+    EXPECT_EQ(parsed, Policy::Iat);
+    EXPECT_FALSE(parsePolicy("bogus", parsed));
+}
+
+TEST(Sweeps, L3fwdTrialIsDeterministic)
+{
+    const auto registry = paperRegistry();
+    const auto *entry = registry.find("l3fwd");
+    ASSERT_NE(entry, nullptr);
+
+    exp::TrialContext ctx;
+    ctx.sweep = "l3fwd";
+    ctx.index = 0;
+    ctx.seed = 42;
+    ctx.scale = 0.1; // tiny window; keeps the test fast
+    ctx.params = {{"frame_bytes", "64"},
+                  {"ring_entries", "128"},
+                  {"rate_mpps", "2.0"}};
+
+    const auto a = entry->fn(ctx);
+    const auto b = entry->fn(ctx);
+    ASSERT_FALSE(a.metrics.empty());
+    EXPECT_EQ(a.metrics, b.metrics);
+    // The probe actually forwarded traffic.
+    EXPECT_GT(a.metrics[0].second, 0.0); // offered
+}
+
+TEST(Sweeps, L3fwdTrialRequiresRate)
+{
+    const auto registry = paperRegistry();
+    const auto *entry = registry.find("l3fwd");
+    ASSERT_NE(entry, nullptr);
+    exp::TrialContext ctx;
+    ctx.sweep = "l3fwd";
+    ctx.scale = 0.1;
+    EXPECT_THROW(entry->fn(ctx), std::runtime_error);
+}
+
+} // namespace
+} // namespace iat::bench

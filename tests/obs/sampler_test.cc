@@ -20,7 +20,7 @@
 #include "obs/telemetry.hh"
 #include "sim/engine.hh"
 #include "sim/telemetry.hh"
-#include "tests/obs/json.hh"
+#include "util/json.hh"
 
 namespace iat::obs {
 namespace {
@@ -147,7 +147,7 @@ TEST(TimeSeriesSampler, JsonlRowsParseBack)
     std::string line;
     std::size_t rows = 0;
     while (std::getline(is, line)) {
-        const auto v = testjson::parse(line);
+        const auto v = json::parse(line);
         ASSERT_NE(v, nullptr) << line;
         ASSERT_NE(v->find("t_seconds"), nullptr);
         ASSERT_NE(v->find("net.packets"), nullptr);

@@ -14,7 +14,7 @@
 #include <sstream>
 #include <string>
 
-#include "tests/obs/json.hh"
+#include "util/json.hh"
 
 namespace iat::obs {
 namespace {
@@ -75,9 +75,9 @@ TEST(Tracer, ChromeTraceParsesBack)
 {
     std::ostringstream os;
     sampleTracer().writeChromeTrace(os);
-    const auto root = testjson::parse(os.str());
+    const auto root = json::parse(os.str());
     ASSERT_NE(root, nullptr) << os.str();
-    ASSERT_EQ(root->kind, testjson::Value::Kind::Object);
+    ASSERT_EQ(root->kind, json::Value::Kind::Object);
 
     const auto *unit = root->find("displayTimeUnit");
     ASSERT_NE(unit, nullptr);
@@ -85,7 +85,7 @@ TEST(Tracer, ChromeTraceParsesBack)
 
     const auto *events = root->find("traceEvents");
     ASSERT_NE(events, nullptr);
-    ASSERT_EQ(events->kind, testjson::Value::Kind::Array);
+    ASSERT_EQ(events->kind, json::Value::Kind::Array);
     ASSERT_EQ(events->items.size(), 3u);
 
     // First event: instant, global scope, ts in microseconds.
@@ -115,7 +115,7 @@ TEST(Tracer, EmptyChromeTraceParsesBack)
     Tracer t;
     std::ostringstream os;
     t.writeChromeTrace(os);
-    const auto root = testjson::parse(os.str());
+    const auto root = json::parse(os.str());
     ASSERT_NE(root, nullptr) << os.str();
     EXPECT_EQ(root->find("traceEvents")->items.size(), 0u);
 }
@@ -128,9 +128,9 @@ TEST(Tracer, JsonlEveryLineParses)
     std::string line;
     std::size_t lines = 0;
     while (std::getline(is, line)) {
-        const auto v = testjson::parse(line);
+        const auto v = json::parse(line);
         ASSERT_NE(v, nullptr) << line;
-        EXPECT_EQ(v->kind, testjson::Value::Kind::Object);
+        EXPECT_EQ(v->kind, json::Value::Kind::Object);
         EXPECT_NE(v->find("ts_seconds"), nullptr);
         EXPECT_EQ(v->find("ts"), nullptr); // seconds, not Chrome us
         ++lines;
@@ -146,7 +146,7 @@ TEST(Tracer, EscapesHostileStrings)
               {{"k\ney", std::string("v\talue\x01")}});
     std::ostringstream os;
     t.writeChromeTrace(os);
-    const auto root = testjson::parse(os.str());
+    const auto root = json::parse(os.str());
     ASSERT_NE(root, nullptr) << os.str();
     const auto &ev = *root->find("traceEvents")->items[0];
     EXPECT_EQ(ev.find("name")->string, "na\\me");
@@ -160,7 +160,7 @@ TEST(Tracer, NonFiniteNumbersSerializeAsZero)
     t.counter(0.0, "c", "n", {{"bad", 0.0 / 0.0}});
     std::ostringstream os;
     t.writeChromeTrace(os);
-    const auto root = testjson::parse(os.str());
+    const auto root = json::parse(os.str());
     ASSERT_NE(root, nullptr) << os.str();
 }
 
@@ -176,14 +176,14 @@ TEST(Tracer, WriteFilePicksFormatBySuffix)
     std::ifstream cs(chrome);
     std::stringstream cbuf;
     cbuf << cs.rdbuf();
-    const auto root = testjson::parse(cbuf.str());
+    const auto root = json::parse(cbuf.str());
     ASSERT_NE(root, nullptr);
     EXPECT_NE(root->find("traceEvents"), nullptr);
 
     std::ifstream js(jsonl);
     std::string first;
     ASSERT_TRUE(static_cast<bool>(std::getline(js, first)));
-    const auto v = testjson::parse(first);
+    const auto v = json::parse(first);
     ASSERT_NE(v, nullptr);
     EXPECT_NE(v->find("ts_seconds"), nullptr);
 

@@ -78,6 +78,52 @@ TEST(Cli, HexInt)
     EXPECT_EQ(args.getInt("mask", 0), 0x600);
 }
 
+TEST(Cli, LookupMarksFlagKnown)
+{
+    const auto args = makeArgs({"--seed=42"});
+    args.getInt("seed", 0);
+    EXPECT_EQ(args.warnUnknown(), 0u);
+}
+
+TEST(Cli, WarnUnknownCountsUnreadFlags)
+{
+    const auto args = makeArgs({"--sed=5", "--typo"});
+    args.getInt("seed", 0); // the flag the user presumably meant
+    EXPECT_EQ(args.warnUnknown(), 2u);
+}
+
+TEST(Cli, DeclareKnownCoversConditionalFlags)
+{
+    const auto args = makeArgs({"--quick"});
+    args.declareKnown({"quick", "csv"});
+    EXPECT_EQ(args.warnUnknown(), 0u);
+}
+
+TEST(Cli, GlobalFlagFamiliesAreKnownByConstruction)
+{
+    // --log-level is consumed by the constructor; the telemetry
+    // family is read lazily by obs::TelemetryConfig::fromCli.
+    const auto args = makeArgs({"--log-level=info", "--trace=t.jsonl",
+                                "--metrics=m.csv",
+                                "--sample-interval=5"});
+    EXPECT_EQ(args.warnUnknown(), 0u);
+}
+
+TEST(Cli, RequireKnownPassesWhenAllFlagsRead)
+{
+    const auto args = makeArgs({"--jobs=4"});
+    args.getInt("jobs", 0);
+    args.requireKnown(); // must not exit
+}
+
+TEST(CliDeath, RequireKnownExitsOnUnknownFlag)
+{
+    const auto args = makeArgs({"--jbos=4"});
+    args.getInt("jobs", 0);
+    EXPECT_EXIT(args.requireKnown(), testing::ExitedWithCode(1),
+                "unknown flag --jbos");
+}
+
 TEST(CliDeath, BadIntExits)
 {
     const auto args = makeArgs({"--seed=abc"});
