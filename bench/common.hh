@@ -19,6 +19,7 @@
 
 #include "core/baselines.hh"
 #include "core/daemon.hh"
+#include "fault/injector.hh"
 #include "obs/telemetry.hh"
 #include "scenarios/common.hh"
 #include "sim/engine.hh"
@@ -98,13 +99,22 @@ struct PolicyRuntime
      * Instantiate @p policy over @p registry and hook its tick into
      * @p engine at @p params.interval_seconds. Baseline applies the
      * static layout immediately and installs nothing.
+     *
+     * Chaos runs pass @p injector (nullptr otherwise): every policy
+     * tick first asks it whether this poll is dropped, modelling a
+     * daemon that oversleeps or gets preempted. @p hardening is the
+     * daemon's kill switch for A/B runs; it only affects the IAT
+     * policies. Remember to arm() the injector AFTER attach() so the
+     * t=0 setup tick runs before any fault hook installs.
      */
     void
     attach(Policy policy, sim::Platform &platform,
            core::TenantRegistry &registry, sim::Engine &engine,
            const core::IatParams &params,
            core::TenantModel model = core::TenantModel::Slicing,
-           obs::Telemetry *telemetry = nullptr)
+           obs::Telemetry *telemetry = nullptr,
+           fault::FaultInjector *injector = nullptr,
+           bool hardening = true)
     {
         switch (policy) {
           case Policy::Baseline:
@@ -115,14 +125,24 @@ struct PolicyRuntime
                 platform.pqos(), registry, params);
             engine.addPeriodic(
                 params.interval_seconds,
-                [this](double now) { core_only->tick(now); }, 0.0);
+                [this, injector](double now) {
+                    if (injector && injector->dropPoll(now))
+                        return;
+                    core_only->tick(now);
+                },
+                0.0);
             return;
           case Policy::IoIso:
             io_iso = std::make_unique<core::IoIsolationPolicy>(
                 platform.pqos(), registry, params);
             engine.addPeriodic(
                 params.interval_seconds,
-                [this](double now) { io_iso->tick(now); }, 0.0);
+                [this, injector](double now) {
+                    if (injector && injector->dropPoll(now))
+                        return;
+                    io_iso->tick(now);
+                },
+                0.0);
             return;
           case Policy::Iat:
           case Policy::IatNoDdioTuning:
@@ -130,10 +150,16 @@ struct PolicyRuntime
                 platform.pqos(), registry, params, model);
             if (policy == Policy::IatNoDdioTuning)
                 daemon->setDdioTuningEnabled(false);
+            daemon->setHardeningEnabled(hardening);
             daemon->setTelemetry(telemetry);
             engine.addPeriodic(
                 params.interval_seconds,
-                [this](double now) { daemon->tick(now); }, 0.0);
+                [this, injector](double now) {
+                    if (injector && injector->dropPoll(now))
+                        return;
+                    daemon->tick(now);
+                },
+                0.0);
             return;
         }
     }

@@ -6,6 +6,9 @@
 
 #include "bench/sweeps.hh"
 
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <stdexcept>
 
 #include "scenarios/agg_testpmd.hh"
@@ -165,6 +168,116 @@ fig10RunCase(Policy policy, std::uint32_t frame_bytes, double scale,
     return result;
 }
 
+ChaosResult
+chaosRunCase(Policy policy, const fault::FaultPlan &plan,
+             bool hardening, double scale, std::uint64_t seed)
+{
+    sim::PlatformConfig pc;
+    pc.num_cores = 8;
+    sim::Platform platform(pc);
+    sim::Engine engine(platform);
+
+    scenarios::AggTestPmdConfig cfg;
+    cfg.frame_bytes = 64;
+    cfg.flows = 1;
+    cfg.seed = seed;
+    scenarios::AggTestPmdWorld world(platform, cfg);
+    world.attach(engine);
+
+    core::IatParams params;
+    params.interval_seconds = 5e-3;
+
+    fault::FaultPlan effective = plan;
+    if (effective.seed == 0)
+        effective.seed = seed;
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (effective.any())
+        injector = std::make_unique<fault::FaultInjector>(effective);
+
+    PolicyRuntime runtime;
+    runtime.attach(policy, platform, world.registry(), engine, params,
+                   core::TenantModel::Aggregation, nullptr,
+                   injector.get(), hardening);
+    if (injector) {
+        for (unsigned i = 0; i < world.nicCount(); ++i)
+            injector->addNic(world.nic(i));
+        injector->setRegistry(&world.registry());
+        injector->arm(engine, platform);
+    }
+
+    // Intent-vs-hardware drift, sampled at plateau checkpoints: a
+    // mid-run divergence repaired later is still a misallocation the
+    // unhardened daemon never noticed.
+    const auto sampleDrift = [&]() -> unsigned {
+        if (!runtime.daemon)
+            return 0;
+        const auto &d = *runtime.daemon;
+        unsigned drift = static_cast<unsigned>(
+            std::abs(static_cast<int>(d.ddioWays()) -
+                     static_cast<int>(
+                         platform.pqos().ddioGetWays().count())));
+        // Churn can leave the allocator and registry briefly out of
+        // sync (resolved at the daemon's next Get Tenant Info).
+        const std::size_t tenants = std::min(
+            world.registry().size(), d.allocator().tenantCount());
+        for (std::size_t t = 0; t < tenants; ++t) {
+            const int intent =
+                static_cast<int>(d.allocator().tenantWays(t));
+            const int hw = static_cast<int>(
+                platform.pqos()
+                    .l3caGet(static_cast<cache::ClosId>(t + 1))
+                    .count());
+            drift += static_cast<unsigned>(std::abs(intent - hw));
+        }
+        return drift;
+    };
+
+    ChaosResult r;
+    double tx_total = 0.0;
+    double window_total = 0.0;
+    for (const auto flows : fig09FlowPlateaus()) {
+        world.setFlows(flows);
+        engine.run(0.05 * scale); // settle at the new population
+        world.resetStats();
+        const double window = 0.03 * scale;
+        engine.run(window);
+        tx_total += static_cast<double>(world.txPackets());
+        window_total += window;
+        r.mask_drift_ways =
+            std::max(r.mask_drift_ways, sampleDrift());
+    }
+
+    r.tx_mpps = tx_total / window_total / 1e6;
+    r.hw_ddio_ways = platform.pqos().ddioGetWays().count();
+    for (std::size_t t = 0; t < world.registry().size(); ++t) {
+        r.hw_tenant_ways.push_back(
+            platform.pqos()
+                .l3caGet(static_cast<cache::ClosId>(t + 1))
+                .count());
+    }
+    if (runtime.daemon) {
+        const auto &d = *runtime.daemon;
+        r.intended_ddio_ways = d.ddioWays();
+        r.degraded_enters = d.degradedEnters();
+        r.degraded_exits = d.degradedExits();
+        r.missed_polls = d.missedPolls();
+        r.bad_samples = d.badSamples();
+        r.write_retries = d.writeRetries();
+        r.write_failures = d.writeFailures();
+        r.outliers_clamped =
+            runtime.daemon->monitor().outliersClamped();
+    }
+    if (injector) {
+        r.read_faults = injector->readFaults();
+        r.write_rejects = injector->writeRejects();
+        r.polls_dropped = injector->pollsDropped();
+        r.link_flaps = injector->linkFlaps();
+        r.ring_stalls = injector->ringStalls();
+        r.churn_events = injector->churnEvents();
+    }
+    return r;
+}
+
 namespace {
 
 Policy
@@ -270,6 +383,51 @@ l3fwdTrial(const exp::TrialContext &ctx)
     return result;
 }
 
+/**
+ * Chaos trial: the fig09 ramp under the spec's `[fault]` plan. The
+ * `hardening` parameter (default on) is the A/B kill switch; the
+ * `policy` parameter defaults to the full daemon, the subject of the
+ * hardening work.
+ */
+exp::TrialResult
+chaosTrial(const exp::TrialContext &ctx)
+{
+    const auto plan = fault::FaultPlan::fromPairs(ctx.params);
+    const bool hardening = ctx.getBool("hardening", true);
+    Policy policy = Policy::Iat;
+    if (ctx.find("policy") != nullptr)
+        policy = policyParam(ctx);
+    const auto r =
+        chaosRunCase(policy, plan, hardening, ctx.scale, ctx.seed);
+
+    exp::TrialResult result;
+    result.add("tx_mpps", r.tx_mpps);
+    result.add("hw_ddio_ways", r.hw_ddio_ways);
+    result.add("intended_ddio_ways", r.intended_ddio_ways);
+    result.add("mask_drift_ways", r.mask_drift_ways);
+    result.add("degraded_enters",
+               static_cast<double>(r.degraded_enters));
+    result.add("degraded_exits",
+               static_cast<double>(r.degraded_exits));
+    result.add("missed_polls", static_cast<double>(r.missed_polls));
+    result.add("bad_samples", static_cast<double>(r.bad_samples));
+    result.add("write_retries",
+               static_cast<double>(r.write_retries));
+    result.add("write_failures",
+               static_cast<double>(r.write_failures));
+    result.add("outliers_clamped",
+               static_cast<double>(r.outliers_clamped));
+    result.add("read_faults", static_cast<double>(r.read_faults));
+    result.add("write_rejects",
+               static_cast<double>(r.write_rejects));
+    result.add("polls_dropped",
+               static_cast<double>(r.polls_dropped));
+    result.add("link_flaps", static_cast<double>(r.link_flaps));
+    result.add("ring_stalls", static_cast<double>(r.ring_stalls));
+    result.add("churn_events", static_cast<double>(r.churn_events));
+    return result;
+}
+
 } // namespace
 
 void
@@ -291,6 +449,10 @@ registerPaperSweeps(exp::TrialRegistry &registry)
                  "fixed-rate l3fwd point probe; params frame_bytes, "
                  "ring_entries, rate_mpps, flows",
                  l3fwdTrial);
+    registry.add("chaos",
+                 "Fig 9 agg_testpmd ramp under a [fault] plan; "
+                 "params policy, hardening + fault.* knobs",
+                 chaosTrial);
 }
 
 } // namespace iat::bench

@@ -22,6 +22,7 @@
 
 #include "bench/common.hh"
 #include "exp/trial.hh"
+#include "fault/plan.hh"
 
 namespace iat::bench {
 
@@ -87,10 +88,73 @@ Fig10Result fig10RunCase(Policy policy, std::uint32_t frame_bytes,
                          double scale, std::uint64_t seed);
 /// @}
 
+/// @name Chaos: the Fig 9 agg_testpmd ramp under a fault plan
+/// @{
+
+/** End-of-campaign summary of one chaos (or fault-free) run. */
+struct ChaosResult
+{
+    /** Mean TX rate across all measurement windows of the ramp. */
+    double tx_mpps = 0.0;
+
+    /** Actual DDIO ways programmed in "hardware" at run end. */
+    unsigned hw_ddio_ways = 0;
+
+    /** The daemon's idea of the DDIO ways at run end. */
+    unsigned intended_ddio_ways = 0;
+
+    /**
+     * Max over the plateau checkpoints of the sum over tenants and
+     * DDIO of |intended ways - hardware ways|: the misallocation
+     * signature. The hardened daemon retries rejected writes until
+     * intent and hardware agree; the unhardened one books rejected
+     * writes as done and drifts until an unrelated re-program
+     * happens to repair the register.
+     */
+    unsigned mask_drift_ways = 0;
+
+    /** Hardware tenant ways at run end (index = tenant), for
+     *  comparing end allocations across A/B rows. */
+    std::vector<unsigned> hw_tenant_ways;
+
+    /// @name Daemon hardening counters (zero for non-IAT policies)
+    /// @{
+    std::uint64_t degraded_enters = 0;
+    std::uint64_t degraded_exits = 0;
+    std::uint64_t missed_polls = 0;
+    std::uint64_t bad_samples = 0;
+    std::uint64_t write_retries = 0;
+    std::uint64_t write_failures = 0;
+    std::uint64_t outliers_clamped = 0;
+    /// @}
+
+    /// @name Injected-fault counters (zero on fault-free runs)
+    /// @{
+    std::uint64_t read_faults = 0;
+    std::uint64_t write_rejects = 0;
+    std::uint64_t polls_dropped = 0;
+    std::uint64_t link_flaps = 0;
+    std::uint64_t ring_stalls = 0;
+    std::uint64_t churn_events = 0;
+    /// @}
+};
+
+/**
+ * Run the Fig 9 flow-count ramp (the full agg_testpmd campaign)
+ * under @p policy with @p plan injected. An empty plan (any() false)
+ * runs fault-free with no injector built, so the fault-free row is
+ * bit-identical to a plain fig09 ramp. A plan whose seed is 0 gets
+ * @p seed, keeping chaos trials reproducible per-trial.
+ */
+ChaosResult chaosRunCase(Policy policy, const fault::FaultPlan &plan,
+                         bool hardening, double scale,
+                         std::uint64_t seed);
+/// @}
+
 /**
  * Register every paper sweep ("fig03", "fig09", "fig10", plus the
- * fixed-rate "l3fwd" point probe used by smoke campaigns) into
- * @p registry.
+ * fixed-rate "l3fwd" point probe used by smoke campaigns and the
+ * "chaos" fault-injection campaign) into @p registry.
  */
 void registerPaperSweeps(exp::TrialRegistry &registry);
 

@@ -57,8 +57,10 @@ CoreOnlyPolicy::applyMasks()
         const auto mask = alloc_.tenantMask(t);
         if (mask == programmed_[t])
             continue;
-        pqos_.l3caSet(tenantClos(t), mask);
-        programmed_[t] = mask;
+        // A transiently rejected write leaves programmed_ stale so
+        // the next tick's applyMasks() retries it.
+        if (pqos_.l3caSet(tenantClos(t), mask))
+            programmed_[t] = mask;
     }
     // No ddioSetWays / ddioPoll calls anywhere in this policy: it is
     // blind to the I/O by construction.
@@ -202,8 +204,9 @@ IoIsolationPolicy::layoutAndApply()
     for (std::size_t t = 0; t < masks_.size(); ++t) {
         if (masks_[t] == programmed_[t])
             continue;
-        pqos_.l3caSet(tenantClos(t), masks_[t]);
-        programmed_[t] = masks_[t];
+        // Re-tried on the next layoutAndApply() if rejected.
+        if (pqos_.l3caSet(tenantClos(t), masks_[t]))
+            programmed_[t] = masks_[t];
     }
 }
 

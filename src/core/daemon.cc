@@ -83,7 +83,9 @@ IatDaemon::setTelemetry(obs::Telemetry *telemetry)
     if (!telemetry) {
         tracer_ = nullptr;
         m_ticks_ = m_stable_ticks_ = m_transitions_ = m_shuffles_ =
-            m_way_reallocs_ = m_msr_reads_ = m_msr_writes_ = nullptr;
+            m_way_reallocs_ = m_msr_reads_ = m_msr_writes_ =
+                m_bad_samples_ = m_missed_polls_ = m_degraded_ =
+                    m_write_retries_ = m_write_failures_ = nullptr;
         h_poll_ = h_transition_ = h_realloc_ = nullptr;
         return;
     }
@@ -96,6 +98,11 @@ IatDaemon::setTelemetry(obs::Telemetry *telemetry)
     m_way_reallocs_ = &m.counter("daemon.way_reallocs");
     m_msr_reads_ = &m.counter("daemon.msr_reads");
     m_msr_writes_ = &m.counter("daemon.msr_writes");
+    m_bad_samples_ = &m.counter("daemon.bad_samples");
+    m_missed_polls_ = &m.counter("daemon.missed_polls");
+    m_degraded_ = &m.counter("daemon.degraded_enters");
+    m_write_retries_ = &m.counter("daemon.msr_write_retries");
+    m_write_failures_ = &m.counter("daemon.msr_write_failures");
     h_poll_ = &m.histogram("daemon.poll_seconds");
     h_transition_ = &m.histogram("daemon.transition_seconds");
     h_realloc_ = &m.histogram("daemon.realloc_seconds");
@@ -116,6 +123,38 @@ IatDaemon::traceTransition(IatState from, IatState to)
     }
 }
 
+template <typename Op>
+bool
+IatDaemon::programOp(Op &&op)
+{
+    if (op())
+        return true;
+    if (hardening_) {
+        for (unsigned i = 0; i < params_.msr_write_retries; ++i) {
+            ++write_retries_;
+            if (m_write_retries_)
+                m_write_retries_->inc();
+            if (op())
+                return true;
+        }
+    }
+    ++write_failures_;
+    if (m_write_failures_)
+        m_write_failures_->inc();
+    if (tracer_ && tracer_->enabled()) {
+        tracer_->instant(trace_now_, "daemon", "daemon.wrmsr_failed",
+                         {{"tick", ticks_}});
+    }
+    return false;
+}
+
+void
+IatDaemon::setHardeningEnabled(bool on)
+{
+    hardening_ = on;
+    monitor_.setHardeningEnabled(on);
+}
+
 void
 IatDaemon::getTenantInfoAndAlloc()
 {
@@ -133,19 +172,89 @@ IatDaemon::getTenantInfoAndAlloc()
     // PC and the software stack at the bottom, BE tenants on top.
     alloc_.setOrder(computeShuffleOrder(specs, {}, {}));
 
+    bool setup_ok = true;
     for (std::size_t t = 0; t < specs.size(); ++t) {
-        for (const auto core : specs[t].cores)
-            pqos_.allocAssocSet(core, tenantClos(t));
+        for (const auto core : specs[t].cores) {
+            setup_ok &= programOp(
+                [&] { return pqos_.allocAssocSet(core,
+                                                 tenantClos(t)); });
+        }
     }
 
     programmed_masks_.assign(specs.size(), cache::WayMask{});
     programmed_ddio_ways_ = alloc_.ddioWays();
     applyMasks();
 
-    monitor_.attach(registry_);
+    setup_ok &= monitor_.attach(registry_);
+    // A half-programmed setup (CLOS association or RMID binding lost
+    // to a transient rejection) cannot be patched incrementally:
+    // hardened, redo the whole Get Tenant Info next tick.
+    if (hardening_ && !setup_ok)
+        registry_.markDirty();
     fsm_.reset(IatState::LowKeep);
     have_ref_history_ = false;
     pending_grow_tenant_ = kNoTenant;
+}
+
+void
+IatDaemon::enterDegraded()
+{
+    degraded_ = true;
+    ++degraded_enters_;
+    if (m_degraded_)
+        m_degraded_->inc();
+    // Static fallback: every tenant back to its initial allocation,
+    // DDIO pinned at the floor. Known-safe, needs no samples.
+    alloc_.setTenants(initial_ways_);
+    alloc_.setDdioWays(params_.ddio_ways_min);
+    applyMasks();
+    const IatState before = fsm_.state();
+    fsm_.reset(IatState::LowKeep);
+    traceTransition(before, fsm_.state());
+    pending_grow_tenant_ = kNoTenant;
+    if (tracer_ && tracer_->enabled()) {
+        tracer_->instant(trace_now_, "daemon", "daemon.degraded",
+                         {{"bad_streak", static_cast<std::uint64_t>(
+                               bad_streak_)},
+                          {"tick", ticks_}});
+    }
+}
+
+void
+IatDaemon::exitDegraded()
+{
+    degraded_ = false;
+    ++degraded_exits_;
+    if (tracer_ && tracer_->enabled()) {
+        tracer_->instant(trace_now_, "daemon", "daemon.recovered",
+                         {{"good_streak", static_cast<std::uint64_t>(
+                               good_streak_)},
+                          {"tick", ticks_}});
+    }
+    // Re-engage through a full Get Tenant Info: fresh monitor
+    // baselines, FSM from LowKeep -- as if the daemon had restarted.
+    registry_.markDirty();
+}
+
+void
+IatDaemon::updateSampleHealth(const SystemSample &sample)
+{
+    if (sample.suspect) {
+        ++bad_samples_;
+        if (m_bad_samples_)
+            m_bad_samples_->inc();
+        ++bad_streak_;
+        good_streak_ = 0;
+        if (!degraded_ &&
+            bad_streak_ >= params_.bad_samples_to_degrade)
+            enterDegraded();
+    } else {
+        ++good_streak_;
+        bad_streak_ = 0;
+        if (degraded_ &&
+            good_streak_ >= params_.good_samples_to_recover)
+            exitDegraded();
+    }
 }
 
 void
@@ -156,7 +265,15 @@ IatDaemon::applyMasks()
         const auto mask = alloc_.tenantMask(t);
         if (mask == programmed_masks_[t])
             continue;
-        pqos_.l3caSet(tenantClos(t), mask);
+        const bool ok =
+            programOp([&] { return pqos_.l3caSet(tenantClos(t),
+                                                 mask); });
+        // Hardened: a persistently rejected write leaves programmed_
+        // stale, so the next applyMasks() retries it. Unhardened, the
+        // daemon believes its own write -- the paper daemon never
+        // checks pqos return codes -- and the divergence persists.
+        if (!ok && hardening_)
+            continue;
         programmed_masks_[t] = mask;
         if (m_way_reallocs_)
             m_way_reallocs_->inc();
@@ -168,7 +285,10 @@ IatDaemon::applyMasks()
         }
     }
     if (alloc_.ddioWays() != programmed_ddio_ways_) {
-        pqos_.ddioSetWays(alloc_.ddioMask());
+        const bool ok = programOp(
+            [&] { return pqos_.ddioSetWays(alloc_.ddioMask()); });
+        if (!ok && hardening_)
+            return;
         programmed_ddio_ways_ = alloc_.ddioWays();
         if (m_way_reallocs_)
             m_way_reallocs_->inc();
@@ -377,6 +497,31 @@ IatDaemon::tick(double now)
     if (m_ticks_)
         m_ticks_->inc();
 
+    // Missed-poll watchdog: when the tick arrives late (dropped or
+    // delayed polls), the counter deltas cover the real elapsed time,
+    // so rates computed against the nominal interval would be inflated
+    // by the gap ratio. Hardened, measure over the observed gap.
+    // On-time ticks keep the nominal interval -- accumulating
+    // (k+1)*i - k*i instead can differ in the last ulp and would
+    // perturb fault-free runs.
+    double dt = params_.interval_seconds;
+    if (hardening_ && have_tick_time_) {
+        const double gap = now - last_tick_time_;
+        if (gap > 1.5 * params_.interval_seconds) {
+            ++missed_polls_;
+            if (m_missed_polls_)
+                m_missed_polls_->inc();
+            if (tracer_ && tracer_->enabled()) {
+                tracer_->instant(now, "daemon", "daemon.missed_poll",
+                                 {{"gap_seconds", gap},
+                                  {"tick", ticks_}});
+            }
+            dt = gap;
+        }
+    }
+    last_tick_time_ = now;
+    have_tick_time_ = true;
+
     if (registry_.consumeDirty()) {
         const IatState before = fsm_.state();
         if (tracer_ && tracer_->enabled()) {
@@ -397,14 +542,35 @@ IatDaemon::tick(double now)
     const auto t0 = Clock::now();
 
     // Detect external DDIO reconfiguration (Fig 10 flips the way
-    // count under the daemon at t=15s).
+    // count under the daemon at t=15s). Compare hardware against what
+    // the daemon last successfully programmed, not the allocator's
+    // intent: after a rejected write those differ, and adopting the
+    // stale hardware value as an "external change" would silently
+    // cancel the retry.
     const unsigned hw_ddio = pqos_.ddioGetWays().count();
-    if (hw_ddio != alloc_.ddioWays()) {
+    if (hw_ddio != programmed_ddio_ways_) {
         alloc_.setDdioWays(hw_ddio);
         programmed_ddio_ways_ = hw_ddio;
     }
 
-    SystemSample sample = monitor_.poll(params_.interval_seconds);
+    SystemSample sample = monitor_.poll(dt);
+
+    if (hardening_) {
+        updateSampleHealth(sample);
+        if (degraded_) {
+            // Poll-only tick: the static fallback allocation stands
+            // until enough clean samples accumulate. exitDegraded()
+            // re-runs Get Tenant Info via the dirty flag.
+            const auto t_done = Clock::now();
+            timing.poll_seconds = seconds(t0, t_done);
+            timing.stable = true;
+            timing.msr_reads = bus.readCount() - reads0;
+            timing.msr_writes = bus.writeCount() - writes0;
+            last_timing_ = timing;
+            last_sample_ = std::move(sample);
+            return;
+        }
+    }
 
     // System-wide LLC reference delta for the FSM.
     std::uint64_t total_refs = 0;

@@ -86,6 +86,26 @@ class IatDaemon
     void setTenantTuningEnabled(bool on) { tenant_tuning_ = on; }
     /// @}
 
+    /**
+     * Toggle fault hardening (on by default): outlier clamping in the
+     * Monitor, MSR write retry, the missed-poll watchdog, and the
+     * degraded-mode fallback. The kill switch exists so chaos A/B
+     * runs can demonstrate what the hardening buys.
+     */
+    void setHardeningEnabled(bool on);
+    bool hardeningEnabled() const { return hardening_; }
+
+    /// @name Hardening observability
+    /// @{
+    bool degraded() const { return degraded_; }
+    std::uint64_t missedPolls() const { return missed_polls_; }
+    std::uint64_t badSamples() const { return bad_samples_; }
+    std::uint64_t degradedEnters() const { return degraded_enters_; }
+    std::uint64_t degradedExits() const { return degraded_exits_; }
+    std::uint64_t writeRetries() const { return write_retries_; }
+    std::uint64_t writeFailures() const { return write_failures_; }
+    /// @}
+
     IatState state() const { return fsm_.state(); }
     unsigned ddioWays() const { return alloc_.ddioWays(); }
     const WayAllocator &allocator() const { return alloc_; }
@@ -113,6 +133,19 @@ class IatDaemon
 
     void getTenantInfoAndAlloc();
     void traceTransition(IatState from, IatState to);
+
+    /**
+     * Run one programming op (a pqos setter returning success); on
+     * transient rejection the hardened path retries up to
+     * IatParams::msr_write_retries times in-tick. Returns whether
+     * the op eventually succeeded.
+     */
+    template <typename Op> bool programOp(Op &&op);
+
+    /** Per-sample health accounting; may enter/exit degraded mode. */
+    void updateSampleHealth(const SystemSample &sample);
+    void enterDegraded();
+    void exitDegraded();
     GateAction stabilityGate(const SystemSample &sample);
     void actOnState(IatState state, const SystemSample &sample);
     bool reclaimOne(const SystemSample &sample);
@@ -152,6 +185,23 @@ class IatDaemon
     std::uint64_t stable_ticks_ = 0;
     std::uint64_t shuffles_ = 0;
 
+    /// @name Hardening state
+    /// @{
+    bool hardening_ = true;
+    bool degraded_ = false;
+    unsigned bad_streak_ = 0;
+    unsigned good_streak_ = 0;
+    /** Missed-poll watchdog: timestamp of the previous tick. */
+    double last_tick_time_ = 0.0;
+    bool have_tick_time_ = false;
+    std::uint64_t missed_polls_ = 0;
+    std::uint64_t bad_samples_ = 0;
+    std::uint64_t degraded_enters_ = 0;
+    std::uint64_t degraded_exits_ = 0;
+    std::uint64_t write_retries_ = 0;
+    std::uint64_t write_failures_ = 0;
+    /// @}
+
     /// @name Observability (all null when detached)
     /// @{
     obs::Telemetry *telemetry_ = nullptr;
@@ -163,6 +213,11 @@ class IatDaemon
     obs::Counter *m_way_reallocs_ = nullptr;
     obs::Counter *m_msr_reads_ = nullptr;
     obs::Counter *m_msr_writes_ = nullptr;
+    obs::Counter *m_bad_samples_ = nullptr;
+    obs::Counter *m_missed_polls_ = nullptr;
+    obs::Counter *m_degraded_ = nullptr;
+    obs::Counter *m_write_retries_ = nullptr;
+    obs::Counter *m_write_failures_ = nullptr;
     obs::Histogram *h_poll_ = nullptr;
     obs::Histogram *h_transition_ = nullptr;
     obs::Histogram *h_realloc_ = nullptr;

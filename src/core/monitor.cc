@@ -5,6 +5,8 @@
 
 #include "core/monitor.hh"
 
+#include <cmath>
+
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -20,11 +22,23 @@ signedDelta(double prev, double cur)
     return (cur - prev) / base;
 }
 
+/** A masked delta above 2^47 means the counter "went backwards". */
+constexpr std::uint64_t kImplausibleDelta = kCounterMask >> 1;
+
+/** EWMA smoothing factor for the per-stream clamp estimate. */
+constexpr double kEwmaAlpha = 0.25;
+
+/** Deltas more than this multiple of the EWMA are clamped when hot. */
+constexpr double kOutlierFactor = 8.0;
+
+/** Polls a stream stays under heightened scrutiny after a trigger. */
+constexpr unsigned kHotWindow = 4;
+
 } // namespace
 
 Monitor::Monitor(rdt::PqosSystem &pqos) : pqos_(pqos) {}
 
-void
+bool
 Monitor::attach(const TenantRegistry &registry)
 {
     groups_.clear();
@@ -39,10 +53,52 @@ Monitor::attach(const TenantRegistry &registry)
             spec.cores, static_cast<cache::RmidId>(i + 1)));
     }
     // Baseline snapshot so the first poll yields interval deltas.
-    for (auto &group : groups_)
+    bool ok = true;
+    for (auto &group : groups_) {
+        ok &= group.programmed;
         prev_raw_.push_back(pqos_.monPoll(group));
+    }
     prev_ddio_ = pqos_.ddioPoll();
     prev_sample_.resize(groups_.size());
+    streams_.assign(groups_.size() * 5 + 2, StreamState{});
+    last_good_occupancy_.assign(groups_.size(), 0);
+    return ok;
+}
+
+std::uint64_t
+Monitor::filterDelta(StreamState &st, std::uint64_t delta,
+                     bool tainted, unsigned &flagged)
+{
+    const bool implausible = delta > kImplausibleDelta;
+    if (implausible || tainted) {
+        st.hot = kHotWindow;
+        ++flagged;
+    }
+
+    std::uint64_t out = delta;
+    bool clamped = false;
+    if (hardening_ && st.hot > 0) {
+        const double estimate = st.primed ? st.ewma : 0.0;
+        if (implausible || tainted ||
+            static_cast<double>(delta) >
+                kOutlierFactor * estimate) {
+            out = static_cast<std::uint64_t>(
+                std::llround(std::max(estimate, 0.0)));
+            clamped = true;
+            ++outliers_clamped_;
+        }
+        --st.hot;
+    }
+
+    // Only sane deltas feed the estimate; a clamped poll must not
+    // drag the EWMA toward the corrupt value.
+    if (!clamped && !implausible && !tainted) {
+        st.ewma = st.primed ? kEwmaAlpha * static_cast<double>(delta) +
+                                  (1.0 - kEwmaAlpha) * st.ewma
+                            : static_cast<double>(delta);
+        st.primed = true;
+    }
+    return out;
 }
 
 SystemSample
@@ -57,17 +113,36 @@ Monitor::poll(double dt)
         const auto raw = pqos_.monPoll(groups_[i]);
         const auto &prev = prev_raw_[i];
         TenantSample &t = sample.tenants[i];
+        StreamState *st = &streams_[i * 5];
+        const bool tainted = raw.suspect;
 
-        const std::uint64_t d_inst =
-            raw.instructions - prev.instructions;
-        const std::uint64_t d_cycles = raw.cycles - prev.cycles;
+        const std::uint64_t d_inst = filterDelta(
+            st[0], counterDelta(raw.instructions, prev.instructions),
+            tainted, sample.suspect_streams);
+        const std::uint64_t d_cycles = filterDelta(
+            st[1], counterDelta(raw.cycles, prev.cycles), tainted,
+            sample.suspect_streams);
         t.ipc = d_cycles ? static_cast<double>(d_inst) /
                                static_cast<double>(d_cycles)
                          : 0.0;
-        t.llc_refs = raw.llc_refs - prev.llc_refs;
-        t.llc_misses = raw.llc_misses - prev.llc_misses;
-        t.occupancy_bytes = raw.llc_occupancy_bytes;
-        t.mbm_bytes = raw.mbm_bytes - prev.mbm_bytes;
+        t.llc_refs = filterDelta(
+            st[2], counterDelta(raw.llc_refs, prev.llc_refs), tainted,
+            sample.suspect_streams);
+        t.llc_misses = filterDelta(
+            st[3], counterDelta(raw.llc_misses, prev.llc_misses),
+            tainted, sample.suspect_streams);
+        t.mbm_bytes = filterDelta(
+            st[4], counterDelta(raw.mbm_bytes, prev.mbm_bytes),
+            tainted, sample.suspect_streams);
+
+        // Occupancy is a level, not a delta: through a suspect poll
+        // the hardened path holds the last clean reading.
+        if (hardening_ && tainted)
+            t.occupancy_bytes = last_good_occupancy_[i];
+        else
+            t.occupancy_bytes = raw.llc_occupancy_bytes;
+        if (!tainted)
+            last_good_occupancy_[i] = raw.llc_occupancy_bytes;
 
         if (have_history_) {
             const TenantSample &p = prev_sample_[i];
@@ -84,8 +159,13 @@ Monitor::poll(double dt)
     }
 
     const auto ddio = pqos_.ddioPoll();
-    sample.ddio_hits = ddio.hits - prev_ddio_.hits;
-    sample.ddio_misses = ddio.misses - prev_ddio_.misses;
+    StreamState *dst = &streams_[groups_.size() * 5];
+    sample.ddio_hits =
+        filterDelta(dst[0], counterDelta(ddio.hits, prev_ddio_.hits),
+                    false, sample.suspect_streams);
+    sample.ddio_misses = filterDelta(
+        dst[1], counterDelta(ddio.misses, prev_ddio_.misses), false,
+        sample.suspect_streams);
     if (have_history_) {
         sample.d_ddio_hits = signedDelta(
             static_cast<double>(prev_ddio_hits_delta_),
@@ -99,6 +179,7 @@ Monitor::poll(double dt)
     prev_ddio_misses_delta_ = sample.ddio_misses;
     prev_sample_ = sample.tenants;
     have_history_ = true;
+    sample.suspect = sample.suspect_streams > 0;
     return sample;
 }
 

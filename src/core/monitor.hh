@@ -6,6 +6,15 @@
  * The monitor keeps the previous raw counter snapshot and publishes
  * per-interval deltas plus signed relative changes, which is exactly
  * the form the stability gate and the FSM consume.
+ *
+ * Hardware counters are 48-bit and wrap; all delta math masks to 48
+ * bits before subtraction. With hardening enabled the monitor also
+ * clamps implausible deltas (wrap artifacts, injected sampling noise)
+ * to an EWMA of the stream's recent history, and flags the sample so
+ * the daemon can count consecutive bad polls. Clamping only engages
+ * on evidence of corruption -- a delta bigger than 2^47 or a rejected
+ * event-select write -- so fault-free runs are bit-identical to the
+ * unhardened path.
  */
 
 #ifndef IATSIM_CORE_MONITOR_HH
@@ -18,6 +27,16 @@
 #include "rdt/pqos.hh"
 
 namespace iat::core {
+
+/** Uncore/PMU counters are 48 bits wide; deltas wrap modulo 2^48. */
+constexpr std::uint64_t kCounterMask = (std::uint64_t{1} << 48) - 1;
+
+/** Wrap-aware interval delta of a 48-bit monotonic counter. */
+inline std::uint64_t
+counterDelta(std::uint64_t cur, std::uint64_t prev)
+{
+    return (cur - prev) & kCounterMask;
+}
 
 /** One tenant's interval measurements. */
 struct TenantSample
@@ -53,6 +72,16 @@ struct SystemSample
     double d_ddio_misses = 0.0;
     double interval_seconds = 0.0;
 
+    /**
+     * True when any counter stream showed evidence of corruption this
+     * interval (implausible wrap-sized delta, or a poll whose event
+     * selection failed to program). The daemon's degradation logic
+     * counts consecutive suspect samples.
+     */
+    bool suspect = false;
+    /** Number of counter streams flagged this interval. */
+    unsigned suspect_streams = 0;
+
     double
     ddioMissesPerSecond() const
     {
@@ -71,9 +100,11 @@ class Monitor
 
     /**
      * (Re-)create monitoring groups: tenant i gets RMID i+1 across
-     * its cores. Clears history.
+     * its cores. Clears history. Returns false if any group's RMID
+     * programming was transiently rejected (the caller should retry
+     * the attach on its next tick).
      */
-    void attach(const TenantRegistry &registry);
+    bool attach(const TenantRegistry &registry);
 
     /**
      * Poll all groups; @p dt is the time since the previous poll.
@@ -81,13 +112,41 @@ class Monitor
      */
     SystemSample poll(double dt);
 
+    /**
+     * Toggle outlier clamping (on by default). Wrap-aware masking is
+     * always applied -- it is a bug fix, not a policy; hardening
+     * additionally clamps corrupt deltas to the stream EWMA and holds
+     * last-good occupancy/MBM through suspect polls.
+     */
+    void setHardeningEnabled(bool on) { hardening_ = on; }
+    bool hardeningEnabled() const { return hardening_; }
+
+    /** Total deltas replaced by their EWMA estimate since attach(). */
+    std::uint64_t outliersClamped() const { return outliers_clamped_; }
+
     std::size_t groupCount() const { return groups_.size(); }
 
   private:
-    struct RawTenant
+    /**
+     * Per-stream clamp state. `hot` is the hysteresis window: after a
+     * corruption event the stream stays in heightened scrutiny for a
+     * few polls, so noise bursts straddling the trigger get smoothed
+     * rather than admitted one poll late.
+     */
+    struct StreamState
     {
-        rdt::MonCounters counters;
+        double ewma = 0.0;
+        bool primed = false;
+        unsigned hot = 0;
     };
+
+    /**
+     * Run one stream's delta through the hardening filter; returns
+     * the (possibly clamped) delta and updates the stream state.
+     * @p tainted marks external suspicion (rejected EVTSEL write).
+     */
+    std::uint64_t filterDelta(StreamState &st, std::uint64_t delta,
+                              bool tainted, unsigned &flagged);
 
     rdt::PqosSystem &pqos_;
     std::vector<rdt::MonGroup> groups_;
@@ -98,6 +157,13 @@ class Monitor
     std::uint64_t prev_ddio_hits_delta_ = 0;
     std::uint64_t prev_ddio_misses_delta_ = 0;
     bool have_history_ = false;
+
+    bool hardening_ = true;
+    /** 5 streams per tenant (inst/cycles/refs/misses/mbm) + 2 DDIO. */
+    std::vector<StreamState> streams_;
+    /** Last occupancy/MBM level accepted from a clean poll. */
+    std::vector<std::uint64_t> last_good_occupancy_;
+    std::uint64_t outliers_clamped_ = 0;
 };
 
 } // namespace iat::core

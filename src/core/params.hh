@@ -46,6 +46,22 @@ struct IatParams
      * ablation bench quantifies the trade-off.
      */
     bool adaptive_io_step = false;
+
+    /// @name Hardening thresholds (fault model, DESIGN.md SS 11)
+    /// @{
+
+    /** Consecutive suspect samples before the daemon degrades to a
+     *  static DDIO_WAYS_MIN allocation. */
+    unsigned bad_samples_to_degrade = 3;
+
+    /** Consecutive clean samples before a degraded daemon re-engages
+     *  its FSM. */
+    unsigned good_samples_to_recover = 5;
+
+    /** In-tick retries of a transiently rejected MSR write; writes
+     *  still failing carry over to the next tick. */
+    unsigned msr_write_retries = 3;
+    /// @}
 };
 
 } // namespace iat::core

@@ -38,6 +38,16 @@ TenantRegistry::add(TenantSpec spec)
     return tenants_.size() - 1;
 }
 
+TenantSpec
+TenantRegistry::removeLast()
+{
+    IAT_ASSERT(!tenants_.empty(), "no tenant to remove");
+    TenantSpec spec = std::move(tenants_.back());
+    tenants_.pop_back();
+    dirty_ = true;
+    return spec;
+}
+
 namespace {
 
 std::vector<cache::CoreId>

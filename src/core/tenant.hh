@@ -52,6 +52,13 @@ class TenantRegistry
     std::size_t add(TenantSpec spec);
 
     /**
+     * Remove the most recently added tenant and return its spec (so
+     * churn injection can re-add it later). The registry is marked
+     * dirty; the daemon re-runs Get Tenant Info next tick.
+     */
+    TenantSpec removeLast();
+
+    /**
      * Parse records of the form
      *   name cores=0,1 ways=2 prio={pc|be|stack} io={0|1}
      * one per line; '#' starts a comment. Returns tenants added.

@@ -67,8 +67,12 @@ serializeRecord(const std::string &spec_hash, const TrialContext &ctx,
     std::ostringstream out;
     out << "{\"spec_hash\":\"" << jsonEscape(spec_hash) << "\""
         << ",\"sweep\":\"" << jsonEscape(ctx.sweep) << "\""
-        << ",\"trial\":" << ctx.index << ",\"seed\":" << ctx.seed
-        << ",\"params\":{";
+        << ",\"trial\":" << ctx.index << ",\"seed\":" << ctx.seed;
+    // Chaos trials carry their fault-plan digest; fault-free records
+    // keep the exact pre-fault byte layout.
+    if (!ctx.fault_hash.empty())
+        out << ",\"fault_plan\":\"" << jsonEscape(ctx.fault_hash) << "\"";
+    out << ",\"params\":{";
     for (std::size_t i = 0; i < ctx.params.size(); ++i) {
         out << (i ? "," : "") << "\"" << jsonEscape(ctx.params[i].first)
             << "\":\"" << jsonEscape(ctx.params[i].second) << "\"";

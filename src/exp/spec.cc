@@ -11,6 +11,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/hash.hh"
 #include "util/rng.hh"
 
 namespace iat::exp {
@@ -76,19 +77,15 @@ deriveTrialSeed(std::uint64_t campaign_seed, std::uint64_t trial_index)
 std::uint64_t
 fnv1a64(const std::string &text)
 {
-    std::uint64_t hash = 0xcbf29ce484222325ull;
-    for (const char c : text) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 0x100000001b3ull;
-    }
-    return hash;
+    return iat::fnv1a64(text);
 }
 
 ExperimentSpec
 ExperimentSpec::parse(const std::string &text, const std::string &origin)
 {
     ExperimentSpec spec;
-    enum class Section { Top, Params, Axis } section = Section::Top;
+    enum class Section { Top, Params, Axis, Fault } section =
+        Section::Top;
 
     std::istringstream in(text);
     std::string raw;
@@ -110,6 +107,8 @@ ExperimentSpec::parse(const std::string &text, const std::string &origin)
                 section = Section::Params;
             else if (name == "axis")
                 section = Section::Axis;
+            else if (name == "fault")
+                section = Section::Fault;
             else
                 specError(origin, lineno,
                           "unknown section '[" + name + "]'");
@@ -162,6 +161,15 @@ ExperimentSpec::parse(const std::string &text, const std::string &origin)
                 }
             }
             spec.constants.emplace_back(key, value);
+            break;
+          case Section::Fault:
+            for (const auto &[existing, unused] : spec.fault) {
+                if (existing == key) {
+                    specError(origin, lineno,
+                              "duplicate fault knob '" + key + "'");
+                }
+            }
+            spec.fault.emplace_back(key, value);
             break;
           case Section::Axis: {
             for (const auto &axis : spec.axes) {
@@ -231,6 +239,10 @@ ExperimentSpec::canonical(double scale) const
             out << (i ? "," : "") << axis.values[i];
         out << '\n';
     }
+    // Fault knobs fold into the identity only when a [fault] section
+    // exists, so every pre-existing spec keeps its hash.
+    for (const auto &[key, value] : fault)
+        out << "fault." << key << '=' << value << '\n';
     return out.str();
 }
 
@@ -272,6 +284,30 @@ ExperimentSpec::expand(double scale) const
         }
         for (const auto &constant : constants)
             ctx.params.push_back(constant);
+        if (!fault.empty()) {
+            // Fault knobs travel in the parameter list (prefixed) so
+            // trial bodies can rebuild the FaultPlan, and the trial
+            // gets a plan digest covering both the knobs and the
+            // effective seed: a plan that pins its own `seed` hashes
+            // the same across trials, one that defers to the trial
+            // seed hashes per-trial.
+            std::string text;
+            std::uint64_t plan_seed = 0;
+            for (const auto &[key, value] : fault) {
+                ctx.params.emplace_back("fault." + key, value);
+                text += "fault." + key + '=' + value + '\n';
+                if (key == "seed")
+                    plan_seed = std::strtoull(value.c_str(), nullptr, 0);
+            }
+            text += "effective_seed=" +
+                    std::to_string(plan_seed ? plan_seed : ctx.seed) +
+                    '\n';
+            char buf[17];
+            std::snprintf(buf, sizeof(buf), "%016llx",
+                          static_cast<unsigned long long>(
+                              iat::fnv1a64(text)));
+            ctx.fault_hash = buf;
+        }
         trials.push_back(std::move(ctx));
     }
     return trials;

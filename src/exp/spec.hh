@@ -21,6 +21,10 @@
  *   frame_bytes = 64 1500
  *   ring_entries = 1024 512 64  # whitespace and/or commas separate
  *
+ *   [fault]                      # optional fault-injection plan
+ *   read_noise = 0.2             # fault::FaultPlan knobs, see
+ *   write_reject = 0.2           # src/fault/plan.hh
+ *
  * Expansion order is the file's: the first axis varies slowest, the
  * last fastest, so trial indices are stable as long as the spec text
  * is. Trial seeds come from the campaign seed: in `derived` mode
@@ -86,6 +90,15 @@ struct ExperimentSpec
     /** Constants merged into every trial's parameter list. */
     std::vector<std::pair<std::string, std::string>> constants;
     std::vector<AxisSpec> axes;
+
+    /**
+     * The `[fault]` section: fault-injection knobs (fault::FaultPlan
+     * keys), kept as ordered key/value text like constants. Merged
+     * into every trial's parameter list with a `fault.` prefix, and
+     * folded into the canonical text (hence spec_hash) only when
+     * non-empty, so fault-free specs hash exactly as before.
+     */
+    std::vector<std::pair<std::string, std::string>> fault;
 
     /** Parse spec text; throws SpecError with @p origin + line info. */
     static ExperimentSpec parse(const std::string &text,

@@ -38,6 +38,14 @@ struct TrialContext
     std::uint64_t seed = 0; ///< per-trial seed (see spec seed_mode)
     double scale = 1.0;     ///< measurement-window scale (--quick)
 
+    /**
+     * Fault-plan digest (16 hex digits), non-empty only when the spec
+     * has a `[fault]` section: FNV-1a of the fault knob lines plus the
+     * effective injector seed, so chaos trials are attributable to an
+     * exact plan from the JSONL record alone.
+     */
+    std::string fault_hash;
+
     std::vector<std::pair<std::string, std::string>> params;
 
     /** Raw lookup; nullptr when the parameter is absent. */

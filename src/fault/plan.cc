@@ -1,0 +1,176 @@
+/**
+ * @file
+ * FaultPlan parsing, canonicalization and hashing.
+ */
+
+#include "fault/plan.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/hash.hh"
+
+namespace iat::fault {
+
+namespace {
+
+double
+parseDouble(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+        throw std::runtime_error("fault." + key +
+                                 " expects a number, got '" + value +
+                                 "'");
+    }
+    return parsed;
+}
+
+std::uint64_t
+parseU64(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const std::uint64_t parsed =
+        std::strtoull(value.c_str(), &end, 0);
+    if (end == value.c_str() || *end != '\0') {
+        throw std::runtime_error("fault." + key +
+                                 " expects an integer, got '" +
+                                 value + "'");
+    }
+    return parsed;
+}
+
+void
+appendDouble(std::string &out, const char *key, double value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s=%.17g\n", key, value);
+    out += buf;
+}
+
+void
+appendU64(std::string &out, const char *key, std::uint64_t value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s=%llu\n", key,
+                  static_cast<unsigned long long>(value));
+    out += buf;
+}
+
+} // namespace
+
+bool
+FaultPlan::any() const
+{
+    return counter_offset != 0 || read_noise > 0.0 ||
+           write_reject > 0.0 || poll_drop > 0.0 ||
+           (link_flap_period_seconds > 0.0 &&
+            link_down_seconds > 0.0) ||
+           (ring_stall_period_seconds > 0.0 &&
+            ring_stall_seconds > 0.0) ||
+           churn_period_seconds > 0.0;
+}
+
+void
+FaultPlan::set(const std::string &key, const std::string &value)
+{
+    if (key == "seed")
+        seed = parseU64(key, value);
+    else if (key == "start")
+        start_seconds = parseDouble(key, value);
+    else if (key == "duration")
+        duration_seconds = parseDouble(key, value);
+    else if (key == "counter_offset")
+        counter_offset = parseU64(key, value);
+    else if (key == "read_noise")
+        read_noise = parseDouble(key, value);
+    else if (key == "read_noise_mag")
+        read_noise_mag = parseDouble(key, value);
+    else if (key == "write_reject")
+        write_reject = parseDouble(key, value);
+    else if (key == "poll_drop")
+        poll_drop = parseDouble(key, value);
+    else if (key == "link_flap_period")
+        link_flap_period_seconds = parseDouble(key, value);
+    else if (key == "link_down")
+        link_down_seconds = parseDouble(key, value);
+    else if (key == "ring_stall_period")
+        ring_stall_period_seconds = parseDouble(key, value);
+    else if (key == "ring_stall")
+        ring_stall_seconds = parseDouble(key, value);
+    else if (key == "churn_period")
+        churn_period_seconds = parseDouble(key, value);
+    else
+        throw std::runtime_error("unknown fault knob '" + key + "'");
+}
+
+FaultPlan
+FaultPlan::fromPairs(
+    const std::vector<std::pair<std::string, std::string>> &pairs,
+    const std::string &prefix)
+{
+    FaultPlan plan;
+    for (const auto &[key, value] : pairs) {
+        if (key.rfind(prefix, 0) == 0)
+            plan.set(key.substr(prefix.size()), value);
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fromCli(const CliArgs &args)
+{
+    FaultPlan plan;
+    static const char *const keys[] = {
+        "seed",      "start",
+        "duration",  "counter_offset",
+        "read_noise", "read_noise_mag",
+        "write_reject", "poll_drop",
+        "link_flap_period", "link_down",
+        "ring_stall_period", "ring_stall",
+        "churn_period",
+    };
+    for (const char *key : keys) {
+        std::string flag = "fault-";
+        for (const char *p = key; *p; ++p)
+            flag += *p == '_' ? '-' : *p;
+        if (args.has(flag))
+            plan.set(key, args.getString(flag, ""));
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::canonical() const
+{
+    std::string out;
+    appendU64(out, "seed", seed);
+    appendDouble(out, "start", start_seconds);
+    appendDouble(out, "duration", duration_seconds);
+    appendU64(out, "counter_offset", counter_offset);
+    appendDouble(out, "read_noise", read_noise);
+    appendDouble(out, "read_noise_mag", read_noise_mag);
+    appendDouble(out, "write_reject", write_reject);
+    appendDouble(out, "poll_drop", poll_drop);
+    appendDouble(out, "link_flap_period", link_flap_period_seconds);
+    appendDouble(out, "link_down", link_down_seconds);
+    appendDouble(out, "ring_stall_period", ring_stall_period_seconds);
+    appendDouble(out, "ring_stall", ring_stall_seconds);
+    appendDouble(out, "churn_period", churn_period_seconds);
+    return out;
+}
+
+std::string
+FaultPlan::hash(std::uint64_t trial_seed) const
+{
+    std::string text = canonical();
+    appendU64(text, "effective_seed", seed ? seed : trial_seed);
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(text)));
+    return buf;
+}
+
+} // namespace iat::fault

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * FaultPlan: the declarative description of a fault campaign.
+ *
+ * A plan is a flat set of knobs -- probabilities, magnitudes and
+ * schedules for every fault class the injector can produce -- parsed
+ * from an experiment spec's `[fault]` section (keys arrive with a
+ * `fault.` prefix through the trial parameter list) or from
+ * `--fault-*` CLI flags. A default-constructed plan injects nothing:
+ * `any()` is false and no injector should be built for it, so
+ * fault-free runs carry zero overhead and stay bit-identical.
+ *
+ * Plans hash like experiment specs do: canonical() renders every knob
+ * in fixed order with full double precision, and hash() folds in the
+ * effective seed, so two trials with equal fault_plan digests saw the
+ * same fault schedule, event for event. The digest is stamped into
+ * each chaos trial's JSONL record, making trials attributable.
+ */
+
+#ifndef IATSIM_FAULT_PLAN_HH
+#define IATSIM_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/cli.hh"
+
+namespace iat::fault {
+
+/** Knobs for one fault campaign; see file comment. */
+struct FaultPlan
+{
+    /** Injector RNG seed; 0 defers to the trial seed at build time. */
+    std::uint64_t seed = 0;
+
+    /** When injection arms, in simulated seconds. */
+    double start_seconds = 0.0;
+
+    /** Armed window length; <= 0 keeps faults on until the run ends. */
+    double duration_seconds = 0.0;
+
+    /**
+     * Constant added to every counter-MSR read (mod 2^48) while
+     * armed. An offset near 2^48 parks each counter just below the
+     * wrap boundary, so the arming edge exercises exactly the
+     * 48-bit wraparound the Monitor must mask.
+     */
+    std::uint64_t counter_offset = 0;
+
+    /** Probability a counter read gets multiplicative noise. */
+    double read_noise = 0.0;
+
+    /** Noise magnitude: factors drawn log-uniform in [1/m, m]. */
+    double read_noise_mag = 8.0;
+
+    /** Probability an otherwise-valid wrmsr is rejected. */
+    double write_reject = 0.0;
+
+    /** Probability a daemon poll is dropped entirely. */
+    double poll_drop = 0.0;
+
+    /** NIC link flap cycle; 0 disables flapping. */
+    double link_flap_period_seconds = 0.0;
+
+    /** How long the link stays down per flap. */
+    double link_down_seconds = 0.0;
+
+    /** Rx descriptor-stall cycle; 0 disables stalls. */
+    double ring_stall_period_seconds = 0.0;
+
+    /** How long the Rx side stays stalled per cycle. */
+    double ring_stall_seconds = 0.0;
+
+    /** Tenant churn cycle: departure, then re-arrival one period
+     *  later; 0 disables churn. */
+    double churn_period_seconds = 0.0;
+
+    /** True when any fault class is configured to fire. */
+    bool any() const;
+
+    /**
+     * Set one knob by its spec key (e.g. "read_noise", "link_down").
+     * Throws std::runtime_error on an unknown key or unparsable
+     * value.
+     */
+    void set(const std::string &key, const std::string &value);
+
+    /**
+     * Build from key/value pairs, consuming keys that start with
+     * @p prefix (the trial-parameter convention: the spec's `[fault]`
+     * section lands in TrialContext::params as `fault.<key>`).
+     * Pairs not carrying the prefix are ignored.
+     */
+    static FaultPlan
+    fromPairs(const std::vector<std::pair<std::string, std::string>>
+                  &pairs,
+              const std::string &prefix = "fault.");
+
+    /** Read the `--fault-<key>` flag family (dashes for underscores). */
+    static FaultPlan fromCli(const CliArgs &args);
+
+    /** Fixed-order `key=value` rendering of every knob. */
+    std::string canonical() const;
+
+    /**
+     * 16-hex FNV-1a digest of canonical() plus the effective seed
+     * (the plan's own, or @p trial_seed when the plan defers).
+     */
+    std::string hash(std::uint64_t trial_seed) const;
+};
+
+} // namespace iat::fault
+
+#endif // IATSIM_FAULT_PLAN_HH

@@ -39,6 +39,15 @@ NicQueue::deliverOne(double now)
     if (!active_)
         return;
 
+    if (!link_up_) {
+        ++rx_stats_.drops_link_down;
+        return;
+    }
+    if (rx_stalled_) {
+        ++rx_stats_.drops_stalled;
+        return;
+    }
+
     const std::uint32_t bytes = traffic_.config().frame_bytes;
 
     if (rx_ring_.size() >= rx_ring_.capacity()) {
@@ -93,6 +102,21 @@ NicQueue::deliverUntil(double inactive_limit, double ring_limit,
         do
             t += traffic_.nextGap();
         while (t < inactive_limit);
+    } else if (!link_up_ || rx_stalled_) {
+        // Fault toggles fire between quanta, exactly like setActive,
+        // so the same horizon bounds the regime. The drop paths draw
+        // no flow id, matching deliverOne().
+        if (t >= inactive_limit)
+            return t;
+        std::uint64_t drops = 0;
+        do {
+            t += traffic_.nextGap();
+            ++drops;
+        } while (t < inactive_limit);
+        if (!link_up_)
+            rx_stats_.drops_link_down += drops;
+        else
+            rx_stats_.drops_stalled += drops;
     } else if (rx_ring_.size() >= rx_ring_.capacity()) {
         if (t >= ring_limit)
             return t;

@@ -36,11 +36,14 @@ struct NicRxStats
     std::uint64_t rx_bytes = 0;
     std::uint64_t drops_no_buffer = 0;
     std::uint64_t drops_ring_full = 0;
+    std::uint64_t drops_link_down = 0; ///< fault injection: link flap
+    std::uint64_t drops_stalled = 0;   ///< fault injection: ring stall
 
     std::uint64_t
     totalDrops() const
     {
-        return drops_no_buffer + drops_ring_full;
+        return drops_no_buffer + drops_ring_full + drops_link_down +
+               drops_stalled;
     }
 };
 
@@ -97,6 +100,19 @@ class NicQueue
     void setActive(bool active) { active_ = active; }
     bool active() const { return active_; }
 
+    /// @name Fault injection (toggled between quanta, like setActive)
+    /// @{
+
+    /** Link state: while down, every arrival drops at the MAC. */
+    void setLinkUp(bool up) { link_up_ = up; }
+    bool linkUp() const { return link_up_; }
+
+    /** Rx descriptor fetch stall: arrivals drop as if no descriptor
+     *  were posted, without the ring actually being full. */
+    void setRxStalled(bool stalled) { rx_stalled_ = stalled; }
+    bool rxStalled() const { return rx_stalled_; }
+    /// @}
+
     /** Retarget the offered rate (RFC2544 search, phases). */
     void setRate(double rate_pps) { traffic_.setRate(rate_pps); }
 
@@ -148,6 +164,8 @@ class NicQueue
     BufferPool pool_;
     double next_arrival_;
     bool active_ = true;
+    bool link_up_ = true;
+    bool rx_stalled_ = false;
     std::uint64_t header_split_bytes_ = 0;
 
     NicRxStats rx_stats_;

@@ -89,6 +89,37 @@ class CoreTelemetrySource
     virtual std::uint64_t mbmBytes(cache::RmidId rmid) const = 0;
 };
 
+/** Outcome of a wrmsr. */
+enum class MsrWriteStatus
+{
+    Ok,
+    /** Transient failure injected by a fault hook: the register kept
+     *  its previous value, like a wrmsr(2) syscall returning EIO.
+     *  Model faults (bad CLOS, non-contiguous CBM, unknown address)
+     *  still panic -- those are programming errors, not weather. */
+    Rejected,
+};
+
+/**
+ * Interception point for fault injection on the MSR bus. A hook sees
+ * every completed rdmsr and every validated wrmsr; it may perturb the
+ * value software reads, or veto a write. The bus itself stays
+ * fault-free when no hook is installed (one pointer test per access).
+ */
+class MsrFaultHook
+{
+  public:
+    virtual ~MsrFaultHook() = default;
+
+    /** Perturb a completed rdmsr; returns the value software sees. */
+    virtual std::uint64_t onRead(cache::CoreId core, std::uint32_t addr,
+                                 std::uint64_t value) = 0;
+
+    /** true lets the wrmsr through; false rejects it transiently. */
+    virtual bool onWrite(cache::CoreId core, std::uint32_t addr,
+                        std::uint64_t value) = 0;
+};
+
 class MsrBus; // defined in msr_bus.hh to keep this header light
 
 } // namespace iat::rdt

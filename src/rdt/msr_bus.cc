@@ -21,6 +21,14 @@ MsrBus::MsrBus(cache::SlicedLlc &llc,
 std::uint64_t
 MsrBus::read(cache::CoreId core, std::uint32_t addr)
 {
+    const std::uint64_t value = readRaw(core, addr);
+    return fault_hook_ ? fault_hook_->onRead(core, addr, value)
+                       : value;
+}
+
+std::uint64_t
+MsrBus::readRaw(cache::CoreId core, std::uint32_t addr)
+{
     IAT_ASSERT(core < llc_.numCores(), "rdmsr on unknown core %u", core);
     ++reads_;
 
@@ -89,12 +97,20 @@ MsrBus::read(cache::CoreId core, std::uint32_t addr)
     panic("rdmsr: unimplemented MSR 0x%x", addr);
 }
 
-void
+MsrWriteStatus
 MsrBus::write(cache::CoreId core, std::uint32_t addr,
               std::uint64_t value)
 {
     IAT_ASSERT(core < llc_.numCores(), "wrmsr on unknown core %u", core);
     ++writes_;
+
+    // The hook vetoes *before* routing: a transiently-failing wrmsr
+    // never reaches the register, so it cannot half-apply. Validation
+    // panics below are unaffected (a rejected write is never checked).
+    if (fault_hook_ && !fault_hook_->onWrite(core, addr, value)) {
+        ++rejected_writes_;
+        return MsrWriteStatus::Rejected;
+    }
 
     using namespace msr_addr;
 
@@ -108,7 +124,7 @@ MsrBus::write(cache::CoreId core, std::uint32_t addr,
                    "PQR_ASSOC RMID out of range");
         llc_.assocCoreClos(core, clos);
         llc_.assocCoreRmid(core, rmid);
-        return;
+        return MsrWriteStatus::Ok;
     }
     if (addr >= IA32_L3_QOS_MASK_0 &&
         addr < IA32_L3_QOS_MASK_0 + cache::SlicedLlc::numClos) {
@@ -116,11 +132,11 @@ MsrBus::write(cache::CoreId core, std::uint32_t addr,
         llc_.setClosMask(
             static_cast<cache::ClosId>(addr - IA32_L3_QOS_MASK_0),
             WayMask{static_cast<std::uint32_t>(value)});
-        return;
+        return MsrWriteStatus::Ok;
     }
     if (addr == IIO_LLC_WAYS) {
         llc_.setDdioMask(WayMask{static_cast<std::uint32_t>(value)});
-        return;
+        return MsrWriteStatus::Ok;
     }
     if (addr >= IIO_LLC_WAYS_DEV_BASE &&
         addr < IIO_LLC_WAYS_DEV_BASE + 8) {
@@ -131,7 +147,7 @@ MsrBus::write(cache::CoreId core, std::uint32_t addr,
         else
             llc_.setDeviceDdioMask(
                 dev, WayMask{static_cast<std::uint32_t>(value)});
-        return;
+        return MsrWriteStatus::Ok;
     }
     if (addr == IA32_QM_EVTSEL) {
         const auto event =
@@ -144,7 +160,7 @@ MsrBus::write(cache::CoreId core, std::uint32_t addr,
         IAT_ASSERT(rmid < cache::SlicedLlc::numRmids,
                    "QM_EVTSEL RMID out of range");
         qm_sel_[core] = {event, rmid};
-        return;
+        return MsrWriteStatus::Ok;
     }
 
     panic("wrmsr: unimplemented or read-only MSR 0x%x", addr);

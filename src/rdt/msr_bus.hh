@@ -30,18 +30,34 @@ class MsrBus
     /** Emulate rdmsr on @p core. */
     std::uint64_t read(cache::CoreId core, std::uint32_t addr);
 
-    /** Emulate wrmsr on @p core. */
-    void write(cache::CoreId core, std::uint32_t addr,
-               std::uint64_t value);
+    /**
+     * Emulate wrmsr on @p core. Invalid programming still panics (the
+     * #GP path); Rejected is only returned when an installed fault
+     * hook vetoes an otherwise-valid write, in which case the
+     * register keeps its previous value.
+     */
+    MsrWriteStatus write(cache::CoreId core, std::uint32_t addr,
+                         std::uint64_t value);
+
+    /**
+     * Install a fault-injection hook (nullptr removes it). The hook
+     * sees every read's value and may veto writes; with no hook the
+     * bus behaves exactly as before.
+     */
+    void setFaultHook(MsrFaultHook *hook) { fault_hook_ = hook; }
 
     /// @name Access accounting (drives the Fig 15 overhead model)
     /// @{
     std::uint64_t readCount() const { return reads_; }
     std::uint64_t writeCount() const { return writes_; }
+    /** Writes vetoed by the fault hook (subset of writeCount()). */
+    std::uint64_t rejectedWriteCount() const { return rejected_writes_; }
     void resetAccessCounts() { reads_ = writes_ = 0; }
     /// @}
 
   private:
+    /** The fault-free rdmsr path (validation + routing). */
+    std::uint64_t readRaw(cache::CoreId core, std::uint32_t addr);
     cache::SlicedLlc &llc_;
     const CoreTelemetrySource &telemetry_;
 
@@ -53,8 +69,11 @@ class MsrBus
     };
     std::vector<QmSelection> qm_sel_;
 
+    MsrFaultHook *fault_hook_ = nullptr;
+
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
+    std::uint64_t rejected_writes_ = 0;
 };
 
 } // namespace iat::rdt

@@ -22,10 +22,11 @@ PqosSystem::PqosSystem(MsrBus &bus, unsigned num_slices,
     IAT_ASSERT(l3_num_ways_ >= 2, "implausible LLC associativity");
 }
 
-void
+bool
 PqosSystem::l3caSet(cache::ClosId clos, cache::WayMask mask)
 {
-    bus_.write(0, IA32_L3_QOS_MASK_0 + clos, mask.bits());
+    return bus_.write(0, IA32_L3_QOS_MASK_0 + clos, mask.bits()) ==
+           MsrWriteStatus::Ok;
 }
 
 cache::WayMask
@@ -35,7 +36,7 @@ PqosSystem::l3caGet(cache::ClosId clos)
         bus_.read(0, IA32_L3_QOS_MASK_0 + clos))};
 }
 
-void
+bool
 PqosSystem::allocAssocSet(cache::CoreId core, cache::ClosId clos)
 {
     // Read-modify-write preserves the RMID half of PQR_ASSOC, like
@@ -44,7 +45,8 @@ PqosSystem::allocAssocSet(cache::CoreId core, cache::ClosId clos)
     const std::uint64_t next =
         (static_cast<std::uint64_t>(clos) << 32) |
         (prev & 0xffffffffull);
-    bus_.write(core, IA32_PQR_ASSOC, next);
+    return bus_.write(core, IA32_PQR_ASSOC, next) ==
+           MsrWriteStatus::Ok;
 }
 
 cache::ClosId
@@ -58,13 +60,15 @@ MonGroup
 PqosSystem::monStart(std::vector<cache::CoreId> cores,
                      cache::RmidId rmid)
 {
+    bool programmed = true;
     for (auto core : cores) {
         const std::uint64_t prev = bus_.read(core, IA32_PQR_ASSOC);
         const std::uint64_t next =
             (prev & ~0xffffffffull) | rmid;
-        bus_.write(core, IA32_PQR_ASSOC, next);
+        programmed &= bus_.write(core, IA32_PQR_ASSOC, next) ==
+                      MsrWriteStatus::Ok;
     }
-    return MonGroup{std::move(cores), rmid};
+    return MonGroup{std::move(cores), rmid, programmed};
 }
 
 MonCounters
@@ -80,14 +84,22 @@ PqosSystem::monPoll(const MonGroup &group)
     // Occupancy and MBM are RMID-scoped; one QM_EVTSEL/QM_CTR pair
     // each, issued from the group's first core.
     const cache::CoreId qcore = group.cores.empty() ? 0 : group.cores[0];
-    bus_.write(qcore, IA32_QM_EVTSEL,
-               (static_cast<std::uint64_t>(group.rmid) << 32) |
-                   static_cast<std::uint32_t>(QmEvent::LlcOccupancy));
+    // A rejected QM_EVTSEL write leaves the previous event selected,
+    // so the QM_CTR read that follows returns the wrong counter; flag
+    // the sample instead of pretending the value is good.
+    if (bus_.write(qcore, IA32_QM_EVTSEL,
+                   (static_cast<std::uint64_t>(group.rmid) << 32) |
+                       static_cast<std::uint32_t>(
+                           QmEvent::LlcOccupancy)) !=
+        MsrWriteStatus::Ok)
+        out.suspect = true;
     out.llc_occupancy_bytes =
         bus_.read(qcore, IA32_QM_CTR) * line_bytes_;
-    bus_.write(qcore, IA32_QM_EVTSEL,
-               (static_cast<std::uint64_t>(group.rmid) << 32) |
-                   static_cast<std::uint32_t>(QmEvent::MbmLocal));
+    if (bus_.write(qcore, IA32_QM_EVTSEL,
+                   (static_cast<std::uint64_t>(group.rmid) << 32) |
+                       static_cast<std::uint32_t>(QmEvent::MbmLocal)) !=
+        MsrWriteStatus::Ok)
+        out.suspect = true;
     out.mbm_bytes = bus_.read(qcore, IA32_QM_CTR);
     return out;
 }
@@ -99,17 +111,19 @@ PqosSystem::ddioGetWays()
         static_cast<std::uint32_t>(bus_.read(0, IIO_LLC_WAYS))};
 }
 
-void
+bool
 PqosSystem::ddioSetWays(cache::WayMask mask)
 {
-    bus_.write(0, IIO_LLC_WAYS, mask.bits());
+    return bus_.write(0, IIO_LLC_WAYS, mask.bits()) ==
+           MsrWriteStatus::Ok;
 }
 
-void
+bool
 PqosSystem::ddioSetDeviceWays(cache::DeviceId dev,
                               cache::WayMask mask)
 {
-    bus_.write(0, IIO_LLC_WAYS_DEV_BASE + dev, mask.bits());
+    return bus_.write(0, IIO_LLC_WAYS_DEV_BASE + dev, mask.bits()) ==
+           MsrWriteStatus::Ok;
 }
 
 cache::WayMask

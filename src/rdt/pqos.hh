@@ -35,6 +35,13 @@ struct MonCounters
     std::uint64_t llc_occupancy_bytes = 0;
     std::uint64_t mbm_bytes = 0;
 
+    /**
+     * True when a QM_EVTSEL write was rejected mid-poll, so the
+     * occupancy/MBM fields may come from a stale event selection.
+     * The hardened Monitor treats such a sample as untrustworthy.
+     */
+    bool suspect = false;
+
     double
     ipc() const
     {
@@ -67,6 +74,8 @@ struct MonGroup
 {
     std::vector<cache::CoreId> cores;
     cache::RmidId rmid = 0;
+    /** False when any PQR_ASSOC RMID write was rejected at start. */
+    bool programmed = true;
 };
 
 /** The library facade IAT programs the platform through. */
@@ -82,9 +91,16 @@ class PqosSystem
 
     /// @name CAT (allocation)
     /// @{
-    void l3caSet(cache::ClosId clos, cache::WayMask mask);
+
+    /**
+     * Program a CLOS way mask. Returns false when the underlying
+     * wrmsr was transiently rejected (the register is unchanged);
+     * callers that care retry on their next tick.
+     */
+    bool l3caSet(cache::ClosId clos, cache::WayMask mask);
     cache::WayMask l3caGet(cache::ClosId clos);
-    void allocAssocSet(cache::CoreId core, cache::ClosId clos);
+    /** Associate @p core with @p clos; false on transient rejection. */
+    bool allocAssocSet(cache::CoreId core, cache::ClosId clos);
     cache::ClosId allocAssocGet(cache::CoreId core);
     /// @}
 
@@ -102,13 +118,15 @@ class PqosSystem
     /// @name DDIO extensions (the iat-pqos additions)
     /// @{
     cache::WayMask ddioGetWays();
-    void ddioSetWays(cache::WayMask mask);
+    /** Program the DDIO way mask; false on transient rejection. */
+    bool ddioSetWays(cache::WayMask mask);
 
     /**
      * Device-aware DDIO (paper SS VII): give one device a private
      * allocation mask; an empty mask reverts to the chip-wide one.
+     * Returns false on transient rejection.
      */
-    void ddioSetDeviceWays(cache::DeviceId dev, cache::WayMask mask);
+    bool ddioSetDeviceWays(cache::DeviceId dev, cache::WayMask mask);
     cache::WayMask ddioGetDeviceWays(cache::DeviceId dev);
 
     /** Sampled chip-wide DDIO counters (slice 0 scaled by #slices). */

@@ -67,6 +67,10 @@ class SlicingPmdXmemWorld
     }
 
     net::NicQueue &vf(unsigned i) { return *vfs_[i]; }
+    unsigned vfCount() const
+    {
+        return static_cast<unsigned>(vfs_.size());
+    }
     void setFrameBytes(std::uint32_t bytes);
 
     const SlicingPmdXmemConfig &config() const { return cfg_; }

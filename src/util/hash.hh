@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Stable, unseeded content hashing.
+ *
+ * FNV-1a is the repo's canonical identity hash for text artefacts
+ * (experiment spec hashes, fault-plan hashes): trivially portable,
+ * stable across platforms and runs, and collision-resistant enough
+ * for the "same 16-hex digest means same configuration" use case.
+ * Not for hash tables (use Rng-seeded hashing) and certainly not for
+ * anything adversarial.
+ */
+
+#ifndef IATSIM_UTIL_HASH_HH
+#define IATSIM_UTIL_HASH_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace iat {
+
+/** FNV-1a 64-bit hash of @p text; stable, unseeded. */
+constexpr std::uint64_t
+fnv1a64(std::string_view text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+static_assert(fnv1a64("") == 0xcbf29ce484222325ull,
+              "FNV-1a offset basis");
+static_assert(fnv1a64("a") == 0xaf63dc4c8601ec8cull,
+              "FNV-1a test vector");
+
+} // namespace iat
+
+#endif // IATSIM_UTIL_HASH_HH

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "rdt/msr.hh"
 #include "sim/platform.hh"
 
 namespace iat::core {
@@ -164,6 +165,164 @@ TEST_F(MonitorTest, GroupCount)
     EXPECT_EQ(monitor.groupCount(), 0u);
     monitor.attach(registry);
     EXPECT_EQ(monitor.groupCount(), 2u);
+}
+
+TEST(MonitorMath, CounterDeltaWrapsAt48Bits)
+{
+    // Monotonic deltas survive the 2^48 wrap.
+    EXPECT_EQ(counterDelta(5, kCounterMask - 10), 16u);
+    // Non-wrapping deltas are untouched.
+    EXPECT_EQ(counterDelta(1000, 400), 600u);
+    EXPECT_EQ(counterDelta(7, 7), 0u);
+    // The mask also strips any stray bits above bit 47.
+    EXPECT_EQ(counterDelta((std::uint64_t{1} << 50) + 3, 1), 2u);
+}
+
+/**
+ * Shifts the monotonic PMU counters by a constant so a poll interval
+ * straddles the 48-bit wrap boundary; never touches config registers
+ * or the QM machinery, so nothing looks "suspect".
+ */
+class WrapHook : public rdt::MsrFaultHook
+{
+  public:
+    std::uint64_t offset = 0;
+
+    std::uint64_t
+    onRead(cache::CoreId, std::uint32_t addr,
+           std::uint64_t value) override
+    {
+        using namespace rdt::msr_addr;
+        switch (addr) {
+          case IA32_FIXED_CTR0:
+          case IA32_FIXED_CTR1:
+          case PMC_LLC_REFERENCE:
+          case PMC_LLC_MISS:
+            return (value + offset) & kCounterMask;
+          default:
+            return value;
+        }
+    }
+
+    bool
+    onWrite(cache::CoreId, std::uint32_t, std::uint64_t) override
+    {
+        return true;
+    }
+};
+
+TEST_F(MonitorTest, PollSurvivesTheWrapBoundary)
+{
+    // Park every monotonic counter 50 counts shy of the wrap BEFORE
+    // the baseline snapshot, so the first interval wraps.
+    WrapHook hook;
+    hook.offset = kCounterMask - 50;
+    platform.msrBus().setFaultHook(&hook);
+
+    Monitor monitor(platform.pqos());
+    monitor.attach(registry);
+    touch(0, 100); // raw 100; shifted reading wrapped to 49
+    const auto sample = monitor.poll(1.0);
+
+    // The wrap-aware delta is exact, and nothing was flagged: a wrap
+    // is normal counter behaviour, not corruption.
+    EXPECT_EQ(sample.tenants[0].llc_refs, 100u);
+    EXPECT_FALSE(sample.suspect);
+    EXPECT_EQ(monitor.outliersClamped(), 0u);
+    platform.msrBus().setFaultHook(nullptr);
+}
+
+/** Vetoes QM_EVTSEL writes, tainting every poll's counters. */
+class TaintHook : public rdt::MsrFaultHook
+{
+  public:
+    std::uint64_t
+    onRead(cache::CoreId, std::uint32_t, std::uint64_t value) override
+    {
+        return value;
+    }
+
+    bool
+    onWrite(cache::CoreId, std::uint32_t addr, std::uint64_t) override
+    {
+        return addr != rdt::msr_addr::IA32_QM_EVTSEL;
+    }
+};
+
+TEST_F(MonitorTest, ClampsTaintedDeltasToTheStreamEwma)
+{
+    Monitor monitor(platform.pqos());
+    monitor.attach(registry);
+
+    // Prime the per-stream EWMA with a steady clean signal.
+    std::uint64_t base = 0;
+    for (int i = 0; i < 4; ++i) {
+        touch(0, 100, base += 10000);
+        monitor.poll(1.0);
+    }
+    EXPECT_EQ(monitor.outliersClamped(), 0u);
+
+    // Corrupt the poll: the sample is flagged and the reference
+    // delta is replaced by the EWMA estimate (a steady 100).
+    TaintHook hook;
+    platform.msrBus().setFaultHook(&hook);
+    touch(0, 100, base += 10000);
+    const auto bad = monitor.poll(1.0);
+    EXPECT_TRUE(bad.suspect);
+    EXPECT_GT(monitor.outliersClamped(), 0u);
+    EXPECT_NEAR(static_cast<double>(bad.tenants[0].llc_refs), 100.0,
+                1.0);
+
+    // After the fault clears the stream recovers: clean deltas near
+    // the EWMA pass through untouched once the hot window drains.
+    platform.msrBus().setFaultHook(nullptr);
+    const auto clamped_before = monitor.outliersClamped();
+    for (int i = 0; i < 6; ++i) {
+        touch(0, 100, base += 10000);
+        monitor.poll(1.0);
+    }
+    touch(0, 100, base += 10000);
+    const auto good = monitor.poll(1.0);
+    EXPECT_FALSE(good.suspect);
+    EXPECT_EQ(good.tenants[0].llc_refs, 100u);
+    EXPECT_EQ(monitor.outliersClamped(), clamped_before);
+}
+
+TEST_F(MonitorTest, TaintedOccupancyHoldsTheLastCleanLevel)
+{
+    Monitor monitor(platform.pqos());
+    monitor.attach(registry);
+    touch(2, 64);
+    const auto clean = monitor.poll(1.0);
+    ASSERT_EQ(clean.tenants[1].occupancy_bytes, 64u * 64u);
+
+    TaintHook hook;
+    platform.msrBus().setFaultHook(&hook);
+    touch(2, 32, 50000); // occupancy actually grew...
+    const auto bad = monitor.poll(1.0);
+    // ...but the suspect reading is not trusted; last-good holds.
+    EXPECT_EQ(bad.tenants[1].occupancy_bytes, 64u * 64u);
+    platform.msrBus().setFaultHook(nullptr);
+}
+
+TEST_F(MonitorTest, HardeningDisabledPassesCorruptDeltasThrough)
+{
+    Monitor monitor(platform.pqos());
+    monitor.setHardeningEnabled(false);
+    monitor.attach(registry);
+    touch(0, 100);
+    monitor.poll(1.0);
+
+    TaintHook hook;
+    platform.msrBus().setFaultHook(&hook);
+    touch(0, 5000, 100000);
+    const auto sample = monitor.poll(1.0);
+    // Still flagged (detection is free), but nothing is clamped and
+    // the raw delta lands unfiltered.
+    EXPECT_TRUE(sample.suspect);
+    EXPECT_EQ(sample.tenants[0].llc_refs, 5000u);
+    EXPECT_EQ(monitor.outliersClamped(), 0u);
+    platform.msrBus().setFaultHook(nullptr);
 }
 
 TEST(MonitorDeath, PollNeedsPositiveInterval)

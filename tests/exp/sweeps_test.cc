@@ -28,9 +28,10 @@ paperRegistry()
 TEST(Sweeps, PaperSweepsRegistered)
 {
     const auto registry = paperRegistry();
-    for (const char *name : {"fig03", "fig09", "fig10", "l3fwd"})
+    for (const char *name :
+         {"fig03", "fig09", "fig10", "l3fwd", "chaos"})
         EXPECT_NE(registry.find(name), nullptr) << name;
-    EXPECT_EQ(registry.entries().size(), 4u);
+    EXPECT_EQ(registry.entries().size(), 5u);
 }
 
 TEST(Sweeps, ShippedSpecsParseAndResolve)
@@ -46,6 +47,7 @@ TEST(Sweeps, ShippedSpecsParseAndResolve)
         {"fig09_flow_count.exp", "fig09", 2},
         {"fig10_shuffle.exp", "fig10", 12},
         {"smoke.exp", "l3fwd", 4},
+        {"chaos.exp", "chaos", 2},
     };
     for (const auto &e : expected) {
         const auto spec = exp::ExperimentSpec::loadFile(

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Daemon hardening tests: the missed-poll watchdog, MSR write
+ * retry-with-backoff, degraded-mode entry/exit, and the unhardened
+ * kill-switch behaviour the chaos A/B bench relies on.
+ */
+
+#include "core/daemon.hh"
+
+#include <gtest/gtest.h>
+
+#include "rdt/msr.hh"
+#include "sim/platform.hh"
+
+namespace iat::core {
+namespace {
+
+using namespace rdt::msr_addr;
+
+sim::PlatformConfig
+testConfig()
+{
+    sim::PlatformConfig cfg;
+    cfg.num_cores = 4;
+    cfg.llc.num_slices = 2;
+    cfg.llc.sets_per_slice = 64;
+    return cfg;
+}
+
+/**
+ * Targeted fault hook: optionally taints monitoring (vetoing
+ * IA32_QM_EVTSEL writes marks every poll's counters suspect) and/or
+ * vetoes a budget of CAT mask writes.
+ */
+class TestHook : public rdt::MsrFaultHook
+{
+  public:
+    bool taint_polls = false;
+    unsigned veto_mask_writes = 0;
+    unsigned mask_vetoes_fired = 0;
+
+    std::uint64_t
+    onRead(cache::CoreId, std::uint32_t, std::uint64_t value) override
+    {
+        return value;
+    }
+
+    bool
+    onWrite(cache::CoreId, std::uint32_t addr, std::uint64_t) override
+    {
+        if (taint_polls && addr == IA32_QM_EVTSEL)
+            return false;
+        const bool is_mask =
+            (addr >= IA32_L3_QOS_MASK_0 &&
+             addr < IA32_L3_QOS_MASK_0 + 16) ||
+            addr == IIO_LLC_WAYS;
+        if (is_mask && veto_mask_writes > 0) {
+            --veto_mask_writes;
+            ++mask_vetoes_fired;
+            return false;
+        }
+        return true;
+    }
+};
+
+class HardeningTest : public testing::Test
+{
+  protected:
+    HardeningTest() : platform(testConfig())
+    {
+        TenantSpec io;
+        io.name = "io";
+        io.cores = {0, 1};
+        io.is_io = true;
+        registry.add(io);
+        TenantSpec cpu;
+        cpu.name = "cpu";
+        cpu.cores = {2};
+        registry.add(cpu);
+        params.interval_seconds = 5e-3;
+    }
+
+    /** Run @p n daemon ticks at the nominal cadence from @p t0. */
+    double
+    ticks(IatDaemon &daemon, unsigned n, double t0 = 0.0)
+    {
+        double t = t0;
+        for (unsigned i = 0; i < n; ++i) {
+            daemon.tick(t);
+            t += params.interval_seconds;
+        }
+        return t;
+    }
+
+    sim::Platform platform;
+    TenantRegistry registry;
+    IatParams params;
+    TestHook hook;
+};
+
+TEST_F(HardeningTest, WatchdogCountsMissedPolls)
+{
+    IatDaemon daemon(platform.pqos(), registry, params);
+    daemon.tick(0.0);
+    daemon.tick(params.interval_seconds);
+    EXPECT_EQ(daemon.missedPolls(), 0u);
+
+    // A 4-interval gap: the daemon overslept (or its polls were
+    // dropped); the watchdog notices and stretches dt.
+    daemon.tick(5 * params.interval_seconds);
+    EXPECT_EQ(daemon.missedPolls(), 1u);
+
+    // Back on cadence: no new misses.
+    daemon.tick(6 * params.interval_seconds);
+    EXPECT_EQ(daemon.missedPolls(), 1u);
+}
+
+TEST_F(HardeningTest, DegradesAfterConsecutiveBadSamples)
+{
+    IatDaemon daemon(platform.pqos(), registry, params);
+    daemon.tick(0.0); // clean setup tick
+
+    platform.msrBus().setFaultHook(&hook);
+    hook.taint_polls = true;
+    const double t =
+        ticks(daemon, params.bad_samples_to_degrade,
+              params.interval_seconds);
+
+    EXPECT_TRUE(daemon.degraded());
+    EXPECT_EQ(daemon.degradedEnters(), 1u);
+    EXPECT_GE(daemon.badSamples(), params.bad_samples_to_degrade);
+    // Degraded mode falls back to the static minimum DDIO footprint.
+    EXPECT_EQ(daemon.ddioWays(), params.ddio_ways_min);
+
+    // Samples come back clean: the daemon re-engages after the
+    // recovery streak and counts the exit.
+    hook.taint_polls = false;
+    ticks(daemon, params.good_samples_to_recover + 1, t);
+    EXPECT_FALSE(daemon.degraded());
+    EXPECT_EQ(daemon.degradedExits(), 1u);
+
+    platform.msrBus().setFaultHook(nullptr);
+}
+
+TEST_F(HardeningTest, BadStreakResetsOnACleanSample)
+{
+    IatDaemon daemon(platform.pqos(), registry, params);
+    daemon.tick(0.0);
+
+    platform.msrBus().setFaultHook(&hook);
+    hook.taint_polls = true;
+    double t = ticks(daemon, params.bad_samples_to_degrade - 1,
+                     params.interval_seconds);
+    hook.taint_polls = false;
+    t = ticks(daemon, 1, t); // streak broken
+    hook.taint_polls = true;
+    ticks(daemon, params.bad_samples_to_degrade - 1, t);
+
+    EXPECT_FALSE(daemon.degraded());
+    EXPECT_EQ(daemon.degradedEnters(), 0u);
+    platform.msrBus().setFaultHook(nullptr);
+}
+
+TEST_F(HardeningTest, RetriesRejectedMaskWrites)
+{
+    IatDaemon daemon(platform.pqos(), registry, params);
+    platform.msrBus().setFaultHook(&hook);
+    hook.veto_mask_writes = 1; // first CAT write bounces once
+    daemon.tick(0.0);
+
+    EXPECT_GE(daemon.writeRetries(), 1u);
+    EXPECT_EQ(daemon.writeFailures(), 0u);
+    EXPECT_EQ(hook.mask_vetoes_fired, 1u);
+    platform.msrBus().setFaultHook(nullptr);
+}
+
+TEST_F(HardeningTest, UnhardenedDaemonBooksRejectedWritesAsDone)
+{
+    IatDaemon daemon(platform.pqos(), registry, params);
+    daemon.setHardeningEnabled(false);
+    platform.msrBus().setFaultHook(&hook);
+    hook.veto_mask_writes = 1;
+    daemon.tick(0.0);
+
+    // No retry happened; the failure is only counted.
+    EXPECT_EQ(daemon.writeRetries(), 0u);
+    EXPECT_GE(daemon.writeFailures(), 1u);
+    EXPECT_EQ(hook.mask_vetoes_fired, 1u);
+    platform.msrBus().setFaultHook(nullptr);
+}
+
+TEST_F(HardeningTest, UnhardenedDaemonIgnoresTaintedSamples)
+{
+    IatDaemon daemon(platform.pqos(), registry, params);
+    daemon.setHardeningEnabled(false);
+    daemon.tick(0.0);
+
+    platform.msrBus().setFaultHook(&hook);
+    hook.taint_polls = true;
+    ticks(daemon, 2 * params.bad_samples_to_degrade,
+          params.interval_seconds);
+
+    EXPECT_FALSE(daemon.degraded());
+    EXPECT_EQ(daemon.degradedEnters(), 0u);
+    EXPECT_EQ(daemon.monitor().outliersClamped(), 0u);
+    platform.msrBus().setFaultHook(nullptr);
+}
+
+TEST_F(HardeningTest, HardeningToggleForwardsToTheMonitor)
+{
+    IatDaemon daemon(platform.pqos(), registry, params);
+    EXPECT_TRUE(daemon.hardeningEnabled());
+    EXPECT_TRUE(daemon.monitor().hardeningEnabled());
+    daemon.setHardeningEnabled(false);
+    EXPECT_FALSE(daemon.hardeningEnabled());
+    EXPECT_FALSE(daemon.monitor().hardeningEnabled());
+}
+
+} // namespace
+} // namespace iat::core

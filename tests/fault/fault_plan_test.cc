@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for FaultPlan: spec/CLI parsing, the any() gate,
+ * canonical rendering and the per-trial digest.
+ */
+
+#include "fault/plan.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace iat::fault {
+namespace {
+
+TEST(FaultPlan, DefaultPlanInjectsNothing)
+{
+    const FaultPlan plan;
+    EXPECT_FALSE(plan.any());
+}
+
+TEST(FaultPlan, SetKnownKeys)
+{
+    FaultPlan plan;
+    plan.set("read_noise", "0.25");
+    plan.set("counter_offset", "281474976000000");
+    plan.set("seed", "7");
+    EXPECT_DOUBLE_EQ(plan.read_noise, 0.25);
+    EXPECT_EQ(plan.counter_offset, 281474976000000ull);
+    EXPECT_EQ(plan.seed, 7u);
+    EXPECT_TRUE(plan.any());
+}
+
+TEST(FaultPlan, SetRejectsUnknownKeyAndBadValue)
+{
+    FaultPlan plan;
+    EXPECT_THROW(plan.set("no_such_knob", "1"), std::runtime_error);
+    EXPECT_THROW(plan.set("read_noise", "lots"), std::runtime_error);
+}
+
+TEST(FaultPlan, AnyRequiresACompleteSchedule)
+{
+    // A flap period without a down time (or vice versa) never fires.
+    FaultPlan plan;
+    plan.link_flap_period_seconds = 0.02;
+    EXPECT_FALSE(plan.any());
+    plan.link_down_seconds = 0.001;
+    EXPECT_TRUE(plan.any());
+
+    FaultPlan stall;
+    stall.ring_stall_seconds = 0.001;
+    EXPECT_FALSE(stall.any());
+    stall.ring_stall_period_seconds = 0.05;
+    EXPECT_TRUE(stall.any());
+
+    // A seed alone configures nothing.
+    FaultPlan seeded;
+    seeded.seed = 9;
+    EXPECT_FALSE(seeded.any());
+}
+
+TEST(FaultPlan, FromPairsConsumesOnlyPrefixedKeys)
+{
+    const std::vector<std::pair<std::string, std::string>> pairs = {
+        {"policy", "iat"},
+        {"fault.read_noise", "0.5"},
+        {"hardening", "0"},
+        {"fault.poll_drop", "0.1"},
+    };
+    const auto plan = FaultPlan::fromPairs(pairs);
+    EXPECT_DOUBLE_EQ(plan.read_noise, 0.5);
+    EXPECT_DOUBLE_EQ(plan.poll_drop, 0.1);
+    EXPECT_TRUE(plan.any());
+}
+
+TEST(FaultPlan, FromCliReadsTheFlagFamily)
+{
+    const char *argv[] = {"prog", "--fault-read-noise=0.3",
+                          "--fault-write-reject=0.2",
+                          "--fault-link-flap-period=0.02",
+                          "--fault-link-down=0.001",
+                          "--fault-counter-offset=123"};
+    const CliArgs args(6, const_cast<char **>(argv));
+    const auto plan = FaultPlan::fromCli(args);
+    EXPECT_DOUBLE_EQ(plan.read_noise, 0.3);
+    EXPECT_DOUBLE_EQ(plan.write_reject, 0.2);
+    EXPECT_DOUBLE_EQ(plan.link_flap_period_seconds, 0.02);
+    EXPECT_DOUBLE_EQ(plan.link_down_seconds, 0.001);
+    EXPECT_EQ(plan.counter_offset, 123u);
+    EXPECT_TRUE(plan.any());
+}
+
+TEST(FaultPlan, CanonicalIsDeterministic)
+{
+    FaultPlan a;
+    a.set("read_noise", "0.25");
+    a.set("churn_period", "0.03");
+    FaultPlan b;
+    b.set("churn_period", "0.03"); // different set() order
+    b.set("read_noise", "0.25");
+    EXPECT_EQ(a.canonical(), b.canonical());
+    EXPECT_NE(a.canonical().find("read_noise="), std::string::npos);
+}
+
+TEST(FaultPlan, HashFoldsInTheEffectiveSeed)
+{
+    FaultPlan plan;
+    plan.set("read_noise", "0.25");
+
+    // Deferred seed: the trial seed differentiates trials.
+    EXPECT_NE(plan.hash(1), plan.hash(2));
+    EXPECT_EQ(plan.hash(1), plan.hash(1));
+
+    // Pinned seed: every trial saw the same schedule.
+    plan.seed = 42;
+    EXPECT_EQ(plan.hash(1), plan.hash(2));
+
+    // 16 lowercase hex digits, like spec_hash.
+    const auto digest = plan.hash(1);
+    ASSERT_EQ(digest.size(), 16u);
+    for (const char c : digest)
+        EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)));
+}
+
+TEST(FaultPlan, HashSeesEveryKnob)
+{
+    FaultPlan a;
+    a.set("read_noise", "0.25");
+    FaultPlan b = a;
+    b.set("poll_drop", "0.1");
+    EXPECT_NE(a.hash(1), b.hash(1));
+}
+
+} // namespace
+} // namespace iat::fault

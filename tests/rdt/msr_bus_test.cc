@@ -144,6 +144,72 @@ TEST_F(MsrBusTest, AccessCounting)
     EXPECT_EQ(bus.writeCount(), 1u);
 }
 
+TEST_F(MsrBusTest, WritesReportOkWithoutAHook)
+{
+    EXPECT_EQ(bus.write(0, IA32_PQR_ASSOC, 1ull),
+              MsrWriteStatus::Ok);
+    EXPECT_EQ(bus.rejectedWriteCount(), 0u);
+}
+
+/** Vetoes every write and inflates every read by a fixed amount. */
+class NoisyHook : public MsrFaultHook
+{
+  public:
+    bool veto = false;
+    std::uint64_t read_bump = 0;
+
+    std::uint64_t
+    onRead(cache::CoreId, std::uint32_t, std::uint64_t value) override
+    {
+        return value + read_bump;
+    }
+
+    bool
+    onWrite(cache::CoreId, std::uint32_t, std::uint64_t) override
+    {
+        return !veto;
+    }
+};
+
+TEST_F(MsrBusTest, HookVetoRejectsAndKeepsThePriorValue)
+{
+    bus.write(1, IA32_PQR_ASSOC, (2ull << 32) | 7ull);
+
+    NoisyHook hook;
+    hook.veto = true;
+    bus.setFaultHook(&hook);
+    EXPECT_EQ(bus.write(1, IA32_PQR_ASSOC, (4ull << 32) | 8ull),
+              MsrWriteStatus::Rejected);
+    bus.setFaultHook(nullptr);
+
+    // The register (and the model behind it) kept the old value.
+    EXPECT_EQ(bus.read(1, IA32_PQR_ASSOC), (2ull << 32) | 7ull);
+    EXPECT_EQ(llc.coreClos(1), 2);
+    EXPECT_EQ(llc.coreRmid(1), 7);
+    EXPECT_EQ(bus.rejectedWriteCount(), 1u);
+}
+
+TEST_F(MsrBusTest, HookPerturbsReadValues)
+{
+    NoisyHook hook;
+    hook.read_bump = 5;
+    bus.setFaultHook(&hook);
+    EXPECT_EQ(bus.read(2, IA32_FIXED_CTR0), 1002u + 5u);
+    bus.setFaultHook(nullptr);
+    EXPECT_EQ(bus.read(2, IA32_FIXED_CTR0), 1002u);
+}
+
+TEST_F(MsrBusTest, NonVetoingHookLeavesValidationIntact)
+{
+    // A hook that lets a write through is not a license to write
+    // garbage: invalid programming still panics like a #GP.
+    NoisyHook hook;
+    bus.setFaultHook(&hook);
+    EXPECT_DEATH(bus.write(0, IA32_L3_QOS_MASK_0, 0b101ull),
+                 "consecutive");
+    bus.setFaultHook(nullptr);
+}
+
 TEST_F(MsrBusTest, RejectsBadCbmLikeHardware)
 {
     EXPECT_DEATH(bus.write(0, IA32_L3_QOS_MASK_0, 0b101ull),

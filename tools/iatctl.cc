@@ -28,6 +28,8 @@
 
 #include "core/baselines.hh"
 #include "core/daemon.hh"
+#include "fault/injector.hh"
+#include "fault/plan.hh"
 #include "obs/telemetry.hh"
 #include "scenarios/agg_testpmd.hh"
 #include "scenarios/common.hh"
@@ -112,6 +114,18 @@ cmdRun(const CliArgs &args)
     auto telemetry = obs::makeTelemetry(args);
     engine.attachTelemetry(telemetry.get());
 
+    // Fault injection: the --fault-* flag family (README has the
+    // table). No flags -> no injector, zero overhead.
+    fault::FaultPlan fault_plan = fault::FaultPlan::fromCli(args);
+    if (fault_plan.seed == 0)
+        fault_plan.seed = 1; // CLI runs have no trial seed to defer to
+    const bool hardening = !args.getBool("no-hardening");
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (fault_plan.any()) {
+        injector = std::make_unique<fault::FaultInjector>(
+            fault_plan, telemetry.get());
+    }
+
     // Assemble the world.
     std::unique_ptr<scenarios::AggTestPmdWorld> agg;
     std::unique_ptr<scenarios::SlicingPmdXmemWorld> slicing;
@@ -158,21 +172,40 @@ cmdRun(const CliArgs &args)
     if (policy_name == "iat") {
         daemon = std::make_unique<core::IatDaemon>(
             platform.pqos(), *registry, params, model);
+        daemon->setHardeningEnabled(hardening);
         daemon->setTelemetry(telemetry.get());
         engine.addPeriodic(params.interval_seconds,
-                           [&](double now) { daemon->tick(now); },
+                           [&](double now) {
+                               if (injector &&
+                                   injector->dropPoll(now)) {
+                                   return;
+                               }
+                               daemon->tick(now);
+                           },
                            0.0);
     } else if (policy_name == "core-only") {
         core_only = std::make_unique<core::CoreOnlyPolicy>(
             platform.pqos(), *registry, params);
-        engine.addPeriodic(
-            params.interval_seconds,
-            [&](double now) { core_only->tick(now); }, 0.0);
+        engine.addPeriodic(params.interval_seconds,
+                           [&](double now) {
+                               if (injector &&
+                                   injector->dropPoll(now)) {
+                                   return;
+                               }
+                               core_only->tick(now);
+                           },
+                           0.0);
     } else if (policy_name == "io-iso") {
         io_iso = std::make_unique<core::IoIsolationPolicy>(
             platform.pqos(), *registry, params);
         engine.addPeriodic(params.interval_seconds,
-                           [&](double now) { io_iso->tick(now); },
+                           [&](double now) {
+                               if (injector &&
+                                   injector->dropPoll(now)) {
+                                   return;
+                               }
+                               io_iso->tick(now);
+                           },
                            0.0);
     } else if (policy_name == "baseline") {
         scenarios::applyStaticLayout(platform.pqos(), *registry);
@@ -180,6 +213,22 @@ cmdRun(const CliArgs &args)
         fatal("unknown policy '%s' "
               "(baseline|core-only|io-iso|iat)",
               policy_name.c_str());
+    }
+
+    // Arm faults AFTER the policy attach so the daemon's t=0 setup
+    // tick runs before any MSR hook installs (the arm() contract).
+    if (injector) {
+        if (agg) {
+            for (unsigned i = 0; i < agg->nicCount(); ++i)
+                injector->addNic(agg->nic(i));
+        } else if (slicing) {
+            for (unsigned i = 0; i < slicing->vfCount(); ++i)
+                injector->addNic(slicing->vf(i));
+        }
+        // (corun keeps its NICs private; MSR, poll and churn faults
+        // still apply there.)
+        injector->setRegistry(registry);
+        injector->arm(engine, platform);
     }
 
     // Net-layer telemetry, from whichever world owns a pipeline.
@@ -258,6 +307,42 @@ cmdRun(const CliArgs &args)
                         daemon->stableTicks()),
                     static_cast<unsigned long long>(
                         daemon->shuffles()));
+        if (injector || !daemon->hardeningEnabled()) {
+            std::printf(
+                "hardening: %s, %llu bad samples, %llu clamped, "
+                "%llu missed polls, %llu retries, %llu failures, "
+                "degraded %llux (now %s)\n",
+                daemon->hardeningEnabled() ? "on" : "OFF",
+                static_cast<unsigned long long>(
+                    daemon->badSamples()),
+                static_cast<unsigned long long>(
+                    daemon->monitor().outliersClamped()),
+                static_cast<unsigned long long>(
+                    daemon->missedPolls()),
+                static_cast<unsigned long long>(
+                    daemon->writeRetries()),
+                static_cast<unsigned long long>(
+                    daemon->writeFailures()),
+                static_cast<unsigned long long>(
+                    daemon->degradedEnters()),
+                daemon->degraded() ? "degraded" : "engaged");
+        }
+    }
+    if (injector) {
+        std::printf(
+            "faults injected (plan %s): %llu read, %llu wrmsr "
+            "rejected, %llu polls dropped, %llu flaps, %llu stalls, "
+            "%llu churn\n",
+            fault_plan.hash(fault_plan.seed).c_str(),
+            static_cast<unsigned long long>(injector->readFaults()),
+            static_cast<unsigned long long>(
+                injector->writeRejects()),
+            static_cast<unsigned long long>(
+                injector->pollsDropped()),
+            static_cast<unsigned long long>(injector->linkFlaps()),
+            static_cast<unsigned long long>(injector->ringStalls()),
+            static_cast<unsigned long long>(
+                injector->churnEvents()));
     }
     if (telemetry) {
         const auto &tcfg = telemetry->config();
@@ -292,6 +377,16 @@ usage()
         "JSONL)\n"
         "          --sample-interval=<s> --log-level="
         "quiet|warn|info|debug\n"
+        "          --fault-read-noise=<p> --fault-write-reject=<p> "
+        "--fault-poll-drop=<p>\n"
+        "          --fault-counter-offset=<n> --fault-link-flap-"
+        "period=<s> --fault-link-down=<s>\n"
+        "          --fault-ring-stall-period=<s> --fault-ring-stall="
+        "<s> --fault-churn-period=<s>\n"
+        "          --fault-start=<s> --fault-duration=<s> "
+        "--fault-seed=<n> (fault injection)\n"
+        "          --no-hardening (throw the daemon's hardening "
+        "kill switch)\n"
         "  fsm     trace the Fig 6 state machine: iatctl fsm "
         "5e6,0.5,0.5,0 ...\n"
         "  params  print Table II defaults\n");
