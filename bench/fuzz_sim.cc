@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Seeded scenario fuzzer driver (DESIGN.md SS12): runs differential
+ * LLC trials and daemon world trials from src/check/fuzz.hh until a
+ * trial count or a wall-clock budget is exhausted, optionally running
+ * the FSM model checker and the shuffle-lattice check first.
+ *
+ * Every trial is replayable: trial k draws its seed from the
+ * splitmix64 stream of --seed, and a failing trial is shrunk to the
+ * minimal iteration count and written out as an experiment spec
+ * (fuzz_repro_<kind>_<seed>.exp under --out) that `iatexp run` or
+ * `fuzz_sim --exp=<file>` replays exactly.
+ *
+ *   fuzz_sim --trials=500                    # fixed trial count
+ *   fuzz_sim --budget-seconds=60             # as many as fit in 60 s
+ *   fuzz_sim --fsm-check --trials=100        # model check, then fuzz
+ *   fuzz_sim --exp=experiments/chaos.exp     # world trials under the
+ *                                            # spec's [fault] plan
+ *
+ * Exit status: 0 when everything passed, 1 on any violation (repro
+ * file written first).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "check/fsm_check.hh"
+#include "check/fuzz.hh"
+#include "check/invariants.hh"
+#include "core/params.hh"
+#include "exp/spec.hh"
+#include "fault/plan.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace iat;
+using Clock = std::chrono::steady_clock;
+
+double
+wallSeconds(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Run both adaptive_io_step settings of the model checker. */
+bool
+runFsmCheck()
+{
+    bool ok = true;
+    for (const bool adaptive : {false, true}) {
+        check::FsmCheckOptions opts;
+        opts.params.adaptive_io_step = adaptive;
+        const auto result = check::checkFsm(opts);
+        std::printf("fsm-check adaptive=%d: %zu nodes, %zu inputs, "
+                    "%zu transitions, %u/5 states, %zu violations\n",
+                    int(adaptive), result.nodes, result.inputs,
+                    result.transitions, result.states_reached,
+                    result.violations.size());
+        for (const auto &v : result.violations)
+            std::printf("  VIOLATION: %s\n", v.c_str());
+        ok = ok && result.ok();
+    }
+    const auto shuffle = check::checkShuffleLattice();
+    std::printf("shuffle-lattice: %zu configs, %zu violations\n",
+                shuffle.configs, shuffle.violations.size());
+    for (const auto &v : shuffle.violations)
+        std::printf("  VIOLATION: %s\n", v.c_str());
+    return ok && shuffle.ok();
+}
+
+struct FuzzConfig
+{
+    std::uint64_t trials = 0;        ///< 0: run until the budget ends
+    double budget_seconds = 30.0;
+    std::uint64_t base_seed = 1;
+    std::uint64_t llc_ops = 4000;
+    std::uint64_t world_ops = 200;
+    bool run_llc = true;
+    bool run_world = true;
+    std::string out_dir = "fuzz-repros";
+    const fault::FaultPlan *plan = nullptr;
+    std::vector<std::pair<std::string, std::string>> fault_pairs;
+};
+
+/**
+ * The fuzz loop: alternate LLC and world trials (per --mode) until
+ * the trial count or the budget runs out. Returns the number of
+ * failures (each one shrunk and written out as a repro).
+ */
+unsigned
+runFuzz(const FuzzConfig &cfg)
+{
+    const auto t0 = Clock::now();
+    std::uint64_t seed_state = cfg.base_seed;
+    std::uint64_t done = 0;
+    unsigned failures = 0;
+
+    while ((cfg.trials == 0 || done < cfg.trials) &&
+           (cfg.trials != 0 ||
+            wallSeconds(t0) < cfg.budget_seconds)) {
+        if (cfg.trials != 0 && wallSeconds(t0) > cfg.budget_seconds) {
+            std::printf("budget exhausted after %llu trials\n",
+                        static_cast<unsigned long long>(done));
+            break;
+        }
+        const std::uint64_t seed = splitmix64Next(seed_state);
+        const bool world = cfg.run_world &&
+                           (!cfg.run_llc || (done & 1) != 0);
+        std::string violation;
+        check::ShrunkFailure shrunk;
+        if (world) {
+            violation =
+                check::fuzzWorldTrial(seed, cfg.world_ops, cfg.plan);
+            if (!violation.empty())
+                shrunk = check::shrinkWorldFailure(
+                    seed, cfg.world_ops, cfg.plan);
+        } else {
+            violation = check::fuzzLlcTrial(seed, cfg.llc_ops);
+            if (!violation.empty())
+                shrunk = check::shrinkLlcFailure(seed, cfg.llc_ops);
+        }
+        ++done;
+        if (!violation.empty()) {
+            ++failures;
+            std::printf("FAIL %s seed=%llu: %s\n",
+                        world ? "world" : "llc",
+                        static_cast<unsigned long long>(seed),
+                        violation.c_str());
+            const auto spec =
+                check::reproSpec(shrunk, cfg.fault_pairs);
+            const auto path =
+                check::writeReproFile(cfg.out_dir, spec);
+            std::printf("  shrunk to %llu iterations: %s\n"
+                        "  repro written: %s\n",
+                        static_cast<unsigned long long>(shrunk.ops),
+                        shrunk.violation.c_str(), path.c_str());
+        }
+    }
+    std::printf("fuzz: %llu trials, %u failures, %.1f s\n",
+                static_cast<unsigned long long>(done), failures,
+                wallSeconds(t0));
+    return failures;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+
+    FuzzConfig cfg;
+    cfg.trials =
+        static_cast<std::uint64_t>(args.getInt("trials", 0));
+    cfg.budget_seconds = args.getDouble("budget-seconds", 30.0);
+    cfg.base_seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    cfg.llc_ops = static_cast<std::uint64_t>(args.getInt("ops", 4000));
+    cfg.world_ops =
+        static_cast<std::uint64_t>(args.getInt("world-ops", 200));
+    cfg.out_dir = args.getString("out", "fuzz-repros");
+
+    const std::string mode = args.getString("mode", "all");
+    if (mode == "llc") {
+        cfg.run_world = false;
+    } else if (mode == "world") {
+        cfg.run_llc = false;
+    } else if (mode != "all") {
+        fatal("--mode expects llc, world or all, got '%s'",
+              mode.c_str());
+    }
+
+    // --exp=<spec>: a fuzz repro spec replays its exact trial (the
+    // shared seed verbatim, the shrunk `ops` count); any other spec
+    // (e.g. experiments/chaos.exp) donates its [fault] plan to the
+    // world trials.
+    fault::FaultPlan plan;
+    if (args.has("exp")) {
+        const auto spec =
+            exp::ExperimentSpec::loadFile(args.getString("exp", ""));
+        cfg.fault_pairs = spec.fault;
+        plan = fault::FaultPlan::fromPairs(spec.fault, "");
+        if (plan.any())
+            cfg.plan = &plan;
+        if (spec.sweep == "fuzz_llc" || spec.sweep == "fuzz_world") {
+            std::uint64_t ops = 0;
+            for (const auto &[key, value] : spec.constants) {
+                if (key == "ops")
+                    ops = std::strtoull(value.c_str(), nullptr, 0);
+            }
+            if (ops == 0)
+                fatal("repro spec lacks an ops constant");
+            const auto violation =
+                spec.sweep == "fuzz_llc"
+                    ? check::fuzzLlcTrial(spec.seed, ops)
+                    : check::fuzzWorldTrial(spec.seed, ops,
+                                            cfg.plan);
+            if (violation.empty()) {
+                std::printf("repro %s seed=%llu ops=%llu: PASS\n",
+                            spec.sweep.c_str(),
+                            static_cast<unsigned long long>(
+                                spec.seed),
+                            static_cast<unsigned long long>(ops));
+                return 0;
+            }
+            std::printf("repro %s seed=%llu ops=%llu: %s\n",
+                        spec.sweep.c_str(),
+                        static_cast<unsigned long long>(spec.seed),
+                        static_cast<unsigned long long>(ops),
+                        violation.c_str());
+            return 1;
+        }
+        if (!args.has("seed"))
+            cfg.base_seed = spec.seed;
+    }
+
+    const bool fsm_check = args.getBool("fsm-check", false);
+    args.warnUnknown();
+
+    bool ok = true;
+    if (fsm_check)
+        ok = runFsmCheck();
+
+    if (cfg.trials != 0 || !fsm_check || args.has("budget-seconds"))
+        ok = runFuzz(cfg) == 0 && ok;
+
+    return ok ? 0 : 1;
+}

@@ -11,6 +11,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "check/fuzz.hh"
 #include "scenarios/agg_testpmd.hh"
 #include "scenarios/l3fwd.hh"
 #include "scenarios/slicing_pmd_xmem.hh"
@@ -453,6 +454,53 @@ registerPaperSweeps(exp::TrialRegistry &registry)
                  "Fig 9 agg_testpmd ramp under a [fault] plan; "
                  "params policy, hardening + fault.* knobs",
                  chaosTrial);
+}
+
+namespace {
+
+/** One differential LLC fuzz trial; throws on mismatch. */
+exp::TrialResult
+fuzzLlcSweepTrial(const exp::TrialContext &ctx)
+{
+    const auto ops =
+        static_cast<std::uint64_t>(ctx.getInt("ops", 4000));
+    const auto violation = check::fuzzLlcTrial(ctx.seed, ops);
+    if (!violation.empty())
+        throw std::runtime_error(violation);
+    exp::TrialResult result;
+    result.add("ops", static_cast<double>(ops));
+    return result;
+}
+
+/** One world fuzz trial under the spec's [fault] plan, if any. */
+exp::TrialResult
+fuzzWorldSweepTrial(const exp::TrialContext &ctx)
+{
+    const auto ops =
+        static_cast<std::uint64_t>(ctx.getInt("ops", 200));
+    const auto plan = fault::FaultPlan::fromPairs(ctx.params);
+    const auto violation = check::fuzzWorldTrial(
+        ctx.seed, ops, plan.any() ? &plan : nullptr);
+    if (!violation.empty())
+        throw std::runtime_error(violation);
+    exp::TrialResult result;
+    result.add("ops", static_cast<double>(ops));
+    return result;
+}
+
+} // namespace
+
+void
+registerValidationSweeps(exp::TrialRegistry &registry)
+{
+    registry.add("fuzz_llc",
+                 "differential LLC fuzz trial vs the reference "
+                 "oracle; param ops",
+                 fuzzLlcSweepTrial);
+    registry.add("fuzz_world",
+                 "daemon world fuzz trial (invariants + oracle); "
+                 "param ops, optional fault.* knobs",
+                 fuzzWorldSweepTrial);
 }
 
 } // namespace iat::bench

@@ -158,6 +158,15 @@ ChaosResult chaosRunCase(Policy policy, const fault::FaultPlan &plan,
  */
 void registerPaperSweeps(exp::TrialRegistry &registry);
 
+/**
+ * Register the validation sweeps backing the fuzzer's repro files:
+ * "fuzz_llc" (differential LLC trial, param `ops`) and "fuzz_world"
+ * (daemon world trial, param `ops` plus optional `fault.*` knobs).
+ * A trial throws on a mismatch, so the campaign runner records the
+ * violation verbatim in the JSONL error field.
+ */
+void registerValidationSweeps(exp::TrialRegistry &registry);
+
 } // namespace iat::bench
 
 #endif // IATSIM_BENCH_SWEEPS_HH

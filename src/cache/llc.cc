@@ -52,8 +52,8 @@ SlicedLlc::SlicedLlc(const CacheGeometry &geom, unsigned num_cores)
     ddio_mask_ = WayMask::fromRange(geom_.num_ways - 2, 2);
 
     core_counters_.assign(num_cores_, {});
-    device_counters_.assign(8, {});
-    device_ddio_masks_.assign(8, WayMask{});
+    device_counters_.assign(numDevices, {});
+    device_ddio_masks_.assign(numDevices, WayMask{});
     rmid_lines_.assign(numRmids, 0);
     bin_count_.assign(geom_.num_slices + 1, 0);
 }
@@ -68,6 +68,8 @@ SlicedLlc::setClosMask(ClosId clos, WayMask mask)
     IAT_ASSERT(mask.highest() < geom_.num_ways,
                "mask exceeds way count");
     clos_masks_[clos] = mask;
+    if (shadow_ != nullptr)
+        shadow_->onSetClosMask(clos, mask);
 }
 
 WayMask
@@ -83,6 +85,8 @@ SlicedLlc::assocCoreClos(CoreId core, ClosId clos)
     IAT_ASSERT(core < num_cores_ && clos < numClos,
                "core/CLOS out of range");
     core_clos_[core] = clos;
+    if (shadow_ != nullptr)
+        shadow_->onAssocCoreClos(core, clos);
 }
 
 ClosId
@@ -98,6 +102,8 @@ SlicedLlc::assocCoreRmid(CoreId core, RmidId rmid)
     IAT_ASSERT(core < num_cores_ && rmid < numRmids,
                "core/RMID out of range");
     core_rmid_[core] = rmid;
+    if (shadow_ != nullptr)
+        shadow_->onAssocCoreRmid(core, rmid);
 }
 
 RmidId
@@ -116,6 +122,8 @@ SlicedLlc::setDdioMask(WayMask mask)
     IAT_ASSERT(mask.highest() < geom_.num_ways,
                "DDIO mask exceeds way count");
     ddio_mask_ = mask;
+    if (shadow_ != nullptr)
+        shadow_->onSetDdioMask(mask);
 }
 
 void
@@ -128,6 +136,8 @@ SlicedLlc::setDeviceDdioMask(DeviceId dev, WayMask mask)
     IAT_ASSERT(mask.highest() < geom_.num_ways,
                "device DDIO mask exceeds way count");
     device_ddio_masks_[dev] = mask;
+    if (shadow_ != nullptr)
+        shadow_->onSetDeviceDdioMask(dev, mask);
 }
 
 void
@@ -136,6 +146,8 @@ SlicedLlc::clearDeviceDdioMask(DeviceId dev)
     IAT_ASSERT(dev < device_ddio_masks_.size(),
                "device out of range");
     device_ddio_masks_[dev] = WayMask{};
+    if (shadow_ != nullptr)
+        shadow_->onClearDeviceDdioMask(dev);
 }
 
 WayMask
@@ -146,6 +158,13 @@ SlicedLlc::deviceDdioMask(DeviceId dev) const
         return device_ddio_masks_[dev];
     }
     return ddio_mask_;
+}
+
+bool
+SlicedLlc::hasDeviceDdioMask(DeviceId dev) const
+{
+    return dev < device_ddio_masks_.size() &&
+           !device_ddio_masks_[dev].empty();
 }
 
 void
@@ -271,17 +290,19 @@ SlicedLlc::applyCoreOp(CoreId core, Slice &sl, unsigned set, CoreOp &op)
         sl.lines[static_cast<std::size_t>(set) * geom_.num_ways +
                  static_cast<unsigned>(w)]
             .ts = ++sl.clock;
-        return;
+    } else {
+        if (!op.writeback)
+            ++core_counters_[core].llc_misses;
+        AccessResult result;
+        allocate(sl, set, line, clos_masks_[core_clos_[core]],
+                 core_rmid_[core],
+                 op.writeback || op.type == AccessType::Write, result);
+        op.hit = false;
+        op.victim_writeback = result.writeback;
     }
-
-    if (!op.writeback)
-        ++core_counters_[core].llc_misses;
-    AccessResult result;
-    allocate(sl, set, line, clos_masks_[core_clos_[core]],
-             core_rmid_[core],
-             op.writeback || op.type == AccessType::Write, result);
-    op.hit = false;
-    op.victim_writeback = result.writeback;
+    if (shadow_ != nullptr)
+        shadow_->onCoreOp(core, op.addr, op.type, op.writeback, op.hit,
+                          op.victim_writeback);
 }
 
 AccessResult
@@ -392,11 +413,7 @@ SlicedLlc::applyDdioWrite(Slice &sl, unsigned set, LineAddr line,
                               .owner];
             sl.meta[set].valid &= ~(1u << w);
         }
-        return result;
-    }
-
-    const int w = findWayMru(sl, set, line);
-    if (w >= 0) {
+    } else if (const int w = findWayMru(sl, set, line); w >= 0) {
         // Write update: the paper's "DDIO hit".
         result.hit = true;
         sl.meta[set].dirty |= 1u << w;
@@ -406,15 +423,16 @@ SlicedLlc::applyDdioWrite(Slice &sl, unsigned set, LineAddr line,
         ++sl.counters.ddio_hits;
         if (dev_ctr)
             ++dev_ctr->ddio_hits;
-        return result;
+    } else {
+        // Write allocate into the (device's) DDIO ways: a "DDIO miss".
+        ++sl.counters.ddio_misses;
+        if (dev_ctr)
+            ++dev_ctr->ddio_misses;
+        allocate(sl, set, line, deviceDdioMask(dev), ddioRmid,
+                 /*dirty=*/true, result);
     }
-
-    // Write allocate into the (device's) DDIO ways: a "DDIO miss".
-    ++sl.counters.ddio_misses;
-    if (dev_ctr)
-        ++dev_ctr->ddio_misses;
-    allocate(sl, set, line, deviceDdioMask(dev), ddioRmid,
-             /*dirty=*/true, result);
+    if (shadow_ != nullptr)
+        shadow_->onDdioWrite(line * geom_.line_bytes, dev, result);
     return result;
 }
 
@@ -473,11 +491,11 @@ SlicedLlc::deviceRead(Addr addr, DeviceId dev)
         sl.lines[static_cast<std::size_t>(set) * geom_.num_ways +
                  static_cast<unsigned>(w)]
             .ts = ++sl.clock;
-        return result;
     }
     // Device reads that miss are serviced from DRAM and, per SS II-B,
     // are not allocated in the LLC.
-    (void)dev;
+    if (shadow_ != nullptr)
+        shadow_->onDeviceRead(addr, dev, result);
     return result;
 }
 
@@ -517,6 +535,8 @@ SlicedLlc::invalidate(Addr addr)
                           .owner];
         sl.meta[set].valid &= ~(1u << w);
     }
+    if (shadow_ != nullptr)
+        shadow_->onInvalidate(addr);
 }
 
 void
@@ -530,6 +550,8 @@ SlicedLlc::flushAll()
         sl.clock = 0;
     }
     rmid_lines_.assign(numRmids, 0);
+    if (shadow_ != nullptr)
+        shadow_->onFlushAll();
 }
 
 const SliceCounters &
@@ -564,6 +586,31 @@ std::uint64_t
 SlicedLlc::rmidBytes(RmidId rmid) const
 {
     return rmidLines(rmid) * geom_.line_bytes;
+}
+
+SlicedLlc::LineView
+SlicedLlc::lineAt(unsigned slice, unsigned set, unsigned way) const
+{
+    IAT_ASSERT(slice < slices_.size(), "slice out of range");
+    IAT_ASSERT(set < geom_.sets_per_slice, "set out of range");
+    IAT_ASSERT(way < geom_.num_ways, "way out of range");
+    const Slice &sl = slices_[slice];
+    const Line &entry =
+        sl.lines[static_cast<std::size_t>(set) * geom_.num_ways + way];
+    LineView view;
+    view.valid = ((sl.meta[set].valid >> way) & 1u) != 0;
+    view.dirty = ((sl.meta[set].dirty >> way) & 1u) != 0;
+    view.tag = entry.tag;
+    view.owner = entry.owner;
+    view.ts = entry.ts;
+    return view;
+}
+
+std::uint32_t
+SlicedLlc::sliceClock(unsigned slice) const
+{
+    IAT_ASSERT(slice < slices_.size(), "slice out of range");
+    return slices_[slice].clock;
 }
 
 } // namespace iat::cache

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "cache/geometry.hh"
+#include "cache/shadow.hh"
 #include "cache/types.hh"
 #include "cache/way_mask.hh"
 
@@ -112,6 +113,8 @@ class SlicedLlc
     static constexpr unsigned numRmids = 64;
     /** Rmid accounting lines allocated by the DDIO port. */
     static constexpr RmidId ddioRmid = numRmids - 1;
+    /** PCIe devices with per-device counters and optional masks. */
+    static constexpr unsigned numDevices = 8;
 
     SlicedLlc(const CacheGeometry &geom, unsigned num_cores);
 
@@ -153,10 +156,19 @@ class SlicedLlc
 
     /** Effective allocation mask for @p dev. */
     WayMask deviceDdioMask(DeviceId dev) const;
+
+    /** Whether @p dev has a per-device mask programmed. */
+    bool hasDeviceDdioMask(DeviceId dev) const;
     /// @}
 
     /** Enable/disable the DDIO path (BIOS knob, for ablations). */
-    void setDdioEnabled(bool enabled) { ddio_enabled_ = enabled; }
+    void
+    setDdioEnabled(bool enabled)
+    {
+        ddio_enabled_ = enabled;
+        if (shadow_ != nullptr)
+            shadow_->onSetDdioEnabled(enabled);
+    }
     bool ddioEnabled() const { return ddio_enabled_; }
     /// @}
 
@@ -250,6 +262,39 @@ class SlicedLlc
 
     /** Total dirty-victim writebacks (for DRAM accounting tests). */
     std::uint64_t totalWritebacks() const { return total_writebacks_; }
+
+    /**
+     * Snapshot of one directory entry; `ts` is only meaningful when
+     * `valid` (invalid ways keep their stale stamp, which victim
+     * selection never reads because invalid ways short-circuit).
+     */
+    struct LineView
+    {
+        bool valid = false;
+        bool dirty = false;
+        LineAddr tag = 0;
+        RmidId owner = 0;
+        std::uint32_t ts = 0;
+    };
+
+    /** Directory peek for differential validation and deep dumps. */
+    LineView lineAt(unsigned slice, unsigned set, unsigned way) const;
+
+    /** Per-slice LRU clock (wraps at 2^32 by design). */
+    std::uint32_t sliceClock(unsigned slice) const;
+    /// @}
+
+    /// @name Shadow validation
+    /// @{
+
+    /**
+     * Attach (or detach with nullptr) a shadow observer. The shadow
+     * sees every subsequent config write and line-granular access
+     * with the real model's verdict; see cache/shadow.hh. Costs one
+     * predictable null check per op when detached.
+     */
+    void setShadow(LlcShadow *shadow) { shadow_ = shadow; }
+    LlcShadow *shadow() const { return shadow_; }
     /// @}
 
   private:
@@ -321,6 +366,7 @@ class SlicedLlc
     CacheGeometry geom_;
     unsigned num_cores_;
     bool ddio_enabled_ = true;
+    LlcShadow *shadow_ = nullptr;
 
     std::vector<Slice> slices_;
     std::vector<WayMask> clos_masks_;

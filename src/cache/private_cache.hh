@@ -56,6 +56,32 @@ class PrivateCache
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
+    /** Snapshot of one directory entry (for differential checks). */
+    struct LineView
+    {
+        bool valid = false;
+        bool dirty = false;
+        LineAddr tag = 0;
+        std::uint32_t ts = 0;
+    };
+
+    /** Directory peek; `ts` only meaningful when `valid`. */
+    LineView
+    lineAt(unsigned set, unsigned way) const
+    {
+        const Way &entry =
+            ways_[static_cast<std::size_t>(set) * geom_.num_ways + way];
+        LineView view;
+        view.valid = ((meta_[set].valid >> way) & 1u) != 0;
+        view.dirty = ((meta_[set].dirty >> way) & 1u) != 0;
+        view.tag = entry.tag;
+        view.ts = entry.ts;
+        return view;
+    }
+
+    /** LRU clock (wraps at 2^32 by design). */
+    std::uint32_t clock() const { return clock_; }
+
   private:
     unsigned setIndex(LineAddr line) const;
 

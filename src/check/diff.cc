@@ -1,0 +1,359 @@
+/**
+ * @file
+ * DiffHarness / PrivateCacheDiff implementation.
+ */
+
+#include "check/diff.hh"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace iat::check {
+
+namespace {
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    char buf[512];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return buf;
+}
+
+} // namespace
+
+DiffHarness::DiffHarness(cache::SlicedLlc &real,
+                         std::uint64_t deep_interval)
+    : real_(real), ref_(real.geometry(), real.numCores()),
+      deep_interval_(deep_interval)
+{
+    ref_.mirrorState(real_);
+    real_.setShadow(this);
+}
+
+DiffHarness::~DiffHarness()
+{
+    if (real_.shadow() == this)
+        real_.setShadow(nullptr);
+}
+
+void
+DiffHarness::fail(std::string what)
+{
+    if (report_.mismatches == 0)
+        report_.first_mismatch = std::move(what);
+    ++report_.mismatches;
+}
+
+bool
+DiffHarness::opChecksIn()
+{
+    ++report_.ops;
+    if (sabotage_next_) {
+        sabotage_next_ = false;
+        fail(format("sabotaged op #%" PRIu64
+                    " (deliberate self-test mismatch)",
+                    report_.ops));
+        return false;
+    }
+    if (deep_interval_ != 0 && report_.ops % deep_interval_ == 0)
+        deepCompare();
+    return true;
+}
+
+void
+DiffHarness::onSetClosMask(cache::ClosId clos, cache::WayMask mask)
+{
+    ref_.setClosMask(clos, mask);
+}
+
+void
+DiffHarness::onAssocCoreClos(cache::CoreId core, cache::ClosId clos)
+{
+    ref_.assocCoreClos(core, clos);
+}
+
+void
+DiffHarness::onAssocCoreRmid(cache::CoreId core, cache::RmidId rmid)
+{
+    ref_.assocCoreRmid(core, rmid);
+}
+
+void
+DiffHarness::onSetDdioMask(cache::WayMask mask)
+{
+    ref_.setDdioMask(mask);
+}
+
+void
+DiffHarness::onSetDeviceDdioMask(cache::DeviceId dev,
+                                 cache::WayMask mask)
+{
+    ref_.setDeviceDdioMask(dev, mask);
+}
+
+void
+DiffHarness::onClearDeviceDdioMask(cache::DeviceId dev)
+{
+    ref_.clearDeviceDdioMask(dev);
+}
+
+void
+DiffHarness::onSetDdioEnabled(bool enabled)
+{
+    ref_.setDdioEnabled(enabled);
+}
+
+void
+DiffHarness::onCoreOp(cache::CoreId core, cache::Addr addr,
+                      cache::AccessType type, bool writeback, bool hit,
+                      bool victim_writeback)
+{
+    const auto verdict = ref_.coreOp(core, addr, type, writeback);
+    if (!opChecksIn())
+        return;
+    if (verdict.hit != hit || verdict.victim_writeback != victim_writeback) {
+        fail(format("core op #%" PRIu64 " core=%u addr=0x%" PRIx64
+                    " %s%s: real hit=%d wb=%d, ref hit=%d wb=%d",
+                    report_.ops, unsigned(core), addr,
+                    type == cache::AccessType::Write ? "W" : "R",
+                    writeback ? " (writeback)" : "", int(hit),
+                    int(victim_writeback), int(verdict.hit),
+                    int(verdict.victim_writeback)));
+    }
+}
+
+void
+DiffHarness::onDdioWrite(cache::Addr addr, cache::DeviceId dev,
+                         const cache::AccessResult &result)
+{
+    const auto verdict = ref_.ddioWrite(addr, dev);
+    if (!opChecksIn())
+        return;
+    if (verdict.hit != result.hit ||
+        verdict.writeback != result.writeback ||
+        verdict.allocated != result.allocated) {
+        fail(format("ddio write #%" PRIu64 " dev=%u addr=0x%" PRIx64
+                    ": real hit=%d wb=%d alloc=%d, "
+                    "ref hit=%d wb=%d alloc=%d",
+                    report_.ops, unsigned(dev), addr, int(result.hit),
+                    int(result.writeback), int(result.allocated),
+                    int(verdict.hit), int(verdict.writeback),
+                    int(verdict.allocated)));
+    }
+}
+
+void
+DiffHarness::onDeviceRead(cache::Addr addr, cache::DeviceId dev,
+                          const cache::AccessResult &result)
+{
+    const auto verdict = ref_.deviceRead(addr, dev);
+    if (!opChecksIn())
+        return;
+    if (verdict.hit != result.hit) {
+        fail(format("device read #%" PRIu64 " dev=%u addr=0x%" PRIx64
+                    ": real hit=%d, ref hit=%d",
+                    report_.ops, unsigned(dev), addr, int(result.hit),
+                    int(verdict.hit)));
+    }
+}
+
+void
+DiffHarness::onInvalidate(cache::Addr addr)
+{
+    ref_.invalidate(addr);
+    opChecksIn();
+}
+
+void
+DiffHarness::onFlushAll()
+{
+    ref_.flushAll();
+    opChecksIn();
+}
+
+void
+DiffHarness::deepCompare()
+{
+    ++report_.deep_compares;
+    const auto &geom = real_.geometry();
+
+    for (unsigned s = 0; s < geom.num_slices; ++s) {
+        if (real_.sliceClock(s) != ref_.sliceClock(s)) {
+            fail(format("slice %u clock: real %u, ref %u", s,
+                        real_.sliceClock(s), ref_.sliceClock(s)));
+            return;
+        }
+        const auto &rc = real_.sliceCounters(s);
+        const auto &oc = ref_.sliceCounters(s);
+        if (rc.ddio_hits != oc.ddio_hits ||
+            rc.ddio_misses != oc.ddio_misses ||
+            rc.lookups != oc.lookups) {
+            fail(format("slice %u counters: real %" PRIu64 "/%" PRIu64
+                        "/%" PRIu64 ", ref %" PRIu64 "/%" PRIu64
+                        "/%" PRIu64,
+                        s, rc.ddio_hits, rc.ddio_misses, rc.lookups,
+                        oc.ddio_hits, oc.ddio_misses, oc.lookups));
+            return;
+        }
+        for (unsigned set = 0; set < geom.sets_per_slice; ++set) {
+            for (unsigned w = 0; w < geom.num_ways; ++w) {
+                const auto rl = real_.lineAt(s, set, w);
+                const auto &ol = ref_.lineAt(s, set, w);
+                if (rl.valid != ol.valid) {
+                    fail(format("(%u,%u,%u) valid: real %d, ref %d",
+                                s, set, w, int(rl.valid),
+                                int(ol.valid)));
+                    return;
+                }
+                // Stale tag/stamp/dirty of invalid ways never feed
+                // back into behaviour; only compare live entries.
+                if (rl.valid &&
+                    (rl.tag != ol.tag || rl.dirty != ol.dirty ||
+                     rl.owner != ol.owner || rl.ts != ol.ts)) {
+                    fail(format(
+                        "(%u,%u,%u): real tag=0x%" PRIx64
+                        " dirty=%d owner=%u ts=%u, ref tag=0x%" PRIx64
+                        " dirty=%d owner=%u ts=%u",
+                        s, set, w, rl.tag, int(rl.dirty),
+                        unsigned(rl.owner), rl.ts, ol.tag,
+                        int(ol.dirty), unsigned(ol.owner), ol.ts));
+                    return;
+                }
+            }
+        }
+    }
+
+    for (unsigned c = 0; c < real_.numCores(); ++c) {
+        const auto core = static_cast<cache::CoreId>(c);
+        const auto &rc = real_.coreCounters(core);
+        const auto &oc = ref_.coreCounters(core);
+        if (rc.llc_refs != oc.llc_refs ||
+            rc.llc_misses != oc.llc_misses) {
+            fail(format("core %u counters: real %" PRIu64 "/%" PRIu64
+                        ", ref %" PRIu64 "/%" PRIu64,
+                        c, rc.llc_refs, rc.llc_misses, oc.llc_refs,
+                        oc.llc_misses));
+            return;
+        }
+    }
+    for (unsigned d = 0; d < cache::SlicedLlc::numDevices; ++d) {
+        const auto dev = static_cast<cache::DeviceId>(d);
+        const auto &rc = real_.deviceCounters(dev);
+        const auto &oc = ref_.deviceCounters(dev);
+        if (rc.ddio_hits != oc.ddio_hits ||
+            rc.ddio_misses != oc.ddio_misses) {
+            fail(format("device %u counters: real %" PRIu64
+                        "/%" PRIu64 ", ref %" PRIu64 "/%" PRIu64,
+                        d, rc.ddio_hits, rc.ddio_misses, oc.ddio_hits,
+                        oc.ddio_misses));
+            return;
+        }
+    }
+    for (unsigned r = 0; r < cache::SlicedLlc::numRmids; ++r) {
+        const auto rmid = static_cast<cache::RmidId>(r);
+        if (real_.rmidLines(rmid) != ref_.rmidLines(rmid)) {
+            fail(format("rmid %u occupancy: real %" PRIu64
+                        ", ref %" PRIu64,
+                        r, real_.rmidLines(rmid), ref_.rmidLines(rmid)));
+            return;
+        }
+    }
+    if (real_.totalWritebacks() != ref_.totalWritebacks()) {
+        fail(format("total writebacks: real %" PRIu64 ", ref %" PRIu64,
+                    real_.totalWritebacks(), ref_.totalWritebacks()));
+    }
+}
+
+PrivateCacheDiff::PrivateCacheDiff(
+    const cache::PrivateCacheGeometry &geom,
+    std::uint64_t deep_interval)
+    : real_(geom), ref_(geom), deep_interval_(deep_interval)
+{
+}
+
+void
+PrivateCacheDiff::fail(std::string what)
+{
+    if (report_.mismatches == 0)
+        report_.first_mismatch = std::move(what);
+    ++report_.mismatches;
+}
+
+cache::PrivateAccessResult
+PrivateCacheDiff::access(cache::Addr addr, cache::AccessType type)
+{
+    const auto real = real_.access(addr, type);
+    const auto ref = ref_.access(addr, type);
+    ++report_.ops;
+    if (real.hit != ref.hit ||
+        real.has_writeback != ref.has_writeback ||
+        (real.has_writeback &&
+         real.writeback_addr != ref.writeback_addr)) {
+        fail(format("private op #%" PRIu64 " addr=0x%" PRIx64
+                    " %s: real hit=%d wb=%d@0x%" PRIx64
+                    ", ref hit=%d wb=%d@0x%" PRIx64,
+                    report_.ops, addr,
+                    type == cache::AccessType::Write ? "W" : "R",
+                    int(real.hit), int(real.has_writeback),
+                    real.writeback_addr, int(ref.hit),
+                    int(ref.has_writeback), ref.writeback_addr));
+    }
+    if (deep_interval_ != 0 && report_.ops % deep_interval_ == 0)
+        deepCompare();
+    return real;
+}
+
+void
+PrivateCacheDiff::invalidateAll()
+{
+    real_.invalidateAll();
+    ref_.invalidateAll();
+    ++report_.ops;
+}
+
+void
+PrivateCacheDiff::deepCompare()
+{
+    ++report_.deep_compares;
+    const auto &geom = real_.geometry();
+    if (real_.clock() != ref_.clock()) {
+        fail(format("private clock: real %u, ref %u", real_.clock(),
+                    ref_.clock()));
+        return;
+    }
+    if (real_.hits() != ref_.hits() ||
+        real_.misses() != ref_.misses()) {
+        fail(format("private hit/miss: real %" PRIu64 "/%" PRIu64
+                    ", ref %" PRIu64 "/%" PRIu64,
+                    real_.hits(), real_.misses(), ref_.hits(),
+                    ref_.misses()));
+        return;
+    }
+    for (unsigned set = 0; set < geom.num_sets; ++set) {
+        for (unsigned w = 0; w < geom.num_ways; ++w) {
+            const auto rl = real_.lineAt(set, w);
+            const auto &ol = ref_.lineAt(set, w);
+            if (rl.valid != ol.valid) {
+                fail(format("private (%u,%u) valid: real %d, ref %d",
+                            set, w, int(rl.valid), int(ol.valid)));
+                return;
+            }
+            if (rl.valid && (rl.tag != ol.tag ||
+                             rl.dirty != ol.dirty || rl.ts != ol.ts)) {
+                fail(format("private (%u,%u): real tag=0x%" PRIx64
+                            " dirty=%d ts=%u, ref tag=0x%" PRIx64
+                            " dirty=%d ts=%u",
+                            set, w, rl.tag, int(rl.dirty), rl.ts,
+                            ol.tag, int(ol.dirty), ol.ts));
+                return;
+            }
+        }
+    }
+}
+
+} // namespace iat::check

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Differential harnesses: real model vs reference oracle, in lockstep.
+ *
+ * DiffHarness attaches to a live cache::SlicedLlc as its shadow
+ * observer (cache/shadow.hh). Every config write is mirrored into a
+ * RefLlc; every line-granular access replays through the oracle and
+ * the two verdicts -- hit/miss, dirty-victim writeback, allocation --
+ * are compared immediately. Every `deep_interval` ops (and on demand)
+ * the harness also deep-compares the full state: directory contents
+ * per (slice, set, way), per-slice LRU clocks, slice/core/device
+ * counters, RMID occupancy and the writeback total. "Equal" here
+ * means every allocation chose the same way and every eviction chose
+ * the same victim, so agreement is bit-for-bit, not statistical.
+ *
+ * The harness can attach at any time: construction seeds the oracle
+ * from the real model's current state (RefLlc::mirrorState).
+ *
+ * PrivateCacheDiff is the same idea for the (shadow-less) per-core L2:
+ * it owns both models and callers route accesses through it.
+ */
+
+#ifndef IATSIM_CHECK_DIFF_HH
+#define IATSIM_CHECK_DIFF_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/llc.hh"
+#include "cache/private_cache.hh"
+#include "cache/shadow.hh"
+#include "check/ref_llc.hh"
+#include "check/ref_private_cache.hh"
+
+namespace iat::check {
+
+/** Outcome of a differential run; `first_mismatch` is diagnostic. */
+struct DiffReport
+{
+    std::uint64_t ops = 0;
+    std::uint64_t deep_compares = 0;
+    std::uint64_t mismatches = 0;
+    std::string first_mismatch;
+
+    bool clean() const { return mismatches == 0; }
+};
+
+/** Shadow-mode differential harness for the sliced LLC. */
+class DiffHarness final : public cache::LlcShadow
+{
+  public:
+    /**
+     * Attach to @p real (seeding the oracle from its current state)
+     * and deep-compare every @p deep_interval shadowed ops; 0 means
+     * only on demand.
+     */
+    explicit DiffHarness(cache::SlicedLlc &real,
+                         std::uint64_t deep_interval = 4096);
+    ~DiffHarness() override;
+
+    DiffHarness(const DiffHarness &) = delete;
+    DiffHarness &operator=(const DiffHarness &) = delete;
+
+    const DiffReport &report() const { return report_; }
+    bool clean() const { return report_.clean(); }
+    RefLlc &ref() { return ref_; }
+
+    /** Full-state diff now; counts into the report. */
+    void deepCompare();
+
+    /**
+     * Make the next shadowed access record a mismatch regardless of
+     * the verdicts. Proves the failure plumbing (and the fuzzer's
+     * shrinker) end to end against a known-bad op index.
+     */
+    void sabotageNextOp() { sabotage_next_ = true; }
+
+    /// @name cache::LlcShadow
+    /// @{
+    void onSetClosMask(cache::ClosId clos, cache::WayMask mask) override;
+    void onAssocCoreClos(cache::CoreId core, cache::ClosId clos) override;
+    void onAssocCoreRmid(cache::CoreId core, cache::RmidId rmid) override;
+    void onSetDdioMask(cache::WayMask mask) override;
+    void onSetDeviceDdioMask(cache::DeviceId dev,
+                             cache::WayMask mask) override;
+    void onClearDeviceDdioMask(cache::DeviceId dev) override;
+    void onSetDdioEnabled(bool enabled) override;
+    void onCoreOp(cache::CoreId core, cache::Addr addr,
+                  cache::AccessType type, bool writeback, bool hit,
+                  bool victim_writeback) override;
+    void onDdioWrite(cache::Addr addr, cache::DeviceId dev,
+                     const cache::AccessResult &result) override;
+    void onDeviceRead(cache::Addr addr, cache::DeviceId dev,
+                      const cache::AccessResult &result) override;
+    void onInvalidate(cache::Addr addr) override;
+    void onFlushAll() override;
+    /// @}
+
+  private:
+    /** Record a mismatch; the first description is kept. */
+    void fail(std::string what);
+
+    /** Op bookkeeping + periodic deep compare + sabotage hook. */
+    bool opChecksIn();
+
+    cache::SlicedLlc &real_;
+    RefLlc ref_;
+    std::uint64_t deep_interval_;
+    bool sabotage_next_ = false;
+    DiffReport report_;
+};
+
+/** Side-by-side differential driver for the private cache. */
+class PrivateCacheDiff
+{
+  public:
+    explicit PrivateCacheDiff(const cache::PrivateCacheGeometry &geom,
+                              std::uint64_t deep_interval = 4096);
+
+    /** Drive both models; returns the real model's result. */
+    cache::PrivateAccessResult access(cache::Addr addr,
+                                      cache::AccessType type);
+
+    void invalidateAll();
+
+    /** Full-state diff now; counts into the report. */
+    void deepCompare();
+
+    const DiffReport &report() const { return report_; }
+    bool clean() const { return report_.clean(); }
+    cache::PrivateCache &real() { return real_; }
+
+  private:
+    void fail(std::string what);
+
+    cache::PrivateCache real_;
+    RefPrivateCache ref_;
+    std::uint64_t deep_interval_;
+    DiffReport report_;
+};
+
+} // namespace iat::check
+
+#endif // IATSIM_CHECK_DIFF_HH

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * FSM model checker implementation.
+ */
+
+#include "check/fsm_check.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+
+#include "cache/way_mask.hh"
+
+namespace iat::check {
+
+namespace {
+
+/** One point of the product space: FSM state x DDIO way count. */
+struct Node
+{
+    core::IatState state;
+    unsigned ways;
+
+    bool operator==(const Node &) const = default;
+};
+
+/** Dense node index: 5 states x (ways + 1) way counts. */
+std::size_t
+nodeIndex(const Node &n, unsigned num_ways)
+{
+    return static_cast<std::size_t>(n.state) * (num_ways + 1) + n.ways;
+}
+
+std::string
+describe(const Node &n)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "(%s, %u ways)",
+                  core::toString(n.state), n.ways);
+    return buf;
+}
+
+std::string
+describeInput(const core::FsmInputs &in)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "input{miss_rate=%.3g dM=%.3g dH=%.3g dR=%.3g}",
+                  in.ddio_miss_rate, in.d_ddio_misses, in.d_ddio_hits,
+                  in.d_llc_refs);
+    return buf;
+}
+
+/**
+ * One gated daemon tick, exactly as core/daemon.cc sequences it:
+ * advance -> DDIO way action for the resulting state -> applyBounds.
+ * Way motion mirrors actOnState() / reclaimOne() with the allocator's
+ * grow/shrink guards inlined (growDdio stops at min(max, num_ways),
+ * shrinkDdio at max(min, 1); Reclaim shrinks DDIO first and only
+ * touches tenants once DDIO sits at the minimum, which leaves the
+ * DDIO count unchanged).
+ */
+Node
+stepOnce(const FsmCheckOptions &opts, Node n,
+         const core::FsmInputs &in)
+{
+    const core::IatParams &p = opts.params;
+    core::IatFsm fsm(p);
+    fsm.reset(n.state);
+    const core::IatState acted = fsm.advance(in);
+
+    unsigned w = n.ways;
+    switch (acted) {
+      case core::IatState::IoDemand: {
+        unsigned step = 1;
+        if (p.adaptive_io_step) {
+            if (in.d_ddio_misses > 0.5)
+                ++step;
+            if (in.ddio_miss_rate > 10.0 * p.threshold_miss_low_per_s)
+                ++step;
+        }
+        const unsigned cap = std::min(p.ddio_ways_max, opts.num_ways);
+        for (unsigned s = 0; s < step && w < cap; ++s)
+            ++w;
+        break;
+      }
+      case core::IatState::Reclaim:
+      case core::IatState::LowKeep:
+        if (w > std::max(p.ddio_ways_min, 1u))
+            --w;
+        break;
+      case core::IatState::CoreDemand:
+      case core::IatState::HighKeep:
+        break;
+    }
+
+    fsm.applyBounds(w);
+    return Node{fsm.state(), w};
+}
+
+} // namespace
+
+std::vector<core::FsmInputs>
+buildInputLattice(const core::IatParams &params)
+{
+    const double ts = params.threshold_stable;
+    const double td = params.threshold_miss_drop;
+    const double tm = params.threshold_miss_low_per_s;
+
+    // Every region the predicates can distinguish, plus the exact
+    // boundary values (all comparisons are strict, so boundaries must
+    // land on the stable side).
+    const double d_miss[] = {-2.0 * td, -td, -(td + ts) / 2.0,
+                             -ts,      0.0, ts,
+                             2.0 * ts};
+    const double d_hit[] = {-2.0 * ts, -ts, 0.0, ts, 2.0 * ts};
+    const double d_ref[] = {0.0, ts, 2.0 * ts};
+    const double rate[] = {0.0, 0.5 * tm, tm, 2.0 * tm, 100.0 * tm};
+
+    std::vector<core::FsmInputs> lattice;
+    for (const double m : d_miss) {
+        for (const double h : d_hit) {
+            for (const double r : d_ref) {
+                for (const double mr : rate) {
+                    core::FsmInputs in;
+                    in.d_ddio_misses = m;
+                    in.d_ddio_hits = h;
+                    in.d_llc_refs = r;
+                    in.ddio_miss_rate = mr;
+                    lattice.push_back(in);
+                }
+            }
+        }
+    }
+    return lattice;
+}
+
+FsmCheckResult
+checkFsm(const FsmCheckOptions &opts)
+{
+    const core::IatParams &p = opts.params;
+    FsmCheckResult result;
+    const auto lattice = buildInputLattice(p);
+    result.inputs = lattice.size();
+
+    auto violate = [&result](std::string what) {
+        if (result.violations.size() < 32)
+            result.violations.push_back(std::move(what));
+    };
+
+    const auto checkNode = [&](const Node &n) {
+        if (n.ways < p.ddio_ways_min || n.ways > p.ddio_ways_max) {
+            violate(describe(n) + ": DDIO ways outside [min, max]");
+            return;
+        }
+        const auto mask =
+            cache::WayMask::fromRange(opts.num_ways - n.ways, n.ways);
+        if (!mask.isValidCbm() || mask.highest() >= opts.num_ways)
+            violate(describe(n) + ": DDIO mask not a valid CBM");
+        if (n.state == core::IatState::HighKeep &&
+            n.ways != std::min(p.ddio_ways_max, opts.num_ways)) {
+            violate(describe(n) +
+                    ": HighKeep occupied below ddio_ways_max");
+        }
+        if (n.state == core::IatState::LowKeep &&
+            n.ways != std::max(p.ddio_ways_min, 1u)) {
+            violate(describe(n) +
+                    ": LowKeep occupied above ddio_ways_min");
+        }
+    };
+
+    // Breadth-first reachability from the daemon's reset point.
+    const Node reset{core::IatState::LowKeep,
+                     std::max(p.ddio_ways_min, 1u)};
+    std::vector<char> seen(5 * (opts.num_ways + 1), 0);
+    std::vector<Node> reachable;
+    std::queue<Node> frontier;
+    seen[nodeIndex(reset, opts.num_ways)] = 1;
+    frontier.push(reset);
+    bool state_seen[5] = {};
+    while (!frontier.empty()) {
+        const Node n = frontier.front();
+        frontier.pop();
+        reachable.push_back(n);
+        state_seen[static_cast<std::size_t>(n.state)] = true;
+        checkNode(n);
+        for (const auto &in : lattice) {
+            const Node next = stepOnce(opts, n, in);
+            ++result.transitions;
+            if (!seen[nodeIndex(next, opts.num_ways)]) {
+                seen[nodeIndex(next, opts.num_ways)] = 1;
+                frontier.push(next);
+            }
+        }
+    }
+    result.nodes = reachable.size();
+    for (const bool s : state_seen)
+        result.states_reached += s;
+    if (result.states_reached != 5)
+        violate("not all five FSM states reachable from reset");
+
+    // Allocation-livelock check: under any constant input, the DDIO
+    // way count must settle. A trajectory may close a cycle through
+    // FSM states (contradictory constant inputs gate the machine
+    // between e.g. LowKeep and CoreDemand forever), but every node of
+    // such a cycle must carry the same way count -- a cycle through
+    // different way counts reallocates the cache endlessly without a
+    // changed input.
+    for (const Node &start : reachable) {
+        for (const auto &in : lattice) {
+            Node cur = start;
+            // A trajectory visits at most |nodes| distinct points.
+            const std::size_t limit = 5 * (opts.num_ways + 1) + 1;
+            bool settled = false;
+            std::vector<Node> path{cur};
+            for (std::size_t i = 0; i < limit; ++i) {
+                const Node next = stepOnce(opts, cur, in);
+                if (next == cur) {
+                    settled = true;
+                    break;
+                }
+                const auto hit =
+                    std::find(path.begin(), path.end(), next);
+                if (hit != path.end()) {
+                    // The cycle is path[hit..end] -> next; flag it
+                    // only if the way count varies inside it.
+                    const bool ways_vary = std::any_of(
+                        hit, path.end(), [&](const Node &n) {
+                            return n.ways != next.ways;
+                        });
+                    if (ways_vary) {
+                        violate("allocation livelock from " +
+                                describe(start) + " under constant " +
+                                describeInput(in) +
+                                ": way count oscillates in the cycle "
+                                "through " +
+                                describe(next));
+                    }
+                    settled = true; // trajectory fully classified
+                    break;
+                }
+                path.push_back(next);
+                cur = next;
+            }
+            if (!settled) {
+                violate("trajectory from " + describe(start) +
+                        " under constant " + describeInput(in) +
+                        " did not settle");
+            }
+            if (!result.ok() && result.violations.size() >= 32)
+                return result;
+        }
+    }
+
+    return result;
+}
+
+} // namespace iat::check

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Exhaustive model checker for the five-state IAT Mealy FSM
+ * (core/fsm.hh) composed with the daemon's DDIO way actions.
+ *
+ * The checked system is the product of the FSM state and the DDIO way
+ * count, stepped the way core/daemon.cc steps it each gated tick:
+ * advance(inputs) -> way action (I/O Demand grows, Reclaim / Low Keep
+ * shrink) -> applyBounds(new way count). Inputs are drawn from a
+ * discretized lattice that straddles every threshold the FSM's
+ * predicates compare against (threshold_stable, threshold_miss_drop,
+ * threshold_miss_low_per_s), so every reachable predicate valuation
+ * is exercised; since the FSM only ever compares inputs against those
+ * thresholds, covering all valuations is exhaustive, not a sample.
+ *
+ * Invariants asserted over the full reachable product space:
+ *  - DDIO way count stays within [ddio_ways_min, ddio_ways_max];
+ *  - the implied DDIO mask (top ways) is a valid consecutive CBM
+ *    within the cache's associativity;
+ *  - HighKeep is only ever occupied at ddio_ways_max, LowKeep only
+ *    at ddio_ways_min (the applyBounds arcs are the only entries);
+ *  - all five states are reachable from the reset state
+ *    (LowKeep, ddio_ways_min);
+ *  - no allocation livelock: under any *constant* input, the DDIO
+ *    way count settles -- a trajectory may cycle through FSM states
+ *    at a fixed way count (contradictory constant inputs such as
+ *    "miss rate high AND misses dropping" legitimately gate the
+ *    machine between LowKeep and CoreDemand forever), but it never
+ *    cycles through *different* way counts, which would reallocate
+ *    the cache endlessly without a changed input.
+ */
+
+#ifndef IATSIM_CHECK_FSM_CHECK_HH
+#define IATSIM_CHECK_FSM_CHECK_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/fsm.hh"
+#include "core/params.hh"
+
+namespace iat::check {
+
+struct FsmCheckOptions
+{
+    core::IatParams params;
+    /** LLC associativity bounding the DDIO mask (Table I: 11). */
+    unsigned num_ways = 11;
+};
+
+struct FsmCheckResult
+{
+    std::size_t nodes = 0;       ///< reachable (state, ways) pairs
+    std::size_t inputs = 0;      ///< lattice size
+    std::size_t transitions = 0; ///< explored edges
+    unsigned states_reached = 0; ///< distinct FSM states seen (of 5)
+    std::vector<std::string> violations;
+
+    bool ok() const { return violations.empty(); }
+};
+
+/**
+ * Input lattice straddling every threshold of @p params: for each
+ * relative-delta input a value well below, just below, just above and
+ * well above each of +/-threshold_stable and -threshold_miss_drop;
+ * for the absolute miss rate, zero, half, double and 100x
+ * threshold_miss_low_per_s.
+ */
+std::vector<core::FsmInputs> buildInputLattice(
+    const core::IatParams &params);
+
+/** Run the exhaustive check; both adaptive_io_step settings of
+ *  @p opts.params are checked as given (callers flip the flag). */
+FsmCheckResult checkFsm(const FsmCheckOptions &opts);
+
+} // namespace iat::check
+
+#endif // IATSIM_CHECK_FSM_CHECK_HH

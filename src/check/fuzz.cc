@@ -1,0 +1,519 @@
+/**
+ * @file
+ * Seeded scenario fuzzer implementation.
+ */
+
+#include "check/fuzz.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "check/diff.hh"
+#include "check/invariants.hh"
+#include "core/daemon.hh"
+#include "core/tenant.hh"
+#include "rdt/msr.hh"
+#include "rdt/msr_bus.hh"
+#include "sim/platform.hh"
+#include "util/rng.hh"
+
+namespace iat::check {
+
+namespace {
+
+/** Random valid consecutive CBM within @p num_ways. */
+cache::WayMask
+randomCbm(Rng &rng, unsigned num_ways)
+{
+    const unsigned count =
+        1 + static_cast<unsigned>(rng.below(num_ways));
+    const unsigned lsb =
+        static_cast<unsigned>(rng.below(num_ways - count + 1));
+    return cache::WayMask::fromRange(lsb, count);
+}
+
+std::string
+prefixed(const char *prefix, std::uint64_t iter, std::string what)
+{
+    return std::string(prefix) + " iteration " +
+           std::to_string(iter) + ": " + std::move(what);
+}
+
+} // namespace
+
+std::string
+fuzzLlcTrial(std::uint64_t seed, std::uint64_t ops,
+             std::uint64_t sabotage_op)
+{
+    Rng rng(seed);
+
+    cache::CacheGeometry geom;
+    geom.num_slices = 1 + static_cast<unsigned>(rng.below(4));
+    static constexpr unsigned kSets[] = {16, 32, 64, 128};
+    geom.sets_per_slice = kSets[rng.below(4)];
+    geom.num_ways = 4 + static_cast<unsigned>(rng.below(13));
+    const unsigned cores = 2 + static_cast<unsigned>(rng.below(3));
+
+    cache::SlicedLlc real(geom, cores);
+    DiffHarness diff(real, 1024);
+
+    cache::PrivateCacheGeometry pgeom;
+    pgeom.num_sets = 64;
+    pgeom.num_ways = 4 + static_cast<unsigned>(rng.below(5));
+    PrivateCacheDiff pdiff(pgeom, 512);
+
+    // Randomized starting configuration, applied through the real
+    // model so the shadow mirrors every step of it too.
+    constexpr unsigned kClosUsed = 4;
+    constexpr unsigned kRmidsUsed = 8;
+    for (unsigned clos = 0; clos < kClosUsed; ++clos)
+        real.setClosMask(static_cast<cache::ClosId>(clos),
+                         randomCbm(rng, geom.num_ways));
+    for (unsigned core = 0; core < cores; ++core) {
+        real.assocCoreClos(static_cast<cache::CoreId>(core),
+                           static_cast<cache::ClosId>(
+                               rng.below(kClosUsed)));
+        real.assocCoreRmid(static_cast<cache::CoreId>(core),
+                           static_cast<cache::RmidId>(
+                               1 + rng.below(kRmidsUsed)));
+    }
+    const unsigned ddio0 =
+        1 + static_cast<unsigned>(
+                rng.below(std::min(6u, geom.num_ways - 1)));
+    real.setDdioMask(
+        cache::WayMask::fromRange(geom.num_ways - ddio0, ddio0));
+
+    const std::uint64_t universe =
+        std::max<std::uint64_t>(1024, 2 * geom.totalLines());
+    const auto randLine = [&] {
+        return static_cast<cache::Addr>(rng.below(universe) *
+                                        geom.line_bytes);
+    };
+    const auto randCore = [&] {
+        return static_cast<cache::CoreId>(rng.below(cores));
+    };
+    const auto randDev = [&] {
+        return static_cast<cache::DeviceId>(
+            rng.below(cache::SlicedLlc::numDevices));
+    };
+    const auto randType = [&] {
+        return rng.below(100) < 40 ? cache::AccessType::Write
+                                   : cache::AccessType::Read;
+    };
+
+    cache::BatchCounts batch_counts;
+    cache::DmaCounts dma_counts;
+    std::vector<cache::CoreOp> batch;
+
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        if (sabotage_op != 0 && i + 1 == sabotage_op)
+            diff.sabotageNextOp();
+
+        const std::uint64_t pick = rng.below(100);
+        if (pick < 45) {
+            // Batched core ops: the production hot path.
+            batch.clear();
+            const std::size_t n = 1 + rng.below(16);
+            for (std::size_t k = 0; k < n; ++k) {
+                cache::CoreOp op;
+                op.addr = randLine();
+                op.type = randType();
+                op.writeback = rng.below(100) < 15;
+                batch.push_back(op);
+            }
+            real.accessBatch(randCore(), batch.data(), batch.size(),
+                             batch_counts);
+        } else if (pick < 60) {
+            if (rng.below(100) < 20)
+                real.writebackFromCore(randCore(), randLine());
+            else
+                real.coreAccess(randCore(), randLine(), randType());
+        } else if (pick < 73) {
+            real.ddioWriteRange(randLine(),
+                                1 + static_cast<std::uint32_t>(
+                                        rng.below(32)),
+                                randDev(), dma_counts);
+        } else if (pick < 81) {
+            real.ddioWrite(randLine(), randDev());
+        } else if (pick < 89) {
+            if (rng.below(2))
+                real.deviceRead(randLine(), randDev());
+            else
+                real.deviceReadRange(
+                    randLine(),
+                    1 + static_cast<std::uint32_t>(rng.below(32)),
+                    randDev(), dma_counts);
+        } else if (pick < 93) {
+            real.invalidate(randLine());
+        } else if (pick < 96) {
+            // Reconfiguration mid-stream.
+            switch (rng.below(6)) {
+              case 0:
+                real.setClosMask(static_cast<cache::ClosId>(
+                                     rng.below(kClosUsed)),
+                                 randomCbm(rng, geom.num_ways));
+                break;
+              case 1:
+                real.assocCoreClos(randCore(),
+                                   static_cast<cache::ClosId>(
+                                       rng.below(kClosUsed)));
+                break;
+              case 2:
+                real.assocCoreRmid(randCore(),
+                                   static_cast<cache::RmidId>(
+                                       1 + rng.below(kRmidsUsed)));
+                break;
+              case 3: {
+                const unsigned d =
+                    1 + static_cast<unsigned>(
+                            rng.below(std::min(6u, geom.num_ways - 1)));
+                real.setDdioMask(cache::WayMask::fromRange(
+                    geom.num_ways - d, d));
+                break;
+              }
+              case 4:
+                real.setDeviceDdioMask(randDev(),
+                                       randomCbm(rng, geom.num_ways));
+                break;
+              default:
+                real.clearDeviceDdioMask(randDev());
+                break;
+            }
+        } else if (pick < 97) {
+            real.setDdioEnabled(rng.below(2) != 0);
+        } else if (pick < 99) {
+            // Private-cache burst on the side diff.
+            const std::size_t n = 1 + rng.below(8);
+            for (std::size_t k = 0; k < n; ++k) {
+                const auto addr = static_cast<cache::Addr>(
+                    rng.below(4 * pgeom.num_sets * pgeom.num_ways) *
+                    pgeom.line_bytes);
+                pdiff.access(addr, randType());
+            }
+            if (rng.below(100) < 2)
+                pdiff.invalidateAll();
+        } else {
+            real.flushAll();
+        }
+
+        if (diff.report().mismatches != 0)
+            return prefixed("llc", i + 1,
+                            diff.report().first_mismatch);
+        if (pdiff.report().mismatches != 0)
+            return prefixed("private", i + 1,
+                            pdiff.report().first_mismatch);
+    }
+
+    diff.deepCompare();
+    pdiff.deepCompare();
+    if (diff.report().mismatches != 0)
+        return prefixed("llc", ops, diff.report().first_mismatch);
+    if (pdiff.report().mismatches != 0)
+        return prefixed("private", ops,
+                        pdiff.report().first_mismatch);
+    return {};
+}
+
+namespace {
+
+/**
+ * Seeded MSR fault hook for world trials: multiplicative-free
+ * additive noise on monitoring-counter reads and transient rejection
+ * of writes, each with its own probability. Deliberately simpler
+ * than fault::FaultInjector -- the fuzzer wants adversarial inputs,
+ * not a calibrated campaign.
+ */
+class FuzzMsrHook final : public rdt::MsrFaultHook
+{
+  public:
+    FuzzMsrHook(std::uint64_t seed, double read_noise,
+                double write_reject)
+        : rng_(seed), read_noise_(read_noise),
+          write_reject_(write_reject)
+    {
+    }
+
+    std::uint64_t
+    onRead(cache::CoreId, std::uint32_t addr,
+           std::uint64_t value) override
+    {
+        if (addr == rdt::msr_addr::IA32_QM_CTR &&
+            read_noise_ > 0.0 && rng_.uniform() < read_noise_) {
+            // 48-bit counter arithmetic, like real RDT counters.
+            return (value + rng_.below(1ull << 24)) &
+                   ((1ull << 48) - 1);
+        }
+        return value;
+    }
+
+    bool
+    onWrite(cache::CoreId, std::uint32_t, std::uint64_t) override
+    {
+        return !(write_reject_ > 0.0 &&
+                 rng_.uniform() < write_reject_);
+    }
+
+  private:
+    Rng rng_;
+    double read_noise_;
+    double write_reject_;
+};
+
+} // namespace
+
+std::string
+fuzzWorldTrial(std::uint64_t seed, std::uint64_t iterations,
+               const fault::FaultPlan *plan)
+{
+    Rng rng(seed);
+
+    sim::PlatformConfig cfg;
+    cfg.num_cores = 4;
+    cfg.llc.num_slices = 2;
+    cfg.llc.sets_per_slice = 64;
+    sim::Platform platform(cfg);
+    DiffHarness diff(platform.llc(), 4096);
+
+    core::TenantRegistry registry;
+    {
+        core::TenantSpec io;
+        io.name = "io";
+        io.cores = {0, 1};
+        io.is_io = true;
+        registry.add(io);
+
+        core::TenantSpec cpu;
+        cpu.name = "cpu";
+        cpu.cores = {2};
+        cpu.priority = rng.below(2)
+                           ? core::TenantPriority::PerformanceCritical
+                           : core::TenantPriority::BestEffort;
+        registry.add(cpu);
+
+        if (rng.below(2)) {
+            core::TenantSpec extra;
+            extra.name = "extra";
+            extra.cores = {3};
+            extra.priority = rng.below(2)
+                                 ? core::TenantPriority::SoftwareStack
+                                 : core::TenantPriority::BestEffort;
+            extra.initial_ways = 1;
+            registry.add(extra);
+        }
+    }
+
+    core::IatParams params;
+    params.interval_seconds = 5e-3;
+    params.ddio_ways_min = 1 + static_cast<unsigned>(rng.below(2));
+    params.ddio_ways_max = 4 + static_cast<unsigned>(rng.below(3));
+    params.adaptive_io_step = rng.below(2) != 0;
+
+    // Fault knobs: the plan's when given, seed-derived otherwise.
+    double read_noise;
+    double write_reject;
+    double poll_drop;
+    if (plan) {
+        read_noise = plan->read_noise;
+        write_reject = plan->write_reject;
+        poll_drop = plan->poll_drop;
+    } else {
+        read_noise = rng.below(2) ? 0.2 * rng.uniform() : 0.0;
+        write_reject = rng.below(2) ? 0.2 * rng.uniform() : 0.0;
+        poll_drop = rng.below(4) == 0 ? 0.1 * rng.uniform() : 0.0;
+    }
+    std::uint64_t hook_seed_state = seed;
+    FuzzMsrHook hook(splitmix64Next(hook_seed_state), read_noise,
+                     write_reject);
+    platform.msrBus().setFaultHook(&hook);
+
+    core::IatDaemon daemon(platform.pqos(), registry, params);
+    daemon.setHardeningEnabled(rng.below(4) != 0);
+
+    const auto randAddr = [&] {
+        return static_cast<cache::Addr>(rng.below(1ull << 16) * 64);
+    };
+
+    std::optional<core::TenantSpec> parked;
+    // Set while the registry has churned and the daemon has not yet
+    // consumed the change: the allocator legitimately disagrees with
+    // the registry in that window, so invariant checks pause.
+    bool registry_pending = true;
+
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        // Traffic: a few core and DMA bursts per interval.
+        const unsigned bursts =
+            1 + static_cast<unsigned>(rng.below(4));
+        for (unsigned b = 0; b < bursts; ++b) {
+            const auto core =
+                static_cast<cache::CoreId>(rng.below(cfg.num_cores));
+            const auto dev =
+                static_cast<cache::DeviceId>(rng.below(2));
+            switch (rng.below(5)) {
+              case 0:
+                platform.coreTouch(core, randAddr(),
+                                   64 * (1 + rng.below(64)),
+                                   rng.below(2)
+                                       ? cache::AccessType::Write
+                                       : cache::AccessType::Read);
+                break;
+              case 1:
+                platform.coreAccess(core, randAddr(),
+                                    rng.below(2)
+                                        ? cache::AccessType::Write
+                                        : cache::AccessType::Read);
+                break;
+              case 2:
+                platform.dmaWrite(dev, randAddr(),
+                                  64 * (1 + rng.below(24)));
+                break;
+              case 3:
+                platform.dmaRead(dev, randAddr(),
+                                 64 * (1 + rng.below(24)));
+                break;
+              default:
+                platform.dmaWriteSplit(dev, randAddr(),
+                                       64 * (2 + rng.below(23)), 64);
+                break;
+            }
+        }
+        platform.advanceQuantum(params.interval_seconds);
+
+        // Tenant churn: park the newest tenant, or bring one back.
+        if (rng.below(40) == 0) {
+            if (parked) {
+                registry.add(*parked);
+                parked.reset();
+            } else if (registry.size() > 2) {
+                parked = registry.removeLast();
+            }
+            registry.markDirty();
+            registry_pending = true;
+        }
+
+        const bool dropped =
+            poll_drop > 0.0 && rng.uniform() < poll_drop;
+        if (!dropped) {
+            daemon.tick(platform.now());
+            registry_pending = false;
+        }
+
+        if (!registry_pending && daemon.ticks() >= 1) {
+            auto v = allocationViolation(daemon.allocator(),
+                                         registry.tenants());
+            if (!v.empty())
+                return prefixed("world", i + 1, std::move(v));
+            const unsigned dw = daemon.ddioWays();
+            if (dw < std::max(params.ddio_ways_min, 1u) ||
+                dw > params.ddio_ways_max) {
+                return prefixed(
+                    "world", i + 1,
+                    "DDIO ways " + std::to_string(dw) +
+                        " outside [" +
+                        std::to_string(params.ddio_ways_min) + ", " +
+                        std::to_string(params.ddio_ways_max) + "]");
+            }
+        }
+
+        if (diff.report().mismatches != 0)
+            return prefixed("world", i + 1,
+                            diff.report().first_mismatch);
+    }
+
+    diff.deepCompare();
+    if (diff.report().mismatches != 0)
+        return prefixed("world", iterations,
+                        diff.report().first_mismatch);
+    return {};
+}
+
+namespace {
+
+/**
+ * Binary-search the minimal failing count in [1, failing_ops]; the
+ * prefix-stable streams make failure monotone in the count (see the
+ * header's file comment).
+ */
+ShrunkFailure
+shrink(const char *kind, std::uint64_t seed,
+       std::uint64_t failing_ops,
+       const std::function<std::string(std::uint64_t)> &trial)
+{
+    std::uint64_t lo = 1;
+    std::uint64_t hi = failing_ops;
+    while (lo < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (!trial(mid).empty())
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    ShrunkFailure out;
+    out.seed = seed;
+    out.ops = lo;
+    out.violation = trial(lo);
+    out.kind = kind;
+    return out;
+}
+
+} // namespace
+
+ShrunkFailure
+shrinkLlcFailure(std::uint64_t seed, std::uint64_t failing_ops,
+                 std::uint64_t sabotage_op)
+{
+    return shrink("fuzz_llc", seed, failing_ops,
+                  [&](std::uint64_t n) {
+                      return fuzzLlcTrial(seed, n, sabotage_op);
+                  });
+}
+
+ShrunkFailure
+shrinkWorldFailure(std::uint64_t seed, std::uint64_t failing_ops,
+                   const fault::FaultPlan *plan)
+{
+    return shrink("fuzz_world", seed, failing_ops,
+                  [&](std::uint64_t n) {
+                      return fuzzWorldTrial(seed, n, plan);
+                  });
+}
+
+exp::ExperimentSpec
+reproSpec(const ShrunkFailure &failure,
+          const std::vector<std::pair<std::string, std::string>>
+              &fault_pairs)
+{
+    exp::ExperimentSpec spec;
+    spec.name = failure.kind + "-repro";
+    spec.sweep = failure.kind;
+    spec.seed = failure.seed;
+    spec.seed_mode = exp::ExperimentSpec::SeedMode::Shared;
+    spec.constants.emplace_back("ops",
+                                std::to_string(failure.ops));
+    spec.fault = fault_pairs;
+    return spec;
+}
+
+std::string
+writeReproFile(const std::string &dir,
+               const exp::ExperimentSpec &spec)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    const std::string path = dir + "/fuzz_repro_" + spec.sweep + "_" +
+                             std::to_string(spec.seed) + ".exp";
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write repro file " + path);
+    out << spec.serialize();
+    if (!out.flush())
+        throw std::runtime_error("short write to " + path);
+    return path;
+}
+
+} // namespace iat::check

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Seeded scenario fuzzer: randomized differential trials against the
+ * reference oracles plus live invariant checks, with automatic
+ * shrinking of failures to a minimal replayable repro.
+ *
+ * Two trial kinds:
+ *
+ *  - fuzzLlcTrial(): a random cache geometry, a random CLOS / RMID /
+ *    DDIO configuration, and a stream of mixed operations (batched
+ *    and scalar core accesses, DMA writes and reads, invalidations,
+ *    reconfiguration, DDIO toggling, private-cache bursts) driven
+ *    through a DiffHarness, so the real SlicedLlc is compared verdict
+ *    by verdict and periodically state by state against RefLlc.
+ *
+ *  - fuzzWorldTrial(): a small Platform + TenantRegistry + IatDaemon
+ *    world under randomized (or spec-supplied) MSR faults, dropped
+ *    polls and tenant churn, asserting the allocator's structural
+ *    invariants (check/invariants.hh) after every daemon tick while a
+ *    DiffHarness shadows all cache traffic.
+ *
+ * Both trials draw every decision from one xoshiro stream seeded with
+ * the trial seed, and each loop iteration consumes draws independent
+ * of the total iteration count, so the operation stream is
+ * prefix-stable: a failure first observed at iteration k reproduces
+ * in any run of >= k iterations. That makes failure monotone in the
+ * iteration count, and the shrinkers exploit it with a plain binary
+ * search for the exact minimal count.
+ *
+ * Shrunk failures serialize to an experiment spec (`sweep = fuzz_llc`
+ * or `fuzz_world`, `seed_mode = shared`, `ops` constant), so a CI
+ * failure is replayed with
+ *   iatexp run fuzz_repro_<kind>_<seed>.exp
+ * or bench/fuzz_sim --exp=<file>.
+ */
+
+#ifndef IATSIM_CHECK_FUZZ_HH
+#define IATSIM_CHECK_FUZZ_HH
+
+#include <cstdint>
+#include <string>
+
+#include "exp/spec.hh"
+#include "fault/plan.hh"
+
+namespace iat::check {
+
+/**
+ * One differential LLC trial: @p ops loop iterations of randomized
+ * operations (each iteration may issue many cache ops). Returns an
+ * empty string on success, else a description of the first mismatch.
+ * A non-zero @p sabotage_op deliberately corrupts the harness before
+ * iteration @p sabotage_op (1-based) -- the shrinker self-test.
+ */
+std::string fuzzLlcTrial(std::uint64_t seed, std::uint64_t ops,
+                         std::uint64_t sabotage_op = 0);
+
+/**
+ * One world trial: @p iterations daemon intervals of traffic, faults
+ * and churn. Fault knobs come from @p plan when given (the spec's
+ * `[fault]` section), else are derived from the seed. Returns an
+ * empty string on success, else the first violation.
+ */
+std::string fuzzWorldTrial(std::uint64_t seed,
+                           std::uint64_t iterations,
+                           const fault::FaultPlan *plan = nullptr);
+
+/** A shrunk failure: the minimal iteration count and its violation. */
+struct ShrunkFailure
+{
+    std::uint64_t seed = 0;
+    std::uint64_t ops = 0;     ///< minimal failing iteration count
+    std::string violation;     ///< the violation at the minimum
+    std::string kind;          ///< "fuzz_llc" or "fuzz_world"
+};
+
+/**
+ * Binary-search the minimal failing iteration count of a known
+ * failure (@p failing_ops iterations of @p seed failed). Relies on
+ * prefix-stability; see the file comment.
+ */
+ShrunkFailure shrinkLlcFailure(std::uint64_t seed,
+                               std::uint64_t failing_ops,
+                               std::uint64_t sabotage_op = 0);
+ShrunkFailure shrinkWorldFailure(std::uint64_t seed,
+                                 std::uint64_t failing_ops,
+                                 const fault::FaultPlan *plan = nullptr);
+
+/**
+ * Build the replayable spec for a shrunk failure: shared seed mode,
+ * the failing seed, one `ops` constant, and @p fault_pairs (the
+ * originating spec's `[fault]` section, unprefixed keys) when the
+ * trial ran under an explicit plan.
+ */
+exp::ExperimentSpec
+reproSpec(const ShrunkFailure &failure,
+          const std::vector<std::pair<std::string, std::string>>
+              &fault_pairs = {});
+
+/**
+ * Serialize @p spec under @p dir as fuzz_repro_<sweep>_<seed>.exp
+ * (creating @p dir if needed) and return the file path; throws
+ * std::runtime_error when the file cannot be written.
+ */
+std::string writeReproFile(const std::string &dir,
+                           const exp::ExperimentSpec &spec);
+
+} // namespace iat::check
+
+#endif // IATSIM_CHECK_FUZZ_HH

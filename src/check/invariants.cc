@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Allocator / shuffle invariant checks.
+ */
+
+#include "check/invariants.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "core/shuffle.hh"
+
+namespace iat::check {
+
+namespace {
+
+bool
+isBe(const core::TenantSpec &spec)
+{
+    return spec.priority == core::TenantPriority::BestEffort;
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    char buf[256];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return buf;
+}
+
+} // namespace
+
+std::string
+allocationViolation(const core::WayAllocator &alloc,
+                    const std::vector<core::TenantSpec> &specs,
+                    const std::vector<core::TenantSample> &samples,
+                    double hysteresis)
+{
+    const std::size_t n = specs.size();
+    if (alloc.tenantCount() != n)
+        return format("allocator holds %zu tenants, registry %zu",
+                      alloc.tenantCount(), n);
+    if (n == 0)
+        return {};
+
+    // Shuffle order is a permutation of the tenant indices.
+    const auto &order = alloc.order();
+    if (order.size() != n)
+        return format("order size %zu != tenant count %zu",
+                      order.size(), n);
+    std::vector<char> seen(n, 0);
+    for (const std::size_t t : order) {
+        if (t >= n || seen[t])
+            return format("order is not a permutation (tenant %zu)", t);
+        seen[t] = 1;
+    }
+
+    // Valid, in-range, mutually disjoint CBMs.
+    cache::WayMask occupied{};
+    unsigned total_ways = 0;
+    unsigned be_ways = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+        const auto mask = alloc.tenantMask(t);
+        if (!mask.isValidCbm())
+            return format("tenant %zu mask %s not a valid CBM", t,
+                          mask.toString(alloc.numWays()).c_str());
+        if (mask.highest() >= alloc.numWays())
+            return format("tenant %zu mask exceeds the cache", t);
+        if (mask.overlaps(occupied))
+            return format("tenant %zu mask overlaps another tenant", t);
+        occupied = occupied | mask;
+        total_ways += alloc.tenantWays(t);
+        if (isBe(specs[t]))
+            be_ways += alloc.tenantWays(t);
+    }
+
+    bool any_be = false;
+    for (const auto &spec : specs)
+        any_be = any_be || isBe(spec);
+
+    // The DDIO-adjacent top segment belongs to a best-effort tenant
+    // whenever one exists.
+    const std::size_t top = order.back();
+    if (any_be && !isBe(specs[top]))
+        return format("top tenant %zu is %s, not best-effort", top,
+                      core::toString(specs[top].priority));
+
+    // PC / stack never overlaps DDIO -- provided the overlap region
+    // fits inside the best-effort segments stacked on top.
+    const auto ddio = alloc.ddioMask();
+    const unsigned overlap =
+        total_ways + ddio.count() > alloc.numWays()
+            ? total_ways + ddio.count() - alloc.numWays()
+            : 0;
+    if (overlap <= be_ways) {
+        for (std::size_t t = 0; t < n; ++t) {
+            if (!isBe(specs[t]) &&
+                alloc.tenantMask(t).overlaps(ddio)) {
+                return format("tenant %zu (%s) overlaps DDIO ways %s",
+                              t, core::toString(specs[t].priority),
+                              ddio.toString(alloc.numWays()).c_str());
+            }
+        }
+    }
+
+    // Least-hungry rule, hysteresis-adjusted: every BE tenant's
+    // reference count stays at or above hysteresis * the top
+    // tenant's. (The pure rule -- top has the minimum -- holds with
+    // hysteresis = 1.)
+    if (!samples.empty() && any_be && isBe(specs[top])) {
+        const auto top_refs =
+            static_cast<double>(samples[top].llc_refs);
+        for (std::size_t t = 0; t < n; ++t) {
+            if (!isBe(specs[t]) || t == top)
+                continue;
+            const auto refs = static_cast<double>(samples[t].llc_refs);
+            if (refs < hysteresis * top_refs) {
+                return format(
+                    "BE tenant %zu (refs %.0f) is clearly quieter "
+                    "than the DDIO-sharing tenant %zu (refs %.0f)",
+                    t, refs, top, top_refs);
+            }
+        }
+    }
+
+    return {};
+}
+
+namespace {
+
+/** Run one lattice configuration; returns a violation or empty. */
+std::string
+checkOneConfig(unsigned num_ways, unsigned ddio_ways,
+               const std::vector<core::TenantPriority> &prios,
+               const std::vector<unsigned> &ways,
+               const std::vector<std::uint64_t> &refs,
+               const std::vector<std::size_t> &incumbent)
+{
+    const std::size_t n = prios.size();
+    std::vector<core::TenantSpec> specs(n);
+    std::vector<core::TenantSample> samples(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        specs[t].name = "t" + std::to_string(t);
+        specs[t].priority = prios[t];
+        samples[t].llc_refs = refs[t];
+    }
+
+    core::WayAllocator alloc(num_ways, ddio_ways);
+    alloc.setTenants(ways);
+    alloc.setOrder(incumbent);
+
+    const auto order =
+        core::computeShuffleOrder(specs, samples, alloc.order());
+    std::vector<char> seen(n, 0);
+    for (const std::size_t t : order) {
+        if (t >= n || seen[t])
+            return "computeShuffleOrder returned a non-permutation";
+        seen[t] = 1;
+    }
+    alloc.setOrder(order);
+
+    return allocationViolation(alloc, specs, samples);
+}
+
+void
+permutations(std::size_t n, std::vector<std::vector<std::size_t>> &out)
+{
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i)
+        perm[i] = i;
+    do {
+        out.push_back(perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+} // namespace
+
+ShuffleCheckResult
+checkShuffleLattice(unsigned num_ways)
+{
+    ShuffleCheckResult result;
+    auto violate = [&result](std::string what) {
+        if (result.violations.size() < 32)
+            result.violations.push_back(std::move(what));
+    };
+
+    constexpr core::TenantPriority kPrios[] = {
+        core::TenantPriority::PerformanceCritical,
+        core::TenantPriority::BestEffort,
+        core::TenantPriority::SoftwareStack,
+    };
+    constexpr unsigned kWays[] = {1, 2, 4};
+    constexpr std::uint64_t kRefs[] = {0, 10, 1000};
+
+    // 1..3 tenants: the full cross product of priorities, way splits,
+    // reference counts (ties included), incumbent orders and DDIO
+    // widths.
+    for (std::size_t n = 1; n <= 3; ++n) {
+        std::vector<std::vector<std::size_t>> incumbents;
+        permutations(n, incumbents);
+
+        // Mixed-radix enumeration of (priority, ways, refs) per
+        // tenant: 27^n combined assignments.
+        std::size_t combos = 1;
+        for (std::size_t t = 0; t < n; ++t)
+            combos *= 27;
+        for (std::size_t code = 0; code < combos; ++code) {
+            std::vector<core::TenantPriority> prios(n);
+            std::vector<unsigned> ways(n);
+            std::vector<std::uint64_t> refs(n);
+            std::size_t rest = code;
+            unsigned total = 0;
+            for (std::size_t t = 0; t < n; ++t) {
+                prios[t] = kPrios[rest % 3];
+                rest /= 3;
+                ways[t] = kWays[rest % 3];
+                rest /= 3;
+                refs[t] = kRefs[rest % 3];
+                rest /= 3;
+                total += ways[t];
+            }
+            if (total > num_ways)
+                continue;
+            for (unsigned ddio = 1; ddio <= 6 && ddio <= num_ways;
+                 ++ddio) {
+                for (const auto &incumbent : incumbents) {
+                    ++result.configs;
+                    auto v = checkOneConfig(num_ways, ddio, prios,
+                                            ways, refs, incumbent);
+                    if (!v.empty()) {
+                        violate(std::move(v));
+                        if (result.violations.size() >= 32)
+                            return result;
+                    }
+                }
+            }
+        }
+    }
+
+    // 4 tenants, lighter grid: PC/BE priorities, way splits from
+    // {1, 2}, refs from {0, 1000}, identity incumbent, two DDIO
+    // widths.
+    for (std::size_t code = 0; code < 16 * 16 * 16; ++code) {
+        std::vector<core::TenantPriority> prios(4);
+        std::vector<unsigned> ways(4);
+        std::vector<std::uint64_t> refs(4);
+        std::size_t rest = code;
+        unsigned total = 0;
+        for (std::size_t t = 0; t < 4; ++t) {
+            prios[t] = (rest & 1)
+                           ? core::TenantPriority::BestEffort
+                           : core::TenantPriority::PerformanceCritical;
+            rest >>= 1;
+        }
+        for (std::size_t t = 0; t < 4; ++t) {
+            ways[t] = (rest & 1) ? 2 : 1;
+            rest >>= 1;
+            total += ways[t];
+        }
+        for (std::size_t t = 0; t < 4; ++t) {
+            refs[t] = (rest & 1) ? 1000 : 0;
+            rest >>= 1;
+        }
+        if (total > num_ways)
+            continue;
+        const std::vector<std::size_t> identity{0, 1, 2, 3};
+        for (const unsigned ddio : {2u, 6u}) {
+            if (ddio > num_ways)
+                continue;
+            ++result.configs;
+            auto v = checkOneConfig(num_ways, ddio, prios, ways, refs,
+                                    identity);
+            if (!v.empty()) {
+                violate(std::move(v));
+                if (result.violations.size() >= 32)
+                    return result;
+            }
+        }
+    }
+
+    return result;
+}
+
+} // namespace iat::check

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Structural invariant checks for the way allocator and the shuffle
+ * order (paper SS IV-A / SS IV-D).
+ *
+ * Used two ways: checkShuffleLattice() enumerates a discretized
+ * lattice of tenant populations (priorities x way splits x reference
+ * counts with ties x incumbent orders x DDIO widths) and asserts the
+ * invariants over every configuration; allocationViolation() checks a
+ * single live allocator + tenant set and is called by the world
+ * fuzzer after every daemon tick.
+ *
+ * The invariants:
+ *  - the shuffle order is a permutation of the tenant indices;
+ *  - every tenant mask is a valid consecutive CBM within the cache;
+ *  - tenant masks are mutually disjoint;
+ *  - when any best-effort tenant exists, the top (DDIO-adjacent)
+ *    segment belongs to a best-effort tenant;
+ *  - a performance-critical or software-stack tenant never overlaps
+ *    the DDIO ways, provided the overlap region fits inside the
+ *    best-effort segments stacked on top (when the BE ways cannot
+ *    cover the overlap the geometry makes some PC overlap
+ *    unavoidable, so the check is conditional);
+ *  - hysteresis-aware least-hungry rule: the BE tenant sharing with
+ *    DDIO has, up to the hysteresis factor, the smallest LLC
+ *    reference count among BE tenants.
+ */
+
+#ifndef IATSIM_CHECK_INVARIANTS_HH
+#define IATSIM_CHECK_INVARIANTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/allocator.hh"
+#include "core/monitor.hh"
+#include "core/tenant.hh"
+
+namespace iat::check {
+
+/**
+ * Check the allocator's current layout against @p specs. Samples and
+ * @p hysteresis feed the least-hungry rule; pass empty samples to
+ * skip it (the daemon may not have shuffled yet). Returns an empty
+ * string when every invariant holds, else a description of the first
+ * violation.
+ */
+std::string allocationViolation(
+    const core::WayAllocator &alloc,
+    const std::vector<core::TenantSpec> &specs,
+    const std::vector<core::TenantSample> &samples = {},
+    double hysteresis = 0.8);
+
+struct ShuffleCheckResult
+{
+    std::size_t configs = 0;
+    std::vector<std::string> violations;
+
+    bool ok() const { return violations.empty(); }
+};
+
+/**
+ * Enumerate tenant populations over @p num_ways ways -- 1..4 tenants,
+ * all priority assignments, way splits from {1, 2, 4}, reference
+ * counts from {0, 10, 1000} (with ties), every incumbent order and
+ * DDIO widths 1..6 -- run computeShuffleOrder() + setOrder() on each
+ * and check every invariant above.
+ */
+ShuffleCheckResult checkShuffleLattice(unsigned num_ways = 11);
+
+} // namespace iat::check
+
+#endif // IATSIM_CHECK_INVARIANTS_HH

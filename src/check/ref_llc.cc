@@ -1,0 +1,397 @@
+/**
+ * @file
+ * RefLlc implementation. Literal translations of the SlicedLlc
+ * semantics; see the header for what is contract and what is
+ * deliberately naive.
+ */
+
+#include "check/ref_llc.hh"
+
+#include "util/logging.hh"
+
+namespace iat::check {
+
+namespace {
+
+/** splitmix64 finalizer -- the modelled slice/set hash, verbatim. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+RefLlc::RefLlc(const cache::CacheGeometry &geom, unsigned num_cores)
+    : geom_(geom), num_cores_(num_cores)
+{
+    IAT_ASSERT(geom_.valid(), "bad cache geometry");
+    lines_.assign(static_cast<std::size_t>(geom_.num_slices) *
+                      geom_.sets_per_slice * geom_.num_ways,
+                  {});
+    clocks_.assign(geom_.num_slices, 0);
+    clos_masks_.assign(cache::SlicedLlc::numClos,
+                       cache::WayMask::full(geom_.num_ways));
+    core_clos_.assign(num_cores_, 0);
+    core_rmid_.assign(num_cores_, 0);
+    ddio_mask_ = cache::WayMask::fromRange(geom_.num_ways - 2, 2);
+    device_ddio_masks_.assign(cache::SlicedLlc::numDevices,
+                              cache::WayMask{});
+    slice_counters_.assign(geom_.num_slices, {});
+    core_counters_.assign(num_cores_, {});
+    device_counters_.assign(cache::SlicedLlc::numDevices, {});
+    rmid_lines_.assign(cache::SlicedLlc::numRmids, 0);
+}
+
+void
+RefLlc::setClosMask(cache::ClosId clos, cache::WayMask mask)
+{
+    clos_masks_[clos] = mask;
+}
+
+void
+RefLlc::assocCoreClos(cache::CoreId core, cache::ClosId clos)
+{
+    core_clos_[core] = clos;
+}
+
+void
+RefLlc::assocCoreRmid(cache::CoreId core, cache::RmidId rmid)
+{
+    core_rmid_[core] = rmid;
+}
+
+void
+RefLlc::setDdioMask(cache::WayMask mask)
+{
+    ddio_mask_ = mask;
+}
+
+void
+RefLlc::setDeviceDdioMask(cache::DeviceId dev, cache::WayMask mask)
+{
+    device_ddio_masks_[dev] = mask;
+}
+
+void
+RefLlc::clearDeviceDdioMask(cache::DeviceId dev)
+{
+    device_ddio_masks_[dev] = cache::WayMask{};
+}
+
+void
+RefLlc::setDdioEnabled(bool enabled)
+{
+    ddio_enabled_ = enabled;
+}
+
+void
+RefLlc::locate(cache::LineAddr line, unsigned &slice,
+               unsigned &set) const
+{
+    const std::uint64_t h = mix64(line);
+    slice = static_cast<unsigned>(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(h)) *
+         geom_.num_slices) >> 32);
+    set = static_cast<unsigned>(
+        ((h >> 32) * geom_.sets_per_slice) >> 32);
+}
+
+RefLlc::Line &
+RefLlc::at(unsigned slice, unsigned set, unsigned way)
+{
+    return lines_[(static_cast<std::size_t>(slice) *
+                       geom_.sets_per_slice +
+                   set) *
+                      geom_.num_ways +
+                  way];
+}
+
+const RefLlc::Line &
+RefLlc::at(unsigned slice, unsigned set, unsigned way) const
+{
+    return lines_[(static_cast<std::size_t>(slice) *
+                       geom_.sets_per_slice +
+                   set) *
+                      geom_.num_ways +
+                  way];
+}
+
+int
+RefLlc::findWay(unsigned slice, unsigned set,
+                cache::LineAddr tag) const
+{
+    for (unsigned w = 0; w < geom_.num_ways; ++w) {
+        const Line &entry = at(slice, set, w);
+        if (entry.valid && entry.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+unsigned
+RefLlc::chooseVictim(unsigned slice, unsigned set,
+                     cache::WayMask mask) const
+{
+    // Lowest-indexed invalid way in the mask wins outright.
+    for (unsigned w = 0; w < geom_.num_ways; ++w) {
+        if (mask.contains(w) && !at(slice, set, w).valid)
+            return w;
+    }
+    // All masked ways valid: ascending scan keeping ties (ts <= best),
+    // so of equal-stamped ways the highest index wins -- the real
+    // model's pinned-down tie-break.
+    unsigned victim = mask.lowest();
+    std::uint32_t best_ts = UINT32_MAX;
+    for (unsigned w = 0; w < geom_.num_ways; ++w) {
+        if (mask.contains(w) && at(slice, set, w).ts <= best_ts) {
+            best_ts = at(slice, set, w).ts;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+bool
+RefLlc::allocate(unsigned slice, unsigned set, cache::LineAddr tag,
+                 cache::WayMask mask, cache::RmidId owner, bool dirty)
+{
+    const unsigned way = chooseVictim(slice, set, mask);
+    Line &entry = at(slice, set, way);
+    bool victim_writeback = false;
+    if (entry.valid) {
+        if (entry.dirty) {
+            victim_writeback = true;
+            ++total_writebacks_;
+        }
+        --rmid_lines_[entry.owner];
+    }
+    entry.valid = true;
+    entry.dirty = dirty;
+    entry.tag = tag;
+    entry.owner = owner;
+    entry.ts = ++clocks_[slice];
+    ++rmid_lines_[owner];
+    return victim_writeback;
+}
+
+RefLlc::CoreVerdict
+RefLlc::coreOp(cache::CoreId core, cache::Addr addr,
+               cache::AccessType type, bool writeback)
+{
+    const cache::LineAddr tag = addr / geom_.line_bytes;
+    unsigned slice, set;
+    locate(tag, slice, set);
+    ++slice_counters_[slice].lookups;
+    if (!writeback)
+        ++core_counters_[core].llc_refs;
+
+    CoreVerdict verdict;
+    const int w = findWay(slice, set, tag);
+    if (w >= 0) {
+        // Footnote 1: hit anywhere, regardless of the core's CLOS.
+        verdict.hit = true;
+        Line &entry = at(slice, set, static_cast<unsigned>(w));
+        if (writeback || type == cache::AccessType::Write)
+            entry.dirty = true;
+        entry.ts = ++clocks_[slice];
+        return verdict;
+    }
+
+    if (!writeback)
+        ++core_counters_[core].llc_misses;
+    verdict.victim_writeback =
+        allocate(slice, set, tag, clos_masks_[core_clos_[core]],
+                 core_rmid_[core],
+                 writeback || type == cache::AccessType::Write);
+    return verdict;
+}
+
+cache::AccessResult
+RefLlc::ddioWrite(cache::Addr addr, cache::DeviceId dev)
+{
+    const cache::LineAddr tag = addr / geom_.line_bytes;
+    unsigned slice, set;
+    locate(tag, slice, set);
+    ++slice_counters_[slice].lookups;
+
+    cache::AccessResult result;
+    cache::SliceCounters *dev_ctr =
+        dev < device_counters_.size() ? &device_counters_[dev]
+                                      : nullptr;
+
+    if (!ddio_enabled_) {
+        // DDIO off: drop any stale copy; the data goes to DRAM.
+        const int w = findWay(slice, set, tag);
+        if (w >= 0) {
+            Line &entry = at(slice, set, static_cast<unsigned>(w));
+            --rmid_lines_[entry.owner];
+            entry.valid = false;
+        }
+        return result;
+    }
+
+    const int w = findWay(slice, set, tag);
+    if (w >= 0) {
+        // Write update: the paper's "DDIO hit".
+        result.hit = true;
+        Line &entry = at(slice, set, static_cast<unsigned>(w));
+        entry.dirty = true;
+        entry.ts = ++clocks_[slice];
+        ++slice_counters_[slice].ddio_hits;
+        if (dev_ctr)
+            ++dev_ctr->ddio_hits;
+        return result;
+    }
+
+    // Write allocate into the (device's) DDIO mask: a "DDIO miss".
+    ++slice_counters_[slice].ddio_misses;
+    if (dev_ctr)
+        ++dev_ctr->ddio_misses;
+    cache::WayMask mask = ddio_mask_;
+    if (dev < device_ddio_masks_.size() &&
+        !device_ddio_masks_[dev].empty()) {
+        mask = device_ddio_masks_[dev];
+    }
+    result.writeback = allocate(slice, set, tag, mask,
+                                cache::SlicedLlc::ddioRmid,
+                                /*dirty=*/true);
+    result.allocated = true;
+    return result;
+}
+
+cache::AccessResult
+RefLlc::deviceRead(cache::Addr addr, cache::DeviceId dev)
+{
+    (void)dev;
+    const cache::LineAddr tag = addr / geom_.line_bytes;
+    unsigned slice, set;
+    locate(tag, slice, set);
+    ++slice_counters_[slice].lookups;
+
+    cache::AccessResult result;
+    const int w = findWay(slice, set, tag);
+    if (w >= 0) {
+        result.hit = true;
+        at(slice, set, static_cast<unsigned>(w)).ts = ++clocks_[slice];
+    }
+    // Device-read misses are serviced from DRAM without allocating.
+    return result;
+}
+
+void
+RefLlc::invalidate(cache::Addr addr)
+{
+    const cache::LineAddr tag = addr / geom_.line_bytes;
+    unsigned slice, set;
+    locate(tag, slice, set);
+    const int w = findWay(slice, set, tag);
+    if (w >= 0) {
+        Line &entry = at(slice, set, static_cast<unsigned>(w));
+        --rmid_lines_[entry.owner];
+        entry.valid = false;
+    }
+}
+
+void
+RefLlc::flushAll()
+{
+    for (auto &entry : lines_) {
+        entry.valid = false;
+        entry.dirty = false;
+    }
+    for (auto &clock : clocks_)
+        clock = 0;
+    for (auto &lines : rmid_lines_)
+        lines = 0;
+}
+
+const cache::SliceCounters &
+RefLlc::sliceCounters(unsigned slice) const
+{
+    return slice_counters_[slice];
+}
+
+const cache::CoreCacheCounters &
+RefLlc::coreCounters(cache::CoreId core) const
+{
+    return core_counters_[core];
+}
+
+const cache::SliceCounters &
+RefLlc::deviceCounters(cache::DeviceId dev) const
+{
+    return device_counters_[dev];
+}
+
+std::uint64_t
+RefLlc::rmidLines(cache::RmidId rmid) const
+{
+    return rmid_lines_[rmid];
+}
+
+const RefLlc::Line &
+RefLlc::lineAt(unsigned slice, unsigned set, unsigned way) const
+{
+    return at(slice, set, way);
+}
+
+std::uint32_t
+RefLlc::sliceClock(unsigned slice) const
+{
+    return clocks_[slice];
+}
+
+void
+RefLlc::mirrorState(const cache::SlicedLlc &real)
+{
+    IAT_ASSERT(real.geometry().num_slices == geom_.num_slices &&
+                   real.geometry().sets_per_slice ==
+                       geom_.sets_per_slice &&
+                   real.geometry().num_ways == geom_.num_ways &&
+                   real.geometry().line_bytes == geom_.line_bytes &&
+                   real.numCores() == num_cores_,
+               "mirror of a differently-shaped LLC");
+
+    for (unsigned c = 0; c < cache::SlicedLlc::numClos; ++c)
+        clos_masks_[c] = real.closMask(static_cast<cache::ClosId>(c));
+    for (unsigned c = 0; c < num_cores_; ++c) {
+        const auto core = static_cast<cache::CoreId>(c);
+        core_clos_[c] = real.coreClos(core);
+        core_rmid_[c] = real.coreRmid(core);
+        core_counters_[c] = real.coreCounters(core);
+    }
+    ddio_mask_ = real.ddioMask();
+    for (unsigned d = 0; d < cache::SlicedLlc::numDevices; ++d) {
+        const auto dev = static_cast<cache::DeviceId>(d);
+        device_ddio_masks_[d] = real.hasDeviceDdioMask(dev)
+                                    ? real.deviceDdioMask(dev)
+                                    : cache::WayMask{};
+        device_counters_[d] = real.deviceCounters(dev);
+    }
+    ddio_enabled_ = real.ddioEnabled();
+
+    for (unsigned s = 0; s < geom_.num_slices; ++s) {
+        clocks_[s] = real.sliceClock(s);
+        slice_counters_[s] = real.sliceCounters(s);
+        for (unsigned set = 0; set < geom_.sets_per_slice; ++set) {
+            for (unsigned w = 0; w < geom_.num_ways; ++w) {
+                const auto view = real.lineAt(s, set, w);
+                Line &entry = at(s, set, w);
+                entry.valid = view.valid;
+                entry.dirty = view.dirty;
+                entry.tag = view.tag;
+                entry.owner = view.owner;
+                entry.ts = view.ts;
+            }
+        }
+    }
+    for (unsigned r = 0; r < cache::SlicedLlc::numRmids; ++r)
+        rmid_lines_[r] = real.rmidLines(static_cast<cache::RmidId>(r));
+    total_writebacks_ = real.totalWritebacks();
+}
+
+} // namespace iat::check

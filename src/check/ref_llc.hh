@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Reference LLC oracle for differential validation.
+ *
+ * RefLlc re-implements the semantics of cache::SlicedLlc -- CAT's
+ * allocate-only-into-mask / hit-anywhere rule (paper Footnote 1),
+ * DDIO write update / write allocate (SS II-B), device reads that
+ * never allocate, RMID occupancy accounting -- in the most literal
+ * way possible: flat storage, one boolean per line, plain ascending
+ * loops, no bitmask tricks, no MRU hints, no batching. It is slow on
+ * purpose; its only job is to be obviously correct so the DiffHarness
+ * (check/diff.hh) can hold the optimized model to it bit for bit.
+ *
+ * The parts that are *shared contract* rather than optimization are
+ * reproduced exactly:
+ *
+ *  - the address hash (splitmix64 finalizer + Lemire reductions) is
+ *    the modelled slice/set mapping, so the oracle must agree on
+ *    where a line lives;
+ *  - victim choice: lowest-indexed invalid way in the mask, else the
+ *    ascending scan keeping ties (`ts <= best`), so of equal-stamped
+ *    ways the highest index wins;
+ *  - the per-slice LRU clock is a uint32_t that wraps at 2^32.
+ */
+
+#ifndef IATSIM_CHECK_REF_LLC_HH
+#define IATSIM_CHECK_REF_LLC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "cache/llc.hh"
+#include "cache/types.hh"
+#include "cache/way_mask.hh"
+
+namespace iat::check {
+
+/** Deliberately naive unsliced-storage LLC model. */
+class RefLlc
+{
+  public:
+    /** One directory entry; everything explicit, nothing packed. */
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        cache::LineAddr tag = 0;
+        cache::RmidId owner = 0;
+        std::uint32_t ts = 0;
+    };
+
+    /** Outcome of a core-side op, in CoreOp out-field terms. */
+    struct CoreVerdict
+    {
+        bool hit = false;
+        bool victim_writeback = false;
+    };
+
+    RefLlc(const cache::CacheGeometry &geom, unsigned num_cores);
+
+    const cache::CacheGeometry &geometry() const { return geom_; }
+    unsigned numCores() const { return num_cores_; }
+
+    /// @name Configuration (same semantics as the SlicedLlc setters)
+    /// @{
+    void setClosMask(cache::ClosId clos, cache::WayMask mask);
+    void assocCoreClos(cache::CoreId core, cache::ClosId clos);
+    void assocCoreRmid(cache::CoreId core, cache::RmidId rmid);
+    void setDdioMask(cache::WayMask mask);
+    void setDeviceDdioMask(cache::DeviceId dev, cache::WayMask mask);
+    void clearDeviceDdioMask(cache::DeviceId dev);
+    void setDdioEnabled(bool enabled);
+    /// @}
+
+    /// @name Accesses (one line each; no batched paths by design)
+    /// @{
+
+    /** coreAccess (writeback=false) or writebackFromCore (true). */
+    CoreVerdict coreOp(cache::CoreId core, cache::Addr addr,
+                       cache::AccessType type, bool writeback);
+
+    cache::AccessResult ddioWrite(cache::Addr addr, cache::DeviceId dev);
+    cache::AccessResult deviceRead(cache::Addr addr,
+                                   cache::DeviceId dev);
+    void invalidate(cache::Addr addr);
+    void flushAll();
+    /// @}
+
+    /// @name Introspection mirroring the real model
+    /// @{
+    const cache::SliceCounters &sliceCounters(unsigned slice) const;
+    const cache::CoreCacheCounters &coreCounters(cache::CoreId c) const;
+    const cache::SliceCounters &deviceCounters(cache::DeviceId d) const;
+    std::uint64_t rmidLines(cache::RmidId rmid) const;
+    std::uint64_t totalWritebacks() const { return total_writebacks_; }
+    const Line &lineAt(unsigned slice, unsigned set,
+                       unsigned way) const;
+    std::uint32_t sliceClock(unsigned slice) const;
+    /// @}
+
+    /**
+     * Seed the oracle from a live SlicedLlc: configuration, directory
+     * contents, clocks and counters. Lets a DiffHarness attach to a
+     * warmed-up simulation instead of only at construction.
+     */
+    void mirrorState(const cache::SlicedLlc &real);
+
+  private:
+    void locate(cache::LineAddr line, unsigned &slice,
+                unsigned &set) const;
+    Line &at(unsigned slice, unsigned set, unsigned way);
+    const Line &at(unsigned slice, unsigned set, unsigned way) const;
+
+    /** Ascending scan for @p tag among valid ways; -1 when absent. */
+    int findWay(unsigned slice, unsigned set,
+                cache::LineAddr tag) const;
+
+    unsigned chooseVictim(unsigned slice, unsigned set,
+                          cache::WayMask mask) const;
+
+    /** Evict + fill; returns whether a dirty victim was written back. */
+    bool allocate(unsigned slice, unsigned set, cache::LineAddr tag,
+                  cache::WayMask mask, cache::RmidId owner, bool dirty);
+
+    cache::CacheGeometry geom_;
+    unsigned num_cores_;
+    bool ddio_enabled_ = true;
+
+    std::vector<Line> lines_; ///< (slice * sets + set) * ways + way
+    std::vector<std::uint32_t> clocks_; ///< per slice
+    std::vector<cache::WayMask> clos_masks_;
+    std::vector<cache::ClosId> core_clos_;
+    std::vector<cache::RmidId> core_rmid_;
+    cache::WayMask ddio_mask_;
+    std::vector<cache::WayMask> device_ddio_masks_;
+
+    std::vector<cache::SliceCounters> slice_counters_;
+    std::vector<cache::CoreCacheCounters> core_counters_;
+    std::vector<cache::SliceCounters> device_counters_;
+    std::vector<std::uint64_t> rmid_lines_;
+    std::uint64_t total_writebacks_ = 0;
+};
+
+} // namespace iat::check
+
+#endif // IATSIM_CHECK_REF_LLC_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * RefPrivateCache implementation.
+ */
+
+#include "check/ref_private_cache.hh"
+
+#include "util/logging.hh"
+
+namespace iat::check {
+
+namespace {
+
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+RefPrivateCache::RefPrivateCache(const cache::PrivateCacheGeometry &geom)
+    : geom_(geom)
+{
+    IAT_ASSERT(geom_.num_sets >= 1 && geom_.num_ways >= 1,
+               "bad private cache geometry");
+    lines_.assign(static_cast<std::size_t>(geom_.num_sets) *
+                      geom_.num_ways,
+                  {});
+}
+
+unsigned
+RefPrivateCache::setIndex(cache::LineAddr line) const
+{
+    return static_cast<unsigned>(
+        (static_cast<std::uint64_t>(
+             static_cast<std::uint32_t>(mix64(line))) *
+         geom_.num_sets) >> 32);
+}
+
+RefPrivateCache::Line &
+RefPrivateCache::at(unsigned set, unsigned way)
+{
+    return lines_[static_cast<std::size_t>(set) * geom_.num_ways + way];
+}
+
+const RefPrivateCache::Line &
+RefPrivateCache::at(unsigned set, unsigned way) const
+{
+    return lines_[static_cast<std::size_t>(set) * geom_.num_ways + way];
+}
+
+cache::PrivateAccessResult
+RefPrivateCache::access(cache::Addr addr, cache::AccessType type)
+{
+    const cache::LineAddr line = addr / geom_.line_bytes;
+    const unsigned set = setIndex(line);
+
+    cache::PrivateAccessResult result;
+    for (unsigned w = 0; w < geom_.num_ways; ++w) {
+        Line &entry = at(set, w);
+        if (entry.valid && entry.tag == line) {
+            result.hit = true;
+            ++hits_;
+            entry.ts = ++clock_;
+            if (type == cache::AccessType::Write)
+                entry.dirty = true;
+            return result;
+        }
+    }
+
+    ++misses_;
+    // Victim rule, literally: the last (highest-indexed) invalid way
+    // seen wins; with the set full, the first way holding the minimum
+    // stamp (strict <) wins.
+    unsigned victim = 0;
+    bool found_invalid = false;
+    for (unsigned w = 0; w < geom_.num_ways; ++w) {
+        if (!at(set, w).valid) {
+            victim = w;
+            found_invalid = true;
+        }
+    }
+    if (!found_invalid) {
+        std::uint32_t best_ts = UINT32_MAX;
+        for (unsigned w = 0; w < geom_.num_ways; ++w) {
+            if (at(set, w).ts < best_ts) {
+                best_ts = at(set, w).ts;
+                victim = w;
+            }
+        }
+    }
+
+    Line &entry = at(set, victim);
+    if (entry.valid && entry.dirty) {
+        result.has_writeback = true;
+        result.writeback_addr = entry.tag * geom_.line_bytes;
+    }
+    entry.valid = true;
+    entry.tag = line;
+    entry.dirty = type == cache::AccessType::Write;
+    entry.ts = ++clock_;
+    return result;
+}
+
+void
+RefPrivateCache::invalidateAll()
+{
+    for (auto &entry : lines_) {
+        entry.valid = false;
+        entry.dirty = false;
+    }
+    clock_ = 0;
+}
+
+const RefPrivateCache::Line &
+RefPrivateCache::lineAt(unsigned set, unsigned way) const
+{
+    return at(set, way);
+}
+
+} // namespace iat::check

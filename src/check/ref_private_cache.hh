@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reference model of the per-core private cache (the modelled L2).
+ *
+ * Same philosophy as RefLlc: flat explicit storage and plain loops,
+ * no MRU hint, no bitmasks. The victim rule the real PrivateCache
+ * pins down is reproduced literally -- and it deliberately differs
+ * from the LLC's: the *highest*-indexed invalid way wins, and with
+ * the set full the *first* way holding the minimum stamp (strict <)
+ * wins.
+ */
+
+#ifndef IATSIM_CHECK_REF_PRIVATE_CACHE_HH
+#define IATSIM_CHECK_REF_PRIVATE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "cache/private_cache.hh"
+#include "cache/types.hh"
+
+namespace iat::check {
+
+/** Deliberately naive set-associative LRU cache. */
+class RefPrivateCache
+{
+  public:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        cache::LineAddr tag = 0;
+        std::uint32_t ts = 0;
+    };
+
+    explicit RefPrivateCache(const cache::PrivateCacheGeometry &geom);
+
+    const cache::PrivateCacheGeometry &geometry() const
+    {
+        return geom_;
+    }
+
+    cache::PrivateAccessResult access(cache::Addr addr,
+                                      cache::AccessType type);
+
+    void invalidateAll();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    const Line &lineAt(unsigned set, unsigned way) const;
+    std::uint32_t clock() const { return clock_; }
+
+  private:
+    unsigned setIndex(cache::LineAddr line) const;
+    Line &at(unsigned set, unsigned way);
+    const Line &at(unsigned set, unsigned way) const;
+
+    cache::PrivateCacheGeometry geom_;
+    std::vector<Line> lines_; ///< set * num_ways + way
+    std::uint32_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace iat::check
+
+#endif // IATSIM_CHECK_REF_PRIVATE_CACHE_HH

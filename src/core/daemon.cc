@@ -204,8 +204,13 @@ IatDaemon::enterDegraded()
     if (m_degraded_)
         m_degraded_->inc();
     // Static fallback: every tenant back to its initial allocation,
-    // DDIO pinned at the floor. Known-safe, needs no samples.
+    // DDIO pinned at the floor. Known-safe, needs no samples -- but
+    // setTenants() resets the shuffle order to identity, which could
+    // park a performance-critical tenant in the DDIO-adjacent top
+    // segment, so re-derive the priority-only order the same way Get
+    // Tenant Info does.
     alloc_.setTenants(initial_ways_);
+    alloc_.setOrder(computeShuffleOrder(registry_.tenants(), {}, {}));
     alloc_.setDdioWays(params_.ddio_ways_min);
     applyMasks();
     const IatState before = fsm_.state();

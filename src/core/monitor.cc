@@ -78,10 +78,15 @@ Monitor::filterDelta(StreamState &st, std::uint64_t delta,
     std::uint64_t out = delta;
     bool clamped = false;
     if (hardening_ && st.hot > 0) {
+        // Unprimed streams clamp to 0 on corrupt polls but must not
+        // outlier-test clean deltas against that zero estimate: the
+        // first clean delta after a tainted first poll has to pass
+        // through (and seed the EWMA below), or the stream would
+        // report zeros for the whole hot window.
         const double estimate = st.primed ? st.ewma : 0.0;
         if (implausible || tainted ||
-            static_cast<double>(delta) >
-                kOutlierFactor * estimate) {
+            (st.primed && static_cast<double>(delta) >
+                              kOutlierFactor * estimate)) {
             out = static_cast<std::uint64_t>(
                 std::llround(std::max(estimate, 0.0)));
             clamped = true;

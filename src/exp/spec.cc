@@ -247,6 +247,38 @@ ExperimentSpec::canonical(double scale) const
 }
 
 std::string
+ExperimentSpec::serialize() const
+{
+    std::ostringstream out;
+    out << "name = " << name << '\n';
+    out << "sweep = " << sweep << '\n';
+    out << "seed = " << seed << '\n';
+    out << "seed_mode = "
+        << (seed_mode == SeedMode::Shared ? "shared" : "derived")
+        << '\n';
+    if (!constants.empty()) {
+        out << "\n[params]\n";
+        for (const auto &[key, value] : constants)
+            out << key << " = " << value << '\n';
+    }
+    if (!axes.empty()) {
+        out << "\n[axis]\n";
+        for (const auto &axis : axes) {
+            out << axis.name << " =";
+            for (const auto &value : axis.values)
+                out << ' ' << value;
+            out << '\n';
+        }
+    }
+    if (!fault.empty()) {
+        out << "\n[fault]\n";
+        for (const auto &[key, value] : fault)
+            out << key << " = " << value << '\n';
+    }
+    return out.str();
+}
+
+std::string
 ExperimentSpec::hash(double scale) const
 {
     char buf[17];

@@ -63,6 +63,8 @@ struct AxisSpec
 {
     std::string name;
     std::vector<std::string> values;
+
+    bool operator==(const AxisSpec &) const = default;
 };
 
 /**
@@ -122,6 +124,19 @@ struct ExperimentSpec
 
     /** FNV-1a 64 of canonical(), as 16 hex digits. */
     std::string hash(double scale) const;
+
+    /**
+     * Render the spec back into the INI format parse() reads. The
+     * round trip parse(serialize(s)) == s holds for any spec whose
+     * strings carry no newlines or comment characters ('#', ';') --
+     * which parse() can never produce, so specs that came from
+     * parse() always round-trip exactly (the fuzzer's repro files
+     * rely on this).
+     */
+    std::string serialize() const;
+
+    /** Field-wise equality; backs the round-trip property tests. */
+    bool operator==(const ExperimentSpec &) const = default;
 
     /**
      * Expand the cross product into the deterministic trial list.

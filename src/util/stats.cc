@@ -51,8 +51,12 @@ LatencyHistogram::LatencyHistogram() : buckets_(numBuckets, 0) {}
 int
 LatencyHistogram::bucketFor(double value)
 {
-    if (value <= 0.0)
+    // !(value > 0) also catches NaN, which would otherwise flow into
+    // an undefined float-to-int cast below; +inf pins to the top.
+    if (!(value > 0.0))
         return 0;
+    if (std::isinf(value))
+        return numBuckets - 1;
     int exponent;
     const double mantissa = std::frexp(value, &exponent); // [0.5, 1)
     int octave = std::clamp(exponent + 16, 0, numOctaves - 1);
@@ -86,9 +90,9 @@ LatencyHistogram::addN(double value, std::uint64_t n)
         return;
     buckets_[bucketFor(value)] += n;
     min_ = count_ == 0 ? value : std::min(min_, value);
+    max_ = count_ == 0 ? value : std::max(max_, value);
     count_ += n;
     sum_ += value * static_cast<double>(n);
-    max_ = std::max(max_, value);
 }
 
 void
@@ -106,10 +110,11 @@ LatencyHistogram::percentile(double q) const
 {
     if (count_ == 0)
         return 0.0;
-    q = std::clamp(q, 0.0, 1.0);
     // The extremes are tracked exactly; return them rather than a
     // bucket midpoint (which could even lie outside the sample range).
-    if (q <= 0.0)
+    // !(q > 0) also catches NaN, which must not reach the
+    // float-to-integer rank cast below.
+    if (!(q > 0.0))
         return min_;
     if (q >= 1.0)
         return max_;
@@ -133,11 +138,12 @@ LatencyHistogram::merge(const LatencyHistogram &other)
 {
     for (int b = 0; b < numBuckets; ++b)
         buckets_[b] += other.buckets_[b];
-    if (other.count_ > 0)
+    if (other.count_ > 0) {
         min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+        max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+    }
     count_ += other.count_;
     sum_ += other.sum_;
-    max_ = std::max(max_, other.max_);
 }
 
 double

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the FSM model checker and the shuffle-invariant lattice:
+ * the shipped parameters must verify cleanly (both adaptive-step
+ * settings), the input lattice must straddle every threshold, and a
+ * deliberately broken parameterization must be caught -- the checker
+ * itself needs a failing self-test, or "0 violations" proves nothing.
+ */
+
+#include "check/fsm_check.hh"
+
+#include <gtest/gtest.h>
+
+#include "check/invariants.hh"
+#include "core/params.hh"
+
+namespace iat::check {
+namespace {
+
+TEST(FsmCheck, DefaultParamsVerifyCleanly)
+{
+    FsmCheckOptions opts;
+    for (const bool adaptive : {false, true}) {
+        opts.params.adaptive_io_step = adaptive;
+        const FsmCheckResult result = checkFsm(opts);
+        SCOPED_TRACE(adaptive ? "adaptive" : "fixed-step");
+        EXPECT_TRUE(result.ok())
+            << result.violations.front();
+        EXPECT_EQ(result.inputs, 525u);
+        // HighKeep pins to ddio_ways_max and LowKeep to
+        // ddio_ways_min, so the reachable product space is smaller
+        // than 5 x [min, max] but must span all five states.
+        EXPECT_GT(result.nodes, 5u);
+        EXPECT_EQ(result.states_reached, 5u);
+        EXPECT_GT(result.transitions, 0u);
+    }
+}
+
+TEST(FsmCheck, LatticeStraddlesEveryThreshold)
+{
+    core::IatParams params;
+    const auto lattice = buildInputLattice(params);
+    EXPECT_EQ(lattice.size(), 525u);
+
+    // Each relative-delta field must take values on both sides of
+    // +/-threshold_stable and of -threshold_miss_drop.
+    bool above_stable = false, below_neg_drop = false;
+    bool inside_stable = false;
+    for (const auto &in : lattice) {
+        above_stable |= in.d_ddio_misses > params.threshold_stable;
+        below_neg_drop |= in.d_ddio_misses < -params.threshold_miss_drop;
+        inside_stable |=
+            in.d_ddio_misses > -params.threshold_stable &&
+            in.d_ddio_misses < params.threshold_stable;
+    }
+    EXPECT_TRUE(above_stable);
+    EXPECT_TRUE(below_neg_drop);
+    EXPECT_TRUE(inside_stable);
+
+    // The absolute miss-rate axis crosses threshold_miss_low_per_s.
+    bool low = false, high = false;
+    for (const auto &in : lattice) {
+        low |= in.ddio_miss_rate < params.threshold_miss_low_per_s;
+        high |= in.ddio_miss_rate > params.threshold_miss_low_per_s;
+    }
+    EXPECT_TRUE(low);
+    EXPECT_TRUE(high);
+}
+
+TEST(FsmCheck, BrokenBoundsAreCaught)
+{
+    // Self-test: min > max makes applyBounds oscillate outside any
+    // sane range; the checker must produce violations, proving it can
+    // actually fail.
+    FsmCheckOptions opts;
+    opts.params.ddio_ways_min = 5;
+    opts.params.ddio_ways_max = 3;
+    const FsmCheckResult result = checkFsm(opts);
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(FsmCheck, UndersizedCacheIsCaught)
+{
+    // ddio_ways_max wider than the cache: growth caps at num_ways,
+    // the applyBounds arc into HighKeep can never fire, and the
+    // checker must flag the unreachable state.
+    FsmCheckOptions opts;
+    opts.num_ways = 4;
+    opts.params.ddio_ways_max = 6;
+    const FsmCheckResult result = checkFsm(opts);
+    EXPECT_FALSE(result.ok());
+    EXPECT_LT(result.states_reached, 5u);
+}
+
+TEST(ShuffleLattice, DefaultGeometryVerifiesCleanly)
+{
+    const ShuffleCheckResult result = checkShuffleLattice(11);
+    EXPECT_TRUE(result.ok()) << result.violations.front();
+    EXPECT_GT(result.configs, 100000u);
+}
+
+} // namespace
+} // namespace iat::check

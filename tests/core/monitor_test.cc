@@ -288,6 +288,32 @@ TEST_F(MonitorTest, ClampsTaintedDeltasToTheStreamEwma)
     EXPECT_EQ(monitor.outliersClamped(), clamped_before);
 }
 
+TEST_F(MonitorTest, TaintedFirstPollClampsToZeroAndStaysUnprimed)
+{
+    // First-sample EWMA edge: with hardening on, a tainted FIRST poll
+    // has no estimate to fall back on -- the stream is unprimed, so
+    // the clamp target is 0, and the corrupt delta must not seed the
+    // EWMA either. The first clean poll afterwards then seeds it.
+    Monitor monitor(platform.pqos());
+    monitor.setHardeningEnabled(true);
+    monitor.attach(registry);
+
+    TaintHook hook;
+    platform.msrBus().setFaultHook(&hook);
+    touch(0, 500);
+    const auto bad = monitor.poll(1.0);
+    EXPECT_TRUE(bad.suspect);
+    EXPECT_EQ(bad.tenants[0].llc_refs, 0u);
+
+    // Fault clears: the next clean delta seeds the EWMA and passes
+    // through unclamped even though the hot window is still open.
+    platform.msrBus().setFaultHook(nullptr);
+    touch(0, 500, 1 << 20);
+    const auto good = monitor.poll(1.0);
+    EXPECT_FALSE(good.suspect);
+    EXPECT_EQ(good.tenants[0].llc_refs, 500u);
+}
+
 TEST_F(MonitorTest, TaintedOccupancyHoldsTheLastCleanLevel)
 {
     Monitor monitor(platform.pqos());

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Randomized property test for computeShuffleOrder(): for arbitrary
+ * tenant populations, reference counts, incumbent orders and DDIO
+ * widths, the produced order must satisfy every structural invariant
+ * in check::allocationViolation() -- permutation, valid disjoint
+ * CBMs, best-effort on top, no avoidable PC/DDIO overlap, and the
+ * hysteresis-aware least-hungry rule.
+ *
+ * This complements the exhaustive (but discretized) lattice in
+ * check::checkShuffleLattice() with continuous-range randomness.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/invariants.hh"
+#include "core/allocator.hh"
+#include "core/monitor.hh"
+#include "core/shuffle.hh"
+#include "core/tenant.hh"
+#include "util/rng.hh"
+
+using iat::core::TenantPriority;
+using iat::core::TenantSample;
+using iat::core::TenantSpec;
+using iat::core::WayAllocator;
+using iat::core::computeShuffleOrder;
+
+namespace {
+
+TenantPriority
+randomPriority(iat::Rng &rng)
+{
+    switch (rng.below(4)) {
+      case 0:
+        return TenantPriority::PerformanceCritical;
+      case 1:
+        return TenantPriority::SoftwareStack;
+      default:
+        return TenantPriority::BestEffort; // BE-heavy mix on purpose
+    }
+}
+
+} // namespace
+
+TEST(ShuffleProperty, RandomTenantSetsSatisfyAllInvariants)
+{
+    iat::Rng rng(0x5461b1e5eedull);
+    for (int iter = 0; iter < 2000; ++iter) {
+        const unsigned num_ways = 8 + rng.below(9); // 8..16
+        const std::size_t n_tenants = 1 + rng.below(5);
+
+        std::vector<TenantSpec> specs(n_tenants);
+        std::vector<TenantSample> samples(n_tenants);
+        std::vector<unsigned> initial_ways(n_tenants);
+        unsigned total = 0;
+        for (std::size_t i = 0; i < n_tenants; ++i) {
+            specs[i].name = "t" + std::to_string(i);
+            specs[i].priority = randomPriority(rng);
+            specs[i].is_io = rng.below(2) != 0;
+            initial_ways[i] = 1 + rng.below(3);
+            total += initial_ways[i];
+            // Reference counts with deliberate ties and zeros.
+            samples[i].llc_refs =
+                rng.below(3) ? rng.below(100000) : 0;
+        }
+        if (total > num_ways)
+            continue; // infeasible split; allocator would assert
+
+        WayAllocator alloc(num_ways,
+                           1 + rng.below(std::min(6u, num_ways - 1)));
+        alloc.setTenants(initial_ways);
+
+        // Random (valid) incumbent order, then the shuffle on top.
+        std::vector<std::size_t> incumbent(n_tenants);
+        for (std::size_t i = 0; i < n_tenants; ++i)
+            incumbent[i] = i;
+        for (std::size_t i = n_tenants; i > 1; --i) {
+            std::swap(incumbent[i - 1], incumbent[rng.below(i)]);
+        }
+        alloc.setOrder(incumbent);
+
+        const double hysteresis = 0.5 + 0.5 * rng.uniform();
+        const auto order = computeShuffleOrder(specs, samples,
+                                               incumbent, hysteresis);
+        alloc.setOrder(order);
+
+        const std::string violation = iat::check::allocationViolation(
+            alloc, specs, samples, hysteresis);
+        ASSERT_EQ(violation, "")
+            << "iteration " << iter << ", ways " << num_ways
+            << ", tenants " << n_tenants;
+    }
+}
+
+TEST(ShuffleProperty, OrderIsStableUnderHysteresis)
+{
+    // Once an order is chosen, re-running the shuffle with the same
+    // samples must keep it: hysteresis means "no churn without cause".
+    iat::Rng rng(20260807);
+    for (int iter = 0; iter < 500; ++iter) {
+        const std::size_t n_tenants = 2 + rng.below(4);
+        std::vector<TenantSpec> specs(n_tenants);
+        std::vector<TenantSample> samples(n_tenants);
+        for (std::size_t i = 0; i < n_tenants; ++i) {
+            specs[i].priority = randomPriority(rng);
+            samples[i].llc_refs = rng.below(100000);
+        }
+        const auto first =
+            computeShuffleOrder(specs, samples, {}, 0.8);
+        const auto second =
+            computeShuffleOrder(specs, samples, first, 0.8);
+        ASSERT_EQ(first, second) << "iteration " << iter;
+    }
+}

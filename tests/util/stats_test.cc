@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/rng.hh"
@@ -209,6 +210,80 @@ TEST(LatencyHistogram, EmptyBucketsBetweenModesDoNotShiftQuantiles)
         else
             EXPECT_TRUE(near_high) << "p" << p << " = " << v;
     }
+}
+
+TEST(LatencyHistogram, EmptyPercentileAtExtremesIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.0), 0.0);
+    EXPECT_EQ(h.percentile(1.0), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, NegativeOnlySamplesTrackMax)
+{
+    // Regression: max_ used to be std::max'd against its default 0.0
+    // without a first-sample guard (min_ had one), so a negative-only
+    // histogram reported max() == 0 and percentile(1.0) == 0.
+    LatencyHistogram h;
+    h.add(-5.0);
+    h.add(-2.0);
+    EXPECT_DOUBLE_EQ(h.min(), -5.0);
+    EXPECT_DOUBLE_EQ(h.max(), -2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), -2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), -5.0);
+}
+
+TEST(LatencyHistogram, MergeIntoEmptyKeepsExtremes)
+{
+    LatencyHistogram neg;
+    neg.add(-3.0);
+    neg.add(-1.0);
+    LatencyHistogram h;
+    h.merge(neg);
+    EXPECT_DOUBLE_EQ(h.min(), -3.0);
+    EXPECT_DOUBLE_EQ(h.max(), -1.0);
+
+    // Merging an empty histogram must not disturb the extremes.
+    LatencyHistogram empty;
+    h.merge(empty);
+    EXPECT_DOUBLE_EQ(h.min(), -3.0);
+    EXPECT_DOUBLE_EQ(h.max(), -1.0);
+}
+
+TEST(LatencyHistogram, NonFiniteInputsAreContained)
+{
+    // NaN quantiles and non-finite samples must not reach the
+    // float-to-integer casts inside bucket selection (UB); NaN q
+    // degrades to q = 0, NaN values land in the zero bucket and
+    // +inf pins to the top bucket.
+    LatencyHistogram h;
+    h.add(1.0);
+    h.add(2.0);
+    const double nan = std::nan("");
+    EXPECT_DOUBLE_EQ(h.percentile(nan), 1.0);
+
+    LatencyHistogram weird;
+    weird.add(nan);
+    EXPECT_EQ(weird.count(), 1u);
+    weird.add(std::numeric_limits<double>::infinity());
+    EXPECT_EQ(weird.count(), 2u);
+    // The exact extremes are NaN-poisoned, but percentiles still
+    // walk valid buckets without UB.
+    (void)weird.percentile(0.5);
+}
+
+TEST(LatencyHistogram, PercentileWithRepeatedAddN)
+{
+    LatencyHistogram h;
+    h.addN(10.0, 99);
+    h.addN(1000.0, 1);
+    const double p50 = h.percentile(0.50);
+    const double p999 = h.percentile(0.999);
+    EXPECT_NEAR(p50, 10.0, 10.0 / 64.0);
+    EXPECT_NEAR(p999, 1000.0, 1000.0 / 64.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
 }
 
 TEST(Ewma, FirstSampleSeeds)

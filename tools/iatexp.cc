@@ -67,6 +67,7 @@ registry()
 {
     exp::TrialRegistry reg;
     bench::registerPaperSweeps(reg);
+    bench::registerValidationSweeps(reg);
     return reg;
 }
 
