@@ -76,9 +76,21 @@ IatDaemon::IatDaemon(rdt::PqosSystem &pqos, TenantRegistry &registry,
 {
 }
 
+IatDaemon::~IatDaemon()
+{
+    // Health gauges close over `this`; detach before the callbacks
+    // can dangle (front ends destroy the daemon before telemetry).
+    setTelemetry(nullptr);
+}
+
 void
 IatDaemon::setTelemetry(obs::Telemetry *telemetry)
 {
+    if (telemetry_ && telemetry_ != telemetry) {
+        auto &old = telemetry_->metrics();
+        old.unbindGauge("daemon.degraded");
+        old.unbindGauge("daemon.state");
+    }
     telemetry_ = telemetry;
     if (!telemetry) {
         tracer_ = nullptr;
@@ -106,6 +118,14 @@ IatDaemon::setTelemetry(obs::Telemetry *telemetry)
     h_poll_ = &m.histogram("daemon.poll_seconds");
     h_transition_ = &m.histogram("daemon.transition_seconds");
     h_realloc_ = &m.histogram("daemon.realloc_seconds");
+    // Health gauges: levels the watchdog rules read back out of the
+    // sampled stream. Unbound again on detach/destruction so churn
+    // never leaves a dangling `this` behind.
+    m.gauge("daemon.degraded",
+            [this] { return degraded_ ? 1.0 : 0.0; });
+    m.gauge("daemon.state", [this] {
+        return static_cast<double>(fsm_.state());
+    });
 }
 
 void

@@ -64,6 +64,7 @@ class IatDaemon
     IatDaemon(rdt::PqosSystem &pqos, TenantRegistry &registry,
               const IatParams &params,
               TenantModel model = TenantModel::Slicing);
+    ~IatDaemon();
 
     /** Run one iteration at simulated time @p now. */
     void tick(double now);

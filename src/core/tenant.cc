@@ -48,6 +48,26 @@ TenantRegistry::removeLast()
     return spec;
 }
 
+int
+TenantRegistry::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < tenants_.size(); ++i)
+        if (tenants_[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+bool
+TenantRegistry::removeByName(const std::string &name)
+{
+    const int idx = indexOf(name);
+    if (idx < 0)
+        return false;
+    tenants_.erase(tenants_.begin() + idx);
+    dirty_ = true;
+    return true;
+}
+
 namespace {
 
 std::vector<cache::CoreId>

@@ -59,6 +59,16 @@ class TenantRegistry
     TenantSpec removeLast();
 
     /**
+     * Remove the tenant named @p name (service detach-tenant path).
+     * Returns false when absent; on success the registry is marked
+     * dirty like removeLast().
+     */
+    bool removeByName(const std::string &name);
+
+    /** Index of tenant @p name; -1 when absent. */
+    int indexOf(const std::string &name) const;
+
+    /**
      * Parse records of the form
      *   name cores=0,1 ways=2 prio={pc|be|stack} io={0|1}
      * one per line; '#' starts a comment. Returns tenants added.

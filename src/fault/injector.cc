@@ -89,7 +89,7 @@ FaultInjector::arm(sim::Engine &engine, sim::Platform &platform)
         engine.addPeriodic(
             plan_.link_flap_period_seconds,
             [this, eng](double now) {
-                if (!armed_)
+                if (!active())
                     return;
                 ++link_flaps_;
                 if (m_link_flaps_)
@@ -113,7 +113,7 @@ FaultInjector::arm(sim::Engine &engine, sim::Platform &platform)
         engine.addPeriodic(
             plan_.ring_stall_period_seconds,
             [this, eng](double now) {
-                if (!armed_)
+                if (!active())
                     return;
                 ++ring_stalls_;
                 if (m_ring_stalls_)
@@ -137,7 +137,7 @@ FaultInjector::arm(sim::Engine &engine, sim::Platform &platform)
         engine.addPeriodic(
             plan_.churn_period_seconds,
             [this](double now) {
-                if (!armed_ || registry_ == nullptr)
+                if (!active() || registry_ == nullptr)
                     return;
                 if (parked_) {
                     registry_->add(*parked_);
@@ -161,7 +161,7 @@ FaultInjector::arm(sim::Engine &engine, sim::Platform &platform)
 bool
 FaultInjector::dropPoll(double now)
 {
-    if (!armed_ || plan_.poll_drop <= 0.0)
+    if (!active() || plan_.poll_drop <= 0.0)
         return false;
     if (rng_.uniform() >= plan_.poll_drop)
         return false;
@@ -176,7 +176,7 @@ std::uint64_t
 FaultInjector::onRead(cache::CoreId /*core*/, std::uint32_t addr,
                       std::uint64_t value)
 {
-    if (!armed_ || !isCounterAddr(addr))
+    if (!active() || !isCounterAddr(addr))
         return value;
 
     std::uint64_t out = value;
@@ -208,7 +208,7 @@ bool
 FaultInjector::onWrite(cache::CoreId /*core*/, std::uint32_t /*addr*/,
                        std::uint64_t /*value*/)
 {
-    if (!armed_ || plan_.write_reject <= 0.0)
+    if (!active() || plan_.write_reject <= 0.0)
         return true;
     if (rng_.uniform() >= plan_.write_reject)
         return true;

@@ -91,6 +91,15 @@ class FaultInjector : public rdt::MsrFaultHook
     bool armed() const { return armed_; }
     const FaultPlan &plan() const { return plan_; }
 
+    /**
+     * Runtime kill switch (service toggle-faults): while suspended,
+     * every injection point is a no-op, but the armed window and the
+     * fault schedules keep ticking, so resuming mid-run picks the
+     * campaign back up where the plan says it should be.
+     */
+    void setSuspended(bool suspended) { suspended_ = suspended; }
+    bool suspended() const { return suspended_; }
+
     /// @name Injected-event accounting
     /// @{
     std::uint64_t readFaults() const { return read_faults_; }
@@ -110,9 +119,13 @@ class FaultInjector : public rdt::MsrFaultHook
 
     void traceEvent(double now, const char *name, double value);
 
+    /** Is injection live right now (armed and not suspended)? */
+    bool active() const { return armed_ && !suspended_; }
+
     FaultPlan plan_;
     Rng rng_;
     bool armed_ = false;
+    bool suspended_ = false;
 
     std::vector<net::NicQueue *> nics_;
     core::TenantRegistry *registry_ = nullptr;

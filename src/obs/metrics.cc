@@ -60,9 +60,23 @@ Gauge &
 MetricsRegistry::gauge(const std::string &name, Gauge::Fn fn)
 {
     Gauge &gauge = *findOrCreate(name, MetricKind::Gauge).gauge;
-    if (fn)
+    if (fn) {
+        if (gauge.bound())
+            ++gauge_rebinds_;
         gauge.setFn(std::move(fn));
+    }
     return gauge;
+}
+
+bool
+MetricsRegistry::unbindGauge(const std::string &name)
+{
+    const auto it = index_.find(name);
+    if (it == index_.end() ||
+        entries_[it->second].kind != MetricKind::Gauge)
+        return false;
+    entries_[it->second].gauge->clearFn();
+    return true;
 }
 
 Histogram &

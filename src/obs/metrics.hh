@@ -57,6 +57,10 @@ class Gauge
 
     double read() const { return fn_ ? fn_() : 0.0; }
     void setFn(Fn fn) { fn_ = std::move(fn); }
+    void clearFn() { fn_ = nullptr; }
+
+    /** Is a callback currently bound? Unbound gauges read 0. */
+    bool bound() const { return static_cast<bool>(fn_); }
 
   private:
     Fn fn_;
@@ -109,9 +113,23 @@ class MetricsRegistry
     /**
      * Register (or fetch) a gauge; a non-null @p fn (re)binds the
      * callback, so the latest registrant wins -- convenient when a
-     * component is torn down and rebuilt mid-run.
+     * component is torn down and rebuilt mid-run. Rebinding an
+     * already-bound gauge is tolerated but *counted* (see
+     * gaugeRebinds()), so tenant/component churn that re-registers
+     * the same name is observable instead of a silent shadow.
      */
     Gauge &gauge(const std::string &name, Gauge::Fn fn = nullptr);
+
+    /**
+     * Detach the callback of gauge @p name so it reads 0 instead of
+     * calling into a torn-down component. The column keeps its
+     * place in any frozen time series. False when no such gauge.
+     */
+    bool unbindGauge(const std::string &name);
+
+    /** Times a bound gauge callback was replaced by a later
+     *  registrant (churn indicator; 0 in a quiet run). */
+    std::uint64_t gaugeRebinds() const { return gauge_rebinds_; }
 
     /** Register (or fetch) a histogram. */
     Histogram &histogram(const std::string &name);
@@ -149,6 +167,7 @@ class MetricsRegistry
 
     std::vector<Entry> entries_;             ///< registration order
     std::map<std::string, std::size_t> index_;
+    std::uint64_t gauge_rebinds_ = 0;
 };
 
 } // namespace iat::obs

@@ -10,6 +10,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "obs/stream/exporter.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
 
@@ -29,6 +30,23 @@ formatValue(double v)
 
 } // namespace
 
+const char *
+toString(ColumnSemantics semantics)
+{
+    switch (semantics) {
+      case ColumnSemantics::Delta: return "delta";
+      case ColumnSemantics::Level: return "level";
+      case ColumnSemantics::Cumulative: return "cumulative";
+    }
+    return "?";
+}
+
+const std::vector<std::string> &
+TimeSeriesSampler::columns() const
+{
+    return *columns_;
+}
+
 void
 TimeSeriesSampler::freezeColumns()
 {
@@ -42,25 +60,30 @@ TimeSeriesSampler::freezeColumns()
             // up to the first sample, not just since the freeze.
             col.source = Column::Source::CounterDelta;
             col.counter = c;
-            columns_.push_back(name);
+            columns_->push_back(name);
+            semantics_.push_back(ColumnSemantics::Delta);
             sources_.push_back(col);
             break;
           case MetricKind::Gauge:
             col.source = Column::Source::Gauge;
             col.gauge = g;
-            columns_.push_back(name);
+            columns_->push_back(name);
+            semantics_.push_back(ColumnSemantics::Level);
             sources_.push_back(col);
             break;
           case MetricKind::Histogram:
             col.histogram = h;
             col.source = Column::Source::HistCountDelta;
-            columns_.push_back(name + ".count");
+            columns_->push_back(name + ".count");
+            semantics_.push_back(ColumnSemantics::Delta);
             sources_.push_back(col);
             col.source = Column::Source::HistMean;
-            columns_.push_back(name + ".mean");
+            columns_->push_back(name + ".mean");
+            semantics_.push_back(ColumnSemantics::Cumulative);
             sources_.push_back(col);
             col.source = Column::Source::HistP99;
-            columns_.push_back(name + ".p99");
+            columns_->push_back(name + ".p99");
+            semantics_.push_back(ColumnSemantics::Cumulative);
             sources_.push_back(col);
             break;
         }
@@ -68,9 +91,93 @@ TimeSeriesSampler::freezeColumns()
 }
 
 void
+TimeSeriesSampler::setStream(stream::StreamDispatcher *stream)
+{
+    stream_ = stream;
+    header_sent_ = false;
+    if (stream_ && !sources_.empty()) {
+        // Already frozen: a subscriber attached mid-run still needs
+        // the column contract before the next row. Use the last row
+        // time (0 before any sample) as the header stamp.
+        publishHeader(rows_.empty() ? 0.0 : rows_.back().t);
+    }
+}
+
+void
+TimeSeriesSampler::setRowLimit(std::size_t limit)
+{
+    row_limit_ = limit;
+    trimRows();
+}
+
+void
+TimeSeriesSampler::trimRows()
+{
+    if (row_limit_ == 0 || rows_.size() <= row_limit_)
+        return;
+    rows_.erase(rows_.begin(),
+                rows_.begin() +
+                    static_cast<std::ptrdiff_t>(rows_.size() -
+                                                row_limit_));
+}
+
+void
+TimeSeriesSampler::publishHeader(double now)
+{
+    if (!stream_)
+        return;
+    stream::StreamRecord rec;
+    rec.kind = stream::StreamKind::Header;
+    rec.t_seconds = now;
+    rec.columns = columns_;
+    std::string &out = rec.json;
+    out = "{\"kind\":\"header\",\"t_seconds\":";
+    out += formatValue(now);
+    out += ",\"columns\":[";
+    for (std::size_t i = 0; i < columns_->size(); ++i) {
+        if (i)
+            out += ',';
+        out += "{\"name\":\"";
+        out += jsonEscape((*columns_)[i]);
+        out += "\",\"semantics\":\"";
+        out += toString(semantics_[i]);
+        out += "\"}";
+    }
+    out += "]}";
+    stream_->publish(rec);
+    header_sent_ = true;
+}
+
+void
+TimeSeriesSampler::publishRow(const Row &row)
+{
+    if (!stream_)
+        return;
+    stream::StreamRecord rec;
+    rec.kind = stream::StreamKind::Sample;
+    rec.t_seconds = row.t;
+    rec.columns = columns_;
+    rec.values = row.values;
+    std::string &out = rec.json;
+    out = "{\"kind\":\"sample\",\"t_seconds\":";
+    out += formatValue(row.t);
+    out += ",\"values\":{";
+    for (std::size_t i = 0; i < columns_->size(); ++i) {
+        if (i)
+            out += ',';
+        out += '"';
+        out += jsonEscape((*columns_)[i]);
+        out += "\":";
+        out += formatValue(row.values[i]);
+    }
+    out += "}}";
+    stream_->publish(rec);
+}
+
+void
 TimeSeriesSampler::sample(double now)
 {
-    if (sources_.empty() && columns_.empty()) {
+    if (sources_.empty() && columns_->empty()) {
         freezeColumns();
         frozen_metrics_ = registry_.size();
     }
@@ -82,6 +189,8 @@ TimeSeriesSampler::sample(double now)
              registry_.size() - frozen_metrics_);
         warned_growth_ = true;
     }
+    if (stream_ && !header_sent_)
+        publishHeader(now);
 
     Row row;
     row.t = now;
@@ -113,14 +222,17 @@ TimeSeriesSampler::sample(double now)
         }
         row.values.push_back(v);
     }
+    ++total_samples_;
+    publishRow(row);
     rows_.push_back(std::move(row));
+    trimRows();
 }
 
 void
 TimeSeriesSampler::writeCsv(std::ostream &os) const
 {
     os << "t_seconds";
-    for (const auto &name : columns_)
+    for (const auto &name : *columns_)
         os << ',' << name;
     os << '\n';
     for (const auto &row : rows_) {
@@ -136,8 +248,8 @@ TimeSeriesSampler::writeJsonl(std::ostream &os) const
 {
     for (const auto &row : rows_) {
         os << "{\"t_seconds\":" << formatValue(row.t);
-        for (std::size_t i = 0; i < columns_.size(); ++i) {
-            os << ",\"" << jsonEscape(columns_[i])
+        for (std::size_t i = 0; i < columns_->size(); ++i) {
+            os << ",\"" << jsonEscape((*columns_)[i])
                << "\":" << formatValue(row.values[i]);
         }
         os << "}\n";

@@ -18,6 +18,15 @@
  * Rows buffer in memory and serialize on demand to CSV (header row,
  * then numbers) or JSONL (one {"t_seconds":..,"col":..} object per
  * line).
+ *
+ * Streaming mode (service/soak runs): attach a StreamDispatcher with
+ * setStream() and every row is *also* published incrementally as a
+ * Sample record the moment it is taken, preceded by one Header
+ * record describing each column's delta/level/cumulative semantics
+ * (the same delta contract PlatformSnapshot::since() documents).
+ * Open-ended runs bound memory with setRowLimit(): the in-memory
+ * row buffer becomes a sliding window while totalSamples() keeps
+ * counting.
  */
 
 #ifndef IATSIM_OBS_SAMPLER_HH
@@ -25,6 +34,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,8 +42,22 @@
 
 namespace iat::obs {
 
+namespace stream {
+class StreamDispatcher;
+} // namespace stream
+
 /** Output syntax for the time series. */
 enum class SampleFormat { Csv, Jsonl };
+
+/** How a column's values read across rows (the delta contract). */
+enum class ColumnSemantics
+{
+    Delta,      ///< per-interval difference (counters, hist counts)
+    Level,      ///< instantaneous value (gauges)
+    Cumulative, ///< since start of run (hist mean/percentiles)
+};
+
+const char *toString(ColumnSemantics semantics);
 
 /** Registry -> rows; see file comment. */
 class TimeSeriesSampler
@@ -50,9 +74,22 @@ class TimeSeriesSampler
 
     /** Column names, excluding the leading t_seconds; empty until
      *  the first sample. */
-    const std::vector<std::string> &columns() const { return columns_; }
+    const std::vector<std::string> &columns() const;
 
+    /** Per-column delta/level/cumulative semantics; aligned with
+     *  columns(). */
+    const std::vector<ColumnSemantics> &
+    columnSemantics() const
+    {
+        return semantics_;
+    }
+
+    /** Rows currently buffered (the retained window when a row
+     *  limit is set). */
     std::size_t rowCount() const { return rows_.size(); }
+
+    /** Rows ever taken, ignoring window trimming. */
+    std::uint64_t totalSamples() const { return total_samples_; }
 
     /** Row @p i as (t_seconds, values aligned with columns()). */
     double rowTime(std::size_t i) const { return rows_[i].t; }
@@ -63,6 +100,21 @@ class TimeSeriesSampler
     }
 
     SampleFormat format() const { return format_; }
+
+    /// @name Streaming (see file comment)
+    /// @{
+
+    /** Publish each future row through @p stream; nullptr detaches.
+     *  If the column set is already frozen the header is (re)sent
+     *  immediately. */
+    void setStream(stream::StreamDispatcher *stream);
+
+    /** Bound the in-memory row buffer to @p limit rows (0 = keep
+     *  everything, the default). Oldest rows are discarded first. */
+    void setRowLimit(std::size_t limit);
+
+    std::size_t rowLimit() const { return row_limit_; }
+    /// @}
 
     /// @name Serialization
     /// @{
@@ -93,14 +145,26 @@ class TimeSeriesSampler
     };
 
     void freezeColumns();
+    void publishHeader(double now);
+    void publishRow(const Row &row);
+    void trimRows();
 
     const MetricsRegistry &registry_;
     SampleFormat format_;
-    std::vector<std::string> columns_;
+    /** Shared so streamed Sample records can reference the column
+     *  names without copying them per row. */
+    std::shared_ptr<std::vector<std::string>> columns_ =
+        std::make_shared<std::vector<std::string>>();
+    std::vector<ColumnSemantics> semantics_;
     std::vector<Column> sources_;
     std::vector<Row> rows_;
     std::size_t frozen_metrics_ = 0;
     bool warned_growth_ = false;
+
+    stream::StreamDispatcher *stream_ = nullptr;
+    bool header_sent_ = false;
+    std::size_t row_limit_ = 0;
+    std::uint64_t total_samples_ = 0;
 };
 
 } // namespace iat::obs

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * JsonlFileExporter implementation.
+ */
+
+#include "obs/stream/jsonl.hh"
+
+#include "util/logging.hh"
+
+namespace iat::obs::stream {
+
+JsonlFileExporter::JsonlFileExporter(std::string path,
+                                     unsigned kind_mask)
+    : KindFilteredExporter(kind_mask), path_(std::move(path))
+{
+    file_ = std::fopen(path_.c_str(), "a");
+    if (!file_)
+        warn("stream: could not open %s for append", path_.c_str());
+}
+
+JsonlFileExporter::~JsonlFileExporter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+JsonlFileExporter::handle(const StreamRecord &record)
+{
+    if (!file_) {
+        ++errors_;
+        return;
+    }
+    if (std::fwrite(record.json.data(), 1, record.json.size(),
+                    file_) != record.json.size() ||
+        std::fputc('\n', file_) == EOF) {
+        ++errors_;
+        return;
+    }
+    // Per-record flush: the whole point of the streaming path is
+    // that a kill -9 one record later still left this one on disk.
+    std::fflush(file_);
+    ++written_;
+}
+
+void
+JsonlFileExporter::flush()
+{
+    if (file_)
+        std::fflush(file_);
+}
+
+} // namespace iat::obs::stream

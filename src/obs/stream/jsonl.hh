@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Append-only JSONL sink: one record per line, written through and
+ * fflush()ed per record so a killed process loses at most the line
+ * being written. This is the durable tail of the streaming pipeline
+ * -- the property the soak harness asserts ("no telemetry gap")
+ * depends on records reaching the file as they happen, not at exit.
+ */
+
+#ifndef IATSIM_OBS_STREAM_JSONL_HH
+#define IATSIM_OBS_STREAM_JSONL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "obs/stream/exporter.hh"
+
+namespace iat::obs::stream {
+
+/** Append-only JSONL file sink; see file comment. */
+class JsonlFileExporter final : public KindFilteredExporter
+{
+  public:
+    /**
+     * Open @p path for appending. A sink that failed to open stays
+     * registered but inert (ok() false, every handle() counted as an
+     * error) -- observability failure must not kill the service.
+     */
+    explicit JsonlFileExporter(std::string path,
+                               unsigned kind_mask = kAllKinds);
+    ~JsonlFileExporter() override;
+
+    JsonlFileExporter(const JsonlFileExporter &) = delete;
+    JsonlFileExporter &operator=(const JsonlFileExporter &) = delete;
+
+    const char *name() const override { return "jsonl"; }
+    void handle(const StreamRecord &record) override;
+    void flush() override;
+
+    bool ok() const { return file_ != nullptr; }
+    const std::string &path() const { return path_; }
+    std::uint64_t written() const { return written_; }
+    std::uint64_t errors() const { return errors_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::uint64_t written_ = 0;
+    std::uint64_t errors_ = 0;
+};
+
+} // namespace iat::obs::stream
+
+#endif // IATSIM_OBS_STREAM_JSONL_HH

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Stream reader implementation, on top of the small util JSON
+ * parser.
+ */
+
+#include "obs/stream/reader.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hh"
+
+namespace iat::obs::stream {
+
+namespace {
+
+double
+numberOr(const json::Value *v, double def)
+{
+    return v && v->kind == json::Value::Kind::Number ? v->number
+                                                     : def;
+}
+
+std::string
+stringOr(const json::Value *v, const std::string &def)
+{
+    return v && v->kind == json::Value::Kind::String ? v->string
+                                                     : def;
+}
+
+void
+parseLine(const std::string &line, StreamLog &log)
+{
+    const auto root = json::parse(line);
+    if (!root || root->kind != json::Value::Kind::Object) {
+        ++log.bad_lines;
+        return;
+    }
+    const std::string kind = stringOr(root->find("kind"), "");
+    const double t = numberOr(root->find("t_seconds"), 0.0);
+
+    if (kind == "header") {
+        log.columns.clear();
+        ++log.header_count;
+        if (const auto *cols = root->find("columns");
+            cols && cols->kind == json::Value::Kind::Array) {
+            for (const auto &item : cols->items) {
+                ReadColumn col;
+                col.name = stringOr(item->find("name"), "");
+                col.semantics =
+                    stringOr(item->find("semantics"), "");
+                log.columns.push_back(std::move(col));
+            }
+        }
+        return;
+    }
+    if (kind == "sample") {
+        ReadSample sample;
+        sample.t_seconds = t;
+        // Values arrive keyed by column name; align them with the
+        // declared header order (columns the header never declared
+        // are appended blindly -- the tests catch that mismatch).
+        sample.values.assign(log.columns.size(), 0.0);
+        if (const auto *values = root->find("values");
+            values && values->kind == json::Value::Kind::Object) {
+            for (const auto &member : values->members) {
+                const int idx = log.columnIndex(member.first);
+                const double v = numberOr(member.second.get(), 0.0);
+                if (idx >= 0)
+                    sample.values[static_cast<std::size_t>(idx)] = v;
+                else
+                    sample.values.push_back(v);
+            }
+        }
+        log.samples.push_back(std::move(sample));
+        return;
+    }
+    if (kind.empty()) {
+        ++log.bad_lines;
+        return;
+    }
+    log.events.push_back(ReadEvent{kind, t, line});
+}
+
+} // namespace
+
+int
+StreamLog::columnIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        if (columns[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+double
+StreamLog::value(std::size_t row, const std::string &name) const
+{
+    const int idx = columnIndex(name);
+    if (idx < 0 || row >= samples.size())
+        return 0.0;
+    const auto &values = samples[row].values;
+    const auto i = static_cast<std::size_t>(idx);
+    return i < values.size() ? values[i] : 0.0;
+}
+
+bool
+StreamLog::timestampsMonotone() const
+{
+    for (std::size_t i = 1; i < samples.size(); ++i)
+        if (samples[i].t_seconds <= samples[i - 1].t_seconds)
+            return false;
+    return true;
+}
+
+double
+StreamLog::maxSampleSpacing() const
+{
+    double max_dt = 0.0;
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+        const double dt =
+            samples[i].t_seconds - samples[i - 1].t_seconds;
+        if (dt > max_dt)
+            max_dt = dt;
+    }
+    return max_dt;
+}
+
+StreamLog
+parseStream(const std::string &text)
+{
+    StreamLog log;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+            // No terminator: the writer was killed mid-line. The
+            // fragment is expected, not an error -- unless it
+            // happens to parse, in which case keep it.
+            const std::string tail = text.substr(start);
+            const std::size_t bad_before = log.bad_lines;
+            parseLine(tail, log);
+            if (log.bad_lines > bad_before) {
+                --log.bad_lines;
+                log.truncated_tail = true;
+            }
+            break;
+        }
+        if (nl > start)
+            parseLine(text.substr(start, nl - start), log);
+        start = nl + 1;
+    }
+    return log;
+}
+
+StreamLog
+readStreamFile(const std::string &path, bool *ok)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (ok)
+            *ok = false;
+        return {};
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (ok)
+        *ok = true;
+    return parseStream(buffer.str());
+}
+
+} // namespace iat::obs::stream

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reader for the streamed JSONL format: parses a stream file (or
+ * string) back into typed records so tests and the soak harness can
+ * assert properties of a run -- monotone timestamps, no sampling
+ * gaps, header/column semantics -- without ad-hoc text munging.
+ *
+ * The reader is deliberately tolerant of a truncated final line
+ * (a killed writer loses at most the line in flight); anything else
+ * malformed is counted, not fatal, so a soak can report "N bad
+ * lines" instead of dying inside its own checker.
+ */
+
+#ifndef IATSIM_OBS_STREAM_READER_HH
+#define IATSIM_OBS_STREAM_READER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace iat::obs::stream {
+
+/** One column as declared by a header record. */
+struct ReadColumn
+{
+    std::string name;
+    /** "delta", "level" or "cumulative" (sampler semantics). */
+    std::string semantics;
+};
+
+/** One parsed sample row. */
+struct ReadSample
+{
+    double t_seconds = 0.0;
+    std::vector<double> values; ///< aligned with StreamLog::columns
+};
+
+/** One parsed non-sample record, kept loosely typed. */
+struct ReadEvent
+{
+    std::string kind;
+    double t_seconds = 0.0;
+    std::string json; ///< the raw line
+};
+
+/** A parsed stream; see file comment. */
+struct StreamLog
+{
+    std::vector<ReadColumn> columns; ///< from the last header seen
+    std::vector<ReadSample> samples;
+    std::vector<ReadEvent> events; ///< trace/health/lifecycle
+    std::size_t header_count = 0;
+    std::size_t bad_lines = 0;
+    bool truncated_tail = false; ///< final line had no newline/parse
+
+    /** Index of @p name in columns; -1 when absent. */
+    int columnIndex(const std::string &name) const;
+
+    /** Value of column @p name in sample @p row; 0 when absent. */
+    double value(std::size_t row, const std::string &name) const;
+
+    /** Are sample timestamps strictly increasing? */
+    bool timestampsMonotone() const;
+
+    /**
+     * Largest spacing between consecutive sample timestamps; 0 with
+     * fewer than two samples. The no-gap property is
+     * maxSampleSpacing() <= factor * nominal interval.
+     */
+    double maxSampleSpacing() const;
+};
+
+/** Parse stream text (possibly truncated mid-line). */
+StreamLog parseStream(const std::string &text);
+
+/** Parse a stream file; ok set false when unreadable. */
+StreamLog readStreamFile(const std::string &path, bool *ok = nullptr);
+
+} // namespace iat::obs::stream
+
+#endif // IATSIM_OBS_STREAM_READER_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The unit of the streaming observability pipeline: one timestamped,
+ * pre-serialized record.
+ *
+ * Every producer (the time-series sampler, the tracer, the health
+ * watchdogs, the service lifecycle) renders its event into a single
+ * JSON object *once*, at emission time; exporters then move bytes
+ * without re-serializing. Sample records additionally carry a
+ * numeric view (column names + values) so in-memory consumers -- the
+ * watchdog ring above all -- can evaluate rules without parsing JSON
+ * back.
+ *
+ * The JSON text is always exactly one line (no embedded newline) so
+ * append-only files and socket subscribers both speak newline-
+ * delimited JSON with no further framing.
+ */
+
+#ifndef IATSIM_OBS_STREAM_RECORD_HH
+#define IATSIM_OBS_STREAM_RECORD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace iat::obs::stream {
+
+/** What a record describes; doubles as the exporter filter axis. */
+enum class StreamKind : unsigned
+{
+    Header = 0, ///< column set + delta/level/cumulative semantics
+    Sample,     ///< one time-series row
+    Trace,      ///< one decision/event trace entry
+    Health,     ///< a health-rule status transition
+    Lifecycle,  ///< service start/stop/command milestones
+};
+
+constexpr unsigned kStreamKindCount = 5;
+
+const char *toString(StreamKind kind);
+
+/** Bit for @p kind in an exporter's kind mask. */
+constexpr unsigned
+kindBit(StreamKind kind)
+{
+    return 1u << static_cast<unsigned>(kind);
+}
+
+/** Mask accepting every kind. */
+constexpr unsigned kAllKinds = (1u << kStreamKindCount) - 1;
+
+/** One streamed record; see file comment. */
+struct StreamRecord
+{
+    StreamKind kind = StreamKind::Lifecycle;
+    double t_seconds = 0.0;
+
+    /** The serialized JSON object, one line, no trailing newline.
+     *  Always carries "kind" and "t_seconds" members. */
+    std::string json;
+
+    /**
+     * Numeric view, Sample records only: @c values aligns with
+     * @c *columns. The column vector is shared with the sampler that
+     * froze it, so ring consumers can cheaply detect a column-set
+     * change by pointer identity.
+     */
+    std::shared_ptr<const std::vector<std::string>> columns;
+    std::vector<double> values;
+};
+
+} // namespace iat::obs::stream
+
+#endif // IATSIM_OBS_STREAM_RECORD_HH

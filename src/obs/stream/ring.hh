@@ -1,0 +1,102 @@
+/**
+ * @file
+ * In-memory ring sink: the bounded window of recent records the
+ * health watchdogs evaluate their rules over.
+ *
+ * The ring keeps whole StreamRecords (including the numeric Sample
+ * view), evicting oldest-first at fixed capacity, so memory stays
+ * bounded over an open-ended service run. Consumers index from the
+ * newest end: recent(0) is the latest matching record.
+ */
+
+#ifndef IATSIM_OBS_STREAM_RING_HH
+#define IATSIM_OBS_STREAM_RING_HH
+
+#include <deque>
+#include <functional>
+
+#include "obs/stream/exporter.hh"
+
+namespace iat::obs::stream {
+
+/** Bounded record window; see file comment. */
+class RingBufferExporter final : public KindFilteredExporter
+{
+  public:
+    explicit RingBufferExporter(
+        std::size_t capacity,
+        unsigned kind_mask = kindBit(StreamKind::Header) |
+                             kindBit(StreamKind::Sample))
+        : KindFilteredExporter(kind_mask),
+          capacity_(capacity ? capacity : 1)
+    {
+    }
+
+    const char *name() const override { return "ring"; }
+
+    void
+    handle(const StreamRecord &record) override
+    {
+        if (records_.size() == capacity_)
+            records_.pop_front();
+        records_.push_back(record);
+        ++total_;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return records_.size(); }
+
+    /** Records ever handled, including evicted ones. */
+    std::uint64_t total() const { return total_; }
+
+    /** @p i records back from the newest; nullptr when out of
+     *  range. recent(0) is the latest record of any kind. */
+    const StreamRecord *
+    recent(std::size_t i) const
+    {
+        if (i >= records_.size())
+            return nullptr;
+        return &records_[records_.size() - 1 - i];
+    }
+
+    /** Latest record of @p kind; nullptr when none retained. */
+    const StreamRecord *
+    latestOf(StreamKind kind) const
+    {
+        for (auto it = records_.rbegin(); it != records_.rend(); ++it)
+            if (it->kind == kind)
+                return &*it;
+        return nullptr;
+    }
+
+    /**
+     * Visit up to @p n most recent records of @p kind, newest
+     * first; stops early when the visitor returns false. Returns
+     * how many were visited.
+     */
+    std::size_t
+    visitRecent(StreamKind kind, std::size_t n,
+                const std::function<bool(const StreamRecord &)>
+                    &visit) const
+    {
+        std::size_t seen = 0;
+        for (auto it = records_.rbegin();
+             it != records_.rend() && seen < n; ++it) {
+            if (it->kind != kind)
+                continue;
+            ++seen;
+            if (!visit(*it))
+                break;
+        }
+        return seen;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<StreamRecord> records_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace iat::obs::stream
+
+#endif // IATSIM_OBS_STREAM_RING_HH

@@ -5,6 +5,13 @@
 
 #include "obs/telemetry.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
 #include "util/logging.hh"
 
 namespace iat::obs {
@@ -19,7 +26,56 @@ hasSuffix(const std::string &s, const char *suffix)
            s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
 }
 
+// Live sessions, for the crash-flush path. A plain mutex-guarded
+// vector: sessions are created/destroyed on the cold path only.
+std::mutex g_sessions_mutex;
+std::vector<const Telemetry *> g_sessions;
+std::atomic<bool> g_hooks_installed{false};
+
+void
+registerSession(const Telemetry *session)
+{
+    const std::lock_guard<std::mutex> lock(g_sessions_mutex);
+    g_sessions.push_back(session);
+}
+
+void
+unregisterSession(const Telemetry *session)
+{
+    const std::lock_guard<std::mutex> lock(g_sessions_mutex);
+    g_sessions.erase(
+        std::remove(g_sessions.begin(), g_sessions.end(), session),
+        g_sessions.end());
+}
+
+extern "C" void
+crashFlushSignal(int signo)
+{
+    flushAllSessions();
+    std::signal(signo, SIG_DFL);
+    std::raise(signo);
+}
+
 } // namespace
+
+void
+flushAllSessions()
+{
+    const std::lock_guard<std::mutex> lock(g_sessions_mutex);
+    for (const Telemetry *session : g_sessions)
+        session->flush();
+}
+
+void
+installCrashFlush()
+{
+    bool expected = false;
+    if (!g_hooks_installed.compare_exchange_strong(expected, true))
+        return;
+    std::atexit([] { flushAllSessions(); });
+    std::signal(SIGTERM, crashFlushSignal);
+    std::signal(SIGINT, crashFlushSignal);
+}
 
 TelemetryConfig
 TelemetryConfig::fromCli(const CliArgs &args)
@@ -38,6 +94,13 @@ Telemetry::Telemetry(TelemetryConfig cfg) : cfg_(std::move(cfg))
         metrics_, hasSuffix(cfg_.metrics_path, ".jsonl")
                       ? SampleFormat::Jsonl
                       : SampleFormat::Csv);
+    installCrashFlush();
+    registerSession(this);
+}
+
+Telemetry::~Telemetry()
+{
+    unregisterSession(this);
 }
 
 bool

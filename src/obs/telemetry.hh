@@ -61,6 +61,10 @@ class Telemetry
 {
   public:
     explicit Telemetry(TelemetryConfig cfg = {});
+    ~Telemetry();
+
+    Telemetry(const Telemetry &) = delete;
+    Telemetry &operator=(const Telemetry &) = delete;
 
     MetricsRegistry &metrics() { return metrics_; }
     Tracer &tracer() { return tracer_; }
@@ -105,6 +109,26 @@ class Telemetry
  * the hot path entirely.
  */
 std::unique_ptr<Telemetry> makeTelemetry(const CliArgs &args);
+
+/**
+ * Flush every live Telemetry session's configured output files.
+ * This is the crash path: atexit and SIGTERM/SIGINT run it so a
+ * killed run still leaves partial trace/metrics files on disk.
+ * Normal exits see an empty session list (each front end flushes
+ * and destroys its session first), so the hook costs nothing.
+ */
+void flushAllSessions();
+
+/**
+ * Install the atexit + SIGTERM/SIGINT flush hooks. Idempotent; the
+ * first Telemetry constructed calls it, so front ends need nothing.
+ * The signal path re-raises with the default disposition after
+ * flushing, preserving the process's kill-by-signal exit status.
+ * (File I/O from a signal handler is not async-signal-safe; for an
+ * offline simulator losing the in-flight line is the accepted
+ * worst case -- the stream reader tolerates a truncated tail.)
+ */
+void installCrashFlush();
 
 } // namespace iat::obs
 

@@ -14,7 +14,9 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
+#include "obs/stream/exporter.hh"
 #include "util/logging.hh"
 
 namespace iat::obs {
@@ -97,14 +99,67 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+std::string
+traceRecordJson(const TraceEvent &event)
+{
+    std::ostringstream os;
+    os << "{\"kind\":\"trace\",\"t_seconds\":"
+       << jsonNumber(event.ts_seconds) << ",\"name\":\""
+       << jsonEscape(event.name) << "\",\"cat\":\""
+       << jsonEscape(event.category) << "\",\"ph\":\"" << event.phase
+       << "\",\"args\":";
+    writeArgs(os, event.args);
+    os << '}';
+    return os.str();
+}
+
+void
+Tracer::record(TraceEvent event)
+{
+    ++total_events_;
+    if (stream_) {
+        stream::StreamRecord rec;
+        rec.kind = stream::StreamKind::Trace;
+        rec.t_seconds = event.ts_seconds;
+        rec.json = traceRecordJson(event);
+        stream_->publish(rec);
+    }
+    events_.push_back(std::move(event));
+    trimEvents();
+}
+
+void
+Tracer::trimEvents()
+{
+    if (event_limit_ == 0 || events_.size() <= event_limit_)
+        return;
+    events_.erase(events_.begin(),
+                  events_.begin() +
+                      static_cast<std::ptrdiff_t>(events_.size() -
+                                                  event_limit_));
+}
+
+void
+Tracer::setStream(stream::StreamDispatcher *stream)
+{
+    stream_ = stream;
+}
+
+void
+Tracer::setEventLimit(std::size_t limit)
+{
+    event_limit_ = limit;
+    trimEvents();
+}
+
 void
 Tracer::instant(double ts, std::string category, std::string name,
                 std::vector<TraceArg> args)
 {
     if (!enabled_)
         return;
-    events_.push_back(TraceEvent{ts, 'i', std::move(category),
-                                 std::move(name), std::move(args)});
+    record(TraceEvent{ts, 'i', std::move(category), std::move(name),
+                      std::move(args)});
 }
 
 void
@@ -118,8 +173,8 @@ Tracer::counter(double ts, std::string category, std::string name,
                    "counter track '%s' arg '%s' must be numeric",
                    name.c_str(), arg.key.c_str());
     }
-    events_.push_back(TraceEvent{ts, 'C', std::move(category),
-                                 std::move(name), std::move(args)});
+    record(TraceEvent{ts, 'C', std::move(category), std::move(name),
+                      std::move(args)});
 }
 
 std::size_t

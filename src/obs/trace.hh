@@ -30,6 +30,10 @@
 
 namespace iat::obs {
 
+namespace stream {
+class StreamDispatcher;
+} // namespace stream
+
 /** One event argument: a string or a number, keyed by name. */
 struct TraceArg
 {
@@ -95,6 +99,30 @@ class Tracer
     std::size_t size() const { return events_.size(); }
     void clear() { events_.clear(); }
 
+    /** Events ever recorded, ignoring clear() and window trimming. */
+    std::uint64_t totalEvents() const { return total_events_; }
+
+    /// @name Streaming (service/soak runs)
+    /// @{
+
+    /**
+     * Publish every future event through @p stream as a Trace
+     * record the moment it is recorded (the in-memory buffer still
+     * fills for end-of-run serialization); nullptr detaches.
+     */
+    void setStream(stream::StreamDispatcher *stream);
+
+    /**
+     * Bound the in-memory event buffer to @p limit events (0 = keep
+     * everything). Oldest events are discarded first, so an
+     * open-ended service run keeps a sliding window for snapshot
+     * while the stream carries the full history.
+     */
+    void setEventLimit(std::size_t limit);
+
+    std::size_t eventLimit() const { return event_limit_; }
+    /// @}
+
     /** Events matching @p category and @p name (test convenience). */
     std::size_t count(const std::string &category,
                       const std::string &name) const;
@@ -110,9 +138,18 @@ class Tracer
     /// @}
 
   private:
+    void record(TraceEvent event);
+    void trimEvents();
+
     bool enabled_ = false;
     std::vector<TraceEvent> events_;
+    stream::StreamDispatcher *stream_ = nullptr;
+    std::size_t event_limit_ = 0;
+    std::uint64_t total_events_ = 0;
 };
+
+/** Serialize one event as a streamed Trace record's JSON line. */
+std::string traceRecordJson(const TraceEvent &event);
 
 /** JSON string escaping (exposed for the serializers and tests). */
 std::string jsonEscape(const std::string &s);

@@ -70,28 +70,65 @@ Engine::fireDueHooks(double horizon)
 }
 
 void
+Engine::stepQuantum()
+{
+    const double dt = platform_.config().quantum_seconds;
+    const double t0 = platform_.now();
+    fireDueHooks(t0 + dt * 0.5);
+    for (auto *r : runnables_)
+        r->runQuantum(t0, dt);
+    platform_.advanceQuantum(dt);
+    if (quanta_counter_)
+        quanta_counter_->inc();
+}
+
+void
 Engine::run(double seconds)
 {
     IAT_ASSERT(seconds > 0.0, "run() needs positive duration");
     const double dt = platform_.config().quantum_seconds;
     const double end = platform_.now() + seconds;
+    stop_requested_ = false;
     // Half-quantum slack so accumulated floating-point error never
     // costs or gains a whole quantum.
-    while (platform_.now() < end - dt * 0.5) {
-        const double t0 = platform_.now();
-        fireDueHooks(t0 + dt * 0.5);
-        for (auto *r : runnables_)
-            r->runQuantum(t0, dt);
-        platform_.advanceQuantum(dt);
-        if (quanta_counter_)
-            quanta_counter_->inc();
-    }
+    while (!stop_requested_ && platform_.now() < end - dt * 0.5)
+        stepQuantum();
     // The loop covers hooks due up to end - dt/2. One-shot hooks due
     // in (end - dt/2, end] -- notably at(when == end) -- would
     // otherwise be lost to callers that never run() again; drain them
     // now. Periodic hooks due at the end edge keep belonging to the
     // next run() (their next tick is the first event of that window).
     const double edge = end + dt * 1e-6; // `when == end` up to fp noise
+    std::vector<Hook> periodic;
+    while (!hooks_.empty() && hooks_.top().next <= edge) {
+        Hook hook = hooks_.top();
+        hooks_.pop();
+        if (hook.interval > 0.0) {
+            periodic.push_back(std::move(hook));
+            continue;
+        }
+        hook.fn(hook.next);
+        if (hooks_counter_)
+            hooks_counter_->inc();
+    }
+    for (auto &hook : periodic)
+        hooks_.push(std::move(hook));
+}
+
+void
+Engine::runOpenEnded()
+{
+    stop_requested_ = false;
+    while (!stop_requested_)
+        stepQuantum();
+    quiesce();
+}
+
+void
+Engine::quiesce()
+{
+    const double edge =
+        platform_.now() + platform_.config().quantum_seconds * 1e-6;
     std::vector<Hook> periodic;
     while (!hooks_.empty() && hooks_.top().next <= edge) {
         Hook hook = hooks_.top();

@@ -70,6 +70,26 @@ class Engine
     void run(double seconds);
 
     /**
+     * Run quantum by quantum until requestStop() -- the service
+     * mode's open-ended loop, where wall-clock code (control socket
+     * polling, throttling) lives in periodic hooks. Unlike run()
+     * there is no end time: the loop exits only through
+     * requestStop(), then quiesces (drains one-shot hooks already
+     * due) so a stopped world is in the same clean state a finished
+     * run() leaves behind.
+     */
+    void runOpenEnded();
+
+    /** Ask the open-ended loop (or the current run()) to exit at the
+     *  next quantum boundary. Safe to call from a hook. */
+    void requestStop() { stop_requested_ = true; }
+    bool stopRequested() const { return stop_requested_; }
+
+    /** Fire one-shot hooks due at or before now (the run()-end
+     *  drain, callable on its own after an open-ended stop). */
+    void quiesce();
+
+    /**
      * Export engine activity (engine.quanta, engine.hooks_fired
      * counters) into @p telemetry's registry; nullptr detaches. The
      * run loop pays one pointer test per quantum when detached.
@@ -81,6 +101,9 @@ class Engine
   private:
     /** Fire every queued hook scheduled at or before @p horizon. */
     void fireDueHooks(double horizon);
+
+    /** Advance one quantum: due hooks, runnables, platform clock. */
+    void stepQuantum();
 
     struct Hook
     {
@@ -109,6 +132,7 @@ class Engine
 
     obs::Counter *quanta_counter_ = nullptr;
     obs::Counter *hooks_counter_ = nullptr;
+    bool stop_requested_ = false;
 };
 
 } // namespace iat::sim

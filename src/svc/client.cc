@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Control-protocol client implementation.
+ */
+
+#include "svc/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace iat::svc {
+
+namespace {
+
+ControlReply
+fail(int fd, std::string what)
+{
+    if (fd >= 0)
+        ::close(fd);
+    ControlReply reply;
+    reply.error = std::move(what);
+    return reply;
+}
+
+} // namespace
+
+ControlReply
+controlRequest(const std::string &path, const std::string &command,
+               int timeout_ms)
+{
+    sockaddr_un addr{};
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        return fail(-1, "bad socket path");
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return fail(fd, std::strerror(errno));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        return fail(fd, std::string("connect: ") +
+                            std::strerror(errno));
+    }
+
+    std::string out = command;
+    out += '\n';
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        const ssize_t n = send(fd, out.data() + sent,
+                               out.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return fail(fd, std::string("send: ") +
+                                std::strerror(errno));
+        sent += static_cast<std::size_t>(n);
+    }
+
+    std::string line;
+    char buf[4096];
+    for (;;) {
+        pollfd pfd{fd, POLLIN, 0};
+        const int ready = poll(&pfd, 1, timeout_ms);
+        if (ready <= 0)
+            return fail(fd, ready == 0 ? "timeout" : "poll error");
+        const ssize_t n = recv(fd, buf, sizeof buf, 0);
+        if (n < 0)
+            return fail(fd, std::string("recv: ") +
+                                std::strerror(errno));
+        if (n == 0)
+            return fail(fd, "closed before reply");
+        line.append(buf, static_cast<std::size_t>(n));
+        const std::size_t nl = line.find('\n');
+        if (nl != std::string::npos) {
+            line.erase(nl);
+            break;
+        }
+    }
+    ::close(fd);
+    ControlReply reply;
+    reply.ok = true;
+    reply.line = std::move(line);
+    return reply;
+}
+
+} // namespace iat::svc

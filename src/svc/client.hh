@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Client side of the control protocol: connect to a service's
+ * control socket, send one NDJSON command line, wait (bounded) for
+ * the one-line reply. Used by `iatctl service ...` and the tests;
+ * kept synchronous because the caller is a human or a script, not
+ * the simulation loop.
+ */
+
+#ifndef IATSIM_SVC_CLIENT_HH
+#define IATSIM_SVC_CLIENT_HH
+
+#include <string>
+
+namespace iat::svc {
+
+/** Outcome of one request/reply round trip. */
+struct ControlReply
+{
+    bool ok = false;      ///< transport-level success
+    std::string line;     ///< the reply line (without newline)
+    std::string error;    ///< transport error description when !ok
+};
+
+/**
+ * Send @p command (one JSON object, no newline needed) to the
+ * control socket at @p path and wait up to @p timeout_ms for the
+ * reply line.
+ */
+ControlReply controlRequest(const std::string &path,
+                            const std::string &command,
+                            int timeout_ms = 5000);
+
+} // namespace iat::svc
+
+#endif // IATSIM_SVC_CLIENT_HH

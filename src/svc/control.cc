@@ -1,0 +1,181 @@
+/**
+ * @file
+ * ControlServer implementation.
+ */
+
+#include "svc/control.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace iat::svc {
+
+namespace {
+
+/** A command line longer than this with no newline is abuse. */
+constexpr std::size_t kMaxLineBytes = 64 * 1024;
+/** Undrained reply bytes beyond this drop the client. */
+constexpr std::size_t kMaxOutbufBytes = 1024 * 1024;
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+} // namespace
+
+ControlServer::ControlServer(std::string path)
+    : path_(std::move(path))
+{
+    sockaddr_un addr{};
+    if (path_.empty() ||
+        path_.size() >= sizeof(addr.sun_path)) {
+        warn("control socket path unusable: '%s'", path_.c_str());
+        return;
+    }
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("control socket: socket() failed: %s",
+             std::strerror(errno));
+        return;
+    }
+    ::unlink(path_.c_str());
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path_.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+             sizeof(addr)) != 0 ||
+        listen(fd, 8) != 0 || !setNonBlocking(fd)) {
+        warn("control socket: cannot listen on %s: %s",
+             path_.c_str(), std::strerror(errno));
+        ::close(fd);
+        return;
+    }
+    listen_fd_ = fd;
+}
+
+ControlServer::~ControlServer()
+{
+    for (auto &client : clients_)
+        closeClient(client);
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        ::unlink(path_.c_str());
+    }
+}
+
+void
+ControlServer::closeClient(Client &client)
+{
+    if (client.fd >= 0) {
+        ::close(client.fd);
+        client.fd = -1;
+        ++disconnects_;
+    }
+}
+
+void
+ControlServer::acceptPending()
+{
+    for (;;) {
+        const int fd = accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            break; // EAGAIN or a transient error: try next pump
+        if (!setNonBlocking(fd)) {
+            ::close(fd);
+            continue;
+        }
+        Client client;
+        client.fd = fd;
+        clients_.push_back(std::move(client));
+    }
+}
+
+bool
+ControlServer::flushClient(Client &client)
+{
+    while (!client.outbuf.empty()) {
+        const ssize_t n =
+            send(client.fd, client.outbuf.data(),
+                 client.outbuf.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
+        if (n > 0) {
+            client.outbuf.erase(0, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return client.outbuf.size() <= kMaxOutbufBytes;
+        return false; // peer gone
+    }
+    return true;
+}
+
+bool
+ControlServer::serveClient(Client &client, const Handler &handler,
+                           std::size_t &dispatched)
+{
+    char buf[4096];
+    for (;;) {
+        const ssize_t n =
+            recv(client.fd, buf, sizeof buf, MSG_DONTWAIT);
+        if (n > 0) {
+            client.inbuf.append(buf, static_cast<std::size_t>(n));
+            std::size_t nl;
+            while ((nl = client.inbuf.find('\n')) !=
+                   std::string::npos) {
+                std::string line = client.inbuf.substr(0, nl);
+                client.inbuf.erase(0, nl + 1);
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                if (line.empty())
+                    continue;
+                ++commands_;
+                ++dispatched;
+                client.outbuf += handler(line);
+                client.outbuf += '\n';
+            }
+            if (client.inbuf.size() > kMaxLineBytes)
+                return false; // unframed garbage
+            continue;
+        }
+        if (n == 0) {
+            // Disconnect; a partial line in inbuf never completed,
+            // so the command never ran -- by design.
+            return false;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        return false;
+    }
+    return flushClient(client);
+}
+
+std::size_t
+ControlServer::pump(const Handler &handler)
+{
+    if (!ok())
+        return 0;
+    acceptPending();
+    std::size_t dispatched = 0;
+    for (auto &client : clients_) {
+        if (!serveClient(client, handler, dispatched))
+            closeClient(client);
+    }
+    clients_.erase(std::remove_if(clients_.begin(), clients_.end(),
+                                  [](const Client &c) {
+                                      return c.fd < 0;
+                                  }),
+                   clients_.end());
+    return dispatched;
+}
+
+} // namespace iat::svc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Synthetic load for service-mode worlds: a Runnable that keeps the
+ * platform's DDIO path and every registered tenant's cores busy at a
+ * dialable rate, so an open-ended run has real contention for the
+ * daemon to manage without the cost of a full scenario world.
+ *
+ * Per quantum, at rate 1.0:
+ *  - a burst of inbound DMA lines through the DDIO path (device 0),
+ *    cycling through a ring-sized buffer like an Rx ring would;
+ *  - per tenant, a stride of core reads on each of its cores over a
+ *    private working set (I/O tenants touch the DMA region too, so
+ *    DDIO hits actually happen);
+ *  - retired instructions charged per core so IPC gauges stay sane.
+ *
+ * Core access latencies are recorded into an optional histogram
+ * ("svc.req_latency_cycles"), giving the health monitor's p99 SLO
+ * rule a real signal. The rate is adjustable at runtime through the
+ * control socket's `set-traffic` command; the traffic generator
+ * re-reads the registry every quantum, so tenants attached or
+ * detached mid-run are picked up immediately.
+ */
+
+#ifndef IATSIM_SVC_TRAFFIC_HH
+#define IATSIM_SVC_TRAFFIC_HH
+
+#include <cstdint>
+
+#include "core/tenant.hh"
+#include "sim/engine.hh"
+
+namespace iat::obs {
+class Histogram;
+} // namespace iat::obs
+
+namespace iat::svc {
+
+/** Dialable synthetic load; see file comment. */
+class SyntheticTraffic final : public sim::Runnable
+{
+  public:
+    SyntheticTraffic(sim::Platform &platform,
+                     const core::TenantRegistry &registry);
+
+    void runQuantum(double t_start, double dt) override;
+
+    /** Load multiplier; 1.0 is the nominal mix, 0 idles. Clamped to
+     *  [0, 32] so a typo'd command cannot wedge the loop. */
+    void setRate(double rate);
+    double rate() const { return rate_; }
+
+    /** Record each core access latency here (may be nullptr). */
+    void setLatencyHistogram(obs::Histogram *histogram)
+    {
+        latency_ = histogram;
+    }
+
+    std::uint64_t dmaLines() const { return dma_lines_; }
+    std::uint64_t coreReads() const { return core_reads_; }
+
+  private:
+    sim::Platform &platform_;
+    const core::TenantRegistry &registry_;
+    obs::Histogram *latency_ = nullptr;
+
+    double rate_ = 1.0;
+    std::uint64_t quantum_index_ = 0;
+    std::uint64_t dma_cursor_ = 0;
+
+    std::uint64_t dma_lines_ = 0;
+    std::uint64_t core_reads_ = 0;
+};
+
+} // namespace iat::svc
+
+#endif // IATSIM_SVC_TRAFFIC_HH

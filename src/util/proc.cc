@@ -1,0 +1,32 @@
+/**
+ * @file
+ * /proc-backed process inspection.
+ */
+
+#include "util/proc.hh"
+
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace iat {
+
+std::uint64_t
+currentRssBytes()
+{
+    std::FILE *f = std::fopen("/proc/self/statm", "r");
+    if (!f)
+        return 0;
+    unsigned long long size_pages = 0;
+    unsigned long long rss_pages = 0;
+    const int got =
+        std::fscanf(f, "%llu %llu", &size_pages, &rss_pages);
+    std::fclose(f);
+    if (got != 2)
+        return 0;
+    const long page = sysconf(_SC_PAGESIZE);
+    return rss_pages * static_cast<std::uint64_t>(
+                           page > 0 ? page : 4096);
+}
+
+} // namespace iat

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Process self-inspection helpers. The soak harness asserts bounded
+ * memory over an open-ended run; on Linux that is one read of
+ * /proc/self/statm. Platforms without procfs report 0, which the
+ * caller must treat as "unknown" (skip the bound, don't pass it).
+ */
+
+#ifndef IATSIM_UTIL_PROC_HH
+#define IATSIM_UTIL_PROC_HH
+
+#include <cstdint>
+
+namespace iat {
+
+/** Resident set size in bytes; 0 when it cannot be determined. */
+std::uint64_t currentRssBytes();
+
+} // namespace iat
+
+#endif // IATSIM_UTIL_PROC_HH

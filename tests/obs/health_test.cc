@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the health/SLO watchdogs: each rule's fire/clear
+ * behavior over a hand-built ring of Sample records, transition
+ * counting into the metrics registry, Health record publication,
+ * and the JSON rendering of the status.
+ */
+
+#include "obs/health.hh"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/stream/exporter.hh"
+#include "obs/stream/ring.hh"
+#include "util/json.hh"
+
+namespace iat::obs {
+namespace {
+
+using stream::RingBufferExporter;
+using stream::StreamKind;
+using stream::StreamRecord;
+
+/** Fixture: a ring we feed synthetic Sample rows into. */
+class HealthTest : public ::testing::Test
+{
+  protected:
+    HealthTest()
+        : columns_(std::make_shared<std::vector<std::string>>(
+              std::vector<std::string>{"daemon.degraded",
+                                       "svc.req_latency_cycles.p99",
+                                       "daemon.way_reallocs"}))
+    {
+    }
+
+    void
+    pushSample(double t, double degraded, double p99, double reallocs)
+    {
+        StreamRecord rec;
+        rec.kind = StreamKind::Sample;
+        rec.t_seconds = t;
+        rec.json = "{\"kind\":\"sample\",\"t_seconds\":" +
+                   std::to_string(t) + '}';
+        rec.columns = columns_;
+        rec.values = {degraded, p99, reallocs};
+        ring_.handle(rec);
+    }
+
+    HealthConfig
+    baseConfig() const
+    {
+        HealthConfig cfg;
+        cfg.sample_interval = 0.005;
+        cfg.degraded_samples = 3;
+        cfg.slo_p99 = 100.0;
+        cfg.churn_storm = 10.0;
+        cfg.churn_window = 4;
+        return cfg;
+    }
+
+    std::shared_ptr<std::vector<std::string>> columns_;
+    RingBufferExporter ring_{64, stream::kAllKinds};
+};
+
+TEST_F(HealthTest, AllClearOnHealthySamples)
+{
+    HealthMonitor monitor(baseConfig(), ring_);
+    for (int i = 1; i <= 5; ++i)
+        pushSample(0.005 * i, 0.0, 50.0, 1.0);
+    const HealthStatus &status = monitor.evaluate(0.025);
+
+    EXPECT_TRUE(status.ok);
+    ASSERT_EQ(status.rules.size(), 4u);
+    for (const RuleStatus &rule : status.rules)
+        EXPECT_FALSE(rule.firing) << rule.name;
+    EXPECT_EQ(monitor.transitions(), 0u);
+}
+
+TEST_F(HealthTest, TelemetryGapFiresWhenSamplesStop)
+{
+    HealthMonitor monitor(baseConfig(), ring_);
+    pushSample(0.005, 0.0, 50.0, 0.0);
+    EXPECT_TRUE(monitor.evaluate(0.010).ok);
+
+    // No new sample for >> gap_factor * interval.
+    const HealthStatus &status = monitor.evaluate(0.100);
+    EXPECT_FALSE(status.ok);
+    const RuleStatus *gap = status.rule("telemetry_gap");
+    ASSERT_NE(gap, nullptr);
+    EXPECT_TRUE(gap->firing);
+    EXPECT_GT(gap->value, gap->threshold);
+
+    // Stream resumes: the rule clears (a second transition).
+    pushSample(0.105, 0.0, 50.0, 0.0);
+    EXPECT_TRUE(monitor.evaluate(0.106).ok);
+    EXPECT_EQ(monitor.transitions(), 2u);
+}
+
+TEST_F(HealthTest, StuckDegradedNeedsConsecutiveSamples)
+{
+    HealthMonitor monitor(baseConfig(), ring_);
+    pushSample(0.005, 1.0, 50.0, 0.0);
+    pushSample(0.010, 1.0, 50.0, 0.0);
+    // Two in a row < threshold 3: not yet an incident.
+    EXPECT_FALSE(monitor.evaluate(0.010)
+                     .rule("stuck_degraded")
+                     ->firing);
+
+    pushSample(0.015, 1.0, 50.0, 0.0);
+    EXPECT_TRUE(monitor.evaluate(0.015)
+                    .rule("stuck_degraded")
+                    ->firing);
+
+    // A clear sample breaks the streak.
+    pushSample(0.020, 0.0, 50.0, 0.0);
+    EXPECT_FALSE(monitor.evaluate(0.020)
+                     .rule("stuck_degraded")
+                     ->firing);
+}
+
+TEST_F(HealthTest, SloP99ChecksNewestSampleOnly)
+{
+    HealthMonitor monitor(baseConfig(), ring_);
+    pushSample(0.005, 0.0, 500.0, 0.0); // breach...
+    pushSample(0.010, 0.0, 80.0, 0.0);  // ...already recovered
+    EXPECT_FALSE(monitor.evaluate(0.010).rule("slo_p99")->firing);
+
+    pushSample(0.015, 0.0, 150.0, 0.0);
+    const HealthStatus &status = monitor.evaluate(0.015);
+    const RuleStatus *slo = status.rule("slo_p99");
+    ASSERT_NE(slo, nullptr);
+    EXPECT_TRUE(slo->firing);
+    EXPECT_DOUBLE_EQ(slo->value, 150.0);
+    EXPECT_DOUBLE_EQ(slo->threshold, 100.0);
+}
+
+TEST_F(HealthTest, ChurnStormSumsTheWindow)
+{
+    HealthMonitor monitor(baseConfig(), ring_);
+    // Window 4, budget 10; 3 reallocs/sample * 4 = 12 > 10.
+    for (int i = 1; i <= 4; ++i)
+        pushSample(0.005 * i, 0.0, 50.0, 3.0);
+    const RuleStatus *churn =
+        monitor.evaluate(0.020).rule("churn_storm");
+    ASSERT_NE(churn, nullptr);
+    EXPECT_TRUE(churn->firing);
+    EXPECT_DOUBLE_EQ(churn->value, 12.0);
+
+    // Older samples roll out of the window as calm ones arrive.
+    for (int i = 5; i <= 8; ++i)
+        pushSample(0.005 * i, 0.0, 50.0, 1.0);
+    EXPECT_FALSE(monitor.evaluate(0.040)
+                     .rule("churn_storm")
+                     ->firing);
+}
+
+TEST_F(HealthTest, DisabledRulesNeverFire)
+{
+    HealthConfig cfg;
+    cfg.sample_interval = 0.0; // gap rule off
+    cfg.degraded_samples = 0;  // stuck rule off
+    cfg.slo_p99 = 0.0;         // slo rule off
+    cfg.churn_storm = 0.0;     // churn rule off
+    HealthMonitor monitor(cfg, ring_);
+    pushSample(0.005, 1.0, 1e9, 1e9);
+    const HealthStatus &status = monitor.evaluate(100.0);
+    EXPECT_TRUE(status.ok);
+    for (const RuleStatus &rule : status.rules) {
+        EXPECT_FALSE(rule.enabled) << rule.name;
+        EXPECT_FALSE(rule.firing) << rule.name;
+    }
+}
+
+TEST_F(HealthTest, TransitionsCountIntoRegistryAndPublish)
+{
+    MetricsRegistry reg;
+    stream::StreamDispatcher dispatcher;
+    RingBufferExporter health_records(
+        16, stream::kindBit(StreamKind::Health));
+    dispatcher.add(&health_records);
+
+    HealthMonitor monitor(baseConfig(), ring_, &reg, &dispatcher);
+    for (int i = 1; i <= 3; ++i)
+        pushSample(0.005 * i, 1.0, 50.0, 0.0); // degraded streak
+    monitor.evaluate(0.015);
+    EXPECT_EQ(monitor.transitions(), 1u);
+
+    const Counter *transitions =
+        reg.findCounter("health.transitions");
+    ASSERT_NE(transitions, nullptr);
+    EXPECT_EQ(transitions->value(), 1u);
+
+    // The transition was published as a parseable Health record.
+    ASSERT_EQ(health_records.size(), 1u);
+    const StreamRecord *rec = health_records.recent(0);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->kind, StreamKind::Health);
+    const auto parsed = json::parse(rec->json);
+    ASSERT_NE(parsed, nullptr);
+    const json::Value *rule = parsed->find("rule");
+    ASSERT_NE(rule, nullptr);
+    EXPECT_EQ(rule->find("name")->string, "stuck_degraded");
+}
+
+TEST_F(HealthTest, StatusRendersAsOneJsonObject)
+{
+    HealthMonitor monitor(baseConfig(), ring_);
+    pushSample(0.005, 0.0, 50.0, 0.0);
+    const HealthStatus &status = monitor.evaluate(0.005);
+    const std::string text = status.toJson(monitor.transitions());
+    const auto parsed = json::parse(text);
+    ASSERT_NE(parsed, nullptr) << text;
+    EXPECT_EQ(parsed->find("ok")->boolean, true);
+    const json::Value *rules = parsed->find("rules");
+    ASSERT_NE(rules, nullptr);
+    EXPECT_EQ(rules->items.size(), 4u);
+}
+
+} // namespace
+} // namespace iat::obs

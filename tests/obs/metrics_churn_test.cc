@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Gauge-churn tolerance: components that are torn down and rebuilt
+ * mid-run (the service's attach/detach path) re-register gauges by
+ * name. The registry must let the latest registrant win, count the
+ * rebind, and let a departing component unbind so its gauge reads 0
+ * instead of calling into freed state -- all without perturbing a
+ * frozen time-series column set.
+ */
+
+#include "obs/metrics.hh"
+
+#include <gtest/gtest.h>
+
+#include "obs/sampler.hh"
+
+namespace iat::obs {
+namespace {
+
+TEST(MetricsChurn, RebindIsCountedAndLatestWins)
+{
+    MetricsRegistry reg;
+    reg.gauge("svc.level", [] { return 1.0; });
+    EXPECT_EQ(reg.gaugeRebinds(), 0u);
+
+    Gauge &gauge = reg.gauge("svc.level", [] { return 2.0; });
+    EXPECT_EQ(reg.gaugeRebinds(), 1u);
+    EXPECT_DOUBLE_EQ(gauge.read(), 2.0);
+
+    // Fetch without a callback is not a rebind.
+    reg.gauge("svc.level");
+    EXPECT_EQ(reg.gaugeRebinds(), 1u);
+}
+
+TEST(MetricsChurn, UnbindMakesGaugeReadZero)
+{
+    MetricsRegistry reg;
+    int live = 7;
+    reg.gauge("comp.value", [&] { return double(live); });
+    EXPECT_DOUBLE_EQ(reg.findGauge("comp.value")->read(), 7.0);
+
+    ASSERT_TRUE(reg.unbindGauge("comp.value"));
+    EXPECT_FALSE(reg.findGauge("comp.value")->bound());
+    EXPECT_DOUBLE_EQ(reg.findGauge("comp.value")->read(), 0.0);
+
+    // Unknown name / non-gauge name both refuse.
+    EXPECT_FALSE(reg.unbindGauge("no.such"));
+    reg.counter("a.counter");
+    EXPECT_FALSE(reg.unbindGauge("a.counter"));
+}
+
+TEST(MetricsChurn, RebindAfterUnbindRestoresWithoutNewColumn)
+{
+    MetricsRegistry reg;
+    reg.gauge("svc.level", [] { return 1.0; });
+    reg.counter("svc.events");
+
+    TimeSeriesSampler sampler(reg);
+    sampler.sample(0.005); // freezes the column set
+    const std::size_t frozen_columns = sampler.columns().size();
+
+    // Component bounce: unbind, later re-register the same name.
+    reg.unbindGauge("svc.level");
+    sampler.sample(0.010); // unbound gauge samples as 0, not a crash
+    reg.gauge("svc.level", [] { return 5.0; });
+
+    sampler.sample(0.015);
+    EXPECT_EQ(sampler.columns().size(), frozen_columns);
+    EXPECT_EQ(reg.size(), 2u); // same entries, no duplicates
+
+    const auto &cols = sampler.columns();
+    std::size_t idx = 0;
+    for (; idx < cols.size(); ++idx)
+        if (cols[idx] == "svc.level")
+            break;
+    ASSERT_LT(idx, cols.size());
+    EXPECT_DOUBLE_EQ(sampler.rowValues(0)[idx], 1.0);
+    EXPECT_DOUBLE_EQ(sampler.rowValues(1)[idx], 0.0);
+    EXPECT_DOUBLE_EQ(sampler.rowValues(2)[idx], 5.0);
+}
+
+TEST(MetricsChurn, AddressesStableAcrossChurn)
+{
+    MetricsRegistry reg;
+    Gauge &first = reg.gauge("g", [] { return 1.0; });
+    for (int i = 0; i < 100; ++i)
+        reg.counter("c" + std::to_string(i));
+    Gauge &again = reg.gauge("g", [] { return 2.0; });
+    EXPECT_EQ(&first, &again);
+}
+
+} // namespace
+} // namespace iat::obs

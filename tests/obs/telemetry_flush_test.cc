@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Crash-flush behavior of the telemetry session registry: live
+ * sessions are tracked, flushAllSessions() writes every configured
+ * output file, destroyed sessions drop out (so a normal exit flushes
+ * nothing twice), and sessions with nothing enabled stay no-ops.
+ */
+
+#include "obs/telemetry.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include <unistd.h>
+
+namespace iat::obs {
+namespace {
+
+class TempPath
+{
+  public:
+    explicit TempPath(const char *stem)
+    {
+        char buf[256];
+        std::snprintf(buf, sizeof buf, "%s_%d.jsonl", stem,
+                      ::getpid());
+        path = buf;
+        std::remove(path.c_str());
+    }
+    ~TempPath() { std::remove(path.c_str()); }
+
+    bool
+    exists() const
+    {
+        std::ifstream in(path);
+        return in.good();
+    }
+
+    std::string path;
+};
+
+TEST(TelemetryFlush, FlushAllSessionsWritesLiveSessions)
+{
+    TempPath trace("flush_trace");
+    TempPath metrics("flush_metrics");
+
+    TelemetryConfig cfg;
+    cfg.trace_path = trace.path;
+    cfg.metrics_path = metrics.path;
+    Telemetry session(cfg);
+    session.tracer().setEnabled(true);
+    session.tracer().instant(0.1, "test", "event");
+    session.sampler().sample(0.1);
+
+    ASSERT_FALSE(trace.exists());
+    flushAllSessions(); // the crash path, called directly
+    EXPECT_TRUE(trace.exists());
+    EXPECT_TRUE(metrics.exists());
+}
+
+TEST(TelemetryFlush, DestroyedSessionsAreForgotten)
+{
+    TempPath trace("flush_gone");
+    {
+        TelemetryConfig cfg;
+        cfg.trace_path = trace.path;
+        Telemetry session(cfg);
+        session.tracer().setEnabled(true);
+        session.tracer().instant(0.1, "test", "event");
+    } // unregisters; no flush happened
+    std::remove(trace.path.c_str());
+    flushAllSessions();
+    EXPECT_FALSE(trace.exists())
+        << "a dead session must not be flushed";
+}
+
+TEST(TelemetryFlush, MultipleSessionsAllFlushed)
+{
+    TempPath a("flush_a");
+    TempPath b("flush_b");
+    TelemetryConfig cfg_a;
+    cfg_a.trace_path = a.path;
+    TelemetryConfig cfg_b;
+    cfg_b.trace_path = b.path;
+    Telemetry sa(cfg_a), sb(cfg_b);
+    sa.tracer().setEnabled(true);
+    sb.tracer().setEnabled(true);
+    sa.tracer().instant(0.1, "t", "ea");
+    sb.tracer().instant(0.2, "t", "eb");
+
+    flushAllSessions();
+    EXPECT_TRUE(a.exists());
+    EXPECT_TRUE(b.exists());
+}
+
+TEST(TelemetryFlush, DisabledSessionFlushIsHarmless)
+{
+    Telemetry session; // nothing configured
+    flushAllSessions();
+    SUCCEED();
+}
+
+TEST(TelemetryFlush, InstallCrashFlushIsIdempotent)
+{
+    // The first Telemetry ctor in this process already installed the
+    // hooks; calling again must be a no-op, not a duplicate atexit.
+    installCrashFlush();
+    installCrashFlush();
+    SUCCEED();
+}
+
+} // namespace
+} // namespace iat::obs

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Tests for the service control surface, both layers:
+ *
+ *  - handleCommand(): every command's happy path and its validation
+ *    failures (malformed JSON, unknown command, duplicate/unknown
+ *    tenant, core and way-capacity limits, last-tenant detach),
+ *    with the world-state changes asserted through the Service's
+ *    introspection accessors;
+ *  - the real Unix socket: a raw client drives the NDJSON protocol
+ *    against a live Service (pumped by runFor), covering framed
+ *    multi-command writes, partial lines completed across sends,
+ *    and mid-command disconnects (the fragment must never execute).
+ */
+
+#include "svc/service.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/json.hh"
+
+namespace iat::svc {
+namespace {
+
+bool
+replyOk(const std::string &reply)
+{
+    const auto v = json::parse(reply);
+    if (!v || v->kind != json::Value::Kind::Object)
+        return false;
+    const json::Value *ok = v->find("ok");
+    return ok && ok->kind == json::Value::Kind::Bool && ok->boolean;
+}
+
+std::string
+errorOf(const std::string &reply)
+{
+    const auto v = json::parse(reply);
+    if (!v)
+        return "<unparseable>";
+    const json::Value *err = v->find("error");
+    return err ? err->string : "";
+}
+
+ServiceConfig
+testConfig()
+{
+    ServiceConfig cfg;
+    cfg.control_path = ""; // most tests drive handleCommand directly
+    cfg.platform.num_cores = 8;
+    cfg.interval_seconds = 5e-3;
+    return cfg;
+}
+
+TEST(ServiceCommands, MalformedAndUnknownInputsGetErrorReplies)
+{
+    Service service(testConfig());
+    EXPECT_FALSE(replyOk(service.handleCommand("{broken")));
+    EXPECT_FALSE(replyOk(service.handleCommand("not json at all")));
+    EXPECT_FALSE(replyOk(service.handleCommand("[1,2,3]")));
+    EXPECT_FALSE(replyOk(service.handleCommand("{}")));
+    EXPECT_FALSE(replyOk(
+        service.handleCommand("{\"cmd\":\"frobnicate\"}")));
+    // Every reply is itself parseable JSON.
+    EXPECT_NE(json::parse(service.handleCommand("{broken")),
+              nullptr);
+}
+
+TEST(ServiceCommands, StatsReportsWorldAndPipeline)
+{
+    Service service(testConfig());
+    service.runFor(0.05);
+    const std::string reply =
+        service.handleCommand("{\"cmd\":\"stats\"}");
+    ASSERT_TRUE(replyOk(reply)) << reply;
+    const auto v = json::parse(reply);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->find("tenants")->number, 3.0); // default mix
+    const json::Value *daemon = v->find("daemon");
+    ASSERT_NE(daemon, nullptr);
+    EXPECT_GT(daemon->find("ticks")->number, 0.0);
+    const json::Value *stream = v->find("stream");
+    ASSERT_NE(stream, nullptr);
+    EXPECT_GT(stream->find("samples")->number, 0.0);
+}
+
+TEST(ServiceCommands, AttachTenantValidatesThenMutates)
+{
+    Service service(testConfig());
+    service.runFor(0.02);
+    const std::size_t before = service.registry().size();
+
+    // Rejections, in order of the checks.
+    EXPECT_EQ(errorOf(service.handleCommand(
+                  "{\"cmd\":\"attach-tenant\"}")),
+              "attach-tenant needs a name");
+    EXPECT_FALSE(replyOk(service.handleCommand(
+        "{\"cmd\":\"attach-tenant\",\"name\":\"web\","
+        "\"cores\":[6]}"))); // duplicate name
+    EXPECT_FALSE(replyOk(service.handleCommand(
+        "{\"cmd\":\"attach-tenant\",\"name\":\"x\"}"))); // no cores
+    EXPECT_FALSE(replyOk(service.handleCommand(
+        "{\"cmd\":\"attach-tenant\",\"name\":\"x\","
+        "\"cores\":[99]}"))); // core out of range
+    EXPECT_FALSE(replyOk(service.handleCommand(
+        "{\"cmd\":\"attach-tenant\",\"name\":\"x\",\"cores\":[6],"
+        "\"ways\":9}"))); // would blow the 11-way capacity
+    EXPECT_FALSE(replyOk(service.handleCommand(
+        "{\"cmd\":\"attach-tenant\",\"name\":\"x\",\"cores\":[6],"
+        "\"prio\":\"vip\"}"))); // unknown priority
+    EXPECT_EQ(service.registry().size(), before);
+
+    // The happy path mutates the registry and the daemon reacts on
+    // its next tick (registry marked dirty -> re-alloc).
+    ASSERT_TRUE(replyOk(service.handleCommand(
+        "{\"cmd\":\"attach-tenant\",\"name\":\"edge\","
+        "\"cores\":[6,7],\"ways\":2,\"prio\":\"be\","
+        "\"io\":true}")));
+    ASSERT_EQ(service.registry().size(), before + 1);
+    const int idx = service.registry().indexOf("edge");
+    ASSERT_GE(idx, 0);
+    const core::TenantSpec &spec =
+        service.registry()[static_cast<std::size_t>(idx)];
+    EXPECT_EQ(spec.cores.size(), 2u);
+    EXPECT_TRUE(spec.is_io);
+    EXPECT_EQ(spec.priority, core::TenantPriority::BestEffort);
+    service.runFor(0.02); // daemon re-allocs without dying
+    EXPECT_TRUE(service.violations().empty());
+}
+
+TEST(ServiceCommands, DetachTenantGuardsLastTenant)
+{
+    Service service(testConfig());
+    EXPECT_FALSE(replyOk(service.handleCommand(
+        "{\"cmd\":\"detach-tenant\",\"name\":\"ghost\"}")));
+    ASSERT_TRUE(replyOk(service.handleCommand(
+        "{\"cmd\":\"detach-tenant\",\"name\":\"batch\"}")));
+    ASSERT_TRUE(replyOk(service.handleCommand(
+        "{\"cmd\":\"detach-tenant\",\"name\":\"db\"}")));
+    // One tenant left: refuse to empty the world.
+    EXPECT_FALSE(replyOk(service.handleCommand(
+        "{\"cmd\":\"detach-tenant\",\"name\":\"web\"}")));
+    EXPECT_EQ(service.registry().size(), 1u);
+    service.runFor(0.02);
+    EXPECT_TRUE(service.violations().empty());
+}
+
+TEST(ServiceCommands, SetTrafficClampsAndRejectsNonNumbers)
+{
+    Service service(testConfig());
+    EXPECT_FALSE(replyOk(
+        service.handleCommand("{\"cmd\":\"set-traffic\"}")));
+    EXPECT_FALSE(replyOk(service.handleCommand(
+        "{\"cmd\":\"set-traffic\",\"rate\":\"fast\"}")));
+    ASSERT_TRUE(replyOk(service.handleCommand(
+        "{\"cmd\":\"set-traffic\",\"rate\":2.5}")));
+    EXPECT_DOUBLE_EQ(service.traffic().rate(), 2.5);
+    ASSERT_TRUE(replyOk(service.handleCommand(
+        "{\"cmd\":\"set-traffic\",\"rate\":1e9}")));
+    EXPECT_DOUBLE_EQ(service.traffic().rate(), 32.0); // clamped
+}
+
+TEST(ServiceCommands, ToggleFaultsFlipsTheInjector)
+{
+    ServiceConfig cfg = testConfig();
+    cfg.fault_plan.seed = 7;
+    cfg.fault_plan.read_noise = 0.1;
+    Service service(std::move(cfg));
+    ASSERT_NE(service.injector(), nullptr);
+    EXPECT_FALSE(service.injector()->suspended());
+
+    ASSERT_TRUE(replyOk(
+        service.handleCommand("{\"cmd\":\"toggle-faults\"}")));
+    EXPECT_TRUE(service.injector()->suspended());
+    ASSERT_TRUE(replyOk(service.handleCommand(
+        "{\"cmd\":\"toggle-faults\",\"on\":true}")));
+    EXPECT_FALSE(service.injector()->suspended());
+    ASSERT_TRUE(replyOk(service.handleCommand(
+        "{\"cmd\":\"toggle-faults\",\"on\":false}")));
+    EXPECT_TRUE(service.injector()->suspended());
+}
+
+TEST(ServiceCommands, ToggleFaultsWithoutPlanIsAnError)
+{
+    Service service(testConfig());
+    ASSERT_EQ(service.injector(), nullptr);
+    EXPECT_FALSE(replyOk(
+        service.handleCommand("{\"cmd\":\"toggle-faults\"}")));
+}
+
+TEST(ServiceCommands, HealthAndSnapshotAndStop)
+{
+    Service service(testConfig());
+    service.runFor(0.05);
+    const std::string health =
+        service.handleCommand("{\"cmd\":\"health\"}");
+    ASSERT_TRUE(replyOk(health)) << health;
+    const auto parsed = json::parse(health);
+    ASSERT_NE(parsed->find("health"), nullptr);
+
+    EXPECT_TRUE(replyOk(
+        service.handleCommand("{\"cmd\":\"snapshot\"}")));
+
+    EXPECT_FALSE(service.stopRequested());
+    EXPECT_TRUE(replyOk(service.handleCommand("{\"cmd\":\"stop\"}")));
+    EXPECT_TRUE(service.stopRequested());
+}
+
+/** Socket-level fixture: a live Service with a real control socket
+ *  pumped by runFor, and raw clients speaking NDJSON at it. */
+class ControlSocketTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        std::snprintf(path_, sizeof path_, "/tmp/iat_ctl_%d.sock",
+                      ::getpid());
+        ServiceConfig cfg = testConfig();
+        cfg.control_path = path_;
+        service_ = std::make_unique<Service>(std::move(cfg));
+        ASSERT_NE(service_->control(), nullptr);
+        ASSERT_TRUE(service_->control()->ok());
+    }
+
+    void
+    TearDown() override
+    {
+        service_.reset();
+        ::unlink(path_);
+    }
+
+    int
+    connectClient()
+    {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                      path_);
+        EXPECT_EQ(::connect(
+                      fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)),
+                  0);
+        return fd;
+    }
+
+    /** Advance sim time so the control hook pumps the socket. */
+    void pump() { service_->runFor(0.02); }
+
+    /** Next reply line; buffers across calls so back-to-back replies
+     *  arriving in one recv are not lost. */
+    std::string
+    recvLine(int fd)
+    {
+        char buf[4096];
+        for (int spins = 0; spins < 50; ++spins) {
+            const std::size_t nl = rx_.find('\n');
+            if (nl != std::string::npos) {
+                const std::string line = rx_.substr(0, nl);
+                rx_.erase(0, nl + 1);
+                return line;
+            }
+            const ssize_t n =
+                ::recv(fd, buf, sizeof buf, MSG_DONTWAIT);
+            if (n > 0)
+                rx_.append(buf, static_cast<std::size_t>(n));
+            else
+                pump();
+        }
+        return rx_;
+    }
+
+    char path_[108] = {};
+    std::unique_ptr<Service> service_;
+    std::string rx_;
+};
+
+TEST_F(ControlSocketTest, RequestReplyOverTheWire)
+{
+    const int fd = connectClient();
+    const char *req = "{\"cmd\":\"stats\"}\n";
+    ASSERT_EQ(::send(fd, req, std::strlen(req), 0),
+              static_cast<ssize_t>(std::strlen(req)));
+    pump();
+    const std::string reply = recvLine(fd);
+    EXPECT_TRUE(replyOk(reply)) << reply;
+    ::close(fd);
+}
+
+TEST_F(ControlSocketTest, TwoCommandsOneWriteTwoReplies)
+{
+    const int fd = connectClient();
+    const char *req =
+        "{\"cmd\":\"set-traffic\",\"rate\":3}\n{\"cmd\":\"ping\"}\n";
+    ASSERT_GT(::send(fd, req, std::strlen(req), 0), 0);
+    pump();
+    const std::string first = recvLine(fd);
+    const std::string second = recvLine(fd);
+    EXPECT_TRUE(replyOk(first)) << first;
+    EXPECT_TRUE(replyOk(second)) << second;
+    EXPECT_DOUBLE_EQ(service_->traffic().rate(), 3.0);
+    ::close(fd);
+}
+
+TEST_F(ControlSocketTest, PartialLineCompletesAcrossSends)
+{
+    const int fd = connectClient();
+    const char *head = "{\"cmd\":\"set-tr";
+    const char *tail = "affic\",\"rate\":4}\n";
+    ASSERT_GT(::send(fd, head, std::strlen(head), 0), 0);
+    pump(); // fragment parked, nothing dispatched
+    EXPECT_DOUBLE_EQ(service_->traffic().rate(), 1.0);
+    ASSERT_GT(::send(fd, tail, std::strlen(tail), 0), 0);
+    pump();
+    EXPECT_TRUE(replyOk(recvLine(fd)));
+    EXPECT_DOUBLE_EQ(service_->traffic().rate(), 4.0);
+    ::close(fd);
+}
+
+TEST_F(ControlSocketTest, MidCommandDisconnectNeverExecutes)
+{
+    const int fd = connectClient();
+    const char *fragment = "{\"cmd\":\"set-traffic\",\"rate\":9";
+    ASSERT_GT(::send(fd, fragment, std::strlen(fragment), 0), 0);
+    ::close(fd); // gone before the newline
+    pump();
+    pump();
+    EXPECT_DOUBLE_EQ(service_->traffic().rate(), 1.0);
+    EXPECT_GE(service_->control()->disconnects(), 1u);
+    // The service keeps serving new clients afterwards.
+    const int fd2 = connectClient();
+    const char *req = "{\"cmd\":\"ping\"}\n";
+    ASSERT_GT(::send(fd2, req, std::strlen(req), 0), 0);
+    pump();
+    EXPECT_TRUE(replyOk(recvLine(fd2)));
+    ::close(fd2);
+}
+
+TEST_F(ControlSocketTest, MalformedLineOverTheWireGetsErrorReply)
+{
+    const int fd = connectClient();
+    const char *req = "this is not json\n";
+    ASSERT_GT(::send(fd, req, std::strlen(req), 0), 0);
+    pump();
+    const std::string reply = recvLine(fd);
+    EXPECT_FALSE(replyOk(reply));
+    EXPECT_NE(json::parse(reply), nullptr) << reply;
+    ::close(fd);
+}
+
+TEST_F(ControlSocketTest, StopCommandStopsTheRunLoop)
+{
+    const int fd = connectClient();
+    const char *req = "{\"cmd\":\"stop\"}\n";
+    ASSERT_GT(::send(fd, req, std::strlen(req), 0), 0);
+    // run() must exit on its own once the command lands.
+    service_->run();
+    EXPECT_TRUE(service_->stopRequested());
+    EXPECT_TRUE(replyOk(recvLine(fd)));
+    ::close(fd);
+}
+
+} // namespace
+} // namespace iat::svc

@@ -23,6 +23,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,7 @@
 #include "scenarios/slicing_pmd_xmem.hh"
 #include "sim/stats_report.hh"
 #include "sim/telemetry.hh"
+#include "svc/client.hh"
 #include "util/cli.hh"
 
 namespace {
@@ -360,6 +362,66 @@ cmdRun(const CliArgs &args)
     return 0;
 }
 
+/**
+ * `iatctl service <command...>` -- talk to a running iatsvc over its
+ * control socket. The positional words after "service" form the
+ * command: a single word that looks like JSON is sent verbatim,
+ * otherwise the first word becomes {"cmd":...} and remaining
+ * key=value words become JSON members (numbers, true/false and
+ * [..] arrays pass through unquoted; everything else is a string).
+ */
+int
+cmdService(const CliArgs &args,
+           const std::vector<std::string> &words)
+{
+    const std::string path =
+        args.getString("control", "iatsvc.sock");
+    if (words.empty())
+        fatal("iatctl service needs a command (try: stats)");
+
+    std::string request;
+    if (words.size() == 1 && !words[0].empty() &&
+        words[0][0] == '{') {
+        request = words[0];
+    } else {
+        request = "{\"cmd\":\"" + words[0] + '"';
+        for (std::size_t i = 1; i < words.size(); ++i) {
+            const std::string &word = words[i];
+            const std::size_t eq = word.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                fatal("service argument must be key=value "
+                      "(got '%s')", word.c_str());
+            }
+            const std::string key = word.substr(0, eq);
+            const std::string value = word.substr(eq + 1);
+            request += ",\"" + key + "\":";
+            char *end = nullptr;
+            std::strtod(value.c_str(), &end);
+            const bool numeric =
+                end && *end == '\0' && end != value.c_str();
+            if (numeric || value == "true" || value == "false" ||
+                (!value.empty() && value[0] == '[')) {
+                request += value;
+            } else {
+                request += '"' + value + '"';
+            }
+        }
+        request += '}';
+    }
+
+    const svc::ControlReply reply =
+        svc::controlRequest(path, request,
+                            static_cast<int>(args.getInt(
+                                "timeout-ms", 5000)));
+    if (!reply.ok)
+        fatal("control request failed: %s", reply.error.c_str());
+    std::printf("%s\n", reply.line.c_str());
+    // The reply is JSON with an "ok" member; reflect it in the exit
+    // code so scripts need no parser.
+    return reply.line.find("\"ok\":true") != std::string::npos ? 0
+                                                               : 1;
+}
+
 void
 usage()
 {
@@ -389,7 +451,16 @@ usage()
         "kill switch)\n"
         "  fsm     trace the Fig 6 state machine: iatctl fsm "
         "5e6,0.5,0.5,0 ...\n"
-        "  params  print Table II defaults\n");
+        "  params  print Table II defaults\n"
+        "  service send one command to a running iatsvc\n"
+        "          --control=<socket> (default iatsvc.sock) "
+        "--timeout-ms=5000\n"
+        "          iatctl service stats | health | snapshot | stop\n"
+        "          iatctl service attach-tenant name=x cores=[6,7] "
+        "ways=2 prio=be\n"
+        "          iatctl service detach-tenant name=x\n"
+        "          iatctl service set-traffic rate=2.5\n"
+        "          iatctl service toggle-faults [on=true|false]\n");
 }
 
 } // namespace
@@ -412,6 +483,10 @@ main(int argc, char **argv)
     }
     if (cmd == "run")
         return cmdRun(args);
+    if (cmd == "service") {
+        return cmdService(args, {args.positional().begin() + 1,
+                                 args.positional().end()});
+    }
     usage();
     return 1;
 }
