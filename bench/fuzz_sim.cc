@@ -1,18 +1,22 @@
 /**
  * @file
  * Seeded scenario fuzzer driver (DESIGN.md SS12): runs differential
- * LLC trials and daemon world trials from src/check/fuzz.hh until a
- * trial count or a wall-clock budget is exhausted, optionally running
- * the FSM model checker and the shuffle-lattice check first.
+ * LLC trials, daemon world trials and exact-vs-approx acceptance
+ * trials from src/check/fuzz.hh until a trial count or a wall-clock
+ * budget is exhausted, optionally running the FSM model checker and
+ * the shuffle-lattice check first.
  *
  * Every trial is replayable: trial k draws its seed from the
- * splitmix64 stream of --seed, and a failing trial is shrunk to the
- * minimal iteration count and written out as an experiment spec
- * (fuzz_repro_<kind>_<seed>.exp under --out) that `iatexp run` or
- * `fuzz_sim --exp=<file>` replays exactly.
+ * splitmix64 stream of --seed, and a failing trial is written out as
+ * an experiment spec (fuzz_repro_<kind>_<seed>.exp under --out) that
+ * `iatexp run` or `fuzz_sim --exp=<file>` replays exactly --
+ * differential failures shrunk to the minimal iteration count first,
+ * approx-band failures at the original count (statistical acceptance
+ * is not prefix-monotone).
  *
  *   fuzz_sim --trials=500                    # fixed trial count
  *   fuzz_sim --budget-seconds=60             # as many as fit in 60 s
+ *   fuzz_sim --mode=approx --trials=600      # only approx-band trials
  *   fuzz_sim --fsm-check --trials=100        # model check, then fuzz
  *   fuzz_sim --exp=experiments/chaos.exp     # world trials under the
  *                                            # spec's [fault] plan
@@ -73,6 +77,14 @@ runFsmCheck()
     return ok && shuffle.ok();
 }
 
+/** Trial kinds the fuzz loop rotates through. */
+enum class TrialKind
+{
+    Llc,
+    World,
+    Approx,
+};
+
 struct FuzzConfig
 {
     std::uint64_t trials = 0;        ///< 0: run until the budget ends
@@ -80,21 +92,35 @@ struct FuzzConfig
     std::uint64_t base_seed = 1;
     std::uint64_t llc_ops = 4000;
     std::uint64_t world_ops = 200;
+    std::uint64_t approx_ops = 1500;
     bool run_llc = true;
     bool run_world = true;
+    bool run_approx = true;
     std::string out_dir = "fuzz-repros";
     const fault::FaultPlan *plan = nullptr;
     std::vector<std::pair<std::string, std::string>> fault_pairs;
 };
 
 /**
- * The fuzz loop: alternate LLC and world trials (per --mode) until
- * the trial count or the budget runs out. Returns the number of
- * failures (each one shrunk and written out as a repro).
+ * The fuzz loop: rotate through the enabled trial kinds (per --mode)
+ * until the trial count or the budget runs out. Returns the number
+ * of failures, each written out as a repro. Differential failures
+ * (llc, world) are shrunk first; approx-band failures are not
+ * shrinkable (statistical acceptance is not prefix-monotone) and
+ * replay at the original iteration count.
  */
 unsigned
 runFuzz(const FuzzConfig &cfg)
 {
+    std::vector<TrialKind> kinds;
+    if (cfg.run_llc)
+        kinds.push_back(TrialKind::Llc);
+    if (cfg.run_world)
+        kinds.push_back(TrialKind::World);
+    if (cfg.run_approx)
+        kinds.push_back(TrialKind::Approx);
+    IAT_ASSERT(!kinds.empty(), "no trial kinds enabled");
+
     const auto t0 = Clock::now();
     std::uint64_t seed_state = cfg.base_seed;
     std::uint64_t done = 0;
@@ -109,36 +135,58 @@ runFuzz(const FuzzConfig &cfg)
             break;
         }
         const std::uint64_t seed = splitmix64Next(seed_state);
-        const bool world = cfg.run_world &&
-                           (!cfg.run_llc || (done & 1) != 0);
+        const TrialKind kind = kinds[done % kinds.size()];
+        const char *name = "llc";
         std::string violation;
         check::ShrunkFailure shrunk;
-        if (world) {
+        switch (kind) {
+          case TrialKind::World:
+            name = "world";
             violation =
                 check::fuzzWorldTrial(seed, cfg.world_ops, cfg.plan);
             if (!violation.empty())
                 shrunk = check::shrinkWorldFailure(
                     seed, cfg.world_ops, cfg.plan);
-        } else {
+            break;
+          case TrialKind::Approx:
+            name = "approx";
+            violation = check::fuzzApproxTrial(seed, cfg.approx_ops);
+            if (!violation.empty()) {
+                shrunk.seed = seed;
+                shrunk.ops = cfg.approx_ops;
+                shrunk.violation = violation;
+                shrunk.kind = "fuzz_approx";
+            }
+            break;
+          case TrialKind::Llc:
             violation = check::fuzzLlcTrial(seed, cfg.llc_ops);
             if (!violation.empty())
                 shrunk = check::shrinkLlcFailure(seed, cfg.llc_ops);
+            break;
         }
         ++done;
         if (!violation.empty()) {
             ++failures;
-            std::printf("FAIL %s seed=%llu: %s\n",
-                        world ? "world" : "llc",
+            std::printf("FAIL %s seed=%llu: %s\n", name,
                         static_cast<unsigned long long>(seed),
                         violation.c_str());
             const auto spec =
                 check::reproSpec(shrunk, cfg.fault_pairs);
             const auto path =
                 check::writeReproFile(cfg.out_dir, spec);
-            std::printf("  shrunk to %llu iterations: %s\n"
-                        "  repro written: %s\n",
-                        static_cast<unsigned long long>(shrunk.ops),
-                        shrunk.violation.c_str(), path.c_str());
+            if (kind == TrialKind::Approx) {
+                std::printf("  repro written (unshrunk, %llu "
+                            "iterations): %s\n",
+                            static_cast<unsigned long long>(
+                                shrunk.ops),
+                            path.c_str());
+            } else {
+                std::printf("  shrunk to %llu iterations: %s\n"
+                            "  repro written: %s\n",
+                            static_cast<unsigned long long>(
+                                shrunk.ops),
+                            shrunk.violation.c_str(), path.c_str());
+            }
         }
     }
     std::printf("fuzz: %llu trials, %u failures, %.1f s\n",
@@ -163,15 +211,22 @@ main(int argc, char **argv)
     cfg.llc_ops = static_cast<std::uint64_t>(args.getInt("ops", 4000));
     cfg.world_ops =
         static_cast<std::uint64_t>(args.getInt("world-ops", 200));
+    cfg.approx_ops =
+        static_cast<std::uint64_t>(args.getInt("approx-ops", 1500));
     cfg.out_dir = args.getString("out", "fuzz-repros");
 
     const std::string mode = args.getString("mode", "all");
     if (mode == "llc") {
         cfg.run_world = false;
+        cfg.run_approx = false;
     } else if (mode == "world") {
         cfg.run_llc = false;
+        cfg.run_approx = false;
+    } else if (mode == "approx") {
+        cfg.run_llc = false;
+        cfg.run_world = false;
     } else if (mode != "all") {
-        fatal("--mode expects llc, world or all, got '%s'",
+        fatal("--mode expects llc, world, approx or all, got '%s'",
               mode.c_str());
     }
 
@@ -187,7 +242,8 @@ main(int argc, char **argv)
         plan = fault::FaultPlan::fromPairs(spec.fault, "");
         if (plan.any())
             cfg.plan = &plan;
-        if (spec.sweep == "fuzz_llc" || spec.sweep == "fuzz_world") {
+        if (spec.sweep == "fuzz_llc" || spec.sweep == "fuzz_world" ||
+            spec.sweep == "fuzz_approx") {
             std::uint64_t ops = 0;
             for (const auto &[key, value] : spec.constants) {
                 if (key == "ops")
@@ -195,11 +251,14 @@ main(int argc, char **argv)
             }
             if (ops == 0)
                 fatal("repro spec lacks an ops constant");
-            const auto violation =
-                spec.sweep == "fuzz_llc"
-                    ? check::fuzzLlcTrial(spec.seed, ops)
-                    : check::fuzzWorldTrial(spec.seed, ops,
-                                            cfg.plan);
+            std::string violation;
+            if (spec.sweep == "fuzz_llc")
+                violation = check::fuzzLlcTrial(spec.seed, ops);
+            else if (spec.sweep == "fuzz_approx")
+                violation = check::fuzzApproxTrial(spec.seed, ops);
+            else
+                violation =
+                    check::fuzzWorldTrial(spec.seed, ops, cfg.plan);
             if (violation.empty()) {
                 std::printf("repro %s seed=%llu ops=%llu: PASS\n",
                             spec.sweep.c_str(),

@@ -488,6 +488,22 @@ fuzzWorldSweepTrial(const exp::TrialContext &ctx)
     return result;
 }
 
+/** One exact-vs-approx acceptance-band trial; throws off band. */
+exp::TrialResult
+fuzzApproxSweepTrial(const exp::TrialContext &ctx)
+{
+    const auto ops =
+        static_cast<std::uint64_t>(ctx.getInt("ops", 1500));
+    const auto k =
+        static_cast<unsigned>(ctx.getInt("approx_k", 0));
+    const auto violation = check::fuzzApproxTrial(ctx.seed, ops, k);
+    if (!violation.empty())
+        throw std::runtime_error(violation);
+    exp::TrialResult result;
+    result.add("ops", static_cast<double>(ops));
+    return result;
+}
+
 } // namespace
 
 void
@@ -501,6 +517,10 @@ registerValidationSweeps(exp::TrialRegistry &registry)
                  "daemon world fuzz trial (invariants + oracle); "
                  "param ops, optional fault.* knobs",
                  fuzzWorldSweepTrial);
+    registry.add("fuzz_approx",
+                 "exact-vs-approx LLC acceptance-band trial; params "
+                 "ops, approx_k (0 = seed-derived)",
+                 fuzzApproxSweepTrial);
 }
 
 } // namespace iat::bench

@@ -23,6 +23,27 @@ mix64(std::uint64_t x)
     return x ^ (x >> 31);
 }
 
+inline std::uint64_t
+xorshift64(std::uint64_t x)
+{
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+}
+
+/** Bernoulli draw with probability num/den; advances @p state. The
+ *  multiply-shift maps the low 32 state bits into [0, den) (tallies
+ *  stay below 2^17, so the product fits; bias 2^-32). */
+inline bool
+estDraw(std::uint64_t &state, std::uint64_t num, std::uint64_t den)
+{
+    state = xorshift64(state);
+    return ((static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(state)) *
+             den) >> 32) < num;
+}
+
 } // namespace
 
 PrivateCache::PrivateCache(const PrivateCacheGeometry &geom)
@@ -34,6 +55,7 @@ PrivateCache::PrivateCache(const PrivateCacheGeometry &geom)
     const std::size_t lines =
         static_cast<std::size_t>(geom_.num_sets) * geom_.num_ways;
     ways_.assign(lines, {});
+    tags_.assign(lines, 0);
     meta_.assign(geom_.num_sets, {});
     full_mask_ = geom_.num_ways >= 32 ? ~0u
                                       : (1u << geom_.num_ways) - 1u;
@@ -48,36 +70,92 @@ PrivateCache::setIndex(LineAddr line) const
          geom_.num_sets) >> 32);
 }
 
+void
+PrivateCache::recordEst(AccessType type, bool hit, bool victim_wb)
+{
+    if (!est_enabled_)
+        return;
+    EstClass &c = est_[type == AccessType::Write];
+    c.hits += hit;
+    c.misses += !hit;
+    c.victim_wbs += victim_wb;
+    if (hit)
+        c.streak += c.streak < kEstStreakCap;
+    else
+        c.streak = 0;
+    if (c.hits + c.misses >= kEstWindow) {
+        c.hits >>= 1;
+        c.misses >>= 1;
+        c.victim_wbs >>= 1;
+    }
+}
+
+PrivateAccessResult
+PrivateCache::estimateAccess(Addr addr, AccessType type)
+{
+    PrivateAccessResult result;
+    EstClass &c = est_[type == AccessType::Write];
+    const std::uint64_t pop = c.hits + c.misses;
+    if (pop != 0) {
+        // Miss probability: the tally rate, capped by the hit-streak
+        // bound (see EstClass::streak). Both draws use num/den
+        // integer form; pick whichever bound is tighter.
+        const std::uint64_t s1 = c.streak + 1;
+        const bool capped = c.misses * s1 > kEstStreakSlack * pop;
+        const std::uint64_t num = capped ? kEstStreakSlack : c.misses;
+        const std::uint64_t den = capped ? s1 : pop;
+        result.hit = !estDraw(est_rng_, num, den);
+    }
+    if (result.hit) {
+        ++hits_;
+        return result;
+    }
+    ++misses_;
+    if (c.misses != 0 && estDraw(est_rng_, c.victim_wbs, c.misses)) {
+        result.has_writeback = true;
+        result.writeback_addr = addr;
+    }
+    return result;
+}
+
 PrivateAccessResult
 PrivateCache::access(Addr addr, AccessType type)
 {
     const LineAddr line = addr / geom_.line_bytes;
     const unsigned set = setIndex(line);
-    Way *ways = &ways_[static_cast<std::size_t>(set) * geom_.num_ways];
+    const std::size_t base =
+        static_cast<std::size_t>(set) * geom_.num_ways;
+    Way *ways = &ways_[base];
+    const LineAddr *tags = &tags_[base];
     SetMeta &meta = meta_[set];
     const std::uint32_t vmask = meta.valid;
 
     PrivateAccessResult result;
     const unsigned mw = meta.mru;
-    if (((vmask >> mw) & 1u) != 0 && ways[mw].tag == line) {
+    if (((vmask >> mw) & 1u) != 0 && tags[mw] == line) {
         result.hit = true;
         ++hits_;
         ways[mw].ts = ++clock_;
         if (type == AccessType::Write)
             meta.dirty |= 1u << mw;
+        recordEst(type, true, false);
         return result;
     }
-    for (std::uint32_t m = vmask; m != 0; m &= m - 1) {
-        const unsigned w = static_cast<unsigned>(std::countr_zero(m));
-        if (ways[w].tag == line) {
-            result.hit = true;
-            ++hits_;
-            ways[w].ts = ++clock_;
-            meta.mru = static_cast<std::uint8_t>(w);
-            if (type == AccessType::Write)
-                meta.dirty |= 1u << w;
-            return result;
-        }
+    std::uint32_t match = 0;
+    for (unsigned w = 0; w < geom_.num_ways; ++w)
+        match |= static_cast<std::uint32_t>(tags[w] == line) << w;
+    match &= vmask;
+    if (match != 0) {
+        const unsigned w =
+            static_cast<unsigned>(std::countr_zero(match));
+        result.hit = true;
+        ++hits_;
+        ways[w].ts = ++clock_;
+        meta.mru = static_cast<std::uint8_t>(w);
+        if (type == AccessType::Write)
+            meta.dirty |= 1u << w;
+        recordEst(type, true, false);
+        return result;
     }
 
     ++misses_;
@@ -105,6 +183,7 @@ PrivateCache::access(Addr addr, AccessType type)
         result.writeback_addr = ways[victim].tag * geom_.line_bytes;
     }
     ways[victim].tag = line;
+    tags_[base + victim] = line;
     meta.valid |= bit;
     if (type == AccessType::Write)
         meta.dirty |= bit;
@@ -112,6 +191,7 @@ PrivateCache::access(Addr addr, AccessType type)
         meta.dirty &= ~bit;
     ways[victim].ts = ++clock_;
     meta.mru = static_cast<std::uint8_t>(victim);
+    recordEst(type, false, result.has_writeback);
     return result;
 }
 
@@ -120,14 +200,12 @@ PrivateCache::isPresent(Addr addr) const
 {
     const LineAddr line = addr / geom_.line_bytes;
     const unsigned set = setIndex(line);
-    const Way *ways =
-        &ways_[static_cast<std::size_t>(set) * geom_.num_ways];
-    for (std::uint32_t m = meta_[set].valid; m != 0; m &= m - 1) {
-        const unsigned w = static_cast<unsigned>(std::countr_zero(m));
-        if (ways[w].tag == line)
-            return true;
-    }
-    return false;
+    const LineAddr *tags =
+        &tags_[static_cast<std::size_t>(set) * geom_.num_ways];
+    std::uint32_t match = 0;
+    for (unsigned w = 0; w < geom_.num_ways; ++w)
+        match |= static_cast<std::uint32_t>(tags[w] == line) << w;
+    return (match & meta_[set].valid) != 0;
 }
 
 void

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Approximate-LLC acceptance band implementation.
+ */
+
+#include "check/approx.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "cache/llc.hh"
+#include "util/logging.hh"
+
+namespace iat::check {
+
+namespace {
+
+struct Totals
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t ddio_hits = 0;
+    std::uint64_t ddio_misses = 0;
+    std::uint64_t llc_refs = 0;
+    std::uint64_t llc_misses = 0;
+};
+
+Totals
+sum(const cache::SlicedLlc &llc)
+{
+    Totals t;
+    for (unsigned s = 0; s < llc.geometry().num_slices; ++s) {
+        const auto &c = llc.sliceCounters(s);
+        t.lookups += c.lookups;
+        t.ddio_hits += c.ddio_hits;
+        t.ddio_misses += c.ddio_misses;
+    }
+    for (unsigned c = 0; c < llc.numCores(); ++c) {
+        const auto &cc = llc.coreCounters(c);
+        t.llc_refs += cc.llc_refs;
+        t.llc_misses += cc.llc_misses;
+    }
+    return t;
+}
+
+double
+relErr(std::uint64_t exact, std::uint64_t approx)
+{
+    if (exact == 0)
+        return approx == 0 ? 0.0 : 1.0;
+    const double e = static_cast<double>(exact);
+    return std::abs(static_cast<double>(approx) - e) / e;
+}
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, format);
+    std::vsnprintf(buf, sizeof(buf), format, args);
+    va_end(args);
+    return buf;
+}
+
+} // namespace
+
+ApproxErrors
+measureApproxErrors(const cache::SlicedLlc &exact,
+                    const cache::SlicedLlc &approx)
+{
+    ApproxErrors err;
+    const Totals te = sum(exact);
+    const Totals ta = sum(approx);
+
+    err.demand_refs = te.llc_refs;
+    if (te.llc_refs != 0) {
+        err.demand_hit_rate_exact =
+            1.0 - static_cast<double>(te.llc_misses) / te.llc_refs;
+    }
+    if (ta.llc_refs != 0) {
+        err.demand_hit_rate_approx =
+            1.0 - static_cast<double>(ta.llc_misses) / ta.llc_refs;
+    }
+    err.demand_hit_rate_err = std::abs(err.demand_hit_rate_approx -
+                                       err.demand_hit_rate_exact);
+
+    err.ddio_ops = te.ddio_hits + te.ddio_misses;
+    if (err.ddio_ops != 0) {
+        err.ddio_hit_rate_exact =
+            static_cast<double>(te.ddio_hits) / err.ddio_ops;
+    }
+    if (const std::uint64_t ops = ta.ddio_hits + ta.ddio_misses;
+        ops != 0) {
+        err.ddio_hit_rate_approx =
+            static_cast<double>(ta.ddio_hits) / ops;
+    }
+    err.ddio_hit_rate_err =
+        std::abs(err.ddio_hit_rate_approx - err.ddio_hit_rate_exact);
+
+    err.writebacks_exact = exact.totalWritebacks();
+    err.writebacks_approx = approx.totalWritebacks();
+    err.writeback_rel_err =
+        relErr(err.writebacks_exact, err.writebacks_approx);
+
+    // Occupancy error over RMIDs with a meaningful population; tiny
+    // footprints would report pure shot noise. The floor matches
+    // ApproxBand::min_occupancy_lines' default.
+    for (unsigned r = 0; r < cache::SlicedLlc::numRmids; ++r) {
+        const std::uint64_t le = exact.rmidLines(r);
+        if (le < 512)
+            continue;
+        err.occupancy_rel_err = std::max(
+            err.occupancy_rel_err, relErr(le, approx.rmidLines(r)));
+    }
+    return err;
+}
+
+std::string
+compareApproxLlc(const cache::SlicedLlc &exact,
+                 const cache::SlicedLlc &approx,
+                 const ApproxBand &band)
+{
+    const auto &geom = exact.geometry();
+    IAT_ASSERT(geom.num_slices == approx.geometry().num_slices &&
+                   geom.sets_per_slice ==
+                       approx.geometry().sets_per_slice &&
+                   geom.num_ways == approx.geometry().num_ways,
+               "acceptance band requires matching geometries");
+
+    // Deterministic sanity first: these must match exactly on any
+    // identical op stream, sampled or not.
+    for (unsigned s = 0; s < geom.num_slices; ++s) {
+        const auto &ce = exact.sliceCounters(s);
+        const auto &ca = approx.sliceCounters(s);
+        if (ce.lookups != ca.lookups) {
+            return fmt("slice %u lookups diverge: exact %llu vs "
+                       "approx %llu (op streams differ?)",
+                       s, static_cast<unsigned long long>(ce.lookups),
+                       static_cast<unsigned long long>(ca.lookups));
+        }
+        const std::uint64_t ops_e = ce.ddio_hits + ce.ddio_misses;
+        const std::uint64_t ops_a = ca.ddio_hits + ca.ddio_misses;
+        if (ops_e != ops_a) {
+            return fmt("slice %u DDIO op count diverges: exact %llu "
+                       "vs approx %llu",
+                       s, static_cast<unsigned long long>(ops_e),
+                       static_cast<unsigned long long>(ops_a));
+        }
+    }
+    for (unsigned c = 0; c < exact.numCores(); ++c) {
+        const std::uint64_t re = exact.coreCounters(c).llc_refs;
+        const std::uint64_t ra = approx.coreCounters(c).llc_refs;
+        if (re != ra) {
+            return fmt("core %u llc_refs diverge: exact %llu vs "
+                       "approx %llu",
+                       c, static_cast<unsigned long long>(re),
+                       static_cast<unsigned long long>(ra));
+        }
+    }
+
+    const ApproxErrors err = measureApproxErrors(exact, approx);
+
+    if (err.demand_refs >= band.min_rate_events &&
+        err.demand_hit_rate_err > band.hit_rate_eps) {
+        return fmt("demand hit rate off band: exact %.4f vs approx "
+                   "%.4f (err %.4f > eps %.4f over %llu refs)",
+                   err.demand_hit_rate_exact,
+                   err.demand_hit_rate_approx, err.demand_hit_rate_err,
+                   band.hit_rate_eps,
+                   static_cast<unsigned long long>(err.demand_refs));
+    }
+    if (err.ddio_ops >= band.min_rate_events &&
+        err.ddio_hit_rate_err > band.hit_rate_eps) {
+        return fmt("DDIO hit rate off band: exact %.4f vs approx "
+                   "%.4f (err %.4f > eps %.4f over %llu ops)",
+                   err.ddio_hit_rate_exact, err.ddio_hit_rate_approx,
+                   err.ddio_hit_rate_err, band.hit_rate_eps,
+                   static_cast<unsigned long long>(err.ddio_ops));
+    }
+    if (err.writebacks_exact >= band.min_rate_events &&
+        err.writeback_rel_err > band.writeback_rel_eps) {
+        return fmt("writebacks off band: exact %llu vs approx %llu "
+                   "(rel err %.4f > eps %.4f)",
+                   static_cast<unsigned long long>(
+                       err.writebacks_exact),
+                   static_cast<unsigned long long>(
+                       err.writebacks_approx),
+                   err.writeback_rel_err, band.writeback_rel_eps);
+    }
+    for (unsigned r = 0; r < cache::SlicedLlc::numRmids; ++r) {
+        const std::uint64_t le = exact.rmidLines(r);
+        if (le < band.min_occupancy_lines)
+            continue;
+        const double rel = relErr(le, approx.rmidLines(r));
+        if (rel > band.occupancy_rel_eps) {
+            return fmt("RMID %u occupancy off band: exact %llu "
+                       "lines vs approx %llu (rel err %.4f > eps "
+                       "%.4f)",
+                       r, static_cast<unsigned long long>(le),
+                       static_cast<unsigned long long>(
+                           approx.rmidLines(r)),
+                       rel, band.occupancy_rel_eps);
+        }
+    }
+    return {};
+}
+
+} // namespace iat::check

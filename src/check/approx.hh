@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Statistical acceptance band for the set-sampled approximate LLC.
+ *
+ * The approximate mode (SlicedLlc with approxK() > 1) cannot be
+ * validated bit-exactly -- unsampled-set verdicts are Bernoulli draws
+ * -- so its contract is statistical: driven with the *same* operation
+ * stream as an exact instance, the deterministic op counts must match
+ * exactly and the derived figure metrics must land inside an epsilon
+ * band around the exact model's values.
+ *
+ * Deterministic sanity (exact equality; any miss is a real bug, not
+ * sampling noise):
+ *   - per-slice lookups: every op performs exactly one lookup in its
+ *     slice regardless of whether its set is sampled;
+ *   - per-slice ddio_hits + ddio_misses: the hit/miss split is drawn,
+ *     the DDIO op count is not;
+ *   - per-core llc_refs: demand references are counted before the
+ *     hit/miss decision.
+ *
+ * Epsilon bands (sampling error; widths chosen for the populations
+ * the fuzzer and benches drive, see ApproxBand):
+ *   - demand hit rate (1 - llc_misses / llc_refs, machine-wide);
+ *   - DDIO hit rate (ddio_hits / DDIO ops, machine-wide);
+ *   - total writebacks (relative);
+ *   - per-RMID occupancy (relative, extrapolated lines).
+ *
+ * Rates are only checked once their denominator clears a floor --
+ * below it the band would be dominated by shot noise, not model
+ * error.
+ */
+
+#ifndef IATSIM_CHECK_APPROX_HH
+#define IATSIM_CHECK_APPROX_HH
+
+#include <cstdint>
+#include <string>
+
+namespace iat::cache {
+class SlicedLlc;
+}
+
+namespace iat::check {
+
+/** Band widths and event floors for compareApproxLlc(). */
+struct ApproxBand
+{
+    /** Absolute tolerance on demand / DDIO hit rates. */
+    double hit_rate_eps = 0.05;
+    /** Relative tolerance on total writebacks. */
+    double writeback_rel_eps = 0.20;
+    /** Relative tolerance on per-RMID occupancy. */
+    double occupancy_rel_eps = 0.25;
+    /** Rates with fewer events than this are not checked. */
+    std::uint64_t min_rate_events = 2000;
+    /** RMIDs below this many exact lines are not checked. */
+    std::uint64_t min_occupancy_lines = 512;
+};
+
+/** Figure-metric error of @p approx vs @p exact (same op stream). */
+struct ApproxErrors
+{
+    std::uint64_t demand_refs = 0; ///< machine-wide llc_refs (exact)
+    double demand_hit_rate_exact = 0.0;
+    double demand_hit_rate_approx = 0.0;
+    std::uint64_t ddio_ops = 0; ///< machine-wide DDIO writes (exact)
+    double ddio_hit_rate_exact = 0.0;
+    double ddio_hit_rate_approx = 0.0;
+    std::uint64_t writebacks_exact = 0;
+    std::uint64_t writebacks_approx = 0;
+    /** |approx - exact| of the hit rates (absolute). */
+    double demand_hit_rate_err = 0.0;
+    double ddio_hit_rate_err = 0.0;
+    /** |approx - exact| / exact of total writebacks. */
+    double writeback_rel_err = 0.0;
+    /** Max relative occupancy error over RMIDs clearing the floor. */
+    double occupancy_rel_err = 0.0;
+};
+
+/** Measure figure-metric errors; both caches must share a geometry
+ *  and have consumed the same op stream. */
+ApproxErrors measureApproxErrors(const cache::SlicedLlc &exact,
+                                 const cache::SlicedLlc &approx);
+
+/**
+ * Full acceptance check: deterministic sanity plus epsilon bands.
+ * Returns an empty string when @p approx is within @p band of
+ * @p exact, else a description of the first violation.
+ */
+std::string compareApproxLlc(const cache::SlicedLlc &exact,
+                             const cache::SlicedLlc &approx,
+                             const ApproxBand &band = {});
+
+} // namespace iat::check
+
+#endif // IATSIM_CHECK_APPROX_HH

@@ -4,7 +4,7 @@
  * reference oracles plus live invariant checks, with automatic
  * shrinking of failures to a minimal replayable repro.
  *
- * Two trial kinds:
+ * Three trial kinds:
  *
  *  - fuzzLlcTrial(): a random cache geometry, a random CLOS / RMID /
  *    DDIO configuration, and a stream of mixed operations (batched
@@ -19,13 +19,22 @@
  *    invariants (check/invariants.hh) after every daemon tick while a
  *    DiffHarness shadows all cache traffic.
  *
- * Both trials draw every decision from one xoshiro stream seeded with
+ *  - fuzzApproxTrial(): a random geometry and a random set-sampling
+ *    period K, driving the *same* randomized op stream through an
+ *    exact SlicedLlc and an approximate one, then applying the
+ *    statistical acceptance band (check/approx.hh) -- deterministic
+ *    op counts must match exactly, figure metrics within epsilon.
+ *
+ * All trials draw every decision from one xoshiro stream seeded with
  * the trial seed, and each loop iteration consumes draws independent
  * of the total iteration count, so the operation stream is
  * prefix-stable: a failure first observed at iteration k reproduces
  * in any run of >= k iterations. That makes failure monotone in the
- * iteration count, and the shrinkers exploit it with a plain binary
- * search for the exact minimal count.
+ * iteration count for the *differential* trials, and the shrinkers
+ * exploit it with a plain binary search for the exact minimal count.
+ * Approx-band failures are NOT monotone -- a statistical band can
+ * pass at k ops and fail at k+1 -- so fuzz_approx repros replay at
+ * the original count without shrinking.
  *
  * Shrunk failures serialize to an experiment spec (`sweep = fuzz_llc`
  * or `fuzz_world`, `seed_mode = shared`, `ops` constant), so a CI
@@ -64,6 +73,17 @@ std::string fuzzLlcTrial(std::uint64_t seed, std::uint64_t ops,
 std::string fuzzWorldTrial(std::uint64_t seed,
                            std::uint64_t iterations,
                            const fault::FaultPlan *plan = nullptr);
+
+/**
+ * One exact-vs-approx acceptance trial: @p ops loop iterations of an
+ * identical randomized op stream into an exact and a set-sampled
+ * SlicedLlc, then the acceptance band of check/approx.hh. The
+ * sampling period is seed-derived from {2, 4, 8, 16} unless
+ * @p approx_k forces one. Returns an empty string on success, else
+ * the first sanity or band violation.
+ */
+std::string fuzzApproxTrial(std::uint64_t seed, std::uint64_t ops,
+                            unsigned approx_k = 0);
 
 /** A shrunk failure: the minimal iteration count and its violation. */
 struct ShrunkFailure

@@ -78,8 +78,11 @@ Stage::serviceOne(double now)
     Ring *best = nullptr;
     double best_ready = kInf;
     const std::size_t n = inputs_.size();
+    std::size_t idx = rr_;
     for (std::size_t k = 0; k < n; ++k) {
-        Ring *ring = inputs_[(rr_ + k) % n];
+        Ring *ring = inputs_[idx];
+        if (++idx == n)
+            idx = 0;
         if (ring->empty())
             continue;
         if (ring->headReady() < best_ready) {
@@ -89,7 +92,7 @@ Stage::serviceOne(double now)
     }
     IAT_ASSERT(best != nullptr, "serviceOne on starved stage '%s'",
                name_.c_str());
-    rr_ = (rr_ + 1) % n;
+    rr_ = rr_ + 1 == n ? 0 : rr_ + 1;
 
     accountIdle(now);
     Packet pkt = best->pop();

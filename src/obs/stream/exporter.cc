@@ -64,8 +64,18 @@ StreamDispatcher::sinkStats() const
     std::vector<SinkStats> out;
     out.reserve(sinks_.size());
     for (const auto &sink : sinks_)
-        out.push_back(SinkStats{sink.exporter->name(), sink.handled});
+        out.push_back(SinkStats{sink.exporter->name(), sink.handled,
+                                sink.exporter->dropped()});
     return out;
+}
+
+std::uint64_t
+StreamDispatcher::droppedTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sink : sinks_)
+        total += sink.exporter->dropped();
+    return total;
 }
 
 } // namespace iat::obs::stream

@@ -51,6 +51,16 @@ class Exporter
 
     /** Push buffered bytes to durable/visible form; default no-op. */
     virtual void flush() {}
+
+    /**
+     * Records this sink accepted but could not deliver (slow
+     * subscriber, full buffer, write error). Most sinks never drop;
+     * the default is 0. Surfaced per sink in the service's `stats`
+     * reply and summed into the stream.dropped gauge -- silent loss
+     * in a telemetry pipeline is the one failure mode an operator
+     * cannot see from the data itself.
+     */
+    virtual std::uint64_t dropped() const { return 0; }
 };
 
 /** Convenience base: filter by a kind bitmask. */
@@ -79,6 +89,7 @@ struct SinkStats
 {
     const char *name = "";
     std::uint64_t handled = 0;
+    std::uint64_t dropped = 0; ///< Exporter::dropped() at snapshot
 };
 
 /** The fan-out point; see file comment. */
@@ -111,6 +122,9 @@ class StreamDispatcher
 
     /** Per-sink handled counts, in registration order. */
     std::vector<SinkStats> sinkStats() const;
+
+    /** Sum of every sink's dropped() -- the stream.dropped gauge. */
+    std::uint64_t droppedTotal() const;
 
   private:
     struct Sink

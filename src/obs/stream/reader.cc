@@ -29,6 +29,15 @@ stringOr(const json::Value *v, const std::string &def)
                                                      : def;
 }
 
+int
+indexIn(const std::vector<ReadColumn> &cols, const std::string &name)
+{
+    for (std::size_t i = 0; i < cols.size(); ++i)
+        if (cols[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
 void
 parseLine(const std::string &line, StreamLog &log)
 {
@@ -41,8 +50,9 @@ parseLine(const std::string &line, StreamLog &log)
     const double t = numberOr(root->find("t_seconds"), 0.0);
 
     if (kind == "header") {
-        log.columns.clear();
         ++log.header_count;
+        log.sessions.emplace_back();
+        auto &table = log.sessions.back();
         if (const auto *cols = root->find("columns");
             cols && cols->kind == json::Value::Kind::Array) {
             for (const auto &item : cols->items) {
@@ -50,22 +60,29 @@ parseLine(const std::string &line, StreamLog &log)
                 col.name = stringOr(item->find("name"), "");
                 col.semantics =
                     stringOr(item->find("semantics"), "");
-                log.columns.push_back(std::move(col));
+                table.push_back(std::move(col));
             }
         }
+        log.columns = table; // compat: last header seen
         return;
     }
     if (kind == "sample") {
+        // Samples before any header get an implicit empty session.
+        if (log.sessions.empty())
+            log.sessions.emplace_back();
+        const std::size_t session = log.sessions.size() - 1;
+        const auto &table = log.sessions[session];
         ReadSample sample;
         sample.t_seconds = t;
+        sample.session = session;
         // Values arrive keyed by column name; align them with the
-        // declared header order (columns the header never declared
-        // are appended blindly -- the tests catch that mismatch).
-        sample.values.assign(log.columns.size(), 0.0);
+        // session's declared header order (columns the header never
+        // declared are appended blindly -- tests catch the mismatch).
+        sample.values.assign(table.size(), 0.0);
         if (const auto *values = root->find("values");
             values && values->kind == json::Value::Kind::Object) {
             for (const auto &member : values->members) {
-                const int idx = log.columnIndex(member.first);
+                const int idx = indexIn(table, member.first);
                 const double v = numberOr(member.second.get(), 0.0);
                 if (idx >= 0)
                     sample.values[static_cast<std::size_t>(idx)] = v;
@@ -88,21 +105,23 @@ parseLine(const std::string &line, StreamLog &log)
 int
 StreamLog::columnIndex(const std::string &name) const
 {
-    for (std::size_t i = 0; i < columns.size(); ++i)
-        if (columns[i].name == name)
-            return static_cast<int>(i);
-    return -1;
+    return indexIn(columns, name);
 }
 
 double
 StreamLog::value(std::size_t row, const std::string &name) const
 {
-    const int idx = columnIndex(name);
-    if (idx < 0 || row >= samples.size())
+    if (row >= samples.size())
         return 0.0;
-    const auto &values = samples[row].values;
+    const auto &sample = samples[row];
+    const auto &table = sample.session < sessions.size()
+                            ? sessions[sample.session]
+                            : columns;
+    const int idx = indexIn(table, name);
+    if (idx < 0)
+        return 0.0;
     const auto i = static_cast<std::size_t>(idx);
-    return i < values.size() ? values[i] : 0.0;
+    return i < sample.values.size() ? sample.values[i] : 0.0;
 }
 
 bool

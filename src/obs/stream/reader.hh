@@ -33,7 +33,9 @@ struct ReadColumn
 struct ReadSample
 {
     double t_seconds = 0.0;
-    std::vector<double> values; ///< aligned with StreamLog::columns
+    /** Which column table (StreamLog::sessions index) values follow. */
+    std::size_t session = 0;
+    std::vector<double> values; ///< aligned with sessions[session]
 };
 
 /** One parsed non-sample record, kept loosely typed. */
@@ -48,16 +50,30 @@ struct ReadEvent
 struct StreamLog
 {
     std::vector<ReadColumn> columns; ///< from the last header seen
+    /**
+     * One column table per session. A header record opens a new
+     * session (a restarted service appends to the same file, so one
+     * stream may carry several headers with different column sets or
+     * orders); samples before any header get an implicit empty
+     * session 0. Each sample records which table its values follow,
+     * so value() stays correct across a mid-file header instead of
+     * resolving every row against the final header.
+     */
+    std::vector<std::vector<ReadColumn>> sessions;
     std::vector<ReadSample> samples;
     std::vector<ReadEvent> events; ///< trace/health/lifecycle
     std::size_t header_count = 0;
     std::size_t bad_lines = 0;
     bool truncated_tail = false; ///< final line had no newline/parse
 
-    /** Index of @p name in columns; -1 when absent. */
+    /** Index of @p name in the last header's columns; -1 if absent. */
     int columnIndex(const std::string &name) const;
 
-    /** Value of column @p name in sample @p row; 0 when absent. */
+    /**
+     * Value of column @p name in sample @p row; 0 when absent. The
+     * name is resolved against the column table of the session the
+     * sample belongs to, not the last header.
+     */
     double value(std::size_t row, const std::string &name) const;
 
     /** Are sample timestamps strictly increasing? */

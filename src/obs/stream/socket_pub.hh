@@ -51,7 +51,7 @@ class SocketPublisher final : public KindFilteredExporter
     std::size_t subscriberCount() const { return clients_.size(); }
     std::uint64_t accepted() const { return accepted_; }
     std::uint64_t sent() const { return sent_; }
-    std::uint64_t dropped() const { return dropped_; }
+    std::uint64_t dropped() const override { return dropped_; }
     std::uint64_t disconnects() const { return disconnects_; }
 
   private:

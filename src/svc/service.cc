@@ -175,6 +175,13 @@ Service::buildStream()
 
     // Incremental emission with bounded in-memory buffers: the
     // stream carries history, memory holds a window.
+    // Pipeline-loss gauge: any sink shedding records (a stalled
+    // subscriber, a failing file write) shows up in the time series
+    // itself, not only in an operator-polled stats reply.
+    telemetry_->metrics().gauge("stream.dropped", [this] {
+        return static_cast<double>(dispatcher_.droppedTotal());
+    });
+
     auto &sampler = telemetry_->sampler();
     sampler.setRowLimit(cfg_.sampler_row_limit);
     sampler.setStream(&dispatcher_);
@@ -371,7 +378,8 @@ Service::cmdStats()
         if (i)
             sinks += ',';
         sinks += "{\"name\":" + jstr(sink_stats[i].name) +
-                 ",\"handled\":" + jnum(sink_stats[i].handled) + '}';
+                 ",\"handled\":" + jnum(sink_stats[i].handled) +
+                 ",\"dropped\":" + jnum(sink_stats[i].dropped) + '}';
     }
     sinks += ']';
 
@@ -390,6 +398,7 @@ Service::cmdStats()
            ",\"core_reads\":" + jnum(traffic_->coreReads()) + '}';
     out += ",\"stream\":{\"published\":" +
            jnum(dispatcher_.published()) +
+           ",\"dropped\":" + jnum(dispatcher_.droppedTotal()) +
            ",\"samples\":" +
            jnum(telemetry_->sampler().totalSamples()) +
            ",\"sinks\":" + sinks + '}';

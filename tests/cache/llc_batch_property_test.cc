@@ -35,6 +35,12 @@ struct TraceCase
     unsigned sets;
     unsigned ways;
     std::uint64_t seed;
+    /** Set-sampling period (1 = exact). The batched paths promise
+     *  state equivalence in approx mode too: the slice-binned walk
+     *  preserves per-slice op order, so the estimator draw sequences
+     *  -- and therefore every sampled verdict -- match the scalar
+     *  paths draw for draw. */
+    unsigned approx = 1;
 };
 
 class LlcBatchEquivalence : public testing::TestWithParam<TraceCase>
@@ -94,8 +100,8 @@ TEST_P(LlcBatchEquivalence, BatchedPathsMatchScalarExactly)
     geom.num_ways = param.ways;
     geom.line_bytes = kLineBytes;
 
-    SlicedLlc scalar(geom, 2);
-    SlicedLlc batched(geom, 2);
+    SlicedLlc scalar(geom, 2, param.approx);
+    SlicedLlc batched(geom, 2, param.approx);
     configure(scalar);
     configure(batched);
 
@@ -203,8 +209,8 @@ TEST_P(LlcBatchEquivalence, BatchedPathsMatchWithDdioDisabled)
     geom.num_ways = param.ways;
     geom.line_bytes = kLineBytes;
 
-    SlicedLlc scalar(geom, 2);
-    SlicedLlc batched(geom, 2);
+    SlicedLlc scalar(geom, 2, param.approx);
+    SlicedLlc batched(geom, 2, param.approx);
     configure(scalar);
     configure(batched);
     scalar.setDdioEnabled(false);
@@ -250,11 +256,18 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Values(TraceCase{1, 64, 4, 1},
                     TraceCase{4, 128, 11, 2},
                     TraceCase{8, 64, 16, 3},
-                    TraceCase{2, 32, 12, 4}),
+                    TraceCase{2, 32, 12, 4},
+                    // Set-sampled configs: same contract, the dense
+                    // storage and estimator paths both batched.
+                    TraceCase{4, 128, 11, 5, 4},
+                    TraceCase{8, 64, 16, 6, 16},
+                    TraceCase{2, 32, 12, 7, 2},
+                    TraceCase{1, 64, 4, 8, 4}),
     [](const testing::TestParamInfo<TraceCase> &tpi) {
         return "s" + std::to_string(tpi.param.slices) + "x" +
                std::to_string(tpi.param.sets) + "x" +
-               std::to_string(tpi.param.ways);
+               std::to_string(tpi.param.ways) + "k" +
+               std::to_string(tpi.param.approx);
     });
 
 } // namespace

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the statistical acceptance band of the approximate LLC:
+ * a well-formed twin passes, identical exact instances measure zero
+ * error, diverged op streams trip the deterministic sanity checks,
+ * and a zero-width band exposes the (real, bounded) sampling error.
+ */
+
+#include "check/approx.hh"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cache/llc.hh"
+#include "util/rng.hh"
+
+namespace iat::check {
+namespace {
+
+using cache::AccessType;
+
+cache::CacheGeometry
+bandGeom()
+{
+    cache::CacheGeometry geom;
+    geom.num_slices = 2;
+    geom.sets_per_slice = 256;
+    geom.num_ways = 8;
+    return geom;
+}
+
+/** Mixed demand/DDIO stream applied to both instances op for op. */
+void
+driveBoth(cache::SlicedLlc &exact, cache::SlicedLlc &approx,
+          std::uint64_t seed, unsigned ops)
+{
+    iat::Rng rng(seed);
+    const unsigned cores = exact.numCores();
+    for (unsigned i = 0; i < ops; ++i) {
+        const auto addr = static_cast<cache::Addr>(
+            rng.below(4 * bandGeom().totalLines()) * 64);
+        const auto core =
+            static_cast<cache::CoreId>(rng.below(cores));
+        switch (rng.below(5)) {
+        case 0:
+        case 1:
+            exact.coreAccess(core, addr, AccessType::Read);
+            approx.coreAccess(core, addr, AccessType::Read);
+            break;
+        case 2:
+            exact.coreAccess(core, addr, AccessType::Write);
+            approx.coreAccess(core, addr, AccessType::Write);
+            break;
+        case 3:
+            exact.ddioWrite(addr, 0);
+            approx.ddioWrite(addr, 0);
+            break;
+        default:
+            exact.deviceRead(addr, 0);
+            approx.deviceRead(addr, 0);
+            break;
+        }
+    }
+}
+
+/**
+ * Band for unit-test-sized streams. The production defaults are
+ * calibrated for the long simspeed runs (millions of events); a
+ * 40k-op stream on a small cache carries more sampling variance, so
+ * these tests mirror the fuzzer's widened short-stream band
+ * (src/check/fuzz.cc, fuzzApproxTrial).
+ */
+ApproxBand
+shortStreamBand(unsigned k)
+{
+    ApproxBand band;
+    band.hit_rate_eps = 0.10;
+    band.writeback_rel_eps = 0.35;
+    band.occupancy_rel_eps = 0.35;
+    band.min_rate_events = 500 * k;
+    band.min_occupancy_lines = 128 * k;
+    return band;
+}
+
+TEST(ApproxBand, SampledTwinPassesTheShortStreamBand)
+{
+    const auto geom = bandGeom();
+    cache::SlicedLlc exact(geom, 2);
+    cache::SlicedLlc approx(geom, 2, 4);
+    exact.assocCoreRmid(0, 3);
+    approx.assocCoreRmid(0, 3);
+    driveBoth(exact, approx, 11, 40000);
+    EXPECT_EQ(compareApproxLlc(exact, approx, shortStreamBand(4)),
+              "");
+}
+
+TEST(ApproxBand, IdenticalExactInstancesMeasureZeroError)
+{
+    const auto geom = bandGeom();
+    cache::SlicedLlc a(geom, 2);
+    cache::SlicedLlc b(geom, 2);
+    driveBoth(a, b, 23, 20000);
+
+    const ApproxErrors err = measureApproxErrors(a, b);
+    EXPECT_DOUBLE_EQ(err.demand_hit_rate_err, 0.0);
+    EXPECT_DOUBLE_EQ(err.ddio_hit_rate_err, 0.0);
+    EXPECT_DOUBLE_EQ(err.writeback_rel_err, 0.0);
+    EXPECT_DOUBLE_EQ(err.occupancy_rel_err, 0.0);
+    EXPECT_EQ(err.writebacks_exact, err.writebacks_approx);
+    EXPECT_GT(err.demand_refs, 0u);
+    EXPECT_EQ(compareApproxLlc(a, b), "");
+}
+
+TEST(ApproxBand, DivergedOpStreamsTripTheDeterministicChecks)
+{
+    const auto geom = bandGeom();
+    cache::SlicedLlc exact(geom, 2);
+    cache::SlicedLlc approx(geom, 2, 4);
+    driveBoth(exact, approx, 31, 10000);
+    // One extra op into the approx side only: the per-slice lookup
+    // equality must catch it no matter what the draws did.
+    approx.coreAccess(0, 64, AccessType::Read);
+
+    const std::string violation = compareApproxLlc(exact, approx);
+    ASSERT_NE(violation, "");
+    EXPECT_NE(violation.find("diverge"), std::string::npos)
+        << violation;
+}
+
+TEST(ApproxBand, ZeroWidthBandExposesSamplingError)
+{
+    // Sampling error is real; it is the band that absorbs it. With
+    // epsilon zero and the event floors lowered, the comparison must
+    // report an off-band rate rather than pretend exactness.
+    const auto geom = bandGeom();
+    cache::SlicedLlc exact(geom, 2);
+    cache::SlicedLlc approx(geom, 2, 8);
+    driveBoth(exact, approx, 47, 40000);
+
+    ApproxBand zero;
+    zero.hit_rate_eps = 0.0;
+    zero.writeback_rel_eps = 0.0;
+    zero.occupancy_rel_eps = 0.0;
+    zero.min_rate_events = 1;
+    zero.min_occupancy_lines = 1;
+    const std::string violation =
+        compareApproxLlc(exact, approx, zero);
+    ASSERT_NE(violation, "");
+    EXPECT_NE(violation.find("off band"), std::string::npos)
+        << violation;
+}
+
+TEST(ApproxBand, MeasuredErrorsSitInsideTheShortStreamBand)
+{
+    const auto geom = bandGeom();
+    cache::SlicedLlc exact(geom, 2);
+    cache::SlicedLlc approx(geom, 2, 16);
+    driveBoth(exact, approx, 53, 60000);
+
+    const ApproxBand band = shortStreamBand(16);
+    const ApproxErrors err = measureApproxErrors(exact, approx);
+    EXPECT_LT(err.demand_hit_rate_err, band.hit_rate_eps);
+    EXPECT_LT(err.ddio_hit_rate_err, band.hit_rate_eps);
+    if (err.writebacks_exact >= band.min_rate_events) {
+        EXPECT_LT(err.writeback_rel_err, band.writeback_rel_eps);
+    }
+}
+
+} // namespace
+} // namespace iat::check

@@ -102,6 +102,44 @@ TEST(StreamDispatcher, FansOutByKindMask)
     EXPECT_EQ(all.flushes, 1u);
 }
 
+TEST(StreamDispatcher, SurfacesPerSinkAndTotalDrops)
+{
+    /** Sink that accepts records but fails to deliver odd ones. */
+    class LossyExporter final : public Exporter
+    {
+      public:
+        const char *name() const override { return "lossy"; }
+        void
+        handle(const StreamRecord &record) override
+        {
+            (void)record;
+            if (++seen_ % 2)
+                ++dropped_;
+        }
+        std::uint64_t dropped() const override { return dropped_; }
+
+      private:
+        std::uint64_t seen_ = 0;
+        std::uint64_t dropped_ = 0;
+    };
+
+    StreamDispatcher dispatcher;
+    CaptureExporter lossless;
+    LossyExporter lossy;
+    dispatcher.add(&lossless);
+    dispatcher.add(&lossy);
+
+    for (int i = 0; i < 4; ++i)
+        dispatcher.publish(makeRecord(StreamKind::Sample, i));
+
+    const auto stats = dispatcher.sinkStats();
+    ASSERT_EQ(stats.size(), 2u);
+    EXPECT_EQ(stats[0].dropped, 0u);
+    EXPECT_EQ(stats[1].handled, 4u);
+    EXPECT_EQ(stats[1].dropped, 2u);
+    EXPECT_EQ(dispatcher.droppedTotal(), 2u);
+}
+
 TEST(RingBufferExporter, EvictsOldestAndIndexesFromNewest)
 {
     RingBufferExporter ring(3, kAllKinds);
@@ -222,6 +260,53 @@ TEST(StreamRoundTrip, SamplerHeaderAndRowsSurviveFileAndReader)
     EXPECT_DOUBLE_EQ(log.value(0, "req.lat.count"), 1.0);
     EXPECT_DOUBLE_EQ(log.value(1, "req.lat.count"), 1.0);
     EXPECT_DOUBLE_EQ(log.value(1, "req.lat.mean"), 6.0);
+}
+
+TEST(StreamRoundTrip, SecondHeaderMidFileKeepsEarlierRowsResolvable)
+{
+    // A restarted service appends a fresh header to the same stream
+    // file, with columns renamed and reordered. Rows from the first
+    // session must still resolve by name against the *first* header,
+    // not be silently re-read through the second header's order.
+    const std::string text =
+        "{\"kind\":\"header\",\"t_seconds\":0.0,\"columns\":["
+        "{\"name\":\"net.rx\",\"semantics\":\"delta\"},"
+        "{\"name\":\"dram.util\",\"semantics\":\"level\"}]}\n"
+        "{\"kind\":\"sample\",\"t_seconds\":0.005,"
+        "\"values\":{\"net.rx\":10,\"dram.util\":1.5}}\n"
+        "{\"kind\":\"sample\",\"t_seconds\":0.010,"
+        "\"values\":{\"net.rx\":5,\"dram.util\":2.5}}\n"
+        // --- restart: dram.util gone, columns reordered, one new ---
+        "{\"kind\":\"header\",\"t_seconds\":0.0,\"columns\":["
+        "{\"name\":\"llc.occ\",\"semantics\":\"level\"},"
+        "{\"name\":\"net.rx\",\"semantics\":\"delta\"}]}\n"
+        "{\"kind\":\"sample\",\"t_seconds\":0.005,"
+        "\"values\":{\"llc.occ\":0.75,\"net.rx\":7}}\n";
+
+    const StreamLog log = parseStream(text);
+    EXPECT_EQ(log.bad_lines, 0u);
+    EXPECT_EQ(log.header_count, 2u);
+    ASSERT_EQ(log.sessions.size(), 2u);
+    ASSERT_EQ(log.samples.size(), 3u);
+    EXPECT_EQ(log.samples[0].session, 0u);
+    EXPECT_EQ(log.samples[1].session, 0u);
+    EXPECT_EQ(log.samples[2].session, 1u);
+
+    // First-session rows read through the first header's table.
+    EXPECT_DOUBLE_EQ(log.value(0, "net.rx"), 10.0);
+    EXPECT_DOUBLE_EQ(log.value(0, "dram.util"), 1.5);
+    EXPECT_DOUBLE_EQ(log.value(1, "net.rx"), 5.0);
+    EXPECT_DOUBLE_EQ(log.value(1, "dram.util"), 2.5);
+    // Second-session rows through the second (reordered) table.
+    EXPECT_DOUBLE_EQ(log.value(2, "net.rx"), 7.0);
+    EXPECT_DOUBLE_EQ(log.value(2, "llc.occ"), 0.75);
+    // A column the sample's session never declared reads as 0.
+    EXPECT_DOUBLE_EQ(log.value(2, "dram.util"), 0.0);
+
+    // `columns` compat alias still mirrors the last header seen.
+    EXPECT_EQ(log.columnIndex("llc.occ"), 0);
+    EXPECT_EQ(log.columnIndex("net.rx"), 1);
+    EXPECT_EQ(log.columnIndex("dram.util"), -1);
 }
 
 TEST(StreamRoundTrip, TruncatedTailToleratedNotCounted)

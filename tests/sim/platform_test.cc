@@ -148,5 +148,118 @@ TEST_F(PlatformTest, CoreTouchZeroBytesFree)
         platform.coreTouch(0, 0, 0, AccessType::Read), 0.0);
 }
 
+PlatformConfig
+approxConfig(unsigned k)
+{
+    PlatformConfig cfg = smallConfig();
+    cfg.llc_approx = k;
+    return cfg;
+}
+
+TEST(PlatformApprox, EveryCoreAccessIsCountedExactlyOnceInL2)
+{
+    // Unsampled lines bypass the exact L2 tag store for an estimated
+    // verdict, but the hit/miss conservation law must survive: each
+    // access lands in exactly one of hits() or misses().
+    Platform exact(smallConfig());
+    Platform approx(approxConfig(4));
+
+    std::uint64_t x = 1;
+    constexpr std::uint64_t kOps = 30000;
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const auto addr =
+            static_cast<cache::Addr>((x % (1u << 16)) * 64);
+        const auto core = static_cast<cache::CoreId>(i & 3);
+        const auto type =
+            (i & 7) == 0 ? AccessType::Write : AccessType::Read;
+        exact.coreAccess(core, addr, type);
+        approx.coreAccess(core, addr, type);
+    }
+
+    std::uint64_t exact_total = 0;
+    std::uint64_t approx_total = 0;
+    for (unsigned c = 0; c < 4; ++c) {
+        exact_total += exact.l2(c).hits() + exact.l2(c).misses();
+        approx_total += approx.l2(c).hits() + approx.l2(c).misses();
+    }
+    EXPECT_EQ(exact_total, kOps);
+    EXPECT_EQ(approx_total, kOps);
+
+    // Figure-level honesty on this stream: machine-wide L2 hit rate
+    // of the sampled world within a coarse band of the exact one.
+    const auto rate = [](Platform &p) {
+        double h = 0, m = 0;
+        for (unsigned c = 0; c < 4; ++c) {
+            h += double(p.l2(c).hits());
+            m += double(p.l2(c).misses());
+        }
+        return h / (h + m);
+    };
+    EXPECT_NEAR(rate(approx), rate(exact), 0.05);
+}
+
+TEST(PlatformApprox, ExactModeKeepsTheEstimatorCold)
+{
+    // With llc_approx == 1 the estimator must stay disabled: no
+    // tallies accumulate, so exact mode pays nothing for the feature.
+    Platform exact(smallConfig());
+    for (int i = 0; i < 500; ++i)
+        exact.coreAccess(0, i * 64, AccessType::Read);
+    const auto reads = exact.l2(0).estView(false);
+    const auto writes = exact.l2(0).estView(true);
+    EXPECT_EQ(reads.hits + reads.misses, 0u);
+    EXPECT_EQ(writes.hits + writes.misses, 0u);
+
+    // The approx platform does tally its sampled accesses.
+    Platform approx(approxConfig(4));
+    for (int i = 0; i < 500; ++i)
+        approx.coreAccess(0, i * 64, AccessType::Read);
+    const auto est = approx.l2(0).estView(false);
+    EXPECT_GT(est.hits + est.misses, 0u);
+}
+
+TEST(PlatformApprox, BulkTouchMatchesScalarAccessState)
+{
+    // The batched walk must consume estimator draws in the same
+    // per-line order as scalar calls: identical streams leave both
+    // platforms with identical cache-model state.
+    Platform scalar(approxConfig(4));
+    Platform bulk(approxConfig(4));
+
+    std::uint64_t x = 99;
+    for (int span = 0; span < 400; ++span) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const auto base = static_cast<cache::Addr>(
+            (x % (1u << 15)) * 64);
+        const std::uint32_t lines = 1 + (x >> 40) % 16;
+        const auto type =
+            (span & 3) == 0 ? AccessType::Write : AccessType::Read;
+        const auto core = static_cast<cache::CoreId>(span & 3);
+        bulk.coreTouch(core, base, lines * 64, type);
+        for (std::uint32_t l = 0; l < lines; ++l)
+            scalar.coreAccess(core, base + l * 64, type);
+    }
+
+    for (unsigned c = 0; c < 4; ++c) {
+        EXPECT_EQ(bulk.l2(c).hits(), scalar.l2(c).hits())
+            << "core " << c;
+        EXPECT_EQ(bulk.l2(c).misses(), scalar.l2(c).misses())
+            << "core " << c;
+        EXPECT_EQ(bulk.llc().coreCounters(c).llc_refs,
+                  scalar.llc().coreCounters(c).llc_refs)
+            << "core " << c;
+        EXPECT_EQ(bulk.llc().coreCounters(c).llc_misses,
+                  scalar.llc().coreCounters(c).llc_misses)
+            << "core " << c;
+    }
+    EXPECT_EQ(bulk.llc().totalWritebacks(),
+              scalar.llc().totalWritebacks());
+}
+
 } // namespace
 } // namespace iat::sim

@@ -91,6 +91,16 @@ TEST(ServiceCommands, StatsReportsWorldAndPipeline)
     const json::Value *stream = v->find("stream");
     ASSERT_NE(stream, nullptr);
     EXPECT_GT(stream->find("samples")->number, 0.0);
+    // Drop accounting is part of the contract: the aggregate gauge
+    // and a per-sink breakdown (all zero for an in-process service
+    // with no slow socket subscribers).
+    ASSERT_NE(stream->find("dropped"), nullptr);
+    EXPECT_DOUBLE_EQ(stream->find("dropped")->number, 0.0);
+    const json::Value *sinks = stream->find("sinks");
+    ASSERT_NE(sinks, nullptr);
+    ASSERT_GE(sinks->items.size(), 1u);
+    for (const auto &sink : sinks->items)
+        ASSERT_NE(sink->find("dropped"), nullptr) << reply;
 }
 
 TEST(ServiceCommands, AttachTenantValidatesThenMutates)
