@@ -17,6 +17,8 @@
  *   fuzz_sim --trials=500                    # fixed trial count
  *   fuzz_sim --budget-seconds=60             # as many as fit in 60 s
  *   fuzz_sim --mode=approx --trials=600      # only approx-band trials
+ *   fuzz_sim --mode=cluster --trials=8       # sharded-world 1-vs-2
+ *                                            # thread determinism
  *   fuzz_sim --fsm-check --trials=100        # model check, then fuzz
  *   fuzz_sim --exp=experiments/chaos.exp     # world trials under the
  *                                            # spec's [fault] plan
@@ -83,6 +85,7 @@ enum class TrialKind
     Llc,
     World,
     Approx,
+    Cluster,
 };
 
 struct FuzzConfig
@@ -93,9 +96,14 @@ struct FuzzConfig
     std::uint64_t llc_ops = 4000;
     std::uint64_t world_ops = 200;
     std::uint64_t approx_ops = 1500;
+    std::uint64_t cluster_epochs = 40;
     bool run_llc = true;
     bool run_world = true;
     bool run_approx = true;
+    /** Cluster trials run each world twice (1 thread, then 2) and
+     *  are much heavier than the rest, so they are opt-in:
+     *  --mode=cluster or --cluster. */
+    bool run_cluster = false;
     std::string out_dir = "fuzz-repros";
     const fault::FaultPlan *plan = nullptr;
     std::vector<std::pair<std::string, std::string>> fault_pairs;
@@ -119,6 +127,8 @@ runFuzz(const FuzzConfig &cfg)
         kinds.push_back(TrialKind::World);
     if (cfg.run_approx)
         kinds.push_back(TrialKind::Approx);
+    if (cfg.run_cluster)
+        kinds.push_back(TrialKind::Cluster);
     IAT_ASSERT(!kinds.empty(), "no trial kinds enabled");
 
     const auto t0 = Clock::now();
@@ -157,6 +167,14 @@ runFuzz(const FuzzConfig &cfg)
                 shrunk.violation = violation;
                 shrunk.kind = "fuzz_approx";
             }
+            break;
+          case TrialKind::Cluster:
+            name = "cluster";
+            violation =
+                check::fuzzClusterTrial(seed, cfg.cluster_epochs);
+            if (!violation.empty())
+                shrunk = check::shrinkClusterFailure(
+                    seed, cfg.cluster_epochs);
             break;
           case TrialKind::Llc:
             violation = check::fuzzLlcTrial(seed, cfg.llc_ops);
@@ -213,6 +231,8 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(args.getInt("world-ops", 200));
     cfg.approx_ops =
         static_cast<std::uint64_t>(args.getInt("approx-ops", 1500));
+    cfg.cluster_epochs = static_cast<std::uint64_t>(
+        args.getInt("cluster-epochs", 40));
     cfg.out_dir = args.getString("out", "fuzz-repros");
 
     const std::string mode = args.getString("mode", "all");
@@ -225,10 +245,20 @@ main(int argc, char **argv)
     } else if (mode == "approx") {
         cfg.run_llc = false;
         cfg.run_world = false;
+    } else if (mode == "cluster") {
+        cfg.run_llc = false;
+        cfg.run_world = false;
+        cfg.run_approx = false;
+        cfg.run_cluster = true;
     } else if (mode != "all") {
-        fatal("--mode expects llc, world, approx or all, got '%s'",
+        fatal("--mode expects llc, world, approx, cluster or all, "
+              "got '%s'",
               mode.c_str());
     }
+    // "all" keeps cluster trials out unless asked for by flag (they
+    // cost two full multi-host worlds each).
+    if (args.getBool("cluster", false))
+        cfg.run_cluster = true;
 
     // --exp=<spec>: a fuzz repro spec replays its exact trial (the
     // shared seed verbatim, the shrunk `ops` count); any other spec
@@ -243,7 +273,8 @@ main(int argc, char **argv)
         if (plan.any())
             cfg.plan = &plan;
         if (spec.sweep == "fuzz_llc" || spec.sweep == "fuzz_world" ||
-            spec.sweep == "fuzz_approx") {
+            spec.sweep == "fuzz_approx" ||
+            spec.sweep == "fuzz_cluster") {
             std::uint64_t ops = 0;
             for (const auto &[key, value] : spec.constants) {
                 if (key == "ops")
@@ -256,6 +287,8 @@ main(int argc, char **argv)
                 violation = check::fuzzLlcTrial(spec.seed, ops);
             else if (spec.sweep == "fuzz_approx")
                 violation = check::fuzzApproxTrial(spec.seed, ops);
+            else if (spec.sweep == "fuzz_cluster")
+                violation = check::fuzzClusterTrial(spec.seed, ops);
             else
                 violation =
                     check::fuzzWorldTrial(spec.seed, ops, cfg.plan);

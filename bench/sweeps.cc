@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "check/fuzz.hh"
+#include "cluster/world.hh"
 #include "scenarios/agg_testpmd.hh"
 #include "scenarios/l3fwd.hh"
 #include "scenarios/slicing_pmd_xmem.hh"
@@ -429,7 +430,102 @@ chaosTrial(const exp::TrialContext &ctx)
     return result;
 }
 
+/**
+ * Cluster trial: a sharded multi-host world (cluster/world.hh) under
+ * one placement policy. The `threads` parameter is the world's
+ * worker-thread count -- declared as a param so the campaign runner
+ * caps its own job count (jobs x threads <= machine) and the record
+ * carries it. Every metric is a simulation counter, so records stay
+ * bit-identical across --jobs and across `threads` (the epoch-barrier
+ * determinism contract).
+ */
+exp::TrialResult
+clusterTrial(const exp::TrialContext &ctx)
+{
+    cluster::ClusterConfig cfg;
+    cfg.shards =
+        static_cast<unsigned>(ctx.getInt("shards", 2));
+    cfg.threads =
+        static_cast<unsigned>(ctx.getInt("threads", 1));
+    cfg.batch_tenants =
+        static_cast<unsigned>(ctx.getInt("batch_tenants", 2));
+    const std::string policy = ctx.getString("policy", "static");
+    if (!cluster::parsePlacePolicy(policy, cfg.scheduler.policy))
+        throw std::runtime_error("unknown placement policy '" +
+                                 policy + "'");
+    // A genuine both-tenants-on-one-host imbalance shows a sustained
+    // load spread around 0.45; single-epoch gauge transients reach
+    // about 0.1 through the EWMA. The margin sits between the two.
+    cfg.scheduler.margin = ctx.getDouble("margin", 0.20);
+    // The cooldown must outlast the world's load-EWMA settle time
+    // (about five epochs at alpha 0.2) or the scheduler acts on
+    // stale load and ping-pongs tenants between hosts.
+    cfg.scheduler.cooldown_epochs =
+        static_cast<std::uint64_t>(ctx.getInt("cooldown", 12));
+    cfg.shard.rate_pps = ctx.getDouble("rate_mpps", 1.5) * 1e6;
+    cfg.shard.remote_rate_pps =
+        ctx.getDouble("remote_rate_mpps", 0.5) * 1e6;
+    // Batch tenants must stream from DRAM for placement to matter:
+    // the default working set exceeds the whole LLC, so their
+    // bandwidth shows up as dram.utilization wherever they land.
+    cfg.shard.batch_ws_bytes =
+        static_cast<std::uint64_t>(ctx.getInt("batch_ws_mib", 48))
+        << 20;
+    cfg.shard.seed = ctx.seed;
+
+    const auto epochs = std::max<std::int64_t>(
+        20, static_cast<std::int64_t>(
+                static_cast<double>(ctx.getInt("epochs", 400)) *
+                ctx.scale));
+    cluster::ClusterWorld world(cfg);
+    world.run(static_cast<double>(epochs) * cfg.epoch_seconds);
+
+    exp::TrialResult result;
+    std::uint64_t tx = 0, rx = 0, drops = 0, remote = 0;
+    for (unsigned s = 0; s < world.shardCount(); ++s) {
+        auto &shard = world.shard(s);
+        tx += shard.world().txPackets();
+        rx += shard.world().rxPackets();
+        drops += shard.world().totalDrops();
+        remote += shard.remotePackets();
+        const std::string host = "host" + std::to_string(s);
+        result.add(host + ".remote_p99_us",
+                   shard.hostLatency().percentile(0.99) * 1e6);
+        result.add(host + ".remote_mean_us",
+                   shard.hostLatency().mean() * 1e6);
+        result.add(host + ".e2e_p99_us",
+                   shard.remoteLatency().percentile(0.99) * 1e6);
+        result.add(host + ".dram_util",
+                   shard.gauge("dram.utilization"));
+    }
+    result.add("remote_p99_us_worst", world.remoteP99() * 1e6);
+    result.add("tx_packets", static_cast<double>(tx));
+    result.add("rx_packets", static_cast<double>(rx));
+    result.add("drops", static_cast<double>(drops));
+    result.add("remote_packets", static_cast<double>(remote));
+    result.add("migrations",
+               static_cast<double>(
+                   world.scheduler().migrations().size()));
+    result.add("fabric_routed",
+               static_cast<double>(world.fabric().framesRouted()));
+    result.add("fabric_delivered",
+               static_cast<double>(
+                   world.fabric().framesDelivered()));
+    return result;
+}
+
 } // namespace
+
+void
+registerClusterSweeps(exp::TrialRegistry &registry)
+{
+    registry.add("cluster",
+                 "sharded multi-host world; params policy "
+                 "(static|load), shards, threads, batch_tenants, "
+                 "epochs, margin, rate_mpps, remote_rate_mpps, "
+                 "batch_ws_mib",
+                 clusterTrial);
+}
 
 void
 registerPaperSweeps(exp::TrialRegistry &registry)
@@ -504,6 +600,20 @@ fuzzApproxSweepTrial(const exp::TrialContext &ctx)
     return result;
 }
 
+/** One sharded-world determinism trial; throws on divergence. */
+exp::TrialResult
+fuzzClusterSweepTrial(const exp::TrialContext &ctx)
+{
+    const auto ops =
+        static_cast<std::uint64_t>(ctx.getInt("ops", 40));
+    const auto violation = check::fuzzClusterTrial(ctx.seed, ops);
+    if (!violation.empty())
+        throw std::runtime_error(violation);
+    exp::TrialResult result;
+    result.add("ops", static_cast<double>(ops));
+    return result;
+}
+
 } // namespace
 
 void
@@ -521,6 +631,10 @@ registerValidationSweeps(exp::TrialRegistry &registry)
                  "exact-vs-approx LLC acceptance-band trial; params "
                  "ops, approx_k (0 = seed-derived)",
                  fuzzApproxSweepTrial);
+    registry.add("fuzz_cluster",
+                 "sharded-world 1-vs-2 thread determinism trial; "
+                 "param ops (epochs)",
+                 fuzzClusterSweepTrial);
 }
 
 } // namespace iat::bench

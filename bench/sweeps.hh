@@ -159,9 +159,20 @@ ChaosResult chaosRunCase(Policy policy, const fault::FaultPlan &plan,
 void registerPaperSweeps(exp::TrialRegistry &registry);
 
 /**
+ * Register the "cluster" sweep: a sharded multi-host world
+ * (cluster/world.hh) under one placement policy, reporting per-host
+ * and worst remote-path p99, packet totals, migration count and
+ * fabric counters. The `threads` parameter declares the world's
+ * worker threads so the campaign runner can cap its own jobs.
+ */
+void registerClusterSweeps(exp::TrialRegistry &registry);
+
+/**
  * Register the validation sweeps backing the fuzzer's repro files:
- * "fuzz_llc" (differential LLC trial, param `ops`) and "fuzz_world"
- * (daemon world trial, param `ops` plus optional `fault.*` knobs).
+ * "fuzz_llc" (differential LLC trial, param `ops`), "fuzz_world"
+ * (daemon world trial, param `ops` plus optional `fault.*` knobs)
+ * and "fuzz_cluster" (sharded-world 1-vs-2 thread determinism,
+ * param `ops` = epochs).
  * A trial throws on a mismatch, so the campaign runner records the
  * violation verbatim in the JSONL error field.
  */

@@ -17,6 +17,7 @@
 #include "check/approx.hh"
 #include "check/diff.hh"
 #include "check/invariants.hh"
+#include "cluster/world.hh"
 #include "core/daemon.hh"
 #include "core/tenant.hh"
 #include "rdt/msr.hh"
@@ -636,6 +637,148 @@ fuzzWorldTrial(std::uint64_t seed, std::uint64_t iterations,
 namespace {
 
 /**
+ * Seed-derived cluster shape: small enough that a trial stays cheap,
+ * varied enough to cover 2- and 3-shard routing, both batch-tenant
+ * counts that do and do not fill the hot shard, and a live LoadAware
+ * scheduler (Static never migrates, so LoadAware is strictly the
+ * bigger surface).
+ */
+cluster::ClusterConfig
+clusterConfigFromSeed(std::uint64_t seed)
+{
+    Rng rng(seed);
+
+    cluster::ClusterConfig cfg;
+    cfg.shards = 2 + static_cast<unsigned>(rng.below(2));
+    cfg.epoch_seconds = 500e-6;
+    cfg.fabric.latency_seconds =
+        2e-6 * (1 + static_cast<double>(rng.below(4)));
+    cfg.scheduler.policy = cluster::PlacePolicy::LoadAware;
+    cfg.scheduler.margin = 0.02 + 0.02 * static_cast<double>(
+                                             rng.below(4));
+    cfg.scheduler.cooldown_epochs = 2 + rng.below(4);
+    cfg.batch_tenants = 1 + static_cast<unsigned>(rng.below(3));
+
+    cfg.shard.containers = 1;
+    cfg.shard.batch_slots = 2;
+    cfg.shard.batch_ws_bytes = 1u << 20;
+    cfg.shard.rate_pps = 4e5 + 1e5 * static_cast<double>(rng.below(4));
+    cfg.shard.flows = 4 + rng.below(12);
+    cfg.shard.ring_entries = 128;
+    cfg.shard.remote_rate_pps =
+        2e5 + 1e5 * static_cast<double>(rng.below(4));
+    cfg.shard.remote_frame_bytes = 256;
+    cfg.shard.llc_approx = rng.below(2) ? 8 : 1;
+    cfg.shard.seed = seed;
+    return cfg;
+}
+
+/** Conservation + placement invariants of one finished cluster. */
+std::string
+checkClusterInvariants(cluster::ClusterWorld &world)
+{
+    auto &fabric = world.fabric();
+    std::uint64_t in_flight = 0;
+    for (unsigned s = 0; s < world.shardCount(); ++s)
+        in_flight += fabric.inFlight(s);
+    if (fabric.framesDelivered() + in_flight !=
+        fabric.framesRouted()) {
+        return "fabric conservation: delivered " +
+               std::to_string(fabric.framesDelivered()) +
+               " + in-flight " + std::to_string(in_flight) +
+               " != routed " +
+               std::to_string(fabric.framesRouted());
+    }
+
+    auto &sched = world.scheduler();
+    std::vector<unsigned> occupancy(world.shardCount(), 0);
+    for (std::size_t t = 0; t < sched.tenantCount(); ++t) {
+        const unsigned shard = sched.shardOf(t);
+        if (shard >= world.shardCount()) {
+            return "tenant " + std::to_string(t) +
+                   " placed on nonexistent shard " +
+                   std::to_string(shard);
+        }
+        ++occupancy[shard];
+    }
+    for (unsigned s = 0; s < world.shardCount(); ++s) {
+        if (occupancy[s] > world.shard(s).batchSlots()) {
+            return "shard " + std::to_string(s) + " hosts " +
+                   std::to_string(occupancy[s]) + " tenants but has " +
+                   std::to_string(world.shard(s).batchSlots()) +
+                   " slots";
+        }
+        const unsigned free = sched.freeSlots(s);
+        const unsigned slots = world.shard(s).batchSlots();
+        if (occupancy[s] + free != slots) {
+            return "shard " + std::to_string(s) + " occupancy " +
+                   std::to_string(occupancy[s]) + " + free " +
+                   std::to_string(free) + " != slots " +
+                   std::to_string(slots);
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+std::string
+fuzzClusterTrial(std::uint64_t seed, std::uint64_t epochs)
+{
+    const auto cfg = clusterConfigFromSeed(seed);
+    const double seconds =
+        static_cast<double>(epochs) * cfg.epoch_seconds;
+
+    // The single-threaded reference and the 2-thread run of the same
+    // configuration. Everything nondeterministic a threading bug
+    // could perturb -- counters, allocator masks, stream records,
+    // migration history -- is folded into the digest.
+    cluster::ClusterConfig ref_cfg = cfg;
+    ref_cfg.threads = 1;
+    cluster::ClusterWorld ref(ref_cfg);
+    ref.run(seconds);
+
+    cluster::ClusterConfig par_cfg = cfg;
+    par_cfg.threads = 2;
+    cluster::ClusterWorld par(par_cfg);
+    par.run(seconds);
+
+    const auto ref_digest = ref.digest();
+    const auto par_digest = par.digest();
+    if (ref_digest != par_digest) {
+        // Point at the first diverging line so the shrunk repro says
+        // which shard (or the fabric) went nondeterministic.
+        std::size_t pos = 0;
+        while (pos < ref_digest.size() && pos < par_digest.size() &&
+               ref_digest[pos] == par_digest[pos]) {
+            ++pos;
+        }
+        const std::size_t line_start =
+            ref_digest.rfind('\n', pos) == std::string::npos
+                ? 0
+                : ref_digest.rfind('\n', pos) + 1;
+        return prefixed(
+            "cluster", epochs,
+            "1-thread vs 2-thread digest mismatch at byte " +
+                std::to_string(pos) + ": ref '" +
+                ref_digest.substr(line_start,
+                                  std::min<std::size_t>(
+                                      96, ref_digest.size() -
+                                              line_start)) +
+                "...'");
+    }
+
+    for (auto *world : {&ref, &par}) {
+        auto violation = checkClusterInvariants(*world);
+        if (!violation.empty())
+            return prefixed("cluster", epochs, std::move(violation));
+    }
+    return {};
+}
+
+namespace {
+
+/**
  * Binary-search the minimal failing count in [1, failing_ops]; the
  * prefix-stable streams make failure monotone in the count (see the
  * header's file comment).
@@ -681,6 +824,15 @@ shrinkWorldFailure(std::uint64_t seed, std::uint64_t failing_ops,
     return shrink("fuzz_world", seed, failing_ops,
                   [&](std::uint64_t n) {
                       return fuzzWorldTrial(seed, n, plan);
+                  });
+}
+
+ShrunkFailure
+shrinkClusterFailure(std::uint64_t seed, std::uint64_t failing_epochs)
+{
+    return shrink("fuzz_cluster", seed, failing_epochs,
+                  [&](std::uint64_t n) {
+                      return fuzzClusterTrial(seed, n);
                   });
 }
 

@@ -4,7 +4,7 @@
  * reference oracles plus live invariant checks, with automatic
  * shrinking of failures to a minimal replayable repro.
  *
- * Three trial kinds:
+ * Four trial kinds:
  *
  *  - fuzzLlcTrial(): a random cache geometry, a random CLOS / RMID /
  *    DDIO configuration, and a stream of mixed operations (batched
@@ -24,6 +24,12 @@
  *    exact SlicedLlc and an approximate one, then applying the
  *    statistical acceptance band (check/approx.hh) -- deterministic
  *    op counts must match exactly, figure metrics within epsilon.
+ *
+ *  - fuzzClusterTrial(): a seed-derived sharded multi-host world
+ *    (cluster/world.hh) run on one worker thread and again on two,
+ *    asserting the digests are bit-identical (the epoch-barrier
+ *    determinism contract) plus fabric-conservation and scheduler
+ *    placement invariants.
  *
  * All trials draw every decision from one xoshiro stream seeded with
  * the trial seed, and each loop iteration consumes draws independent
@@ -85,13 +91,27 @@ std::string fuzzWorldTrial(std::uint64_t seed,
 std::string fuzzApproxTrial(std::uint64_t seed, std::uint64_t ops,
                             unsigned approx_k = 0);
 
+/**
+ * One sharded-world trial: a seed-derived multi-host cluster (2-3
+ * shards, cross-shard fabric traffic, a LoadAware scheduler) run for
+ * @p epochs epochs twice -- once on one worker thread, once on two --
+ * comparing the full cluster digests (the bit-exactness contract of
+ * DESIGN.md SS15) and checking fabric conservation and scheduler
+ * placement invariants. The trial is epoch-prefix-stable: a
+ * divergence first visible at epoch k reproduces in any run of >= k
+ * epochs, so failures shrink like world failures do. Returns an
+ * empty string on success, else the first violation.
+ */
+std::string fuzzClusterTrial(std::uint64_t seed,
+                             std::uint64_t epochs);
+
 /** A shrunk failure: the minimal iteration count and its violation. */
 struct ShrunkFailure
 {
     std::uint64_t seed = 0;
     std::uint64_t ops = 0;     ///< minimal failing iteration count
     std::string violation;     ///< the violation at the minimum
-    std::string kind;          ///< "fuzz_llc" or "fuzz_world"
+    std::string kind; ///< "fuzz_llc", "fuzz_world" or "fuzz_cluster"
 };
 
 /**
@@ -105,6 +125,8 @@ ShrunkFailure shrinkLlcFailure(std::uint64_t seed,
 ShrunkFailure shrinkWorldFailure(std::uint64_t seed,
                                  std::uint64_t failing_ops,
                                  const fault::FaultPlan *plan = nullptr);
+ShrunkFailure shrinkClusterFailure(std::uint64_t seed,
+                                   std::uint64_t failing_epochs);
 
 /**
  * Build the replayable spec for a shrunk failure: shared seed mode,

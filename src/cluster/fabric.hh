@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The modeled inter-host fabric of the sharded world.
+ *
+ * Hosts (shards) exchange frames only through this object: during an
+ * epoch each shard appends departing frames to its private outbox;
+ * at the epoch barrier the World submits every outbox, in shard-id
+ * order, and the fabric computes each frame's arrival as
+ *
+ *   depart + latency, rounded UP to the next epoch edge.
+ *
+ * The rounding is the determinism contract: a frame can only become
+ * visible to its destination at an epoch edge, so a shard's epoch
+ * depends exclusively on its own state plus an inbox that was fixed
+ * before the epoch started -- never on how far another shard's
+ * thread has progressed. That is what makes an N-thread run
+ * bit-identical to the single-threaded reference (DESIGN.md SS15).
+ *
+ * The fabric is intentionally a latency band, not a full switch
+ * model: per-link bandwidth shows up as the configured per-shard
+ * egress rate, and contention shows up where the paper cares about
+ * it -- in the destination host's DDIO ways, rings and mbuf pools
+ * via NicQueue::injectRemote().
+ */
+
+#ifndef IATSIM_CLUSTER_FABRIC_HH
+#define IATSIM_CLUSTER_FABRIC_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace iat::cluster {
+
+/** One frame in flight between hosts. */
+struct FabricFrame
+{
+    unsigned src_shard = 0;
+    unsigned dst_shard = 0;
+    std::uint32_t bytes = 0;
+    std::uint64_t flow = 0;
+    /** Departure time on the source host's (synchronized) clock. */
+    double depart = 0.0;
+    /** Epoch-edge-aligned delivery time; set by Fabric::submit. */
+    double deliver = 0.0;
+};
+
+/** Fabric knobs. */
+struct FabricConfig
+{
+    /** One-way latency band (switch + wire), seconds. */
+    double latency_seconds = 5e-6;
+};
+
+/** The latency band + epoch-edge delivery queue; see file comment. */
+class Fabric
+{
+  public:
+    Fabric(unsigned num_shards, const FabricConfig &cfg,
+           double epoch_seconds);
+
+    /**
+     * Accept one shard's outbox (called at the barrier, in shard-id
+     * order). Frames gain their delivery timestamp here.
+     */
+    void submit(const std::vector<FabricFrame> &outbox);
+
+    /**
+     * Pop every frame due for @p shard at epoch start @p now (frames
+     * with deliver <= now + eps), preserving submission order.
+     */
+    std::vector<FabricFrame> collectDue(unsigned shard, double now);
+
+    /** Frames still in flight to @p shard. */
+    std::size_t inFlight(unsigned shard) const
+    {
+        return inbox_[shard].size();
+    }
+
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(inbox_.size());
+    }
+    const FabricConfig &config() const { return cfg_; }
+
+    std::uint64_t framesRouted() const { return frames_routed_; }
+    std::uint64_t bytesRouted() const { return bytes_routed_; }
+    std::uint64_t framesDelivered() const { return frames_delivered_; }
+
+  private:
+    FabricConfig cfg_;
+    double epoch_seconds_;
+    /** Per destination shard, in submission order. */
+    std::vector<std::vector<FabricFrame>> inbox_;
+
+    std::uint64_t frames_routed_ = 0;
+    std::uint64_t bytes_routed_ = 0;
+    std::uint64_t frames_delivered_ = 0;
+};
+
+} // namespace iat::cluster
+
+#endif // IATSIM_CLUSTER_FABRIC_HH

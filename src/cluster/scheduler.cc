@@ -1,0 +1,124 @@
+/**
+ * @file
+ * TenantScheduler implementation.
+ */
+
+#include "cluster/scheduler.hh"
+
+#include "util/logging.hh"
+
+namespace iat::cluster {
+
+const char *
+toString(PlacePolicy policy)
+{
+    switch (policy) {
+      case PlacePolicy::Static: return "static";
+      case PlacePolicy::LoadAware: return "load";
+    }
+    return "?";
+}
+
+bool
+parsePlacePolicy(const std::string &name, PlacePolicy &out)
+{
+    if (name == "static")
+        out = PlacePolicy::Static;
+    else if (name == "load" || name == "load-aware")
+        out = PlacePolicy::LoadAware;
+    else
+        return false;
+    return true;
+}
+
+TenantScheduler::TenantScheduler(const SchedulerConfig &cfg,
+                                 unsigned num_shards,
+                                 unsigned slots_per_shard)
+    : cfg_(cfg), num_shards_(num_shards),
+      slots_per_shard_(slots_per_shard)
+{
+    IAT_ASSERT(num_shards >= 1, "scheduler needs shards");
+    occupancy_.assign(num_shards, 0);
+}
+
+std::vector<unsigned>
+TenantScheduler::placeInitial(std::size_t num_tenants)
+{
+    IAT_ASSERT(placement_.empty(), "tenants already placed");
+    IAT_ASSERT(num_tenants <=
+                   static_cast<std::size_t>(num_shards_) *
+                       slots_per_shard_,
+               "more batch tenants than cluster slots");
+    placement_.reserve(num_tenants);
+    for (std::size_t t = 0; t < num_tenants; ++t) {
+        unsigned shard = 0;
+        while (occupancy_[shard] >= slots_per_shard_)
+            ++shard;
+        placement_.push_back(shard);
+        ++occupancy_[shard];
+    }
+    return placement_;
+}
+
+unsigned
+TenantScheduler::freeSlots(unsigned shard) const
+{
+    IAT_ASSERT(shard < num_shards_, "unknown shard %u", shard);
+    return slots_per_shard_ - occupancy_[shard];
+}
+
+std::vector<Migration>
+TenantScheduler::step(std::uint64_t epoch,
+                      const std::vector<double> &load)
+{
+    IAT_ASSERT(load.size() == num_shards_,
+               "load vector size mismatch");
+    if (cfg_.policy == PlacePolicy::Static || placement_.empty())
+        return {};
+    if (migrated_once_ &&
+        epoch < last_migration_epoch_ + cfg_.cooldown_epochs)
+        return {};
+
+    // Deterministic argmax/argmin: ties break toward the lower
+    // shard id (strict comparisons).
+    unsigned hot = 0;
+    unsigned cold = 0;
+    for (unsigned s = 1; s < num_shards_; ++s) {
+        if (load[s] > load[hot])
+            hot = s;
+        if (load[s] < load[cold])
+            cold = s;
+    }
+    if (hot == cold || load[hot] - load[cold] <= cfg_.margin)
+        return {};
+    if (occupancy_[cold] >= slots_per_shard_)
+        return {};
+
+    // Move the most recently placed tenant on the hot shard: last
+    // in, first migrated, a deterministic pick that tends to keep
+    // long-resident tenants (with warmed caches) where they are.
+    std::size_t victim = placement_.size();
+    for (std::size_t t = placement_.size(); t-- > 0;) {
+        if (placement_[t] == hot) {
+            victim = t;
+            break;
+        }
+    }
+    if (victim == placement_.size())
+        return {}; // hot shard hosts no migratable tenant
+
+    Migration m;
+    m.tenant = victim;
+    m.from = hot;
+    m.to = cold;
+    m.epoch = epoch;
+    placement_[victim] = cold;
+    --occupancy_[hot];
+    ++occupancy_[cold];
+    last_migration_epoch_ = epoch;
+    migrated_once_ = true;
+    migrations_.push_back(m);
+    return {m};
+}
+
+} // namespace iat::cluster

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The cluster-level tenant scheduler: places batch tenants on hosts
+ * and migrates them between hosts using per-host telemetry.
+ *
+ * Per-host LLC allocation stays the IAT daemon's job (the paper's
+ * contribution); this layer decides *which host* a migratable tenant
+ * runs on, which is the knob a single socket does not have. Two
+ * policies:
+ *
+ *  - Static: first-fit at start (everything packs onto the lowest
+ *    shards), never moves. The baseline a cluster operator gets with
+ *    no placement logic.
+ *  - LoadAware: each epoch compares per-host load (a blend of the
+ *    hosts' llc.miss_rate and dram.utilization gauges from src/obs)
+ *    and, when the spread exceeds a margin, moves one batch tenant
+ *    from the most- to the least-loaded host, with a cooldown so a
+ *    migration's effect is observed before the next decision.
+ *
+ * The scheduler is deliberately deterministic: decisions depend only
+ * on the gauge values handed in at the barrier (which are themselves
+ * bit-deterministic) and its own counters, never on wall clock or
+ * thread interleaving.
+ */
+
+#ifndef IATSIM_CLUSTER_SCHEDULER_HH
+#define IATSIM_CLUSTER_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iat::cluster {
+
+/** Placement policies. */
+enum class PlacePolicy
+{
+    Static,
+    LoadAware,
+};
+
+const char *toString(PlacePolicy policy);
+
+/** Parse "static" / "load"; false when unknown. */
+bool parsePlacePolicy(const std::string &name, PlacePolicy &out);
+
+/** One migration decision, applied by the World at the barrier. */
+struct Migration
+{
+    std::size_t tenant = 0; ///< scheduler tenant index
+    unsigned from = 0;
+    unsigned to = 0;
+    std::uint64_t epoch = 0;
+};
+
+/** Scheduler knobs. */
+struct SchedulerConfig
+{
+    PlacePolicy policy = PlacePolicy::Static;
+    /** Load spread (max - min) that triggers a migration. */
+    double margin = 0.10;
+    /** Epochs to wait after a migration before the next one. */
+    std::uint64_t cooldown_epochs = 4;
+};
+
+/** Placement + migration state machine; see file comment. */
+class TenantScheduler
+{
+  public:
+    TenantScheduler(const SchedulerConfig &cfg, unsigned num_shards,
+                    unsigned slots_per_shard);
+
+    /**
+     * First-fit initial placement of @p num_tenants batch tenants
+     * (tenant i on the lowest shard with a free slot). Returns the
+     * shard of each tenant. Both policies start from this packed
+     * layout -- the interesting question is whether migration can
+     * undo the resulting hot spot.
+     */
+    std::vector<unsigned> placeInitial(std::size_t num_tenants);
+
+    /**
+     * One barrier step at @p epoch with per-shard @p load (higher =
+     * more contended). Returns at most one migration; the caller
+     * applies it (moving the tenant's registry record between hosts)
+     * and the scheduler updates its placement map.
+     */
+    std::vector<Migration> step(std::uint64_t epoch,
+                                const std::vector<double> &load);
+
+    unsigned shardOf(std::size_t tenant) const
+    {
+        return placement_[tenant];
+    }
+    std::size_t tenantCount() const { return placement_.size(); }
+    unsigned freeSlots(unsigned shard) const;
+
+    const std::vector<Migration> &migrations() const
+    {
+        return migrations_;
+    }
+
+    const SchedulerConfig &config() const { return cfg_; }
+
+  private:
+    SchedulerConfig cfg_;
+    unsigned num_shards_;
+    unsigned slots_per_shard_;
+    std::vector<unsigned> placement_;  ///< tenant -> shard
+    std::vector<unsigned> occupancy_;  ///< shard -> tenants hosted
+    std::vector<Migration> migrations_;
+    std::uint64_t last_migration_epoch_ = 0;
+    bool migrated_once_ = false;
+};
+
+} // namespace iat::cluster
+
+#endif // IATSIM_CLUSTER_SCHEDULER_HH

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * ClusterWorld implementation.
+ */
+
+#include "cluster/world.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "obs/stream/exporter.hh"
+#include "util/logging.hh"
+
+namespace iat::cluster {
+
+namespace {
+
+/** Per-host load the scheduler balances: DRAM pressure is the
+ *  cross-tenant contention channel, LLC misses the leading edge. */
+double
+hostLoad(ShardHost &shard)
+{
+    return shard.gauge("dram.utilization") +
+           0.5 * shard.gauge("llc.miss_rate");
+}
+
+unsigned
+resolveThreads(unsigned requested, unsigned shards)
+{
+    unsigned t = requested;
+    if (t == 0) {
+        t = std::thread::hardware_concurrency();
+        if (t == 0)
+            t = 1;
+    }
+    return std::clamp(t, 1u, shards);
+}
+
+} // namespace
+
+ClusterWorld::ClusterWorld(const ClusterConfig &cfg)
+    : cfg_(cfg), threads_(resolveThreads(cfg.threads, cfg.shards)),
+      fabric_(cfg.shards, cfg.fabric, cfg.epoch_seconds),
+      scheduler_(cfg.scheduler, cfg.shards, cfg.shard.batch_slots)
+{
+    IAT_ASSERT(cfg.shards >= 1, "cluster needs at least one shard");
+    IAT_ASSERT(cfg.epoch_seconds > 0.0, "epoch must be positive");
+
+    for (unsigned s = 0; s < cfg.shards; ++s)
+        shards_.push_back(
+            std::make_unique<ShardHost>(s, cfg.shards, cfg.shard));
+    published_.assign(cfg.shards, 0);
+
+    // The epoch must land exactly on quantum boundaries or shard
+    // clocks would drift from the fabric's epoch-edge arithmetic.
+    const double quantum =
+        shards_[0]->platform().config().quantum_seconds;
+    const double quanta = cfg.epoch_seconds / quantum;
+    IAT_ASSERT(std::abs(quanta - std::round(quanta)) < 1e-6,
+               "epoch (%g s) must be a multiple of the quantum (%g s)",
+               cfg.epoch_seconds, quantum);
+
+    batch_.resize(cfg.batch_tenants);
+    for (unsigned t = 0; t < cfg.batch_tenants; ++t)
+        batch_[t].name = "batch" + std::to_string(t);
+    const std::vector<unsigned> placed =
+        scheduler_.placeInitial(cfg.batch_tenants);
+    batch_slot_.resize(cfg.batch_tenants);
+    for (unsigned t = 0; t < cfg.batch_tenants; ++t) {
+        ShardHost &host = *shards_[placed[t]];
+        const unsigned slot = host.freeBatchSlot();
+        host.attachBatch(slot, &batch_[t]);
+        batch_slot_[t] = slot;
+    }
+}
+
+ClusterWorld::~ClusterWorld() = default;
+
+void
+ClusterWorld::run(double seconds)
+{
+    const auto epochs = static_cast<std::uint64_t>(
+        std::ceil(seconds / cfg_.epoch_seconds - 1e-9));
+    for (std::uint64_t e = 0; e < epochs; ++e) {
+        const double now =
+            static_cast<double>(epoch_) * cfg_.epoch_seconds;
+
+        // 1. Deliver frames due at this edge, in shard-id order.
+        for (auto &shard : shards_)
+            shard->injectFabric(
+                fabric_.collectDue(shard->id(), now), now);
+
+        // 2. Run every shard's epoch; shard i on worker i % T, each
+        // worker walking its shards in increasing id. T = 1 runs
+        // inline -- the reference interleaving the threaded path
+        // must reproduce bit for bit.
+        if (threads_ == 1 || shards_.size() == 1) {
+            for (auto &shard : shards_)
+                shard->runEpoch(cfg_.epoch_seconds);
+        } else {
+            std::vector<std::thread> workers;
+            workers.reserve(threads_);
+            for (unsigned w = 0; w < threads_; ++w) {
+                workers.emplace_back([this, w] {
+                    for (std::size_t s = w; s < shards_.size();
+                         s += threads_)
+                        shards_[s]->runEpoch(cfg_.epoch_seconds);
+                });
+            }
+            for (auto &worker : workers)
+                worker.join();
+        }
+
+        // 3. Route this epoch's departures, in shard-id order.
+        for (auto &shard : shards_)
+            fabric_.submit(shard->takeOutbox());
+
+        ++epoch_;
+
+        // 4. Publish new records, then let the scheduler act on the
+        // per-host gauges refreshed at each shard's run-end hook.
+        if (dispatcher_ != nullptr) {
+            for (std::size_t s = 0; s < shards_.size(); ++s) {
+                const auto &records = shards_[s]->records();
+                for (std::size_t r = published_[s];
+                     r < records.size(); ++r)
+                    dispatcher_->publish(records[r]);
+                published_[s] = records.size();
+            }
+        }
+
+        // Smooth the per-epoch gauges before the scheduler sees them:
+        // a single epoch's load is noisy at this timescale, and a raw
+        // feed makes the migrator ping-pong tenants across a margin
+        // the noise alone can cross.
+        if (load_ewma_.empty())
+            load_ewma_.resize(shards_.size(), Ewma(0.2));
+        std::vector<double> load;
+        load.reserve(shards_.size());
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            load_ewma_[s].add(hostLoad(*shards_[s]));
+            load.push_back(load_ewma_[s].value());
+        }
+        for (const Migration &m : scheduler_.step(epoch_, load))
+            applyMigration(m);
+    }
+}
+
+void
+ClusterWorld::applyMigration(const Migration &m)
+{
+    BatchTenant *tenant =
+        shards_[m.from]->detachBatch(batch_slot_[m.tenant]);
+    IAT_ASSERT(tenant == &batch_[m.tenant],
+               "migration moved the wrong tenant");
+    ShardHost &to = *shards_[m.to];
+    const unsigned slot = to.freeBatchSlot();
+    IAT_ASSERT(slot < to.batchSlots(),
+               "scheduler migrated to a full host");
+    to.attachBatch(slot, tenant);
+    batch_slot_[m.tenant] = slot;
+}
+
+double
+ClusterWorld::remoteP99() const
+{
+    // Host-side latency, not end-to-end: the fabric band plus the
+    // epoch-edge alignment are fixed modeling constants placement
+    // cannot move, and they would drown the queue/service component
+    // the scheduler actually improves.
+    double worst = 0.0;
+    for (const auto &shard : shards_)
+        worst = std::max(worst,
+                         shard->hostLatency().percentile(0.99));
+    return worst;
+}
+
+std::string
+ClusterWorld::digest() const
+{
+    std::ostringstream os;
+    // Deliberately excludes the thread count: digests from runs with
+    // different T must compare equal (the bit-exactness contract).
+    os << "epochs=" << epoch_;
+    os << " fabric.routed=" << fabric_.framesRouted()
+       << " fabric.bytes=" << fabric_.bytesRouted()
+       << " fabric.delivered=" << fabric_.framesDelivered();
+    os << " migrations=";
+    const auto &migrations = scheduler_.migrations();
+    for (std::size_t i = 0; i < migrations.size(); ++i) {
+        if (i)
+            os << ',';
+        os << migrations[i].tenant << ':' << migrations[i].from
+           << ">" << migrations[i].to << '@' << migrations[i].epoch;
+    }
+    for (const auto &shard : shards_)
+        os << '\n' << shard->digest();
+    return os.str();
+}
+
+} // namespace iat::cluster

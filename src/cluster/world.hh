@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The sharded multi-host world: N ShardHosts stitched by a Fabric,
+ * stepped in epoch-synchronized quanta, with the cluster scheduler
+ * migrating batch tenants between hosts at epoch barriers.
+ *
+ * One epoch is the unit of parallelism and of determinism:
+ *
+ *   1. barrier: deliver every fabric frame due at this epoch edge
+ *      into its destination host's fabric NIC (injectRemote);
+ *   2. parallel: each shard runs its engine for one epoch on one of
+ *      T worker threads (shard i on worker i % T, each worker
+ *      stepping its shards in increasing id order);
+ *   3. barrier: collect every shard's outbox into the fabric, in
+ *      shard-id order, stamping epoch-edge-aligned delivery times;
+ *   4. barrier: publish per-host stream records, read per-host load
+ *      gauges, and let the TenantScheduler migrate at most one batch
+ *      tenant (registry remove on the source host + add on the
+ *      destination marks both dirty, so both IAT daemons re-run Get
+ *      Tenant Info -> LLC Alloc on their next tick).
+ *
+ * Steps 1, 3 and 4 run on the caller's thread; step 2 spawns and
+ * joins worker threads each epoch, so thread creation/joining is the
+ * only synchronization -- no locks anywhere in simulation code, and
+ * the join gives the happens-before edge ThreadSanitizer wants.
+ * Because every cross-shard interaction happens at a barrier in a
+ * fixed order, results are bit-identical for any thread count.
+ */
+
+#ifndef IATSIM_CLUSTER_WORLD_HH
+#define IATSIM_CLUSTER_WORLD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/fabric.hh"
+#include "cluster/scheduler.hh"
+#include "cluster/shard.hh"
+#include "util/stats.hh"
+
+namespace iat::obs::stream {
+class StreamDispatcher;
+} // namespace iat::obs::stream
+
+namespace iat::cluster {
+
+/** The whole cluster's knobs. */
+struct ClusterConfig
+{
+    unsigned shards = 2;
+    /** Worker threads for step 2; 0 = hardware concurrency. The
+     *  effective count is clamped to [1, shards]. */
+    unsigned threads = 1;
+    /** Epoch length; must be a multiple of the engine quantum. */
+    double epoch_seconds = 500e-6;
+
+    FabricConfig fabric;
+    SchedulerConfig scheduler;
+    /** Batch tenants to create and place across the cluster. */
+    unsigned batch_tenants = 2;
+
+    ShardConfig shard;
+};
+
+/** The N-host world; see file comment. */
+class ClusterWorld
+{
+  public:
+    explicit ClusterWorld(const ClusterConfig &cfg);
+    ~ClusterWorld();
+
+    ClusterWorld(const ClusterWorld &) = delete;
+    ClusterWorld &operator=(const ClusterWorld &) = delete;
+
+    /** Advance the cluster by ceil(seconds / epoch) epochs. */
+    void run(double seconds);
+
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+    ShardHost &shard(unsigned i) { return *shards_[i]; }
+    Fabric &fabric() { return fabric_; }
+    TenantScheduler &scheduler() { return scheduler_; }
+    const ClusterConfig &config() const { return cfg_; }
+
+    /** Worker threads step 2 will actually use. */
+    unsigned workerThreads() const { return threads_; }
+
+    /** Epochs completed so far. */
+    std::uint64_t epochs() const { return epoch_; }
+
+    /** Cluster time (every shard's clock agrees at the barrier). */
+    double now() const
+    {
+        return static_cast<double>(epoch_) * cfg_.epoch_seconds;
+    }
+
+    const std::vector<BatchTenant> &batchTenants() const
+    {
+        return batch_;
+    }
+
+    /**
+     * Stream every host's records into @p dispatcher at each barrier
+     * (nullptr detaches) -- the cluster-collector feed. Records
+     * carry a "host" member so one collector can tell hosts apart.
+     */
+    void setDispatcher(obs::stream::StreamDispatcher *dispatcher)
+    {
+        dispatcher_ = dispatcher;
+    }
+
+    /** Worst host-side remote p99 (Rx-ring wait + service) over all
+     *  hosts, seconds -- the campaign metric the migration demo
+     *  improves. See ShardHost::hostLatency(). */
+    double remoteP99() const;
+
+    /** Deterministic fingerprint of the whole cluster: every shard's
+     *  digest plus fabric counters and the migration log. */
+    std::string digest() const;
+
+  private:
+    void applyMigration(const Migration &m);
+
+    ClusterConfig cfg_;
+    unsigned threads_;
+    std::vector<std::unique_ptr<ShardHost>> shards_;
+    Fabric fabric_;
+    TenantScheduler scheduler_;
+
+    std::vector<BatchTenant> batch_;
+    std::vector<unsigned> batch_slot_; ///< tenant -> slot on its host
+
+    std::uint64_t epoch_ = 0;
+    std::vector<Ewma> load_ewma_; ///< smoothed scheduler load feed
+    obs::stream::StreamDispatcher *dispatcher_ = nullptr;
+    std::vector<std::size_t> published_; ///< per shard, records sent
+};
+
+} // namespace iat::cluster
+
+#endif // IATSIM_CLUSTER_WORLD_HH

@@ -121,6 +121,11 @@ TenantRegistry::loadFromString(const std::string &text)
                     static_cast<unsigned>(std::stoul(value));
             } else if (key == "io") {
                 spec.is_io = (value == "1" || value == "true");
+            } else if (key == "shard") {
+                spec.home_shard =
+                    static_cast<int>(std::stol(value));
+            } else if (key == "migratable") {
+                spec.migratable = (value == "1" || value == "true");
             } else if (key == "prio") {
                 if (value == "pc")
                     spec.priority = TenantPriority::PerformanceCritical;

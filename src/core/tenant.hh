@@ -42,6 +42,20 @@ struct TenantSpec
     TenantPriority priority = TenantPriority::BestEffort;
     /** Ways the tenant is given at LLC Alloc time. */
     unsigned initial_ways = 2;
+
+    /// @name Cluster placement metadata (src/cluster)
+    /// @{
+
+    /** Host the tenant was first placed on; -1 = single-host world. */
+    int home_shard = -1;
+
+    /**
+     * May the cluster scheduler move this tenant to another host?
+     * I/O tenants and the software stack are pinned by construction
+     * (their cores poll device queues); batch tenants opt in.
+     */
+    bool migratable = false;
+    /// @}
 };
 
 /** The daemon's tenant table. */
@@ -71,6 +85,7 @@ class TenantRegistry
     /**
      * Parse records of the form
      *   name cores=0,1 ways=2 prio={pc|be|stack} io={0|1}
+     *        [shard=N] [migratable={0|1}]
      * one per line; '#' starts a comment. Returns tenants added.
      * This is the model's version of the paper's affiliation file.
      */

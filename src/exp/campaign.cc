@@ -5,6 +5,7 @@
 
 #include "exp/campaign.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <set>
@@ -78,13 +79,32 @@ runCampaign(const ExperimentSpec &spec, const TrialRegistry &registry,
             pending.push_back(trial);
     }
 
+    // Determinism guard (cluster sweeps): a trial that runs its own
+    // worker threads declares them in a "threads" parameter. Cap the
+    // runner so jobs x trial-threads never exceeds the machine --
+    // oversubscription cannot change simulation results (the epoch
+    // barrier guarantees that), but it destroys the wall-clock
+    // scaling the cluster benches measure and report.
+    unsigned trial_threads = 1;
+    for (const auto &trial : pending) {
+        const auto t = trial.getInt("threads", 1);
+        if (t > static_cast<std::int64_t>(trial_threads))
+            trial_threads = static_cast<unsigned>(t);
+    }
+    unsigned jobs = effectiveJobs(options.jobs);
+    if (trial_threads > 1) {
+        const unsigned hw = effectiveJobs(0);
+        jobs = std::min(jobs, std::max(1u, hw / trial_threads));
+    }
+
     RunStats &stats = summary.stats;
-    stats.jobs = effectiveJobs(options.jobs);
+    stats.jobs = jobs;
+    stats.trial_threads = trial_threads;
     stats.total = all_trials.size();
     stats.skipped = all_trials.size() - pending.size();
 
     RunnerConfig runner_cfg;
-    runner_cfg.jobs = options.jobs;
+    runner_cfg.jobs = jobs;
     runner_cfg.progress = options.progress;
     runner_cfg.label = spec.name;
 

@@ -221,6 +221,7 @@ writeManifest(const std::string &path, const ExperimentSpec &spec,
     out << "},\n";
     out << "  \"run\": {\n";
     out << "    \"jobs\": " << stats.jobs << ",\n";
+    out << "    \"trial_threads\": " << stats.trial_threads << ",\n";
     out << "    \"ran\": " << stats.ran << ",\n";
     out << "    \"ok\": " << stats.ok << ",\n";
     out << "    \"failed\": " << stats.failed << ",\n";

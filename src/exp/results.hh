@@ -99,6 +99,10 @@ bool ensureTrailingNewline(const std::string &path);
 struct RunStats
 {
     unsigned jobs = 0;
+    /** Worker threads the widest trial runs internally (cluster
+     *  sweeps declare a "threads" param); the campaign caps jobs so
+     *  jobs x trial_threads stays within the machine. */
+    unsigned trial_threads = 1;
     std::size_t total = 0;   ///< trials in the expanded list
     std::size_t ran = 0;     ///< executed this invocation
     std::size_t ok = 0;      ///< of ran

@@ -82,6 +82,52 @@ NicQueue::deliverOne(double now)
     rx_stats_.rx_bytes += bytes;
 }
 
+bool
+NicQueue::injectRemote(double now, double departed,
+                       std::uint32_t bytes, std::uint64_t flow)
+{
+    IAT_ASSERT(bytes <= pool_.bufBytes(),
+               "remote frame larger than mbuf data room");
+    if (!link_up_) {
+        ++rx_stats_.drops_link_down;
+        return false;
+    }
+    if (rx_stalled_) {
+        ++rx_stats_.drops_stalled;
+        return false;
+    }
+    if (rx_ring_.size() >= rx_ring_.capacity()) {
+        ++rx_stats_.drops_ring_full;
+        return false;
+    }
+    std::uint32_t buf = 0;
+    if (!pool_.acquire(buf)) {
+        ++rx_stats_.drops_no_buffer;
+        return false;
+    }
+
+    Packet pkt;
+    pkt.addr = pool_.bufAddr(buf);
+    pkt.bytes = bytes;
+    pkt.flow = flow;
+    pkt.arrival = departed;
+    pkt.dev = dev_;
+    pkt.pool = &pool_;
+    pkt.buf = buf;
+
+    if (header_split_bytes_ > 0) {
+        platform_.dmaWriteSplit(dev_, pkt.addr, pkt.bytes,
+                                header_split_bytes_);
+    } else {
+        platform_.dmaWrite(dev_, pkt.addr, pkt.bytes);
+    }
+    const bool pushed = rx_ring_.push(pkt, now);
+    IAT_ASSERT(pushed, "ring overflowed after capacity check");
+    ++rx_stats_.rx_packets;
+    rx_stats_.rx_bytes += bytes;
+    return true;
+}
+
 double
 NicQueue::deliverUntil(double inactive_limit, double ring_limit,
                        double pool_limit)

@@ -139,6 +139,21 @@ class NicQueue
     }
     /// @}
 
+    /**
+     * Fabric ingress (cluster mode): deliver one frame that arrived
+     * over the inter-host fabric instead of from this queue's own
+     * TrafficGen. Takes the same MAC path as deliverOne() -- ring
+     * capacity check, pool acquire, DMA write through DDIO, ring
+     * push, drop counters -- but draws nothing from the generator, so
+     * local arrival sequences are untouched. @p departed is the
+     * frame's departure timestamp on the source host (all hosts share
+     * one epoch-synchronized clock); it becomes Packet::arrival so Tx
+     * latency covers fabric + queueing + service. Returns false when
+     * the frame was dropped at the MAC.
+     */
+    bool injectRemote(double now, double departed, std::uint32_t bytes,
+                      std::uint64_t flow);
+
     /** Transmit @p pkt at @p now: DMA-read, free buffer, log latency. */
     void transmit(Packet &pkt, double now);
 

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared machinery of the live-subscriber sinks: a listening stream
+ * socket (Unix or TCP -- the derived class binds it) that pushes
+ * every record, as one JSON line, to every connected client.
+ *
+ * The publisher is strictly non-blocking: accept() is polled from
+ * the service loop (pump()), writes use MSG_DONTWAIT, and a client
+ * that cannot keep up is disconnected after a bounded run of failed
+ * sends rather than ever stalling the simulation. Late subscribers
+ * are caught up with the most recent Header record so they can
+ * interpret Sample rows without replaying the stream from the start.
+ */
+
+#ifndef IATSIM_OBS_STREAM_PUBLISHER_HH
+#define IATSIM_OBS_STREAM_PUBLISHER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/stream/exporter.hh"
+
+namespace iat::obs::stream {
+
+/** Listening-socket publisher base; see file comment. */
+class StreamPublisherBase : public KindFilteredExporter
+{
+  public:
+    ~StreamPublisherBase() override;
+
+    StreamPublisherBase(const StreamPublisherBase &) = delete;
+    StreamPublisherBase &operator=(const StreamPublisherBase &) =
+        delete;
+
+    void handle(const StreamRecord &record) override;
+
+    /** Accept pending subscribers, reap dead ones. Call from the
+     *  service loop; never blocks. */
+    void pump();
+
+    /** Did the derived class bind a listening socket? A failed sink
+     *  stays inert: handle() only counts errors. */
+    bool ok() const { return listen_fd_ >= 0; }
+
+    std::size_t subscriberCount() const { return clients_.size(); }
+    std::uint64_t accepted() const { return accepted_; }
+    std::uint64_t sent() const { return sent_; }
+    std::uint64_t dropped() const override { return dropped_; }
+    std::uint64_t disconnects() const { return disconnects_; }
+
+  protected:
+    explicit StreamPublisherBase(unsigned kind_mask,
+                                 unsigned max_send_failures);
+
+    /** Install the bound + listening fd (made non-blocking here).
+     *  Call once from the derived constructor; on failure keep the
+     *  sink inert by never calling it. */
+    void adoptListenFd(int fd);
+
+    int listenFd() const { return listen_fd_; }
+
+  private:
+    struct Client
+    {
+        int fd = -1;
+        unsigned failures = 0;
+    };
+
+    /** Send one line to one client; false when it must be dropped. */
+    bool sendLine(Client &client, const std::string &json);
+    void closeClient(Client &client);
+
+    int listen_fd_ = -1;
+    unsigned max_send_failures_;
+    std::vector<Client> clients_;
+    std::string last_header_; ///< catch-up line for late subscribers
+
+    std::uint64_t accepted_ = 0;
+    std::uint64_t sent_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t disconnects_ = 0;
+};
+
+} // namespace iat::obs::stream
+
+#endif // IATSIM_OBS_STREAM_PUBLISHER_HH

@@ -1,29 +1,22 @@
 /**
  * @file
- * Live-subscriber sink: a Unix-domain stream socket that pushes every
- * record, as one JSON line, to every connected client.
- *
- * The publisher is strictly non-blocking: accept() is polled from
- * the service loop (pump()), writes use MSG_DONTWAIT, and a client
- * that cannot keep up is disconnected after a bounded run of failed
- * sends rather than ever stalling the simulation. Late subscribers
- * are caught up with the most recent Header record so they can
- * interpret Sample rows without replaying the stream from the start.
+ * Live-subscriber sink over a Unix-domain stream socket: the local
+ * flavor of StreamPublisherBase (which owns all the accept/send/
+ * disconnect machinery). This class only binds the socket file and
+ * unlinks it on teardown.
  */
 
 #ifndef IATSIM_OBS_STREAM_SOCKET_PUB_HH
 #define IATSIM_OBS_STREAM_SOCKET_PUB_HH
 
-#include <cstdint>
 #include <string>
-#include <vector>
 
-#include "obs/stream/exporter.hh"
+#include "obs/stream/publisher.hh"
 
 namespace iat::obs::stream {
 
 /** Unix-socket publisher; see file comment. */
-class SocketPublisher final : public KindFilteredExporter
+class SocketPublisher final : public StreamPublisherBase
 {
   public:
     /**
@@ -36,45 +29,11 @@ class SocketPublisher final : public KindFilteredExporter
                              unsigned max_send_failures = 64);
     ~SocketPublisher() override;
 
-    SocketPublisher(const SocketPublisher &) = delete;
-    SocketPublisher &operator=(const SocketPublisher &) = delete;
-
     const char *name() const override { return "socket"; }
-    void handle(const StreamRecord &record) override;
-
-    /** Accept pending subscribers, reap dead ones. Call from the
-     *  service loop; never blocks. */
-    void pump();
-
-    bool ok() const { return listen_fd_ >= 0; }
     const std::string &path() const { return path_; }
-    std::size_t subscriberCount() const { return clients_.size(); }
-    std::uint64_t accepted() const { return accepted_; }
-    std::uint64_t sent() const { return sent_; }
-    std::uint64_t dropped() const override { return dropped_; }
-    std::uint64_t disconnects() const { return disconnects_; }
 
   private:
-    struct Client
-    {
-        int fd = -1;
-        unsigned failures = 0;
-    };
-
-    /** Send one line to one client; false when it must be dropped. */
-    bool sendLine(Client &client, const std::string &json);
-    void closeClient(Client &client);
-
     std::string path_;
-    int listen_fd_ = -1;
-    unsigned max_send_failures_;
-    std::vector<Client> clients_;
-    std::string last_header_; ///< catch-up line for late subscribers
-
-    std::uint64_t accepted_ = 0;
-    std::uint64_t sent_ = 0;
-    std::uint64_t dropped_ = 0;
-    std::uint64_t disconnects_ = 0;
 };
 
 } // namespace iat::obs::stream

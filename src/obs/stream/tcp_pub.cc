@@ -1,0 +1,165 @@
+/**
+ * @file
+ * TcpPublisher / TcpCollector implementation.
+ */
+
+#include "obs/stream/tcp_pub.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace iat::obs::stream {
+
+namespace {
+
+sockaddr_in
+loopbackAddr(std::uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return addr;
+}
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+} // namespace
+
+TcpPublisher::TcpPublisher(std::uint16_t port, unsigned kind_mask,
+                           unsigned max_send_failures)
+    : StreamPublisherBase(kind_mask, max_send_failures)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("stream: tcp socket(): %s", std::strerror(errno));
+        return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = loopbackAddr(port);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 8) != 0) {
+        warn("stream: cannot listen on tcp port %u: %s",
+             static_cast<unsigned>(port), std::strerror(errno));
+        ::close(fd);
+        return;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0) {
+        warn("stream: getsockname(): %s", std::strerror(errno));
+        ::close(fd);
+        return;
+    }
+    adoptListenFd(fd);
+    if (ok())
+        port_ = ntohs(bound.sin_port);
+}
+
+TcpCollector::~TcpCollector()
+{
+    for (auto &conn : conns_) {
+        if (conn.fd >= 0)
+            ::close(conn.fd);
+    }
+}
+
+int
+TcpCollector::connectTo(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("stream: collector socket(): %s", std::strerror(errno));
+        return -1;
+    }
+    sockaddr_in addr = loopbackAddr(port);
+    // Connect while still blocking: loopback connects complete
+    // immediately once the listener exists, and a blocking connect
+    // spares the caller an EINPROGRESS dance.
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0 ||
+        !setNonBlocking(fd)) {
+        warn("stream: cannot connect to tcp port %u: %s",
+             static_cast<unsigned>(port), std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    conns_.push_back(Connection{fd, {}, {}});
+    return static_cast<int>(conns_.size()) - 1;
+}
+
+std::size_t
+TcpCollector::poll()
+{
+    std::size_t complete = 0;
+    char buf[4096];
+    for (auto &conn : conns_) {
+        if (conn.fd < 0)
+            continue;
+        for (;;) {
+            const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+            if (n > 0) {
+                conn.partial.append(buf,
+                                    static_cast<std::size_t>(n));
+                std::size_t start = 0;
+                for (;;) {
+                    const std::size_t nl =
+                        conn.partial.find('\n', start);
+                    if (nl == std::string::npos)
+                        break;
+                    conn.lines.push_back(
+                        conn.partial.substr(start, nl - start));
+                    ++complete;
+                    start = nl + 1;
+                }
+                conn.partial.erase(0, start);
+                continue;
+            }
+            if (n == 0) { // publisher closed
+                ::close(conn.fd);
+                conn.fd = -1;
+            }
+            break; // EAGAIN: drained for now
+        }
+    }
+    return complete;
+}
+
+std::size_t
+TcpCollector::totalLines() const
+{
+    std::size_t total = 0;
+    for (const auto &conn : conns_)
+        total += conn.lines.size();
+    return total;
+}
+
+StreamLog
+TcpCollector::log(std::size_t i) const
+{
+    std::string text;
+    for (const auto &line : conns_[i].lines) {
+        text += line;
+        text += '\n';
+    }
+    return parseStream(text);
+}
+
+} // namespace iat::obs::stream

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The remote flavor of the live-subscriber sink, plus its consumer.
+ *
+ * TcpPublisher binds a loopback TCP listener (port 0 = ephemeral,
+ * the OS picks; port() reports the binding) and inherits all the
+ * non-blocking accept/send/disconnect machinery from
+ * StreamPublisherBase, so a publisher per host lets every host's
+ * stream feed one collector across a (simulated) cluster.
+ *
+ * TcpCollector is that collector: it opens one non-blocking
+ * connection per publisher, drains whatever bytes are available on
+ * each poll() without ever blocking, reassembles newline-delimited
+ * JSON lines per connection, and hands the accumulated text to the
+ * stream reader for typed assertions.
+ */
+
+#ifndef IATSIM_OBS_STREAM_TCP_PUB_HH
+#define IATSIM_OBS_STREAM_TCP_PUB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/stream/publisher.hh"
+#include "obs/stream/reader.hh"
+
+namespace iat::obs::stream {
+
+/** Loopback TCP publisher; see file comment. */
+class TcpPublisher final : public StreamPublisherBase
+{
+  public:
+    /**
+     * Bind and listen on 127.0.0.1:@p port; 0 asks the OS for an
+     * ephemeral port. On failure the sink stays inert: ok() is false
+     * and handle() only counts errors.
+     */
+    explicit TcpPublisher(std::uint16_t port = 0,
+                          unsigned kind_mask = kAllKinds,
+                          unsigned max_send_failures = 64);
+
+    const char *name() const override { return "tcp"; }
+
+    /** The bound port (the ephemeral pick when constructed with 0);
+     *  0 when the bind failed. */
+    std::uint16_t port() const { return port_; }
+
+  private:
+    std::uint16_t port_ = 0;
+};
+
+/** Multi-publisher subscriber; see file comment. */
+class TcpCollector
+{
+  public:
+    TcpCollector() = default;
+    ~TcpCollector();
+
+    TcpCollector(const TcpCollector &) = delete;
+    TcpCollector &operator=(const TcpCollector &) = delete;
+
+    /**
+     * Connect to a publisher on 127.0.0.1:@p port. Returns the
+     * connection index, or -1 on failure. The connection is
+     * non-blocking; the publisher's next pump() accepts it.
+     */
+    int connectTo(std::uint16_t port);
+
+    /** Drain available bytes on every connection without blocking;
+     *  returns complete lines received across this call. */
+    std::size_t poll();
+
+    std::size_t connectionCount() const { return conns_.size(); }
+
+    /** Complete lines received on connection @p i, in order. */
+    const std::vector<std::string> &lines(std::size_t i) const
+    {
+        return conns_[i].lines;
+    }
+
+    /** Total complete lines across all connections. */
+    std::size_t totalLines() const;
+
+    /** Parse connection @p i's text with the stream reader. */
+    StreamLog log(std::size_t i) const;
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::string partial; ///< bytes after the last newline
+        std::vector<std::string> lines;
+    };
+
+    std::vector<Connection> conns_;
+};
+
+} // namespace iat::obs::stream
+
+#endif // IATSIM_OBS_STREAM_TCP_PUB_HH

@@ -47,6 +47,13 @@ Engine::at(double when, std::function<void(double)> fn)
 }
 
 void
+Engine::addRunEndHook(std::function<void(double)> fn)
+{
+    IAT_ASSERT(fn != nullptr, "null run-end hook");
+    run_end_hooks_.push_back(std::move(fn));
+}
+
+void
 Engine::fireDueHooks(double horizon)
 {
     while (!hooks_.empty() && hooks_.top().next <= horizon) {
@@ -113,6 +120,8 @@ Engine::run(double seconds)
     }
     for (auto &hook : periodic)
         hooks_.push(std::move(hook));
+    for (auto &fn : run_end_hooks_)
+        fn(platform_.now());
 }
 
 void

@@ -58,6 +58,17 @@ class Engine
     void at(double when, std::function<void(double)> fn);
 
     /**
+     * Call @p fn at the end of every run() window, after runnables
+     * and due hooks, with the window's end time. When the engine is
+     * driven in fixed epochs (cluster mode runs each shard's engine
+     * run(epoch) by run(epoch)), this is the epoch-edge hook: shard
+     * telemetry refresh and outbox collection live here so they run
+     * on the shard's own thread, inside its quantum stream, never
+     * concurrently with another epoch.
+     */
+    void addRunEndHook(std::function<void(double)> fn);
+
+    /**
      * Run until platform time advances by @p seconds.
      *
      * Hooks receive their *scheduled* time, not the quantum start
@@ -129,6 +140,7 @@ class Engine
     std::vector<Runnable *> runnables_;
     std::priority_queue<Hook, std::vector<Hook>, std::greater<>> hooks_;
     std::uint64_t hook_seq_ = 0;
+    std::vector<std::function<void(double)>> run_end_hooks_;
 
     obs::Counter *quanta_counter_ = nullptr;
     obs::Counter *hooks_counter_ = nullptr;

@@ -80,6 +80,8 @@ ServiceConfig::fromCli(const CliArgs &args)
     cfg.control_path = args.getString("control", "iatsvc.sock");
     cfg.stream_path = args.getString("stream", "");
     cfg.publish_path = args.getString("publish", "");
+    cfg.publish_tcp_port =
+        static_cast<int>(args.getInt("publish-tcp", -1));
     cfg.trace_path = args.getString("trace", "");
     cfg.metrics_path = args.getString("metrics", "");
     cfg.interval_seconds = args.getDouble("interval", 5e-3);
@@ -165,6 +167,15 @@ Service::buildStream()
             warn("publish sink disabled (cannot listen on %s)",
                  cfg_.publish_path.c_str());
         dispatcher_.add(pub_.get());
+    }
+    if (cfg_.publish_tcp_port >= 0) {
+        tcp_pub_ = std::make_unique<obs::stream::TcpPublisher>(
+            static_cast<std::uint16_t>(cfg_.publish_tcp_port));
+        if (!tcp_pub_->ok())
+            warn("tcp publish sink disabled (cannot listen on "
+                 "port %d)",
+                 cfg_.publish_tcp_port);
+        dispatcher_.add(tcp_pub_.get());
     }
     ring_ = std::make_unique<obs::stream::RingBufferExporter>(
         cfg_.ring_capacity,
@@ -278,6 +289,8 @@ Service::installHooks()
         [this](double now) {
             if (pub_)
                 pub_->pump();
+            if (tcp_pub_)
+                tcp_pub_->pump();
             if (control_) {
                 control_->pump([this](const std::string &line) {
                     return handleCommand(line);
@@ -405,6 +418,13 @@ Service::cmdStats()
     if (pub_) {
         out += ",\"subscribers\":" +
                jnum(std::uint64_t{pub_->subscriberCount()});
+    }
+    if (tcp_pub_) {
+        out += ",\"tcp\":{\"port\":" +
+               jnum(std::uint64_t{tcp_pub_->port()}) +
+               ",\"subscribers\":" +
+               jnum(std::uint64_t{tcp_pub_->subscriberCount()}) +
+               ",\"sent\":" + jnum(tcp_pub_->sent()) + '}';
     }
     if (injector_) {
         out += ",\"faults\":{\"suspended\":";

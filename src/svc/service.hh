@@ -49,6 +49,7 @@
 #include "obs/stream/jsonl.hh"
 #include "obs/stream/ring.hh"
 #include "obs/stream/socket_pub.hh"
+#include "obs/stream/tcp_pub.hh"
 #include "obs/telemetry.hh"
 #include "sim/engine.hh"
 #include "sim/telemetry.hh"
@@ -65,6 +66,9 @@ struct ServiceConfig
     std::string control_path;  ///< "" = no control socket
     std::string stream_path;   ///< JSONL sink; "" = off
     std::string publish_path;  ///< live pub socket; "" = off
+    /** TCP publisher port (cluster collector feed): -1 = off,
+     *  0 = ephemeral (the OS picks; stats report the binding). */
+    int publish_tcp_port = -1;
     std::string trace_path;    ///< snapshot trace file; "" = off
     std::string metrics_path;  ///< snapshot time series; "" = off
 
@@ -124,6 +128,11 @@ class Service
     obs::Telemetry &telemetry() { return *telemetry_; }
     obs::stream::StreamDispatcher &stream() { return dispatcher_; }
     obs::stream::RingBufferExporter &ring() { return *ring_; }
+    /** The TCP publisher; null unless --publish-tcp was given. */
+    obs::stream::TcpPublisher *tcpPublisher()
+    {
+        return tcp_pub_.get();
+    }
     obs::HealthMonitor &health() { return *health_; }
     SyntheticTraffic &traffic() { return *traffic_; }
     fault::FaultInjector *injector() { return injector_.get(); }
@@ -167,6 +176,7 @@ class Service
     std::unique_ptr<obs::stream::RingBufferExporter> ring_;
     std::unique_ptr<obs::stream::JsonlFileExporter> jsonl_;
     std::unique_ptr<obs::stream::SocketPublisher> pub_;
+    std::unique_ptr<obs::stream::TcpPublisher> tcp_pub_;
 
     core::TenantRegistry registry_;
     std::unique_ptr<core::IatDaemon> daemon_;

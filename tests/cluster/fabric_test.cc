@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fabric unit tests: epoch-edge-aligned delivery (the determinism
+ * contract), submission-order preservation, per-destination inboxes
+ * and the routed/delivered/in-flight accounting.
+ */
+
+#include "cluster/fabric.hh"
+
+#include <gtest/gtest.h>
+
+namespace iat::cluster {
+namespace {
+
+constexpr double kEpoch = 500e-6;
+
+FabricFrame
+frame(unsigned src, unsigned dst, double depart,
+      std::uint32_t bytes = 256, std::uint64_t flow = 0)
+{
+    FabricFrame f;
+    f.src_shard = src;
+    f.dst_shard = dst;
+    f.bytes = bytes;
+    f.flow = flow;
+    f.depart = depart;
+    return f;
+}
+
+TEST(Fabric, DeliveryRoundsUpToEpochEdge)
+{
+    FabricConfig cfg;
+    cfg.latency_seconds = 5e-6;
+    Fabric fabric(2, cfg, kEpoch);
+
+    // Departs mid-epoch 0; arrival 105us rounds up to the 500us edge.
+    fabric.submit({frame(0, 1, 100e-6)});
+    EXPECT_EQ(fabric.framesRouted(), 1u);
+    EXPECT_EQ(fabric.inFlight(1), 1u);
+
+    EXPECT_TRUE(fabric.collectDue(1, 0.0).empty());
+    const auto due = fabric.collectDue(1, kEpoch);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_GE(due[0].deliver, 100e-6 + cfg.latency_seconds);
+    EXPECT_DOUBLE_EQ(due[0].deliver, kEpoch);
+    EXPECT_EQ(fabric.inFlight(1), 0u);
+    EXPECT_EQ(fabric.framesDelivered(), 1u);
+}
+
+TEST(Fabric, LatencyCanPushPastTheNextEdge)
+{
+    FabricConfig cfg;
+    cfg.latency_seconds = 600e-6; // longer than one epoch
+    Fabric fabric(2, cfg, kEpoch);
+
+    fabric.submit({frame(0, 1, 100e-6)});
+    // 100us + 600us = 700us -> the 1000us edge, not the 500us one.
+    EXPECT_TRUE(fabric.collectDue(1, kEpoch).empty());
+    const auto due = fabric.collectDue(1, 2 * kEpoch);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_DOUBLE_EQ(due[0].deliver, 2 * kEpoch);
+}
+
+TEST(Fabric, PreservesSubmissionOrderAcrossSources)
+{
+    Fabric fabric(3, FabricConfig{}, kEpoch);
+
+    // Two outboxes submitted in shard-id order (the barrier's
+    // contract); the destination must see frames in exactly that
+    // order regardless of departure times.
+    fabric.submit({frame(0, 2, 300e-6, 64, /*flow=*/1),
+                   frame(0, 2, 100e-6, 64, /*flow=*/2)});
+    fabric.submit({frame(1, 2, 200e-6, 64, /*flow=*/3)});
+
+    const auto due = fabric.collectDue(2, kEpoch);
+    ASSERT_EQ(due.size(), 3u);
+    EXPECT_EQ(due[0].flow, 1u);
+    EXPECT_EQ(due[1].flow, 2u);
+    EXPECT_EQ(due[2].flow, 3u);
+}
+
+TEST(Fabric, RoutesToTheRightInbox)
+{
+    Fabric fabric(3, FabricConfig{}, kEpoch);
+    fabric.submit({frame(0, 1, 0.0), frame(0, 2, 0.0),
+                   frame(2, 1, 0.0)});
+
+    EXPECT_EQ(fabric.inFlight(0), 0u);
+    EXPECT_EQ(fabric.inFlight(1), 2u);
+    EXPECT_EQ(fabric.inFlight(2), 1u);
+    EXPECT_EQ(fabric.collectDue(1, kEpoch).size(), 2u);
+    EXPECT_EQ(fabric.collectDue(2, kEpoch).size(), 1u);
+    EXPECT_EQ(fabric.framesRouted(), 3u);
+    EXPECT_EQ(fabric.framesDelivered(), 3u);
+}
+
+TEST(Fabric, CountsBytes)
+{
+    Fabric fabric(2, FabricConfig{}, kEpoch);
+    fabric.submit({frame(0, 1, 0.0, 256), frame(0, 1, 0.0, 1500)});
+    EXPECT_EQ(fabric.bytesRouted(), 256u + 1500u);
+}
+
+} // namespace
+} // namespace iat::cluster

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * TenantScheduler unit tests: first-fit initial placement, the
+ * LoadAware migration trigger (margin, cooldown, capacity), the
+ * deterministic victim/destination picks, and the Static policy's
+ * do-nothing guarantee.
+ */
+
+#include "cluster/scheduler.hh"
+
+#include <gtest/gtest.h>
+
+namespace iat::cluster {
+namespace {
+
+SchedulerConfig
+loadAware(double margin = 0.10, std::uint64_t cooldown = 4)
+{
+    SchedulerConfig cfg;
+    cfg.policy = PlacePolicy::LoadAware;
+    cfg.margin = margin;
+    cfg.cooldown_epochs = cooldown;
+    return cfg;
+}
+
+TEST(Scheduler, PlaceInitialFirstFitPacks)
+{
+    TenantScheduler sched(SchedulerConfig{}, 3, 2);
+    const auto placed = sched.placeInitial(4);
+    ASSERT_EQ(placed.size(), 4u);
+    // First-fit: fill host 0's two slots, then host 1's.
+    EXPECT_EQ(placed[0], 0u);
+    EXPECT_EQ(placed[1], 0u);
+    EXPECT_EQ(placed[2], 1u);
+    EXPECT_EQ(placed[3], 1u);
+    EXPECT_EQ(sched.freeSlots(0), 0u);
+    EXPECT_EQ(sched.freeSlots(1), 0u);
+    EXPECT_EQ(sched.freeSlots(2), 2u);
+}
+
+TEST(Scheduler, StaticNeverMigrates)
+{
+    SchedulerConfig cfg;
+    cfg.policy = PlacePolicy::Static;
+    TenantScheduler sched(cfg, 2, 2);
+    sched.placeInitial(2);
+    EXPECT_TRUE(sched.step(1, {10.0, 0.0}).empty());
+    EXPECT_TRUE(sched.migrations().empty());
+}
+
+TEST(Scheduler, MigratesHotToColdPastMargin)
+{
+    TenantScheduler sched(loadAware(0.10), 2, 2);
+    sched.placeInitial(2); // both on host 0
+
+    // Below the margin: no move.
+    EXPECT_TRUE(sched.step(1, {0.55, 0.50}).empty());
+
+    const auto moved = sched.step(2, {0.80, 0.20});
+    ASSERT_EQ(moved.size(), 1u);
+    EXPECT_EQ(moved[0].from, 0u);
+    EXPECT_EQ(moved[0].to, 1u);
+    // Last-placed tenant on the hot host is the victim.
+    EXPECT_EQ(moved[0].tenant, 1u);
+    EXPECT_EQ(moved[0].epoch, 2u);
+    EXPECT_EQ(sched.shardOf(1), 1u);
+    EXPECT_EQ(sched.freeSlots(0), 1u);
+    EXPECT_EQ(sched.freeSlots(1), 1u);
+}
+
+TEST(Scheduler, CooldownBlocksBackToBackMoves)
+{
+    TenantScheduler sched(loadAware(0.10, /*cooldown=*/5), 2, 2);
+    sched.placeInitial(2);
+    ASSERT_EQ(sched.step(10, {0.80, 0.20}).size(), 1u);
+    // Sustained imbalance, but inside the cooldown window.
+    EXPECT_TRUE(sched.step(12, {0.80, 0.20}).empty());
+    EXPECT_TRUE(sched.step(14, {0.80, 0.20}).empty());
+    // Cooldown expired: the remaining tenant may move.
+    EXPECT_EQ(sched.step(15, {0.80, 0.20}).size(), 1u);
+}
+
+TEST(Scheduler, NoMoveWhenColdHostIsFull)
+{
+    TenantScheduler sched(loadAware(0.10), 2, 1);
+    sched.placeInitial(2); // one tenant per host (slots=1)
+    EXPECT_TRUE(sched.step(1, {0.9, 0.1}).empty());
+}
+
+TEST(Scheduler, NoMoveWhenHotHostHasNoTenant)
+{
+    TenantScheduler sched(loadAware(0.10), 2, 2);
+    sched.placeInitial(1); // only host 0 occupied
+    // Host 1 is hot but hosts nothing migratable.
+    EXPECT_TRUE(sched.step(1, {0.1, 0.9}).empty());
+}
+
+TEST(Scheduler, TiesBreakTowardLowerShardId)
+{
+    TenantScheduler sched(loadAware(0.05), 3, 3);
+    sched.placeInitial(3); // all on host 0
+    const auto moved = sched.step(1, {0.9, 0.2, 0.2});
+    ASSERT_EQ(moved.size(), 1u);
+    EXPECT_EQ(moved[0].to, 1u); // equal-cold tie -> lower id
+}
+
+TEST(Scheduler, MigrationLogAccumulates)
+{
+    TenantScheduler sched(loadAware(0.10, /*cooldown=*/1), 2, 2);
+    sched.placeInitial(2);
+    sched.step(1, {0.8, 0.2});
+    sched.step(3, {0.2, 0.8});
+    ASSERT_EQ(sched.migrations().size(), 2u);
+    EXPECT_EQ(sched.migrations()[0].epoch, 1u);
+    EXPECT_EQ(sched.migrations()[1].epoch, 3u);
+    EXPECT_EQ(sched.migrations()[1].from, 1u);
+}
+
+} // namespace
+} // namespace iat::cluster

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The cluster-collector feed end to end over real loopback sockets:
+ * every host's stream records flow through one TcpPublisher into a
+ * TcpCollector, which reassembles per-host typed records. Also
+ * verifies the late-subscriber contract (a collector that connects
+ * mid-run is caught up with the most recent header so it can decode
+ * subsequent samples).
+ */
+
+#include "cluster/world.hh"
+#include "obs/stream/exporter.hh"
+#include "obs/stream/tcp_pub.hh"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace iat::cluster {
+namespace {
+
+using obs::stream::StreamDispatcher;
+using obs::stream::TcpCollector;
+using obs::stream::TcpPublisher;
+
+ClusterConfig
+smallConfig()
+{
+    ClusterConfig cfg;
+    cfg.shards = 2;
+    cfg.threads = 1;
+    cfg.batch_tenants = 1;
+    cfg.shard.containers = 1;
+    cfg.shard.batch_ws_bytes = 1u << 20;
+    cfg.shard.rate_pps = 4e5;
+    cfg.shard.flows = 8;
+    cfg.shard.ring_entries = 128;
+    cfg.shard.remote_rate_pps = 2e5;
+    cfg.shard.seed = 1;
+    return cfg;
+}
+
+/** Run @p epochs epochs, pumping the publisher at every barrier. */
+void
+runPumped(ClusterWorld &world, TcpPublisher &publisher,
+          TcpCollector &collector, std::uint64_t epochs)
+{
+    for (std::uint64_t e = 0; e < epochs; ++e) {
+        world.run(world.config().epoch_seconds);
+        publisher.pump();
+        collector.poll();
+    }
+}
+
+TEST(TcpCollector, RoundTripsEveryHostsRecords)
+{
+    const ClusterConfig cfg = smallConfig();
+    ClusterWorld world(cfg);
+
+    StreamDispatcher dispatcher;
+    auto owned = std::make_unique<TcpPublisher>();
+    ASSERT_TRUE(owned->ok());
+    TcpPublisher *publisher = owned.get();
+    dispatcher.adopt(std::move(owned));
+
+    TcpCollector collector;
+    ASSERT_GE(collector.connectTo(publisher->port()), 0);
+    publisher->pump(); // accept the pending connection
+    world.setDispatcher(&dispatcher);
+
+    const std::uint64_t epochs = 6;
+    runPumped(world, *publisher, collector, epochs);
+    // One final drain: the last barrier's sends may still be queued.
+    publisher->pump();
+    collector.poll();
+
+    EXPECT_EQ(publisher->subscriberCount(), 1u);
+    // Per host: one header plus one sample per epoch.
+    const std::size_t expected =
+        cfg.shards * (1 + static_cast<std::size_t>(epochs));
+    EXPECT_EQ(collector.totalLines(), expected);
+
+    const auto log = collector.log(0);
+    EXPECT_EQ(log.header_count, cfg.shards);
+    EXPECT_EQ(log.samples.size(),
+              cfg.shards * static_cast<std::size_t>(epochs));
+    EXPECT_EQ(log.bad_lines, 0u);
+    EXPECT_TRUE(log.columns.empty() ? true
+                                    : log.columnIndex(
+                                          log.columns[0].name) >= 0);
+
+    // Records must identify their host so one collector can tell
+    // the cluster's streams apart.
+    bool host0 = false;
+    bool host1 = false;
+    for (const auto &line : collector.lines(0)) {
+        if (line.find("\"host\":0") != std::string::npos ||
+            line.find("\"host\":\"0\"") != std::string::npos ||
+            line.find("host0") != std::string::npos)
+            host0 = true;
+        if (line.find("\"host\":1") != std::string::npos ||
+            line.find("\"host\":\"1\"") != std::string::npos ||
+            line.find("host1") != std::string::npos)
+            host1 = true;
+    }
+    EXPECT_TRUE(host0);
+    EXPECT_TRUE(host1);
+}
+
+TEST(TcpCollector, LateSubscriberIsCaughtUpWithHeader)
+{
+    const ClusterConfig cfg = smallConfig();
+    ClusterWorld world(cfg);
+
+    StreamDispatcher dispatcher;
+    auto owned = std::make_unique<TcpPublisher>();
+    ASSERT_TRUE(owned->ok());
+    TcpPublisher *publisher = owned.get();
+    dispatcher.adopt(std::move(owned));
+    world.setDispatcher(&dispatcher);
+
+    // First collector from the start; headers flow out here.
+    TcpCollector early;
+    ASSERT_GE(early.connectTo(publisher->port()), 0);
+    publisher->pump();
+    runPumped(world, *publisher, early, 3);
+
+    // Second collector joins mid-run: it must receive the catch-up
+    // header before any sample, or its rows would be undecodable.
+    TcpCollector late;
+    ASSERT_GE(late.connectTo(publisher->port()), 0);
+    publisher->pump();
+    runPumped(world, *publisher, late, 3);
+    publisher->pump();
+    late.poll();
+
+    ASSERT_GT(late.totalLines(), 0u);
+    const auto log = late.log(0);
+    EXPECT_GE(log.header_count, 1u);
+    EXPECT_GT(log.samples.size(), 0u);
+    // The very first line the late subscriber sees is a header.
+    const std::string &first = late.lines(0).front();
+    EXPECT_NE(first.find("\"kind\":\"header\""), std::string::npos)
+        << first;
+}
+
+} // namespace
+} // namespace iat::cluster

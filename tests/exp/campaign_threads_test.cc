@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The campaign runner's determinism guard for trials that spawn
+ * their own worker threads (cluster sweeps declare a "threads"
+ * param): the job count is capped so jobs x trial-threads never
+ * exceeds the machine, and the manifest records the declared width.
+ */
+
+#include "exp/campaign.hh"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace iat::exp {
+namespace {
+
+std::filesystem::path
+testDir()
+{
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    const auto dir = std::filesystem::temp_directory_path() /
+                     (std::string("iatsim_campaign_threads_") +
+                      info->test_suite_name() + "_" + info->name());
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** Toy sweep that just echoes its declared thread width. */
+TrialRegistry
+threadedRegistry()
+{
+    TrialRegistry registry;
+    registry.add("threaded", "toy threaded sweep",
+                 [](const TrialContext &ctx) {
+                     TrialResult result;
+                     result.add("threads",
+                                static_cast<double>(
+                                    ctx.getInt("threads", 1)));
+                     return result;
+                 });
+    return registry;
+}
+
+CampaignOptions
+makeOptions(const std::filesystem::path &out, unsigned jobs)
+{
+    CampaignOptions options;
+    options.out_dir = out.string();
+    options.jobs = jobs;
+    options.progress = false;
+    return options;
+}
+
+TEST(CampaignThreads, JobsCappedByDeclaredThreads)
+{
+    const auto spec = ExperimentSpec::parse(
+        "name = threaded-campaign\n"
+        "sweep = threaded\n"
+        "seed = 1\n"
+        "[params]\n"
+        "threads = 4\n"
+        "[axis]\n"
+        "a = 1 2 3 4\n");
+
+    const auto dir = testDir();
+    const auto summary = runCampaign(spec, threadedRegistry(),
+                                     makeOptions(dir, 16));
+    EXPECT_TRUE(summary.complete);
+    EXPECT_EQ(summary.stats.trial_threads, 4u);
+
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    const unsigned cap = std::max(1u, hw / 4);
+    EXPECT_LE(summary.stats.jobs, cap);
+    EXPECT_GE(summary.stats.jobs, 1u);
+
+    // The manifest records the width so a reader of the artifacts
+    // can see why the runner narrowed itself.
+    const auto manifest = slurp(summary.manifest_path);
+    EXPECT_NE(manifest.find("\"trial_threads\": 4"),
+              std::string::npos)
+        << manifest;
+}
+
+TEST(CampaignThreads, SingleThreadedTrialsKeepRequestedJobs)
+{
+    const auto spec = ExperimentSpec::parse(
+        "name = plain-campaign\n"
+        "sweep = threaded\n"
+        "seed = 1\n"
+        "[axis]\n"
+        "a = 1 2\n");
+
+    const auto dir = testDir();
+    const auto summary = runCampaign(spec, threadedRegistry(),
+                                     makeOptions(dir, 2));
+    EXPECT_TRUE(summary.complete);
+    EXPECT_EQ(summary.stats.trial_threads, 1u);
+    EXPECT_EQ(summary.stats.jobs, 2u);
+}
+
+} // namespace
+} // namespace iat::exp

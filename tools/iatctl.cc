@@ -20,15 +20,26 @@
  *
  *   iatctl params
  *       Print the Table II defaults.
+ *
+ *   iatctl cluster [--shards=2] [--threads=1] [--seconds=0.2] ...
+ *       Build the sharded multi-host world (DESIGN.md SS15), run it
+ *       and print per-host remote-path latency, DRAM pressure and
+ *       the migration log. --tcp additionally streams every host's
+ *       records through a loopback TcpPublisher into one
+ *       TcpCollector and reports the round-trip line count.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "cluster/world.hh"
 #include "core/baselines.hh"
 #include "core/daemon.hh"
+#include "obs/stream/exporter.hh"
+#include "obs/stream/tcp_pub.hh"
 #include "fault/injector.hh"
 #include "fault/plan.hh"
 #include "obs/telemetry.hh"
@@ -362,6 +373,119 @@ cmdRun(const CliArgs &args)
     return 0;
 }
 
+int
+cmdCluster(const CliArgs &args)
+{
+    cluster::ClusterConfig cfg;
+    cfg.shards = static_cast<unsigned>(args.getInt("shards", 2));
+    cfg.threads = static_cast<unsigned>(args.getInt("threads", 1));
+    cfg.epoch_seconds = args.getDouble("epoch-us", 500.0) * 1e-6;
+    cfg.fabric.latency_seconds =
+        args.getDouble("fabric-latency-us", 5.0) * 1e-6;
+    cfg.batch_tenants =
+        static_cast<unsigned>(args.getInt("batch-tenants", 2));
+    const std::string sched = args.getString("scheduler", "load");
+    if (!cluster::parsePlacePolicy(sched, cfg.scheduler.policy))
+        fatal("unknown scheduler '%s' (static|load)", sched.c_str());
+    cfg.scheduler.margin = args.getDouble("margin", 0.2);
+    cfg.scheduler.cooldown_epochs =
+        static_cast<std::uint64_t>(args.getInt("cooldown", 12));
+    cfg.shard.rate_pps = args.getDouble("rate", 1.5) * 1e6;
+    cfg.shard.remote_rate_pps =
+        args.getDouble("remote-rate", 0.5) * 1e6;
+    cfg.shard.batch_ws_bytes =
+        static_cast<std::uint64_t>(args.getInt("batch-ws-mib", 48))
+        << 20;
+    cfg.shard.seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    const double seconds = args.getDouble("seconds", 0.2);
+    const bool tcp = args.getBool("tcp");
+
+    args.declareKnown({"shards", "threads", "seconds", "epoch-us",
+                       "fabric-latency-us", "batch-tenants",
+                       "scheduler", "margin", "cooldown", "rate",
+                       "remote-rate", "batch-ws-mib", "seed", "tcp"});
+    args.warnUnknown();
+
+    cluster::ClusterWorld world(cfg);
+
+    // --tcp: one loopback publisher fed by every host's records, one
+    // collector draining it -- the cluster-collector wiring iatsvc
+    // uses, exercised end to end from the CLI.
+    obs::stream::StreamDispatcher dispatcher;
+    obs::stream::TcpPublisher *publisher = nullptr;
+    std::unique_ptr<obs::stream::TcpCollector> collector;
+    if (tcp) {
+        auto pub = std::make_unique<obs::stream::TcpPublisher>();
+        if (!pub->ok())
+            fatal("could not bind a loopback TCP publisher");
+        publisher = pub.get();
+        dispatcher.adopt(std::move(pub));
+        collector = std::make_unique<obs::stream::TcpCollector>();
+        if (collector->connectTo(publisher->port()) < 0)
+            fatal("could not connect to publisher port %u",
+                  publisher->port());
+        publisher->pump(); // accept the pending connection
+        world.setDispatcher(&dispatcher);
+    }
+
+    // Epoch-by-epoch so the publisher can pump between barriers
+    // (sends are non-blocking; the collector drains as we go).
+    const auto epochs = static_cast<std::uint64_t>(
+        std::ceil(seconds / cfg.epoch_seconds - 1e-9));
+    for (std::uint64_t e = 0; e < epochs; ++e) {
+        world.run(cfg.epoch_seconds);
+        if (tcp) {
+            publisher->pump();
+            collector->poll();
+        }
+    }
+
+    std::printf("cluster: %u shards, %u worker threads, %llu epochs "
+                "(%.1f ms), scheduler %s\n",
+                world.shardCount(), world.workerThreads(),
+                static_cast<unsigned long long>(world.epochs()),
+                world.now() * 1e3,
+                toString(cfg.scheduler.policy));
+    for (unsigned s = 0; s < world.shardCount(); ++s) {
+        auto &shard = world.shard(s);
+        std::printf("  host%u: tx %llu rx %llu drops %llu  "
+                    "remote %llu pkts  p99 %.1f us (host-side)  "
+                    "dram %.2f\n",
+                    s,
+                    static_cast<unsigned long long>(
+                        shard.world().txPackets()),
+                    static_cast<unsigned long long>(
+                        shard.world().rxPackets()),
+                    static_cast<unsigned long long>(
+                        shard.world().totalDrops()),
+                    static_cast<unsigned long long>(
+                        shard.remotePackets()),
+                    shard.hostLatency().percentile(0.99) * 1e6,
+                    shard.gauge("dram.utilization"));
+    }
+    std::printf("  fabric: %llu frames routed, %llu delivered\n",
+                static_cast<unsigned long long>(
+                    world.fabric().framesRouted()),
+                static_cast<unsigned long long>(
+                    world.fabric().framesDelivered()));
+    const auto &migrations = world.scheduler().migrations();
+    std::printf("  migrations: %zu\n", migrations.size());
+    for (const auto &m : migrations) {
+        std::printf("    epoch %llu: %s host%u -> host%u\n",
+                    static_cast<unsigned long long>(m.epoch),
+                    world.batchTenants()[m.tenant].name.c_str(),
+                    m.from, m.to);
+    }
+    if (tcp) {
+        publisher->pump();
+        collector->poll();
+        std::printf("  tcp: %zu lines collected from port %u\n",
+                    collector->totalLines(), publisher->port());
+    }
+    return 0;
+}
+
 /**
  * `iatctl service <command...>` -- talk to a running iatsvc over its
  * control socket. The positional words after "service" form the
@@ -452,6 +576,16 @@ usage()
         "  fsm     trace the Fig 6 state machine: iatctl fsm "
         "5e6,0.5,0.5,0 ...\n"
         "  params  print Table II defaults\n"
+        "  cluster run the sharded multi-host world\n"
+        "          --shards=2 --threads=1 --seconds=0.2 "
+        "--epoch-us=500\n"
+        "          --fabric-latency-us=5 --rate=1.5 "
+        "--remote-rate=0.5 (Mpps)\n"
+        "          --batch-tenants=2 --scheduler=static|load "
+        "--margin=0.2\n"
+        "          --cooldown=12 --batch-ws-mib=48 --seed=1\n"
+        "          --tcp (stream records through a loopback "
+        "publisher/collector)\n"
         "  service send one command to a running iatsvc\n"
         "          --control=<socket> (default iatsvc.sock) "
         "--timeout-ms=5000\n"
@@ -483,6 +617,8 @@ main(int argc, char **argv)
     }
     if (cmd == "run")
         return cmdRun(args);
+    if (cmd == "cluster")
+        return cmdCluster(args);
     if (cmd == "service") {
         return cmdService(args, {args.positional().begin() + 1,
                                  args.positional().end()});

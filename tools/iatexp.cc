@@ -68,6 +68,7 @@ registry()
     exp::TrialRegistry reg;
     bench::registerPaperSweeps(reg);
     bench::registerValidationSweeps(reg);
+    bench::registerClusterSweeps(reg);
     return reg;
 }
 
