@@ -17,10 +17,12 @@
  *       [--epochs=200] [--seed=1] [--min-speedup=1.5] [--quick]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "cluster/world.hh"
 #include "util/cli.hh"
@@ -40,6 +42,32 @@ makeConfig(const CliArgs &args)
     cfg.shard.remote_rate_pps = 0.5e6;
     cfg.shard.seed =
         static_cast<std::uint64_t>(args.getInt("seed", 1));
+    if (args.getBool("chaos")) {
+        // Every fault class at once plus Failover evacuations: the
+        // hardest determinism case -- crash losses, skipped epochs,
+        // coin-flip drops, a partition, and in-flight migrations
+        // must all land identically for any worker-thread count.
+        cfg.scheduler.policy = cluster::PlacePolicy::Failover;
+        cfg.scheduler.dead_after_epochs = 6;
+        cfg.scheduler.degraded_after_epochs = 3;
+        cfg.health.dead_after_epochs = 6;
+        cfg.fault.crash_host = 1;
+        cfg.fault.crash_epoch = 16;
+        cfg.fault.crash_recovery = 60;
+        cfg.fault.slow_host = 2;
+        cfg.fault.slow_epoch = 8;
+        cfg.fault.slow_duration = 24;
+        cfg.fault.slow_factor = 3;
+        cfg.fault.degrade_factor = 4.0;
+        cfg.fault.degrade_epoch = 10;
+        cfg.fault.degrade_duration = 30;
+        cfg.fault.drop_prob = 0.2;
+        cfg.fault.drop_epoch = 4;
+        cfg.fault.drop_duration = 48;
+        cfg.fault.partition_cut = 2;
+        cfg.fault.partition_epoch = 60;
+        cfg.fault.partition_duration = 20;
+    }
     return cfg;
 }
 
@@ -81,32 +109,55 @@ main(int argc, char **argv)
     const double min_speedup = args.getDouble("min-speedup", 1.5);
 
     args.declareKnown({"shards", "threads", "epochs", "seed",
-                       "min-speedup", "quick"});
+                       "min-speedup", "quick", "chaos"});
     args.warnUnknown();
 
+    const bool chaos = args.getBool("chaos");
     std::printf("cluster_scale: %u shards, %llu epochs, "
-                "hw threads %u\n",
+                "hw threads %u%s\n",
                 cfg.shards,
-                static_cast<unsigned long long>(epochs), hw);
+                static_cast<unsigned long long>(epochs), hw,
+                chaos ? ", chaos fault plan active" : "");
 
     const auto [ref_digest, ref_wall] = runWorld(cfg, 1, epochs);
     std::printf("  threads=1: %.2f s (reference)\n", ref_wall);
 
-    const auto [par_digest, par_wall] =
-        runWorld(cfg, threads, epochs);
-    const double speedup = ref_wall / par_wall;
-    std::printf("  threads=%u: %.2f s (%.2fx)\n", threads, par_wall,
-                speedup);
-
-    if (par_digest != ref_digest) {
-        std::printf("FAIL: digests differ between threads=1 and "
-                    "threads=%u -- the epoch-barrier protocol leaked "
-                    "a thread-order dependence\n",
-                    threads);
-        return 1;
+    // Thread counts to check against the single-thread reference.
+    // Under --chaos the contract is explicitly 1/2/4 (plus whatever
+    // --threads asked for): faults and migrations must not leak any
+    // thread-order dependence.
+    std::vector<unsigned> counts;
+    if (chaos) {
+        for (unsigned t : {2u, 4u}) {
+            if (t <= cfg.shards)
+                counts.push_back(t);
+        }
     }
-    std::printf("  digests identical (%zu bytes)\n",
-                ref_digest.size());
+    if (threads > 1 &&
+        std::find(counts.begin(), counts.end(), threads) ==
+            counts.end())
+        counts.push_back(threads);
+
+    double speedup = 1.0;
+    for (unsigned t : counts) {
+        const auto [par_digest, par_wall] =
+            runWorld(cfg, t, epochs);
+        if (t == threads)
+            speedup = ref_wall / par_wall;
+        std::printf("  threads=%u: %.2f s (%.2fx)\n", t, par_wall,
+                    ref_wall / par_wall);
+        if (par_digest != ref_digest) {
+            std::printf("FAIL: digests differ between threads=1 "
+                        "and threads=%u -- the epoch-barrier "
+                        "protocol leaked a thread-order "
+                        "dependence\n",
+                        t);
+            return 1;
+        }
+    }
+    std::printf("  digests identical across %zu thread counts "
+                "(%zu bytes)\n",
+                counts.size() + 1, ref_digest.size());
 
     // Scaling gate: only meaningful where parallelism exists. A
     // 1-2 vCPU runner still checks bit-exactness above.

@@ -462,6 +462,16 @@ clusterTrial(const exp::TrialContext &ctx)
     // stale load and ping-pongs tenants between hosts.
     cfg.scheduler.cooldown_epochs =
         static_cast<std::uint64_t>(ctx.getInt("cooldown", 12));
+    cfg.scheduler.dead_after_epochs =
+        static_cast<std::uint64_t>(ctx.getInt("dead_after", 8));
+    cfg.scheduler.degraded_after_epochs = static_cast<std::uint64_t>(
+        ctx.getInt("degraded_after", 4));
+    cfg.health.dead_after_epochs = cfg.scheduler.dead_after_epochs;
+    cfg.migration_epochs =
+        static_cast<std::uint64_t>(ctx.getInt("migration_epochs", 4));
+    cfg.migration_frames = static_cast<unsigned>(
+        ctx.getInt("migration_frames", 64));
+    cfg.fault = fault::ClusterFaultPlan::fromPairs(ctx.params);
     cfg.shard.rate_pps = ctx.getDouble("rate_mpps", 1.5) * 1e6;
     cfg.shard.remote_rate_pps =
         ctx.getDouble("remote_rate_mpps", 0.5) * 1e6;
@@ -511,6 +521,48 @@ clusterTrial(const exp::TrialContext &ctx)
     result.add("fabric_delivered",
                static_cast<double>(
                    world.fabric().framesDelivered()));
+    result.add("fabric_dropped",
+               static_cast<double>(world.fabric().framesDropped()));
+    result.add("evacuations",
+               static_cast<double>(
+                   world.scheduler().evacuations()));
+    result.add("partition_backoffs",
+               static_cast<double>(
+                   world.scheduler().partitionBackoffs()));
+    result.add("migration_arrivals",
+               static_cast<double>(world.migrationArrivals()));
+    result.add("health_transitions",
+               static_cast<double>(world.health().transitions()));
+    if (const auto *inj = world.injector()) {
+        result.add("frames_dropped_random",
+                   static_cast<double>(inj->framesDroppedRandom()));
+        result.add("frames_dropped_partition",
+                   static_cast<double>(
+                       inj->framesDroppedPartition()));
+        result.add("crash_frames_lost",
+                   static_cast<double>(inj->crashFramesLost()));
+        result.add("host_epochs_skipped",
+                   static_cast<double>(inj->hostEpochsSkipped()));
+        // Stranded tenants: still placed on a host that is down at
+        // run end -- the number Failover exists to drive to zero.
+        std::uint64_t stranded = 0;
+        double survivors_p99 = 0.0;
+        for (unsigned s = 0; s < world.shardCount(); ++s) {
+            if (inj->hostUp(s, world.epochs())) {
+                survivors_p99 = std::max(
+                    survivors_p99,
+                    world.shard(s).hostLatency().percentile(0.99));
+            }
+        }
+        auto &sched = world.scheduler();
+        for (std::size_t t = 0; t < sched.tenantCount(); ++t) {
+            if (!inj->hostUp(sched.shardOf(t), world.epochs()))
+                ++stranded;
+        }
+        result.add("stranded_tenants",
+                   static_cast<double>(stranded));
+        result.add("survivors_p99_us", survivors_p99 * 1e6);
+    }
     return result;
 }
 
@@ -521,9 +573,11 @@ registerClusterSweeps(exp::TrialRegistry &registry)
 {
     registry.add("cluster",
                  "sharded multi-host world; params policy "
-                 "(static|load), shards, threads, batch_tenants, "
-                 "epochs, margin, rate_mpps, remote_rate_mpps, "
-                 "batch_ws_mib",
+                 "(static|load|failover), shards, threads, "
+                 "batch_tenants, epochs, margin, dead_after, "
+                 "rate_mpps, remote_rate_mpps, batch_ws_mib + "
+                 "cluster fault.* knobs (crash_host, drop_prob, "
+                 "partition_cut, ...)",
                  clusterTrial);
 }
 

@@ -670,6 +670,63 @@ clusterConfigFromSeed(std::uint64_t seed)
     cfg.shard.remote_frame_bytes = 256;
     cfg.shard.llc_approx = rng.below(2) ? 8 : 1;
     cfg.shard.seed = seed;
+
+    // Half the trials run the self-healing policy, with tight death
+    // thresholds so a crashed host is detected within a short fuzz
+    // run.
+    if (rng.below(2) == 0) {
+        cfg.scheduler.policy = cluster::PlacePolicy::Failover;
+        cfg.scheduler.dead_after_epochs = 4 + rng.below(5);
+        cfg.scheduler.degraded_after_epochs = 2 + rng.below(3);
+        cfg.health.dead_after_epochs =
+            cfg.scheduler.dead_after_epochs;
+        cfg.health.storm_budget = 1 + rng.below(4);
+        cfg.migration_epochs = 1 + rng.below(4);
+        cfg.migration_frames = 8 + static_cast<unsigned>(
+                                       rng.below(24));
+    }
+
+    // And half (independently) run under an active fault plan: one
+    // primary fault class, sometimes with a random-drop window
+    // layered on top. Every window is seed-derived -- never a
+    // function of the epoch count -- so truncating a failing trial
+    // replays a strict prefix and shrinking stays monotone.
+    if (rng.below(2) == 0) {
+        fault::ClusterFaultPlan &plan = cfg.fault;
+        switch (rng.below(4)) {
+          case 0:
+            plan.crash_host =
+                static_cast<std::int64_t>(rng.below(cfg.shards));
+            plan.crash_epoch = 2 + rng.below(12);
+            plan.crash_recovery =
+                rng.below(2) ? 0 : 6 + rng.below(10);
+            break;
+          case 1:
+            plan.slow_host =
+                static_cast<std::int64_t>(rng.below(cfg.shards));
+            plan.slow_epoch = 2 + rng.below(10);
+            plan.slow_duration = 6 + rng.below(14);
+            plan.slow_factor = 2 + rng.below(3);
+            break;
+          case 2:
+            plan.degrade_factor =
+                2.0 + static_cast<double>(rng.below(7));
+            plan.degrade_epoch = 1 + rng.below(8);
+            plan.degrade_duration = 8 + rng.below(16);
+            break;
+          default:
+            plan.partition_cut = 1 + rng.below(cfg.shards - 1);
+            plan.partition_epoch = 3 + rng.below(10);
+            plan.partition_duration = 6 + rng.below(14);
+            break;
+        }
+        if (rng.below(2) == 0) {
+            plan.drop_prob =
+                0.05 + 0.05 * static_cast<double>(rng.below(4));
+            plan.drop_epoch = rng.below(8);
+            plan.drop_duration = 10 + rng.below(20);
+        }
+    }
     return cfg;
 }
 

@@ -29,8 +29,13 @@ Fabric::submit(const std::vector<FabricFrame> &outbox)
                    "frame to unknown shard %u", frame.dst_shard);
         IAT_ASSERT(frame.dst_shard != frame.src_shard,
                    "fabric frame looped back to its source");
+        double latency = cfg_.latency_seconds;
+        if (hook_ != nullptr && !hook_->onRoute(frame, latency)) {
+            ++frames_dropped_;
+            continue;
+        }
         FabricFrame routed = frame;
-        const double arrival = frame.depart + cfg_.latency_seconds;
+        const double arrival = frame.depart + latency;
         // Round UP to the next epoch edge: ceil with a relative
         // epsilon so an arrival already sitting on an edge (within
         // fp noise) is delivered at that edge, not one epoch later.

@@ -51,6 +51,27 @@ struct FabricConfig
     double latency_seconds = 5e-6;
 };
 
+/**
+ * Deterministic fault-injection point on the routing path. The hook
+ * is consulted exactly once per submitted frame, always on the
+ * caller's thread at the epoch barrier and always in shard-id
+ * submission order -- so an active hook (ClusterFaultInjector) keeps
+ * the world bit-identical across worker-thread counts.
+ */
+class FabricFaultHook
+{
+  public:
+    virtual ~FabricFaultHook() = default;
+
+    /**
+     * Decide one frame's fate: return false to drop it (the fabric
+     * counts it and it never reaches an inbox), or true to route it,
+     * optionally scaling @p latency_seconds (link degradation).
+     */
+    virtual bool onRoute(const FabricFrame &frame,
+                         double &latency_seconds) = 0;
+};
+
 /** The latency band + epoch-edge delivery queue; see file comment. */
 class Fabric
 {
@@ -86,15 +107,26 @@ class Fabric
     std::uint64_t bytesRouted() const { return bytes_routed_; }
     std::uint64_t framesDelivered() const { return frames_delivered_; }
 
+    /** Frames the fault hook refused (dropped before routing); the
+     *  conservation invariant delivered + in-flight == routed
+     *  excludes them by construction. */
+    std::uint64_t framesDropped() const { return frames_dropped_; }
+
+    /** Install (or clear, with nullptr) the fault hook; the caller
+     *  keeps it alive. */
+    void setFaultHook(FabricFaultHook *hook) { hook_ = hook; }
+
   private:
     FabricConfig cfg_;
     double epoch_seconds_;
     /** Per destination shard, in submission order. */
     std::vector<std::vector<FabricFrame>> inbox_;
+    FabricFaultHook *hook_ = nullptr;
 
     std::uint64_t frames_routed_ = 0;
     std::uint64_t bytes_routed_ = 0;
     std::uint64_t frames_delivered_ = 0;
+    std::uint64_t frames_dropped_ = 0;
 };
 
 } // namespace iat::cluster

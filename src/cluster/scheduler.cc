@@ -5,6 +5,8 @@
 
 #include "cluster/scheduler.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace iat::cluster {
@@ -15,6 +17,7 @@ toString(PlacePolicy policy)
     switch (policy) {
       case PlacePolicy::Static: return "static";
       case PlacePolicy::LoadAware: return "load";
+      case PlacePolicy::Failover: return "failover";
     }
     return "?";
 }
@@ -26,6 +29,8 @@ parsePlacePolicy(const std::string &name, PlacePolicy &out)
         out = PlacePolicy::Static;
     else if (name == "load" || name == "load-aware")
         out = PlacePolicy::LoadAware;
+    else if (name == "failover")
+        out = PlacePolicy::Failover;
     else
         return false;
     return true;
@@ -57,7 +62,16 @@ TenantScheduler::placeInitial(std::size_t num_tenants)
         placement_.push_back(shard);
         ++occupancy_[shard];
     }
+    locked_.assign(num_tenants, false);
     return placement_;
+}
+
+void
+TenantScheduler::setLocked(std::size_t tenant, bool locked)
+{
+    IAT_ASSERT(tenant < placement_.size(), "unknown tenant %zu",
+               tenant);
+    locked_[tenant] = locked;
 }
 
 unsigned
@@ -67,29 +81,139 @@ TenantScheduler::freeSlots(unsigned shard) const
     return slots_per_shard_ - occupancy_[shard];
 }
 
+Migration
+TenantScheduler::record(std::size_t tenant, unsigned to,
+                        std::uint64_t epoch, bool evacuation)
+{
+    Migration m;
+    m.tenant = tenant;
+    m.from = placement_[tenant];
+    m.to = to;
+    m.epoch = epoch;
+    m.evacuation = evacuation;
+    placement_[tenant] = to;
+    --occupancy_[m.from];
+    ++occupancy_[to];
+    last_migration_epoch_ = epoch;
+    migrated_once_ = true;
+    if (evacuation)
+        ++evacuations_;
+    migrations_.push_back(m);
+    return m;
+}
+
 std::vector<Migration>
 TenantScheduler::step(std::uint64_t epoch,
                       const std::vector<double> &load)
 {
-    IAT_ASSERT(load.size() == num_shards_,
-               "load vector size mismatch");
+    std::vector<HostStatus> status(load.size());
+    for (std::size_t s = 0; s < load.size(); ++s)
+        status[s].load = load[s];
+    return step(epoch, status);
+}
+
+std::vector<Migration>
+TenantScheduler::step(std::uint64_t epoch,
+                      const std::vector<HostStatus> &status)
+{
+    IAT_ASSERT(status.size() == num_shards_,
+               "status vector size mismatch");
     if (cfg_.policy == PlacePolicy::Static || placement_.empty())
         return {};
+
+    if (cfg_.policy == PlacePolicy::Failover) {
+        std::size_t dead = 0;
+        for (unsigned s = 0; s < num_shards_; ++s) {
+            if (status[s].heartbeat_age >= cfg_.dead_after_epochs)
+                ++dead;
+        }
+        if (dead >= cfg_.partition_min_hosts &&
+            static_cast<double>(dead) >=
+                cfg_.partition_fraction * num_shards_) {
+            // Mass silence looks like a partition, not mass death:
+            // the silent hosts are likely still running their
+            // tenants on the far side of a cut. Evacuating would
+            // double-place work that will come back; do nothing.
+            ++partition_backoffs_;
+            return {};
+        }
+        if (dead > 0)
+            return evacuate(epoch, status);
+    }
+
+    return balance(epoch, status);
+}
+
+std::vector<Migration>
+TenantScheduler::evacuate(std::uint64_t epoch,
+                          const std::vector<HostStatus> &status)
+{
+    // Evacuation bypasses the load-balance cooldown: every epoch a
+    // tenant stays on a dead host is stranded work. It still arms
+    // the cooldown so balancing pauses while the dust settles.
+    std::vector<Migration> out;
+    for (unsigned s = 0; s < num_shards_ &&
+                         out.size() < cfg_.max_evacuations_per_step;
+         ++s) {
+        if (status[s].heartbeat_age < cfg_.dead_after_epochs)
+            continue;
+        for (std::size_t t = 0;
+             t < placement_.size() &&
+             out.size() < cfg_.max_evacuations_per_step;
+             ++t) {
+            if (placement_[t] != s || locked_[t])
+                continue;
+            // Cost-aware destination: alive, not degraded, with a
+            // free slot; lowest (load, id) wins so the displaced
+            // tenant lands where it hurts least.
+            unsigned dest = num_shards_;
+            for (unsigned d = 0; d < num_shards_; ++d) {
+                if (status[d].heartbeat_age >=
+                        cfg_.degraded_after_epochs ||
+                    occupancy_[d] >= slots_per_shard_)
+                    continue;
+                if (dest == num_shards_ ||
+                    status[d].load < status[dest].load)
+                    dest = d;
+            }
+            if (dest == num_shards_)
+                return out; // nowhere healthy to go; try next epoch
+            out.push_back(record(t, dest, epoch, true));
+        }
+    }
+    return out;
+}
+
+std::vector<Migration>
+TenantScheduler::balance(std::uint64_t epoch,
+                         const std::vector<HostStatus> &status)
+{
     if (migrated_once_ &&
         epoch < last_migration_epoch_ + cfg_.cooldown_epochs)
         return {};
 
+    // Under Failover, balancing only considers healthy hosts; a
+    // dead host must not look "coldest" because its gauges froze.
+    auto eligible = [&](unsigned s) {
+        return cfg_.policy != PlacePolicy::Failover ||
+               status[s].heartbeat_age < cfg_.degraded_after_epochs;
+    };
+
     // Deterministic argmax/argmin: ties break toward the lower
     // shard id (strict comparisons).
-    unsigned hot = 0;
-    unsigned cold = 0;
-    for (unsigned s = 1; s < num_shards_; ++s) {
-        if (load[s] > load[hot])
+    unsigned hot = num_shards_;
+    unsigned cold = num_shards_;
+    for (unsigned s = 0; s < num_shards_; ++s) {
+        if (!eligible(s))
+            continue;
+        if (hot == num_shards_ || status[s].load > status[hot].load)
             hot = s;
-        if (load[s] < load[cold])
+        if (cold == num_shards_ ||
+            status[s].load < status[cold].load)
             cold = s;
     }
-    if (hot == cold || load[hot] - load[cold] <= cfg_.margin)
+    if (hot == num_shards_ || hot == cold ||
+        status[hot].load - status[cold].load <= cfg_.margin)
         return {};
     if (occupancy_[cold] >= slots_per_shard_)
         return {};
@@ -99,7 +223,7 @@ TenantScheduler::step(std::uint64_t epoch,
     // long-resident tenants (with warmed caches) where they are.
     std::size_t victim = placement_.size();
     for (std::size_t t = placement_.size(); t-- > 0;) {
-        if (placement_[t] == hot) {
+        if (placement_[t] == hot && !locked_[t]) {
             victim = t;
             break;
         }
@@ -107,18 +231,22 @@ TenantScheduler::step(std::uint64_t epoch,
     if (victim == placement_.size())
         return {}; // hot shard hosts no migratable tenant
 
-    Migration m;
-    m.tenant = victim;
-    m.from = hot;
-    m.to = cold;
-    m.epoch = epoch;
-    placement_[victim] = cold;
-    --occupancy_[hot];
-    ++occupancy_[cold];
-    last_migration_epoch_ = epoch;
-    migrated_once_ = true;
-    migrations_.push_back(m);
-    return {m};
+    return {record(victim, cold, epoch, false)};
+}
+
+Migration
+TenantScheduler::forceMigration(std::size_t tenant, unsigned to,
+                                std::uint64_t epoch)
+{
+    IAT_ASSERT(tenant < placement_.size(), "unknown tenant %zu",
+               tenant);
+    IAT_ASSERT(to < num_shards_, "unknown shard %u", to);
+    IAT_ASSERT(placement_[tenant] != to,
+               "tenant %zu already on shard %u", tenant, to);
+    IAT_ASSERT(!locked_[tenant], "tenant %zu is in transit", tenant);
+    IAT_ASSERT(occupancy_[to] < slots_per_shard_,
+               "destination shard %u is full", to);
+    return record(tenant, to, epoch, false);
 }
 
 } // namespace iat::cluster

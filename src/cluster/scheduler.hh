@@ -5,7 +5,7 @@
  *
  * Per-host LLC allocation stays the IAT daemon's job (the paper's
  * contribution); this layer decides *which host* a migratable tenant
- * runs on, which is the knob a single socket does not have. Two
+ * runs on, which is the knob a single socket does not have. Three
  * policies:
  *
  *  - Static: first-fit at start (everything packs onto the lowest
@@ -16,11 +16,24 @@
  *    and, when the spread exceeds a margin, moves one batch tenant
  *    from the most- to the least-loaded host, with a cooldown so a
  *    migration's effect is observed before the next decision.
+ *  - Failover: LoadAware plus self-healing. Each host's status now
+ *    carries a heartbeat age (epochs since its heartbeat last
+ *    reached the control plane); a host whose age crosses
+ *    dead_after_epochs is declared dead and its tenants are
+ *    evacuated -- cost-aware: destinations must be alive, not
+ *    degraded, and have free capacity, and at most
+ *    max_evacuations_per_step tenants move per epoch so the
+ *    evacuation itself cannot become a migration storm. When at
+ *    least partition_min_hosts hosts (and >= partition_fraction of
+ *    the cluster) look dead *simultaneously*, the scheduler suspects
+ *    a partition rather than mass death and backs off entirely: the
+ *    hosts across a cut are still running, and evacuating their
+ *    tenants would double-place work that will return.
  *
  * The scheduler is deliberately deterministic: decisions depend only
- * on the gauge values handed in at the barrier (which are themselves
+ * on the statuses handed in at the barrier (which are themselves
  * bit-deterministic) and its own counters, never on wall clock or
- * thread interleaving.
+ * thread interleaving. All ties break toward the lower shard id.
  */
 
 #ifndef IATSIM_CLUSTER_SCHEDULER_HH
@@ -37,12 +50,23 @@ enum class PlacePolicy
 {
     Static,
     LoadAware,
+    Failover,
 };
 
 const char *toString(PlacePolicy policy);
 
-/** Parse "static" / "load"; false when unknown. */
+/** Parse "static" / "load" / "failover"; false when unknown. */
 bool parsePlacePolicy(const std::string &name, PlacePolicy &out);
+
+/** One host's view at the barrier, as seen by the control plane. */
+struct HostStatus
+{
+    /** Blended load (higher = more contended); EWMA-smoothed. */
+    double load = 0.0;
+    /** Epochs since this host's heartbeat was last observed; 0 for
+     *  a host that ran this epoch and is reachable. */
+    std::uint64_t heartbeat_age = 0;
+};
 
 /** One migration decision, applied by the World at the barrier. */
 struct Migration
@@ -51,6 +75,9 @@ struct Migration
     unsigned from = 0;
     unsigned to = 0;
     std::uint64_t epoch = 0;
+    /** True when this move evacuates a dead host (Failover) rather
+     *  than rebalancing load. */
+    bool evacuation = false;
 };
 
 /** Scheduler knobs. */
@@ -59,8 +86,22 @@ struct SchedulerConfig
     PlacePolicy policy = PlacePolicy::Static;
     /** Load spread (max - min) that triggers a migration. */
     double margin = 0.10;
-    /** Epochs to wait after a migration before the next one. */
+    /** Epochs to wait after a migration before the next one.
+     *  Evacuations bypass the cooldown (waiting costs stranded
+     *  work) but still arm it. */
     std::uint64_t cooldown_epochs = 4;
+
+    /** Heartbeat age at which a host is declared dead (Failover). */
+    std::uint64_t dead_after_epochs = 8;
+    /** Heartbeat age at which a host is degraded: still hosting its
+     *  tenants, but ineligible as a migration destination. */
+    std::uint64_t degraded_after_epochs = 4;
+    /** Partition suspicion: back off when >= this many hosts AND
+     *  >= partition_fraction of the cluster look dead at once. */
+    std::size_t partition_min_hosts = 2;
+    double partition_fraction = 0.5;
+    /** Evacuations allowed per step; bounds migration-storm risk. */
+    unsigned max_evacuations_per_step = 1;
 };
 
 /** Placement + migration state machine; see file comment. */
@@ -80,13 +121,36 @@ class TenantScheduler
     std::vector<unsigned> placeInitial(std::size_t num_tenants);
 
     /**
-     * One barrier step at @p epoch with per-shard @p load (higher =
-     * more contended). Returns at most one migration; the caller
-     * applies it (moving the tenant's registry record between hosts)
-     * and the scheduler updates its placement map.
+     * One barrier step at @p epoch with per-shard @p status.
+     * Returns the migrations to apply (at most one for load
+     * balancing; up to max_evacuations_per_step when evacuating a
+     * dead host); the caller applies them and the scheduler has
+     * already updated its placement map.
      */
     std::vector<Migration> step(std::uint64_t epoch,
+                                const std::vector<HostStatus>
+                                    &status);
+
+    /** Legacy load-only step: every host alive and reachable. */
+    std::vector<Migration> step(std::uint64_t epoch,
                                 const std::vector<double> &load);
+
+    /**
+     * Record a commanded migration of @p tenant to @p to (testing
+     * and future live-operation paths). Validates capacity; returns
+     * the migration the caller must apply.
+     */
+    Migration forceMigration(std::size_t tenant, unsigned to,
+                             std::uint64_t epoch);
+
+    /**
+     * Lock/unlock @p tenant as a migration candidate. The World
+     * locks a tenant while its state transfer is in flight: it is
+     * not attached anywhere, so picking it again (even to evacuate
+     * it off a freshly-dead destination) is meaningless until it
+     * lands.
+     */
+    void setLocked(std::size_t tenant, bool locked);
 
     unsigned shardOf(std::size_t tenant) const
     {
@@ -100,17 +164,38 @@ class TenantScheduler
         return migrations_;
     }
 
+    /** Evacuation moves issued (subset of migrations()). */
+    std::uint64_t evacuations() const { return evacuations_; }
+
+    /** Steps skipped because a partition was suspected. */
+    std::uint64_t partitionBackoffs() const
+    {
+        return partition_backoffs_;
+    }
+
     const SchedulerConfig &config() const { return cfg_; }
 
   private:
+    Migration record(std::size_t tenant, unsigned to,
+                     std::uint64_t epoch, bool evacuation);
+    std::vector<Migration> evacuate(std::uint64_t epoch,
+                                    const std::vector<HostStatus>
+                                        &status);
+    std::vector<Migration> balance(std::uint64_t epoch,
+                                   const std::vector<HostStatus>
+                                       &status);
+
     SchedulerConfig cfg_;
     unsigned num_shards_;
     unsigned slots_per_shard_;
     std::vector<unsigned> placement_;  ///< tenant -> shard
     std::vector<unsigned> occupancy_;  ///< shard -> tenants hosted
+    std::vector<bool> locked_;         ///< tenant in transit
     std::vector<Migration> migrations_;
     std::uint64_t last_migration_epoch_ = 0;
     bool migrated_once_ = false;
+    std::uint64_t evacuations_ = 0;
+    std::uint64_t partition_backoffs_ = 0;
 };
 
 } // namespace iat::cluster

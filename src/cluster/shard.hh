@@ -122,6 +122,14 @@ class ShardHost
     /** Host @p tenant in @p slot; also adds its registry record. */
     void attachBatch(unsigned slot, BatchTenant *tenant);
 
+    /**
+     * attachBatch() for a tenant arriving by migration: additionally
+     * evicts the slot's working-set lines from this host's LLC and
+     * flushes the slot core's L2, so the newcomer starts with cold
+     * caches and pays real warmup misses -- migration is never free.
+     */
+    void attachBatchCold(unsigned slot, BatchTenant *tenant);
+
     /** Release @p slot; removes the registry record. Returns the
      *  tenant that was hosted. */
     BatchTenant *detachBatch(unsigned slot);

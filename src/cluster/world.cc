@@ -38,6 +38,10 @@ resolveThreads(unsigned requested, unsigned shards)
     return std::clamp(t, 1u, shards);
 }
 
+/** Flow-id namespace for migration state-transfer frames; keeps
+ *  them distinct from tenant traffic in sink bookkeeping. */
+constexpr std::uint64_t kMigrationFlowBase = 0x4d19'0000ull;
+
 } // namespace
 
 ClusterWorld::ClusterWorld(const ClusterConfig &cfg)
@@ -52,6 +56,17 @@ ClusterWorld::ClusterWorld(const ClusterConfig &cfg)
         shards_.push_back(
             std::make_unique<ShardHost>(s, cfg.shards, cfg.shard));
     published_.assign(cfg.shards, 0);
+    last_heartbeat_epoch_.assign(cfg.shards, 0);
+
+    // Faults are pay-for-what-you-use: an empty plan builds no
+    // injector and leaves the fabric hook null.
+    if (cfg.fault.any()) {
+        injector_ = std::make_unique<fault::ClusterFaultInjector>(
+            cfg.fault, cfg.shards, cfg.shard.seed);
+        fabric_.setFaultHook(injector_.get());
+    }
+    health_ =
+        std::make_unique<obs::ClusterHealthMonitor>(cfg.health);
 
     // The epoch must land exactly on quantum boundaries or shard
     // clocks would drift from the fabric's epoch-edge arithmetic.
@@ -86,41 +101,85 @@ ClusterWorld::run(double seconds)
     for (std::uint64_t e = 0; e < epochs; ++e) {
         const double now =
             static_cast<double>(epoch_) * cfg_.epoch_seconds;
+        if (injector_)
+            injector_->beginEpoch(epoch_);
 
         // 1. Deliver frames due at this edge, in shard-id order.
-        for (auto &shard : shards_)
-            shard->injectFabric(
-                fabric_.collectDue(shard->id(), now), now);
+        // A crashed host's NIC is gone: frames due there are lost
+        // (the fabric already counted them delivered, so the
+        // conservation invariant is unaffected).
+        for (auto &shard : shards_) {
+            std::vector<FabricFrame> due =
+                fabric_.collectDue(shard->id(), now);
+            if (injector_ &&
+                !injector_->hostUp(shard->id(), epoch_)) {
+                injector_->noteCrashLoss(due.size());
+                continue;
+            }
+            shard->injectFabric(due, now);
+        }
 
-        // 2. Run every shard's epoch; shard i on worker i % T, each
-        // worker walking its shards in increasing id. T = 1 runs
-        // inline -- the reference interleaving the threaded path
-        // must reproduce bit for bit.
+        // Which hosts execute this epoch, decided up front on the
+        // caller's thread so workers only read the verdicts.
+        std::vector<char> runs(shards_.size(), 1);
+        if (injector_) {
+            for (std::size_t s = 0; s < shards_.size(); ++s) {
+                runs[s] =
+                    injector_->hostRuns(static_cast<unsigned>(s),
+                                        epoch_)
+                        ? 1
+                        : 0;
+                if (!runs[s])
+                    injector_->noteSkippedEpoch();
+            }
+        }
+
+        // 2. Run every scheduled shard's epoch; shard i on worker
+        // i % T, each worker walking its shards in increasing id.
+        // T = 1 runs inline -- the reference interleaving the
+        // threaded path must reproduce bit for bit. A skipped
+        // host's clock freezes: it re-joins behind cluster time and
+        // stays behind (the crash interval is simply lost to it).
         if (threads_ == 1 || shards_.size() == 1) {
-            for (auto &shard : shards_)
-                shard->runEpoch(cfg_.epoch_seconds);
+            for (std::size_t s = 0; s < shards_.size(); ++s)
+                if (runs[s])
+                    shards_[s]->runEpoch(cfg_.epoch_seconds);
         } else {
             std::vector<std::thread> workers;
             workers.reserve(threads_);
             for (unsigned w = 0; w < threads_; ++w) {
-                workers.emplace_back([this, w] {
+                workers.emplace_back([this, w, &runs] {
                     for (std::size_t s = w; s < shards_.size();
                          s += threads_)
-                        shards_[s]->runEpoch(cfg_.epoch_seconds);
+                        if (runs[s])
+                            shards_[s]->runEpoch(
+                                cfg_.epoch_seconds);
                 });
             }
             for (auto &worker : workers)
                 worker.join();
         }
 
-        // 3. Route this epoch's departures, in shard-id order.
+        // 3. Route this epoch's departures, in shard-id order (the
+        // fault hook drops/degrades here, same thread, same order).
         for (auto &shard : shards_)
             fabric_.submit(shard->takeOutbox());
 
         ++epoch_;
 
-        // 4. Publish new records, then let the scheduler act on the
-        // per-host gauges refreshed at each shard's run-end hook.
+        // 4a. Heartbeats: host s was heard this epoch iff it ran
+        // and the control-plane link (beside shard 0) was up.
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            const bool heard =
+                runs[s] &&
+                (!injector_ ||
+                 injector_->linkUp(0, static_cast<unsigned>(s),
+                                   epoch_ - 1));
+            if (heard)
+                last_heartbeat_epoch_[s] = epoch_;
+        }
+
+        // 4b. Publish new records.
         if (dispatcher_ != nullptr) {
             for (std::size_t s = 0; s < shards_.size(); ++s) {
                 const auto &records = shards_[s]->records();
@@ -131,36 +190,113 @@ ClusterWorld::run(double seconds)
             }
         }
 
+        // 4c. Land migrations whose transit window elapsed (cold
+        // attach on the destination), before the scheduler acts.
+        processArrivals();
+
         // Smooth the per-epoch gauges before the scheduler sees them:
         // a single epoch's load is noisy at this timescale, and a raw
         // feed makes the migrator ping-pong tenants across a margin
-        // the noise alone can cross.
+        // the noise alone can cross. (A skipped host's gauges are
+        // frozen, so its EWMA coasts on the last live reading.)
         if (load_ewma_.empty())
             load_ewma_.resize(shards_.size(), Ewma(0.2));
-        std::vector<double> load;
-        load.reserve(shards_.size());
+        std::vector<HostStatus> status(shards_.size());
+        std::vector<std::uint64_t> ages(shards_.size());
         for (std::size_t s = 0; s < shards_.size(); ++s) {
             load_ewma_[s].add(hostLoad(*shards_[s]));
-            load.push_back(load_ewma_[s].value());
+            status[s].load = load_ewma_[s].value();
+            status[s].heartbeat_age =
+                epoch_ - last_heartbeat_epoch_[s];
+            ages[s] = status[s].heartbeat_age;
         }
-        for (const Migration &m : scheduler_.step(epoch_, load))
-            applyMigration(m);
+
+        // 4d. Cluster watchdogs, then the scheduler (its verdicts
+        // are visible to next epoch's health evaluation, not this
+        // one -- a fixed, deterministic ordering).
+        health_->evaluate(
+            epoch_, static_cast<double>(epoch_) * cfg_.epoch_seconds,
+            ages, scheduler_.migrations().size());
+        for (const Migration &m : scheduler_.step(epoch_, status))
+            beginMigration(m);
     }
 }
 
 void
-ClusterWorld::applyMigration(const Migration &m)
+ClusterWorld::beginMigration(const Migration &m)
 {
     BatchTenant *tenant =
         shards_[m.from]->detachBatch(batch_slot_[m.tenant]);
     IAT_ASSERT(tenant == &batch_[m.tenant],
                "migration moved the wrong tenant");
-    ShardHost &to = *shards_[m.to];
-    const unsigned slot = to.freeBatchSlot();
-    IAT_ASSERT(slot < to.batchSlots(),
-               "scheduler migrated to a full host");
-    to.attachBatch(slot, tenant);
-    batch_slot_[m.tenant] = slot;
+    scheduler_.setLocked(m.tenant, true);
+    batch_slot_[m.tenant] =
+        shards_[m.to]->batchSlots(); // sentinel: in transit
+
+    // The tenant's state travels as real frames: they occupy the
+    // fabric, land in the destination's DDIO ways and Rx ring, get
+    // serviced by its sink core -- and can be dropped or delayed by
+    // an active fault plan like any other traffic.
+    const double now =
+        static_cast<double>(epoch_) * cfg_.epoch_seconds;
+    const std::uint64_t window =
+        std::max<std::uint64_t>(1, cfg_.migration_epochs);
+    const unsigned frames = std::max(1u, cfg_.migration_frames);
+    std::vector<FabricFrame> transfer;
+    transfer.reserve(frames);
+    for (unsigned k = 0; k < frames; ++k) {
+        FabricFrame f;
+        f.src_shard = m.from;
+        f.dst_shard = m.to;
+        f.bytes = cfg_.migration_frame_bytes;
+        f.flow = kMigrationFlowBase + m.tenant;
+        f.depart = now + static_cast<double>(k) *
+                             (static_cast<double>(window) *
+                              cfg_.epoch_seconds) /
+                             static_cast<double>(frames);
+        transfer.push_back(f);
+    }
+    fabric_.submit(transfer);
+
+    PendingAttach pending;
+    pending.tenant = m.tenant;
+    pending.to = m.to;
+    pending.attach_epoch = epoch_ + window;
+    pending_.push_back(pending);
+}
+
+void
+ClusterWorld::processArrivals()
+{
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->attach_epoch > epoch_) {
+            ++it;
+            continue;
+        }
+        ShardHost &to = *shards_[it->to];
+        const unsigned slot = to.freeBatchSlot();
+        IAT_ASSERT(slot < to.batchSlots(),
+                   "migration arrived at a full host");
+        to.attachBatchCold(slot, &batch_[it->tenant]);
+        batch_slot_[it->tenant] = slot;
+        scheduler_.setLocked(it->tenant, false);
+        ++migration_arrivals_;
+        it = pending_.erase(it);
+    }
+}
+
+bool
+ClusterWorld::requestMigration(std::size_t tenant, unsigned to)
+{
+    if (tenant >= batch_.size() || to >= shards_.size())
+        return false;
+    if (batch_slot_[tenant] >= shards_[0]->batchSlots())
+        return false; // in transit
+    if (scheduler_.shardOf(tenant) == to ||
+        scheduler_.freeSlots(to) == 0)
+        return false;
+    beginMigration(scheduler_.forceMigration(tenant, to, epoch_));
+    return true;
 }
 
 double
@@ -186,7 +322,23 @@ ClusterWorld::digest() const
     os << "epochs=" << epoch_;
     os << " fabric.routed=" << fabric_.framesRouted()
        << " fabric.bytes=" << fabric_.bytesRouted()
-       << " fabric.delivered=" << fabric_.framesDelivered();
+       << " fabric.delivered=" << fabric_.framesDelivered()
+       << " fabric.dropped=" << fabric_.framesDropped();
+    if (injector_) {
+        os << " fault.hash="
+           << injector_->plan().hash(cfg_.shard.seed)
+           << " fault.drop.rand="
+           << injector_->framesDroppedRandom()
+           << " fault.drop.part="
+           << injector_->framesDroppedPartition()
+           << " fault.crash.lost=" << injector_->crashFramesLost()
+           << " fault.skipped=" << injector_->hostEpochsSkipped();
+    }
+    os << " arrivals=" << migration_arrivals_
+       << " pending=" << pending_.size()
+       << " evac=" << scheduler_.evacuations()
+       << " backoff=" << scheduler_.partitionBackoffs()
+       << " health=" << health_->transitions();
     os << " migrations=";
     const auto &migrations = scheduler_.migrations();
     for (std::size_t i = 0; i < migrations.size(); ++i) {
@@ -194,6 +346,8 @@ ClusterWorld::digest() const
             os << ',';
         os << migrations[i].tenant << ':' << migrations[i].from
            << ">" << migrations[i].to << '@' << migrations[i].epoch;
+        if (migrations[i].evacuation)
+            os << '!';
     }
     for (const auto &shard : shards_)
         os << '\n' << shard->digest();

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * ClusterFaultPlan parsing, canonicalization and hashing.
+ */
+
+#include "fault/cluster_plan.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/hash.hh"
+
+namespace iat::fault {
+
+namespace {
+
+double
+parseDouble(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+        throw std::runtime_error("fault." + key +
+                                 " expects a number, got '" + value +
+                                 "'");
+    }
+    return parsed;
+}
+
+std::uint64_t
+parseU64(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const std::uint64_t parsed =
+        std::strtoull(value.c_str(), &end, 0);
+    if (end == value.c_str() || *end != '\0') {
+        throw std::runtime_error("fault." + key +
+                                 " expects an integer, got '" +
+                                 value + "'");
+    }
+    return parsed;
+}
+
+std::int64_t
+parseI64(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const std::int64_t parsed = std::strtoll(value.c_str(), &end, 0);
+    if (end == value.c_str() || *end != '\0') {
+        throw std::runtime_error("fault." + key +
+                                 " expects an integer, got '" +
+                                 value + "'");
+    }
+    return parsed;
+}
+
+void
+appendDouble(std::string &out, const char *key, double value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s=%.17g\n", key, value);
+    out += buf;
+}
+
+void
+appendU64(std::string &out, const char *key, std::uint64_t value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s=%llu\n", key,
+                  static_cast<unsigned long long>(value));
+    out += buf;
+}
+
+void
+appendI64(std::string &out, const char *key, std::int64_t value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s=%lld\n", key,
+                  static_cast<long long>(value));
+    out += buf;
+}
+
+} // namespace
+
+bool
+ClusterFaultPlan::any() const
+{
+    return crash_host >= 0 || slow_host >= 0 ||
+           degrade_factor > 1.0 || drop_prob > 0.0 ||
+           partition_cut > 0;
+}
+
+void
+ClusterFaultPlan::set(const std::string &key,
+                      const std::string &value)
+{
+    if (key == "seed")
+        seed = parseU64(key, value);
+    else if (key == "crash_host")
+        crash_host = parseI64(key, value);
+    else if (key == "crash_epoch")
+        crash_epoch = parseU64(key, value);
+    else if (key == "crash_recovery")
+        crash_recovery = parseU64(key, value);
+    else if (key == "slow_host")
+        slow_host = parseI64(key, value);
+    else if (key == "slow_epoch")
+        slow_epoch = parseU64(key, value);
+    else if (key == "slow_duration")
+        slow_duration = parseU64(key, value);
+    else if (key == "slow_factor")
+        slow_factor = parseU64(key, value);
+    else if (key == "degrade_factor")
+        degrade_factor = parseDouble(key, value);
+    else if (key == "degrade_epoch")
+        degrade_epoch = parseU64(key, value);
+    else if (key == "degrade_duration")
+        degrade_duration = parseU64(key, value);
+    else if (key == "drop_prob")
+        drop_prob = parseDouble(key, value);
+    else if (key == "drop_epoch")
+        drop_epoch = parseU64(key, value);
+    else if (key == "drop_duration")
+        drop_duration = parseU64(key, value);
+    else if (key == "partition_cut")
+        partition_cut = parseU64(key, value);
+    else if (key == "partition_epoch")
+        partition_epoch = parseU64(key, value);
+    else if (key == "partition_duration")
+        partition_duration = parseU64(key, value);
+    else
+        throw std::runtime_error("unknown cluster fault knob '" +
+                                 key + "'");
+}
+
+ClusterFaultPlan
+ClusterFaultPlan::fromPairs(
+    const std::vector<std::pair<std::string, std::string>> &pairs,
+    const std::string &prefix)
+{
+    ClusterFaultPlan plan;
+    for (const auto &[key, value] : pairs) {
+        if (key.rfind(prefix, 0) == 0)
+            plan.set(key.substr(prefix.size()), value);
+    }
+    return plan;
+}
+
+ClusterFaultPlan
+ClusterFaultPlan::fromCli(const CliArgs &args)
+{
+    ClusterFaultPlan plan;
+    static const char *const keys[] = {
+        "seed",           "crash_host",
+        "crash_epoch",    "crash_recovery",
+        "slow_host",      "slow_epoch",
+        "slow_duration",  "slow_factor",
+        "degrade_factor", "degrade_epoch",
+        "degrade_duration", "drop_prob",
+        "drop_epoch",     "drop_duration",
+        "partition_cut",  "partition_epoch",
+        "partition_duration",
+    };
+    for (const char *key : keys) {
+        std::string flag = "cfault-";
+        for (const char *p = key; *p; ++p)
+            flag += *p == '_' ? '-' : *p;
+        if (args.has(flag))
+            plan.set(key, args.getString(flag, ""));
+    }
+    return plan;
+}
+
+std::string
+ClusterFaultPlan::canonical() const
+{
+    std::string out;
+    appendU64(out, "seed", seed);
+    appendI64(out, "crash_host", crash_host);
+    appendU64(out, "crash_epoch", crash_epoch);
+    appendU64(out, "crash_recovery", crash_recovery);
+    appendI64(out, "slow_host", slow_host);
+    appendU64(out, "slow_epoch", slow_epoch);
+    appendU64(out, "slow_duration", slow_duration);
+    appendU64(out, "slow_factor", slow_factor);
+    appendDouble(out, "degrade_factor", degrade_factor);
+    appendU64(out, "degrade_epoch", degrade_epoch);
+    appendU64(out, "degrade_duration", degrade_duration);
+    appendDouble(out, "drop_prob", drop_prob);
+    appendU64(out, "drop_epoch", drop_epoch);
+    appendU64(out, "drop_duration", drop_duration);
+    appendU64(out, "partition_cut", partition_cut);
+    appendU64(out, "partition_epoch", partition_epoch);
+    appendU64(out, "partition_duration", partition_duration);
+    return out;
+}
+
+std::string
+ClusterFaultPlan::hash(std::uint64_t trial_seed) const
+{
+    std::string text = canonical();
+    appendU64(text, "effective_seed", seed ? seed : trial_seed);
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(text)));
+    return buf;
+}
+
+} // namespace iat::fault

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * ClusterFaultPlan: the declarative description of a cluster-scale
+ * fault campaign (DESIGN.md SS16).
+ *
+ * Where FaultPlan (plan.hh) describes single-platform faults -- MSR
+ * noise, poll drops, NIC flaps -- this plan describes the failures
+ * only a multi-host world can have: a host crashing or freezing, a
+ * fabric link degrading or dropping frames, and a network partition
+ * splitting the cluster in two. Every schedule is expressed in
+ * *epochs*, not seconds: cluster faults fire exclusively at epoch
+ * edges (the barriers where all cross-shard interaction already
+ * happens), which is what keeps a faulted run bit-identical across
+ * worker-thread counts.
+ *
+ * The knob names are disjoint from FaultPlan's, so one experiment
+ * spec `[fault]` section can carry either family; the CLI flags use
+ * a `--cfault-*` prefix for the same reason. A default-constructed
+ * plan injects nothing: any() is false, no injector is built, and
+ * fault-free cluster runs carry zero overhead.
+ *
+ * Plans hash like FaultPlans do: canonical() renders every knob in
+ * fixed order, hash() folds in the effective seed, and the digest is
+ * stamped into chaos-trial records so trials stay attributable.
+ */
+
+#ifndef IATSIM_FAULT_CLUSTER_PLAN_HH
+#define IATSIM_FAULT_CLUSTER_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/cli.hh"
+
+namespace iat::fault {
+
+/** Knobs for one cluster fault campaign; see file comment. */
+struct ClusterFaultPlan
+{
+    /** Frame-drop RNG seed; 0 defers to the trial seed. */
+    std::uint64_t seed = 0;
+
+    /// @name Host crash (power loss: stops running, loses inbound
+    /// frames, heartbeat goes silent)
+    /// @{
+    /** Shard to crash; -1 disables. */
+    std::int64_t crash_host = -1;
+    /** Epoch at which the crash fires. */
+    std::uint64_t crash_epoch = 0;
+    /** Epochs until the host returns; 0 = crashed for good. */
+    std::uint64_t crash_recovery = 0;
+    /// @}
+
+    /// @name Host freeze/slowdown (runs 1 of every slow_factor
+    /// epochs inside the window; clock lags, frames queue up)
+    /// @{
+    std::int64_t slow_host = -1;
+    std::uint64_t slow_epoch = 0;
+    /** Window length in epochs; 0 = until the run ends. */
+    std::uint64_t slow_duration = 0;
+    /** Host runs one epoch in every @c slow_factor. */
+    std::uint64_t slow_factor = 4;
+    /// @}
+
+    /// @name Fabric link degradation (latency multiplier)
+    /// @{
+    /** One-way latency multiplier; <= 1 disables. */
+    double degrade_factor = 1.0;
+    std::uint64_t degrade_epoch = 0;
+    std::uint64_t degrade_duration = 0; ///< 0 = until the run ends
+    /// @}
+
+    /// @name Random frame drop on the fabric
+    /// @{
+    double drop_prob = 0.0;
+    std::uint64_t drop_epoch = 0;
+    std::uint64_t drop_duration = 0; ///< 0 = until the run ends
+    /// @}
+
+    /// @name Network partition (shards [0, cut) vs [cut, N))
+    /// @{
+    /** Split point; 0 disables the partition. */
+    std::uint64_t partition_cut = 0;
+    std::uint64_t partition_epoch = 0;
+    std::uint64_t partition_duration = 0; ///< 0 = until the run ends
+    /// @}
+
+    /** True when any fault class is configured to fire. */
+    bool any() const;
+
+    /**
+     * Set one knob by its spec key (e.g. "crash_host", "drop_prob").
+     * Throws std::runtime_error on an unknown key or unparsable
+     * value.
+     */
+    void set(const std::string &key, const std::string &value);
+
+    /**
+     * Build from key/value pairs, consuming keys that start with
+     * @p prefix (the spec's `[fault]` section lands in trial params
+     * as `fault.<key>`). Pairs not carrying the prefix are ignored.
+     */
+    static ClusterFaultPlan
+    fromPairs(const std::vector<std::pair<std::string, std::string>>
+                  &pairs,
+              const std::string &prefix = "fault.");
+
+    /** Read the `--cfault-<key>` flag family (dashes for
+     *  underscores). */
+    static ClusterFaultPlan fromCli(const CliArgs &args);
+
+    /** Fixed-order `key=value` rendering of every knob. */
+    std::string canonical() const;
+
+    /**
+     * 16-hex FNV-1a digest of canonical() plus the effective seed
+     * (the plan's own, or @p trial_seed when the plan defers).
+     */
+    std::string hash(std::uint64_t trial_seed) const;
+};
+
+} // namespace iat::fault
+
+#endif // IATSIM_FAULT_CLUSTER_PLAN_HH

@@ -5,7 +5,9 @@
 
 #include "obs/health.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 
 #include "obs/metrics.hh"
@@ -203,6 +205,119 @@ HealthMonitor::noteTransitions(double now)
         rec.kind = stream::StreamKind::Health;
         rec.t_seconds = now;
         rec.json = "{\"kind\":\"health\",\"t_seconds\":";
+        rec.json += jsonNumber(now);
+        rec.json += ",\"rule\":";
+        rec.json += ruleJson(rule);
+        rec.json += '}';
+        publish_->publish(rec);
+    }
+}
+
+ClusterHealthMonitor::ClusterHealthMonitor(ClusterHealthConfig cfg)
+    : cfg_(cfg)
+{
+    status_.rules.resize(3);
+    status_.rules[0].name = "host_down";
+    status_.rules[1].name = "partition_detected";
+    status_.rules[2].name = "migration_storm";
+    was_firing_.assign(status_.rules.size(), false);
+}
+
+const HealthStatus &
+ClusterHealthMonitor::evaluate(
+    std::uint64_t epoch, double now,
+    const std::vector<std::uint64_t> &heartbeat_age,
+    std::uint64_t total_migrations)
+{
+    status_.t_seconds = now;
+    const std::size_t num_hosts = heartbeat_age.size();
+
+    std::size_t silent = 0;
+    std::uint64_t worst_age = 0;
+    for (const std::uint64_t age : heartbeat_age) {
+        if (cfg_.dead_after_epochs > 0 &&
+            age >= cfg_.dead_after_epochs)
+            ++silent;
+        worst_age = std::max(worst_age, age);
+    }
+
+    // host_down: at least one host has gone silent past the death
+    // threshold. Value reports the worst heartbeat age so operators
+    // see how stale the silent host is.
+    {
+        RuleStatus &rule = status_.rules[0];
+        rule.enabled = cfg_.dead_after_epochs > 0;
+        rule.threshold =
+            static_cast<double>(cfg_.dead_after_epochs);
+        rule.value = static_cast<double>(worst_age);
+        rule.firing = rule.enabled && silent > 0;
+    }
+
+    // partition_detected: correlated silence across a meaningful
+    // fraction of the cluster.
+    {
+        RuleStatus &rule = status_.rules[1];
+        rule.enabled = cfg_.partition_min_hosts > 0 &&
+                       cfg_.dead_after_epochs > 0;
+        rule.threshold =
+            static_cast<double>(cfg_.partition_min_hosts);
+        rule.value = static_cast<double>(silent);
+        rule.firing =
+            rule.enabled && silent >= cfg_.partition_min_hosts &&
+            static_cast<double>(silent) >=
+                cfg_.partition_fraction *
+                    static_cast<double>(num_hosts);
+    }
+
+    // migration_storm: migrations landed inside the sliding window.
+    {
+        RuleStatus &rule = status_.rules[2];
+        rule.enabled = cfg_.storm_budget > 0;
+        rule.threshold = static_cast<double>(cfg_.storm_budget);
+        history_.emplace_back(epoch, total_migrations);
+        const std::uint64_t horizon =
+            epoch >= cfg_.storm_window_epochs
+                ? epoch - cfg_.storm_window_epochs
+                : 0;
+        std::size_t keep = 0;
+        while (keep + 1 < history_.size() &&
+               history_[keep].first < horizon)
+            ++keep;
+        if (keep > 0)
+            history_.erase(history_.begin(),
+                           history_.begin() +
+                               static_cast<std::ptrdiff_t>(keep));
+        const std::uint64_t in_window =
+            total_migrations - history_.front().second;
+        rule.value = static_cast<double>(in_window);
+        rule.firing = rule.enabled && in_window > cfg_.storm_budget;
+    }
+
+    status_.ok = true;
+    for (const auto &rule : status_.rules)
+        if (rule.enabled && rule.firing)
+            status_.ok = false;
+
+    noteTransitions(now);
+    return status_;
+}
+
+void
+ClusterHealthMonitor::noteTransitions(double now)
+{
+    for (std::size_t i = 0; i < status_.rules.size(); ++i) {
+        const RuleStatus &rule = status_.rules[i];
+        if (rule.firing == static_cast<bool>(was_firing_[i]))
+            continue;
+        was_firing_[i] = rule.firing;
+        ++transitions_;
+        if (!publish_)
+            continue;
+        stream::StreamRecord rec;
+        rec.kind = stream::StreamKind::Health;
+        rec.t_seconds = now;
+        rec.json = "{\"kind\":\"health\",\"scope\":\"cluster\","
+                   "\"t_seconds\":";
         rec.json += jsonNumber(now);
         rec.json += ",\"rule\":";
         rec.json += ruleJson(rule);

@@ -38,6 +38,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace iat::obs {
@@ -148,6 +149,79 @@ class HealthMonitor
     std::uint64_t transitions_ = 0;
     std::uint64_t evaluations_ = 0;
     double first_eval_seconds_ = -1.0;
+};
+
+/** Cluster-scope watchdog thresholds; zero disables a rule. */
+struct ClusterHealthConfig
+{
+    /** host_down fires while any host's heartbeat age reaches this
+     *  many epochs; 0 disables. */
+    std::uint64_t dead_after_epochs = 8;
+
+    /** partition_detected fires when >= partition_min_hosts hosts
+     *  AND >= partition_fraction of the cluster are silent at once
+     *  -- correlated silence is a fabric cut, not mass death.
+     *  partition_min_hosts = 0 disables. */
+    std::size_t partition_min_hosts = 2;
+    double partition_fraction = 0.5;
+
+    /** migration_storm fires when more than storm_budget migrations
+     *  land within the last storm_window_epochs; 0 budget disables. */
+    std::uint64_t storm_window_epochs = 32;
+    std::uint64_t storm_budget = 4;
+};
+
+/**
+ * Cluster-scope health watchdogs, evaluated by the ClusterWorld at
+ * each epoch barrier over control-plane observables: per-host
+ * heartbeat ages and the migration ledger. Three rules --
+ * host_down, partition_detected, migration_storm -- reuse the
+ * RuleStatus/HealthStatus machinery above, and every transition
+ * publishes a Health record through the stream dispatcher exactly
+ * like the per-host HealthMonitor, so `iatctl cluster` subscribers
+ * see cluster incidents inline with telemetry.
+ *
+ * Determinism: evaluate() is called at the barrier with inputs that
+ * are themselves bit-deterministic, so the transition log (and its
+ * count, which folds into the world digest) is too.
+ */
+class ClusterHealthMonitor
+{
+  public:
+    explicit ClusterHealthMonitor(ClusterHealthConfig cfg);
+
+    /** Install (or clear) the dispatcher transitions publish to;
+     *  the World wires this after building its stream pipeline. */
+    void setPublisher(stream::StreamDispatcher *publish)
+    {
+        publish_ = publish;
+    }
+
+    /**
+     * Evaluate at epoch @p epoch (simulated time @p now) given each
+     * host's heartbeat age and the cumulative migration count.
+     */
+    const HealthStatus &
+    evaluate(std::uint64_t epoch, double now,
+             const std::vector<std::uint64_t> &heartbeat_age,
+             std::uint64_t total_migrations);
+
+    const HealthStatus &status() const { return status_; }
+    std::uint64_t transitions() const { return transitions_; }
+    const ClusterHealthConfig &config() const { return cfg_; }
+
+  private:
+    void noteTransitions(double now);
+
+    ClusterHealthConfig cfg_;
+    stream::StreamDispatcher *publish_ = nullptr;
+
+    HealthStatus status_;
+    std::vector<bool> was_firing_;
+    std::uint64_t transitions_ = 0;
+    /** (epoch, cumulative migrations) checkpoints for the storm
+     *  window; pruned as the window slides. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> history_;
 };
 
 } // namespace iat::obs

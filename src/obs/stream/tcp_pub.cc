@@ -5,6 +5,7 @@
 
 #include "obs/stream/tcp_pub.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -12,10 +13,12 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "util/logging.hh"
+#include "util/rng.hh"
 
 namespace iat::obs::stream {
 
@@ -36,6 +39,52 @@ setNonBlocking(int fd)
 {
     const int flags = ::fcntl(fd, F_GETFL, 0);
     return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/**
+ * Non-blocking connect to 127.0.0.1:@p port bounded by
+ * @p timeout_ms. Returns the connected fd (already non-blocking),
+ * or -1 with errno describing the failure (ETIMEDOUT on timeout).
+ */
+int
+connectWithTimeout(std::uint16_t port, unsigned timeout_ms)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    if (!setNonBlocking(fd)) {
+        ::close(fd);
+        return -1;
+    }
+    sockaddr_in addr = loopbackAddr(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) == 0)
+        return fd;
+    if (errno != EINPROGRESS) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return -1;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready <= 0) {
+        ::close(fd);
+        errno = ready == 0 ? ETIMEDOUT : errno;
+        return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+        ::close(fd);
+        errno = err != 0 ? err : errno;
+        return -1;
+    }
+    return fd;
 }
 
 } // namespace
@@ -82,37 +131,87 @@ TcpCollector::~TcpCollector()
 }
 
 int
-TcpCollector::connectTo(std::uint16_t port)
+TcpCollector::connectTo(std::uint16_t port, unsigned timeout_ms)
 {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int fd = connectWithTimeout(port, timeout_ms);
     if (fd < 0) {
-        warn("stream: collector socket(): %s", std::strerror(errno));
+        warn("stream: cannot connect to tcp port %u within %u ms: "
+             "%s",
+             static_cast<unsigned>(port), timeout_ms,
+             std::strerror(errno));
         return -1;
     }
-    sockaddr_in addr = loopbackAddr(port);
-    // Connect while still blocking: loopback connects complete
-    // immediately once the listener exists, and a blocking connect
-    // spares the caller an EINPROGRESS dance.
-    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
-                  sizeof(addr)) != 0 ||
-        !setNonBlocking(fd)) {
-        warn("stream: cannot connect to tcp port %u: %s",
-             static_cast<unsigned>(port), std::strerror(errno));
-        ::close(fd);
-        return -1;
-    }
-    conns_.push_back(Connection{fd, {}, {}});
+    Connection conn;
+    conn.fd = fd;
+    conn.port = port;
+    conns_.push_back(std::move(conn));
     return static_cast<int>(conns_.size()) - 1;
+}
+
+void
+TcpCollector::setReconnect(bool enabled, unsigned base_backoff_polls,
+                           unsigned max_backoff_polls)
+{
+    reconnect_enabled_ = enabled;
+    base_backoff_polls_ = std::max(1u, base_backoff_polls);
+    max_backoff_polls_ =
+        std::max(base_backoff_polls_, max_backoff_polls);
+}
+
+void
+TcpCollector::scheduleRetry(Connection &conn)
+{
+    // Exponential backoff with a deterministic jitter: the delay is
+    // a pure function of (port, consecutive failures), so tests are
+    // reproducible while distinct collectors still spread out.
+    const unsigned shift = std::min(conn.failures, 16u);
+    const std::uint64_t backoff =
+        std::min<std::uint64_t>(max_backoff_polls_,
+                                std::uint64_t{base_backoff_polls_}
+                                    << shift);
+    std::uint64_t jitter_state =
+        (std::uint64_t{conn.port} << 32) | (conn.failures + 1);
+    const std::uint64_t jitter =
+        splitmix64Next(jitter_state) % (backoff / 2 + 1);
+    conn.next_retry = polls_ + backoff + jitter;
+    conn.want_reconnect = true;
+}
+
+void
+TcpCollector::tryReconnect(Connection &conn)
+{
+    // Short per-attempt timeout: poll() must stay cheap even while
+    // the endpoint is away; persistence comes from retrying.
+    const int fd = connectWithTimeout(conn.port, 10);
+    if (fd < 0) {
+        ++reconnect_failures_;
+        ++conn.failures;
+        scheduleRetry(conn);
+        return;
+    }
+    conn.fd = fd;
+    conn.failures = 0;
+    conn.want_reconnect = false;
+    // A half-received line died with the old connection; keeping it
+    // would splice two streams' bytes into one garbage record.
+    conn.partial.clear();
+    ++reconnects_;
 }
 
 std::size_t
 TcpCollector::poll()
 {
+    ++polls_;
     std::size_t complete = 0;
     char buf[4096];
     for (auto &conn : conns_) {
-        if (conn.fd < 0)
-            continue;
+        if (conn.fd < 0) {
+            if (reconnect_enabled_ && conn.want_reconnect &&
+                polls_ >= conn.next_retry)
+                tryReconnect(conn);
+            if (conn.fd < 0)
+                continue;
+        }
         for (;;) {
             const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
             if (n > 0) {
@@ -135,6 +234,10 @@ TcpCollector::poll()
             if (n == 0) { // publisher closed
                 ::close(conn.fd);
                 conn.fd = -1;
+                ++disconnects_;
+                conn.failures = 0;
+                if (reconnect_enabled_)
+                    scheduleRetry(conn);
             }
             break; // EAGAIN: drained for now
         }

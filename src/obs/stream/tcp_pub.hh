@@ -13,6 +13,13 @@
  * each poll() without ever blocking, reassembles newline-delimited
  * JSON lines per connection, and hands the accumulated text to the
  * stream reader for typed assertions.
+ *
+ * Robustness contract (PR 9): connects carry a timeout so a dead
+ * endpoint fails fast with a clear error instead of hanging, and
+ * with setReconnect() the collector survives a publisher going away
+ * mid-stream -- it re-dials the same port with exponential backoff
+ * plus deterministic jitter, discarding any half-received line so a
+ * resumed stream never splices two different records together.
  */
 
 #ifndef IATSIM_OBS_STREAM_TCP_PUB_HH
@@ -61,17 +68,49 @@ class TcpCollector
     TcpCollector &operator=(const TcpCollector &) = delete;
 
     /**
-     * Connect to a publisher on 127.0.0.1:@p port. Returns the
-     * connection index, or -1 on failure. The connection is
-     * non-blocking; the publisher's next pump() accepts it.
+     * Connect to a publisher on 127.0.0.1:@p port, waiting at most
+     * @p timeout_ms for the connect to complete. Returns the
+     * connection index, or -1 on failure/timeout (with a clear
+     * warning naming the port). The connection is non-blocking; the
+     * publisher's next pump() accepts it.
      */
-    int connectTo(std::uint16_t port);
+    int connectTo(std::uint16_t port, unsigned timeout_ms = 5000);
+
+    /**
+     * Re-dial a publisher that disconnects mid-stream. Retries are
+     * paced in poll() calls: the first after @p base_backoff_polls,
+     * doubling per consecutive failure up to @p max_backoff_polls,
+     * plus a small deterministic jitter (derived from the port and
+     * the attempt count) so many collectors never re-dial in step.
+     */
+    void setReconnect(bool enabled,
+                      unsigned base_backoff_polls = 2,
+                      unsigned max_backoff_polls = 64);
 
     /** Drain available bytes on every connection without blocking;
      *  returns complete lines received across this call. */
     std::size_t poll();
 
     std::size_t connectionCount() const { return conns_.size(); }
+
+    /** Whether connection @p i is currently established. */
+    bool connected(std::size_t i) const
+    {
+        return conns_[i].fd >= 0;
+    }
+
+    /// @name Robustness counters
+    /// @{
+    /** Publisher-side disconnects observed (recv saw EOF). */
+    std::uint64_t disconnects() const { return disconnects_; }
+    /** Successful re-dials after a disconnect. */
+    std::uint64_t reconnects() const { return reconnects_; }
+    /** Failed re-dial attempts (endpoint still away). */
+    std::uint64_t reconnectFailures() const
+    {
+        return reconnect_failures_;
+    }
+    /// @}
 
     /** Complete lines received on connection @p i, in order. */
     const std::vector<std::string> &lines(std::size_t i) const
@@ -89,11 +128,25 @@ class TcpCollector
     struct Connection
     {
         int fd = -1;
+        std::uint16_t port = 0; ///< re-dial target
         std::string partial; ///< bytes after the last newline
         std::vector<std::string> lines;
+        unsigned failures = 0;       ///< consecutive re-dial misses
+        std::uint64_t next_retry = 0; ///< poll() count gating retry
+        bool want_reconnect = false; ///< disconnected, will re-dial
     };
 
+    void scheduleRetry(Connection &conn);
+    void tryReconnect(Connection &conn);
+
     std::vector<Connection> conns_;
+    bool reconnect_enabled_ = false;
+    unsigned base_backoff_polls_ = 2;
+    unsigned max_backoff_polls_ = 64;
+    std::uint64_t polls_ = 0;
+    std::uint64_t disconnects_ = 0;
+    std::uint64_t reconnects_ = 0;
+    std::uint64_t reconnect_failures_ = 0;
 };
 
 } // namespace iat::obs::stream

@@ -116,5 +116,183 @@ TEST(Scheduler, MigrationLogAccumulates)
     EXPECT_EQ(sched.migrations()[1].from, 1u);
 }
 
+TEST(Scheduler, CooldownBoundaryIsExclusive)
+{
+    // Move at epoch 10 with cooldown 5: epoch 15 is the first epoch
+    // where (epoch - last) > cooldown fails... the contract is that
+    // exactly cooldown epochs of suppression follow the move, so
+    // epoch 15 (delta == 5) must still act.
+    TenantScheduler sched(loadAware(0.10, /*cooldown=*/5), 2, 2);
+    sched.placeInitial(2);
+    ASSERT_EQ(sched.step(10, {0.8, 0.2}).size(), 1u);
+    EXPECT_TRUE(sched.step(14, {0.8, 0.2}).empty());
+    EXPECT_EQ(sched.step(15, {0.8, 0.2}).size(), 1u);
+}
+
+TEST(Scheduler, EqualSpreadStaysPut)
+{
+    // Spread exactly equal to the margin must not trigger: the
+    // comparison is strict, so a dead-even cluster never churns.
+    TenantScheduler sched(loadAware(0.10), 2, 2);
+    sched.placeInitial(2);
+    EXPECT_TRUE(sched.step(1, {0.60, 0.50}).empty());
+    EXPECT_TRUE(sched.step(2, {0.55, 0.55}).empty());
+}
+
+TEST(Scheduler, CapacityRefusalLeavesStateUntouched)
+{
+    // The only cold host is full: no move, and repeated refusals
+    // must not corrupt occupancy or the migration log.
+    TenantScheduler sched(loadAware(0.10), 3, 1);
+    sched.placeInitial(3); // one per host
+    for (std::uint64_t e = 1; e < 6; ++e)
+        EXPECT_TRUE(sched.step(e, {0.9, 0.1, 0.5}).empty());
+    EXPECT_TRUE(sched.migrations().empty());
+    EXPECT_EQ(sched.freeSlots(0), 0u);
+    EXPECT_EQ(sched.freeSlots(1), 0u);
+    EXPECT_EQ(sched.freeSlots(2), 0u);
+}
+
+// ---------------------------------------------------------------
+// Failover: heartbeat-driven evacuation + partition backoff.
+// ---------------------------------------------------------------
+
+SchedulerConfig
+failover(std::uint64_t dead_after = 8,
+         std::uint64_t degraded_after = 4)
+{
+    SchedulerConfig cfg;
+    cfg.policy = PlacePolicy::Failover;
+    cfg.margin = 10.0; // keep load balancing out of the picture
+    cfg.cooldown_epochs = 4;
+    cfg.dead_after_epochs = dead_after;
+    cfg.degraded_after_epochs = degraded_after;
+    return cfg;
+}
+
+TEST(Failover, EvacuatesDeadHost)
+{
+    TenantScheduler sched(failover(), 3, 2);
+    sched.placeInitial(2); // both on host 0
+
+    // Host 0 silent but not yet declared dead: no move.
+    EXPECT_TRUE(
+        sched.step(1, {{0.5, 7}, {0.2, 0}, {0.3, 0}}).empty());
+
+    // Dead: one evacuation per step (storm bound), cooldown ignored.
+    auto moved = sched.step(2, {{0.5, 8}, {0.2, 0}, {0.3, 0}});
+    ASSERT_EQ(moved.size(), 1u);
+    EXPECT_TRUE(moved[0].evacuation);
+    EXPECT_EQ(moved[0].from, 0u);
+    EXPECT_EQ(moved[0].to, 1u); // least-loaded survivor
+
+    moved = sched.step(3, {{0.5, 9}, {0.2, 0}, {0.3, 0}});
+    ASSERT_EQ(moved.size(), 1u);
+    EXPECT_TRUE(moved[0].evacuation);
+
+    EXPECT_EQ(sched.evacuations(), 2u);
+    EXPECT_EQ(sched.shardOf(0), 1u);
+    EXPECT_EQ(sched.shardOf(1), 1u);
+    // Host emptied: nothing left to evacuate.
+    EXPECT_TRUE(
+        sched.step(4, {{0.5, 10}, {0.2, 0}, {0.3, 0}}).empty());
+}
+
+TEST(Failover, DestinationRespectsCapacityAndDegradation)
+{
+    TenantScheduler sched(failover(), 3, 2);
+    sched.placeInitial(4); // hosts 0 and 1 full, host 2 empty
+
+    // Host 0 dead, host 1 full, host 2 degraded (age >= 4): no
+    // eligible destination, so the tenants stay (for now).
+    EXPECT_TRUE(
+        sched.step(1, {{0.5, 8}, {0.2, 0}, {0.3, 5}}).empty());
+
+    // Host 2 recovers its heartbeat: evacuation resumes into it.
+    const auto moved =
+        sched.step(2, {{0.5, 9}, {0.2, 0}, {0.3, 0}});
+    ASSERT_EQ(moved.size(), 1u);
+    EXPECT_EQ(moved[0].to, 2u);
+}
+
+TEST(Failover, PartitionBackoffFreezesScheduler)
+{
+    TenantScheduler sched(failover(), 4, 2);
+    sched.placeInitial(4);
+
+    // Two of four hosts (>= partition_min_hosts, >= 50%) look dead
+    // at once: suspect a cut, move nothing.
+    EXPECT_TRUE(sched
+                    .step(1, {{0.5, 9}, {0.4, 9}, {0.2, 0},
+                              {0.3, 0}})
+                    .empty());
+    EXPECT_EQ(sched.partitionBackoffs(), 1u);
+    EXPECT_EQ(sched.evacuations(), 0u);
+
+    // One host comes back: the remaining silent host really is
+    // dead, and evacuation proceeds.
+    EXPECT_EQ(
+        sched.step(2, {{0.5, 10}, {0.4, 0}, {0.2, 0}, {0.3, 0}})
+            .size(),
+        1u);
+    EXPECT_EQ(sched.evacuations(), 1u);
+}
+
+TEST(Failover, EvacuationBypassesCooldownButArmsIt)
+{
+    SchedulerConfig cfg = failover();
+    cfg.margin = 0.10; // re-enable load balancing for this test
+    TenantScheduler sched(cfg, 3, 3);
+    sched.placeInitial(3); // all on host 0
+
+    // Rebalance at epoch 10 arms the cooldown...
+    ASSERT_EQ(
+        sched.step(10, {{0.8, 0}, {0.2, 0}, {0.2, 0}}).size(), 1u);
+    // ...which an evacuation at epoch 11 ignores...
+    const auto moved =
+        sched.step(11, {{0.8, 8}, {0.2, 0}, {0.2, 0}});
+    ASSERT_EQ(moved.size(), 1u);
+    EXPECT_TRUE(moved[0].evacuation);
+    // ...but the evacuation re-armed it, so a mere imbalance at
+    // epoch 12 (host 0 healthy again) stays suppressed.
+    EXPECT_TRUE(
+        sched.step(12, {{0.9, 0}, {0.2, 0}, {0.2, 0}}).empty());
+}
+
+TEST(Failover, LockedTenantIsSkipped)
+{
+    TenantScheduler sched(failover(), 3, 2);
+    sched.placeInitial(2); // both on host 0
+    sched.setLocked(0, true);
+
+    // Tenant 0 (normally evacuated first) is in transit: the
+    // evacuation must pick tenant 1 instead.
+    const auto moved =
+        sched.step(1, {{0.5, 8}, {0.2, 0}, {0.3, 0}});
+    ASSERT_EQ(moved.size(), 1u);
+    EXPECT_EQ(moved[0].tenant, 1u);
+
+    // Only the locked tenant remains: nothing can move.
+    EXPECT_TRUE(
+        sched.step(2, {{0.5, 9}, {0.2, 0}, {0.3, 0}}).empty());
+}
+
+TEST(Failover, DegradedHostKeepsItsTenantsAndLoad)
+{
+    // A degraded (but not dead) host is not evacuated, and is also
+    // not used as a rebalance source/destination.
+    SchedulerConfig cfg = failover();
+    cfg.margin = 0.10;
+    TenantScheduler sched(cfg, 2, 2);
+    sched.placeInitial(2); // both on host 0
+
+    // Host 0 degraded and hot: no rebalance from it (its telemetry
+    // is stale), no evacuation (it is not dead).
+    EXPECT_TRUE(
+        sched.step(1, {{0.9, 5}, {0.1, 0}}).empty());
+    EXPECT_EQ(sched.shardOf(0), 0u);
+    EXPECT_EQ(sched.shardOf(1), 0u);
+}
+
 } // namespace
 } // namespace iat::cluster

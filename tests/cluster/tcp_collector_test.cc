@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -143,6 +144,76 @@ TEST(TcpCollector, LateSubscriberIsCaughtUpWithHeader)
     const std::string &first = late.lines(0).front();
     EXPECT_NE(first.find("\"kind\":\"header\""), std::string::npos)
         << first;
+}
+
+TEST(TcpCollector, ReconnectsAfterPublisherRestart)
+{
+    auto pub = std::make_unique<TcpPublisher>();
+    ASSERT_TRUE(pub->ok());
+    const std::uint16_t port = pub->port();
+
+    TcpCollector collector;
+    collector.setReconnect(true, /*base=*/1, /*max=*/2);
+    ASSERT_GE(collector.connectTo(port), 0);
+    pub->pump(); // accept
+
+    obs::stream::StreamRecord rec;
+    rec.kind = obs::stream::StreamKind::Lifecycle;
+    rec.json = "{\"kind\":\"lifecycle\",\"t_seconds\":0}";
+    pub->handle(rec);
+    pub->pump();
+    collector.poll();
+    EXPECT_EQ(collector.totalLines(), 1u);
+
+    // The publisher dies: the collector sees the EOF, counts the
+    // disconnect, and starts re-dialing; while the port is closed
+    // every attempt fails (and is counted too).
+    pub.reset();
+    collector.poll();
+    EXPECT_EQ(collector.disconnects(), 1u);
+    EXPECT_FALSE(collector.connected(0));
+    for (int i = 0; i < 8 && collector.reconnectFailures() == 0;
+         ++i)
+        collector.poll();
+    EXPECT_GT(collector.reconnectFailures(), 0u);
+
+    // A new publisher takes over the same port: the backoff loop
+    // finds it within a few polls...
+    auto revived = std::make_unique<TcpPublisher>(port);
+    ASSERT_TRUE(revived->ok());
+    for (int i = 0; i < 64 && !collector.connected(0); ++i)
+        collector.poll();
+    ASSERT_TRUE(collector.connected(0));
+    EXPECT_EQ(collector.reconnects(), 1u);
+
+    // ...and records flow again on the resumed connection.
+    revived->pump(); // accept the re-dial
+    revived->handle(rec);
+    revived->pump();
+    collector.poll();
+    EXPECT_EQ(collector.totalLines(), 2u);
+}
+
+TEST(TcpCollector, ConnectToDeadPortFailsFastAndCleanly)
+{
+    // Nothing listens on the publisher's port once it is gone; a
+    // fresh connect must fail quickly (refused or timed out, well
+    // under the timeout ceiling) and leave no connection behind.
+    std::uint16_t dead_port = 0;
+    {
+        TcpPublisher probe;
+        ASSERT_TRUE(probe.ok());
+        dead_port = probe.port();
+    }
+    TcpCollector collector;
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_LT(collector.connectTo(dead_port, 500), 0);
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_LT(elapsed, 2.0);
+    EXPECT_EQ(collector.connectionCount(), 0u);
 }
 
 } // namespace

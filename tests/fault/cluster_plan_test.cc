@@ -1,0 +1,257 @@
+/**
+ * @file
+ * ClusterFaultPlan + ClusterFaultInjector unit tests: knob parsing
+ * (spec pairs, CLI flags, error cases), canonical/hash stability,
+ * and the injector's pure schedule queries -- crash and slowdown
+ * windows, partition link cuts, degradation windows, and the
+ * determinism of the frame-drop coin stream.
+ */
+
+#include "fault/cluster_injector.hh"
+#include "fault/cluster_plan.hh"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace iat::fault {
+namespace {
+
+TEST(ClusterPlan, DefaultInjectsNothing)
+{
+    const ClusterFaultPlan plan;
+    EXPECT_FALSE(plan.any());
+}
+
+TEST(ClusterPlan, EachFaultClassArmsAny)
+{
+    ClusterFaultPlan plan;
+    plan.crash_host = 0;
+    EXPECT_TRUE(plan.any());
+
+    plan = ClusterFaultPlan{};
+    plan.slow_host = 1;
+    EXPECT_TRUE(plan.any());
+
+    plan = ClusterFaultPlan{};
+    plan.degrade_factor = 3.0;
+    EXPECT_TRUE(plan.any());
+
+    plan = ClusterFaultPlan{};
+    plan.drop_prob = 0.1;
+    EXPECT_TRUE(plan.any());
+
+    plan = ClusterFaultPlan{};
+    plan.partition_cut = 1;
+    EXPECT_TRUE(plan.any());
+}
+
+TEST(ClusterPlan, SetParsesAndRejects)
+{
+    ClusterFaultPlan plan;
+    plan.set("crash_host", "2");
+    plan.set("crash_epoch", "40");
+    plan.set("drop_prob", "0.25");
+    EXPECT_EQ(plan.crash_host, 2);
+    EXPECT_EQ(plan.crash_epoch, 40u);
+    EXPECT_DOUBLE_EQ(plan.drop_prob, 0.25);
+    EXPECT_THROW(plan.set("no_such_knob", "1"),
+                 std::runtime_error);
+}
+
+TEST(ClusterPlan, FromPairsConsumesPrefixedKeysOnly)
+{
+    const std::vector<std::pair<std::string, std::string>> pairs = {
+        {"policy", "failover"},       // not a fault knob: ignored
+        {"fault.crash_host", "0"},
+        {"fault.crash_epoch", "40"},
+        {"fault.partition_cut", "2"},
+    };
+    const auto plan = ClusterFaultPlan::fromPairs(pairs);
+    EXPECT_EQ(plan.crash_host, 0);
+    EXPECT_EQ(plan.crash_epoch, 40u);
+    EXPECT_EQ(plan.partition_cut, 2u);
+    EXPECT_TRUE(plan.any());
+}
+
+TEST(ClusterPlan, FromCliReadsDashedFlags)
+{
+    const char *argv[] = {"test", "--cfault-crash-host=1",
+                          "--cfault-drop-prob=0.5",
+                          "--cfault-slow-factor=3"};
+    const CliArgs args(4, const_cast<char **>(argv));
+    const auto plan = ClusterFaultPlan::fromCli(args);
+    EXPECT_EQ(plan.crash_host, 1);
+    EXPECT_DOUBLE_EQ(plan.drop_prob, 0.5);
+    EXPECT_EQ(plan.slow_factor, 3u);
+}
+
+TEST(ClusterPlan, CanonicalIsStableAndHashSeeded)
+{
+    ClusterFaultPlan a;
+    a.crash_host = 0;
+    a.crash_epoch = 10;
+    ClusterFaultPlan b = a;
+
+    EXPECT_EQ(a.canonical(), b.canonical());
+    EXPECT_EQ(a.hash(7), b.hash(7));
+    // The digest distinguishes trial seeds (the plan defers)...
+    EXPECT_NE(a.hash(7), a.hash(8));
+    // ...unless the plan pins its own seed.
+    a.seed = 42;
+    b.seed = 42;
+    EXPECT_EQ(a.hash(7), b.hash(8));
+    // And any knob change moves the digest.
+    b.crash_epoch = 11;
+    EXPECT_NE(a.hash(7), b.hash(7));
+}
+
+// ---------------------------------------------------------------
+// Injector schedule queries.
+// ---------------------------------------------------------------
+
+TEST(ClusterInjector, CrashWindowAndRecovery)
+{
+    ClusterFaultPlan plan;
+    plan.crash_host = 1;
+    plan.crash_epoch = 10;
+    plan.crash_recovery = 5;
+    ClusterFaultInjector inj(plan, 4, 1);
+
+    EXPECT_TRUE(inj.hostUp(1, 9));
+    for (std::uint64_t e = 10; e < 15; ++e) {
+        EXPECT_FALSE(inj.hostUp(1, e)) << "epoch " << e;
+        EXPECT_FALSE(inj.hostRuns(1, e)) << "epoch " << e;
+    }
+    EXPECT_TRUE(inj.hostUp(1, 15)); // recovered
+    // Other hosts never notice.
+    EXPECT_TRUE(inj.hostUp(0, 12));
+    EXPECT_TRUE(inj.hostUp(3, 12));
+}
+
+TEST(ClusterInjector, PermanentCrashNeverRecovers)
+{
+    ClusterFaultPlan plan;
+    plan.crash_host = 0;
+    plan.crash_epoch = 3;
+    plan.crash_recovery = 0;
+    ClusterFaultInjector inj(plan, 2, 1);
+    EXPECT_TRUE(inj.hostUp(0, 2));
+    EXPECT_FALSE(inj.hostUp(0, 3));
+    EXPECT_FALSE(inj.hostUp(0, 1000000));
+}
+
+TEST(ClusterInjector, SlowdownRunsOneInEveryFactor)
+{
+    ClusterFaultPlan plan;
+    plan.slow_host = 0;
+    plan.slow_epoch = 8;
+    plan.slow_duration = 9;
+    plan.slow_factor = 3;
+    ClusterFaultInjector inj(plan, 2, 1);
+
+    // Inside the window the host runs epochs 8, 11, 14 only; the
+    // host is still "up" throughout (frames keep arriving).
+    for (std::uint64_t e = 8; e < 17; ++e) {
+        EXPECT_EQ(inj.hostRuns(0, e), (e - 8) % 3 == 0)
+            << "epoch " << e;
+        EXPECT_TRUE(inj.hostUp(0, e));
+    }
+    EXPECT_TRUE(inj.hostRuns(0, 7));
+    EXPECT_TRUE(inj.hostRuns(0, 17));
+}
+
+TEST(ClusterInjector, PartitionCutsCrossLinksOnly)
+{
+    ClusterFaultPlan plan;
+    plan.partition_cut = 2; // {0,1} vs {2,3}
+    plan.partition_epoch = 5;
+    plan.partition_duration = 10;
+    ClusterFaultInjector inj(plan, 4, 1);
+
+    EXPECT_TRUE(inj.linkUp(0, 3, 4)); // before the window
+    EXPECT_FALSE(inj.linkUp(0, 3, 5));
+    EXPECT_FALSE(inj.linkUp(2, 1, 9)); // symmetric
+    EXPECT_TRUE(inj.linkUp(0, 1, 9));  // same side
+    EXPECT_TRUE(inj.linkUp(2, 3, 9));  // same side
+    EXPECT_TRUE(inj.linkUp(0, 3, 15)); // healed
+}
+
+TEST(ClusterInjector, DegradeWindowScalesLatency)
+{
+    ClusterFaultPlan plan;
+    plan.degrade_factor = 4.0;
+    plan.degrade_epoch = 2;
+    plan.degrade_duration = 3;
+    ClusterFaultInjector inj(plan, 2, 1);
+
+    EXPECT_DOUBLE_EQ(inj.latencyFactor(1), 1.0);
+    EXPECT_DOUBLE_EQ(inj.latencyFactor(2), 4.0);
+    EXPECT_DOUBLE_EQ(inj.latencyFactor(4), 4.0);
+    EXPECT_DOUBLE_EQ(inj.latencyFactor(5), 1.0);
+
+    cluster::FabricFrame frame;
+    frame.src_shard = 0;
+    frame.dst_shard = 1;
+    double latency = 10.0;
+    inj.beginEpoch(3);
+    EXPECT_TRUE(inj.onRoute(frame, latency));
+    EXPECT_DOUBLE_EQ(latency, 40.0);
+}
+
+TEST(ClusterInjector, DropCoinStreamIsSeedDeterministic)
+{
+    ClusterFaultPlan plan;
+    plan.drop_prob = 0.5;
+    cluster::FabricFrame frame;
+    frame.src_shard = 0;
+    frame.dst_shard = 1;
+
+    // Same seed -> the same drop/keep sequence; the counters agree.
+    ClusterFaultInjector a(plan, 2, 99);
+    ClusterFaultInjector b(plan, 2, 99);
+    for (int i = 0; i < 256; ++i) {
+        double la = 1.0, lb = 1.0;
+        a.beginEpoch(static_cast<std::uint64_t>(i));
+        b.beginEpoch(static_cast<std::uint64_t>(i));
+        EXPECT_EQ(a.onRoute(frame, la), b.onRoute(frame, lb));
+    }
+    EXPECT_EQ(a.framesDroppedRandom(), b.framesDroppedRandom());
+    // p = 0.5 over 256 coins: both outcomes must have occurred.
+    EXPECT_GT(a.framesDroppedRandom(), 0u);
+    EXPECT_LT(a.framesDroppedRandom(), 256u);
+
+    // A different seed produces a different sequence.
+    ClusterFaultInjector c(plan, 2, 100);
+    bool any_diff = false;
+    ClusterFaultInjector a2(plan, 2, 99);
+    for (int i = 0; i < 256; ++i) {
+        double la = 1.0, lc = 1.0;
+        a2.beginEpoch(static_cast<std::uint64_t>(i));
+        c.beginEpoch(static_cast<std::uint64_t>(i));
+        if (a2.onRoute(frame, la) != c.onRoute(frame, lc))
+            any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(ClusterInjector, PartitionDropsCountSeparately)
+{
+    ClusterFaultPlan plan;
+    plan.partition_cut = 1;
+    plan.partition_epoch = 0;
+    plan.partition_duration = 0; // forever
+    ClusterFaultInjector inj(plan, 2, 1);
+
+    cluster::FabricFrame cross;
+    cross.src_shard = 0;
+    cross.dst_shard = 1;
+    double latency = 1.0;
+    inj.beginEpoch(0);
+    EXPECT_FALSE(inj.onRoute(cross, latency));
+    EXPECT_EQ(inj.framesDroppedPartition(), 1u);
+    EXPECT_EQ(inj.framesDroppedRandom(), 0u);
+}
+
+} // namespace
+} // namespace iat::fault

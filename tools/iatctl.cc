@@ -386,10 +386,16 @@ cmdCluster(const CliArgs &args)
         static_cast<unsigned>(args.getInt("batch-tenants", 2));
     const std::string sched = args.getString("scheduler", "load");
     if (!cluster::parsePlacePolicy(sched, cfg.scheduler.policy))
-        fatal("unknown scheduler '%s' (static|load)", sched.c_str());
+        fatal("unknown scheduler '%s' (static|load|failover)",
+              sched.c_str());
     cfg.scheduler.margin = args.getDouble("margin", 0.2);
     cfg.scheduler.cooldown_epochs =
         static_cast<std::uint64_t>(args.getInt("cooldown", 12));
+    cfg.scheduler.dead_after_epochs =
+        static_cast<std::uint64_t>(args.getInt("dead-after", 8));
+    cfg.scheduler.degraded_after_epochs = static_cast<std::uint64_t>(
+        args.getInt("degraded-after", 4));
+    cfg.health.dead_after_epochs = cfg.scheduler.dead_after_epochs;
     cfg.shard.rate_pps = args.getDouble("rate", 1.5) * 1e6;
     cfg.shard.remote_rate_pps =
         args.getDouble("remote-rate", 0.5) * 1e6;
@@ -398,13 +404,32 @@ cmdCluster(const CliArgs &args)
         << 20;
     cfg.shard.seed =
         static_cast<std::uint64_t>(args.getInt("seed", 1));
+    try {
+        cfg.fault = fault::ClusterFaultPlan::fromCli(args);
+    } catch (const std::exception &e) {
+        fatal("%s", e.what());
+    }
     const double seconds = args.getDouble("seconds", 0.2);
     const bool tcp = args.getBool("tcp");
+    const unsigned tcp_timeout_ms = static_cast<unsigned>(
+        args.getInt("tcp-timeout-ms", 2000));
 
     args.declareKnown({"shards", "threads", "seconds", "epoch-us",
                        "fabric-latency-us", "batch-tenants",
-                       "scheduler", "margin", "cooldown", "rate",
-                       "remote-rate", "batch-ws-mib", "seed", "tcp"});
+                       "scheduler", "margin", "cooldown",
+                       "dead-after", "degraded-after", "rate",
+                       "remote-rate", "batch-ws-mib", "seed", "tcp",
+                       "tcp-timeout-ms", "cfault-seed",
+                       "cfault-crash-host", "cfault-crash-epoch",
+                       "cfault-crash-recovery", "cfault-slow-host",
+                       "cfault-slow-epoch", "cfault-slow-duration",
+                       "cfault-slow-factor", "cfault-degrade-factor",
+                       "cfault-degrade-epoch",
+                       "cfault-degrade-duration", "cfault-drop-prob",
+                       "cfault-drop-epoch", "cfault-drop-duration",
+                       "cfault-partition-cut",
+                       "cfault-partition-epoch",
+                       "cfault-partition-duration"});
     args.warnUnknown();
 
     cluster::ClusterWorld world(cfg);
@@ -422,9 +447,13 @@ cmdCluster(const CliArgs &args)
         publisher = pub.get();
         dispatcher.adopt(std::move(pub));
         collector = std::make_unique<obs::stream::TcpCollector>();
-        if (collector->connectTo(publisher->port()) < 0)
-            fatal("could not connect to publisher port %u",
-                  publisher->port());
+        collector->setReconnect(true);
+        if (collector->connectTo(publisher->port(),
+                                 tcp_timeout_ms) < 0)
+            fatal("could not connect to publisher port %u within "
+                  "%u ms (is the endpoint alive? see "
+                  "--tcp-timeout-ms)",
+                  publisher->port(), tcp_timeout_ms);
         publisher->pump(); // accept the pending connection
         world.setDispatcher(&dispatcher);
     }
@@ -464,24 +493,79 @@ cmdCluster(const CliArgs &args)
                     shard.hostLatency().percentile(0.99) * 1e6,
                     shard.gauge("dram.utilization"));
     }
-    std::printf("  fabric: %llu frames routed, %llu delivered\n",
+    std::printf("  fabric: %llu frames routed, %llu delivered, "
+                "%llu dropped\n",
                 static_cast<unsigned long long>(
                     world.fabric().framesRouted()),
                 static_cast<unsigned long long>(
-                    world.fabric().framesDelivered()));
+                    world.fabric().framesDelivered()),
+                static_cast<unsigned long long>(
+                    world.fabric().framesDropped()));
+    if (const auto *inj = world.injector()) {
+        std::printf("  faults (plan %s): %llu dropped random, %llu "
+                    "dropped partition, %llu lost to crash, %llu "
+                    "host-epochs skipped\n",
+                    inj->plan().hash(cfg.shard.seed).c_str(),
+                    static_cast<unsigned long long>(
+                        inj->framesDroppedRandom()),
+                    static_cast<unsigned long long>(
+                        inj->framesDroppedPartition()),
+                    static_cast<unsigned long long>(
+                        inj->crashFramesLost()),
+                    static_cast<unsigned long long>(
+                        inj->hostEpochsSkipped()));
+    }
     const auto &migrations = world.scheduler().migrations();
-    std::printf("  migrations: %zu\n", migrations.size());
+    std::printf("  migrations: %zu (%llu evacuations, %llu arrived, "
+                "%zu in transit, %llu partition backoffs)\n",
+                migrations.size(),
+                static_cast<unsigned long long>(
+                    world.scheduler().evacuations()),
+                static_cast<unsigned long long>(
+                    world.migrationArrivals()),
+                world.migrationsInTransit(),
+                static_cast<unsigned long long>(
+                    world.scheduler().partitionBackoffs()));
     for (const auto &m : migrations) {
-        std::printf("    epoch %llu: %s host%u -> host%u\n",
+        std::printf("    epoch %llu: %s host%u -> host%u%s\n",
                     static_cast<unsigned long long>(m.epoch),
                     world.batchTenants()[m.tenant].name.c_str(),
-                    m.from, m.to);
+                    m.from, m.to,
+                    m.evacuation ? " (evacuation)" : "");
+    }
+    if (world.health().transitions() > 0) {
+        std::printf("  health: %llu rule transitions",
+                    static_cast<unsigned long long>(
+                        world.health().transitions()));
+        for (const auto &rule : world.health().status().rules) {
+            if (rule.firing)
+                std::printf(", %s FIRING", rule.name.c_str());
+        }
+        std::printf("\n");
     }
     if (tcp) {
         publisher->pump();
         collector->poll();
         std::printf("  tcp: %zu lines collected from port %u\n",
                     collector->totalLines(), publisher->port());
+        std::printf("  tcp: publisher accepted %llu sent %llu "
+                    "dropped %llu disconnects %llu; collector "
+                    "disconnects %llu reconnects %llu (failed "
+                    "%llu)\n",
+                    static_cast<unsigned long long>(
+                        publisher->accepted()),
+                    static_cast<unsigned long long>(
+                        publisher->sent()),
+                    static_cast<unsigned long long>(
+                        publisher->dropped()),
+                    static_cast<unsigned long long>(
+                        publisher->disconnects()),
+                    static_cast<unsigned long long>(
+                        collector->disconnects()),
+                    static_cast<unsigned long long>(
+                        collector->reconnects()),
+                    static_cast<unsigned long long>(
+                        collector->reconnectFailures()));
     }
     return 0;
 }
@@ -581,11 +665,20 @@ usage()
         "--epoch-us=500\n"
         "          --fabric-latency-us=5 --rate=1.5 "
         "--remote-rate=0.5 (Mpps)\n"
-        "          --batch-tenants=2 --scheduler=static|load "
-        "--margin=0.2\n"
-        "          --cooldown=12 --batch-ws-mib=48 --seed=1\n"
+        "          --batch-tenants=2 --scheduler=static|load|"
+        "failover --margin=0.2\n"
+        "          --cooldown=12 --dead-after=8 --degraded-after=4\n"
+        "          --batch-ws-mib=48 --seed=1\n"
         "          --tcp (stream records through a loopback "
         "publisher/collector)\n"
+        "          --tcp-timeout-ms=2000 (connect timeout; fails "
+        "fast on a dead endpoint)\n"
+        "          --cfault-crash-host=<s> --cfault-crash-epoch=<e> "
+        "--cfault-crash-recovery=<n>\n"
+        "          --cfault-slow-host=<s> --cfault-slow-factor=<n> "
+        "--cfault-degrade-factor=<x>\n"
+        "          --cfault-drop-prob=<p> --cfault-partition-cut=<k>"
+        " (+ -epoch/-duration each)\n"
         "  service send one command to a running iatsvc\n"
         "          --control=<socket> (default iatsvc.sock) "
         "--timeout-ms=5000\n"
