@@ -1,0 +1,482 @@
+/**
+ * @file
+ * The policy bakeoff: every registered policy head-to-head on every
+ * shipped scenario, with a fairness axis (ROADMAP "Policy bakeoff").
+ *
+ * One case = one (policy, scenario, fault plan) triple, and runs as
+ * N+1 fully independent passes sharing nothing but the seed:
+ *
+ *  - N solo passes, one per measured tenant: the static layout is
+ *    applied, the tenant's CLOS is then widened to the full LLC, and
+ *    every *other* measured tenant's workload is quiesced via the
+ *    world's setTenantActive(). The tenant's IPC over a settled
+ *    window is its solo reference. Infrastructure tenants (the
+ *    SoftwareStack priority) keep running -- they are the machine,
+ *    not a contender -- and solo passes are always fault-free: the
+ *    reference is the ideal machine.
+ *  - one policy pass with all workloads live, the policy attached
+ *    through the same PolicyRuntime the figure benches use, and the
+ *    fault plan (if any) armed after attach per the injector's
+ *    lifecycle contract.
+ *
+ * Fairness comes out of computeFairness() (bench/common.hh): per
+ * tenant slowdown = IPC_solo / IPC_policy, Jain's index over
+ * normalized progress, and the worst tenant's slowdown. Throughput
+ * and p99 are scenario-native (packets for agg/slicing, Redis
+ * responses for corun), reported in M items/s and microseconds so
+ * one table holds all scenarios.
+ *
+ * Determinism contract: everything reported derives from simulator
+ * counters under a per-trial seed, so the campaign JSONL is
+ * byte-identical across runs and --jobs values (the CI bakeoff-smoke
+ * job diffs the digests).
+ */
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/sweeps.hh"
+#include "fault/injector.hh"
+#include "scenarios/agg_testpmd.hh"
+#include "scenarios/common.hh"
+#include "scenarios/corun.hh"
+#include "scenarios/slicing_pmd_xmem.hh"
+#include "util/units.hh"
+
+namespace iat::bench {
+
+namespace {
+
+/**
+ * Uniform facade over the three scenario worlds, so one pass driver
+ * serves all of them. Implementations own their world; the platform
+ * and engine stay with the caller (one fresh pair per pass).
+ */
+class BakeoffScenario
+{
+  public:
+    virtual ~BakeoffScenario() = default;
+
+    virtual core::TenantRegistry &registry() = 0;
+    virtual void attach(sim::Engine &engine) = 0;
+
+    /** Pause/resume one tenant's workload (solo references). */
+    virtual void setTenantActive(std::size_t t, bool active) = 0;
+
+    /** Wire the scenario's NICs into @p injector (pre-arm). Worlds
+     *  that keep their NICs private wire nothing; MSR faults, poll
+     *  drops and churn still apply there. */
+    virtual void wireNics(fault::FaultInjector &injector) = 0;
+
+    /** Clear throughput/latency counters for a window. */
+    virtual void resetWindow() = 0;
+
+    /** Items delivered per second over @p window, in millions. */
+    virtual double throughputMps(double window) const = 0;
+
+    /** Client-observed p99 latency over the window, microseconds. */
+    virtual double p99Us() const = 0;
+
+    /** The tenant-classification model the policies should run. */
+    virtual core::TenantModel model() const = 0;
+};
+
+class AggBakeoff final : public BakeoffScenario
+{
+  public:
+    AggBakeoff(sim::Platform &platform, std::uint64_t seed)
+        : world_(platform, makeConfig(seed))
+    {
+    }
+
+    core::TenantRegistry &registry() override
+    {
+        return world_.registry();
+    }
+    void attach(sim::Engine &engine) override
+    {
+        world_.attach(engine);
+    }
+    void setTenantActive(std::size_t t, bool active) override
+    {
+        world_.setTenantActive(t, active);
+    }
+    void wireNics(fault::FaultInjector &injector) override
+    {
+        for (unsigned i = 0; i < world_.nicCount(); ++i)
+            injector.addNic(world_.nic(i));
+    }
+    void resetWindow() override { world_.resetStats(); }
+    double throughputMps(double window) const override
+    {
+        return static_cast<double>(world_.txPackets()) / window /
+               1e6;
+    }
+    double p99Us() const override
+    {
+        LatencyHistogram merged;
+        for (unsigned i = 0; i < world_.nicCount(); ++i)
+            merged.merge(world_.nic(i).latency());
+        return merged.percentile(0.99) * 1e6;
+    }
+    core::TenantModel model() const override
+    {
+        return core::TenantModel::Aggregation;
+    }
+
+  private:
+    static scenarios::AggTestPmdConfig makeConfig(std::uint64_t seed)
+    {
+        scenarios::AggTestPmdConfig cfg;
+        cfg.frame_bytes = 64;
+        // The top of the Fig 9 ramp: flow state large enough that
+        // the OVS classifier is LLC-bound and the policies diverge.
+        cfg.flows = 1'000'000;
+        cfg.flow_dist = net::FlowDistribution::Uniform;
+        cfg.seed = seed;
+        return cfg;
+    }
+
+    mutable scenarios::AggTestPmdWorld world_;
+};
+
+class SlicingBakeoff final : public BakeoffScenario
+{
+  public:
+    SlicingBakeoff(sim::Platform &platform, std::uint64_t seed)
+        : world_(platform, makeConfig(seed))
+    {
+    }
+
+    core::TenantRegistry &registry() override
+    {
+        return world_.registry();
+    }
+    void attach(sim::Engine &engine) override
+    {
+        world_.attach(engine);
+    }
+    void setTenantActive(std::size_t t, bool active) override
+    {
+        world_.setTenantActive(t, active);
+    }
+    void wireNics(fault::FaultInjector &injector) override
+    {
+        for (unsigned i = 0; i < world_.vfCount(); ++i)
+            injector.addNic(world_.vf(i));
+    }
+    void resetWindow() override
+    {
+        for (unsigned i = 0; i < world_.vfCount(); ++i)
+            world_.vf(i).resetStats();
+    }
+    double throughputMps(double window) const override
+    {
+        std::uint64_t tx = 0;
+        for (unsigned i = 0; i < world_.vfCount(); ++i)
+            tx += world_.vf(i).txStats().tx_packets;
+        return static_cast<double>(tx) / window / 1e6;
+    }
+    double p99Us() const override
+    {
+        LatencyHistogram merged;
+        for (unsigned i = 0; i < world_.vfCount(); ++i)
+            merged.merge(world_.vf(i).latency());
+        return merged.percentile(0.99) * 1e6;
+    }
+    core::TenantModel model() const override
+    {
+        return core::TenantModel::Slicing;
+    }
+
+  private:
+    static scenarios::SlicingPmdXmemConfig
+    makeConfig(std::uint64_t seed)
+    {
+        scenarios::SlicingPmdXmemConfig cfg;
+        // Fig 10's latent contender, already grown: container 4's
+        // working set overflows its two ways from the start, so the
+        // policies must cope rather than coast.
+        cfg.xmem_initial_bytes = 8 * MiB;
+        cfg.seed = seed;
+        return cfg;
+    }
+
+    mutable scenarios::SlicingPmdXmemWorld world_;
+};
+
+class CorunBakeoff final : public BakeoffScenario
+{
+  public:
+    CorunBakeoff(sim::Platform &platform, std::uint64_t seed)
+        : world_(platform, makeConfig(seed))
+    {
+    }
+
+    core::TenantRegistry &registry() override
+    {
+        return world_.registry();
+    }
+    void attach(sim::Engine &engine) override
+    {
+        world_.attach(engine);
+    }
+    void setTenantActive(std::size_t t, bool active) override
+    {
+        world_.setTenantActive(t, active);
+    }
+    void wireNics(fault::FaultInjector &) override
+    {
+        // CorunWorld keeps its NICs private; link-flap and
+        // ring-stall faults do not apply here.
+    }
+    void resetWindow() override { world_.resetWindow(); }
+    double throughputMps(double window) const override
+    {
+        return static_cast<double>(world_.redisResponses()) /
+               window / 1e6;
+    }
+    double p99Us() const override
+    {
+        return world_.redisLatency().percentile(0.99) * 1e6;
+    }
+    core::TenantModel model() const override
+    {
+        // Redis sits behind an OVS-style switch (aggregation), as
+        // the fig12-14 benches run it.
+        return core::TenantModel::Aggregation;
+    }
+
+  private:
+    static scenarios::CorunConfig makeConfig(std::uint64_t seed)
+    {
+        scenarios::CorunConfig cfg;
+        cfg.net_app = scenarios::CorunConfig::NetApp::Redis;
+        cfg.pc_app = "mcf";
+        cfg.seed = seed;
+        return cfg;
+    }
+
+    mutable scenarios::CorunWorld world_;
+};
+
+std::unique_ptr<BakeoffScenario>
+makeScenario(const std::string &name, sim::Platform &platform,
+             std::uint64_t seed)
+{
+    if (name == "agg")
+        return std::make_unique<AggBakeoff>(platform, seed);
+    if (name == "slicing")
+        return std::make_unique<SlicingBakeoff>(platform, seed);
+    if (name == "corun")
+        return std::make_unique<CorunBakeoff>(platform, seed);
+    throw std::runtime_error("unknown bakeoff scenario '" + name +
+                             "'");
+}
+
+/** Tenants the fairness axis compares: everything but the stack. */
+std::vector<std::size_t>
+measuredTenants(const core::TenantRegistry &registry)
+{
+    std::vector<std::size_t> out;
+    for (std::size_t t = 0; t < registry.size(); ++t) {
+        if (registry[t].priority !=
+            core::TenantPriority::SoftwareStack)
+            out.push_back(t);
+    }
+    return out;
+}
+
+struct CoreCounters
+{
+    std::uint64_t inst = 0;
+    std::uint64_t cyc = 0;
+};
+
+CoreCounters
+tally(const sim::Platform &platform, const core::TenantSpec &spec)
+{
+    CoreCounters c;
+    for (const auto core : spec.cores) {
+        c.inst += platform.instructionsRetired(core);
+        c.cyc += platform.cyclesElapsed(core);
+    }
+    return c;
+}
+
+double
+ipcDelta(const CoreCounters &before, const CoreCounters &after)
+{
+    const auto cyc = after.cyc - before.cyc;
+    if (cyc == 0)
+        return 0.0;
+    return static_cast<double>(after.inst - before.inst) /
+           static_cast<double>(cyc);
+}
+
+/** One solo reference: @p tenant alone on the full LLC. */
+double
+soloIpc(const std::string &scenario, std::size_t tenant,
+        double settle, double window, std::uint64_t seed)
+{
+    sim::PlatformConfig pc;
+    pc.num_cores = 8;
+    sim::Platform platform(pc);
+    sim::Engine engine(platform);
+    auto world = makeScenario(scenario, platform, seed);
+    world->attach(engine);
+
+    auto &registry = world->registry();
+    scenarios::applyStaticLayout(platform.pqos(), registry);
+    // The solo tenant gets the whole cache (CLOS t+1 by the repo's
+    // convention); DDIO stays at the hardware default.
+    auto &pqos = platform.pqos();
+    pqos.l3caSet(static_cast<cache::ClosId>(tenant + 1),
+                 cache::WayMask::fromRange(0, pqos.l3NumWays()));
+    for (const auto other : measuredTenants(registry)) {
+        if (other != tenant)
+            world->setTenantActive(other, false);
+    }
+
+    engine.run(settle);
+    const auto before = tally(platform, registry[tenant]);
+    engine.run(window);
+    const auto after = tally(platform, registry[tenant]);
+    return ipcDelta(before, after);
+}
+
+} // namespace
+
+const std::vector<std::string> &
+bakeoffScenarios()
+{
+    static const std::vector<std::string> all = {"agg", "slicing",
+                                                 "corun"};
+    return all;
+}
+
+BakeoffResult
+bakeoffRunCase(Policy policy, const std::string &scenario,
+               const fault::FaultPlan &plan, double scale,
+               std::uint64_t seed)
+{
+    const double settle = 0.04 * scale;
+    const double window = 0.06 * scale;
+
+    BakeoffResult r;
+
+    // --- The policy pass: everything live, policy attached. ---
+    sim::PlatformConfig pc;
+    pc.num_cores = 8;
+    sim::Platform platform(pc);
+    sim::Engine engine(platform);
+    auto world = makeScenario(scenario, platform, seed);
+    world->attach(engine);
+    auto &registry = world->registry();
+    const auto measured = measuredTenants(registry);
+
+    core::IatParams params;
+    params.interval_seconds = 5e-3;
+
+    fault::FaultPlan effective = plan;
+    if (effective.seed == 0)
+        effective.seed = seed;
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (effective.any())
+        injector = std::make_unique<fault::FaultInjector>(effective);
+
+    PolicyRuntime runtime;
+    runtime.attach(policy, platform, registry, engine, params,
+                   world->model(), nullptr, injector.get());
+    if (injector) {
+        world->wireNics(*injector);
+        injector->setRegistry(&registry);
+        injector->arm(engine, platform);
+    }
+
+    engine.run(settle);
+    world->resetWindow();
+    std::vector<CoreCounters> before;
+    for (const auto t : measured)
+        before.push_back(tally(platform, registry[t]));
+    engine.run(window);
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        r.run_ipc.push_back(ipcDelta(
+            before[i], tally(platform, registry[measured[i]])));
+    }
+    r.tput_mps = world->throughputMps(window);
+    r.p99_us = world->p99Us();
+    r.hw_ddio_ways = platform.pqos().ddioGetWays().count();
+    if (injector) {
+        r.read_faults = injector->readFaults();
+        r.write_rejects = injector->writeRejects();
+        r.polls_dropped = injector->pollsDropped();
+    }
+
+    // --- Solo references (always fault-free). ---
+    for (const auto t : measured)
+        r.solo_ipc.push_back(
+            soloIpc(scenario, t, settle, window, seed));
+
+    const auto fairness = computeFairness(r.solo_ipc, r.run_ipc);
+    r.slowdown = fairness.slowdown;
+    r.jain = fairness.jain;
+    r.worst_slowdown = fairness.worst_slowdown;
+    return r;
+}
+
+namespace {
+
+/**
+ * Bakeoff trial: one (scenario, policy) case; the `[fault]` plan of
+ * the spec applies only when the `faults` axis value is non-zero,
+ * so one spec carries both the clean and the faulted campaigns.
+ */
+exp::TrialResult
+bakeoffTrial(const exp::TrialContext &ctx)
+{
+    const std::string scenario = ctx.requireString("scenario");
+    const std::string policy_name = ctx.requireString("policy");
+    Policy policy;
+    if (!parsePolicy(policy_name, policy))
+        throw std::runtime_error("unknown policy '" + policy_name +
+                                 "'");
+    const bool faults = ctx.getInt("faults", 0) != 0;
+    const auto plan = faults
+                          ? fault::FaultPlan::fromPairs(ctx.params)
+                          : fault::FaultPlan{};
+
+    const auto r =
+        bakeoffRunCase(policy, scenario, plan, ctx.scale, ctx.seed);
+
+    exp::TrialResult result;
+    result.add("tput_mps", r.tput_mps);
+    result.add("p99_us", r.p99_us);
+    result.add("jain", r.jain);
+    result.add("worst_slowdown", r.worst_slowdown);
+    result.add("hw_ddio_ways", r.hw_ddio_ways);
+    for (std::size_t i = 0; i < r.slowdown.size(); ++i) {
+        result.add("slowdown_" + std::to_string(i), r.slowdown[i]);
+    }
+    result.add("read_faults", static_cast<double>(r.read_faults));
+    result.add("write_rejects",
+               static_cast<double>(r.write_rejects));
+    result.add("polls_dropped",
+               static_cast<double>(r.polls_dropped));
+    return result;
+}
+
+} // namespace
+
+void
+registerBakeoffSweeps(exp::TrialRegistry &registry)
+{
+    registry.add("bakeoff",
+                 "policy head-to-head on one scenario: throughput, "
+                 "p99, Jain fairness vs solo references",
+                 bakeoffTrial);
+}
+
+} // namespace iat::bench

@@ -14,11 +14,15 @@
 #ifndef IATSIM_BENCH_COMMON_HH
 #define IATSIM_BENCH_COMMON_HH
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/baselines.hh"
 #include "core/daemon.hh"
+#include "core/policy.hh"
 #include "fault/injector.hh"
 #include "obs/telemetry.hh"
 #include "scenarios/common.hh"
@@ -29,7 +33,8 @@
 
 namespace iat::bench {
 
-/** The management policies compared in SS VI. */
+/** The management policies compared in SS VI plus the related-work
+ *  controllers of the bakeoff (ROADMAP "Policy bakeoff"). */
 enum class Policy
 {
     Baseline, ///< static CAT, default DDIO, no dynamics
@@ -37,6 +42,8 @@ enum class Policy
     IoIso,    ///< Core-only + DDIO ways excluded from cores
     Iat,      ///< the full daemon
     IatNoDdioTuning, ///< IAT with footnote-3 ablation (Fig 10)
+    Ioca,     ///< IOCA watermark DDIO controller (PAPERS #1)
+    Lfoc,     ///< LFOC sensitivity clustering (PAPERS #3)
 };
 
 /**
@@ -53,6 +60,8 @@ toString(Policy policy)
       case Policy::IoIso: return "io-iso";
       case Policy::Iat: return "IAT";
       case Policy::IatNoDdioTuning: return "IAT-noddio";
+      case Policy::Ioca: return "ioca";
+      case Policy::Lfoc: return "lfoc";
     }
     return "?";
 }
@@ -65,8 +74,13 @@ toString(Policy policy)
 inline const char *
 figureLabel(Policy policy)
 {
-    return policy == Policy::IatNoDdioTuning ? "IAT"
-                                             : toString(policy);
+    if (policy == Policy::IatNoDdioTuning)
+        return "IAT";
+    if (policy == Policy::Ioca)
+        return "IOCA";
+    if (policy == Policy::Lfoc)
+        return "LFOC";
+    return toString(policy);
 }
 
 /** Parse a machine label back into a Policy; false when unknown. */
@@ -83,9 +97,40 @@ parsePolicy(const std::string &name, Policy &out)
         out = Policy::Iat;
     else if (name == "IAT-noddio" || name == "iat-noddio")
         out = Policy::IatNoDdioTuning;
+    else if (name == "ioca" || name == "IOCA")
+        out = Policy::Ioca;
+    else if (name == "lfoc" || name == "LFOC")
+        out = Policy::Lfoc;
     else
         return false;
     return true;
+}
+
+/** The core-layer kind behind a bench Policy. */
+inline core::PolicyKind
+policyKind(Policy policy)
+{
+    switch (policy) {
+      case Policy::Baseline: return core::PolicyKind::Static;
+      case Policy::CoreOnly: return core::PolicyKind::CoreOnly;
+      case Policy::IoIso: return core::PolicyKind::IoIso;
+      case Policy::Iat: return core::PolicyKind::Iat;
+      case Policy::IatNoDdioTuning: return core::PolicyKind::IatNoDdio;
+      case Policy::Ioca: return core::PolicyKind::Ioca;
+      case Policy::Lfoc: return core::PolicyKind::Lfoc;
+    }
+    return core::PolicyKind::Static;
+}
+
+/** Every bench policy, in bakeoff table order. */
+inline const std::vector<Policy> &
+allPolicies()
+{
+    static const std::vector<Policy> all = {
+        Policy::Baseline, Policy::CoreOnly, Policy::IoIso,
+        Policy::Iat,      Policy::Ioca,     Policy::Lfoc,
+    };
+    return all;
 }
 
 /** Keeps whichever policy object a run instantiated alive. */
@@ -94,6 +139,8 @@ struct PolicyRuntime
     std::unique_ptr<core::IatDaemon> daemon;
     std::unique_ptr<core::CoreOnlyPolicy> core_only;
     std::unique_ptr<core::IoIsolationPolicy> io_iso;
+    /** The generic-interface policies (IOCA, LFOC). */
+    std::unique_ptr<core::Policy> generic;
 
     /**
      * Instantiate @p policy over @p registry and hook its tick into
@@ -144,6 +191,21 @@ struct PolicyRuntime
                 },
                 0.0);
             return;
+          case Policy::Ioca:
+          case Policy::Lfoc:
+            generic = core::makePolicy(policyKind(policy),
+                                       platform.pqos(), registry,
+                                       params, model, telemetry,
+                                       hardening);
+            engine.addPeriodic(
+                params.interval_seconds,
+                [this, injector](double now) {
+                    if (injector && injector->dropPoll(now))
+                        return;
+                    generic->tick(now);
+                },
+                0.0);
+            return;
           case Policy::Iat:
           case Policy::IatNoDdioTuning:
             daemon = std::make_unique<core::IatDaemon>(
@@ -164,6 +226,85 @@ struct PolicyRuntime
         }
     }
 };
+
+/**
+ * Per-tenant fairness of one policy run against solo-run references
+ * (the bakeoff's LFOC axis). Slowdown of tenant t is
+ * IPC_solo,t / IPC_policy,t -- how much slower the tenant ran
+ * sharing the cache under the policy than alone on the machine.
+ * Jain's index is computed over the tenants' normalized progress
+ * (1 / slowdown): 1.0 means perfectly even degradation, 1/n means
+ * one tenant absorbed all of it.
+ */
+struct FairnessReport
+{
+    std::vector<double> slowdown; ///< per measured tenant
+    double jain = 1.0;
+    double worst_slowdown = 1.0;
+};
+
+/**
+ * Compute the report from per-tenant IPC pairs. Tenants whose solo
+ * or shared IPC is ~zero (idle cores, quiesced workloads) count as
+ * slowdown 1 so they do not poison the index.
+ */
+inline FairnessReport
+computeFairness(const std::vector<double> &solo_ipc,
+                const std::vector<double> &run_ipc)
+{
+    FairnessReport report;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    std::size_t n = 0;
+    for (std::size_t t = 0;
+         t < solo_ipc.size() && t < run_ipc.size(); ++t) {
+        constexpr double kMinIpc = 1e-9;
+        const double slowdown =
+            (solo_ipc[t] > kMinIpc && run_ipc[t] > kMinIpc)
+                ? solo_ipc[t] / run_ipc[t]
+                : 1.0;
+        report.slowdown.push_back(slowdown);
+        report.worst_slowdown =
+            std::max(report.worst_slowdown, slowdown);
+        const double progress = 1.0 / slowdown;
+        sum += progress;
+        sum_sq += progress * progress;
+        ++n;
+    }
+    if (n > 0 && sum_sq > 0.0) {
+        report.jain = (sum * sum) /
+                      (static_cast<double>(n) * sum_sq);
+    }
+    return report;
+}
+
+/**
+ * Export @p report through the metrics/stream pipeline:
+ * `fairness.jain` and `fairness.worst_slowdown` gauges plus one
+ * `fairness.slowdown.<t>` gauge per tenant. @p report must outlive
+ * the telemetry session (the gauges read it by reference). Safe on
+ * nullptr.
+ */
+inline void
+bindFairnessGauges(obs::Telemetry *telemetry,
+                   const FairnessReport &report)
+{
+    if (!telemetry)
+        return;
+    auto &metrics = telemetry->metrics();
+    metrics.gauge("fairness.jain",
+                  [&report] { return report.jain; });
+    metrics.gauge("fairness.worst_slowdown",
+                  [&report] { return report.worst_slowdown; });
+    for (std::size_t t = 0; t < report.slowdown.size(); ++t) {
+        metrics.gauge("fairness.slowdown." + std::to_string(t),
+                      [&report, t] {
+                          return t < report.slowdown.size()
+                                     ? report.slowdown[t]
+                                     : 0.0;
+                      });
+    }
+}
 
 /** Standard bench epilogue: print, optionally write CSV. */
 inline void

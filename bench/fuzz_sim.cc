@@ -22,6 +22,9 @@
  *   fuzz_sim --fsm-check --trials=100        # model check, then fuzz
  *   fuzz_sim --exp=experiments/chaos.exp     # world trials under the
  *                                            # spec's [fault] plan
+ *   fuzz_sim --mode=world --policy=lfoc      # world trials with the
+ *                                            # LFOC controller in the
+ *                                            # daemon's place
  *
  * Exit status: 0 when everything passed, 1 on any violation (repro
  * file written first).
@@ -36,6 +39,7 @@
 #include "check/fuzz.hh"
 #include "check/invariants.hh"
 #include "core/params.hh"
+#include "core/policy.hh"
 #include "exp/spec.hh"
 #include "fault/plan.hh"
 #include "util/cli.hh"
@@ -107,6 +111,9 @@ struct FuzzConfig
     std::string out_dir = "fuzz-repros";
     const fault::FaultPlan *plan = nullptr;
     std::vector<std::pair<std::string, std::string>> fault_pairs;
+    /** Controller the world trials run (--policy); repros record it
+     *  as a `policy` constant and replay it unchanged. */
+    core::PolicyKind policy = core::PolicyKind::Iat;
 };
 
 /**
@@ -152,11 +159,11 @@ runFuzz(const FuzzConfig &cfg)
         switch (kind) {
           case TrialKind::World:
             name = "world";
-            violation =
-                check::fuzzWorldTrial(seed, cfg.world_ops, cfg.plan);
+            violation = check::fuzzWorldTrial(
+                seed, cfg.world_ops, cfg.plan, cfg.policy);
             if (!violation.empty())
                 shrunk = check::shrinkWorldFailure(
-                    seed, cfg.world_ops, cfg.plan);
+                    seed, cfg.world_ops, cfg.plan, cfg.policy);
             break;
           case TrialKind::Approx:
             name = "approx";
@@ -260,6 +267,14 @@ main(int argc, char **argv)
     if (args.getBool("cluster", false))
         cfg.run_cluster = true;
 
+    const std::string policy_name = args.getString("policy", "");
+    if (!policy_name.empty() &&
+        !core::parsePolicyKind(policy_name, cfg.policy)) {
+        fatal("--policy expects one of the registered policy kinds, "
+              "got '%s'",
+              policy_name.c_str());
+    }
+
     // --exp=<spec>: a fuzz repro spec replays its exact trial (the
     // shared seed verbatim, the shrunk `ops` count); any other spec
     // (e.g. experiments/chaos.exp) donates its [fault] plan to the
@@ -276,9 +291,14 @@ main(int argc, char **argv)
             spec.sweep == "fuzz_approx" ||
             spec.sweep == "fuzz_cluster") {
             std::uint64_t ops = 0;
+            core::PolicyKind repro_policy = cfg.policy;
             for (const auto &[key, value] : spec.constants) {
                 if (key == "ops")
                     ops = std::strtoull(value.c_str(), nullptr, 0);
+                else if (key == "policy" &&
+                         !core::parsePolicyKind(value, repro_policy))
+                    fatal("repro spec has unknown policy '%s'",
+                          value.c_str());
             }
             if (ops == 0)
                 fatal("repro spec lacks an ops constant");
@@ -290,8 +310,8 @@ main(int argc, char **argv)
             else if (spec.sweep == "fuzz_cluster")
                 violation = check::fuzzClusterTrial(spec.seed, ops);
             else
-                violation =
-                    check::fuzzWorldTrial(spec.seed, ops, cfg.plan);
+                violation = check::fuzzWorldTrial(
+                    spec.seed, ops, cfg.plan, repro_policy);
             if (violation.empty()) {
                 std::printf("repro %s seed=%llu ops=%llu: PASS\n",
                             spec.sweep.c_str(),

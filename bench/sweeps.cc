@@ -622,15 +622,23 @@ fuzzLlcSweepTrial(const exp::TrialContext &ctx)
     return result;
 }
 
-/** One world fuzz trial under the spec's [fault] plan, if any. */
+/** One world fuzz trial under the spec's [fault] plan, if any. The
+ *  optional `policy` constant (written by repro files shrunk under
+ *  --policy) selects which controller the world runs. */
 exp::TrialResult
 fuzzWorldSweepTrial(const exp::TrialContext &ctx)
 {
     const auto ops =
         static_cast<std::uint64_t>(ctx.getInt("ops", 200));
     const auto plan = fault::FaultPlan::fromPairs(ctx.params);
+    core::PolicyKind kind = core::PolicyKind::Iat;
+    if (const auto *name = ctx.find("policy")) {
+        if (!core::parsePolicyKind(*name, kind))
+            throw std::runtime_error("unknown policy '" + *name +
+                                     "'");
+    }
     const auto violation = check::fuzzWorldTrial(
-        ctx.seed, ops, plan.any() ? &plan : nullptr);
+        ctx.seed, ops, plan.any() ? &plan : nullptr, kind);
     if (!violation.empty())
         throw std::runtime_error(violation);
     exp::TrialResult result;
@@ -678,8 +686,8 @@ registerValidationSweeps(exp::TrialRegistry &registry)
                  "oracle; param ops",
                  fuzzLlcSweepTrial);
     registry.add("fuzz_world",
-                 "daemon world fuzz trial (invariants + oracle); "
-                 "param ops, optional fault.* knobs",
+                 "policy world fuzz trial (invariants + oracle); "
+                 "param ops, optional policy + fault.* knobs",
                  fuzzWorldSweepTrial);
     registry.add("fuzz_approx",
                  "exact-vs-approx LLC acceptance-band trial; params "

@@ -151,6 +151,60 @@ ChaosResult chaosRunCase(Policy policy, const fault::FaultPlan &plan,
                          std::uint64_t seed);
 /// @}
 
+/// @name Bakeoff: every policy head-to-head, with a fairness axis
+/// @{
+
+/** One (policy, scenario, fault plan) head-to-head case. */
+struct BakeoffResult
+{
+    /** Scenario-native delivery rate, in M items/s (packets for
+     *  agg/slicing, Redis responses for corun). */
+    double tput_mps = 0.0;
+
+    /** Client-observed p99 latency over the window, microseconds. */
+    double p99_us = 0.0;
+
+    /// @name Fairness vs solo references (computeFairness())
+    /// @{
+    double jain = 1.0;
+    double worst_slowdown = 1.0;
+    std::vector<double> slowdown; ///< per measured tenant
+    std::vector<double> solo_ipc;
+    std::vector<double> run_ipc;
+    /// @}
+
+    /** DDIO ways programmed in "hardware" at run end. */
+    unsigned hw_ddio_ways = 0;
+
+    /// @name Injected-fault counters (zero on fault-free runs)
+    /// @{
+    std::uint64_t read_faults = 0;
+    std::uint64_t write_rejects = 0;
+    std::uint64_t polls_dropped = 0;
+    /// @}
+};
+
+/** Scenario keys the bakeoff runs over, in table order:
+ *  "agg", "slicing", "corun". */
+const std::vector<std::string> &bakeoffScenarios();
+
+/**
+ * Run one case: per-tenant solo-reference passes (fault-free, full
+ * LLC, other contenders quiesced) plus one policy pass under
+ * @p plan. An empty plan (any() false) runs the policy pass
+ * fault-free with no injector built; a plan whose seed is 0 gets
+ * @p seed.
+ */
+BakeoffResult bakeoffRunCase(Policy policy,
+                             const std::string &scenario,
+                             const fault::FaultPlan &plan,
+                             double scale, std::uint64_t seed);
+
+/** Register the "bakeoff" sweep (params: scenario, policy, faults)
+ *  into @p registry. */
+void registerBakeoffSweeps(exp::TrialRegistry &registry);
+/// @}
+
 /**
  * Register every paper sweep ("fig03", "fig09", "fig10", plus the
  * fixed-rate "l3fwd" point probe used by smoke campaigns and the

@@ -17,6 +17,7 @@
 #include "check/approx.hh"
 #include "check/diff.hh"
 #include "check/invariants.hh"
+#include "check/policy_check.hh"
 #include "cluster/world.hh"
 #include "core/daemon.hh"
 #include "core/tenant.hh"
@@ -471,7 +472,8 @@ class FuzzMsrHook final : public rdt::MsrFaultHook
 
 std::string
 fuzzWorldTrial(std::uint64_t seed, std::uint64_t iterations,
-               const fault::FaultPlan *plan)
+               const fault::FaultPlan *plan,
+               core::PolicyKind policy_kind)
 {
     Rng rng(seed);
 
@@ -534,18 +536,25 @@ fuzzWorldTrial(std::uint64_t seed, std::uint64_t iterations,
                      write_reject);
     platform.msrBus().setFaultHook(&hook);
 
-    core::IatDaemon daemon(platform.pqos(), registry, params);
-    daemon.setHardeningEnabled(rng.below(4) != 0);
+    auto policy = core::makePolicy(policy_kind, platform.pqos(),
+                                   registry, params);
+    // Drawn for every kind so the op stream stays prefix-stable
+    // across --policy values; only the daemon kinds act on it.
+    const bool hardening = rng.below(4) != 0;
+    if (auto *daemon = policy->daemon())
+        daemon->setHardeningEnabled(hardening);
+    const bool strict = read_noise <= 0.0 && write_reject <= 0.0;
 
     const auto randAddr = [&] {
         return static_cast<cache::Addr>(rng.below(1ull << 16) * 64);
     };
 
     std::optional<core::TenantSpec> parked;
-    // Set while the registry has churned and the daemon has not yet
+    // Set while the registry has churned and the policy has not yet
     // consumed the change: the allocator legitimately disagrees with
     // the registry in that window, so invariant checks pause.
     bool registry_pending = true;
+    std::uint64_t policy_ticks = 0;
 
     for (std::uint64_t i = 0; i < iterations; ++i) {
         // Traffic: a few core and DMA bursts per interval.
@@ -601,25 +610,16 @@ fuzzWorldTrial(std::uint64_t seed, std::uint64_t iterations,
         const bool dropped =
             poll_drop > 0.0 && rng.uniform() < poll_drop;
         if (!dropped) {
-            daemon.tick(platform.now());
+            policy->tick(platform.now());
+            ++policy_ticks;
             registry_pending = false;
         }
 
-        if (!registry_pending && daemon.ticks() >= 1) {
-            auto v = allocationViolation(daemon.allocator(),
-                                         registry.tenants());
+        if (!registry_pending && policy_ticks >= 1) {
+            auto v = policyViolation(*policy, platform.pqos(),
+                                     registry, params, strict);
             if (!v.empty())
                 return prefixed("world", i + 1, std::move(v));
-            const unsigned dw = daemon.ddioWays();
-            if (dw < std::max(params.ddio_ways_min, 1u) ||
-                dw > params.ddio_ways_max) {
-                return prefixed(
-                    "world", i + 1,
-                    "DDIO ways " + std::to_string(dw) +
-                        " outside [" +
-                        std::to_string(params.ddio_ways_min) + ", " +
-                        std::to_string(params.ddio_ways_max) + "]");
-            }
         }
 
         if (diff.report().mismatches != 0)
@@ -876,12 +876,16 @@ shrinkLlcFailure(std::uint64_t seed, std::uint64_t failing_ops,
 
 ShrunkFailure
 shrinkWorldFailure(std::uint64_t seed, std::uint64_t failing_ops,
-                   const fault::FaultPlan *plan)
+                   const fault::FaultPlan *plan,
+                   core::PolicyKind policy)
 {
-    return shrink("fuzz_world", seed, failing_ops,
-                  [&](std::uint64_t n) {
-                      return fuzzWorldTrial(seed, n, plan);
-                  });
+    auto out = shrink("fuzz_world", seed, failing_ops,
+                      [&](std::uint64_t n) {
+                          return fuzzWorldTrial(seed, n, plan,
+                                                policy);
+                      });
+    out.policy = policy;
+    return out;
 }
 
 ShrunkFailure
@@ -905,6 +909,11 @@ reproSpec(const ShrunkFailure &failure,
     spec.seed_mode = exp::ExperimentSpec::SeedMode::Shared;
     spec.constants.emplace_back("ops",
                                 std::to_string(failure.ops));
+    if (failure.kind == "fuzz_world" &&
+        failure.policy != core::PolicyKind::Iat) {
+        spec.constants.emplace_back("policy",
+                                    core::toString(failure.policy));
+    }
     spec.fault = fault_pairs;
     return spec;
 }

@@ -55,6 +55,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/policy.hh"
 #include "exp/spec.hh"
 #include "fault/plan.hh"
 
@@ -71,14 +72,23 @@ std::string fuzzLlcTrial(std::uint64_t seed, std::uint64_t ops,
                          std::uint64_t sabotage_op = 0);
 
 /**
- * One world trial: @p iterations daemon intervals of traffic, faults
+ * One world trial: @p iterations policy intervals of traffic, faults
  * and churn. Fault knobs come from @p plan when given (the spec's
- * `[fault]` section), else are derived from the seed. Returns an
- * empty string on success, else the first violation.
+ * `[fault]` section), else are derived from the seed. @p policy
+ * selects which controller drives the world (default: the IAT
+ * daemon, checked against the full allocator invariants; other kinds
+ * are checked against their own PolicyContract, with the
+ * disjointness contracts relaxed while MSR write rejection is armed
+ * -- a rejected write legitimately leaves a stale mask until the
+ * retry path repairs it). The random op stream is identical across
+ * policy kinds, so one seed exercises every policy on the same
+ * inputs. Returns an empty string on success, else the first
+ * violation.
  */
-std::string fuzzWorldTrial(std::uint64_t seed,
-                           std::uint64_t iterations,
-                           const fault::FaultPlan *plan = nullptr);
+std::string fuzzWorldTrial(
+    std::uint64_t seed, std::uint64_t iterations,
+    const fault::FaultPlan *plan = nullptr,
+    core::PolicyKind policy = core::PolicyKind::Iat);
 
 /**
  * One exact-vs-approx acceptance trial: @p ops loop iterations of an
@@ -112,6 +122,9 @@ struct ShrunkFailure
     std::uint64_t ops = 0;     ///< minimal failing iteration count
     std::string violation;     ///< the violation at the minimum
     std::string kind; ///< "fuzz_llc", "fuzz_world" or "fuzz_cluster"
+    /** World trials: the policy that drove the failing world (the
+     *  repro spec gets a `policy` constant when not the default). */
+    core::PolicyKind policy = core::PolicyKind::Iat;
 };
 
 /**
@@ -122,9 +135,10 @@ struct ShrunkFailure
 ShrunkFailure shrinkLlcFailure(std::uint64_t seed,
                                std::uint64_t failing_ops,
                                std::uint64_t sabotage_op = 0);
-ShrunkFailure shrinkWorldFailure(std::uint64_t seed,
-                                 std::uint64_t failing_ops,
-                                 const fault::FaultPlan *plan = nullptr);
+ShrunkFailure shrinkWorldFailure(
+    std::uint64_t seed, std::uint64_t failing_ops,
+    const fault::FaultPlan *plan = nullptr,
+    core::PolicyKind policy = core::PolicyKind::Iat);
 ShrunkFailure shrinkClusterFailure(std::uint64_t seed,
                                    std::uint64_t failing_epochs);
 

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Contract-driven policy invariant checking (the bakeoff's property
+ * suite).
+ *
+ * Every registered core::Policy declares a PolicyContract -- the
+ * structural guarantees it makes about the hardware state it
+ * programs. policyViolation() verifies exactly that contract against
+ * the live pqos registers after a tick, so one checker covers
+ * policies with deliberately different rules (Core-only overlaps
+ * DDIO by design; LFOC shares masks within a cluster; IAT adds the
+ * full ordered-segment/shuffle lattice of invariants.hh).
+ *
+ * fuzzPolicyTrial() is the matching generator: a small platform and
+ * tenant registry driven by seeded random traffic bursts and tenant
+ * churn -- fuzzed monitor inputs -- with the contract checked after
+ * every policy tick. It is fault-free and oracle-free (no
+ * DiffHarness), so a 500-sequence-per-policy property run stays
+ * cheap; the full world fuzzer (fuzz.hh, `fuzz_sim --mode=world
+ * --policy=...`) layers MSR faults and the cache oracle on top.
+ */
+
+#ifndef IATSIM_CHECK_POLICY_CHECK_HH
+#define IATSIM_CHECK_POLICY_CHECK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/params.hh"
+#include "core/policy.hh"
+#include "core/tenant.hh"
+#include "rdt/pqos.hh"
+
+namespace iat::check {
+
+/**
+ * Check @p policy's declared contract against the hardware state in
+ * @p pqos for the tenants of @p registry. With @p strict false (the
+ * trial injected MSR write rejections) only the always-true checks
+ * run -- mask validity, and the allocator-intent invariants for the
+ * IAT kinds -- because a transiently rejected write legitimately
+ * leaves a stale (possibly overlapping) mask in hardware until the
+ * policy's retry path repairs it. Returns an empty string when the
+ * contract holds, else the first violation.
+ */
+std::string policyViolation(const core::Policy &policy,
+                            rdt::PqosSystem &pqos,
+                            const core::TenantRegistry &registry,
+                            const core::IatParams &params,
+                            bool strict = true);
+
+/**
+ * One property trial: @p iterations intervals of seeded random
+ * traffic and churn under @p kind, the contract checked after every
+ * tick. Prefix-stable in @p iterations like the other fuzz trials.
+ * Returns an empty string on success, else the first violation.
+ */
+std::string fuzzPolicyTrial(core::PolicyKind kind, std::uint64_t seed,
+                            std::uint64_t iterations);
+
+} // namespace iat::check
+
+#endif // IATSIM_CHECK_POLICY_CHECK_HH

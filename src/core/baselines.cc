@@ -109,7 +109,8 @@ IoIsolationPolicy::IoIsolationPolicy(rdt::PqosSystem &pqos,
                                      const IatParams &params,
                                      std::vector<std::size_t> order)
     : pqos_(pqos), registry_(registry), params_(params),
-      monitor_(pqos), order_(std::move(order))
+      monitor_(pqos), order_(std::move(order)),
+      auto_order_(order_.empty())
 {
 }
 
@@ -121,7 +122,9 @@ IoIsolationPolicy::setup()
     for (const auto &spec : specs)
         ways_.push_back(spec.initial_ways);
     initial_ways_ = ways_;
-    if (order_.empty()) {
+    if (auto_order_) {
+        // Regenerated every setup: tenant churn resizes the registry
+        // under the default order.
         order_.resize(specs.size());
         std::iota(order_.begin(), order_.end(), 0);
     }
@@ -145,11 +148,17 @@ IoIsolationPolicy::layoutAndApply()
     const unsigned usable =
         std::max(1u, num_ways - std::min(ddio_ways, num_ways - 1));
 
+    // Squeeze a scratch copy, not the demand itself: ways_ keeps
+    // what the tenants want, so when DDIO hands ways back a later
+    // layout restores the full widths instead of stranding the
+    // squeezed-away capacity forever.
+    std::vector<unsigned> fit = ways_;
+
     // First squeeze best-effort tenants down to one way while the
     // disjoint layout does not fit.
     auto total = [&] {
         unsigned sum = 0;
-        for (unsigned w : ways_)
+        for (unsigned w : fit)
             sum += w;
         return sum;
     };
@@ -161,13 +170,13 @@ IoIsolationPolicy::layoutAndApply()
         unsigned most = 1;
         for (std::size_t t = 0; t < specs.size(); ++t) {
             if (specs[t].priority == TenantPriority::BestEffort &&
-                ways_[t] > most) {
-                most = ways_[t];
+                fit[t] > most) {
+                most = fit[t];
                 victim = t;
             }
         }
         if (victim < specs.size()) {
-            --ways_[victim];
+            --fit[victim];
             shrunk = true;
         }
     }
@@ -180,8 +189,8 @@ IoIsolationPolicy::layoutAndApply()
     while (total() > usable && shrunk) {
         shrunk = false;
         for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
-            if (ways_[*it] > 1) {
-                --ways_[*it];
+            if (fit[*it] > 1) {
+                --fit[*it];
                 shrunk = true;
                 break;
             }
@@ -193,7 +202,7 @@ IoIsolationPolicy::layoutAndApply()
     // have to share 5 ways" behaviour comes from).
     unsigned pos = 0;
     for (std::size_t t : order_) {
-        const unsigned w = std::min(ways_[t], usable);
+        const unsigned w = std::min(fit[t], usable);
         if (pos + w <= usable) {
             masks_[t] = cache::WayMask::fromRange(pos, w);
             pos += w;

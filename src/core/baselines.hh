@@ -91,6 +91,10 @@ class IoIsolationPolicy
     std::vector<unsigned> ways_;
     std::vector<unsigned> initial_ways_;
     std::vector<std::size_t> order_;
+    /** True when order_ is the index-order default, so setup() can
+     *  regenerate it after tenant churn resizes the registry. An
+     *  explicit order pins the tenant count instead. */
+    bool auto_order_ = false;
     std::vector<cache::WayMask> masks_;
     std::vector<cache::WayMask> programmed_;
 };

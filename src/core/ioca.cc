@@ -1,0 +1,183 @@
+/**
+ * @file
+ * IOCA-style controller implementation.
+ */
+
+#include "core/ioca.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace iat::core {
+
+namespace {
+
+cache::ClosId
+tenantClos(std::size_t t)
+{
+    return static_cast<cache::ClosId>(t + 1);
+}
+
+} // namespace
+
+IocaPolicy::IocaPolicy(rdt::PqosSystem &pqos, TenantRegistry &registry,
+                       const IatParams &params, const IocaParams &ioca)
+    : pqos_(pqos), registry_(registry), params_(params), ioca_(ioca),
+      monitor_(pqos), alloc_(pqos.l3NumWays())
+{
+}
+
+void
+IocaPolicy::setup()
+{
+    const auto &specs = registry_.tenants();
+    initial_ways_.clear();
+    for (const auto &spec : specs)
+        initial_ways_.push_back(spec.initial_ways);
+    alloc_.setTenants(initial_ways_);
+
+    // I/O tenants go on top, adjacent to DDIO's ways; within each
+    // group preserve index order so the layout is deterministic.
+    std::vector<std::size_t> order;
+    for (std::size_t t = 0; t < specs.size(); ++t) {
+        if (!specs[t].is_io)
+            order.push_back(t);
+    }
+    for (std::size_t t = 0; t < specs.size(); ++t) {
+        if (specs[t].is_io)
+            order.push_back(t);
+    }
+    alloc_.setOrder(order);
+
+    // Take control of the DDIO register: clamp the hardware value
+    // into the configured band (the controller owns it from here).
+    const unsigned hw = pqos_.ddioGetWays().count();
+    const unsigned want = std::clamp(hw, params_.ddio_ways_min,
+                                     params_.ddio_ways_max);
+    alloc_.setDdioWays(want);
+    if (pqos_.ddioSetWays(alloc_.ddioMask()))
+        programmed_ddio_ = want;
+
+    for (std::size_t t = 0; t < specs.size(); ++t) {
+        for (const auto core : specs[t].cores)
+            pqos_.allocAssocSet(core, tenantClos(t));
+    }
+    programmed_.assign(specs.size(), cache::WayMask{});
+    applyMasks();
+    monitor_.attach(registry_);
+
+    ewma_ = 0.0;
+    ewma_primed_ = false;
+    above_streak_ = 0;
+    below_streak_ = 0;
+}
+
+void
+IocaPolicy::applyMasks()
+{
+    for (std::size_t t = 0; t < programmed_.size(); ++t) {
+        const auto mask = alloc_.tenantMask(t);
+        if (mask == programmed_[t])
+            continue;
+        // A rejected write leaves programmed_ stale; retried on the
+        // next tick, same as the other allocator-backed policies.
+        if (pqos_.l3caSet(tenantClos(t), mask))
+            programmed_[t] = mask;
+    }
+    if (alloc_.ddioWays() != programmed_ddio_) {
+        if (pqos_.ddioSetWays(alloc_.ddioMask()))
+            programmed_ddio_ = alloc_.ddioWays();
+    }
+}
+
+IocaPolicy::Decision
+IocaPolicy::decide(const SystemSample &sample,
+                   const std::vector<unsigned> &tenant_ways,
+                   const std::vector<unsigned> &initial_ways,
+                   unsigned idle_ways)
+{
+    Decision d;
+
+    // --- I/O partition: EWMA'd absolute miss rate vs watermarks.
+    const double rate = sample.ddioMissesPerSecond();
+    if (!ewma_primed_) {
+        ewma_ = rate;
+        ewma_primed_ = true;
+    } else {
+        ewma_ = ioca_.ewma_alpha * rate +
+                (1.0 - ioca_.ewma_alpha) * ewma_;
+    }
+    const double high =
+        ioca_.high_watermark_factor * params_.threshold_miss_low_per_s;
+    const double low =
+        ioca_.low_watermark_factor * params_.threshold_miss_low_per_s;
+    if (ewma_ > high) {
+        ++above_streak_;
+        below_streak_ = 0;
+        if (above_streak_ >= ioca_.grow_patience)
+            d.ddio_delta = +1; // keep growing while pressure persists
+    } else if (ewma_ < low) {
+        ++below_streak_;
+        above_streak_ = 0;
+        if (below_streak_ >= ioca_.shrink_patience)
+            d.ddio_delta = -1;
+    } else {
+        above_streak_ = 0;
+        below_streak_ = 0;
+    }
+
+    // --- Core ways: steepest rising miss rate with an IPC drop
+    // grows (needs idle capacity); a collapsed miss rate above the
+    // initial grant shrinks, one reclaim per interval.
+    double best = 0.01;
+    for (std::size_t t = 0; t < sample.tenants.size(); ++t) {
+        const auto &s = sample.tenants[t];
+        if (s.d_miss_rate > best &&
+            s.d_ipc < -params_.threshold_stable) {
+            best = s.d_miss_rate;
+            d.grow_tenant = t;
+        }
+    }
+    if (d.grow_tenant != Decision::kNone && idle_ways == 0)
+        d.grow_tenant = Decision::kNone;
+    for (std::size_t t = 0; t < sample.tenants.size(); ++t) {
+        const auto &s = sample.tenants[t];
+        if (t < tenant_ways.size() && t < initial_ways.size() &&
+            tenant_ways[t] > initial_ways[t] &&
+            s.d_miss_rate < -0.01 && t != d.grow_tenant) {
+            d.shrink_tenant = t;
+            break;
+        }
+    }
+    return d;
+}
+
+void
+IocaPolicy::tick(double /*now*/)
+{
+    if (registry_.consumeDirty()) {
+        setup();
+        return;
+    }
+    const auto sample = monitor_.poll(params_.interval_seconds);
+
+    std::vector<unsigned> ways;
+    for (std::size_t t = 0; t < alloc_.tenantCount(); ++t)
+        ways.push_back(alloc_.tenantWays(t));
+    const auto d =
+        decide(sample, ways, initial_ways_, alloc_.idleWays());
+
+    if (d.ddio_delta > 0)
+        alloc_.growDdio(params_.ddio_ways_max);
+    else if (d.ddio_delta < 0)
+        alloc_.shrinkDdio(params_.ddio_ways_min);
+    if (d.grow_tenant != Decision::kNone)
+        alloc_.growTenant(d.grow_tenant);
+    if (d.shrink_tenant != Decision::kNone)
+        alloc_.shrinkTenant(d.shrink_tenant);
+    applyMasks();
+}
+
+} // namespace iat::core

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * LFOC-style clustering implementation.
+ */
+
+#include "core/lfoc.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace iat::core {
+
+namespace {
+
+cache::ClosId
+tenantClos(std::size_t t)
+{
+    return static_cast<cache::ClosId>(t + 1);
+}
+
+} // namespace
+
+const char *
+toString(LfocClass klass)
+{
+    switch (klass) {
+      case LfocClass::Sensitive: return "sensitive";
+      case LfocClass::Streaming: return "streaming";
+      case LfocClass::Light: return "light";
+    }
+    return "?";
+}
+
+LfocClass
+classifyTenant(LfocClass prev, double miss_ewma,
+               double refs_per_s_ewma, const LfocParams &params)
+{
+    const double m = params.reclass_margin;
+
+    // Light band first: a tenant barely touching the LLC has no
+    // meaningful miss rate to classify on.
+    const double light_gate = prev == LfocClass::Light
+                                  ? params.light_refs_per_s * m
+                                  : params.light_refs_per_s / m;
+    if (refs_per_s_ewma < light_gate)
+        return LfocClass::Light;
+
+    const double stream_gate = prev == LfocClass::Streaming
+                                   ? params.streaming_miss_rate / m
+                                   : params.streaming_miss_rate * m;
+    if (miss_ewma > stream_gate)
+        return LfocClass::Streaming;
+
+    return LfocClass::Sensitive;
+}
+
+LfocPlan
+computeLfocPlan(const std::vector<LfocClass> &klass,
+                const std::vector<double> &refs_ewma,
+                unsigned usable_ways, const LfocParams &params)
+{
+    LfocPlan plan;
+    const std::size_t n = klass.size();
+    if (n == 0)
+        return plan;
+    const unsigned usable = std::max(1u, usable_ways);
+
+    // Working cluster list: member tenants + proportional weight.
+    struct Cluster
+    {
+        std::vector<std::size_t> members;
+        double weight = 0.0;
+        bool sensitive = false;
+        bool streaming = false;
+    };
+    std::vector<Cluster> clusters;
+
+    // Loudest sensitive tenants first, so when clusters must merge
+    // the quietest lose their individual slot (they are the ones
+    // with the least to lose). Ties break on index: deterministic.
+    std::vector<std::size_t> sensitive;
+    for (std::size_t t = 0; t < n; ++t) {
+        if (klass[t] == LfocClass::Sensitive)
+            sensitive.push_back(t);
+    }
+    std::stable_sort(sensitive.begin(), sensitive.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return refs_ewma[a] > refs_ewma[b];
+                     });
+    for (const std::size_t t : sensitive) {
+        Cluster c;
+        c.members = {t};
+        c.weight = std::max(0.0, refs_ewma[t]);
+        c.sensitive = true;
+        clusters.push_back(std::move(c));
+    }
+
+    Cluster light;
+    for (std::size_t t = 0; t < n; ++t) {
+        if (klass[t] == LfocClass::Light)
+            light.members.push_back(t);
+    }
+    if (!light.members.empty())
+        clusters.push_back(light);
+
+    Cluster streaming;
+    streaming.streaming = true;
+    for (std::size_t t = 0; t < n; ++t) {
+        if (klass[t] == LfocClass::Streaming)
+            streaming.members.push_back(t);
+    }
+    if (!streaming.members.empty())
+        clusters.push_back(streaming);
+
+    // Too many clusters for the region: demote the quietest
+    // sensitive clusters into the shared (light-like) pool. When no
+    // shared pool exists yet, the first demotion creates one.
+    while (clusters.size() > usable) {
+        std::size_t victim = clusters.size();
+        for (std::size_t c = clusters.size(); c-- > 0;) {
+            if (clusters[c].sensitive) {
+                victim = c;
+                break; // quietest sensitive = last in sorted order
+            }
+        }
+        if (victim == clusters.size()) {
+            // Only shared pools left: merge the last two.
+            auto tail = clusters.back();
+            clusters.pop_back();
+            auto &dst = clusters.back();
+            dst.members.insert(dst.members.end(),
+                               tail.members.begin(),
+                               tail.members.end());
+            dst.streaming = dst.streaming || tail.streaming;
+            continue;
+        }
+        auto demoted = clusters[victim];
+        clusters.erase(clusters.begin() +
+                       static_cast<std::ptrdiff_t>(victim));
+        std::size_t pool = clusters.size();
+        for (std::size_t c = 0; c < clusters.size(); ++c) {
+            if (!clusters[c].sensitive && !clusters[c].streaming) {
+                pool = c;
+                break;
+            }
+        }
+        if (pool == clusters.size()) {
+            demoted.sensitive = false;
+            demoted.weight = 0.0;
+            clusters.push_back(std::move(demoted));
+        } else {
+            clusters[pool].members.insert(
+                clusters[pool].members.end(),
+                demoted.members.begin(), demoted.members.end());
+        }
+    }
+
+    // Widths: every cluster one way, the remainder split among the
+    // sensitive clusters by largest remainder on their weights. The
+    // streaming cluster is capped at streaming_ways; the light pool
+    // stays at one way (more cache cannot help either). Leftover
+    // ways (no sensitive cluster to take them) go to the bottom
+    // cluster rather than sit unprogrammed.
+    const auto count = static_cast<unsigned>(clusters.size());
+    std::vector<unsigned> width(clusters.size(), 1);
+    unsigned extra = usable - count;
+    if (extra > 0) {
+        for (std::size_t c = 0; c < clusters.size(); ++c) {
+            if (clusters[c].streaming && extra > 0) {
+                const unsigned cap =
+                    std::max(1u, params.streaming_ways) - 1;
+                const unsigned take = std::min(extra, cap);
+                width[c] += take;
+                extra -= take;
+            }
+        }
+        double total_weight = 0.0;
+        for (const auto &c : clusters) {
+            if (c.sensitive)
+                total_weight += c.weight;
+        }
+        if (total_weight > 0.0 && extra > 0) {
+            const unsigned budget = extra;
+            std::vector<double> frac(clusters.size(), 0.0);
+            for (std::size_t c = 0; c < clusters.size(); ++c) {
+                if (!clusters[c].sensitive)
+                    continue;
+                const double share =
+                    budget * clusters[c].weight / total_weight;
+                const auto whole =
+                    static_cast<unsigned>(share);
+                width[c] += whole;
+                extra -= whole;
+                frac[c] = share - whole;
+            }
+            std::vector<std::size_t> by_frac;
+            for (std::size_t c = 0; c < clusters.size(); ++c) {
+                if (clusters[c].sensitive)
+                    by_frac.push_back(c);
+            }
+            std::stable_sort(by_frac.begin(), by_frac.end(),
+                             [&](std::size_t a, std::size_t b) {
+                                 return frac[a] > frac[b];
+                             });
+            for (std::size_t i = 0; i < by_frac.size() && extra > 0;
+                 ++i, --extra)
+                ++width[by_frac[i]];
+        }
+        if (extra > 0)
+            width[0] += extra;
+    }
+
+    // Layout bottom to top: sensitive (loudest first, already in
+    // order), light pool, streaming pen adjacent to DDIO.
+    std::vector<std::size_t> layout;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+        if (clusters[c].sensitive)
+            layout.push_back(c);
+    }
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+        if (!clusters[c].sensitive && !clusters[c].streaming)
+            layout.push_back(c);
+    }
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+        if (!clusters[c].sensitive && clusters[c].streaming)
+            layout.push_back(c);
+    }
+
+    plan.cluster_of.assign(n, 0);
+    plan.cluster_ways.clear();
+    plan.masks.assign(n, cache::WayMask{});
+    unsigned pos = 0;
+    for (std::size_t slot = 0; slot < layout.size(); ++slot) {
+        const auto &c = clusters[layout[slot]];
+        const unsigned w = width[layout[slot]];
+        const auto mask = cache::WayMask::fromRange(pos, w);
+        plan.cluster_ways.push_back(w);
+        for (const std::size_t t : c.members) {
+            plan.cluster_of[t] = static_cast<unsigned>(slot);
+            plan.masks[t] = mask;
+        }
+        pos += w;
+    }
+    return plan;
+}
+
+// ---------------------------------------------------------------------
+// LfocPolicy
+
+LfocPolicy::LfocPolicy(rdt::PqosSystem &pqos, TenantRegistry &registry,
+                       const IatParams &params, const LfocParams &lfoc)
+    : pqos_(pqos), registry_(registry), params_(params), lfoc_(lfoc),
+      monitor_(pqos)
+{
+}
+
+cache::WayMask
+LfocPolicy::tenantMask(std::size_t t) const
+{
+    return t < plan_.masks.size() ? plan_.masks[t]
+                                  : cache::WayMask{};
+}
+
+void
+LfocPolicy::setup()
+{
+    const auto &specs = registry_.tenants();
+    const std::size_t n = specs.size();
+
+    miss_ewma_.assign(n, 0.0);
+    refs_ewma_.assign(n, 0.0);
+    ewma_primed_ = false;
+
+    // Until the first real polls arrive, seed classes from the
+    // specs: I/O tenants stream inbound DMA by construction,
+    // everyone else is presumed sensitive (the conservative guess --
+    // it never pens a victim in with the thrashers).
+    klass_.assign(n, LfocClass::Sensitive);
+    for (std::size_t t = 0; t < n; ++t) {
+        if (specs[t].is_io)
+            klass_[t] = LfocClass::Streaming;
+    }
+
+    for (std::size_t t = 0; t < n; ++t) {
+        for (const auto core : specs[t].cores)
+            pqos_.allocAssocSet(core, tenantClos(t));
+    }
+    programmed_.assign(n, cache::WayMask{});
+    relayout(pqos_.ddioGetWays().count());
+    applyMasks();
+    monitor_.attach(registry_);
+}
+
+void
+LfocPolicy::relayout(unsigned ddio_ways)
+{
+    const unsigned num_ways = pqos_.l3NumWays();
+    const unsigned usable = std::max(
+        1u, num_ways - std::min(ddio_ways, num_ways - 1));
+    plan_ = computeLfocPlan(klass_, refs_ewma_, usable, lfoc_);
+    last_ddio_ways_ = ddio_ways;
+    ++relayouts_;
+}
+
+void
+LfocPolicy::applyMasks()
+{
+    for (std::size_t t = 0; t < programmed_.size(); ++t) {
+        const auto mask = plan_.masks[t];
+        if (mask == programmed_[t])
+            continue;
+        // Rejected writes leave programmed_ stale; retried next tick.
+        if (pqos_.l3caSet(tenantClos(t), mask))
+            programmed_[t] = mask;
+    }
+    // Never writes the DDIO register: LFOC predates DDIO tuning and
+    // treats the I/O ways as someone else's territory.
+}
+
+void
+LfocPolicy::tick(double /*now*/)
+{
+    if (registry_.consumeDirty()) {
+        setup();
+        return;
+    }
+    const auto sample = monitor_.poll(params_.interval_seconds);
+
+    const double dt = params_.interval_seconds > 0.0
+                          ? params_.interval_seconds
+                          : 1.0;
+    bool changed = false;
+    for (std::size_t t = 0;
+         t < sample.tenants.size() && t < klass_.size(); ++t) {
+        const auto &s = sample.tenants[t];
+        const double miss = s.missRate();
+        const double refs = static_cast<double>(s.llc_refs) / dt;
+        if (!ewma_primed_) {
+            miss_ewma_[t] = miss;
+            refs_ewma_[t] = refs;
+        } else {
+            miss_ewma_[t] = lfoc_.ewma_alpha * miss +
+                            (1.0 - lfoc_.ewma_alpha) * miss_ewma_[t];
+            refs_ewma_[t] = lfoc_.ewma_alpha * refs +
+                            (1.0 - lfoc_.ewma_alpha) * refs_ewma_[t];
+        }
+        const auto next = classifyTenant(klass_[t], miss_ewma_[t],
+                                         refs_ewma_[t], lfoc_);
+        if (next != klass_[t]) {
+            klass_[t] = next;
+            changed = true;
+        }
+    }
+    ewma_primed_ = true;
+
+    const unsigned ddio_now = pqos_.ddioGetWays().count();
+    if (changed || ddio_now != last_ddio_ways_)
+        relayout(ddio_now);
+    applyMasks();
+}
+
+} // namespace iat::core

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Policy registry: labels, contracts, adapters and the factory.
+ */
+
+#include "core/policy.hh"
+
+#include "core/baselines.hh"
+#include "core/ioca.hh"
+#include "core/lfoc.hh"
+#include "core/shuffle.hh"
+
+namespace iat::core {
+
+const char *
+toString(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Static: return "baseline";
+      case PolicyKind::CoreOnly: return "core-only";
+      case PolicyKind::IoIso: return "io-iso";
+      case PolicyKind::Iat: return "IAT";
+      case PolicyKind::IatNoDdio: return "IAT-noddio";
+      case PolicyKind::Ioca: return "ioca";
+      case PolicyKind::Lfoc: return "lfoc";
+    }
+    return "?";
+}
+
+bool
+parsePolicyKind(const std::string &name, PolicyKind &out)
+{
+    if (name == "baseline" || name == "static")
+        out = PolicyKind::Static;
+    else if (name == "core-only")
+        out = PolicyKind::CoreOnly;
+    else if (name == "io-iso")
+        out = PolicyKind::IoIso;
+    else if (name == "IAT" || name == "iat")
+        out = PolicyKind::Iat;
+    else if (name == "IAT-noddio" || name == "iat-noddio")
+        out = PolicyKind::IatNoDdio;
+    else if (name == "ioca" || name == "IOCA")
+        out = PolicyKind::Ioca;
+    else if (name == "lfoc" || name == "LFOC")
+        out = PolicyKind::Lfoc;
+    else
+        return false;
+    return true;
+}
+
+const std::vector<PolicyKind> &
+allPolicyKinds()
+{
+    static const std::vector<PolicyKind> kinds = {
+        PolicyKind::Static,    PolicyKind::CoreOnly,
+        PolicyKind::IoIso,     PolicyKind::Iat,
+        PolicyKind::IatNoDdio, PolicyKind::Ioca,
+        PolicyKind::Lfoc,
+    };
+    return kinds;
+}
+
+PolicyContract
+policyContract(PolicyKind kind)
+{
+    PolicyContract c;
+    switch (kind) {
+      case PolicyKind::Static:
+        // Bottom-packed initial grants, DDIO untouched. An external
+        // DDIO widening can reach into the static masks, so only
+        // tenant disjointness is promised.
+        c.tenant_disjoint = true;
+        break;
+      case PolicyKind::CoreOnly:
+        // Grows into DDIO's ways by design (it cannot see them).
+        c.tenant_disjoint = true;
+        break;
+      case PolicyKind::IoIso:
+        // Never touches DDIO's ways, but overlaps *tenants* when the
+        // usable region cannot hold them all.
+        c.ddio_disjoint = true;
+        break;
+      case PolicyKind::Iat:
+        c.tenant_disjoint = true;
+        c.ddio_bounded = true;
+        c.shuffle_invariants = true;
+        c.tunes_ddio = true;
+        break;
+      case PolicyKind::IatNoDdio:
+        // The ablation leaves the DDIO register alone, so the band
+        // promise goes with it.
+        c.tenant_disjoint = true;
+        c.shuffle_invariants = true;
+        break;
+      case PolicyKind::Ioca:
+        // Allocator-backed like IAT, but I/O tenants sit on top by
+        // a fixed order, not the BE-last shuffle -- so the shuffle
+        // lattice rules do not apply. Under full allocation the top
+        // tenant may share with DDIO, exactly like IAT.
+        c.tenant_disjoint = true;
+        c.ddio_bounded = true;
+        c.tunes_ddio = true;
+        break;
+      case PolicyKind::Lfoc:
+        // Cluster members share one mask; distinct clusters never
+        // partially overlap. Sizes itself below the DDIO region.
+        c.tenant_disjoint = false;
+        c.cluster_disjoint = true;
+        c.ddio_disjoint = true;
+        break;
+    }
+    return c;
+}
+
+namespace {
+
+/**
+ * The static baseline behind the generic interface: program the
+ * bottom-packed initial layout immediately (like the benches'
+ * Baseline path) and re-apply it when the registry churns. Uses the
+ * same shuffle-order start layout the IAT daemon boots from.
+ */
+class StaticAdapter final : public Policy
+{
+  public:
+    StaticAdapter(rdt::PqosSystem &pqos, TenantRegistry &registry)
+        : pqos_(pqos), registry_(registry)
+    {
+        registry_.consumeDirty();
+        apply();
+    }
+
+    void
+    tick(double) override
+    {
+        if (registry_.consumeDirty())
+            apply();
+    }
+
+    PolicyKind kind() const override { return PolicyKind::Static; }
+
+  private:
+    void
+    apply()
+    {
+        const auto &specs = registry_.tenants();
+        const auto order = computeShuffleOrder(specs, {}, {});
+        WayAllocator alloc(pqos_.l3NumWays(),
+                           pqos_.ddioGetWays().count());
+        std::vector<unsigned> ways;
+        for (const auto &spec : specs)
+            ways.push_back(spec.initial_ways);
+        alloc.setTenants(ways);
+        alloc.setOrder(order);
+        for (std::size_t t = 0; t < specs.size(); ++t) {
+            const auto clos = static_cast<cache::ClosId>(t + 1);
+            pqos_.l3caSet(clos, alloc.tenantMask(t));
+            for (const auto core : specs[t].cores)
+                pqos_.allocAssocSet(core, clos);
+            pqos_.monStart(specs[t].cores,
+                           static_cast<cache::RmidId>(t + 1));
+        }
+    }
+
+    rdt::PqosSystem &pqos_;
+    TenantRegistry &registry_;
+};
+
+class CoreOnlyAdapter final : public Policy
+{
+  public:
+    CoreOnlyAdapter(rdt::PqosSystem &pqos, TenantRegistry &registry,
+                    const IatParams &params)
+        : impl_(pqos, registry, params)
+    {
+    }
+
+    void tick(double now) override { impl_.tick(now); }
+    PolicyKind kind() const override { return PolicyKind::CoreOnly; }
+
+  private:
+    CoreOnlyPolicy impl_;
+};
+
+class IoIsoAdapter final : public Policy
+{
+  public:
+    IoIsoAdapter(rdt::PqosSystem &pqos, TenantRegistry &registry,
+                 const IatParams &params)
+        : impl_(pqos, registry, params)
+    {
+    }
+
+    void tick(double now) override { impl_.tick(now); }
+    PolicyKind kind() const override { return PolicyKind::IoIso; }
+
+  private:
+    IoIsolationPolicy impl_;
+};
+
+class IatAdapter final : public Policy
+{
+  public:
+    IatAdapter(PolicyKind kind, rdt::PqosSystem &pqos,
+               TenantRegistry &registry, const IatParams &params,
+               TenantModel model, obs::Telemetry *telemetry,
+               bool hardening)
+        : kind_(kind), impl_(pqos, registry, params, model)
+    {
+        if (kind == PolicyKind::IatNoDdio)
+            impl_.setDdioTuningEnabled(false);
+        impl_.setHardeningEnabled(hardening);
+        impl_.setTelemetry(telemetry);
+    }
+
+    void tick(double now) override { impl_.tick(now); }
+    PolicyKind kind() const override { return kind_; }
+    const IatDaemon *daemon() const override { return &impl_; }
+    IatDaemon *daemon() override { return &impl_; }
+
+  private:
+    PolicyKind kind_;
+    IatDaemon impl_;
+};
+
+} // namespace
+
+std::unique_ptr<Policy>
+makePolicy(PolicyKind kind, rdt::PqosSystem &pqos,
+           TenantRegistry &registry, const IatParams &params,
+           TenantModel model, obs::Telemetry *telemetry,
+           bool hardening)
+{
+    switch (kind) {
+      case PolicyKind::Static:
+        return std::make_unique<StaticAdapter>(pqos, registry);
+      case PolicyKind::CoreOnly:
+        return std::make_unique<CoreOnlyAdapter>(pqos, registry,
+                                                 params);
+      case PolicyKind::IoIso:
+        return std::make_unique<IoIsoAdapter>(pqos, registry, params);
+      case PolicyKind::Iat:
+      case PolicyKind::IatNoDdio:
+        return std::make_unique<IatAdapter>(kind, pqos, registry,
+                                            params, model, telemetry,
+                                            hardening);
+      case PolicyKind::Ioca:
+        return std::make_unique<IocaPolicy>(pqos, registry, params);
+      case PolicyKind::Lfoc:
+        return std::make_unique<LfocPolicy>(pqos, registry, params);
+    }
+    return nullptr;
+}
+
+} // namespace iat::core

@@ -192,4 +192,16 @@ AggTestPmdWorld::resetStats()
         stage->resetStats();
 }
 
+void
+AggTestPmdWorld::setTenantActive(std::size_t t, bool active)
+{
+    if (t == 0) {
+        for (auto &nic : nics_)
+            nic->setActive(active);
+        return;
+    }
+    if (t - 1 < nics_.size())
+        nics_[t - 1]->setActive(active);
+}
+
 } // namespace iat::scenarios

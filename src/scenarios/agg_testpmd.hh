@@ -85,6 +85,13 @@ class AggTestPmdWorld
     /** Clear NIC counters/latency for a measurement window. */
     void resetStats();
 
+    /**
+     * Pause/resume the traffic driving tenant @p t (fairness solo
+     * runs). Tenant 0 is the OVS stack -- pausing it stops every
+     * NIC; container i (tenant i+1) maps to NIC i's generator.
+     */
+    void setTenantActive(std::size_t t, bool active);
+
     /** OVS poll-thread stages (for IPC/CPP accounting). */
     const std::vector<net::Stage *> &ovsStages() const
     {

@@ -290,6 +290,31 @@ CorunWorld::setBackgroundActive(bool active)
         x->setActive(active);
 }
 
+void
+CorunWorld::setTenantActive(std::size_t t, bool active)
+{
+    switch (t) {
+      case kTenantNet:
+        setNetworkingActive(active);
+        break;
+      case kTenantPcApp:
+        if (spec_)
+            spec_->setActive(active);
+        if (rocksdb_)
+            rocksdb_->setActive(active);
+        break;
+      case kTenantBeSmall:
+      case kTenantBeLarge: {
+        const std::size_t x = t - kTenantBeSmall;
+        if (x < xmems_.size())
+            xmems_[x]->setActive(active);
+        break;
+      }
+      default:
+        break;
+    }
+}
+
 std::uint64_t
 CorunWorld::pcAppProgress() const
 {

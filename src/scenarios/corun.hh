@@ -103,6 +103,13 @@ class CorunWorld
     void setNetworkingActive(bool active);
     void setBackgroundActive(bool active);
 
+    /**
+     * Pause/resume one tenant's workload (fairness solo runs):
+     * 0 = the networking group's NICs, 1 = the PC app, 2/3 = the BE
+     * X-Mems.
+     */
+    void setTenantActive(std::size_t t, bool active);
+
     /// @name Measurement accessors
     /// @{
 

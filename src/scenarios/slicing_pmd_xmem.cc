@@ -89,4 +89,16 @@ SlicingPmdXmemWorld::setFrameBytes(std::uint32_t bytes)
     }
 }
 
+void
+SlicingPmdXmemWorld::setTenantActive(std::size_t t, bool active)
+{
+    if (t == kTenantPmd) {
+        for (auto &vf : vfs_)
+            vf->setActive(active);
+        return;
+    }
+    if (t - 1 < xmems_.size())
+        xmems_[t - 1]->setActive(active);
+}
+
 } // namespace iat::scenarios

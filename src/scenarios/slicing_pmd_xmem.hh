@@ -66,6 +66,13 @@ class SlicingPmdXmemWorld
         xmems_[2]->setWorkingSet(bytes);
     }
 
+    /**
+     * Pause/resume tenant @p t's workload (fairness solo runs):
+     * tenant 0 pauses both VF generators, tenants 1-3 pause the
+     * corresponding X-Mem.
+     */
+    void setTenantActive(std::size_t t, bool active);
+
     net::NicQueue &vf(unsigned i) { return *vfs_[i]; }
     unsigned vfCount() const
     {

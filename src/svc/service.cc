@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "check/invariants.hh"
+#include "check/policy_check.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/proc.hh"
@@ -90,6 +91,13 @@ ServiceConfig::fromCli(const CliArgs &args)
         args.getInt("ring", 4096));
     cfg.check_mode = args.getBool("check");
     cfg.hardening = !args.getBool("no-hardening");
+    const std::string policy_name = args.getString("policy", "");
+    if (!policy_name.empty() &&
+        !core::parsePolicyKind(policy_name, cfg.policy)) {
+        fatal("unknown policy '%s' "
+              "(static|core-only|io-iso|iat|ioca|lfoc)",
+              policy_name.c_str());
+    }
     cfg.traffic_rate = args.getDouble("rate", 1.0);
     const std::string tenant_file = args.getString("tenants", "");
     if (!tenant_file.empty()) {
@@ -213,11 +221,11 @@ Service::buildWorld()
         diff_ = std::make_unique<check::DiffHarness>(
             platform_.llc());
 
-    daemon_ = std::make_unique<core::IatDaemon>(
-        platform_.pqos(), registry_, cfg_.params,
-        core::TenantModel::Slicing);
-    daemon_->setHardeningEnabled(cfg_.hardening);
-    daemon_->setTelemetry(telemetry_.get());
+    policy_ = core::makePolicy(cfg_.policy, platform_.pqos(),
+                               registry_, cfg_.params,
+                               core::TenantModel::Slicing,
+                               telemetry_.get(), cfg_.hardening);
+    daemon_ = policy_->daemon();
 
     traffic_ =
         std::make_unique<SyntheticTraffic>(platform_, registry_);
@@ -246,15 +254,15 @@ Service::installHooks()
 {
     const double interval = cfg_.interval_seconds;
 
-    // Daemon poll (phase 0: the setup tick runs at t=0, before any
+    // Policy poll (phase 0: the setup tick runs at t=0, before any
     // fault can arm -- the injector contract).
     engine_.addPeriodic(
         interval,
         [this](double now) {
             if (injector_ && injector_->dropPoll(now))
                 return;
-            daemon_->tick(now);
-            afterDaemonTick(now);
+            policy_->tick(now);
+            afterPolicyTick(now);
         },
         0.0);
 
@@ -325,12 +333,16 @@ Service::throttle(double now)
 }
 
 void
-Service::afterDaemonTick(double now)
+Service::afterPolicyTick(double now)
 {
     if (!cfg_.check_mode)
         return;
-    const std::string violation = check::allocationViolation(
-        daemon_->allocator(), registry_.tenants());
+    // Contract-driven invariants; strict hardware-mask checks only
+    // when no fault can legitimately leave a stale mask behind.
+    const bool strict = cfg_.fault_plan.read_noise <= 0.0 &&
+                        cfg_.fault_plan.write_reject <= 0.0;
+    const std::string violation = check::policyViolation(
+        *policy_, platform_.pqos(), registry_, cfg_.params, strict);
     if (!violation.empty())
         recordViolation(now, violation);
     if (diff_ && !diff_->clean() && !diff_reported_) {
@@ -399,13 +411,16 @@ Service::cmdStats()
     std::string out = "{\"ok\":true,\"t_seconds\":" +
                       jnum(platform_.now());
     out += ",\"tenants\":" + jnum(std::uint64_t{registry_.size()});
-    out += ",\"daemon\":{\"ticks\":" + jnum(daemon_->ticks()) +
-           ",\"state\":" + jstr(toString(daemon_->state())) +
-           ",\"degraded\":" +
-           (daemon_->degraded() ? "true" : "false") +
-           ",\"missed_polls\":" + jnum(daemon_->missedPolls()) +
-           ",\"ddio_ways\":" +
-           jnum(std::uint64_t{daemon_->ddioWays()}) + '}';
+    out += ",\"policy\":" + jstr(policy_->name());
+    if (daemon_ != nullptr) {
+        out += ",\"daemon\":{\"ticks\":" + jnum(daemon_->ticks()) +
+               ",\"state\":" + jstr(toString(daemon_->state())) +
+               ",\"degraded\":" +
+               (daemon_->degraded() ? "true" : "false") +
+               ",\"missed_polls\":" +
+               jnum(daemon_->missedPolls()) + ",\"ddio_ways\":" +
+               jnum(std::uint64_t{daemon_->ddioWays()}) + '}';
+    }
     out += ",\"traffic\":{\"rate\":" + jnum(traffic_->rate()) +
            ",\"dma_lines\":" + jnum(traffic_->dmaLines()) +
            ",\"core_reads\":" + jnum(traffic_->coreReads()) + '}';

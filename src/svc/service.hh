@@ -41,6 +41,7 @@
 
 #include "check/diff.hh"
 #include "core/daemon.hh"
+#include "core/policy.hh"
 #include "core/tenant.hh"
 #include "fault/injector.hh"
 #include "fault/plan.hh"
@@ -81,6 +82,10 @@ struct ServiceConfig
 
     bool check_mode = false; ///< shadow oracle + invariant checks
     bool hardening = true;
+    /** Controller driving the world (--policy); the daemon-specific
+     *  surfaces (hardening counters, degraded flag in stats) apply
+     *  only to the IAT kinds. */
+    core::PolicyKind policy = core::PolicyKind::Iat;
     double traffic_rate = 1.0;
     /** Affiliation-file records; "" = a built-in 3-tenant mix. */
     std::string tenants_text;
@@ -124,7 +129,9 @@ class Service
     sim::Platform &platform() { return platform_; }
     sim::Engine &engine() { return engine_; }
     core::TenantRegistry &registry() { return registry_; }
-    core::IatDaemon &daemon() { return *daemon_; }
+    core::Policy &policy() { return *policy_; }
+    /** The IAT daemon behind policy(); null for non-daemon kinds. */
+    core::IatDaemon *daemon() { return daemon_; }
     obs::Telemetry &telemetry() { return *telemetry_; }
     obs::stream::StreamDispatcher &stream() { return dispatcher_; }
     obs::stream::RingBufferExporter &ring() { return *ring_; }
@@ -149,7 +156,7 @@ class Service
     void buildStream();
     void buildWorld();
     void installHooks();
-    void afterDaemonTick(double now);
+    void afterPolicyTick(double now);
     void recordViolation(double now, const std::string &what);
     void publishLifecycle(double now, const char *event,
                           const std::string &detail = "");
@@ -179,7 +186,9 @@ class Service
     std::unique_ptr<obs::stream::TcpPublisher> tcp_pub_;
 
     core::TenantRegistry registry_;
-    std::unique_ptr<core::IatDaemon> daemon_;
+    std::unique_ptr<core::Policy> policy_;
+    /** Borrowed from policy_ when it wraps the daemon; else null. */
+    core::IatDaemon *daemon_ = nullptr;
     std::unique_ptr<SyntheticTraffic> traffic_;
     std::unique_ptr<fault::FaultInjector> injector_;
     std::unique_ptr<sim::PlatformTelemetry> platform_telemetry_;

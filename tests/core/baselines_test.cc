@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "rdt/msr.hh"
 #include "sim/platform.hh"
 
 namespace iat::core {
@@ -209,6 +210,160 @@ TEST_F(BaselinesTest, IoIsoOrderChangesPlacement)
     registry.markDirty();
     second.tick(0.0);
     EXPECT_NE(second.tenantMask(0), mask_a_first);
+}
+
+TEST_F(BaselinesTest, CoreOnlySingleTenantWorld)
+{
+    // Degenerate world: one tenant, nobody to trade ways with. The
+    // ordered-segment machinery must still produce a valid
+    // bottom-packed mask and keep ticking without a peer to shuffle
+    // against.
+    addTenant("only", 0, 3, TenantPriority::PerformanceCritical);
+    CoreOnlyPolicy policy(platform.pqos(), registry, IatParams{});
+    policy.tick(0.0);
+    EXPECT_EQ(platform.llc().closMask(1), WayMask::fromRange(0, 3));
+
+    for (int i = 1; i <= 4; ++i) {
+        coreTraffic(0, 2000, 1ull << 30);
+        platform.retire(0, 1'000'000);
+        platform.advanceQuantum(0.01);
+        policy.tick(i);
+        const auto mask = policy.allocator().tenantMask(0);
+        EXPECT_TRUE(mask.isValidCbm());
+        EXPECT_GE(mask.count(), 3u) << "tick " << i;
+    }
+}
+
+TEST_F(BaselinesTest, IoIsoSingleTenantWorld)
+{
+    // Even alone, the tenant never touches DDIO's ways -- the
+    // exclusion rule caps it at num_ways - ddio_ways.
+    addTenant("only", 0, 3, TenantPriority::PerformanceCritical);
+    IoIsolationPolicy policy(platform.pqos(), registry, IatParams{});
+    policy.tick(0.0);
+    const auto ddio = platform.llc().ddioMask();
+    EXPECT_FALSE(policy.tenantMask(0).overlaps(ddio));
+    EXPECT_LE(policy.tenantMask(0).count(),
+              platform.pqos().l3NumWays() - ddio.count());
+}
+
+TEST_F(BaselinesTest, CoreOnlyZeroTrafficWindowHoldsAllocation)
+{
+    // A window with no LLC references and no retired instructions:
+    // every per-tenant signal is zero, so the allocation must hold
+    // exactly (no way can look "hotter" than another).
+    addTenant("a", 0, 3, TenantPriority::PerformanceCritical);
+    addTenant("b", 1, 2, TenantPriority::BestEffort);
+    CoreOnlyPolicy policy(platform.pqos(), registry, IatParams{});
+    policy.tick(0.0);
+    const auto mask_a = platform.llc().closMask(1);
+    const auto mask_b = platform.llc().closMask(2);
+
+    for (int i = 1; i <= 5; ++i) {
+        platform.advanceQuantum(0.01);
+        policy.tick(i);
+    }
+    EXPECT_EQ(platform.llc().closMask(1), mask_a);
+    EXPECT_EQ(platform.llc().closMask(2), mask_b);
+}
+
+TEST_F(BaselinesTest, IoIsoZeroTrafficWindowHoldsAllocation)
+{
+    addTenant("a", 0, 3, TenantPriority::PerformanceCritical);
+    addTenant("b", 1, 2, TenantPriority::BestEffort);
+    IoIsolationPolicy policy(platform.pqos(), registry, IatParams{});
+    policy.tick(0.0);
+    const auto mask_a = policy.tenantMask(0);
+    const auto mask_b = policy.tenantMask(1);
+
+    for (int i = 1; i <= 5; ++i) {
+        platform.advanceQuantum(0.01);
+        policy.tick(i);
+    }
+    EXPECT_EQ(policy.tenantMask(0), mask_a);
+    EXPECT_EQ(policy.tenantMask(1), mask_b);
+}
+
+TEST_F(BaselinesTest, IoIsoDegradedEntryAndExit)
+{
+    // Degraded-capacity entry/exit: DDIO taking 6 ways squeezes the
+    // tenants into 5; when it hands the ways back, the next tick
+    // must restore the initial widths (stranding capacity forever
+    // would be a leak of the squeeze state).
+    addTenant("pc", 0, 3, TenantPriority::PerformanceCritical);
+    addTenant("be", 1, 3, TenantPriority::BestEffort);
+    IoIsolationPolicy policy(platform.pqos(), registry, IatParams{});
+    policy.tick(0.0);
+    EXPECT_EQ(policy.tenantMask(0).count(), 3u);
+    EXPECT_EQ(policy.tenantMask(1).count(), 3u);
+
+    platform.pqos().ddioSetWays(WayMask::fromRange(5, 6));
+    policy.tick(1.0);
+    const auto grown = platform.llc().ddioMask();
+    EXPECT_FALSE(policy.tenantMask(0).overlaps(grown));
+    EXPECT_FALSE(policy.tenantMask(1).overlaps(grown));
+    EXPECT_LT(policy.tenantMask(0).count() +
+                  policy.tenantMask(1).count(),
+              6u);
+
+    platform.pqos().ddioSetWays(WayMask::fromRange(9, 2));
+    policy.tick(2.0);
+    EXPECT_EQ(policy.tenantMask(0).count(), 3u)
+        << "squeeze must undo when DDIO shrinks back";
+    EXPECT_EQ(policy.tenantMask(1).count(), 3u);
+    EXPECT_FALSE(policy.tenantMask(0).overlaps(
+        platform.llc().ddioMask()));
+}
+
+/** Vetoes a budget of CAT mask writes (the write-rejection fault). */
+class MaskVetoHook : public rdt::MsrFaultHook
+{
+  public:
+    unsigned veto_budget = 0;
+
+    std::uint64_t
+    onRead(cache::CoreId, std::uint32_t,
+           std::uint64_t value) override
+    {
+        return value;
+    }
+
+    bool
+    onWrite(cache::CoreId, std::uint32_t addr,
+            std::uint64_t) override
+    {
+        using namespace rdt::msr_addr;
+        const bool is_mask = addr >= IA32_L3_QOS_MASK_0 &&
+                             addr < IA32_L3_QOS_MASK_0 + 16;
+        if (is_mask && veto_budget > 0) {
+            --veto_budget;
+            return false;
+        }
+        return true;
+    }
+};
+
+TEST_F(BaselinesTest, CoreOnlyRetriesRejectedWritesNextTick)
+{
+    // Write-rejection entry/exit: a vetoed mask write leaves
+    // hardware stale; once the fault clears, the very next tick must
+    // re-program it (the stale-programmed_ retry idiom), not wait
+    // for an unrelated relayout.
+    addTenant("a", 0, 3, TenantPriority::PerformanceCritical);
+    addTenant("b", 1, 2, TenantPriority::BestEffort);
+    MaskVetoHook hook;
+    hook.veto_budget = 16; // reject every mask write this tick
+    platform.msrBus().setFaultHook(&hook);
+    CoreOnlyPolicy policy(platform.pqos(), registry, IatParams{});
+    policy.tick(0.0);
+    // The hardware-reset masks survived the vetoed setup.
+    EXPECT_NE(platform.llc().closMask(1), WayMask::fromRange(0, 3));
+
+    platform.msrBus().setFaultHook(nullptr);
+    platform.advanceQuantum(0.01);
+    policy.tick(1.0);
+    EXPECT_EQ(platform.llc().closMask(1), WayMask::fromRange(0, 3));
+    EXPECT_EQ(platform.llc().closMask(2), WayMask::fromRange(3, 2));
 }
 
 TEST(ResqSizing, BoundsRingToDdioCapacity)

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Differential tests for the IOCA-style controller: decide() pinned
+ * against hand-computed EWMA/watermark/patience oracles, plus the
+ * tick() integration that programs the decisions into the pqos
+ * registers.
+ *
+ * Oracle arithmetic throughout assumes the defaults: ewma_alpha 0.3,
+ * high watermark 4 x threshold_miss_low (= 4e6/s), low watermark
+ * 1 x (= 1e6/s), grow_patience 2, shrink_patience 4.
+ */
+
+#include "core/ioca.hh"
+
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "sim/platform.hh"
+
+namespace iat::core {
+namespace {
+
+using cache::WayMask;
+
+sim::PlatformConfig
+testConfig()
+{
+    sim::PlatformConfig cfg;
+    cfg.num_cores = 8;
+    cfg.llc.num_slices = 4;
+    cfg.llc.sets_per_slice = 256;
+    return cfg;
+}
+
+class IocaTest : public testing::Test
+{
+  protected:
+    IocaTest() : platform(testConfig()) {}
+
+    void
+    addTenant(const std::string &name, cache::CoreId core,
+              unsigned grant, bool is_io = false)
+    {
+        TenantSpec spec;
+        spec.name = name;
+        spec.cores = {core};
+        spec.initial_ways = grant;
+        spec.is_io = is_io;
+        registry.add(spec);
+    }
+
+    /** A policy over a 2-tenant registry, setup() already run. */
+    IocaPolicy &
+    makePolicy()
+    {
+        addTenant("io", 0, 3, true);
+        addTenant("cpu", 1, 2);
+        policy_.emplace(platform.pqos(), registry, params);
+        policy_->tick(0.0); // consumes the dirty registry: setup()
+        return *policy_;
+    }
+
+    /** A sample whose DDIO miss rate is exactly @p per_second. */
+    static SystemSample
+    ddioSample(double per_second, std::size_t tenants = 2)
+    {
+        SystemSample s;
+        s.interval_seconds = 1.0;
+        s.ddio_misses = static_cast<std::uint64_t>(per_second);
+        s.tenants.resize(tenants);
+        return s;
+    }
+
+    sim::Platform platform;
+    TenantRegistry registry;
+    IatParams params;
+    std::optional<IocaPolicy> policy_;
+    const std::vector<unsigned> ways{3, 2};
+    const std::vector<unsigned> initial{3, 2};
+};
+
+TEST_F(IocaTest, EwmaPrimesThenBlends)
+{
+    auto &policy = makePolicy();
+    policy.decide(ddioSample(8e6), ways, initial, 2);
+    // First sample primes the EWMA rather than blending with zero.
+    EXPECT_DOUBLE_EQ(policy.missRateEwma(), 8e6);
+
+    policy.decide(ddioSample(0.0), ways, initial, 2);
+    // 0.3 * 0 + 0.7 * 8e6
+    EXPECT_DOUBLE_EQ(policy.missRateEwma(), 5.6e6);
+}
+
+TEST_F(IocaTest, GrowsDdioOnlyAfterGrowPatience)
+{
+    auto &policy = makePolicy();
+    // 1e7/s primes the EWMA straight over the 4e6/s high watermark.
+    auto d1 = policy.decide(ddioSample(1e7), ways, initial, 2);
+    EXPECT_EQ(d1.ddio_delta, 0) << "one poll above high is not enough";
+    auto d2 = policy.decide(ddioSample(1e7), ways, initial, 2);
+    EXPECT_EQ(d2.ddio_delta, +1) << "grow_patience=2 reached";
+    auto d3 = policy.decide(ddioSample(1e7), ways, initial, 2);
+    EXPECT_EQ(d3.ddio_delta, +1)
+        << "keeps growing while the pressure persists";
+}
+
+TEST_F(IocaTest, ShrinksDdioOnlyAfterShrinkPatience)
+{
+    auto &policy = makePolicy();
+    for (int poll = 1; poll <= 3; ++poll) {
+        const auto d = policy.decide(ddioSample(0.0), ways, initial, 2);
+        EXPECT_EQ(d.ddio_delta, 0) << "poll " << poll;
+    }
+    const auto d4 = policy.decide(ddioSample(0.0), ways, initial, 2);
+    EXPECT_EQ(d4.ddio_delta, -1) << "shrink_patience=4 reached";
+}
+
+TEST_F(IocaTest, MidBandResetsBothStreaks)
+{
+    auto &policy = makePolicy();
+    // Prime mid-band: 2e6 sits between the 1e6 low and 4e6 high.
+    EXPECT_EQ(policy.decide(ddioSample(2e6), ways, initial, 2)
+                  .ddio_delta, 0);
+    // 0.3 * 1e7 + 0.7 * 2e6 = 4.4e6 > high: streak 1.
+    EXPECT_EQ(policy.decide(ddioSample(1e7), ways, initial, 2)
+                  .ddio_delta, 0);
+    EXPECT_DOUBLE_EQ(policy.missRateEwma(), 4.4e6);
+    // 0.3 * 0 + 0.7 * 4.4e6 = 3.08e6: back mid-band, streaks reset.
+    EXPECT_EQ(policy.decide(ddioSample(0.0), ways, initial, 2)
+                  .ddio_delta, 0);
+    // Climbing over high again must re-earn the full patience.
+    // 0.3 * 1e7 + 0.7 * 3.08e6 = 5.156e6 > high: streak 1 only.
+    EXPECT_EQ(policy.decide(ddioSample(1e7), ways, initial, 2)
+                  .ddio_delta, 0);
+    EXPECT_EQ(policy.decide(ddioSample(1e7), ways, initial, 2)
+                  .ddio_delta, +1);
+}
+
+TEST_F(IocaTest, GrowTenantPicksSteepestRisingMissWithIpcDrop)
+{
+    auto &policy = makePolicy();
+    auto s = ddioSample(2e6, 3);
+    s.tenants[0].d_miss_rate = 0.5;
+    s.tenants[0].d_ipc = -0.10;
+    s.tenants[1].d_miss_rate = 0.8; // steepest eligible
+    s.tenants[1].d_ipc = -0.20;
+    s.tenants[2].d_miss_rate = 0.9; // steeper, but IPC is fine
+    s.tenants[2].d_ipc = +0.10;
+    const auto d = policy.decide(s, {3, 2, 2}, {3, 2, 2}, 2);
+    EXPECT_EQ(d.grow_tenant, 1u);
+}
+
+TEST_F(IocaTest, GrowCancelledWithoutIdleWays)
+{
+    auto &policy = makePolicy();
+    auto s = ddioSample(2e6);
+    s.tenants[0].d_miss_rate = 0.5;
+    s.tenants[0].d_ipc = -0.10;
+    const auto d = policy.decide(s, ways, initial, /*idle_ways=*/0);
+    EXPECT_EQ(d.grow_tenant, IocaPolicy::kNoTenant);
+}
+
+TEST_F(IocaTest, StableIpcMeansNoGrow)
+{
+    auto &policy = makePolicy();
+    auto s = ddioSample(2e6);
+    s.tenants[0].d_miss_rate = 0.5;
+    s.tenants[0].d_ipc = -0.02; // inside the 3% stability band
+    const auto d = policy.decide(s, ways, initial, 2);
+    EXPECT_EQ(d.grow_tenant, IocaPolicy::kNoTenant);
+}
+
+TEST_F(IocaTest, ShrinkNeedsCollapseAboveInitialGrant)
+{
+    auto &policy = makePolicy();
+    auto s = ddioSample(2e6);
+    s.tenants[0].d_miss_rate = -0.5; // collapsed
+    s.tenants[1].d_miss_rate = -0.6; // collapsed harder, but at grant
+    // Tenant 0 sits one way above its grant; tenant 1 at its grant.
+    const auto d = policy.decide(s, {4, 2}, {3, 2}, 1);
+    EXPECT_EQ(d.shrink_tenant, 0u);
+    EXPECT_EQ(d.grow_tenant, IocaPolicy::kNoTenant);
+
+    // Nobody above grant: nothing to reclaim.
+    const auto d2 = policy.decide(s, {3, 2}, {3, 2}, 2);
+    EXPECT_EQ(d2.shrink_tenant, IocaPolicy::kNoTenant);
+}
+
+TEST_F(IocaTest, TickProgramsDecisionsWithinDdioBand)
+{
+    params.interval_seconds = 1e-3;
+    auto &policy = makePolicy();
+    const unsigned start = platform.llc().ddioMask().count();
+    EXPECT_GE(start, params.ddio_ways_min);
+    EXPECT_LE(start, params.ddio_ways_max);
+
+    // Distinct-line DMA floods: ~8000 misses per 1 ms interval is
+    // 8e6/s, far over the high watermark, so after the patience
+    // polls DDIO grows -- and saturates at ddio_ways_max.
+    for (int i = 0; i < 10; ++i) {
+        platform.dmaWrite(0, (1ull << 28) + i * (1ull << 20),
+                          64 * 8000);
+        platform.advanceQuantum(params.interval_seconds);
+        policy.tick(platform.now());
+        const unsigned now_ways = platform.llc().ddioMask().count();
+        EXPECT_LE(now_ways, params.ddio_ways_max) << "tick " << i;
+    }
+    EXPECT_EQ(platform.llc().ddioMask().count(), params.ddio_ways_max);
+    EXPECT_EQ(policy.ddioWays(), params.ddio_ways_max);
+
+    // Tenant masks stay disjoint while DDIO moves (IOCA's contract).
+    for (std::size_t a = 0; a < registry.size(); ++a) {
+        for (std::size_t b = a + 1; b < registry.size(); ++b) {
+            EXPECT_FALSE(
+                policy.allocator().tenantMask(a).overlaps(
+                    policy.allocator().tenantMask(b)))
+                << a << " vs " << b;
+        }
+    }
+}
+
+TEST_F(IocaTest, IoTenantsSitAdjacentToDdio)
+{
+    // IOCA's layout philosophy: I/O tenants on top of the stack,
+    // bordering the inbound-DMA ways.
+    auto &policy = makePolicy();
+    const auto io = policy.allocator().tenantMask(0);
+    const auto cpu = policy.allocator().tenantMask(1);
+    EXPECT_GT(io.lowest(), cpu.highest())
+        << "io mask " << io.toString() << " must sit above cpu mask "
+        << cpu.toString();
+}
+
+} // namespace
+} // namespace iat::core

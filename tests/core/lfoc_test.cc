@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Differential tests for the LFOC-style clustering policy: the
+ * classifier's hysteresis and the cluster planner pinned against
+ * hand-computed oracles, plus the policy-level DDIO-following
+ * behaviour.
+ *
+ * Oracle arithmetic assumes the defaults: streaming_miss_rate 0.5,
+ * light_refs_per_s 1e5, streaming_ways 2, reclass_margin 1.25 --
+ * so the light gate is 8e4 entering / 1.25e5 leaving, and the
+ * streaming gate 0.625 entering / 0.4 leaving.
+ */
+
+#include "core/lfoc.hh"
+
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "sim/platform.hh"
+
+namespace iat::core {
+namespace {
+
+using cache::WayMask;
+
+sim::PlatformConfig
+testConfig()
+{
+    sim::PlatformConfig cfg;
+    cfg.num_cores = 8;
+    cfg.llc.num_slices = 4;
+    cfg.llc.sets_per_slice = 256;
+    return cfg;
+}
+
+const LfocParams kDefaults{};
+
+// ---------------------------------------------------------------------
+// classifyTenant
+
+TEST(LfocClassifyTest, LightEntryIsTightenedByTheMargin)
+{
+    // Entering Light from elsewhere needs refs below 1e5 / 1.25.
+    EXPECT_EQ(classifyTenant(LfocClass::Sensitive, 0.1, 7e4,
+                             kDefaults),
+              LfocClass::Light);
+    // 9e4 is under the nominal threshold but over the tightened
+    // gate: a sensitive tenant stays put.
+    EXPECT_EQ(classifyTenant(LfocClass::Sensitive, 0.1, 9e4,
+                             kDefaults),
+              LfocClass::Sensitive);
+}
+
+TEST(LfocClassifyTest, LightExitIsWidenedByTheMargin)
+{
+    // A light tenant keeps its class until refs exceed 1e5 * 1.25.
+    EXPECT_EQ(classifyTenant(LfocClass::Light, 0.1, 1.2e5, kDefaults),
+              LfocClass::Light);
+    EXPECT_EQ(classifyTenant(LfocClass::Light, 0.1, 1.3e5, kDefaults),
+              LfocClass::Sensitive);
+}
+
+TEST(LfocClassifyTest, StreamingHysteresis)
+{
+    // Entering Streaming needs the miss rate over 0.5 * 1.25.
+    EXPECT_EQ(classifyTenant(LfocClass::Sensitive, 0.60, 1e6,
+                             kDefaults),
+              LfocClass::Sensitive);
+    EXPECT_EQ(classifyTenant(LfocClass::Sensitive, 0.70, 1e6,
+                             kDefaults),
+              LfocClass::Streaming);
+    // Leaving needs it under 0.5 / 1.25.
+    EXPECT_EQ(classifyTenant(LfocClass::Streaming, 0.45, 1e6,
+                             kDefaults),
+              LfocClass::Streaming);
+    EXPECT_EQ(classifyTenant(LfocClass::Streaming, 0.35, 1e6,
+                             kDefaults),
+              LfocClass::Sensitive);
+}
+
+TEST(LfocClassifyTest, LightTrumpsStreaming)
+{
+    // Near-zero references: the miss rate is meaningless noise, so
+    // even a 90% missing tenant lands in Light.
+    EXPECT_EQ(classifyTenant(LfocClass::Sensitive, 0.9, 1e3,
+                             kDefaults),
+              LfocClass::Light);
+}
+
+// ---------------------------------------------------------------------
+// computeLfocPlan
+
+TEST(LfocPlanTest, SensitiveClustersSizedByLargestRemainder)
+{
+    // Weights 6000/3000/1000 over 10 ways: one base way each, the
+    // 7 extras split 4.2 / 2.1 / 0.7 -- wholes 4/2/0, and the one
+    // leftover way goes to the largest fraction (0.7, tenant 2).
+    const std::vector<LfocClass> klass(3, LfocClass::Sensitive);
+    const std::vector<double> refs{6000.0, 3000.0, 1000.0};
+    const auto plan = computeLfocPlan(klass, refs, 10, kDefaults);
+
+    ASSERT_EQ(plan.cluster_ways.size(), 3u);
+    EXPECT_EQ(plan.cluster_ways[0], 5u);
+    EXPECT_EQ(plan.cluster_ways[1], 3u);
+    EXPECT_EQ(plan.cluster_ways[2], 2u);
+    // Bottom-to-top, loudest first.
+    EXPECT_EQ(plan.masks[0], WayMask::fromRange(0, 5));
+    EXPECT_EQ(plan.masks[1], WayMask::fromRange(5, 3));
+    EXPECT_EQ(plan.masks[2], WayMask::fromRange(8, 2));
+}
+
+TEST(LfocPlanTest, StreamingPennedOnTopAndCapped)
+{
+    // One sensitive, two streaming, one light over 8 ways. The
+    // streaming pen takes at most streaming_ways (2); everything the
+    // proportional split leaves goes to the lone sensitive cluster.
+    const std::vector<LfocClass> klass{
+        LfocClass::Sensitive, LfocClass::Streaming,
+        LfocClass::Streaming, LfocClass::Light};
+    const std::vector<double> refs{5000.0, 9e9, 9e9, 10.0};
+    const auto plan = computeLfocPlan(klass, refs, 8, kDefaults);
+
+    ASSERT_EQ(plan.cluster_ways.size(), 3u);
+    // Layout bottom to top: sensitive, light pool, streaming pen.
+    EXPECT_EQ(plan.masks[0], WayMask::fromRange(0, 5));
+    EXPECT_EQ(plan.masks[3], WayMask::fromRange(5, 1));
+    EXPECT_EQ(plan.masks[1], WayMask::fromRange(6, 2));
+    // Cluster mates share one mask, pinned against the DDIO border.
+    EXPECT_EQ(plan.masks[1], plan.masks[2]);
+    EXPECT_EQ(plan.masks[1].highest(), 7u)
+        << "the thrashers sit adjacent to the DDIO region";
+    EXPECT_EQ(plan.cluster_of[1], plan.cluster_of[2]);
+}
+
+TEST(LfocPlanTest, QuietestSensitiveClustersMergeWhenOverCommitted)
+{
+    // Four sensitive tenants, two usable ways: the three quietest
+    // collapse into one shared pool; only the loudest keeps an
+    // individual cluster.
+    const std::vector<LfocClass> klass(4, LfocClass::Sensitive);
+    const std::vector<double> refs{400.0, 300.0, 200.0, 100.0};
+    const auto plan = computeLfocPlan(klass, refs, 2, kDefaults);
+
+    ASSERT_EQ(plan.cluster_ways.size(), 2u);
+    EXPECT_EQ(plan.masks[0], WayMask::fromRange(0, 1));
+    for (std::size_t t = 1; t < 4; ++t)
+        EXPECT_EQ(plan.masks[t], WayMask::fromRange(1, 1))
+            << "tenant " << t;
+}
+
+TEST(LfocPlanTest, LeftoverWaysGoToTheBottomCluster)
+{
+    // Only light tenants: the shared way cannot use the region, but
+    // the leftover ways must not sit unprogrammed.
+    const std::vector<LfocClass> klass(2, LfocClass::Light);
+    const std::vector<double> refs{10.0, 20.0};
+    const auto plan = computeLfocPlan(klass, refs, 4, kDefaults);
+
+    ASSERT_EQ(plan.cluster_ways.size(), 1u);
+    EXPECT_EQ(plan.cluster_ways[0], 4u);
+    EXPECT_EQ(plan.masks[0], WayMask::fromRange(0, 4));
+    EXPECT_EQ(plan.masks[1], plan.masks[0]);
+}
+
+TEST(LfocPlanTest, EmptyAndDegenerateInputs)
+{
+    const auto empty = computeLfocPlan({}, {}, 8, kDefaults);
+    EXPECT_TRUE(empty.masks.empty());
+    EXPECT_TRUE(empty.cluster_ways.empty());
+
+    // usable_ways 0 is clamped to 1: everyone still gets a mask.
+    const std::vector<LfocClass> klass(2, LfocClass::Sensitive);
+    const auto clamped =
+        computeLfocPlan(klass, {5.0, 5.0}, 0, kDefaults);
+    ASSERT_EQ(clamped.masks.size(), 2u);
+    for (const auto &mask : clamped.masks)
+        EXPECT_TRUE(mask.isValidCbm());
+}
+
+// ---------------------------------------------------------------------
+// LfocPolicy
+
+class LfocPolicyTest : public testing::Test
+{
+  protected:
+    LfocPolicyTest() : platform(testConfig()) {}
+
+    void
+    addTenant(const std::string &name, cache::CoreId core,
+              unsigned ways, bool is_io = false)
+    {
+        TenantSpec spec;
+        spec.name = name;
+        spec.cores = {core};
+        spec.initial_ways = ways;
+        spec.is_io = is_io;
+        registry.add(spec);
+    }
+
+    sim::Platform platform;
+    TenantRegistry registry;
+    IatParams params;
+    std::optional<LfocPolicy> policy_;
+};
+
+TEST_F(LfocPolicyTest, NeverTouchesTheDdioRegisterButFollowsIt)
+{
+    addTenant("io", 0, 3, true);
+    addTenant("cpu", 1, 2);
+    params.interval_seconds = 1e-3;
+    policy_.emplace(platform.pqos(), registry, params);
+    auto &policy = *policy_;
+
+    const auto ddio_before = platform.llc().ddioMask();
+    policy.tick(0.0); // setup
+    for (int i = 1; i <= 4; ++i) {
+        platform.advanceQuantum(params.interval_seconds);
+        policy.tick(platform.now());
+    }
+    EXPECT_EQ(platform.llc().ddioMask(), ddio_before)
+        << "LFOC treats the I/O ways as someone else's territory";
+    for (std::size_t t = 0; t < registry.size(); ++t) {
+        EXPECT_FALSE(policy.tenantMask(t).overlaps(ddio_before))
+            << "tenant " << t;
+    }
+
+    // An external hand widening DDIO must trigger a relayout into
+    // the smaller usable region.
+    const auto relayouts_before = policy.relayouts();
+    ASSERT_TRUE(platform.pqos().ddioSetWays(WayMask::fromRange(7, 4)));
+    platform.advanceQuantum(params.interval_seconds);
+    policy.tick(platform.now());
+    EXPECT_GT(policy.relayouts(), relayouts_before);
+    for (std::size_t t = 0; t < registry.size(); ++t) {
+        EXPECT_FALSE(
+            policy.tenantMask(t).overlaps(WayMask::fromRange(7, 4)))
+            << "tenant " << t;
+        EXPECT_TRUE(policy.tenantMask(t).isValidCbm());
+    }
+}
+
+TEST_F(LfocPolicyTest, SeedsIoTenantsAsStreamingBeforeFirstPoll)
+{
+    addTenant("io", 0, 3, true);
+    addTenant("cpu", 1, 2);
+    policy_.emplace(platform.pqos(), registry, params);
+    policy_->tick(0.0); // setup only: no sample history yet
+    ASSERT_EQ(policy_->classes().size(), 2u);
+    EXPECT_EQ(policy_->classes()[0], LfocClass::Streaming)
+        << "I/O tenants stream inbound DMA by construction";
+    EXPECT_EQ(policy_->classes()[1], LfocClass::Sensitive)
+        << "the conservative default for everyone else";
+}
+
+} // namespace
+} // namespace iat::core

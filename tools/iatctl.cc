@@ -38,6 +38,7 @@
 #include "cluster/world.hh"
 #include "core/baselines.hh"
 #include "core/daemon.hh"
+#include "core/policy.hh"
 #include "obs/stream/exporter.hh"
 #include "obs/stream/tcp_pub.hh"
 #include "fault/injector.hh"
@@ -182,6 +183,7 @@ cmdRun(const CliArgs &args)
     std::unique_ptr<core::IatDaemon> daemon;
     std::unique_ptr<core::CoreOnlyPolicy> core_only;
     std::unique_ptr<core::IoIsolationPolicy> io_iso;
+    std::unique_ptr<core::Policy> generic;
     if (policy_name == "iat") {
         daemon = std::make_unique<core::IatDaemon>(
             platform.pqos(), *registry, params, model);
@@ -220,11 +222,26 @@ cmdRun(const CliArgs &args)
                                io_iso->tick(now);
                            },
                            0.0);
+    } else if (policy_name == "ioca" || policy_name == "lfoc") {
+        core::PolicyKind kind = core::PolicyKind::Ioca;
+        core::parsePolicyKind(policy_name, kind);
+        generic = core::makePolicy(kind, platform.pqos(), *registry,
+                                   params, model, telemetry.get(),
+                                   hardening);
+        engine.addPeriodic(params.interval_seconds,
+                           [&](double now) {
+                               if (injector &&
+                                   injector->dropPoll(now)) {
+                                   return;
+                               }
+                               generic->tick(now);
+                           },
+                           0.0);
     } else if (policy_name == "baseline") {
         scenarios::applyStaticLayout(platform.pqos(), *registry);
     } else {
         fatal("unknown policy '%s' "
-              "(baseline|core-only|io-iso|iat)",
+              "(baseline|core-only|io-iso|iat|ioca|lfoc)",
               policy_name.c_str());
     }
 
@@ -637,7 +654,7 @@ usage()
         "usage: iatctl <command> [flags]\n"
         "  run     run a scenario under a policy\n"
         "          --scenario=agg|slicing|corun --policy=baseline|"
-        "core-only|io-iso|iat\n"
+        "core-only|io-iso|iat|ioca|lfoc\n"
         "          --seconds=0.2 --frame=1500 --interval=0.005\n"
         "          --tenants=<affiliation file> (bare platform)\n"
         "          --stats (full platform counter report)\n"

@@ -67,6 +67,7 @@ registry()
 {
     exp::TrialRegistry reg;
     bench::registerPaperSweeps(reg);
+    bench::registerBakeoffSweeps(reg);
     bench::registerValidationSweeps(reg);
     bench::registerClusterSweeps(reg);
     return reg;

@@ -79,6 +79,8 @@ usage()
         "invariants every tick\n"
         "  --no-hardening       disable the daemon's fault "
         "hardening\n"
+        "  --policy=<name>      controller to run: static|core-only|"
+        "io-iso|iat|ioca|lfoc (default iat)\n"
         "  --slo-p99-cycles=<c> arm the slo_p99 watchdog\n"
         "  --churn-storm=<n>    arm the churn_storm watchdog\n"
         "  --fault-*            fault campaign "
